@@ -1,0 +1,549 @@
+//! Logical plan operators for the complex object algebra.
+
+use std::fmt;
+
+use tmql_model::{Record, Value};
+
+use crate::scalar::ScalarExpr;
+pub use crate::scalar::AggFn;
+
+/// Set operations between plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    /// `∪`
+    Union,
+    /// `∩`
+    Intersect,
+    /// `\`
+    Except,
+}
+
+/// A logical plan. Rows are [`Record`]s of variable bindings; see the crate
+/// docs for the representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan a stored table (class extension), binding each tuple to `var`.
+    ScanTable {
+        /// Extension / table name.
+        table: String,
+        /// Iteration variable.
+        var: String,
+    },
+    /// Iterate a set-valued expression (e.g. `d.emps`, or a constant set),
+    /// binding each element to `var`. The expression may reference outer
+    /// variables when this plan appears under an [`Plan::Apply`].
+    ScanExpr {
+        /// Set expression to iterate.
+        expr: ScalarExpr,
+        /// Iteration variable.
+        var: String,
+    },
+    /// Selection σ.
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Filter predicate over the input's variables.
+        pred: ScalarExpr,
+    },
+    /// Generalized projection: replace each row by the single binding
+    /// `var = expr(row)`. Output is deduplicated (set semantics).
+    Map {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Result expression.
+        expr: ScalarExpr,
+        /// Output variable.
+        var: String,
+    },
+    /// Add a binding `var = expr(row)` to every row, keeping existing ones.
+    Extend {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Expression for the new binding.
+        expr: ScalarExpr,
+        /// New variable name.
+        var: String,
+    },
+    /// Keep only the named variables (π). Deduplicated.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Variables to keep.
+        vars: Vec<String>,
+    },
+    /// Regular join ⋈ on an arbitrary predicate.
+    Join {
+        /// Left operand.
+        left: Box<Plan>,
+        /// Right operand.
+        right: Box<Plan>,
+        /// Join predicate over both sides' variables.
+        pred: ScalarExpr,
+    },
+    /// Semijoin ⋉: left rows with at least one matching right row.
+    SemiJoin {
+        /// Left operand.
+        left: Box<Plan>,
+        /// Right operand.
+        right: Box<Plan>,
+        /// Join predicate.
+        pred: ScalarExpr,
+    },
+    /// Antijoin ▷: left rows with no matching right row.
+    AntiJoin {
+        /// Left operand.
+        left: Box<Plan>,
+        /// Right operand.
+        right: Box<Plan>,
+        /// Join predicate.
+        pred: ScalarExpr,
+    },
+    /// Left outerjoin ⟕: like join, but dangling left rows survive with the
+    /// right side's variables bound to NULL. **Relational baseline only** —
+    /// the nest join makes this unnecessary in the complex object model.
+    LeftOuterJoin {
+        /// Left operand.
+        left: Box<Plan>,
+        /// Right operand.
+        right: Box<Plan>,
+        /// Join predicate.
+        pred: ScalarExpr,
+    },
+    /// The paper's **nest join** Δ (Section 6): each left row is extended
+    /// with `label = { func(l ++ r) | r ∈ right, pred(l ++ r) }`. Dangling
+    /// left rows get `label = ∅`.
+    NestJoin {
+        /// Left operand.
+        left: Box<Plan>,
+        /// Right operand.
+        right: Box<Plan>,
+        /// Join predicate Q(x, y).
+        pred: ScalarExpr,
+        /// Join function G(x, y) applied to matching right rows.
+        func: ScalarExpr,
+        /// Fresh label for the nested set ("an arbitrary label not occurring
+        /// on the top level of X").
+        label: String,
+    },
+    /// The nest operator ν (and its ν* variant): group rows by the values
+    /// of `keys`, collapsing each group to one row with
+    /// `label = { value(row) | row ∈ group }`.
+    ///
+    /// With `star = true` this is ν* of [Scholl 86] as used in Section 6:
+    /// payload values stemming from NULL-extended tuples are dropped, so a
+    /// group consisting only of NULL payloads yields ∅.
+    Nest {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping variables (kept in the output).
+        keys: Vec<String>,
+        /// Payload expression collected into the nested set.
+        value: ScalarExpr,
+        /// Label of the nested set.
+        label: String,
+        /// ν* NULL-elision flag.
+        star: bool,
+    },
+    /// Unnest μ: for each row, iterate the set bound to `set_var`'s
+    /// expression and bind each element to `elem_var` (the inverse of ν).
+    Unnest {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Expression yielding the set to flatten (usually a variable).
+        expr: ScalarExpr,
+        /// Variable bound to each element.
+        elem_var: String,
+        /// If true, drop the variables listed here after unnesting.
+        drop_vars: Vec<String>,
+    },
+    /// Relational grouping with aggregates (GROUP BY) — used by the Kim and
+    /// Ganski–Wong baselines (Section 2).
+    GroupAgg {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Group-key expressions with output labels.
+        keys: Vec<(String, ScalarExpr)>,
+        /// Aggregates: output label, function, argument expression.
+        /// `Count` counts rows in the group regardless of its argument.
+        aggs: Vec<(String, AggFn, ScalarExpr)>,
+        /// Output variable holding the (keys ++ aggs) tuple.
+        var: String,
+    },
+    /// Correlated apply: for each input row, run `subquery` with the row's
+    /// variables in scope and bind the *set* of its results to `label`.
+    /// This is the direct semantics of a nested SFW expression — the
+    /// paper's "nested-loop processing" baseline — and the construct every
+    /// unnesting strategy tries to eliminate.
+    Apply {
+        /// Outer plan.
+        input: Box<Plan>,
+        /// Correlated inner plan.
+        subquery: Box<Plan>,
+        /// Label for the subquery result set.
+        label: String,
+    },
+    /// Set operation between two plans; rows are compared by their
+    /// [output value](Plan::row_output_value) and rebound to `var`.
+    SetOp {
+        /// Which operation.
+        kind: SetOpKind,
+        /// Left operand.
+        left: Box<Plan>,
+        /// Right operand.
+        right: Box<Plan>,
+        /// Output variable.
+        var: String,
+    },
+}
+
+impl Plan {
+    /// Scan builder.
+    pub fn scan(table: impl Into<String>, var: impl Into<String>) -> Plan {
+        Plan::ScanTable { table: table.into(), var: var.into() }
+    }
+
+    /// Selection builder.
+    pub fn select(self, pred: ScalarExpr) -> Plan {
+        Plan::Select { input: Box::new(self), pred }
+    }
+
+    /// Map builder.
+    pub fn map(self, expr: ScalarExpr, var: impl Into<String>) -> Plan {
+        Plan::Map { input: Box::new(self), expr, var: var.into() }
+    }
+
+    /// Extend builder.
+    pub fn extend(self, expr: ScalarExpr, var: impl Into<String>) -> Plan {
+        Plan::Extend { input: Box::new(self), expr, var: var.into() }
+    }
+
+    /// Project builder.
+    pub fn project(self, vars: &[&str]) -> Plan {
+        Plan::Project { input: Box::new(self), vars: vars.iter().map(|s| s.to_string()).collect() }
+    }
+
+    /// Join builder.
+    pub fn join(self, right: Plan, pred: ScalarExpr) -> Plan {
+        Plan::Join { left: Box::new(self), right: Box::new(right), pred }
+    }
+
+    /// Semijoin builder.
+    pub fn semi_join(self, right: Plan, pred: ScalarExpr) -> Plan {
+        Plan::SemiJoin { left: Box::new(self), right: Box::new(right), pred }
+    }
+
+    /// Antijoin builder.
+    pub fn anti_join(self, right: Plan, pred: ScalarExpr) -> Plan {
+        Plan::AntiJoin { left: Box::new(self), right: Box::new(right), pred }
+    }
+
+    /// Nest join builder.
+    pub fn nest_join(
+        self,
+        right: Plan,
+        pred: ScalarExpr,
+        func: ScalarExpr,
+        label: impl Into<String>,
+    ) -> Plan {
+        Plan::NestJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+            func,
+            label: label.into(),
+        }
+    }
+
+    /// Apply builder.
+    pub fn apply(self, subquery: Plan, label: impl Into<String>) -> Plan {
+        Plan::Apply { input: Box::new(self), subquery: Box::new(subquery), label: label.into() }
+    }
+
+    /// The variables bound in this plan's output rows, in order.
+    pub fn output_vars(&self) -> Vec<String> {
+        match self {
+            Plan::ScanTable { var, .. } | Plan::ScanExpr { var, .. } => vec![var.clone()],
+            Plan::Select { input, .. } => input.output_vars(),
+            Plan::Map { var, .. } => vec![var.clone()],
+            Plan::Extend { input, var, .. } => {
+                let mut v = input.output_vars();
+                v.push(var.clone());
+                v
+            }
+            Plan::Project { vars, .. } => vars.clone(),
+            Plan::Join { left, right, .. } | Plan::LeftOuterJoin { left, right, .. } => {
+                let mut v = left.output_vars();
+                v.extend(right.output_vars());
+                v
+            }
+            Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => left.output_vars(),
+            Plan::NestJoin { left, label, .. } => {
+                let mut v = left.output_vars();
+                v.push(label.clone());
+                v
+            }
+            Plan::Nest { keys, label, .. } => {
+                let mut v = keys.clone();
+                v.push(label.clone());
+                v
+            }
+            Plan::Unnest { input, elem_var, drop_vars, .. } => {
+                let mut v: Vec<String> =
+                    input.output_vars().into_iter().filter(|x| !drop_vars.contains(x)).collect();
+                v.push(elem_var.clone());
+                v
+            }
+            Plan::GroupAgg { var, .. } => vec![var.clone()],
+            Plan::Apply { input, label, .. } => {
+                let mut v = input.output_vars();
+                v.push(label.clone());
+                v
+            }
+            Plan::SetOp { var, .. } => vec![var.clone()],
+        }
+    }
+
+    /// The value a row denotes when the plan is used as a set expression
+    /// (subquery result, set operand, final query result): single-variable
+    /// rows unwrap to the bound value; multi-variable rows stay a tuple of
+    /// bindings.
+    pub fn row_output_value(row: &Record) -> Value {
+        if row.len() == 1 {
+            row.values().next().expect("len checked").clone()
+        } else {
+            Value::Tuple(row.clone())
+        }
+    }
+
+    /// Immutable child plans, left to right.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::ScanTable { .. } | Plan::ScanExpr { .. } => vec![],
+            Plan::Select { input, .. }
+            | Plan::Map { input, .. }
+            | Plan::Extend { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Nest { input, .. }
+            | Plan::Unnest { input, .. }
+            | Plan::GroupAgg { input, .. } => vec![input],
+            Plan::Join { left, right, .. }
+            | Plan::SemiJoin { left, right, .. }
+            | Plan::AntiJoin { left, right, .. }
+            | Plan::LeftOuterJoin { left, right, .. }
+            | Plan::NestJoin { left, right, .. }
+            | Plan::SetOp { left, right, .. } => vec![left, right],
+            Plan::Apply { input, subquery, .. } => vec![input, subquery],
+        }
+    }
+
+    /// Operator name for explain output.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Plan::ScanTable { .. } => "ScanTable",
+            Plan::ScanExpr { .. } => "ScanExpr",
+            Plan::Select { .. } => "Select",
+            Plan::Map { .. } => "Map",
+            Plan::Extend { .. } => "Extend",
+            Plan::Project { .. } => "Project",
+            Plan::Join { .. } => "Join",
+            Plan::SemiJoin { .. } => "SemiJoin",
+            Plan::AntiJoin { .. } => "AntiJoin",
+            Plan::LeftOuterJoin { .. } => "LeftOuterJoin",
+            Plan::NestJoin { .. } => "NestJoin",
+            Plan::Nest { .. } => "Nest",
+            Plan::Unnest { .. } => "Unnest",
+            Plan::GroupAgg { .. } => "GroupAgg",
+            Plan::Apply { .. } => "Apply",
+            Plan::SetOp { .. } => "SetOp",
+        }
+    }
+
+    /// Number of operators in the plan tree.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// True iff any node satisfies the predicate.
+    pub fn any_node(&self, pred: &mut impl FnMut(&Plan) -> bool) -> bool {
+        if pred(self) {
+            return true;
+        }
+        self.children().into_iter().any(|c| c.any_node(pred))
+    }
+
+    /// Count nodes satisfying a predicate.
+    pub fn count_nodes(&self, pred: &mut impl FnMut(&Plan) -> bool) -> usize {
+        let own = usize::from(pred(self));
+        own + self.children().into_iter().map(|c| c.count_nodes(pred)).sum::<usize>()
+    }
+
+    /// Free variables of the plan: variables referenced by any expression
+    /// in the tree that are not bound anywhere within the tree itself
+    /// (scan/iteration variables, labels, quantifier variables). A plan
+    /// with free variables is **correlated** — it can only run under an
+    /// [`Plan::Apply`] that supplies those bindings; a closed plan can be
+    /// decorrelated into a join (the precondition of every unnesting
+    /// strategy).
+    pub fn free_vars(&self) -> std::collections::BTreeSet<String> {
+        let mut referenced = std::collections::BTreeSet::new();
+        let mut bound = std::collections::BTreeSet::new();
+        self.collect_vars(&mut referenced, &mut bound);
+        referenced.difference(&bound).cloned().collect()
+    }
+
+    fn collect_vars(
+        &self,
+        referenced: &mut std::collections::BTreeSet<String>,
+        bound: &mut std::collections::BTreeSet<String>,
+    ) {
+        let add_expr = |e: &ScalarExpr, referenced: &mut std::collections::BTreeSet<String>| {
+            referenced.extend(e.free_vars());
+        };
+        match self {
+            Plan::ScanTable { var, .. } => {
+                bound.insert(var.clone());
+            }
+            Plan::ScanExpr { expr, var } => {
+                add_expr(expr, referenced);
+                bound.insert(var.clone());
+            }
+            Plan::Select { pred, .. } => add_expr(pred, referenced),
+            Plan::Map { expr, var, .. } | Plan::Extend { expr, var, .. } => {
+                add_expr(expr, referenced);
+                bound.insert(var.clone());
+            }
+            Plan::Project { vars, .. } => referenced.extend(vars.iter().cloned()),
+            Plan::Join { pred, .. }
+            | Plan::SemiJoin { pred, .. }
+            | Plan::AntiJoin { pred, .. }
+            | Plan::LeftOuterJoin { pred, .. } => add_expr(pred, referenced),
+            Plan::NestJoin { pred, func, label, .. } => {
+                add_expr(pred, referenced);
+                add_expr(func, referenced);
+                bound.insert(label.clone());
+            }
+            Plan::Nest { keys, value, label, .. } => {
+                referenced.extend(keys.iter().cloned());
+                add_expr(value, referenced);
+                bound.insert(label.clone());
+            }
+            Plan::Unnest { expr, elem_var, .. } => {
+                add_expr(expr, referenced);
+                bound.insert(elem_var.clone());
+            }
+            Plan::GroupAgg { keys, aggs, var, .. } => {
+                for (_, e) in keys {
+                    add_expr(e, referenced);
+                }
+                for (_, _, e) in aggs {
+                    add_expr(e, referenced);
+                }
+                bound.insert(var.clone());
+            }
+            Plan::Apply { label, .. } => {
+                bound.insert(label.clone());
+            }
+            Plan::SetOp { var, .. } => {
+                bound.insert(var.clone());
+            }
+        }
+        for c in self.children() {
+            c.collect_vars(referenced, bound);
+        }
+    }
+
+    /// True iff the plan still contains a correlated [`Plan::Apply`] —
+    /// i.e. unnesting has not (fully) happened.
+    pub fn has_apply(&self) -> bool {
+        self.any_node(&mut |p| matches!(p, Plan::Apply { .. }))
+    }
+
+    /// True iff the plan contains a nest join.
+    pub fn has_nest_join(&self) -> bool {
+        self.any_node(&mut |p| matches!(p, Plan::NestJoin { .. }))
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::pretty::explain(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::ScalarExpr as E;
+
+    fn sample() -> Plan {
+        Plan::scan("X", "x")
+            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+            .map(E::var("x"), "out")
+    }
+
+    #[test]
+    fn output_vars_compose() {
+        let j = Plan::scan("X", "x").join(Plan::scan("Y", "y"), E::lit(true));
+        assert_eq!(j.output_vars(), vec!["x", "y"]);
+        assert_eq!(sample().output_vars(), vec!["out"]);
+        let nj = Plan::scan("X", "x").nest_join(Plan::scan("Y", "y"), E::lit(true), E::var("y"), "ys");
+        assert_eq!(nj.output_vars(), vec!["x", "ys"]);
+        let semi = Plan::scan("X", "x").semi_join(Plan::scan("Y", "y"), E::lit(true));
+        assert_eq!(semi.output_vars(), vec!["x"]);
+    }
+
+    #[test]
+    fn unnest_output_vars_drop() {
+        let u = Plan::Unnest {
+            input: Box::new(Plan::scan("X", "x").apply(Plan::scan("Y", "y"), "zs")),
+            expr: E::var("zs"),
+            elem_var: "z".into(),
+            drop_vars: vec!["zs".into()],
+        };
+        assert_eq!(u.output_vars(), vec!["x", "z"]);
+    }
+
+    #[test]
+    fn row_output_value_unwraps_singletons() {
+        let mut r = Record::empty();
+        r.push("x", Value::Int(1)).unwrap();
+        assert_eq!(Plan::row_output_value(&r), Value::Int(1));
+        r.push("y", Value::Int(2)).unwrap();
+        assert_eq!(Plan::row_output_value(&r), Value::Tuple(r.clone()));
+    }
+
+    #[test]
+    fn free_vars_detect_correlation() {
+        // Subquery SELECT y.c FROM Y y WHERE x.b = y.b: `x` is free.
+        let sub = Plan::scan("Y", "y")
+            .select(E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+            .map(E::path("y", &["c"]), "v");
+        let fv = sub.free_vars();
+        assert_eq!(fv.into_iter().collect::<Vec<_>>(), vec!["x".to_string()]);
+        // The full Apply is closed.
+        let full = Plan::scan("X", "x").apply(
+            Plan::scan("Y", "y")
+                .select(E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+                .map(E::path("y", &["c"]), "v"),
+            "z",
+        );
+        assert!(full.free_vars().is_empty());
+    }
+
+    #[test]
+    fn scan_expr_over_attribute_is_correlated() {
+        // FROM d.emps e — references outer d.
+        let p = Plan::ScanExpr { expr: E::path("d", &["emps"]), var: "e".into() };
+        assert!(p.free_vars().contains("d"));
+    }
+
+    #[test]
+    fn tree_queries() {
+        let p = sample();
+        assert_eq!(p.size(), 4);
+        assert!(!p.has_apply());
+        let a = Plan::scan("X", "x").apply(Plan::scan("Y", "y"), "z");
+        assert!(a.has_apply());
+        assert_eq!(a.count_nodes(&mut |n| matches!(n, Plan::ScanTable { .. })), 2);
+    }
+}

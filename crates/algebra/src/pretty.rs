@@ -1,0 +1,137 @@
+//! `EXPLAIN`-style rendering of logical plans.
+
+use std::fmt::Write as _;
+
+use crate::plan::{Plan, SetOpKind};
+
+/// Render a plan as an indented operator tree, one operator per line, using
+/// the paper's operator symbols where they exist (⋈ ⋉ ▷ ⟕ Δ ν μ σ π).
+pub fn explain(plan: &Plan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn render(plan: &Plan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match plan {
+        Plan::ScanTable { table, var } => {
+            let _ = writeln!(out, "{pad}Scan {table} {var}");
+        }
+        Plan::ScanExpr { expr, var } => {
+            let _ = writeln!(out, "{pad}ScanExpr {expr} {var}");
+        }
+        Plan::Select { input, pred } => {
+            let _ = writeln!(out, "{pad}σ [{pred}]");
+            render(input, depth + 1, out);
+        }
+        Plan::Map { input, expr, var } => {
+            let _ = writeln!(out, "{pad}Map [{var} := {expr}]");
+            render(input, depth + 1, out);
+        }
+        Plan::Extend { input, expr, var } => {
+            let _ = writeln!(out, "{pad}Extend [{var} := {expr}]");
+            render(input, depth + 1, out);
+        }
+        Plan::Project { input, vars } => {
+            let _ = writeln!(out, "{pad}π [{}]", vars.join(", "));
+            render(input, depth + 1, out);
+        }
+        Plan::Join { left, right, pred } => {
+            let _ = writeln!(out, "{pad}⋈ [{pred}]");
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        Plan::SemiJoin { left, right, pred } => {
+            let _ = writeln!(out, "{pad}⋉ semijoin [{pred}]");
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        Plan::AntiJoin { left, right, pred } => {
+            let _ = writeln!(out, "{pad}▷ antijoin [{pred}]");
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        Plan::LeftOuterJoin { left, right, pred } => {
+            let _ = writeln!(out, "{pad}⟕ outerjoin [{pred}]");
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        Plan::NestJoin { left, right, pred, func, label } => {
+            let _ = writeln!(out, "{pad}Δ nestjoin [{pred}; {label} := {{{func}}}]");
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        Plan::Nest { input, keys, value, label, star } => {
+            let star_s = if *star { "ν*" } else { "ν" };
+            let _ = writeln!(out, "{pad}{star_s} [by {}; {label} := {{{value}}}]", keys.join(", "));
+            render(input, depth + 1, out);
+        }
+        Plan::Unnest { input, expr, elem_var, drop_vars } => {
+            let drop = if drop_vars.is_empty() {
+                String::new()
+            } else {
+                format!("; drop {}", drop_vars.join(", "))
+            };
+            let _ = writeln!(out, "{pad}μ [{elem_var} ∈ {expr}{drop}]");
+            render(input, depth + 1, out);
+        }
+        Plan::GroupAgg { input, keys, aggs, var } => {
+            let ks: Vec<String> = keys.iter().map(|(l, e)| format!("{l} := {e}")).collect();
+            let ags: Vec<String> =
+                aggs.iter().map(|(l, f, e)| format!("{l} := {f}({e})")).collect();
+            let _ = writeln!(out, "{pad}γ [{var}: by {}; {}]", ks.join(", "), ags.join(", "));
+            render(input, depth + 1, out);
+        }
+        Plan::Apply { input, subquery, label } => {
+            let _ = writeln!(out, "{pad}Apply [{label} := subquery]");
+            render(input, depth + 1, out);
+            render(subquery, depth + 1, out);
+        }
+        Plan::SetOp { kind, left, right, var } => {
+            let sym = match kind {
+                SetOpKind::Union => "∪",
+                SetOpKind::Intersect => "∩",
+                SetOpKind::Except => "\\",
+            };
+            let _ = writeln!(out, "{pad}{sym} [{var}]");
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::ScalarExpr as E;
+
+    #[test]
+    fn explain_shows_structure() {
+        let p = Plan::scan("X", "x")
+            .nest_join(
+                Plan::scan("Y", "y"),
+                E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+                E::path("y", &["a"]),
+                "ys",
+            )
+            .select(E::set_cmp(
+                crate::scalar::SetCmpOp::SubsetEq,
+                E::path("x", &["a"]),
+                E::var("ys"),
+            ));
+        let s = explain(&p);
+        assert!(s.contains("Δ nestjoin"), "{s}");
+        assert!(s.contains("σ"), "{s}");
+        assert!(s.contains("Scan X x"), "{s}");
+        // Indentation: scans one level under the nest join.
+        assert!(s.lines().any(|l| l.starts_with("    Scan X x")), "{s}");
+    }
+
+    #[test]
+    fn explain_apply() {
+        let p = Plan::scan("X", "x").apply(Plan::scan("Y", "y"), "z");
+        let s = explain(&p);
+        assert!(s.starts_with("Apply [z := subquery]"), "{s}");
+    }
+}

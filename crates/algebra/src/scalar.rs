@@ -1,0 +1,550 @@
+//! The scalar expression language used inside algebra operators.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use tmql_model::Value;
+
+/// Comparison operators on atomic values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with operand sides swapped (`a < b` ⟷ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Logical negation (`<` ⟷ `≥`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Binary set-to-set operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetBinOp {
+    /// `∪`
+    Union,
+    /// `∩`
+    Intersect,
+    /// `\`
+    Difference,
+}
+
+/// Set comparison predicates — the forms of Section 4.1 / Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetCmpOp {
+    /// `a ∈ s`
+    In,
+    /// `a ∉ s`
+    NotIn,
+    /// `a ⊆ s`
+    SubsetEq,
+    /// `a ⊂ s`
+    Subset,
+    /// `a ⊇ s`
+    SupersetEq,
+    /// `a ⊃ s`
+    Superset,
+    /// `a = s` (set equality)
+    SetEq,
+    /// `a ≠ s`
+    SetNe,
+    /// `a ∩ s = ∅`
+    Disjoint,
+    /// `a ∩ s ≠ ∅`
+    Intersects,
+}
+
+/// Aggregate functions `H` in predicates `x.a OP H(z)` (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFn {
+    /// Cardinality; total even on ∅ — the root of the COUNT bug.
+    Count,
+    /// Sum (0 on ∅).
+    Sum,
+    /// Minimum (undefined on ∅).
+    Min,
+    /// Maximum (undefined on ∅).
+    Max,
+    /// Average (undefined on ∅).
+    Avg,
+}
+
+impl fmt::Display for AggFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFn::Count => "COUNT",
+            AggFn::Sum => "SUM",
+            AggFn::Min => "MIN",
+            AggFn::Max => "MAX",
+            AggFn::Avg => "AVG",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Bounded quantifiers over set values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantifier {
+    /// `∃ v ∈ s (p)`
+    Exists,
+    /// `∀ v ∈ s (p)`
+    Forall,
+}
+
+/// A scalar expression evaluated against an environment of variable
+/// bindings. Predicates are scalar expressions of boolean type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Literal value.
+    Lit(Value),
+    /// Variable reference (an iteration variable such as `x`).
+    Var(String),
+    /// Tuple field access `e.label`.
+    Field(Box<ScalarExpr>, String),
+    /// Comparison of atomic values.
+    Cmp(CmpOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Conjunction.
+    And(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Disjunction.
+    Or(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Negation.
+    Not(Box<ScalarExpr>),
+    /// Binary set operator (∪ ∩ \).
+    SetBin(SetBinOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Set comparison predicate (∈ ⊆ …).
+    SetCmp(SetCmpOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Aggregate application `H(s)`.
+    Agg(AggFn, Box<ScalarExpr>),
+    /// Tuple construction `(a = e1, b = e2)`.
+    Tuple(Vec<(String, ScalarExpr)>),
+    /// Set construction `{e1, e2, …}` (duplicates collapse).
+    SetLit(Vec<ScalarExpr>),
+    /// Bounded quantifier `Q v ∈ s (p)`; binds `v` inside `p`.
+    Quant {
+        /// ∃ or ∀.
+        q: Quantifier,
+        /// Bound variable.
+        var: String,
+        /// Set expression ranged over.
+        over: Box<ScalarExpr>,
+        /// Body predicate.
+        pred: Box<ScalarExpr>,
+    },
+    /// `UNNEST(s)`: collapse a set of sets (Section 5).
+    Unnest(Box<ScalarExpr>),
+    /// `IS NULL` test — for the relational (Ganski–Wong) baseline only.
+    IsNull(Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Variable reference.
+    pub fn var(name: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Var(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Lit(v.into())
+    }
+
+    /// Dotted path `var.f1.f2…`.
+    pub fn path(var: impl Into<String>, fields: &[&str]) -> ScalarExpr {
+        let mut e = ScalarExpr::var(var);
+        for f in fields {
+            e = ScalarExpr::Field(Box::new(e), f.to_string());
+        }
+        e
+    }
+
+    /// Field access.
+    pub fn field(self, label: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Field(Box::new(self), label.into())
+    }
+
+    /// Comparison builder.
+    pub fn cmp(op: CmpOp, lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Cmp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Equality shorthand.
+    pub fn eq(lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        Self::cmp(CmpOp::Eq, lhs, rhs)
+    }
+
+    /// Conjunction shorthand.
+    pub fn and(lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::And(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Disjunction shorthand.
+    pub fn or(lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Or(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Negation shorthand.
+    #[allow(clippy::should_implement_trait)] // domain term, takes by value
+    pub fn not(e: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Not(Box::new(e))
+    }
+
+    /// Set-comparison builder.
+    pub fn set_cmp(op: SetCmpOp, lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::SetCmp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Aggregate builder.
+    pub fn agg(f: AggFn, e: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Agg(f, Box::new(e))
+    }
+
+    /// Quantifier builder.
+    pub fn quant(
+        q: Quantifier,
+        var: impl Into<String>,
+        over: ScalarExpr,
+        pred: ScalarExpr,
+    ) -> ScalarExpr {
+        ScalarExpr::Quant { q, var: var.into(), over: Box::new(over), pred: Box::new(pred) }
+    }
+
+    /// Conjunction of many terms (`true` for the empty list).
+    pub fn conj(terms: impl IntoIterator<Item = ScalarExpr>) -> ScalarExpr {
+        let mut it = terms.into_iter();
+        match it.next() {
+            None => ScalarExpr::Lit(Value::Bool(true)),
+            Some(first) => it.fold(first, ScalarExpr::and),
+        }
+    }
+
+    /// Free variables: variables referenced but not bound by an enclosing
+    /// quantifier. This is the analysis that detects correlated subqueries
+    /// ("subqueries in which free variables occur", Section 3.2).
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<String>, out: &mut BTreeSet<String>) {
+        match self {
+            ScalarExpr::Lit(_) => {}
+            ScalarExpr::Var(v) => {
+                if !bound.contains(v) {
+                    out.insert(v.clone());
+                }
+            }
+            ScalarExpr::Field(e, _)
+            | ScalarExpr::Not(e)
+            | ScalarExpr::Agg(_, e)
+            | ScalarExpr::Unnest(e)
+            | ScalarExpr::IsNull(e) => e.collect_free(bound, out),
+            ScalarExpr::Cmp(_, a, b)
+            | ScalarExpr::Arith(_, a, b)
+            | ScalarExpr::And(a, b)
+            | ScalarExpr::Or(a, b)
+            | ScalarExpr::SetBin(_, a, b)
+            | ScalarExpr::SetCmp(_, a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            ScalarExpr::Tuple(fs) => {
+                for (_, e) in fs {
+                    e.collect_free(bound, out);
+                }
+            }
+            ScalarExpr::SetLit(es) => {
+                for e in es {
+                    e.collect_free(bound, out);
+                }
+            }
+            ScalarExpr::Quant { var, over, pred, .. } => {
+                over.collect_free(bound, out);
+                let fresh = bound.insert(var.clone());
+                pred.collect_free(bound, out);
+                if fresh {
+                    bound.remove(var);
+                }
+            }
+        }
+    }
+
+    /// True iff `var` occurs free in the expression.
+    pub fn mentions(&self, var: &str) -> bool {
+        self.free_vars().contains(var)
+    }
+
+    /// Substitute every free occurrence of variable `var` by `replacement`.
+    /// Quantifier bindings shadow as expected.
+    pub fn substitute(&self, var: &str, replacement: &ScalarExpr) -> ScalarExpr {
+        match self {
+            ScalarExpr::Lit(_) => self.clone(),
+            ScalarExpr::Var(v) => {
+                if v == var {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            ScalarExpr::Field(e, l) => {
+                ScalarExpr::Field(Box::new(e.substitute(var, replacement)), l.clone())
+            }
+            ScalarExpr::Not(e) => ScalarExpr::not(e.substitute(var, replacement)),
+            ScalarExpr::Agg(f, e) => ScalarExpr::agg(*f, e.substitute(var, replacement)),
+            ScalarExpr::Unnest(e) => {
+                ScalarExpr::Unnest(Box::new(e.substitute(var, replacement)))
+            }
+            ScalarExpr::IsNull(e) => {
+                ScalarExpr::IsNull(Box::new(e.substitute(var, replacement)))
+            }
+            ScalarExpr::Cmp(op, a, b) => ScalarExpr::cmp(
+                *op,
+                a.substitute(var, replacement),
+                b.substitute(var, replacement),
+            ),
+            ScalarExpr::Arith(op, a, b) => ScalarExpr::Arith(
+                *op,
+                Box::new(a.substitute(var, replacement)),
+                Box::new(b.substitute(var, replacement)),
+            ),
+            ScalarExpr::And(a, b) => {
+                ScalarExpr::and(a.substitute(var, replacement), b.substitute(var, replacement))
+            }
+            ScalarExpr::Or(a, b) => {
+                ScalarExpr::or(a.substitute(var, replacement), b.substitute(var, replacement))
+            }
+            ScalarExpr::SetBin(op, a, b) => ScalarExpr::SetBin(
+                *op,
+                Box::new(a.substitute(var, replacement)),
+                Box::new(b.substitute(var, replacement)),
+            ),
+            ScalarExpr::SetCmp(op, a, b) => ScalarExpr::set_cmp(
+                *op,
+                a.substitute(var, replacement),
+                b.substitute(var, replacement),
+            ),
+            ScalarExpr::Tuple(fs) => ScalarExpr::Tuple(
+                fs.iter().map(|(l, e)| (l.clone(), e.substitute(var, replacement))).collect(),
+            ),
+            ScalarExpr::SetLit(es) => {
+                ScalarExpr::SetLit(es.iter().map(|e| e.substitute(var, replacement)).collect())
+            }
+            ScalarExpr::Quant { q, var: bv, over, pred } => {
+                let over2 = over.substitute(var, replacement);
+                let pred2 = if bv == var { (**pred).clone() } else { pred.substitute(var, replacement) };
+                ScalarExpr::quant(*q, bv.clone(), over2, pred2)
+            }
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for SetCmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SetCmpOp::In => "∈",
+            SetCmpOp::NotIn => "∉",
+            SetCmpOp::SubsetEq => "⊆",
+            SetCmpOp::Subset => "⊂",
+            SetCmpOp::SupersetEq => "⊇",
+            SetCmpOp::Superset => "⊃",
+            SetCmpOp::SetEq => "=",
+            SetCmpOp::SetNe => "≠",
+            SetCmpOp::Disjoint => "∩=∅",
+            SetCmpOp::Intersects => "∩≠∅",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Lit(v) => write!(f, "{v}"),
+            ScalarExpr::Var(v) => write!(f, "{v}"),
+            ScalarExpr::Field(e, l) => write!(f, "{e}.{l}"),
+            ScalarExpr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            ScalarExpr::Arith(op, a, b) => {
+                let s = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({a} {s} {b})")
+            }
+            ScalarExpr::And(a, b) => write!(f, "({a} ∧ {b})"),
+            ScalarExpr::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            ScalarExpr::Not(e) => write!(f, "¬{e}"),
+            ScalarExpr::SetBin(op, a, b) => {
+                let s = match op {
+                    SetBinOp::Union => "∪",
+                    SetBinOp::Intersect => "∩",
+                    SetBinOp::Difference => "\\",
+                };
+                write!(f, "({a} {s} {b})")
+            }
+            ScalarExpr::SetCmp(op, a, b) => match op {
+                SetCmpOp::Disjoint => write!(f, "({a} ∩ {b} = ∅)"),
+                SetCmpOp::Intersects => write!(f, "({a} ∩ {b} ≠ ∅)"),
+                _ => write!(f, "({a} {op} {b})"),
+            },
+            ScalarExpr::Agg(fun, e) => write!(f, "{fun}({e})"),
+            ScalarExpr::Tuple(fs) => {
+                write!(f, "(")?;
+                for (i, (l, e)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l} = {e}")?;
+                }
+                write!(f, ")")
+            }
+            ScalarExpr::SetLit(es) => {
+                write!(f, "{{")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")
+            }
+            ScalarExpr::Quant { q, var, over, pred } => {
+                let s = match q {
+                    Quantifier::Exists => "∃",
+                    Quantifier::Forall => "∀",
+                };
+                write!(f, "{s}{var} ∈ {over} ({pred})")
+            }
+            ScalarExpr::Unnest(e) => write!(f, "UNNEST({e})"),
+            ScalarExpr::IsNull(e) => write!(f, "({e} IS NULL)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_respect_quantifier_binding() {
+        // ∃v ∈ z (v = x.a): free = {z, x}
+        let e = ScalarExpr::quant(
+            Quantifier::Exists,
+            "v",
+            ScalarExpr::var("z"),
+            ScalarExpr::eq(ScalarExpr::var("v"), ScalarExpr::path("x", &["a"])),
+        );
+        let fv = e.free_vars();
+        assert_eq!(fv.into_iter().collect::<Vec<_>>(), vec!["x".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn shadowed_var_stays_bound() {
+        // ∃x ∈ s (x = 1) — x is bound, s free.
+        let e = ScalarExpr::quant(
+            Quantifier::Exists,
+            "x",
+            ScalarExpr::var("s"),
+            ScalarExpr::eq(ScalarExpr::var("x"), ScalarExpr::lit(1i64)),
+        );
+        assert!(!e.mentions("x"));
+        assert!(e.mentions("s"));
+    }
+
+    #[test]
+    fn substitute_respects_shadowing() {
+        let e = ScalarExpr::quant(
+            Quantifier::Exists,
+            "v",
+            ScalarExpr::var("z"),
+            ScalarExpr::eq(ScalarExpr::var("v"), ScalarExpr::var("w")),
+        );
+        let sub = e.substitute("w", &ScalarExpr::lit(7i64));
+        assert!(!sub.mentions("w"));
+        // Substituting the bound name is a no-op inside the body.
+        let sub2 = e.substitute("v", &ScalarExpr::lit(7i64));
+        assert_eq!(sub2, e);
+    }
+
+    #[test]
+    fn cmp_op_algebra() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn conj_of_empty_is_true() {
+        assert_eq!(ScalarExpr::conj([]), ScalarExpr::Lit(Value::Bool(true)));
+    }
+
+    #[test]
+    fn display_paper_predicate() {
+        // x.a ⊆ z prints recognizably.
+        let e = ScalarExpr::set_cmp(
+            SetCmpOp::SubsetEq,
+            ScalarExpr::path("x", &["a"]),
+            ScalarExpr::var("z"),
+        );
+        assert_eq!(e.to_string(), "(x.a ⊆ z)");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the plan-rewriting framework: `with_children` /
+//! `take_children` must round-trip arbitrary plans, transforms must
+//! preserve node counts when the callback is the identity, and
+//! `output_vars` / `free_vars` must be stable under identity rewriting.
+
+use proptest::prelude::*;
+use tmql_algebra::rewrite::{take_children, transform_down, transform_up, with_children};
+use tmql_algebra::{Plan, ScalarExpr as E};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-c]".prop_map(|s| format!("v{s}"))
+}
+
+fn arb_scalar() -> impl Strategy<Value = E> {
+    prop_oneof![
+        (0i64..10).prop_map(E::lit),
+        ident().prop_map(E::var),
+        (ident(), "[a-c]").prop_map(|(v, f)| E::path(v, &[f.as_str()])),
+        (ident(), ident()).prop_map(|(a, b)| E::eq(E::var(a), E::var(b))),
+    ]
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    let leaf = prop_oneof![
+        ("[A-C]", ident()).prop_map(|(t, v)| Plan::scan(t, v)),
+        (arb_scalar(), ident()).prop_map(|(e, v)| Plan::ScanExpr { expr: e, var: v }),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_scalar()).prop_map(|(p, e)| p.select(e)),
+            (inner.clone(), arb_scalar(), ident()).prop_map(|(p, e, v)| p.map(e, v)),
+            (inner.clone(), inner.clone(), arb_scalar())
+                .prop_map(|(l, r, e)| l.join(r, e)),
+            (inner.clone(), inner.clone(), arb_scalar())
+                .prop_map(|(l, r, e)| l.semi_join(r, e)),
+            (inner.clone(), inner.clone(), arb_scalar(), arb_scalar(), ident())
+                .prop_map(|(l, r, p, g, lbl)| l.nest_join(r, p, g, lbl)),
+            (inner.clone(), inner.clone(), ident())
+                .prop_map(|(l, r, lbl)| l.apply(r, lbl)),
+            (inner.clone(), prop::collection::vec(ident(), 0..2), arb_scalar(), ident())
+                .prop_map(|(p, keys, v, lbl)| Plan::Nest {
+                    input: Box::new(p),
+                    keys,
+                    value: v,
+                    label: lbl,
+                    star: false,
+                }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn with_children_round_trips(p in arb_plan()) {
+        let rebuilt = with_children(p.clone(), take_children(&p));
+        prop_assert_eq!(rebuilt, p);
+    }
+
+    #[test]
+    fn identity_transforms_are_identity(p in arb_plan()) {
+        let up = transform_up(p.clone(), &mut |n| n);
+        prop_assert_eq!(&up, &p);
+        let down = transform_down(p.clone(), &mut |n| n);
+        prop_assert_eq!(&down, &p);
+    }
+
+    #[test]
+    fn size_matches_children_recursion(p in arb_plan()) {
+        fn count(p: &Plan) -> usize {
+            1 + p.children().iter().map(|c| count(c)).sum::<usize>()
+        }
+        prop_assert_eq!(p.size(), count(&p));
+    }
+
+    #[test]
+    fn output_vars_nonempty_and_stable(p in arb_plan()) {
+        let vars = p.output_vars();
+        prop_assert!(!vars.is_empty(), "every operator binds something");
+        let rebuilt = with_children(p.clone(), take_children(&p));
+        prop_assert_eq!(rebuilt.output_vars(), vars);
+    }
+
+    #[test]
+    fn free_vars_shrink_under_apply(l in arb_plan(), r in arb_plan(), lbl in ident()) {
+        // Wrapping r under Apply(l, r) can only *remove* free variables
+        // (those now supplied by l's bindings), never add new ones beyond
+        // l's own.
+        let fv_l = l.free_vars();
+        let fv_r = r.free_vars();
+        let applied = l.apply(r, lbl);
+        let fv = applied.free_vars();
+        for v in &fv {
+            prop_assert!(
+                fv_l.contains(v) || fv_r.contains(v),
+                "free var {} appeared from nowhere", v
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! B1 — flattening beats nested-loop processing (Sections 1–2).
+//!
+//! The membership query `x.n ∈ (SELECT y.a FROM Y y WHERE x.b = y.b)`
+//! under (a) nested-loop Apply (the query's direct semantics), (b) the
+//! flattened semijoin with a *forced nested-loop* implementation (what
+//! rewriting alone buys), and (c) the flattened semijoin with a hash
+//! implementation — "after transformation to a join query the optimizer
+//! can choose the most suitable join execution method".
+//!
+//! Expected shape: (a) quadratic, (b) quadratic but cheaper constants
+//! (semijoin short-circuits), (c) near-linear; crossover immediate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, JoinAlgo, QueryOptions, UnnestStrategy};
+use tmql_bench::{criterion, report_work, NL_CAP, SIZES};
+use tmql_workload::gen::{gen_xy, GenConfig};
+use tmql_workload::queries::MEMBERSHIP;
+
+fn configs() -> Vec<(&'static str, QueryOptions)> {
+    vec![
+        (
+            "apply-nested-loop",
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        ),
+        (
+            "semijoin-nested-loop",
+            QueryOptions::default()
+                .strategy(UnnestStrategy::Optimal)
+                .join_algo(JoinAlgo::NestedLoop),
+        ),
+        (
+            "semijoin-hash",
+            QueryOptions::default().strategy(UnnestStrategy::Optimal).join_algo(JoinAlgo::Hash),
+        ),
+        (
+            "semijoin-sort-merge",
+            QueryOptions::default()
+                .strategy(UnnestStrategy::Optimal)
+                .join_algo(JoinAlgo::SortMerge),
+        ),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b1_flatten_vs_apply");
+    for &n in &SIZES {
+        let db = Database::from_catalog(gen_xy(&GenConfig::sized(n)));
+        for (label, opts) in configs() {
+            if label.contains("nested-loop") && n > NL_CAP {
+                continue;
+            }
+            report_work(&format!("b1/{label}/{n}"), &db, MEMBERSHIP, opts);
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| db.query_with(MEMBERSHIP, opts).expect("runs").len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! B2 — the nest join vs. the relational repair (Sections 2 and 6).
+//!
+//! The COUNT-bug query under (a) Ganski–Wong: outerjoin ⟕ then ν*
+//! grouping over NULL payloads (two passes, materializes the full
+//! outerjoin), and (b) the paper's nest join Δ: grouping *during* the
+//! join, one pass, no NULLs. Both are correct; the nest join should win
+//! modestly at every scale and dangling fraction (it also wins on memory,
+//! which the work counters show as emitted rows).
+//!
+//! Also includes the nested-loop baseline at small scale, and a dangling
+//! fraction sweep at fixed size — the more dangling tuples, the more
+//! NULL-extended rows Ganski–Wong manufactures and then discards.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, QueryOptions, UnnestStrategy};
+use tmql_bench::{criterion, report_work, NL_CAP, SIZES};
+use tmql_workload::gen::{gen_rs, GenConfig};
+use tmql_workload::queries::COUNT_BUG;
+
+fn strategies() -> Vec<(&'static str, UnnestStrategy)> {
+    vec![
+        ("nested-loop", UnnestStrategy::NestedLoop),
+        ("ganski-wong", UnnestStrategy::GanskiWong),
+        ("nest-join", UnnestStrategy::NestJoin),
+    ]
+}
+
+fn bench_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b2_size_sweep");
+    for &n in &SIZES {
+        let cfg = GenConfig {
+            outer: n,
+            inner: n,
+            dangling_fraction: 0.25,
+            ..GenConfig::default()
+        };
+        let db = Database::from_catalog(gen_rs(&cfg));
+        for (label, strat) in strategies() {
+            if strat == UnnestStrategy::NestedLoop && n > NL_CAP {
+                continue;
+            }
+            let opts = QueryOptions::default().strategy(strat);
+            report_work(&format!("b2/{label}/{n}"), &db, COUNT_BUG, opts);
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| db.query_with(COUNT_BUG, opts).expect("runs").len())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_dangling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b2_dangling_sweep");
+    for dangling in [0.0, 0.25, 0.5, 0.9] {
+        let cfg = GenConfig {
+            outer: 2048,
+            inner: 2048,
+            dangling_fraction: dangling,
+            ..GenConfig::default()
+        };
+        let db = Database::from_catalog(gen_rs(&cfg));
+        for (label, strat) in strategies() {
+            if strat == UnnestStrategy::NestedLoop {
+                continue;
+            }
+            let opts = QueryOptions::default().strategy(strat);
+            let pct = (dangling * 100.0) as u32;
+            report_work(&format!("b2/{label}/dangling{pct}"), &db, COUNT_BUG, opts);
+            g.bench_with_input(BenchmarkId::new(label, pct), &pct, |b, _| {
+                b.iter(|| db.query_with(COUNT_BUG, opts).expect("runs").len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench_sizes, bench_dangling
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! B3 — semijoin/antijoin replacement beats nest join + filter
+//! (Sections 7–8).
+//!
+//! For grouping-free predicates (`x.n ∈ z`, `x.n ∉ z`), the paper replaces
+//! the nest join by a flat join: "the semi- and antijoin can be
+//! implemented more efficiently than the nest (or regular) join operator".
+//! We run each query under FlattenSemiAnti (⋉/▷) and under a forced
+//! NestJoin-then-filter plan, plus the grouping-required `x.a ⊆ z` twin
+//! where only the nest join applies — locating the boundary that Theorem 1
+//! draws.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, QueryOptions, UnnestStrategy};
+use tmql_bench::{criterion, report_work, SIZES};
+use tmql_workload::gen::{gen_xy, GenConfig};
+use tmql_workload::queries::{MEMBERSHIP, NON_MEMBERSHIP, SUBSETEQ_BUG};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b3_semi_anti_vs_nestjoin");
+    let cases: [(&str, &str, &[UnnestStrategy]); 3] = [
+        (
+            "membership",
+            MEMBERSHIP,
+            &[UnnestStrategy::FlattenSemiAnti, UnnestStrategy::NestJoin],
+        ),
+        (
+            "non-membership",
+            NON_MEMBERSHIP,
+            &[UnnestStrategy::FlattenSemiAnti, UnnestStrategy::NestJoin],
+        ),
+        // ⊆ cannot flatten: nest join only (Theorem 1's boundary).
+        ("subseteq", SUBSETEQ_BUG, &[UnnestStrategy::NestJoin]),
+    ];
+    for &n in &SIZES {
+        let db = Database::from_catalog(gen_xy(&GenConfig::sized(n)));
+        for (case, src, strats) in &cases {
+            for strat in *strats {
+                let label = format!("{case}/{}", strat.name());
+                let opts = QueryOptions::default().strategy(*strat);
+                report_work(&format!("b3/{label}/{n}"), &db, src, opts);
+                g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                    b.iter(|| db.query_with(src, opts).expect("runs").len())
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench
+}
+criterion_main!(benches);

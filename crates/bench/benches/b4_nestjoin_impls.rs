@@ -1,0 +1,70 @@
+//! B4 — nest join implementations (Section 6, "Implementation").
+//!
+//! "To implement the nest join, common join implementation methods like
+//! the sort-merge join, or the hash join can be used." This bench compares
+//! the nested-loop, hash (build = right operand, the paper's restriction),
+//! and sort-merge nest joins on the SUBSETEQ query, across sizes and
+//! right-operand fan-out (rows per key).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, JoinAlgo, QueryOptions, UnnestStrategy};
+use tmql_bench::{criterion, report_work, NL_CAP, SIZES};
+use tmql_workload::gen::{gen_xy, GenConfig};
+use tmql_workload::queries::SUBSETEQ_BUG;
+
+const ALGOS: [(&str, JoinAlgo); 3] = [
+    ("nested-loop", JoinAlgo::NestedLoop),
+    ("hash", JoinAlgo::Hash),
+    ("sort-merge", JoinAlgo::SortMerge),
+];
+
+fn bench_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b4_size_sweep");
+    for &n in &SIZES {
+        let db = Database::from_catalog(gen_xy(&GenConfig::sized(n)));
+        for (label, algo) in ALGOS {
+            if algo == JoinAlgo::NestedLoop && n > NL_CAP {
+                continue;
+            }
+            let opts =
+                QueryOptions::default().strategy(UnnestStrategy::NestJoin).join_algo(algo);
+            report_work(&format!("b4/{label}/{n}"), &db, SUBSETEQ_BUG, opts);
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| db.query_with(SUBSETEQ_BUG, opts).expect("runs").len())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    // Fix |X| and sweep |Y| (average matches per probe row).
+    let mut g = c.benchmark_group("b4_fanout_sweep");
+    for fanout in [1usize, 4, 16, 64] {
+        let cfg = GenConfig {
+            outer: 1024,
+            inner: 1024 * fanout.min(16),
+            dangling_fraction: 0.25,
+            ..GenConfig::default()
+        };
+        let db = Database::from_catalog(gen_xy(&cfg));
+        for (label, algo) in ALGOS {
+            if algo == JoinAlgo::NestedLoop && fanout > 4 {
+                continue;
+            }
+            let opts =
+                QueryOptions::default().strategy(UnnestStrategy::NestJoin).join_algo(algo);
+            g.bench_with_input(BenchmarkId::new(label, fanout), &fanout, |b, _| {
+                b.iter(|| db.query_with(SUBSETEQ_BUG, opts).expect("runs").len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench_sizes, bench_fanout
+}
+criterion_main!(benches);

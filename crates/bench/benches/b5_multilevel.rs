@@ -1,0 +1,49 @@
+//! B5 — the Section 8 three-block pipeline at scale.
+//!
+//! The full strategies on the linear nested query (both the ⊆ version,
+//! which needs two nest joins, and the ∈/∉ version, which flattens to
+//! semijoin + antijoin). Expected shape: nested loop is cubic-ish and
+//! falls off the chart early; Optimal ≈ NestJoin on the ⊆ version; Optimal
+//! beats forced-NestJoin on the ∈/∉ version (that gap *is* Theorem 1's
+//! payoff).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, QueryOptions, UnnestStrategy};
+use tmql_bench::{criterion, report_work};
+use tmql_workload::gen::{gen_xyz, GenConfig};
+use tmql_workload::queries::{SECTION8, SECTION8_FLAT};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b5_multilevel");
+    for &n in &[128usize, 512, 2048] {
+        let cfg =
+            GenConfig { outer: n, inner: n, dangling_fraction: 0.25, ..GenConfig::default() };
+        let db = Database::from_catalog(gen_xyz(&cfg));
+        for (qname, src) in [("subseteq", SECTION8), ("in-notin", SECTION8_FLAT)] {
+            for strat in [
+                UnnestStrategy::NestedLoop,
+                UnnestStrategy::NestJoin,
+                UnnestStrategy::Optimal,
+            ] {
+                // Nested-loop over three blocks explodes fast.
+                if strat == UnnestStrategy::NestedLoop && n > 128 {
+                    continue;
+                }
+                let label = format!("{qname}/{}", strat.name());
+                let opts = QueryOptions::default().strategy(strat);
+                report_work(&format!("b5/{label}/{n}"), &db, src, opts);
+                g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                    b.iter(|| db.query_with(src, opts).expect("runs").len())
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! B6 — nesting in the SELECT clause (Sections 5–6).
+//!
+//! A Q2-style nested-result query over a generated company database:
+//! every department paired with the set of its same-city employees.
+//! "Queries having subqueries in the SELECT clause often describe nested
+//! results, so processing by means of the nest join operation will be an
+//! appropriate method" — compared against the nested loop and against
+//! Ganski–Wong (outerjoin + ν*, which must manufacture and then elide
+//! NULLs for employee-less cities).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, QueryOptions, UnnestStrategy};
+use tmql_bench::{criterion, report_work, NL_CAP};
+use tmql_workload::gen::{gen_company, GenConfig};
+
+const Q2_GEN: &str = "\
+SELECT (dname = d.name,
+        emps = (SELECT e.name
+                FROM EMP e
+                WHERE e.address.city = d.address.city))
+FROM DEPT d";
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b6_select_nesting");
+    for &(depts, emps) in &[(64usize, 512usize), (256, 2048), (512, 8192)] {
+        let cfg = GenConfig {
+            outer: depts,
+            inner: emps,
+            dangling_fraction: 0.25,
+            ..GenConfig::default()
+        };
+        let db = Database::from_catalog(gen_company(&cfg));
+        for strat in [
+            UnnestStrategy::NestedLoop,
+            UnnestStrategy::GanskiWong,
+            UnnestStrategy::NestJoin,
+        ] {
+            if strat == UnnestStrategy::NestedLoop && emps > NL_CAP * 4 {
+                continue;
+            }
+            let opts = QueryOptions::default().strategy(strat);
+            let label = strat.name();
+            report_work(&format!("b6/{label}/{depts}x{emps}"), &db, Q2_GEN, opts);
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{depts}x{emps}")),
+                &depts,
+                |b, _| b.iter(|| db.query_with(Q2_GEN, opts).expect("runs").len()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench
+}
+criterion_main!(benches);

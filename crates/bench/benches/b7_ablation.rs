@@ -1,0 +1,76 @@
+//! B7 — ablation of the design choices DESIGN.md calls out.
+//!
+//! 1. **Rule cleanup on/off**: selection pushdown + projection elimination
+//!    (Section 6's algebraic identities) on a membership query with an
+//!    extra outer filter — how much do the identities buy on top of
+//!    unnesting?
+//! 2. **UNNEST collapse on/off** (Section 5): the special case rule vs.
+//!    building the set-of-sets with a nest join and flattening it.
+//! 3. **All seven strategies** on the COUNT-bug query at one size — the
+//!    complete survey ranking in a single chart.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, QueryOptions, UnnestStrategy};
+use tmql_bench::{criterion, report_work};
+use tmql_workload::gen::{gen_rs, gen_xy, GenConfig};
+use tmql_workload::queries::{where_query, COUNT_BUG, UNNEST_COLLAPSE};
+
+fn bench_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b7_rules_onoff");
+    // Membership plus a selective outer filter: pushdown shrinks the
+    // semijoin's probe side.
+    let src = where_query("x.n < 4 AND x.n IN {Z}");
+    for &n in &[1024usize, 4096] {
+        let db = Database::from_catalog(gen_xy(&GenConfig::sized(n)));
+        for (label, apply_rules) in [("rules-on", true), ("rules-off", false)] {
+            let opts = QueryOptions { apply_rules, ..QueryOptions::default() };
+            report_work(&format!("b7-rules/{label}/{n}"), &db, &src, opts);
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| db.query_with(&src, opts).expect("runs").len())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_collapse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b7_unnest_collapse");
+    for &n in &[1024usize, 4096] {
+        let db = Database::from_catalog(gen_xy(&GenConfig::sized(n)));
+        let collapse_on = QueryOptions::default();
+        let collapse_off = QueryOptions {
+            apply_rules: false,
+            ..QueryOptions::default().strategy(UnnestStrategy::NestJoin)
+        };
+        for (label, opts) in [("collapse", collapse_on), ("nestjoin-then-flatten", collapse_off)]
+        {
+            report_work(&format!("b7-collapse/{label}/{n}"), &db, UNNEST_COLLAPSE, opts);
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| db.query_with(UNNEST_COLLAPSE, opts).expect("runs").len())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_all_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b7_strategy_survey");
+    let n = 1024;
+    let cfg = GenConfig { outer: n, inner: n, dangling_fraction: 0.25, ..GenConfig::default() };
+    let db = Database::from_catalog(gen_rs(&cfg));
+    for strat in UnnestStrategy::ALL {
+        let opts = QueryOptions::default().strategy(strat);
+        report_work(&format!("b7-survey/{}/{n}", strat.name()), &db, COUNT_BUG, opts);
+        g.bench_function(BenchmarkId::new(strat.name(), n), |b| {
+            b.iter(|| db.query_with(COUNT_BUG, opts).expect("runs").len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench_rules, bench_collapse, bench_all_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! T1 micro-benchmark — the Table 1 nest join itself.
+//!
+//! The paper's fixed 3×3 example (correctness is asserted in
+//! `tests/table1.rs`; here we measure the operator dispatch overhead) plus
+//! a 1k×1k generated version under all three implementations, as the
+//! smallest self-contained illustration that the nest join is "a simple
+//! modification of any common join implementation method".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql_algebra::{Env, Plan, ScalarExpr as E};
+use tmql_bench::criterion;
+use tmql_exec::{execute, lower, ExecConfig, ExecContext, JoinAlgo};
+use tmql_workload::gen::{gen_xy, GenConfig};
+use tmql_workload::schemas::table1_catalog;
+
+fn nest_join(table_x: &str, key_x: &str, table_y: &str, key_y: &str) -> Plan {
+    Plan::scan(table_x, "x").nest_join(
+        Plan::scan(table_y, "y"),
+        E::eq(E::path("x", &[key_x]), E::path("y", &[key_y])),
+        E::var("y"),
+        "s",
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_nestjoin");
+    let algos =
+        [("nested-loop", JoinAlgo::NestedLoop), ("hash", JoinAlgo::Hash), ("sort-merge", JoinAlgo::SortMerge)];
+
+    // The paper's exact fixture.
+    let cat = table1_catalog();
+    let plan = nest_join("X", "d", "Y", "b");
+    for (label, algo) in algos {
+        let phys = lower(&plan, &cat, &ExecConfig::with_join_algo(algo)).expect("lowers");
+        g.bench_function(BenchmarkId::new("paper-3x3", label), |b| {
+            b.iter(|| {
+                let mut ctx = ExecContext::new(&cat);
+                execute(&phys, &mut ctx, &Env::new()).expect("runs").len()
+            })
+        });
+    }
+
+    // A generated 1k×1k version.
+    let big = gen_xy(&GenConfig::sized(1024));
+    let plan = nest_join("X", "b", "Y", "b");
+    for (label, algo) in algos {
+        let phys = lower(&plan, &big, &ExecConfig::with_join_algo(algo)).expect("lowers");
+        g.bench_function(BenchmarkId::new("generated-1k", label), |b| {
+            b.iter(|| {
+                let mut ctx = ExecContext::new(&big);
+                execute(&phys, &mut ctx, &Env::new()).expect("runs").len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # tmql-bench — shared benchmark plumbing
+//!
+//! Each Criterion bench target under `benches/` regenerates one experiment
+//! from `EXPERIMENTS.md` (B1–B6 plus the Table 1 micro-benchmark). This
+//! library holds the shared helpers: standard Criterion configuration and
+//! a one-shot work-metrics reporter so every benchmark also logs the
+//! executor's machine-independent counters.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use tmql::{Database, QueryOptions};
+
+/// Criterion tuned for interpreter-scale workloads: modest sample counts,
+/// short measurement windows (the comparisons here are 2–100×, far above
+/// noise).
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args()
+}
+
+/// Run once and log the executor work counters (rows scanned, comparisons,
+/// hash traffic, subquery invocations) — the "shape" data EXPERIMENTS.md
+/// quotes alongside wall time.
+pub fn report_work(tag: &str, db: &Database, src: &str, opts: QueryOptions) {
+    match db.query_with(src, opts) {
+        Ok(r) => eprintln!(
+            "[work] {tag}: rows={} {} total={}",
+            r.len(),
+            r.metrics,
+            r.metrics.total_work()
+        ),
+        Err(e) => eprintln!("[work] {tag}: ERROR {e}"),
+    }
+}
+
+/// The standard cardinality ladder. Nested-loop configurations skip the
+/// top rung (quadratic blow-up would dominate the whole run).
+pub const SIZES: [usize; 3] = [256, 1024, 4096];
+
+/// Cap for strategies with quadratic behaviour.
+pub const NL_CAP: usize = 1024;

@@ -1,0 +1,179 @@
+//! The unnesting optimizer: strategy dispatch plus rule-based cleanup.
+
+use tmql_algebra::Plan;
+
+use crate::rules;
+use crate::strategy::{self, UnnestStrategy};
+
+/// Rewrite a translated plan under the given strategy. This is pure plan
+/// surgery — execution method selection (hash vs sort-merge vs nested
+/// loop) happens later in `tmql-exec`'s planner, exactly the layering the
+/// paper argues for: "after rewriting a nested query into a join query,
+/// the optimizer has better possibilities to choose the most appropriate
+/// join implementation" (Section 1).
+pub fn unnest_plan(plan: Plan, strat: UnnestStrategy) -> Plan {
+    match strat {
+        UnnestStrategy::NestedLoop => strategy::nested_loop::rewrite(plan),
+        UnnestStrategy::Kim => strategy::kim::rewrite(plan),
+        UnnestStrategy::GanskiWong => strategy::ganski_wong::rewrite(plan),
+        UnnestStrategy::Muralikrishna => strategy::muralikrishna::rewrite(plan),
+        UnnestStrategy::NestJoin => strategy::nestjoin::rewrite(plan),
+        UnnestStrategy::FlattenSemiAnti => strategy::semi_anti::rewrite(plan),
+        UnnestStrategy::Optimal => optimal(plan),
+    }
+}
+
+/// The paper's full pipeline (Section 8): "In a preprocessing phase,
+/// predicates between query blocks are rewritten into calculus
+/// expressions if possible. … If predicates between query blocks require
+/// grouping, a nest join operator is applied; if predicates do not need
+/// grouping a flat join operation is executed."
+fn optimal(plan: Plan) -> Plan {
+    strategy::rewrite_blocks(plan, &mut |pred, input, subquery, label| {
+        if let Some(p) = pred {
+            // Try Theorem 1 flattening first (semijoin / antijoin) …
+            if let Some(flat) = strategy::semi_anti::rewrite_one(p, input, subquery, label) {
+                return Some(flat);
+            }
+            // … fall back to the nest join, keeping the block predicate.
+            let nj = strategy::nestjoin::rewrite_one(input, subquery, label)?;
+            return Some(nj.select(p.clone()));
+        }
+        // SELECT-clause nesting: nest join unconditionally (Section 5:
+        // grouping is required; Section 6: "queries having subqueries in
+        // the SELECT clause often describe nested results, so processing
+        // by means of the nest join operation will be an appropriate
+        // method").
+        strategy::nestjoin::rewrite_one(input, subquery, label)
+    })
+}
+
+/// A configured optimizer: strategy + optional rule cleanup.
+#[derive(Debug, Clone, Copy)]
+pub struct Optimizer {
+    /// Unnesting strategy.
+    pub strategy: UnnestStrategy,
+    /// Run [`rules::cleanup`] (selection pushdown, projection elimination,
+    /// UNNEST collapse) after unnesting.
+    pub apply_rules: bool,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer { strategy: UnnestStrategy::Optimal, apply_rules: true }
+    }
+}
+
+impl Optimizer {
+    /// Optimizer with a fixed strategy and cleanup enabled.
+    pub fn with_strategy(strategy: UnnestStrategy) -> Optimizer {
+        Optimizer { strategy, apply_rules: true }
+    }
+
+    /// Run the full logical optimization pipeline.
+    pub fn optimize(&self, plan: Plan) -> Plan {
+        // UNNEST collapse must run before unnesting: it removes the Apply
+        // entirely (Section 5's special case), which is strictly better
+        // than any join strategy for it.
+        let plan = if self.apply_rules {
+            tmql_algebra::rewrite::fixpoint(plan, 4, &mut |node| {
+                rules::unnest_collapse(&node).unwrap_or(node)
+            })
+        } else {
+            plan
+        };
+        let plan = unnest_plan(plan, self.strategy);
+        if self.apply_rules {
+            rules::cleanup(plan)
+        } else {
+            plan
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmql_algebra::{AggFn, ScalarExpr as E, SetCmpOp};
+
+    fn sub() -> Plan {
+        Plan::scan("Y", "y")
+            .select(E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+            .map(E::path("y", &["a"]), "s")
+    }
+
+    fn where_block(pred: E) -> Plan {
+        Plan::scan("X", "x").apply(sub(), "z").select(pred).map(E::var("x"), "out")
+    }
+
+    #[test]
+    fn optimal_flattens_membership_to_semijoin() {
+        let plan = where_block(E::set_cmp(SetCmpOp::In, E::path("x", &["a"]), E::var("z")));
+        let out = unnest_plan(plan, UnnestStrategy::Optimal);
+        assert!(out.any_node(&mut |n| matches!(n, Plan::SemiJoin { .. })));
+        assert!(!out.has_nest_join());
+    }
+
+    #[test]
+    fn optimal_uses_nestjoin_for_grouping_predicates() {
+        let plan =
+            where_block(E::set_cmp(SetCmpOp::SubsetEq, E::path("x", &["a"]), E::var("z")));
+        let out = unnest_plan(plan, UnnestStrategy::Optimal);
+        assert!(out.has_nest_join());
+        assert!(!out.has_apply());
+    }
+
+    #[test]
+    fn optimal_handles_select_clause_nesting() {
+        let q2 = Plan::scan("DEPT", "d").apply(sub(), "emps").map(E::var("emps"), "out");
+        let out = unnest_plan(q2, UnnestStrategy::Optimal);
+        assert!(out.has_nest_join());
+    }
+
+    #[test]
+    fn all_strategies_remove_apply_for_count_query_except_nested_loop() {
+        let pred = E::eq(E::path("x", &["b"]), E::agg(AggFn::Count, E::var("z")));
+        for strat in UnnestStrategy::ALL {
+            let out = unnest_plan(where_block(pred.clone()), strat);
+            match strat {
+                UnnestStrategy::NestedLoop | UnnestStrategy::FlattenSemiAnti => {
+                    assert!(out.has_apply(), "{} should keep the Apply here", strat.name());
+                }
+                _ => assert!(!out.has_apply(), "{} should unnest", strat.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_pipeline_applies_cleanup() {
+        // Membership block with an extra x-only conjunct: after flattening,
+        // the residual select pushes below the semijoin.
+        let pred = E::and(
+            E::cmp(tmql_algebra::CmpOp::Gt, E::path("x", &["a"]), E::lit(0i64)),
+            E::set_cmp(SetCmpOp::In, E::path("x", &["a"]), E::var("z")),
+        );
+        let out = Optimizer::default().optimize(where_block(pred));
+        // Residual landed below the semijoin's left input.
+        let pushed = out.any_node(&mut |n| {
+            matches!(n, Plan::SemiJoin { left, .. } if matches!(&**left, Plan::Select { .. }))
+        });
+        assert!(pushed, "{out}");
+    }
+
+    #[test]
+    fn optimizer_collapses_unnest_before_strategies() {
+        let sub = Plan::scan("Y", "y")
+            .select(E::eq(E::path("x", &["b"]), E::path("y", &["a"])))
+            .map(E::path("y", &["b"]), "g");
+        let plan = Plan::Unnest {
+            input: Box::new(Plan::scan("X", "x").apply(sub, "z").map(E::var("z"), "m")),
+            expr: E::var("m"),
+            elem_var: "u".into(),
+            drop_vars: vec!["m".into()],
+        };
+        let out = Optimizer::default().optimize(plan);
+        assert!(!out.has_apply());
+        assert!(!out.has_nest_join(), "collapse must beat nest join: {out}");
+        assert!(out.any_node(&mut |n| matches!(n, Plan::Join { .. })));
+    }
+}

@@ -1,0 +1,379 @@
+//! Algebraic rewrite rules around the nest join (Sections 5 and 6).
+//!
+//! Section 6 warns that the nest join "like the outerjoin, has less
+//! pleasant algebraic properties" — it is neither commutative nor
+//! associative — but lists equivalences that *do* hold. Those are
+//! implemented here, plus the Section 5 `UNNEST`-collapse law. Each rule
+//! is a standalone `Option`-returning function (so ablation benchmarks can
+//! toggle them individually); [`cleanup`] applies the always-beneficial
+//! ones to a fixpoint.
+
+use std::collections::BTreeSet;
+
+use tmql_algebra::rewrite::{fixpoint, take_children, with_children};
+use tmql_algebra::{Plan, ScalarExpr};
+
+/// `π_X(X Δ Y) = X` (Section 6): projecting a nest join onto the left
+/// operand's variables drops the nest join entirely — the nest join
+/// preserves left tuples exactly.
+pub fn project_nestjoin_elim(plan: &Plan) -> Option<Plan> {
+    let Plan::Project { input, vars } = plan else {
+        return None;
+    };
+    let Plan::NestJoin { left, label, .. } = &**input else {
+        return None;
+    };
+    if vars.contains(label) {
+        return None;
+    }
+    let left_vars: BTreeSet<String> = left.output_vars().into_iter().collect();
+    if !vars.iter().all(|v| left_vars.contains(v)) {
+        return None;
+    }
+    Some(if *vars == left.output_vars() {
+        (**left).clone()
+    } else {
+        Plan::Project { input: left.clone(), vars: vars.clone() }
+    })
+}
+
+/// Selection pushdown through the nest join's left operand:
+/// `σ_p(X Δ Y) = σ_p(X) Δ Y` when `p` references only `X`'s variables.
+/// (Pushing into the right operand is **not** sound in general — dangling
+/// left tuples must still appear with ∅.)
+pub fn select_pushdown_nestjoin(plan: &Plan) -> Option<Plan> {
+    let Plan::Select { input, pred } = plan else {
+        return None;
+    };
+    let Plan::NestJoin { left, right, pred: q, func, label } = &**input else {
+        return None;
+    };
+    let left_vars: BTreeSet<String> = left.output_vars().into_iter().collect();
+    if !pred.free_vars().is_subset(&left_vars) {
+        return None;
+    }
+    Some(Plan::NestJoin {
+        left: Box::new(Plan::Select { input: left.clone(), pred: pred.clone() }),
+        right: right.clone(),
+        pred: q.clone(),
+        func: func.clone(),
+        label: label.clone(),
+    })
+}
+
+/// Selection pushdown through regular joins (left side; the symmetric
+/// right-side push follows by the join's symmetry) and through
+/// semi/antijoins (left side only).
+pub fn select_pushdown_join(plan: &Plan) -> Option<Plan> {
+    let Plan::Select { input, pred } = plan else {
+        return None;
+    };
+    match &**input {
+        Plan::Join { left, right, pred: q } => {
+            let lv: BTreeSet<String> = left.output_vars().into_iter().collect();
+            let rv: BTreeSet<String> = right.output_vars().into_iter().collect();
+            let fv = pred.free_vars();
+            if fv.is_subset(&lv) {
+                Some(Plan::Join {
+                    left: Box::new(Plan::Select { input: left.clone(), pred: pred.clone() }),
+                    right: right.clone(),
+                    pred: q.clone(),
+                })
+            } else if fv.is_subset(&rv) {
+                Some(Plan::Join {
+                    left: left.clone(),
+                    right: Box::new(Plan::Select { input: right.clone(), pred: pred.clone() }),
+                    pred: q.clone(),
+                })
+            } else {
+                None
+            }
+        }
+        Plan::SemiJoin { left, right, pred: q } => {
+            let lv: BTreeSet<String> = left.output_vars().into_iter().collect();
+            pred.free_vars().is_subset(&lv).then(|| Plan::SemiJoin {
+                left: Box::new(Plan::Select { input: left.clone(), pred: pred.clone() }),
+                right: right.clone(),
+                pred: q.clone(),
+            })
+        }
+        Plan::AntiJoin { left, right, pred: q } => {
+            let lv: BTreeSet<String> = left.output_vars().into_iter().collect();
+            pred.free_vars().is_subset(&lv).then(|| Plan::AntiJoin {
+                left: Box::new(Plan::Select { input: left.clone(), pred: pred.clone() }),
+                right: right.clone(),
+                pred: q.clone(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Section 6, second equivalence:
+/// `(X ⋈_{r(x,y)} Y) Δ_{r(x,z)} Z ≡ (X Δ_{r(x,z)} Z) ⋈_{r(x,y)} Y`.
+/// The nest join slides below a join when its predicate and function only
+/// touch the join's left operand.
+pub fn nestjoin_join_interchange(plan: &Plan) -> Option<Plan> {
+    let Plan::NestJoin { left, right: z_plan, pred: p2, func, label } = plan else {
+        return None;
+    };
+    let Plan::Join { left: x_plan, right: y_plan, pred: p1 } = &**left else {
+        return None;
+    };
+    let xv: BTreeSet<String> = x_plan.output_vars().into_iter().collect();
+    let zv: BTreeSet<String> = z_plan.output_vars().into_iter().collect();
+    let allowed: BTreeSet<String> = xv.union(&zv).cloned().collect();
+    if !p2.free_vars().is_subset(&allowed) || !func.free_vars().is_subset(&allowed) {
+        return None;
+    }
+    Some(Plan::Join {
+        left: Box::new(Plan::NestJoin {
+            left: x_plan.clone(),
+            right: z_plan.clone(),
+            pred: p2.clone(),
+            func: func.clone(),
+            label: label.clone(),
+        }),
+        right: y_plan.clone(),
+        pred: p1.clone(),
+    })
+}
+
+/// Section 6, third equivalence:
+/// `(X ⋈_{r(x,y)} Y) Δ_{r(y,z)} Z ≡ X ⋈_{r(x,y)} (Y Δ_{r(y,z)} Z)`.
+/// The nest join attaches to the join operand it actually references.
+pub fn join_nestjoin_assoc(plan: &Plan) -> Option<Plan> {
+    let Plan::NestJoin { left, right: z_plan, pred: p2, func, label } = plan else {
+        return None;
+    };
+    let Plan::Join { left: x_plan, right: y_plan, pred: p1 } = &**left else {
+        return None;
+    };
+    let yv: BTreeSet<String> = y_plan.output_vars().into_iter().collect();
+    let zv: BTreeSet<String> = z_plan.output_vars().into_iter().collect();
+    let allowed: BTreeSet<String> = yv.union(&zv).cloned().collect();
+    if !p2.free_vars().is_subset(&allowed) || !func.free_vars().is_subset(&allowed) {
+        return None;
+    }
+    Some(Plan::Join {
+        left: x_plan.clone(),
+        right: Box::new(Plan::NestJoin {
+            left: y_plan.clone(),
+            right: z_plan.clone(),
+            pred: p2.clone(),
+            func: func.clone(),
+            label: label.clone(),
+        }),
+        pred: p1.clone(),
+    })
+}
+
+/// Section 5's special case: `UNNEST(SELECT (SELECT …) FROM X)` is a flat
+/// join. Recognizes the translated shape
+///
+/// ```text
+/// Unnest e ∈ m (drop m)
+///   Map m := z
+///     Apply z := (I, Map G (Select Q (R)))
+/// ```
+///
+/// and rewrites it to `Map e := G (Join Q (I, R))`: the set-of-sets is
+/// never built. Dangling `I` rows contributed ∅ to the union, so the
+/// inner join loses nothing.
+pub fn unnest_collapse(plan: &Plan) -> Option<Plan> {
+    let Plan::Unnest { input, expr, elem_var, drop_vars } = plan else {
+        return None;
+    };
+    // Peel an optional Map m := z between Unnest and Apply.
+    let (apply, set_var) = match &**input {
+        Plan::Map { input: apply, expr: ScalarExpr::Var(z), var: m } => {
+            if *expr != ScalarExpr::var(m.clone()) || drop_vars != std::slice::from_ref(m) {
+                return None;
+            }
+            (&**apply, z.clone())
+        }
+        other => {
+            let ScalarExpr::Var(z) = expr else {
+                return None;
+            };
+            (other, z.clone())
+        }
+    };
+    let Plan::Apply { input: outer, subquery, label } = apply else {
+        return None;
+    };
+    if *label != set_var {
+        return None;
+    }
+    // When unnesting directly over the Apply, every input variable must be
+    // dropped (the collapse forgets which outer row an element came from).
+    if !matches!(&**input, Plan::Map { .. }) {
+        let mut required: Vec<String> = outer.output_vars();
+        required.push(label.clone());
+        let dropped: BTreeSet<&String> = drop_vars.iter().collect();
+        if !required.iter().all(|v| dropped.contains(v)) {
+            return None;
+        }
+    }
+    let parts = crate::strategy::decompose_subquery(subquery)?;
+    if !crate::strategy::decorrelatable(&parts) {
+        return None;
+    }
+    Some(
+        Plan::Join { left: outer.clone(), right: Box::new(parts.inner), pred: parts.q }
+            .map(parts.g, elem_var.clone()),
+    )
+}
+
+/// Apply the always-beneficial rules (projection elimination, selection
+/// pushdown, unnest collapse) bottom-up to a fixpoint.
+pub fn cleanup(plan: Plan) -> Plan {
+    fixpoint(plan, 8, &mut |node| {
+        if let Some(p) = project_nestjoin_elim(&node) {
+            return p;
+        }
+        if let Some(p) = select_pushdown_nestjoin(&node) {
+            return p;
+        }
+        if let Some(p) = select_pushdown_join(&node) {
+            return p;
+        }
+        if let Some(p) = unnest_collapse(&node) {
+            return p;
+        }
+        node
+    })
+}
+
+/// Re-exported transform utility for strategy implementations.
+pub fn rebuild(plan: Plan, children: Vec<Plan>) -> Plan {
+    let _ = take_children(&plan);
+    with_children(plan, children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmql_algebra::{CmpOp, ScalarExpr as E};
+
+    fn nj() -> Plan {
+        Plan::scan("X", "x").nest_join(
+            Plan::scan("Y", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+            E::path("y", &["a"]),
+            "ys",
+        )
+    }
+
+    #[test]
+    fn projection_eliminates_nestjoin() {
+        let p = nj().project(&["x"]);
+        let out = project_nestjoin_elim(&p).unwrap();
+        assert_eq!(out, Plan::scan("X", "x"));
+        // Keeping the label blocks the rule.
+        let keep = nj().project(&["x", "ys"]);
+        assert!(project_nestjoin_elim(&keep).is_none());
+    }
+
+    #[test]
+    fn select_pushes_into_left_of_nestjoin() {
+        let p = nj().select(E::cmp(CmpOp::Gt, E::path("x", &["a"]), E::lit(1i64)));
+        let out = select_pushdown_nestjoin(&p).unwrap();
+        let Plan::NestJoin { left, .. } = out else { panic!("nest join") };
+        assert!(matches!(*left, Plan::Select { .. }));
+        // Predicates over the label must not push.
+        let blocked = nj().select(E::set_cmp(
+            tmql_algebra::SetCmpOp::In,
+            E::path("x", &["a"]),
+            E::var("ys"),
+        ));
+        assert!(select_pushdown_nestjoin(&blocked).is_none());
+    }
+
+    #[test]
+    fn join_pushdown_picks_side() {
+        let j = Plan::scan("X", "x")
+            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let left_pred = j.clone().select(E::cmp(CmpOp::Gt, E::path("x", &["a"]), E::lit(0i64)));
+        let out = select_pushdown_join(&left_pred).unwrap();
+        let Plan::Join { left, .. } = out else { panic!() };
+        assert!(matches!(*left, Plan::Select { .. }));
+        let right_pred = j.select(E::cmp(CmpOp::Gt, E::path("y", &["c"]), E::lit(0i64)));
+        let out = select_pushdown_join(&right_pred).unwrap();
+        let Plan::Join { right, .. } = out else { panic!() };
+        assert!(matches!(*right, Plan::Select { .. }));
+    }
+
+    #[test]
+    fn interchange_requires_disjoint_reference() {
+        // (X ⋈ Y) Δ Z with Δ-pred over x only: slides under.
+        let xy = Plan::scan("X", "x")
+            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let p = xy.nest_join(
+            Plan::scan("Z", "z"),
+            E::eq(E::path("x", &["c"]), E::path("z", &["c"])),
+            E::var("z"),
+            "zs",
+        );
+        let out = nestjoin_join_interchange(&p).unwrap();
+        let Plan::Join { left, .. } = &out else { panic!("join root") };
+        assert!(matches!(**left, Plan::NestJoin { .. }));
+        // A Δ-pred referencing y blocks the interchange (but enables the
+        // associativity form instead).
+        let xy = Plan::scan("X", "x")
+            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let p = xy.nest_join(
+            Plan::scan("Z", "z"),
+            E::eq(E::path("y", &["d"]), E::path("z", &["d"])),
+            E::var("z"),
+            "zs",
+        );
+        assert!(nestjoin_join_interchange(&p).is_none());
+        let out = join_nestjoin_assoc(&p).unwrap();
+        let Plan::Join { right, .. } = &out else { panic!("join root") };
+        assert!(matches!(**right, Plan::NestJoin { .. }));
+    }
+
+    #[test]
+    fn unnest_collapse_fires_on_translated_shape() {
+        let sub = Plan::scan("Y", "y")
+            .select(E::eq(E::path("x", &["b"]), E::path("y", &["a"])))
+            .map(
+                E::Tuple(vec![
+                    ("a".into(), E::path("x", &["a"])),
+                    ("b".into(), E::path("y", &["b"])),
+                ]),
+                "g",
+            );
+        let plan = Plan::Unnest {
+            input: Box::new(Plan::scan("X", "x").apply(sub, "z").map(E::var("z"), "m")),
+            expr: E::var("m"),
+            elem_var: "u".into(),
+            drop_vars: vec!["m".into()],
+        };
+        let out = unnest_collapse(&plan).unwrap();
+        assert!(!out.has_apply());
+        assert!(out.any_node(&mut |n| matches!(n, Plan::Join { .. })));
+        let Plan::Map { var, .. } = out else { panic!("map root") };
+        assert_eq!(var, "u");
+    }
+
+    #[test]
+    fn cleanup_reaches_fixpoint() {
+        // Stacked rules: select over nest join over join.
+        let xy = Plan::scan("X", "x")
+            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let p = xy
+            .nest_join(
+                Plan::scan("Z", "z"),
+                E::eq(E::path("x", &["c"]), E::path("z", &["c"])),
+                E::var("z"),
+                "zs",
+            )
+            .select(E::cmp(CmpOp::Gt, E::path("x", &["a"]), E::lit(0i64)))
+            .project(&["x"]);
+        let out = cleanup(p);
+        // Projection kills the nest join; selection pushes to X's scan.
+        assert!(!out.has_nest_join());
+    }
+}

@@ -1,0 +1,329 @@
+//! Unnesting strategies.
+//!
+//! Every strategy rewrites the canonical translated shape of a nested
+//! SFW block (see `tmql-translate`):
+//!
+//! ```text
+//! Select P(x, z)                    -- nesting in the WHERE clause, or
+//!   Apply z :=                      -- a bare Apply for SELECT-clause
+//!     input:    <outer plan I>      -- nesting
+//!     subquery: Map G(x, y)
+//!                 Select Q(x, y)
+//!                   <inner plan R>
+//! ```
+//!
+//! into a join shape, eliminating the correlated `Apply` (the nested
+//! loop). The strategies differ exactly as the paper's Section 2/6 survey
+//! does — see each submodule. All of them require the inner plan `R` to be
+//! **closed** (no free variables): a subquery iterating a set-valued
+//! attribute of the outer variable (`FROM d.emps e`) stays a nested loop,
+//! which is the paper's point that "there is no use to flatten nested
+//! queries in which subquery operands are set-valued attributes"
+//! (Section 3.2).
+
+pub mod ganski_wong;
+pub mod kim;
+pub mod muralikrishna;
+pub mod nested_loop;
+pub mod nestjoin;
+pub mod semi_anti;
+
+use tmql_algebra::{Plan, ScalarExpr};
+
+/// Which unnesting strategy to apply to a translated plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnnestStrategy {
+    /// Keep the correlated `Apply`: nested-loop processing. Always correct;
+    /// the paper's "naive way" (Section 9).
+    NestedLoop,
+    /// Kim's algorithm [Kim 82] — join + grouping, **bug-compatible**:
+    /// loses dangling outer tuples whenever grouping is involved (the
+    /// COUNT bug of Section 2 and the SUBSETEQ bug of Section 4).
+    Kim,
+    /// Ganski–Wong [SIGMOD 87] — outerjoin + ν* grouping; the relational
+    /// repair of Kim's bug using NULLs.
+    GanskiWong,
+    /// Muralikrishna [VLDB 89/92] — group-first unnesting repaired with
+    /// an outerjoin and an antijoin predicate for dangling tuples.
+    Muralikrishna,
+    /// The paper's nest join Δ (Section 6): grouping during the join,
+    /// dangling tuples get ∅.
+    NestJoin,
+    /// Theorem 1 flattening only: rewrite into semijoin/antijoin where the
+    /// predicate classification allows, leave everything else as `Apply`.
+    FlattenSemiAnti,
+    /// The paper's full pipeline (Section 8): flatten to semi/antijoin
+    /// where Theorem 1 allows, use the nest join everywhere else.
+    #[default]
+    Optimal,
+}
+
+impl UnnestStrategy {
+    /// All strategies, for differential tests and benchmarks.
+    pub const ALL: [UnnestStrategy; 7] = [
+        UnnestStrategy::NestedLoop,
+        UnnestStrategy::Kim,
+        UnnestStrategy::GanskiWong,
+        UnnestStrategy::Muralikrishna,
+        UnnestStrategy::NestJoin,
+        UnnestStrategy::FlattenSemiAnti,
+        UnnestStrategy::Optimal,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UnnestStrategy::NestedLoop => "nested-loop",
+            UnnestStrategy::Kim => "kim",
+            UnnestStrategy::GanskiWong => "ganski-wong",
+            UnnestStrategy::Muralikrishna => "muralikrishna",
+            UnnestStrategy::NestJoin => "nest-join",
+            UnnestStrategy::FlattenSemiAnti => "semi-anti",
+            UnnestStrategy::Optimal => "optimal",
+        }
+    }
+
+    /// True for the strategies that are documented to return wrong answers
+    /// on dangling tuples (kept for bug-demonstration experiments).
+    pub fn is_bug_compatible(&self) -> bool {
+        matches!(self, UnnestStrategy::Kim)
+    }
+}
+
+/// The decomposed canonical subquery `Map G (Select Q (R))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubqueryParts {
+    /// Inner operand plan `R` (everything under the block's Select).
+    pub inner: Plan,
+    /// Correlation/selection predicate `Q(x, y)` (`true` when absent).
+    pub q: ScalarExpr,
+    /// Result expression `G(x, y)`.
+    pub g: ScalarExpr,
+}
+
+/// Decompose a subquery plan into [`SubqueryParts`]. Returns `None` when
+/// the plan is not of the canonical `Map (Select …)` / `Map (…)` shape.
+pub fn decompose_subquery(sub: &Plan) -> Option<SubqueryParts> {
+    let Plan::Map { input, expr, .. } = sub else {
+        return None;
+    };
+    Some(match &**input {
+        Plan::Select { input: r, pred } => SubqueryParts {
+            inner: (**r).clone(),
+            q: pred.clone(),
+            g: expr.clone(),
+        },
+        other => SubqueryParts { inner: other.clone(), q: ScalarExpr::lit(true), g: expr.clone() },
+    })
+}
+
+/// True iff the inner plan can be decorrelated: it has no free variables
+/// (all correlation lives in `Q`/`G`, not in `R` itself).
+pub fn decorrelatable(parts: &SubqueryParts) -> bool {
+    parts.inner.free_vars().is_empty()
+}
+
+/// Replace every occurrence of the subexpression `target` inside `expr`
+/// by `replacement` (structural equality).
+pub fn replace_subexpr(
+    expr: &ScalarExpr,
+    target: &ScalarExpr,
+    replacement: &ScalarExpr,
+) -> ScalarExpr {
+    if expr == target {
+        return replacement.clone();
+    }
+    use ScalarExpr as E;
+    match expr {
+        E::Lit(_) | E::Var(_) => expr.clone(),
+        E::Field(e, l) => E::Field(Box::new(replace_subexpr(e, target, replacement)), l.clone()),
+        E::Not(e) => E::not(replace_subexpr(e, target, replacement)),
+        E::Agg(f, e) => E::agg(*f, replace_subexpr(e, target, replacement)),
+        E::Unnest(e) => E::Unnest(Box::new(replace_subexpr(e, target, replacement))),
+        E::IsNull(e) => E::IsNull(Box::new(replace_subexpr(e, target, replacement))),
+        E::Cmp(op, a, b) => E::cmp(
+            *op,
+            replace_subexpr(a, target, replacement),
+            replace_subexpr(b, target, replacement),
+        ),
+        E::Arith(op, a, b) => E::Arith(
+            *op,
+            Box::new(replace_subexpr(a, target, replacement)),
+            Box::new(replace_subexpr(b, target, replacement)),
+        ),
+        E::And(a, b) => E::and(
+            replace_subexpr(a, target, replacement),
+            replace_subexpr(b, target, replacement),
+        ),
+        E::Or(a, b) => E::or(
+            replace_subexpr(a, target, replacement),
+            replace_subexpr(b, target, replacement),
+        ),
+        E::SetBin(op, a, b) => E::SetBin(
+            *op,
+            Box::new(replace_subexpr(a, target, replacement)),
+            Box::new(replace_subexpr(b, target, replacement)),
+        ),
+        E::SetCmp(op, a, b) => E::set_cmp(
+            *op,
+            replace_subexpr(a, target, replacement),
+            replace_subexpr(b, target, replacement),
+        ),
+        E::Tuple(fs) => E::Tuple(
+            fs.iter().map(|(l, e)| (l.clone(), replace_subexpr(e, target, replacement))).collect(),
+        ),
+        E::SetLit(es) => {
+            E::SetLit(es.iter().map(|e| replace_subexpr(e, target, replacement)).collect())
+        }
+        E::Quant { q, var, over, pred } => E::quant(
+            *q,
+            var.clone(),
+            replace_subexpr(over, target, replacement),
+            replace_subexpr(pred, target, replacement),
+        ),
+    }
+}
+
+/// Apply a strategy-specific rewriter over the plan, inside-out: the
+/// nested blocks of a multi-level query are rewritten before their
+/// enclosing block (the order of the paper's Section 8 example). The
+/// rewriter receives `(select_pred, input_plan, subquery_plan, label)` for
+/// each `Select(Apply)` / bare `Apply` occurrence — `select_pred` is `None`
+/// for SELECT-clause nesting — and returns the replacement plan, or `None`
+/// to keep nested-loop processing.
+pub fn rewrite_blocks(
+    plan: Plan,
+    rewriter: &mut impl FnMut(Option<&ScalarExpr>, &Plan, &Plan, &str) -> Option<Plan>,
+) -> Plan {
+    // First rewrite the children of the pattern (inside-out recursion),
+    // *then* offer the rebuilt pattern to the rewriter.
+    match plan {
+        Plan::Select { input, pred } if matches!(*input, Plan::Apply { .. }) => {
+            let Plan::Apply { input: outer, subquery, label } = *input else { unreachable!() };
+            let outer = rewrite_blocks(*outer, rewriter);
+            let subquery = rewrite_blocks(*subquery, rewriter);
+            match rewriter(Some(&pred), &outer, &subquery, &label) {
+                Some(replacement) => replacement,
+                None => Plan::Select {
+                    input: Box::new(Plan::Apply {
+                        input: Box::new(outer),
+                        subquery: Box::new(subquery),
+                        label,
+                    }),
+                    pred,
+                },
+            }
+        }
+        Plan::Apply { input, subquery, label } => {
+            let input = rewrite_blocks(*input, rewriter);
+            let subquery = rewrite_blocks(*subquery, rewriter);
+            match rewriter(None, &input, &subquery, &label) {
+                Some(replacement) => replacement,
+                None => Plan::Apply {
+                    input: Box::new(input),
+                    subquery: Box::new(subquery),
+                    label,
+                },
+            }
+        }
+        other => {
+            let children: Vec<Plan> = tmql_algebra::rewrite::take_children(&other)
+                .into_iter()
+                .map(|c| rewrite_blocks(c, rewriter))
+                .collect();
+            tmql_algebra::rewrite::with_children(other, children)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmql_algebra::{CmpOp, ScalarExpr as E};
+
+    fn canonical_sub() -> Plan {
+        Plan::scan("Y", "y")
+            .select(E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+            .map(E::path("y", &["a"]), "sub")
+    }
+
+    #[test]
+    fn decompose_canonical() {
+        let parts = decompose_subquery(&canonical_sub()).unwrap();
+        assert_eq!(parts.inner, Plan::scan("Y", "y"));
+        assert!(parts.q.mentions("x"));
+        assert_eq!(parts.g, E::path("y", &["a"]));
+        assert!(decorrelatable(&parts));
+    }
+
+    #[test]
+    fn decompose_without_select() {
+        let sub = Plan::scan("Y", "y").map(E::var("y"), "sub");
+        let parts = decompose_subquery(&sub).unwrap();
+        assert_eq!(parts.q, E::lit(true));
+    }
+
+    #[test]
+    fn non_canonical_shapes_refused() {
+        assert!(decompose_subquery(&Plan::scan("Y", "y")).is_none());
+    }
+
+    #[test]
+    fn correlated_inner_not_decorrelatable() {
+        // FROM d.emps e — inner plan references the outer var d.
+        let sub = Plan::ScanExpr { expr: E::path("d", &["emps"]), var: "e".into() }
+            .map(E::var("e"), "sub");
+        let parts = decompose_subquery(&sub).unwrap();
+        assert!(!decorrelatable(&parts));
+    }
+
+    #[test]
+    fn replace_subexpr_replaces_all_occurrences() {
+        let count_z = E::agg(tmql_algebra::AggFn::Count, E::var("z"));
+        let e = E::and(
+            E::cmp(CmpOp::Eq, E::path("x", &["b"]), count_z.clone()),
+            E::cmp(CmpOp::Lt, count_z.clone(), E::lit(10i64)),
+        );
+        let replaced = replace_subexpr(&e, &count_z, &E::path("t", &["cnt"]));
+        assert!(!replaced.mentions("z"));
+        assert!(replaced.mentions("t"));
+    }
+
+    #[test]
+    fn rewrite_blocks_visits_inner_first() {
+        // Two-level nesting: record visit order of labels.
+        let inner_sub = Plan::scan("Z", "z2scan").map(E::path("z2scan", &["c"]), "s2");
+        let y_block = Plan::scan("Y", "y")
+            .apply(inner_sub, "z2")
+            .select(E::set_cmp(
+                tmql_algebra::SetCmpOp::In,
+                E::path("y", &["c"]),
+                E::var("z2"),
+            ))
+            .map(E::path("y", &["a"]), "s1");
+        let top = Plan::scan("X", "x")
+            .apply(y_block, "z1")
+            .select(E::set_cmp(tmql_algebra::SetCmpOp::In, E::path("x", &["a"]), E::var("z1")));
+        let mut order = Vec::new();
+        let _ = rewrite_blocks(top, &mut |_, _, _, label| {
+            order.push(label.to_string());
+            None
+        });
+        assert_eq!(order, vec!["z2".to_string(), "z1".to_string()]);
+    }
+
+    #[test]
+    fn rewrite_blocks_can_replace() {
+        let sub = canonical_sub();
+        let top = Plan::scan("X", "x").apply(sub, "z");
+        let out = rewrite_blocks(top, &mut |_, input, _, _| Some(input.clone()));
+        assert_eq!(out, Plan::scan("X", "x"));
+    }
+
+    #[test]
+    fn strategy_names_unique() {
+        let names: std::collections::BTreeSet<_> =
+            UnnestStrategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), UnnestStrategy::ALL.len());
+    }
+}

@@ -1,0 +1,230 @@
+//! Muralikrishna's improved unnesting [VLDB 89/92], as surveyed in
+//! Section 2 — the *other* correct relational fix.
+//!
+//! Where Ganski–Wong modify Kim's join-first variant (2), Muralikrishna
+//! modifies the group-first variant (1), which "in some cases is more
+//! efficient": keep the aggregated table `T = γ(R)`, but replace the final
+//! regular join by an **outerjoin with two predicates** — the regular
+//! predicate applied to matched tuples, and an **antijoin predicate**
+//! applied to the dangling ones:
+//!
+//! ```text
+//! Select (t ≠ NULL ∧ P[H(z) ↦ t.agg]) ∨ (t = NULL ∧ P[H(z) ↦ H(∅)])
+//!   I ⟕_{x.c = t.c} T
+//! T = γ_{keys; agg}(R)
+//! ```
+//!
+//! For the COUNT-bug query the antijoin predicate is the paper's
+//! `R.B = 0` (COUNT of the empty set). The same trick generalizes to the
+//! complex-object grouping predicates by substituting the **empty set**
+//! for `z` in the antijoin predicate (`x.a ⊆ ∅` for the SUBSETEQ query) —
+//! dangling tuples never see `T` at all, so the bug cannot occur.
+
+use tmql_algebra::{AggFn, Plan, ScalarExpr};
+use tmql_model::Value;
+
+use crate::classify::{classify, split_on_z, Classification};
+
+use super::kim::{correlation, find_unique_agg};
+use super::{decompose_subquery, decorrelatable, replace_subexpr, rewrite_blocks};
+
+/// Rewrite every decorrelatable WHERE-block with the outerjoin +
+/// antijoin-predicate scheme. SELECT-clause nesting is left to other
+/// strategies (the scheme fixes a *predicate*, and nested results have
+/// none).
+pub fn rewrite(plan: Plan) -> Plan {
+    rewrite_blocks(plan, &mut |pred, input, subquery, label| {
+        rewrite_one(pred?, input, subquery, label)
+    })
+}
+
+/// Rewrite one block; `None` leaves it as a nested loop.
+pub fn rewrite_one(
+    pred: &ScalarExpr,
+    input: &Plan,
+    subquery: &Plan,
+    label: &str,
+) -> Option<Plan> {
+    let parts = decompose_subquery(subquery)?;
+    if !decorrelatable(&parts) {
+        return None;
+    }
+    let (zpart, rest) = split_on_z(pred, label);
+    let zpart = match zpart {
+        Some(p) => p,
+        None => return Some(input.clone().select(ScalarExpr::conj(rest))),
+    };
+    // Existential predicates flatten exactly; delegate (Muralikrishna's
+    // types N/J treatment coincides with Kim's correct path).
+    if matches!(classify(&zpart, label), Classification::Existential { .. }) {
+        return super::semi_anti::rewrite_one(pred, input, subquery, label);
+    }
+    let corr = correlation(input, &parts)?;
+
+    let (t_plan, t_vars, matched_pred, anti_pred) =
+        if let Some(agg) = find_unique_agg(&zpart, label) {
+            // Aggregate case: T = γ(R).
+            let tvar = format!("__t_{label}");
+            let keys: Vec<(String, ScalarExpr)> = corr
+                .inner_keys
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (format!("k{i}"), e.clone()))
+                .collect();
+            let t = Plan::GroupAgg {
+                input: Box::new(corr.inner_plan.clone()),
+                keys: keys.clone(),
+                aggs: vec![("agg".to_string(), agg, parts.g.clone())],
+                var: tvar.clone(),
+            };
+            let target = ScalarExpr::agg(agg, ScalarExpr::var(label));
+            let matched = replace_subexpr(&zpart, &target, &ScalarExpr::path(&tvar, &["agg"]));
+            if matched.mentions(label) {
+                return None; // mixed aggregate/set use of z
+            }
+            // Antijoin predicate: H(∅).
+            let default = match agg {
+                AggFn::Count => ScalarExpr::lit(0i64),
+                AggFn::Sum => ScalarExpr::lit(0i64),
+                AggFn::Min | AggFn::Max | AggFn::Avg => ScalarExpr::Lit(Value::Null),
+            };
+            let anti = replace_subexpr(&zpart, &target, &default);
+            let key_eqs: Vec<ScalarExpr> = corr
+                .outer_keys
+                .iter()
+                .zip(&keys)
+                .map(|(o, (kname, _))| {
+                    ScalarExpr::eq(o.clone(), ScalarExpr::var(&tvar).field(kname.clone()))
+                })
+                .collect();
+            (t, vec![tvar.clone()], conj_with(key_eqs, matched, &tvar), anti)
+        } else {
+            // Complex-object case: T = ν(R), antijoin predicate P[z ↦ ∅].
+            let mut extended = corr.inner_plan.clone();
+            let mut key_vars = Vec::new();
+            for (i, k) in corr.inner_keys.iter().enumerate() {
+                let kname = format!("__k{i}_{label}");
+                extended = extended.extend(k.clone(), kname.clone());
+                key_vars.push(kname);
+            }
+            let t = Plan::Nest {
+                input: Box::new(extended),
+                keys: key_vars.clone(),
+                value: parts.g.clone(),
+                label: label.to_string(),
+                star: false,
+            };
+            let key_eqs: Vec<ScalarExpr> = corr
+                .outer_keys
+                .iter()
+                .zip(&key_vars)
+                .map(|(o, k)| ScalarExpr::eq(o.clone(), ScalarExpr::var(k)))
+                .collect();
+            let anti =
+                zpart.substitute(label, &ScalarExpr::Lit(Value::empty_set()));
+            let mut t_vars = key_vars.clone();
+            t_vars.push(label.to_string());
+            (t, t_vars, conj_with(key_eqs, zpart.clone(), label), anti)
+        };
+
+    // The outerjoin on the key equalities; matched/dangling split by a
+    // NULL test on the T-side binding.
+    let probe_var = t_vars[0].clone();
+    let outer = Plan::LeftOuterJoin {
+        left: Box::new(input.clone()),
+        right: Box::new(t_plan),
+        pred: strip_matched_keys(&matched_pred),
+    };
+    let is_null = ScalarExpr::IsNull(Box::new(ScalarExpr::var(&probe_var)));
+    let selected = outer.select(ScalarExpr::or(
+        ScalarExpr::and(ScalarExpr::not(is_null.clone()), strip_keys(&matched_pred)),
+        ScalarExpr::and(is_null, anti_pred),
+    ));
+    Some(if rest.is_empty() {
+        selected
+    } else {
+        selected.select(ScalarExpr::conj(rest))
+    })
+}
+
+/// The matched predicate is built as `keys ∧ P'`; the outerjoin takes the
+/// whole conjunction as its join predicate, and the post-Select re-applies
+/// only the `P'` part to matched rows. We carry the conjunction as a pair
+/// to avoid re-splitting: `MatchedPred { keys, body }`.
+#[derive(Debug, Clone)]
+struct MatchedPred {
+    keys: Vec<ScalarExpr>,
+    body: ScalarExpr,
+}
+
+fn conj_with(keys: Vec<ScalarExpr>, body: ScalarExpr, _label: &str) -> MatchedPred {
+    MatchedPred { keys, body }
+}
+
+fn strip_matched_keys(p: &MatchedPred) -> ScalarExpr {
+    ScalarExpr::conj(p.keys.clone())
+}
+
+fn strip_keys(p: &MatchedPred) -> ScalarExpr {
+    p.body.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmql_algebra::{CmpOp, ScalarExpr as E, SetCmpOp};
+
+    fn sub() -> Plan {
+        Plan::scan("S", "y")
+            .select(E::eq(E::path("x", &["c"]), E::path("y", &["c"])))
+            .map(E::path("y", &["d"]), "s")
+    }
+
+    #[test]
+    fn count_query_gets_outerjoin_with_antijoin_predicate() {
+        let pred = E::eq(E::path("x", &["b"]), E::agg(AggFn::Count, E::var("z")));
+        let p = Plan::scan("R", "x").apply(sub(), "z").select(pred);
+        let out = rewrite(p);
+        assert!(!out.has_apply());
+        assert!(out.any_node(&mut |n| matches!(n, Plan::GroupAgg { .. })), "{out}");
+        assert!(out.any_node(&mut |n| matches!(n, Plan::LeftOuterJoin { .. })), "{out}");
+        // The dangling branch compares against COUNT(∅) = 0.
+        let has_anti = out.any_node(&mut |n| {
+            matches!(n, Plan::Select { pred, .. }
+                if format!("{pred}").contains("IS NULL") && format!("{pred}").contains("= 0"))
+        });
+        assert!(has_anti, "{out}");
+    }
+
+    #[test]
+    fn subseteq_query_gets_empty_set_antijoin_predicate() {
+        let pred = E::set_cmp(SetCmpOp::SubsetEq, E::path("x", &["a"]), E::var("z"));
+        let p = Plan::scan("R", "x").apply(sub(), "z").select(pred);
+        let out = rewrite(p);
+        assert!(!out.has_apply());
+        assert!(out.any_node(&mut |n| matches!(n, Plan::Nest { star: false, .. })), "{out}");
+        let has_empty = out.any_node(&mut |n| {
+            matches!(n, Plan::Select { pred, .. } if format!("{pred}").contains("⊆ {}"))
+        });
+        assert!(has_empty, "{out}");
+    }
+
+    #[test]
+    fn existential_delegates_to_semijoin() {
+        let pred = E::set_cmp(SetCmpOp::In, E::path("x", &["b"]), E::var("z"));
+        let p = Plan::scan("R", "x").apply(sub(), "z").select(pred);
+        let out = rewrite(p);
+        assert!(out.any_node(&mut |n| matches!(n, Plan::SemiJoin { .. })), "{out}");
+        assert!(!out.any_node(&mut |n| matches!(n, Plan::LeftOuterJoin { .. })));
+    }
+
+    #[test]
+    fn non_equi_correlation_stays_nested_loop() {
+        let sub = Plan::scan("S", "y")
+            .select(E::cmp(CmpOp::Lt, E::path("x", &["c"]), E::path("y", &["c"])))
+            .map(E::path("y", &["d"]), "s");
+        let pred = E::eq(E::path("x", &["b"]), E::agg(AggFn::Count, E::var("z")));
+        let p = Plan::scan("R", "x").apply(sub, "z").select(pred);
+        assert!(rewrite(p).has_apply());
+    }
+}

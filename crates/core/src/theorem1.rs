@@ -1,0 +1,87 @@
+//! Theorem 1 (Section 7): the grouping decision procedure.
+//!
+//! > **Theorem 1.** Grouping is not necessary if the predicate expression
+//! > `P(x, z)` can be rewritten into a calculus expression of the form
+//! > (1) `∃v ∈ z (P'(x, v))` or (2) `¬∃v ∈ z (P'(x, v))`. In this
+//! > expression, `P'(x, v)` may be arbitrary.
+//!
+//! The constructive content of the theorem lives in [`crate::classify`](mod@crate::classify);
+//! this module packages the decision and names the flat join operator the
+//! rewrite licenses. The paper leaves open "whether grouping is always
+//! necessary in case predicate P cannot be rewritten" — accordingly,
+//! [`needs_grouping`] returning `true` means *our rewriter found no
+//! Theorem 1 form*, not a proof that none exists.
+
+use tmql_algebra::ScalarExpr;
+
+use crate::classify::{classify, Classification};
+
+/// Which flat join operator a grouping-free predicate maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlatJoin {
+    /// Form (1) `∃v ∈ z (P')`: semijoin ⋉.
+    Semi,
+    /// Form (2) `¬∃v ∈ z (P')`: antijoin ▷.
+    Anti,
+}
+
+/// Decide whether evaluating `P(x, z)` requires the subquery result as a
+/// whole (true) or can be answered by scanning it (false).
+pub fn needs_grouping(pred: &ScalarExpr, z: &str) -> bool {
+    matches!(classify(pred, z), Classification::RequiresGrouping)
+}
+
+/// The flat join operator for a grouping-free predicate, or `None` when
+/// grouping is required (or the predicate ignores `z`).
+pub fn flat_join(pred: &ScalarExpr, z: &str) -> Option<FlatJoin> {
+    match classify(pred, z) {
+        Classification::Existential { .. } => Some(FlatJoin::Semi),
+        Classification::NegatedExistential { .. } => Some(FlatJoin::Anti),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmql_algebra::{AggFn, CmpOp, ScalarExpr as E, SetCmpOp};
+
+    #[test]
+    fn section8_example_predicates() {
+        // P1: x.a ⊆ z and P2: y.c ⊆ z "do require grouping (see Table 2)".
+        let p1 = E::set_cmp(SetCmpOp::SubsetEq, E::path("x", &["a"]), E::var("z"));
+        assert!(needs_grouping(&p1, "z"));
+        // "Now assume that the operators ⊆ in predicates P1 and P2 are
+        // changed in ∈ and ∉ respectively, then the nest join operation in
+        // (1) may be replaced by an antijoin operation, and the nest join
+        // in (3) may be replaced by a semijoin operation."
+        let p1_in = E::set_cmp(SetCmpOp::In, E::path("x", &["a"]), E::var("z"));
+        assert_eq!(flat_join(&p1_in, "z"), Some(FlatJoin::Semi));
+        let p2_notin = E::set_cmp(SetCmpOp::NotIn, E::path("y", &["c"]), E::var("z"));
+        assert_eq!(flat_join(&p2_notin, "z"), Some(FlatJoin::Anti));
+    }
+
+    #[test]
+    fn count_bug_predicate_needs_grouping() {
+        let p = E::eq(E::path("x", &["b"]), E::agg(AggFn::Count, E::var("z")));
+        assert!(needs_grouping(&p, "z"));
+        assert_eq!(flat_join(&p, "z"), None);
+    }
+
+    #[test]
+    fn arbitrary_body_allowed() {
+        // ∃v ∈ z (v.age < x.limit ∧ v.name ≠ "root") — P' arbitrary.
+        let body = E::and(
+            E::cmp(CmpOp::Lt, E::path("v", &["age"]), E::path("x", &["limit"])),
+            E::cmp(CmpOp::Ne, E::path("v", &["name"]), E::lit("root")),
+        );
+        let p = E::quant(tmql_algebra::Quantifier::Exists, "v", E::var("z"), body);
+        assert_eq!(flat_join(&p, "z"), Some(FlatJoin::Semi));
+    }
+
+    #[test]
+    fn independent_predicate_has_no_flat_join() {
+        assert_eq!(flat_join(&E::lit(true), "z"), None);
+        assert!(!needs_grouping(&E::lit(true), "z"));
+    }
+}

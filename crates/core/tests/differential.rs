@@ -1,0 +1,239 @@
+//! Differential testing of the unnesting strategies.
+//!
+//! The nested-loop `Apply` plan is the *semantics* of a nested query (the
+//! paper's baseline, always correct). Every strategy's rewritten plan is
+//! executed against the same randomly generated databases and compared to
+//! the oracle:
+//!
+//! * NestJoin, GanskiWong, FlattenSemiAnti, Optimal must agree **always**;
+//! * Kim must agree exactly when no dangling outer tuples satisfy the
+//!   predicate — and must *disagree* on the crafted COUNT/SUBSETEQ bug
+//!   databases (the bug is part of the spec).
+
+use proptest::prelude::*;
+use tmql_algebra::{AggFn, Plan, ScalarExpr as E, SetCmpOp};
+use tmql_core::strategy::UnnestStrategy;
+use tmql_core::{table2, unnest_plan};
+use tmql_exec::{run_values, ExecConfig, JoinAlgo};
+use tmql_model::{Record, Ty, Value};
+use tmql_storage::{Catalog, Table};
+
+/// Build catalog with X(a: set<int>, b:int, n:int) and Y(b:int, a:int).
+/// `x_rows`: (set-elems, b, n); `y_rows`: (b, a).
+fn catalog(x_rows: &[(Vec<i64>, i64, i64)], y_rows: &[(i64, i64)]) -> Catalog {
+    let mut cat = Catalog::new();
+    let mut x = Table::new(
+        "X",
+        vec![
+            ("a".into(), Ty::Set(Box::new(Ty::Int))),
+            ("b".into(), Ty::Int),
+            ("n".into(), Ty::Int),
+        ],
+    );
+    for (set, b, n) in x_rows {
+        let rec = Record::new([
+            ("a".to_string(), Value::set(set.iter().copied().map(Value::Int))),
+            ("b".to_string(), Value::Int(*b)),
+            ("n".to_string(), Value::Int(*n)),
+        ])
+        .unwrap();
+        x.insert(rec).unwrap();
+    }
+    cat.register(x).unwrap();
+    let mut y = Table::new("Y", vec![("b".into(), Ty::Int), ("a".into(), Ty::Int)]);
+    for (b, a) in y_rows {
+        let rec =
+            Record::new([("b".to_string(), Value::Int(*b)), ("a".to_string(), Value::Int(*a))])
+                .unwrap();
+        y.insert(rec).unwrap();
+    }
+    cat.register(y).unwrap();
+    cat
+}
+
+/// SELECT x FROM X x WHERE P(x, z) WITH z = SELECT y.a FROM Y y WHERE x.b = y.b
+fn nested_query(pred: E) -> Plan {
+    let sub = Plan::scan("Y", "y")
+        .select(E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+        .map(E::path("y", &["a"]), "s");
+    Plan::scan("X", "x").apply(sub, "z").select(pred).map(E::var("x"), "out")
+}
+
+fn results(plan: &Plan, cat: &Catalog, algo: JoinAlgo) -> std::collections::BTreeSet<Value> {
+    run_values(plan, cat, &ExecConfig::with_join_algo(algo)).expect("execution succeeds")
+}
+
+/// Predicates exercising every Table 2 row (x.a is set-valued; x.n is the
+/// atomic attribute).
+fn predicate_corpus() -> Vec<(&'static str, E)> {
+    let xa = || E::path("x", &["a"]);
+    let xn = || E::path("x", &["n"]);
+    let z = || E::var("z");
+    vec![
+        ("z = ∅", E::set_cmp(SetCmpOp::SetEq, z(), E::Lit(Value::empty_set()))),
+        ("count(z) = 0", E::cmp(tmql_algebra::CmpOp::Eq, E::agg(AggFn::Count, z()), E::lit(0i64))),
+        ("count(z) ≠ 0", E::cmp(tmql_algebra::CmpOp::Ne, E::agg(AggFn::Count, z()), E::lit(0i64))),
+        ("x.n = count(z)", E::eq(xn(), E::agg(AggFn::Count, z()))),
+        ("x.n ∈ z", E::set_cmp(SetCmpOp::In, xn(), z())),
+        ("x.n ∉ z", E::set_cmp(SetCmpOp::NotIn, xn(), z())),
+        ("x.a ⊆ z", E::set_cmp(SetCmpOp::SubsetEq, xa(), z())),
+        ("x.a ⊂ z", E::set_cmp(SetCmpOp::Subset, xa(), z())),
+        ("x.a ⊇ z", E::set_cmp(SetCmpOp::SupersetEq, xa(), z())),
+        ("x.a ⊃ z", E::set_cmp(SetCmpOp::Superset, xa(), z())),
+        ("x.a = z", E::set_cmp(SetCmpOp::SetEq, xa(), z())),
+        ("x.a ≠ z", E::set_cmp(SetCmpOp::SetNe, xa(), z())),
+        ("x.a ∩ z = ∅", E::set_cmp(SetCmpOp::Disjoint, xa(), z())),
+        ("x.a ∩ z ≠ ∅", E::set_cmp(SetCmpOp::Intersects, xa(), z())),
+        ("x.n < max(z)", E::cmp(tmql_algebra::CmpOp::Lt, xn(), E::agg(AggFn::Max, z()))),
+        ("x.n > min(z)", E::cmp(tmql_algebra::CmpOp::Gt, xn(), E::agg(AggFn::Min, z()))),
+        (
+            "∃v ∈ z (v < x.n)",
+            E::quant(
+                tmql_algebra::Quantifier::Exists,
+                "v",
+                z(),
+                E::cmp(tmql_algebra::CmpOp::Lt, E::var("v"), xn()),
+            ),
+        ),
+        (
+            "∀v ∈ z (v ≠ x.n)",
+            E::quant(
+                tmql_algebra::Quantifier::Forall,
+                "v",
+                z(),
+                E::cmp(tmql_algebra::CmpOp::Ne, E::var("v"), xn()),
+            ),
+        ),
+    ]
+}
+
+/// Strategies that must always agree with the nested-loop oracle.
+const CORRECT: [UnnestStrategy; 5] = [
+    UnnestStrategy::GanskiWong,
+    UnnestStrategy::Muralikrishna,
+    UnnestStrategy::NestJoin,
+    UnnestStrategy::FlattenSemiAnti,
+    UnnestStrategy::Optimal,
+];
+
+fn check_catalog(cat: &Catalog) {
+    for (name, pred) in predicate_corpus() {
+        let base = nested_query(pred);
+        let oracle = results(&base, cat, JoinAlgo::Auto);
+        for strat in CORRECT {
+            let plan = unnest_plan(base.clone(), strat);
+            for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge] {
+                let got = results(&plan, cat, algo);
+                assert_eq!(
+                    got, oracle,
+                    "strategy {} / algo {:?} disagrees on predicate `{name}`",
+                    strat.name(), algo,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_database_with_dangling_rows() {
+    // x1 matches two y's; x2 matches none (dangling — the bug trigger);
+    // x3 matches one.
+    let cat = catalog(
+        &[(vec![10, 11], 1, 2), (vec![], 9, 0), (vec![30], 3, 1)],
+        &[(1, 10), (1, 11), (3, 30)],
+    );
+    check_catalog(&cat);
+}
+
+#[test]
+fn kim_exhibits_the_count_bug_here() {
+    // Dangling x with n = 0 must appear in the oracle for x.n = count(z)
+    // but vanish under Kim.
+    let cat = catalog(&[(vec![], 9, 0), (vec![10], 1, 1)], &[(1, 10)]);
+    let pred = E::eq(E::path("x", &["n"]), E::agg(AggFn::Count, E::var("z")));
+    let base = nested_query(pred);
+    let oracle = results(&base, &cat, JoinAlgo::Auto);
+    assert_eq!(oracle.len(), 2, "both rows satisfy the nested query");
+    let kim = results(&unnest_plan(base, UnnestStrategy::Kim), &cat, JoinAlgo::Auto);
+    assert_eq!(kim.len(), 1, "Kim loses the dangling tuple — the COUNT bug");
+    assert!(kim.is_subset(&oracle));
+}
+
+#[test]
+fn kim_exhibits_the_subseteq_bug_here() {
+    // x.a = ∅ ⊆ z holds for every z, including for the dangling row.
+    let cat = catalog(&[(vec![], 9, 0), (vec![10], 1, 1)], &[(1, 10)]);
+    let pred = E::set_cmp(SetCmpOp::SubsetEq, E::path("x", &["a"]), E::var("z"));
+    let base = nested_query(pred);
+    let oracle = results(&base, &cat, JoinAlgo::Auto);
+    assert_eq!(oracle.len(), 2);
+    let kim = results(&unnest_plan(base, UnnestStrategy::Kim), &cat, JoinAlgo::Auto);
+    assert_eq!(kim.len(), 1, "Kim loses the dangling tuple — the SUBSETEQ bug");
+}
+
+#[test]
+fn kim_agrees_when_no_dangling_tuples() {
+    // Every x.b has matching y rows → Kim's transformation is safe.
+    let cat = catalog(
+        &[(vec![10], 1, 1), (vec![10, 11], 1, 2), (vec![30], 3, 1)],
+        &[(1, 10), (1, 11), (3, 30)],
+    );
+    for (name, pred) in predicate_corpus() {
+        let base = nested_query(pred);
+        let oracle = results(&base, &cat, JoinAlgo::Auto);
+        let plan = unnest_plan(base, UnnestStrategy::Kim);
+        let got = results(&plan, &cat, JoinAlgo::Auto);
+        assert_eq!(got, oracle, "Kim without dangling tuples on `{name}`");
+    }
+}
+
+#[test]
+fn table2_rows_execute_equivalently() {
+    // Each Table 2 entry's predicate, executed under Optimal vs oracle.
+    let cat = catalog(
+        &[(vec![10, 11], 1, 2), (vec![], 9, 0), (vec![10], 1, 1), (vec![30, 31], 3, 0)],
+        &[(1, 10), (1, 11), (3, 30)],
+    );
+    for entry in table2::entries() {
+        let base = nested_query(entry.pred.clone());
+        let oracle = results(&base, &cat, JoinAlgo::Auto);
+        let plan = unnest_plan(base, UnnestStrategy::Optimal);
+        let got = results(&plan, &cat, JoinAlgo::Auto);
+        assert_eq!(got, oracle, "Table 2 row `{}`", entry.form);
+        // Rows the paper marks grouping-free must actually flatten.
+        if entry.expected.avoids_grouping() {
+            let flat = unnest_plan(nested_query(entry.pred.clone()), UnnestStrategy::Optimal);
+            assert!(!flat.has_nest_join(), "row `{}` should flatten", entry.form);
+            assert!(!flat.has_apply(), "row `{}` should decorrelate", entry.form);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized databases: all correct strategies agree with the oracle
+    /// on every corpus predicate.
+    #[test]
+    fn strategies_agree_on_random_databases(
+        x_rows in prop::collection::vec(
+            (prop::collection::vec(0i64..6, 0..3), 0i64..5, 0i64..4),
+            0..6,
+        ),
+        y_rows in prop::collection::vec((0i64..5, 0i64..6), 0..8),
+    ) {
+        let cat = catalog(&x_rows, &y_rows);
+        for (name, pred) in predicate_corpus() {
+            let base = nested_query(pred);
+            let oracle = results(&base, &cat, JoinAlgo::Auto);
+            for strat in CORRECT {
+                let plan = unnest_plan(base.clone(), strat);
+                let got = results(&plan, &cat, JoinAlgo::Auto);
+                prop_assert_eq!(
+                    &got, &oracle,
+                    "strategy {} disagrees on `{}`", strat.name(), name
+                );
+            }
+        }
+    }
+}

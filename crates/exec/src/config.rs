@@ -1,0 +1,50 @@
+//! Executor configuration.
+
+/// Join algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinAlgo {
+    /// Let the cost model decide (hash when equi-keys exist and the build
+    /// side fits the heuristics, else nested-loop).
+    #[default]
+    Auto,
+    /// Force nested-loop.
+    NestedLoop,
+    /// Force hash (falls back to nested-loop when no equi-key exists).
+    Hash,
+    /// Force sort-merge (falls back to nested-loop when no equi-key
+    /// exists).
+    SortMerge,
+}
+
+/// Configuration for planning and execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecConfig {
+    /// Algorithm for the join family (join/semi/anti/outer/nest join).
+    pub join_algo: JoinAlgo,
+}
+
+impl ExecConfig {
+    /// Cost-based defaults.
+    pub fn auto() -> ExecConfig {
+        ExecConfig { join_algo: JoinAlgo::Auto }
+    }
+
+    /// Pin a join algorithm (benchmarks use this to compare
+    /// implementations, reproducing the paper's "the optimizer can choose
+    /// the most suitable join execution method").
+    pub fn with_join_algo(algo: JoinAlgo) -> ExecConfig {
+        ExecConfig { join_algo: algo }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_auto() {
+        assert_eq!(ExecConfig::default().join_algo, JoinAlgo::Auto);
+        assert_eq!(ExecConfig::auto().join_algo, JoinAlgo::Auto);
+        assert_eq!(ExecConfig::with_join_algo(JoinAlgo::Hash).join_algo, JoinAlgo::Hash);
+    }
+}

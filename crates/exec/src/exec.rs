@@ -1,0 +1,260 @@
+//! The physical plan interpreter.
+
+use std::collections::BTreeSet;
+
+use tmql_algebra::{eval, eval_predicate, Env, Plan, ScalarExpr};
+use tmql_model::{Record, Result, Value};
+use tmql_storage::Catalog;
+
+use crate::config::ExecConfig;
+use crate::metrics::Metrics;
+use crate::op;
+use crate::physical::PhysPlan;
+
+/// Execution context: the catalog plus accumulated metrics.
+#[derive(Debug)]
+pub struct ExecContext<'a> {
+    /// Stored tables.
+    pub catalog: &'a Catalog,
+    /// Work counters, accumulated across the whole plan (including
+    /// correlated subquery executions).
+    pub metrics: Metrics,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Fresh context over a catalog.
+    pub fn new(catalog: &'a Catalog) -> ExecContext<'a> {
+        ExecContext { catalog, metrics: Metrics::new() }
+    }
+}
+
+/// Execute a physical plan. `env` carries correlation bindings (outer rows
+/// of enclosing `Apply` operators); it is restored before returning.
+pub fn execute(plan: &PhysPlan, ctx: &mut ExecContext<'_>, env: &Env) -> Result<Vec<Record>> {
+    let mut env = env.clone();
+    exec_inner(plan, ctx, &mut env)
+}
+
+fn exec_inner(plan: &PhysPlan, ctx: &mut ExecContext<'_>, env: &mut Env) -> Result<Vec<Record>> {
+    match plan {
+        PhysPlan::ScanTable { table, var } => {
+            let t = ctx.catalog.table(table)?;
+            ctx.metrics.rows_scanned += t.len() as u64;
+            let mut out = Vec::with_capacity(t.len());
+            for row in t.rows() {
+                out.push(Record::new([(var.clone(), Value::Tuple(row.clone()))])?);
+            }
+            Ok(out)
+        }
+        PhysPlan::ScanExpr { expr, var } => {
+            let set = eval(expr, env)?;
+            let set = set.as_set()?.clone();
+            ctx.metrics.rows_scanned += set.len() as u64;
+            let mut out = Vec::with_capacity(set.len());
+            for item in set {
+                out.push(Record::new([(var.clone(), item)])?);
+            }
+            Ok(out)
+        }
+        PhysPlan::Filter { input, pred } => {
+            let rows = exec_inner(input, ctx, env)?;
+            let mut out = Vec::new();
+            for row in rows {
+                ctx.metrics.comparisons += 1;
+                let keep = op::with_row(env, &row, |e| eval_predicate(pred, e))?;
+                if keep {
+                    out.push(row);
+                }
+            }
+            ctx.metrics.rows_emitted += out.len() as u64;
+            Ok(out)
+        }
+        PhysPlan::Map { input, expr, var } => {
+            let rows = exec_inner(input, ctx, env)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let v = op::with_row(env, &row, |e| eval(expr, e))?;
+                out.push(Record::new([(var.clone(), v)])?);
+            }
+            let out = op::dedup(out);
+            ctx.metrics.rows_emitted += out.len() as u64;
+            Ok(out)
+        }
+        PhysPlan::Extend { input, expr, var } => {
+            let rows = exec_inner(input, ctx, env)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let v = op::with_row(env, &row, |e| eval(expr, e))?;
+                out.push(row.extend_field(var, v)?);
+            }
+            ctx.metrics.rows_emitted += out.len() as u64;
+            Ok(out)
+        }
+        PhysPlan::Project { input, vars } => {
+            let rows = exec_inner(input, ctx, env)?;
+            let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                out.push(row.project(&var_refs)?);
+            }
+            let out = op::dedup(out);
+            ctx.metrics.rows_emitted += out.len() as u64;
+            Ok(out)
+        }
+        PhysPlan::NlJoin { left, right, pred, kind } => {
+            let l = exec_inner(left, ctx, env)?;
+            let r = exec_inner(right, ctx, env)?;
+            op::nl::join(&l, &r, pred, kind, env, &mut ctx.metrics)
+        }
+        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual, kind } => {
+            let l = exec_inner(left, ctx, env)?;
+            let r = exec_inner(right, ctx, env)?;
+            op::hash::join(&l, &r, left_keys, right_keys, residual.as_ref(), kind, env, &mut ctx.metrics)
+        }
+        PhysPlan::MergeJoin { left, right, left_keys, right_keys, residual, kind } => {
+            let l = exec_inner(left, ctx, env)?;
+            let r = exec_inner(right, ctx, env)?;
+            op::merge::join(&l, &r, left_keys, right_keys, residual.as_ref(), kind, env, &mut ctx.metrics)
+        }
+        PhysPlan::Nest { input, keys, value, label, star } => {
+            let rows = exec_inner(input, ctx, env)?;
+            op::group::nest(&rows, keys, value, label, *star, env, &mut ctx.metrics)
+        }
+        PhysPlan::Unnest { input, expr, elem_var, drop_vars } => {
+            let rows = exec_inner(input, ctx, env)?;
+            op::group::unnest(&rows, expr, elem_var, drop_vars, env, &mut ctx.metrics)
+        }
+        PhysPlan::GroupAgg { input, keys, aggs, var } => {
+            let rows = exec_inner(input, ctx, env)?;
+            op::group::group_agg(&rows, keys, aggs, var, env, &mut ctx.metrics)
+        }
+        PhysPlan::Apply { input, subquery, label } => {
+            let rows = exec_inner(input, ctx, env)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                env.push_row(&row);
+                ctx.metrics.subquery_invocations += 1;
+                let sub = exec_inner(subquery, ctx, env);
+                env.pop_n(row.len());
+                let sub = sub?;
+                let set: BTreeSet<Value> = sub.iter().map(Plan::row_output_value).collect();
+                out.push(row.extend_field(label, Value::Set(set))?);
+            }
+            ctx.metrics.rows_emitted += out.len() as u64;
+            Ok(out)
+        }
+        PhysPlan::SetOp { kind, left, right, var } => {
+            let l = exec_inner(left, ctx, env)?;
+            let r = exec_inner(right, ctx, env)?;
+            op::group::set_op(*kind, &l, &r, var, &mut ctx.metrics)
+        }
+    }
+}
+
+/// Lower a logical plan with `config` and execute it, returning rows only.
+pub fn execute_logical(
+    plan: &tmql_algebra::Plan,
+    catalog: &Catalog,
+    config: &ExecConfig,
+) -> Result<Vec<Record>> {
+    let phys = crate::planner::lower(plan, catalog, config)?;
+    let mut ctx = ExecContext::new(catalog);
+    execute(&phys, &mut ctx, &Env::new())
+}
+
+/// Evaluate a whole scalar expression tree as a constant (no tables); used
+/// for constant subqueries.
+pub fn eval_const(expr: &ScalarExpr) -> Result<Value> {
+    eval(expr, &mut Env::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmql_algebra::ScalarExpr as E;
+    use tmql_storage::table::int_table;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(int_table("X", &["a", "b"], &[&[1, 1], &[2, 1], &[3, 3], &[4, 9]])).unwrap();
+        cat.register(int_table("Y", &["b", "c"], &[&[1, 10], &[1, 11], &[3, 30]])).unwrap();
+        cat
+    }
+
+    #[test]
+    fn scan_filter_map() {
+        let cat = catalog();
+        let plan = PhysPlan::Map {
+            input: Box::new(PhysPlan::Filter {
+                input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+                pred: E::cmp(tmql_algebra::CmpOp::Gt, E::path("x", &["a"]), E::lit(2i64)),
+            }),
+            expr: E::path("x", &["a"]),
+            var: "v".into(),
+        };
+        let mut ctx = ExecContext::new(&cat);
+        let rows = execute(&plan, &mut ctx, &Env::new()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(ctx.metrics.rows_scanned, 4);
+    }
+
+    #[test]
+    fn map_dedups() {
+        let cat = catalog();
+        // Project X onto b: values {1, 1, 3, 9} → 3 distinct.
+        let plan = PhysPlan::Map {
+            input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+            expr: E::path("x", &["b"]),
+            var: "v".into(),
+        };
+        let mut ctx = ExecContext::new(&cat);
+        let rows = execute(&plan, &mut ctx, &Env::new()).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn apply_is_a_real_nested_loop() {
+        let cat = catalog();
+        // For each x: { y.c | y ∈ Y, x.b = y.b }
+        let sub = PhysPlan::Map {
+            input: Box::new(PhysPlan::Filter {
+                input: Box::new(PhysPlan::ScanTable { table: "Y".into(), var: "y".into() }),
+                pred: E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+            }),
+            expr: E::path("y", &["c"]),
+            var: "v".into(),
+        };
+        let plan = PhysPlan::Apply {
+            input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+            subquery: Box::new(sub),
+            label: "z".into(),
+        };
+        let mut ctx = ExecContext::new(&cat);
+        let rows = execute(&plan, &mut ctx, &Env::new()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(ctx.metrics.subquery_invocations, 4);
+        // x=(1,1): z = {10, 11}; x=(4,9): z = ∅ (dangling preserved!).
+        let z1 = rows[0].get("z").unwrap().as_set().unwrap().len();
+        assert_eq!(z1, 2);
+        let z4 = rows[3].get("z").unwrap();
+        assert_eq!(z4, &Value::empty_set());
+    }
+
+    #[test]
+    fn scan_expr_iterates_correlated_sets() {
+        let cat = catalog();
+        let plan = PhysPlan::ScanExpr { expr: E::var("zs"), var: "v".into() };
+        let mut env = Env::new();
+        env.push("zs", Value::set([Value::Int(1), Value::Int(2)]));
+        let mut ctx = ExecContext::new(&cat);
+        let rows = exec_inner(&plan, &mut ctx, &mut env).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn eval_const_subquery() {
+        let v = eval_const(&E::agg(tmql_algebra::AggFn::Count, E::SetLit(vec![E::lit(1i64)])))
+            .unwrap();
+        assert_eq!(v, Value::Int(1));
+    }
+}

@@ -1,0 +1,353 @@
+//! Grouping operators: ν / ν* (nest), μ (unnest), and relational GROUP BY.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use tmql_algebra::{eval, AggFn, Env, Plan, ScalarExpr, SetOpKind};
+use tmql_model::{ModelError, Record, Result, Value};
+
+use crate::metrics::Metrics;
+
+use super::with_row;
+
+/// The nest operator ν (and ν*): group rows by the values of `keys`,
+/// collapsing each group to `keys ++ (label = {value(row) | row ∈ group})`.
+///
+/// With `star = true` (ν* of Section 6), payload values that are NULL —
+/// i.e. stem from the NULL-extended side of an outerjoin — are dropped, so
+/// an all-NULL group yields ∅. This is exactly the step the nest join makes
+/// unnecessary.
+pub fn nest(
+    rows: &[Record],
+    keys: &[String],
+    value: &ScalarExpr,
+    label: &str,
+    star: bool,
+    env: &mut Env,
+    m: &mut Metrics,
+) -> Result<Vec<Record>> {
+    // Group index keyed by the key values; insertion order preserved.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: BTreeMap<Vec<Value>, (Record, BTreeSet<Value>)> = BTreeMap::new();
+    for row in rows {
+        let mut keyvals = Vec::with_capacity(keys.len());
+        let mut key_rec = Record::empty();
+        for k in keys {
+            let v = row.get(k)?.clone();
+            keyvals.push(v.clone());
+            key_rec.push(k.clone(), v)?;
+        }
+        let payload = with_row(env, row, |e| eval(value, e))?;
+        m.comparisons += 1;
+        let entry = groups.entry(keyvals.clone()).or_insert_with(|| {
+            order.push(keyvals);
+            (key_rec, BTreeSet::new())
+        });
+        if star && payload.is_null() {
+            // ν*: "mapping nested sets consisting of a NULL-tuple to the
+            // empty set".
+            continue;
+        }
+        entry.1.insert(payload);
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let (rec, set) = groups.remove(&key).expect("group recorded");
+        out.push(rec.extend_field(label, Value::Set(set))?);
+    }
+    m.rows_emitted += out.len() as u64;
+    Ok(out)
+}
+
+/// The unnest operator μ: for each row, bind every element of the set
+/// `expr(row)` to `elem_var` (dropping `drop_vars`). Rows whose set is
+/// empty vanish — μ is lossy on empty sets, which is why ν and μ are not
+/// mutual inverses in general.
+pub fn unnest(
+    rows: &[Record],
+    expr: &ScalarExpr,
+    elem_var: &str,
+    drop_vars: &[String],
+    env: &mut Env,
+    m: &mut Metrics,
+) -> Result<Vec<Record>> {
+    let mut out = Vec::new();
+    for row in rows {
+        let set = with_row(env, row, |e| eval(expr, e))?;
+        let set = set.as_set()?.clone();
+        let mut base = row.clone();
+        for d in drop_vars {
+            base = base.without(d)?;
+        }
+        for item in set {
+            out.push(base.extend_field(elem_var, item)?);
+        }
+    }
+    m.rows_emitted += out.len() as u64;
+    Ok(out)
+}
+
+/// Relational GROUP BY with aggregates (multiset semantics over the rows of
+/// each group) — the machinery Kim's algorithm and the Ganski–Wong fix are
+/// built from (Section 2).
+pub fn group_agg(
+    rows: &[Record],
+    keys: &[(String, ScalarExpr)],
+    aggs: &[(String, AggFn, ScalarExpr)],
+    var: &str,
+    env: &mut Env,
+    m: &mut Metrics,
+) -> Result<Vec<Record>> {
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: BTreeMap<Vec<Value>, Vec<Vec<Value>>> = BTreeMap::new();
+    // groups: key values → per-agg argument value lists.
+    for row in rows {
+        let (keyvals, argvals) = with_row(env, row, |e| {
+            let mut kv = Vec::with_capacity(keys.len());
+            for (_, ke) in keys {
+                kv.push(eval(ke, e)?);
+            }
+            let mut av = Vec::with_capacity(aggs.len());
+            for (_, _, ae) in aggs {
+                av.push(eval(ae, e)?);
+            }
+            Ok((kv, av))
+        })?;
+        m.comparisons += 1;
+        let entry = groups.entry(keyvals.clone()).or_insert_with(|| {
+            order.push(keyvals);
+            vec![Vec::new(); aggs.len()]
+        });
+        for (i, v) in argvals.into_iter().enumerate() {
+            entry[i].push(v);
+        }
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let arglists = groups.remove(&key).expect("group recorded");
+        let mut tup = Record::empty();
+        for ((label, _), v) in keys.iter().zip(key) {
+            tup.push(label.clone(), v)?;
+        }
+        for ((label, f, _), args) in aggs.iter().zip(arglists) {
+            tup.push(label.clone(), fold_agg(*f, &args)?)?;
+        }
+        out.push(Record::new([(var.to_string(), Value::Tuple(tup))])?);
+    }
+    m.rows_emitted += out.len() as u64;
+    Ok(out)
+}
+
+/// Fold an aggregate over the multiset of group argument values.
+fn fold_agg(f: AggFn, args: &[Value]) -> Result<Value> {
+    match f {
+        AggFn::Count => Ok(Value::Int(args.len() as i64)),
+        AggFn::Sum => {
+            let mut acc = Value::Int(0);
+            for v in args {
+                acc = acc.add(v)?;
+            }
+            Ok(acc)
+        }
+        AggFn::Min => Ok(args.iter().min().cloned().unwrap_or(Value::Null)),
+        AggFn::Max => Ok(args.iter().max().cloned().unwrap_or(Value::Null)),
+        AggFn::Avg => {
+            if args.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut acc = Value::Int(0);
+            for v in args {
+                acc = acc.add(v)?;
+            }
+            acc.div(&Value::Float(args.len() as f64))
+        }
+    }
+}
+
+/// Set operation on the output values of two row sets, rebinding to `var`.
+pub fn set_op(
+    kind: SetOpKind,
+    left: &[Record],
+    right: &[Record],
+    var: &str,
+    m: &mut Metrics,
+) -> Result<Vec<Record>> {
+    let lvals: BTreeSet<Value> = left.iter().map(Plan::row_output_value).collect();
+    let rvals: BTreeSet<Value> = right.iter().map(Plan::row_output_value).collect();
+    m.comparisons += (left.len() + right.len()) as u64;
+    let vals: Vec<Value> = match kind {
+        SetOpKind::Union => lvals.union(&rvals).cloned().collect(),
+        SetOpKind::Intersect => lvals.intersection(&rvals).cloned().collect(),
+        SetOpKind::Except => lvals.difference(&rvals).cloned().collect(),
+    };
+    let mut out = Vec::with_capacity(vals.len());
+    for v in vals {
+        out.push(
+            Record::new([(var.to_string(), v)]).map_err(|e| ModelError::SchemaError(e.to_string()))?,
+        );
+    }
+    m.rows_emitted += out.len() as u64;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmql_algebra::ScalarExpr as E;
+
+    fn row(pairs: &[(&str, Value)]) -> Record {
+        Record::new(pairs.iter().map(|(l, v)| (l.to_string(), v.clone()))).unwrap()
+    }
+
+    #[test]
+    fn nest_groups_and_keeps_keys() {
+        let rows = vec![
+            row(&[("b", Value::Int(1)), ("a", Value::Int(10))]),
+            row(&[("b", Value::Int(1)), ("a", Value::Int(11))]),
+            row(&[("b", Value::Int(2)), ("a", Value::Int(12))]),
+        ];
+        let out = nest(
+            &rows,
+            &["b".to_string()],
+            &E::var("a"),
+            "as",
+            false,
+            &mut Env::new(),
+            &mut Metrics::new(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("as").unwrap().as_set().unwrap().len(), 2);
+        assert_eq!(out[1].get("as").unwrap().as_set().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn nest_star_elides_nulls() {
+        // An outerjoined dangling row: payload NULL.
+        let rows = vec![
+            row(&[("x", Value::Int(1)), ("y", Value::Null)]),
+            row(&[("x", Value::Int(2)), ("y", Value::Int(7))]),
+        ];
+        let star = nest(
+            &rows,
+            &["x".to_string()],
+            &E::var("y"),
+            "ys",
+            true,
+            &mut Env::new(),
+            &mut Metrics::new(),
+        )
+        .unwrap();
+        assert_eq!(star[0].get("ys").unwrap(), &Value::empty_set());
+        assert_eq!(star[1].get("ys").unwrap().as_set().unwrap().len(), 1);
+        // Plain ν keeps the NULL — the relational wart ν* exists to fix.
+        let plain = nest(
+            &rows,
+            &["x".to_string()],
+            &E::var("y"),
+            "ys",
+            false,
+            &mut Env::new(),
+            &mut Metrics::new(),
+        )
+        .unwrap();
+        assert_eq!(plain[0].get("ys").unwrap().as_set().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unnest_drops_empty_sets() {
+        let rows = vec![
+            row(&[("x", Value::Int(1)), ("s", Value::set([Value::Int(1), Value::Int(2)]))]),
+            row(&[("x", Value::Int(2)), ("s", Value::empty_set())]),
+        ];
+        let out = unnest(
+            &rows,
+            &E::var("s"),
+            "v",
+            &["s".to_string()],
+            &mut Env::new(),
+            &mut Metrics::new(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r.get("x").unwrap() == &Value::Int(1)));
+        assert!(out.iter().all(|r| !r.has("s")));
+    }
+
+    #[test]
+    fn nest_then_unnest_round_trips_nonempty() {
+        let rows = vec![
+            row(&[("b", Value::Int(1)), ("a", Value::Int(10))]),
+            row(&[("b", Value::Int(1)), ("a", Value::Int(11))]),
+        ];
+        let nested = nest(
+            &rows,
+            &["b".to_string()],
+            &E::var("a"),
+            "as",
+            false,
+            &mut Env::new(),
+            &mut Metrics::new(),
+        )
+        .unwrap();
+        let back = unnest(
+            &nested,
+            &E::var("as"),
+            "a",
+            &["as".to_string()],
+            &mut Env::new(),
+            &mut Metrics::new(),
+        )
+        .unwrap();
+        let orig: BTreeSet<Record> = rows.into_iter().collect();
+        let got: BTreeSet<Record> = back.into_iter().collect();
+        assert_eq!(orig, got);
+    }
+
+    #[test]
+    fn group_agg_count_matches_kim_t_table() {
+        // T(C, CNT) = SELECT S.C, COUNT(*) FROM S GROUP BY S.C (Section 2).
+        let s_rows = vec![
+            row(&[("y", Value::tuple([("c", Value::Int(1)), ("d", Value::Int(5))]))]),
+            row(&[("y", Value::tuple([("c", Value::Int(1)), ("d", Value::Int(6))]))]),
+            row(&[("y", Value::tuple([("c", Value::Int(2)), ("d", Value::Int(7))]))]),
+        ];
+        let out = group_agg(
+            &s_rows,
+            &[("c".to_string(), E::path("y", &["c"]))],
+            &[("cnt".to_string(), AggFn::Count, E::var("y"))],
+            "t",
+            &mut Env::new(),
+            &mut Metrics::new(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let t0 = out[0].get("t").unwrap().as_tuple().unwrap();
+        assert_eq!(t0.get("cnt").unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn agg_folds() {
+        let vals = [Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(fold_agg(AggFn::Sum, &vals).unwrap(), Value::Int(6));
+        assert_eq!(fold_agg(AggFn::Min, &vals).unwrap(), Value::Int(1));
+        assert_eq!(fold_agg(AggFn::Max, &vals).unwrap(), Value::Int(3));
+        assert_eq!(fold_agg(AggFn::Avg, &vals).unwrap(), Value::Float(2.0));
+        assert_eq!(fold_agg(AggFn::Count, &[]).unwrap(), Value::Int(0));
+        assert!(fold_agg(AggFn::Min, &[]).unwrap().is_null());
+    }
+
+    #[test]
+    fn set_ops_on_values() {
+        let l = vec![row(&[("v", Value::Int(1))]), row(&[("v", Value::Int(2))])];
+        let r = vec![row(&[("v", Value::Int(2))]), row(&[("v", Value::Int(3))])];
+        let mut m = Metrics::new();
+        let u = set_op(SetOpKind::Union, &l, &r, "v", &mut m).unwrap();
+        assert_eq!(u.len(), 3);
+        let i = set_op(SetOpKind::Intersect, &l, &r, "v", &mut m).unwrap();
+        assert_eq!(i.len(), 1);
+        let d = set_op(SetOpKind::Except, &l, &r, "v", &mut m).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].get("v").unwrap(), &Value::Int(1));
+    }
+}

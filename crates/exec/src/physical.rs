@@ -1,0 +1,292 @@
+//! Physical plans: logical operators annotated with implementation choice.
+
+use std::fmt;
+
+use tmql_algebra::{AggFn, ScalarExpr, SetOpKind};
+
+/// What a join produces — shared across the nested-loop, hash, and
+/// sort-merge implementations. The `Nest` variant is the paper's Δ: the
+/// *same* matching machinery, but emitting one output row per left row with
+/// the matches collected into a set (and ∅ for dangling rows).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinKind {
+    /// Regular join: concatenated matching pairs.
+    Inner,
+    /// Semijoin ⋉: left rows with a match.
+    Semi,
+    /// Antijoin ▷: left rows without a match.
+    Anti,
+    /// Left outerjoin ⟕: dangling left rows NULL-extended on the right
+    /// variables (listed here so the executor knows what to bind).
+    LeftOuter {
+        /// Variables of the right operand to NULL-bind for dangling rows.
+        right_vars: Vec<String>,
+    },
+    /// Nest join Δ: left row extended with the set of `func` images of
+    /// matching right rows under `label`.
+    Nest {
+        /// Join function G(x, y).
+        func: ScalarExpr,
+        /// Output label for the nested set.
+        label: String,
+    },
+}
+
+impl JoinKind {
+    /// Short name for explain output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JoinKind::Inner => "join",
+            JoinKind::Semi => "semijoin",
+            JoinKind::Anti => "antijoin",
+            JoinKind::LeftOuter { .. } => "outerjoin",
+            JoinKind::Nest { .. } => "nestjoin",
+        }
+    }
+}
+
+/// A physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysPlan {
+    /// Full scan of a stored table.
+    ScanTable {
+        /// Table name.
+        table: String,
+        /// Binding variable.
+        var: String,
+    },
+    /// Iterate a set expression (correlated or constant).
+    ScanExpr {
+        /// Set expression.
+        expr: ScalarExpr,
+        /// Binding variable.
+        var: String,
+    },
+    /// Filter.
+    Filter {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Predicate.
+        pred: ScalarExpr,
+    },
+    /// Generalized projection to a single binding (dedups).
+    Map {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Expression.
+        expr: ScalarExpr,
+        /// Output variable.
+        var: String,
+    },
+    /// Add a binding.
+    Extend {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Expression.
+        expr: ScalarExpr,
+        /// New variable.
+        var: String,
+    },
+    /// Keep a subset of variables (dedups).
+    Project {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Variables kept.
+        vars: Vec<String>,
+    },
+    /// Nested-loop implementation of any [`JoinKind`]; the universal
+    /// fallback for arbitrary predicates.
+    NlJoin {
+        /// Left (outer loop) operand.
+        left: Box<PhysPlan>,
+        /// Right (inner loop) operand.
+        right: Box<PhysPlan>,
+        /// Full join predicate.
+        pred: ScalarExpr,
+        /// Output shape.
+        kind: JoinKind,
+    },
+    /// Hash implementation for equi-predicates: build on the right
+    /// operand, probe with the left. For `JoinKind::Nest` the right side
+    /// **must** be the build side — the paper's implementation restriction
+    /// ("only the right join operand may be the build table", Section 6).
+    HashJoin {
+        /// Probe side.
+        left: Box<PhysPlan>,
+        /// Build side.
+        right: Box<PhysPlan>,
+        /// Key expressions over left variables (same length as
+        /// `right_keys`).
+        left_keys: Vec<ScalarExpr>,
+        /// Key expressions over right variables.
+        right_keys: Vec<ScalarExpr>,
+        /// Residual non-equi predicate, if any.
+        residual: Option<ScalarExpr>,
+        /// Output shape.
+        kind: JoinKind,
+    },
+    /// Sort-merge implementation for equi-predicates. For
+    /// `JoinKind::Nest`, merging on sorted left keys emits each left
+    /// group's matches contiguously, so grouping is free.
+    MergeJoin {
+        /// Left operand.
+        left: Box<PhysPlan>,
+        /// Right operand.
+        right: Box<PhysPlan>,
+        /// Key expressions over left variables.
+        left_keys: Vec<ScalarExpr>,
+        /// Key expressions over right variables.
+        right_keys: Vec<ScalarExpr>,
+        /// Residual non-equi predicate, if any.
+        residual: Option<ScalarExpr>,
+        /// Output shape.
+        kind: JoinKind,
+    },
+    /// ν / ν* grouping.
+    Nest {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Group keys (variables).
+        keys: Vec<String>,
+        /// Payload expression.
+        value: ScalarExpr,
+        /// Nested-set label.
+        label: String,
+        /// ν* NULL-elision.
+        star: bool,
+    },
+    /// μ unnest.
+    Unnest {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Set expression to flatten.
+        expr: ScalarExpr,
+        /// Element variable.
+        elem_var: String,
+        /// Variables dropped after flattening.
+        drop_vars: Vec<String>,
+    },
+    /// Hash GROUP BY with aggregates.
+    GroupAgg {
+        /// Input.
+        input: Box<PhysPlan>,
+        /// Key label/expression pairs.
+        keys: Vec<(String, ScalarExpr)>,
+        /// Aggregate label/function/argument triples.
+        aggs: Vec<(String, AggFn, ScalarExpr)>,
+        /// Output variable.
+        var: String,
+    },
+    /// Correlated apply — a true nested loop over subquery executions; the
+    /// paper's baseline.
+    Apply {
+        /// Outer plan.
+        input: Box<PhysPlan>,
+        /// Inner (correlated) plan.
+        subquery: Box<PhysPlan>,
+        /// Label bound to the subquery result set.
+        label: String,
+    },
+    /// Set operation on output values.
+    SetOp {
+        /// Operation.
+        kind: SetOpKind,
+        /// Left operand.
+        left: Box<PhysPlan>,
+        /// Right operand.
+        right: Box<PhysPlan>,
+        /// Output variable.
+        var: String,
+    },
+}
+
+impl PhysPlan {
+    /// Operator label (with algorithm) for explain output.
+    pub fn op_label(&self) -> String {
+        match self {
+            PhysPlan::ScanTable { table, .. } => format!("Scan({table})"),
+            PhysPlan::ScanExpr { .. } => "ScanExpr".into(),
+            PhysPlan::Filter { .. } => "Filter".into(),
+            PhysPlan::Map { .. } => "Map".into(),
+            PhysPlan::Extend { .. } => "Extend".into(),
+            PhysPlan::Project { .. } => "Project".into(),
+            PhysPlan::NlJoin { kind, .. } => format!("NlJoin[{}]", kind.name()),
+            PhysPlan::HashJoin { kind, .. } => format!("HashJoin[{}]", kind.name()),
+            PhysPlan::MergeJoin { kind, .. } => format!("MergeJoin[{}]", kind.name()),
+            PhysPlan::Nest { star, .. } => if *star { "Nest[ν*]" } else { "Nest[ν]" }.into(),
+            PhysPlan::Unnest { .. } => "Unnest".into(),
+            PhysPlan::GroupAgg { .. } => "GroupAgg".into(),
+            PhysPlan::Apply { .. } => "Apply".into(),
+            PhysPlan::SetOp { .. } => "SetOp".into(),
+        }
+    }
+
+    /// Children, left to right.
+    pub fn children(&self) -> Vec<&PhysPlan> {
+        match self {
+            PhysPlan::ScanTable { .. } | PhysPlan::ScanExpr { .. } => vec![],
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Map { input, .. }
+            | PhysPlan::Extend { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Nest { input, .. }
+            | PhysPlan::Unnest { input, .. }
+            | PhysPlan::GroupAgg { input, .. } => vec![input],
+            PhysPlan::NlJoin { left, right, .. }
+            | PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::MergeJoin { left, right, .. }
+            | PhysPlan::SetOp { left, right, .. } => vec![left, right],
+            PhysPlan::Apply { input, subquery, .. } => vec![input, subquery],
+        }
+    }
+
+    /// Indented explain rendering.
+    pub fn explain(&self) -> String {
+        fn go(p: &PhysPlan, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&p.op_label());
+            out.push('\n');
+            for c in p.children() {
+                go(c, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        go(self, 0, &mut s);
+        s
+    }
+}
+
+impl fmt::Display for PhysPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmql_algebra::ScalarExpr as E;
+
+    #[test]
+    fn explain_shows_algorithms() {
+        let p = PhysPlan::HashJoin {
+            left: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+            right: Box::new(PhysPlan::ScanTable { table: "Y".into(), var: "y".into() }),
+            left_keys: vec![E::path("x", &["b"])],
+            right_keys: vec![E::path("y", &["b"])],
+            residual: None,
+            kind: JoinKind::Nest { func: E::var("y"), label: "ys".into() },
+        };
+        let s = p.explain();
+        assert!(s.contains("HashJoin[nestjoin]"), "{s}");
+        assert!(s.contains("Scan(X)"), "{s}");
+    }
+
+    #[test]
+    fn join_kind_names() {
+        assert_eq!(JoinKind::Inner.name(), "join");
+        assert_eq!(JoinKind::Semi.name(), "semijoin");
+        assert_eq!(JoinKind::Anti.name(), "antijoin");
+        assert_eq!(JoinKind::LeftOuter { right_vars: vec![] }.name(), "outerjoin");
+    }
+}

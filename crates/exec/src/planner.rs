@@ -1,0 +1,322 @@
+//! Lowering logical plans to physical plans.
+//!
+//! The planner's one interesting job is the paper's motivation in
+//! Section 2: once a nested query has been rewritten into a join query,
+//! "the optimizer can choose the most suitable join execution method". For
+//! every member of the join family it:
+//!
+//! 1. splits the predicate into conjuncts,
+//! 2. extracts equi-key pairs `left-expr = right-expr` whose sides each
+//!    reference only one operand's variables,
+//! 3. picks nested-loop / hash / sort-merge per the [`ExecConfig`] (or the
+//!    cost model under [`JoinAlgo::Auto`]), keeping non-equi conjuncts as a
+//!    residual predicate.
+
+use std::collections::BTreeSet;
+
+use tmql_algebra::{Plan, ScalarExpr};
+use tmql_model::Result;
+use tmql_storage::Catalog;
+
+use crate::config::{ExecConfig, JoinAlgo};
+use crate::cost;
+use crate::physical::{JoinKind, PhysPlan};
+
+/// Split a predicate into its top-level conjuncts.
+pub fn split_conjuncts(pred: &ScalarExpr) -> Vec<ScalarExpr> {
+    match pred {
+        ScalarExpr::And(a, b) => {
+            let mut out = split_conjuncts(a);
+            out.extend(split_conjuncts(b));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Extracted equi-join structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiSplit {
+    /// Key expressions over the left operand's variables.
+    pub left_keys: Vec<ScalarExpr>,
+    /// Matching key expressions over the right operand's variables.
+    pub right_keys: Vec<ScalarExpr>,
+    /// Conjunction of the remaining conjuncts (None = nothing left).
+    pub residual: Option<ScalarExpr>,
+}
+
+/// Try to split `pred` into equi-key pairs between `left_vars` and
+/// `right_vars` plus a residual. Conjuncts referencing outer (correlation)
+/// variables stay in the residual.
+pub fn extract_equi_keys(
+    pred: &ScalarExpr,
+    left_vars: &BTreeSet<String>,
+    right_vars: &BTreeSet<String>,
+) -> EquiSplit {
+    let mut split = EquiSplit { left_keys: vec![], right_keys: vec![], residual: None };
+    let mut residuals = Vec::new();
+    for conj in split_conjuncts(pred) {
+        if let ScalarExpr::Cmp(tmql_algebra::CmpOp::Eq, a, b) = &conj {
+            let fa = a.free_vars();
+            let fb = b.free_vars();
+            if !fa.is_empty()
+                && !fb.is_empty()
+                && fa.is_subset(left_vars)
+                && fb.is_subset(right_vars)
+            {
+                split.left_keys.push((**a).clone());
+                split.right_keys.push((**b).clone());
+                continue;
+            }
+            if fa.is_subset(right_vars) && fb.is_subset(left_vars) && !fa.is_empty() && !fb.is_empty()
+            {
+                split.left_keys.push((**b).clone());
+                split.right_keys.push((**a).clone());
+                continue;
+            }
+        }
+        residuals.push(conj);
+    }
+    if !residuals.is_empty() {
+        split.residual = Some(ScalarExpr::conj(residuals));
+    }
+    split
+}
+
+/// Lower a logical plan to a physical plan.
+pub fn lower(plan: &Plan, catalog: &Catalog, config: &ExecConfig) -> Result<PhysPlan> {
+    Ok(match plan {
+        Plan::ScanTable { table, var } => {
+            PhysPlan::ScanTable { table: table.clone(), var: var.clone() }
+        }
+        Plan::ScanExpr { expr, var } => {
+            PhysPlan::ScanExpr { expr: expr.clone(), var: var.clone() }
+        }
+        Plan::Select { input, pred } => PhysPlan::Filter {
+            input: Box::new(lower(input, catalog, config)?),
+            pred: pred.clone(),
+        },
+        Plan::Map { input, expr, var } => PhysPlan::Map {
+            input: Box::new(lower(input, catalog, config)?),
+            expr: expr.clone(),
+            var: var.clone(),
+        },
+        Plan::Extend { input, expr, var } => PhysPlan::Extend {
+            input: Box::new(lower(input, catalog, config)?),
+            expr: expr.clone(),
+            var: var.clone(),
+        },
+        Plan::Project { input, vars } => PhysPlan::Project {
+            input: Box::new(lower(input, catalog, config)?),
+            vars: vars.clone(),
+        },
+        Plan::Join { left, right, pred } => {
+            lower_join(left, right, pred, JoinKind::Inner, catalog, config)?
+        }
+        Plan::SemiJoin { left, right, pred } => {
+            lower_join(left, right, pred, JoinKind::Semi, catalog, config)?
+        }
+        Plan::AntiJoin { left, right, pred } => {
+            lower_join(left, right, pred, JoinKind::Anti, catalog, config)?
+        }
+        Plan::LeftOuterJoin { left, right, pred } => {
+            let kind = JoinKind::LeftOuter { right_vars: right.output_vars() };
+            lower_join(left, right, pred, kind, catalog, config)?
+        }
+        Plan::NestJoin { left, right, pred, func, label } => {
+            let kind = JoinKind::Nest { func: func.clone(), label: label.clone() };
+            lower_join(left, right, pred, kind, catalog, config)?
+        }
+        Plan::Nest { input, keys, value, label, star } => PhysPlan::Nest {
+            input: Box::new(lower(input, catalog, config)?),
+            keys: keys.clone(),
+            value: value.clone(),
+            label: label.clone(),
+            star: *star,
+        },
+        Plan::Unnest { input, expr, elem_var, drop_vars } => PhysPlan::Unnest {
+            input: Box::new(lower(input, catalog, config)?),
+            expr: expr.clone(),
+            elem_var: elem_var.clone(),
+            drop_vars: drop_vars.clone(),
+        },
+        Plan::GroupAgg { input, keys, aggs, var } => PhysPlan::GroupAgg {
+            input: Box::new(lower(input, catalog, config)?),
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+            var: var.clone(),
+        },
+        Plan::Apply { input, subquery, label } => PhysPlan::Apply {
+            input: Box::new(lower(input, catalog, config)?),
+            subquery: Box::new(lower(subquery, catalog, config)?),
+            label: label.clone(),
+        },
+        Plan::SetOp { kind, left, right, var } => PhysPlan::SetOp {
+            kind: *kind,
+            left: Box::new(lower(left, catalog, config)?),
+            right: Box::new(lower(right, catalog, config)?),
+            var: var.clone(),
+        },
+    })
+}
+
+fn lower_join(
+    left: &Plan,
+    right: &Plan,
+    pred: &ScalarExpr,
+    kind: JoinKind,
+    catalog: &Catalog,
+    config: &ExecConfig,
+) -> Result<PhysPlan> {
+    let l = Box::new(lower(left, catalog, config)?);
+    let r = Box::new(lower(right, catalog, config)?);
+    let lv: BTreeSet<String> = left.output_vars().into_iter().collect();
+    let rv: BTreeSet<String> = right.output_vars().into_iter().collect();
+    let split = extract_equi_keys(pred, &lv, &rv);
+
+    let algo = if split.left_keys.is_empty() {
+        // No equi keys: only nested-loop is applicable.
+        JoinAlgo::NestedLoop
+    } else {
+        match config.join_algo {
+            JoinAlgo::Auto => {
+                let lc = cost::estimate_rows(left, catalog);
+                let rc = cost::estimate_rows(right, catalog);
+                if cost::join_cost::hash(lc, rc) <= cost::join_cost::sort_merge(lc, rc) {
+                    JoinAlgo::Hash
+                } else {
+                    JoinAlgo::SortMerge
+                }
+            }
+            forced => forced,
+        }
+    };
+
+    Ok(match algo {
+        JoinAlgo::NestedLoop => PhysPlan::NlJoin { left: l, right: r, pred: pred.clone(), kind },
+        JoinAlgo::Hash | JoinAlgo::Auto => PhysPlan::HashJoin {
+            left: l,
+            right: r,
+            left_keys: split.left_keys,
+            right_keys: split.right_keys,
+            residual: split.residual,
+            kind,
+        },
+        JoinAlgo::SortMerge => PhysPlan::MergeJoin {
+            left: l,
+            right: r,
+            left_keys: split.left_keys,
+            right_keys: split.right_keys,
+            residual: split.residual,
+            kind,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmql_algebra::{CmpOp, ScalarExpr as E};
+    use tmql_storage::table::int_table;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(int_table("X", &["a", "b"], &[&[1, 1]])).unwrap();
+        cat.register(int_table("Y", &["b", "c"], &[&[1, 10]])).unwrap();
+        cat
+    }
+
+    fn vars(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn split_conjuncts_flattens() {
+        let p = E::and(E::and(E::lit(true), E::lit(false)), E::lit(true));
+        assert_eq!(split_conjuncts(&p).len(), 3);
+    }
+
+    #[test]
+    fn extracts_equi_keys_both_orientations() {
+        let p = E::and(
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+            E::eq(E::path("y", &["c"]), E::path("x", &["a"])),
+        );
+        let s = extract_equi_keys(&p, &vars(&["x"]), &vars(&["y"]));
+        assert_eq!(s.left_keys.len(), 2);
+        assert_eq!(s.left_keys[1], E::path("x", &["a"]));
+        assert_eq!(s.right_keys[1], E::path("y", &["c"]));
+        assert!(s.residual.is_none());
+    }
+
+    #[test]
+    fn non_equi_and_correlated_conjuncts_stay_residual() {
+        // x.a < y.c is not equi; x.b = o.b references the outer var `o`.
+        let p = E::and(
+            E::cmp(CmpOp::Lt, E::path("x", &["a"]), E::path("y", &["c"])),
+            E::eq(E::path("x", &["b"]), E::path("o", &["b"])),
+        );
+        let s = extract_equi_keys(&p, &vars(&["x"]), &vars(&["y"]));
+        assert!(s.left_keys.is_empty());
+        assert!(s.residual.is_some());
+    }
+
+    #[test]
+    fn constant_sides_are_not_keys() {
+        // x.b = 3 must not become a hash key pair (right side has no vars).
+        let p = E::eq(E::path("x", &["b"]), E::lit(3i64));
+        let s = extract_equi_keys(&p, &vars(&["x"]), &vars(&["y"]));
+        assert!(s.left_keys.is_empty());
+    }
+
+    #[test]
+    fn lower_picks_hash_for_equi_join_auto() {
+        let cat = catalog();
+        let plan = Plan::scan("X", "x")
+            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        assert!(matches!(phys, PhysPlan::HashJoin { .. }), "{phys}");
+    }
+
+    #[test]
+    fn lower_falls_back_to_nl_without_keys() {
+        let cat = catalog();
+        let plan = Plan::scan("X", "x").join(
+            Plan::scan("Y", "y"),
+            E::cmp(CmpOp::Lt, E::path("x", &["b"]), E::path("y", &["b"])),
+        );
+        for algo in [JoinAlgo::Auto, JoinAlgo::Hash, JoinAlgo::SortMerge] {
+            let phys = lower(&plan, &cat, &ExecConfig::with_join_algo(algo)).unwrap();
+            assert!(matches!(phys, PhysPlan::NlJoin { .. }), "{phys}");
+        }
+    }
+
+    #[test]
+    fn forced_algorithms_respected() {
+        let cat = catalog();
+        let plan = Plan::scan("X", "x")
+            .semi_join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let h = lower(&plan, &cat, &ExecConfig::with_join_algo(JoinAlgo::Hash)).unwrap();
+        assert!(matches!(h, PhysPlan::HashJoin { kind: JoinKind::Semi, .. }));
+        let m = lower(&plan, &cat, &ExecConfig::with_join_algo(JoinAlgo::SortMerge)).unwrap();
+        assert!(matches!(m, PhysPlan::MergeJoin { kind: JoinKind::Semi, .. }));
+        let n = lower(&plan, &cat, &ExecConfig::with_join_algo(JoinAlgo::NestedLoop)).unwrap();
+        assert!(matches!(n, PhysPlan::NlJoin { kind: JoinKind::Semi, .. }));
+    }
+
+    #[test]
+    fn nest_join_lowering_keeps_func_and_label() {
+        let cat = catalog();
+        let plan = Plan::scan("X", "x").nest_join(
+            Plan::scan("Y", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+            E::path("y", &["c"]),
+            "zs",
+        );
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        let PhysPlan::HashJoin { kind: JoinKind::Nest { label, .. }, .. } = phys else {
+            panic!("expected hash nest join");
+        };
+        assert_eq!(label, "zs");
+    }
+}

@@ -1,0 +1,291 @@
+//! The abstract syntax of TM query expressions.
+//!
+//! The operator enums ([`CmpOp`], [`SetCmpOp`], [`AggFn`], …) are shared
+//! with the algebra crate — the language is designed to lower 1:1 onto
+//! algebra scalar expressions, with the one addition of the
+//! [`Expr::Sfw`] block (which lowers to *plans*, not scalars).
+
+use std::fmt;
+
+pub use tmql_algebra::{AggFn, ArithOp, CmpOp, Quantifier, SetBinOp, SetCmpOp};
+
+use crate::token::Span;
+
+/// One `FROM <operand> <var>` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// Operand expression: an extension name (`DEPT`) or any set-valued
+    /// expression (`d.emps`) — TM is orthogonal (Section 3.2).
+    pub operand: Expr,
+    /// Iteration variable.
+    pub var: String,
+    /// Span of the variable, for diagnostics.
+    pub span: Span,
+}
+
+/// A TM query expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Float literal.
+    Float(f64, Span),
+    /// String literal.
+    Str(String, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// Variable or extension reference (the binder decides which).
+    Var(String, Span),
+    /// Field access `e.label`.
+    Field(Box<Expr>, String, Span),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Set comparison (`IN`, `SUBSETEQ`, `DISJOINT`, …).
+    SetCmp(SetCmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Set operation (`UNION`, `INTERSECT`, `EXCEPT`).
+    SetBin(SetBinOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Aggregate application.
+    Agg(AggFn, Box<Expr>, Span),
+    /// Bounded quantifier `EXISTS v IN s (p)` / `FORALL v IN s (p)`.
+    Quant {
+        /// ∃ or ∀.
+        q: Quantifier,
+        /// Bound variable.
+        var: String,
+        /// Set ranged over.
+        over: Box<Expr>,
+        /// Body predicate.
+        pred: Box<Expr>,
+        /// Span of the binder.
+        span: Span,
+    },
+    /// Tuple construction `(a = e, b = e)`.
+    TupleLit(Vec<(String, Expr)>, Span),
+    /// Set literal `{e1, e2}`.
+    SetLit(Vec<Expr>, Span),
+    /// `UNNEST(e)`.
+    Unnest(Box<Expr>, Span),
+    /// A SELECT-FROM-WHERE block, with the paper's optional `WITH` clause
+    /// for local definitions (`WHERE P(x, z) WITH z = (SELECT …)`,
+    /// Section 4).
+    Sfw {
+        /// Result expression.
+        select: Box<Expr>,
+        /// FROM items (≥ 1).
+        from: Vec<FromItem>,
+        /// Optional WHERE predicate.
+        where_clause: Option<Box<Expr>>,
+        /// `WITH var = expr` local definitions, in scope in the WHERE
+        /// predicate and the SELECT expression.
+        with_bindings: Vec<(String, Expr)>,
+        /// Span of the `SELECT` keyword.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The span most representative of this expression (for diagnostics).
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s)
+            | Expr::Float(_, s)
+            | Expr::Str(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Var(_, s)
+            | Expr::Field(_, _, s)
+            | Expr::Agg(_, _, s)
+            | Expr::TupleLit(_, s)
+            | Expr::SetLit(_, s)
+            | Expr::Unnest(_, s)
+            | Expr::Quant { span: s, .. }
+            | Expr::Sfw { span: s, .. } => *s,
+            Expr::Cmp(_, a, _)
+            | Expr::SetCmp(_, a, _)
+            | Expr::Arith(_, a, _)
+            | Expr::SetBin(_, a, _)
+            | Expr::And(a, _)
+            | Expr::Or(a, _)
+            | Expr::Not(a) => a.span(),
+        }
+    }
+
+    /// True iff the expression contains a nested SFW block.
+    pub fn has_subquery(&self) -> bool {
+        match self {
+            Expr::Sfw { .. } => true,
+            _ => self.children().iter().any(|c| c.has_subquery()),
+        }
+    }
+
+    /// Immediate child expressions.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Int(..) | Expr::Float(..) | Expr::Str(..) | Expr::Bool(..) | Expr::Var(..) => {
+                vec![]
+            }
+            Expr::Field(e, _, _) | Expr::Not(e) | Expr::Agg(_, e, _) | Expr::Unnest(e, _) => {
+                vec![e]
+            }
+            Expr::Cmp(_, a, b)
+            | Expr::SetCmp(_, a, b)
+            | Expr::Arith(_, a, b)
+            | Expr::SetBin(_, a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => vec![a, b],
+            Expr::Quant { over, pred, .. } => vec![over, pred],
+            Expr::TupleLit(fs, _) => fs.iter().map(|(_, e)| e).collect(),
+            Expr::SetLit(es, _) => es.iter().collect(),
+            Expr::Sfw { select, from, where_clause, with_bindings, .. } => {
+                let mut out: Vec<&Expr> = vec![select];
+                out.extend(from.iter().map(|f| &f.operand));
+                if let Some(w) = where_clause {
+                    out.push(w);
+                }
+                out.extend(with_bindings.iter().map(|(_, e)| e));
+                out
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(i, _) => write!(f, "{i}"),
+            Expr::Float(x, _) => write!(f, "{x}"),
+            Expr::Str(s, _) => write!(f, "{s:?}"),
+            Expr::Bool(b, _) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Expr::Var(v, _) => write!(f, "{v}"),
+            Expr::Field(e, l, _) => write!(f, "{e}.{l}"),
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::SetCmp(op, a, b) => {
+                let kw = match op {
+                    SetCmpOp::In => "IN",
+                    SetCmpOp::NotIn => "NOT IN",
+                    SetCmpOp::SubsetEq => "SUBSETEQ",
+                    SetCmpOp::Subset => "SUBSET",
+                    SetCmpOp::SupersetEq => "SUPERSETEQ",
+                    SetCmpOp::Superset => "SUPERSET",
+                    SetCmpOp::SetEq => "=",
+                    SetCmpOp::SetNe => "<>",
+                    SetCmpOp::Disjoint => "DISJOINT",
+                    SetCmpOp::Intersects => "INTERSECTS",
+                };
+                write!(f, "({a} {kw} {b})")
+            }
+            Expr::Arith(op, a, b) => {
+                let s = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({a} {s} {b})")
+            }
+            Expr::SetBin(op, a, b) => {
+                let s = match op {
+                    SetBinOp::Union => "UNION",
+                    SetBinOp::Intersect => "INTERSECT",
+                    SetBinOp::Difference => "EXCEPT",
+                };
+                write!(f, "({a} {s} {b})")
+            }
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::Agg(fun, e, _) => write!(f, "{fun}({e})"),
+            Expr::Quant { q, var, over, pred, .. } => {
+                let kw = match q {
+                    Quantifier::Exists => "EXISTS",
+                    Quantifier::Forall => "FORALL",
+                };
+                // The range is parenthesized because it parses at
+                // set-expression level (prefix forms like NOT would not
+                // round-trip otherwise).
+                write!(f, "{kw} {var} IN ({over}) ({pred})")
+            }
+            Expr::TupleLit(fs, _) => {
+                write!(f, "(")?;
+                for (i, (l, e)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l} = {e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::SetLit(es, _) => {
+                write!(f, "{{")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")
+            }
+            Expr::Unnest(e, _) => write!(f, "UNNEST({e})"),
+            Expr::Sfw { select, from, where_clause, with_bindings, .. } => {
+                write!(f, "(SELECT {select} FROM ")?;
+                for (i, item) in from.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{} {}", item.operand, item.var)?;
+                }
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                for (i, (v, e)) in with_bindings.iter().enumerate() {
+                    write!(f, "{} {v} = {e}", if i == 0 { " WITH" } else { "," })?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> Span {
+        Span::new(0, 0)
+    }
+
+    #[test]
+    fn has_subquery_detects_nesting() {
+        let sub = Expr::Sfw {
+            select: Box::new(Expr::Var("y".into(), sp())),
+            from: vec![FromItem { operand: Expr::Var("Y".into(), sp()), var: "y".into(), span: sp() }],
+            where_clause: None,
+            with_bindings: vec![],
+            span: sp(),
+        };
+        let pred = Expr::SetCmp(
+            SetCmpOp::In,
+            Box::new(Expr::Var("a".into(), sp())),
+            Box::new(sub),
+        );
+        assert!(pred.has_subquery());
+        assert!(!Expr::Var("a".into(), sp()).has_subquery());
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::SetCmp(
+            SetCmpOp::SubsetEq,
+            Box::new(Expr::Field(Box::new(Expr::Var("x".into(), sp())), "a".into(), sp())),
+            Box::new(Expr::Var("z".into(), sp())),
+        );
+        assert_eq!(e.to_string(), "(x.a SUBSETEQ z)");
+    }
+}

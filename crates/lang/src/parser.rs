@@ -1,0 +1,555 @@
+//! Recursive-descent parser with operator precedence.
+//!
+//! Precedence, loosest to tightest: `OR` < `AND` < `NOT` < comparisons /
+//! set comparisons < `UNION`/`INTERSECT`/`EXCEPT` < `+ -` < `* /` < field
+//! access. Parenthesized forms are disambiguated by lookahead: `(SELECT …)`
+//! is a subquery, `(a = e, b = e)` (two or more fields) is a tuple
+//! literal, anything else is grouping.
+
+use std::fmt;
+
+use tmql_algebra::{AggFn, ArithOp, CmpOp, Quantifier, SetBinOp, SetCmpOp};
+
+use crate::ast::{Expr, FromItem};
+use crate::lexer::lex;
+use crate::token::{Keyword as K, Span, Tok, Token};
+
+/// A parse (or lex) error with source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where in the source.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Construct an error.
+    pub fn new(message: impl Into<String>, span: Span) -> ParseError {
+        ParseError { message: message.into(), span }
+    }
+
+    /// Render with line/column resolved against the original source.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        format!("parse error at {line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at bytes {}..{}: {}", self.span.start, self.span.end, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete query (a single expression, usually an SFW block).
+pub fn parse_query(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect(Tok::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: K) -> bool {
+        self.eat(&Tok::Kw(k))
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token, ParseError> {
+        if *self.peek() == tok {
+            Ok(self.bump())
+        } else {
+            Err(ParseError::new(format!("expected {tok}, found {}", self.peek()), self.span()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), ParseError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok((s, span))
+            }
+            other => Err(ParseError::new(format!("expected identifier, found {other}"), span)),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        // SELECT at the start of an expression is a bare SFW block.
+        if matches!(self.peek(), Tok::Kw(K::Select)) {
+            return self.sfw();
+        }
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw(K::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw(K::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        // `NOT IN` is handled in comparison; a leading NOT here is logical
+        // negation.
+        if matches!(self.peek(), Tok::Kw(K::Not)) && !matches!(self.peek2(), Tok::Kw(K::In)) {
+            self.bump();
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.set_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => Some(CmpOp::Eq),
+            Tok::Ne => Some(CmpOp::Ne),
+            Tok::Lt => Some(CmpOp::Lt),
+            Tok::Le => Some(CmpOp::Le),
+            Tok::Gt => Some(CmpOp::Gt),
+            Tok::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.set_expr()?;
+            return Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)));
+        }
+        let set_op = match self.peek() {
+            Tok::Kw(K::In) => Some(SetCmpOp::In),
+            Tok::Kw(K::Not) if matches!(self.peek2(), Tok::Kw(K::In)) => Some(SetCmpOp::NotIn),
+            Tok::Kw(K::Subseteq) => Some(SetCmpOp::SubsetEq),
+            Tok::Kw(K::Subset) => Some(SetCmpOp::Subset),
+            Tok::Kw(K::Superseteq) => Some(SetCmpOp::SupersetEq),
+            Tok::Kw(K::Superset) => Some(SetCmpOp::Superset),
+            Tok::Kw(K::Disjoint) => Some(SetCmpOp::Disjoint),
+            Tok::Kw(K::Intersects) => Some(SetCmpOp::Intersects),
+            _ => None,
+        };
+        if let Some(op) = set_op {
+            self.bump();
+            if op == SetCmpOp::NotIn {
+                self.bump(); // the IN after NOT
+            }
+            let rhs = self.set_expr()?;
+            return Ok(Expr::SetCmp(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn set_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Kw(K::Union) => SetBinOp::Union,
+                Tok::Kw(K::Intersect) => SetBinOp::Intersect,
+                Tok::Kw(K::Except) => SetBinOp::Difference,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::SetBin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => ArithOp::Add,
+                Tok::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.postfix()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => ArithOp::Mul,
+                Tok::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.postfix()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.eat(&Tok::Dot) {
+            let (field, span) = self.ident()?;
+            e = Expr::Field(Box::new(e), field, span);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Expr::Int(i, span))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(Expr::Float(x, span))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, span))
+            }
+            Tok::Kw(K::True) => {
+                self.bump();
+                Ok(Expr::Bool(true, span))
+            }
+            Tok::Kw(K::False) => {
+                self.bump();
+                Ok(Expr::Bool(false, span))
+            }
+            Tok::Minus => {
+                // Negative numeric literal.
+                self.bump();
+                match self.peek().clone() {
+                    Tok::Int(i) => {
+                        self.bump();
+                        Ok(Expr::Int(-i, span))
+                    }
+                    Tok::Float(x) => {
+                        self.bump();
+                        Ok(Expr::Float(-x, span))
+                    }
+                    other => Err(ParseError::new(
+                        format!("expected numeric literal after `-`, found {other}"),
+                        span,
+                    )),
+                }
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(name, span))
+            }
+            Tok::Kw(k @ (K::Count | K::Sum | K::Min | K::Max | K::Avg)) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let arg = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let f = match k {
+                    K::Count => AggFn::Count,
+                    K::Sum => AggFn::Sum,
+                    K::Min => AggFn::Min,
+                    K::Max => AggFn::Max,
+                    _ => AggFn::Avg,
+                };
+                Ok(Expr::Agg(f, Box::new(arg), span))
+            }
+            Tok::Kw(K::Unnest) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let arg = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Expr::Unnest(Box::new(arg), span))
+            }
+            Tok::Kw(k @ (K::Exists | K::Forall)) => {
+                self.bump();
+                let (var, _) = self.ident()?;
+                self.expect(Tok::Kw(K::In))?;
+                let over = self.set_expr()?;
+                self.expect(Tok::LParen)?;
+                let pred = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let q = if k == K::Exists { Quantifier::Exists } else { Quantifier::Forall };
+                Ok(Expr::Quant { q, var, over: Box::new(over), pred: Box::new(pred), span })
+            }
+            Tok::LBrace => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat(&Tok::RBrace) {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RBrace)?;
+                }
+                Ok(Expr::SetLit(items, span))
+            }
+            Tok::LParen => {
+                self.bump();
+                // Subquery?
+                if matches!(self.peek(), Tok::Kw(K::Select)) {
+                    let sub = self.sfw()?;
+                    self.expect(Tok::RParen)?;
+                    return Ok(sub);
+                }
+                // Tuple literal? Needs `ident =` followed (after the first
+                // field's expression) by a comma — single-field tuples are
+                // parsed as grouping, which TM disambiguates by type; we
+                // document the restriction instead.
+                if let (Tok::Ident(_), Tok::Eq) = (self.peek(), self.peek2()) {
+                    let checkpoint = self.pos;
+                    if let Ok(t) = self.try_tuple_lit(span) {
+                        return Ok(t);
+                    }
+                    self.pos = checkpoint;
+                }
+                let inner = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            other => Err(ParseError::new(format!("unexpected {other}"), span)),
+        }
+    }
+
+    /// Parse `ident = expr (, ident = expr)* )` as a tuple literal;
+    /// requires at least two fields (see [`Parser::primary`]).
+    fn try_tuple_lit(&mut self, span: Span) -> Result<Expr, ParseError> {
+        let mut fields = Vec::new();
+        loop {
+            let (label, lspan) = self.ident()?;
+            self.expect(Tok::Eq)?;
+            let value = self.expr()?;
+            if fields.iter().any(|(l, _)| *l == label) {
+                return Err(ParseError::new(format!("duplicate tuple label `{label}`"), lspan));
+            }
+            fields.push((label, value));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        if fields.len() < 2 {
+            return Err(ParseError::new("tuple literal needs at least two fields", span));
+        }
+        self.expect(Tok::RParen)?;
+        Ok(Expr::TupleLit(fields, span))
+    }
+
+    /// `SELECT expr FROM operand var (, operand var)* [WHERE expr]`.
+    fn sfw(&mut self) -> Result<Expr, ParseError> {
+        let span = self.span();
+        self.expect(Tok::Kw(K::Select))?;
+        let select = self.expr()?;
+        self.expect(Tok::Kw(K::From))?;
+        let mut from = Vec::new();
+        loop {
+            let operand = self.set_expr()?;
+            let (var, vspan) = self.ident()?;
+            if from.iter().any(|f: &FromItem| f.var == var) {
+                return Err(ParseError::new(format!("duplicate FROM variable `{var}`"), vspan));
+            }
+            from.push(FromItem { operand, var, span: vspan });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw(K::Where) { Some(Box::new(self.expr()?)) } else { None };
+        // The paper's WITH clause for local definitions:
+        // `WHERE P(x, z) WITH z = (SELECT …)` (Section 4).
+        let mut with_bindings = Vec::new();
+        if self.eat_kw(K::With) {
+            loop {
+                let (var, vspan) = self.ident()?;
+                if from.iter().any(|f: &FromItem| f.var == var)
+                    || with_bindings.iter().any(|(v, _): &(String, Expr)| *v == var)
+                {
+                    return Err(ParseError::new(
+                        format!("WITH variable `{var}` shadows an existing binding"),
+                        vspan,
+                    ));
+                }
+                self.expect(Tok::Eq)?;
+                with_bindings.push((var, self.expr()?));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(Expr::Sfw { select: Box::new(select), from, where_clause, with_bindings, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Expr {
+        parse_query(src).unwrap_or_else(|e| panic!("{}", e.render(src)))
+    }
+
+    #[test]
+    fn parses_paper_query_q1() {
+        let q1 = "SELECT d \
+                  FROM DEPT d \
+                  WHERE (s = d.address.street, c = d.address.city) \
+                        IN (SELECT (s = e.address.street, c = e.address.city) FROM d.emps e)";
+        let Expr::Sfw { select, from, where_clause, .. } = parse(q1) else {
+            panic!("expected SFW")
+        };
+        assert!(matches!(*select, Expr::Var(ref v, _) if v == "d"));
+        assert_eq!(from.len(), 1);
+        let w = where_clause.unwrap();
+        let Expr::SetCmp(SetCmpOp::In, lhs, rhs) = *w else { panic!("IN predicate") };
+        assert!(matches!(*lhs, Expr::TupleLit(ref fs, _) if fs.len() == 2));
+        assert!(matches!(*rhs, Expr::Sfw { .. }));
+    }
+
+    #[test]
+    fn parses_paper_query_q2() {
+        let q2 = "SELECT (dname = d.name, \
+                          emps = (SELECT e FROM EMP e WHERE e.address.city = d.address.city)) \
+                  FROM DEPT d";
+        let Expr::Sfw { select, .. } = parse(q2) else { panic!("SFW") };
+        let Expr::TupleLit(fields, _) = *select else { panic!("tuple select") };
+        assert!(matches!(fields[1].1, Expr::Sfw { .. }));
+    }
+
+    #[test]
+    fn parses_count_bug_query() {
+        let q = "SELECT x FROM R x \
+                 WHERE x.b = COUNT((SELECT y.d FROM S y WHERE x.c = y.c))";
+        let Expr::Sfw { where_clause, .. } = parse(q) else { panic!() };
+        let Expr::Cmp(CmpOp::Eq, _, rhs) = *where_clause.unwrap() else { panic!() };
+        let Expr::Agg(AggFn::Count, inner, _) = *rhs else { panic!("COUNT") };
+        assert!(matches!(*inner, Expr::Sfw { .. }));
+    }
+
+    #[test]
+    fn parses_section8_query() {
+        let q = "SELECT x FROM X x \
+                 WHERE x.a SUBSETEQ (SELECT y.a FROM Y y \
+                                     WHERE x.b = y.b AND \
+                                           y.c SUBSETEQ (SELECT z.c FROM Z z WHERE y.d = z.d))";
+        let e = parse(q);
+        assert!(e.has_subquery());
+        let Expr::Sfw { where_clause, .. } = e else { panic!() };
+        assert!(matches!(*where_clause.unwrap(), Expr::SetCmp(SetCmpOp::SubsetEq, ..)));
+    }
+
+    #[test]
+    fn not_in_and_not_precedence() {
+        let e = parse("SELECT x FROM X x WHERE NOT x.a IN (SELECT y.a FROM Y y)");
+        let Expr::Sfw { where_clause, .. } = e else { panic!() };
+        assert!(matches!(*where_clause.unwrap(), Expr::Not(_)));
+        let e = parse("SELECT x FROM X x WHERE x.a NOT IN (SELECT y.a FROM Y y)");
+        let Expr::Sfw { where_clause, .. } = e else { panic!() };
+        assert!(matches!(*where_clause.unwrap(), Expr::SetCmp(SetCmpOp::NotIn, ..)));
+    }
+
+    #[test]
+    fn quantifiers() {
+        let e = parse("SELECT x FROM X x WHERE EXISTS s IN x.kids (s.age < 10)");
+        let Expr::Sfw { where_clause, .. } = e else { panic!() };
+        let Expr::Quant { q: Quantifier::Exists, var, .. } = *where_clause.unwrap() else {
+            panic!("quantifier")
+        };
+        assert_eq!(var, "s");
+        assert!(parse_query("SELECT x FROM X x WHERE FORALL s IN x.kids (TRUE)").is_ok());
+    }
+
+    #[test]
+    fn multi_from_and_set_ops() {
+        let e = parse("SELECT (a = x.a, b = y.b) FROM X x, Y y WHERE x.b = y.b");
+        let Expr::Sfw { from, .. } = e else { panic!() };
+        assert_eq!(from.len(), 2);
+        let e = parse("(SELECT x.a FROM X x) UNION (SELECT y.a FROM Y y)");
+        assert!(matches!(e, Expr::SetBin(SetBinOp::Union, ..)));
+    }
+
+    #[test]
+    fn unnest_and_empty_set() {
+        let e = parse("UNNEST(SELECT (SELECT y.b FROM Y y WHERE x.b = y.a) FROM X x)");
+        assert!(matches!(e, Expr::Unnest(..)));
+        let e = parse("SELECT x FROM X x WHERE (SELECT y.a FROM Y y WHERE x.b = y.b) = {}");
+        let Expr::Sfw { where_clause, .. } = e else { panic!() };
+        let Expr::Cmp(CmpOp::Eq, _, rhs) = *where_clause.unwrap() else { panic!() };
+        assert!(matches!(*rhs, Expr::SetLit(ref v, _) if v.is_empty()));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse("1 + 2 * 3");
+        let Expr::Arith(ArithOp::Add, _, rhs) = e else { panic!() };
+        assert!(matches!(*rhs, Expr::Arith(ArithOp::Mul, ..)));
+        let e = parse("-5 + 2");
+        assert!(matches!(e, Expr::Arith(ArithOp::Add, ..)));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let err = parse_query("SELECT x FROM").unwrap_err();
+        assert!(err.render("SELECT x FROM").contains("1:14"), "{err:?}");
+        assert!(parse_query("SELECT x FROM X x WHERE").is_err());
+        // A single-field "(a = 1)" parses as a grouped comparison, not a
+        // tuple (documented restriction); the binder rejects `a` later.
+        let e = parse_query("SELECT (a = 1) FROM X x").unwrap();
+        let Expr::Sfw { select, .. } = e else { panic!() };
+        assert!(matches!(*select, Expr::Cmp(CmpOp::Eq, ..)));
+        assert!(parse_query("SELECT x FROM X x, X x").is_err(), "duplicate var");
+        assert!(parse_query("SELECT (a = 1, a = 2) FROM X x").is_err(), "dup label");
+    }
+
+    #[test]
+    fn grouping_parens_still_work() {
+        let e = parse("SELECT x FROM X x WHERE (x.a = 1 OR x.a = 2) AND x.b = 3");
+        let Expr::Sfw { where_clause, .. } = e else { panic!() };
+        assert!(matches!(*where_clause.unwrap(), Expr::And(..)));
+    }
+}

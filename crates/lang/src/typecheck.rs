@@ -1,0 +1,475 @@
+//! Binder and type checker.
+//!
+//! Resolves identifiers (iteration variable vs. class extension), checks
+//! the TM typing rules over the structural type language of `tmql-model`,
+//! and reports located errors. The checker is permissive where the model
+//! is ([`Ty::Any`] unifies with everything — the type of `{}`), strict
+//! where queries die at runtime otherwise (unbound variables, non-set FROM
+//! operands, non-boolean WHERE clauses).
+
+use std::fmt;
+
+use tmql_algebra::typing::TableTypes;
+use tmql_algebra::AggFn;
+use tmql_model::Ty;
+
+use crate::ast::Expr;
+use crate::token::Span;
+
+/// A located type error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    /// Human-readable message.
+    pub message: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl TypeError {
+    fn new(message: impl Into<String>, span: Span) -> TypeError {
+        TypeError { message: message.into(), span }
+    }
+
+    /// Render with line/column resolved against the source.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        format!("type error at {line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Type-check a query against a source of extension row types. Returns
+/// the query's result type.
+pub fn check_query(expr: &Expr, tables: &dyn TableTypes) -> Result<Ty, TypeError> {
+    let mut scopes: Vec<(String, Ty)> = Vec::new();
+    check(expr, tables, &mut scopes)
+}
+
+fn lookup(scopes: &[(String, Ty)], name: &str) -> Option<Ty> {
+    scopes.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t.clone())
+}
+
+fn check(
+    expr: &Expr,
+    tables: &dyn TableTypes,
+    scopes: &mut Vec<(String, Ty)>,
+) -> Result<Ty, TypeError> {
+    match expr {
+        Expr::Int(..) => Ok(Ty::Int),
+        Expr::Float(..) => Ok(Ty::Float),
+        Expr::Str(..) => Ok(Ty::Str),
+        Expr::Bool(..) => Ok(Ty::Bool),
+        Expr::Var(name, span) => {
+            if let Some(t) = lookup(scopes, name) {
+                return Ok(t);
+            }
+            // An extension name used as a set expression.
+            match tables.row_ty(name) {
+                Ok(row) => Ok(Ty::Set(Box::new(row))),
+                Err(_) => Err(TypeError::new(
+                    format!("unbound variable or unknown extension `{name}`"),
+                    *span,
+                )),
+            }
+        }
+        Expr::Field(base, label, span) => {
+            let bt = check(base, tables, scopes)?;
+            match &bt {
+                Ty::Tuple(_) => bt.field(label).cloned().ok_or_else(|| {
+                    TypeError::new(format!("tuple {bt} has no field `{label}`"), *span)
+                }),
+                Ty::Any => Ok(Ty::Any),
+                other => {
+                    Err(TypeError::new(format!("field access on non-tuple type {other}"), *span))
+                }
+            }
+        }
+        Expr::Cmp(_, a, b) => {
+            let (ta, tb) = (check(a, tables, scopes)?, check(b, tables, scopes)?);
+            if !ta.compatible(&tb) {
+                return Err(TypeError::new(
+                    format!("cannot compare {ta} with {tb}"),
+                    a.span(),
+                ));
+            }
+            Ok(Ty::Bool)
+        }
+        Expr::SetCmp(op, a, b) => {
+            use tmql_algebra::SetCmpOp::*;
+            let (ta, tb) = (check(a, tables, scopes)?, check(b, tables, scopes)?);
+            match op {
+                In | NotIn => {
+                    let elem = match &tb {
+                        Ty::Set(e) => (**e).clone(),
+                        Ty::Any => Ty::Any,
+                        other => {
+                            return Err(TypeError::new(
+                                format!("right operand of IN must be a set, found {other}"),
+                                b.span(),
+                            ))
+                        }
+                    };
+                    if !ta.compatible(&elem) {
+                        return Err(TypeError::new(
+                            format!("element type {ta} does not match set of {elem}"),
+                            a.span(),
+                        ));
+                    }
+                }
+                _ => {
+                    for (t, e) in [(&ta, a), (&tb, b)] {
+                        if !matches!(t, Ty::Set(_) | Ty::Any) {
+                            return Err(TypeError::new(
+                                format!("set comparison needs set operands, found {t}"),
+                                e.span(),
+                            ));
+                        }
+                    }
+                    if !ta.compatible(&tb) {
+                        return Err(TypeError::new(
+                            format!("incomparable set types {ta} and {tb}"),
+                            a.span(),
+                        ));
+                    }
+                }
+            }
+            Ok(Ty::Bool)
+        }
+        Expr::Arith(_, a, b) => {
+            let (ta, tb) = (check(a, tables, scopes)?, check(b, tables, scopes)?);
+            for (t, e) in [(&ta, a), (&tb, b)] {
+                if !matches!(t, Ty::Int | Ty::Float | Ty::Any) {
+                    return Err(TypeError::new(
+                        format!("arithmetic on non-numeric type {t}"),
+                        e.span(),
+                    ));
+                }
+            }
+            Ok(ta.join(&tb).unwrap_or(Ty::Float))
+        }
+        Expr::SetBin(_, a, b) => {
+            let (ta, tb) = (check(a, tables, scopes)?, check(b, tables, scopes)?);
+            for (t, e) in [(&ta, a), (&tb, b)] {
+                if !matches!(t, Ty::Set(_) | Ty::Any) {
+                    return Err(TypeError::new(
+                        format!("set operation on non-set type {t}"),
+                        e.span(),
+                    ));
+                }
+            }
+            ta.join(&tb).ok_or_else(|| {
+                TypeError::new(format!("incompatible set types {ta} and {tb}"), a.span())
+            })
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            for e in [a, b] {
+                let t = check(e, tables, scopes)?;
+                if !matches!(t, Ty::Bool | Ty::Any) {
+                    return Err(TypeError::new(
+                        format!("boolean connective over non-boolean {t}"),
+                        e.span(),
+                    ));
+                }
+            }
+            Ok(Ty::Bool)
+        }
+        Expr::Not(e) => {
+            let t = check(e, tables, scopes)?;
+            if !matches!(t, Ty::Bool | Ty::Any) {
+                return Err(TypeError::new(format!("NOT over non-boolean {t}"), e.span()));
+            }
+            Ok(Ty::Bool)
+        }
+        Expr::Agg(f, e, span) => {
+            let t = check(e, tables, scopes)?;
+            let elem = match &t {
+                Ty::Set(inner) => (**inner).clone(),
+                Ty::Any => Ty::Any,
+                other => {
+                    return Err(TypeError::new(
+                        format!("aggregate over non-set type {other}"),
+                        *span,
+                    ))
+                }
+            };
+            Ok(match f {
+                AggFn::Count => Ty::Int,
+                AggFn::Avg => Ty::Float,
+                AggFn::Sum | AggFn::Min | AggFn::Max => {
+                    if !matches!(elem, Ty::Int | Ty::Float | Ty::Str | Ty::Any) {
+                        return Err(TypeError::new(
+                            format!("{f} over non-atomic element type {elem}"),
+                            *span,
+                        ));
+                    }
+                    elem
+                }
+            })
+        }
+        Expr::Quant { var, over, pred, span, .. } => {
+            let t = check(over, tables, scopes)?;
+            let elem = match &t {
+                Ty::Set(inner) => (**inner).clone(),
+                Ty::Any => Ty::Any,
+                other => {
+                    return Err(TypeError::new(
+                        format!("quantifier ranges over non-set type {other}"),
+                        *span,
+                    ))
+                }
+            };
+            scopes.push((var.clone(), elem));
+            let pt = check(pred, tables, scopes);
+            scopes.pop();
+            let pt = pt?;
+            if !matches!(pt, Ty::Bool | Ty::Any) {
+                return Err(TypeError::new(
+                    format!("quantifier body must be boolean, found {pt}"),
+                    pred.span(),
+                ));
+            }
+            Ok(Ty::Bool)
+        }
+        Expr::TupleLit(fields, _) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (l, e) in fields {
+                out.push((l.clone(), check(e, tables, scopes)?));
+            }
+            Ok(Ty::Tuple(out))
+        }
+        Expr::SetLit(items, span) => {
+            let mut elem = Ty::Any;
+            for e in items {
+                let t = check(e, tables, scopes)?;
+                elem = elem.join(&t).ok_or_else(|| {
+                    TypeError::new("heterogeneous set literal".to_string(), *span)
+                })?;
+            }
+            Ok(Ty::Set(Box::new(elem)))
+        }
+        Expr::Unnest(e, span) => {
+            let t = check(e, tables, scopes)?;
+            match t {
+                Ty::Set(inner) => match *inner {
+                    Ty::Set(_) => Ok(*inner),
+                    Ty::Any => Ok(Ty::Set(Box::new(Ty::Any))),
+                    other => Err(TypeError::new(
+                        format!("UNNEST needs a set of sets, found set of {other}"),
+                        *span,
+                    )),
+                },
+                Ty::Any => Ok(Ty::Set(Box::new(Ty::Any))),
+                other => {
+                    Err(TypeError::new(format!("UNNEST over non-set type {other}"), *span))
+                }
+            }
+        }
+        Expr::Sfw { select, from, where_clause, with_bindings, .. } => {
+            let depth = scopes.len();
+            let mut result = Err(TypeError::new("empty FROM", expr.span()));
+            // Bind FROM items left to right; later operands may reference
+            // earlier variables (orthogonality).
+            for item in from {
+                let t = check(&item.operand, tables, scopes);
+                let t = match t {
+                    Ok(t) => t,
+                    Err(e) => {
+                        scopes.truncate(depth);
+                        return Err(e);
+                    }
+                };
+                let elem = match t {
+                    Ty::Set(inner) => *inner,
+                    Ty::Any => Ty::Any,
+                    other => {
+                        scopes.truncate(depth);
+                        return Err(TypeError::new(
+                            format!("FROM operand must be a set, found {other}"),
+                            item.span,
+                        ));
+                    }
+                };
+                scopes.push((item.var.clone(), elem));
+                result = Ok(());
+            }
+            let _ = result;
+            // WITH bindings are in scope for the WHERE predicate and the
+            // SELECT expression (the paper writes the clause after WHERE,
+            // but its definitions bind within the block).
+            for (var, e) in with_bindings {
+                let t = match check(e, tables, scopes) {
+                    Ok(t) => t,
+                    Err(err) => {
+                        scopes.truncate(depth);
+                        return Err(err);
+                    }
+                };
+                scopes.push((var.clone(), t));
+            }
+            if let Some(w) = where_clause {
+                let wt = check(w, tables, scopes);
+                match wt {
+                    Ok(Ty::Bool | Ty::Any) => {}
+                    Ok(other) => {
+                        scopes.truncate(depth);
+                        return Err(TypeError::new(
+                            format!("WHERE clause must be boolean, found {other}"),
+                            w.span(),
+                        ));
+                    }
+                    Err(e) => {
+                        scopes.truncate(depth);
+                        return Err(e);
+                    }
+                }
+            }
+            let st = check(select, tables, scopes);
+            scopes.truncate(depth);
+            Ok(Ty::Set(Box::new(st?)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use std::collections::BTreeMap;
+    use tmql_algebra::typing::StaticTables;
+
+    fn tables() -> StaticTables {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "EMP".to_string(),
+            Ty::Tuple(vec![
+                ("name".into(), Ty::Str),
+                ("sal".into(), Ty::Int),
+                (
+                    "address".into(),
+                    Ty::Tuple(vec![("street".into(), Ty::Str), ("city".into(), Ty::Str)]),
+                ),
+                (
+                    "children".into(),
+                    Ty::Set(Box::new(Ty::Tuple(vec![
+                        ("name".into(), Ty::Str),
+                        ("age".into(), Ty::Int),
+                    ]))),
+                ),
+            ]),
+        );
+        m.insert(
+            "X".to_string(),
+            Ty::Tuple(vec![("a".into(), Ty::Set(Box::new(Ty::Int))), ("b".into(), Ty::Int)]),
+        );
+        m.insert(
+            "Y".to_string(),
+            Ty::Tuple(vec![("a".into(), Ty::Int), ("b".into(), Ty::Int)]),
+        );
+        StaticTables(m)
+    }
+
+    fn check_src(src: &str) -> Result<Ty, TypeError> {
+        let e = parse_query(src).expect("parses");
+        check_query(&e, &tables())
+    }
+
+    #[test]
+    fn simple_query_types() {
+        let t = check_src("SELECT e.name FROM EMP e WHERE e.sal > 100").unwrap();
+        assert_eq!(t, Ty::Set(Box::new(Ty::Str)));
+    }
+
+    #[test]
+    fn nested_path_and_set_attr() {
+        let t = check_src("SELECT e.address.city FROM EMP e").unwrap();
+        assert_eq!(t, Ty::Set(Box::new(Ty::Str)));
+        let t = check_src(
+            "SELECT c.name FROM EMP e, e.children c WHERE c.age < 10",
+        )
+        .unwrap();
+        assert_eq!(t, Ty::Set(Box::new(Ty::Str)));
+    }
+
+    #[test]
+    fn subquery_membership_types() {
+        let t = check_src(
+            "SELECT x FROM X x WHERE x.b IN (SELECT y.a FROM Y y WHERE x.b = y.b)",
+        )
+        .unwrap();
+        assert!(matches!(t, Ty::Set(_)));
+    }
+
+    #[test]
+    fn subseteq_over_sets() {
+        assert!(check_src(
+            "SELECT x FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b)"
+        )
+        .is_ok());
+        // Atomic ⊆ set is a type error.
+        let err = check_src(
+            "SELECT x FROM X x WHERE x.b SUBSETEQ (SELECT y.a FROM Y y)",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("set comparison"), "{err:?}");
+    }
+
+    #[test]
+    fn unbound_and_unknown_names() {
+        let err = check_src("SELECT q FROM X x").unwrap_err();
+        assert!(err.message.contains("unbound"), "{err:?}");
+        let err = check_src("SELECT x FROM NOPE x").unwrap_err();
+        assert!(err.message.contains("unbound variable or unknown extension"), "{err:?}");
+    }
+
+    #[test]
+    fn where_must_be_boolean() {
+        let err = check_src("SELECT x FROM X x WHERE x.b + 1").unwrap_err();
+        assert!(err.message.contains("WHERE"), "{err:?}");
+    }
+
+    #[test]
+    fn from_operand_must_be_set() {
+        let err = check_src("SELECT c FROM EMP e, e.sal c").unwrap_err();
+        assert!(err.message.contains("FROM operand"), "{err:?}");
+    }
+
+    #[test]
+    fn bad_field_and_comparisons() {
+        assert!(check_src("SELECT e.nope FROM EMP e").is_err());
+        assert!(check_src("SELECT e FROM EMP e WHERE e.sal = e.name").is_err());
+        assert!(check_src("SELECT e FROM EMP e WHERE e.name + 1 > 0").is_err());
+    }
+
+    #[test]
+    fn aggregates_and_quantifiers() {
+        let t = check_src("SELECT COUNT(e.children) FROM EMP e").unwrap();
+        assert_eq!(t, Ty::Set(Box::new(Ty::Int)));
+        assert!(check_src(
+            "SELECT e FROM EMP e WHERE EXISTS c IN e.children (c.age > e.sal)"
+        )
+        .is_ok());
+        assert!(check_src("SELECT e FROM EMP e WHERE EXISTS c IN e.sal (TRUE)").is_err());
+        assert!(check_src("SELECT SUM(e.children) FROM EMP e").is_err());
+    }
+
+    #[test]
+    fn empty_set_literal_unifies() {
+        assert!(check_src("SELECT x FROM X x WHERE x.a = {}").is_ok());
+        assert!(check_src("SELECT x FROM X x WHERE x.a SUBSETEQ {1, 2}").is_ok());
+    }
+
+    #[test]
+    fn scope_is_restored_after_sfw() {
+        // The inner e must not leak into the outer WHERE.
+        let err =
+            check_src("SELECT x FROM X x WHERE COUNT((SELECT e FROM EMP e)) = e.sal").unwrap_err();
+        assert!(err.message.contains("unbound"), "{err:?}");
+    }
+}

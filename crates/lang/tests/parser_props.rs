@@ -1,0 +1,140 @@
+//! Property tests for the language front end:
+//!
+//! 1. **No panics**: the lexer/parser must return `Err`, never panic, on
+//!    arbitrary input (including arbitrary Unicode).
+//! 2. **Round trip**: for generated well-formed expressions,
+//!    `parse(display(e))` succeeds and is display-stable
+//!    (`display(parse(display(e))) == display(e)`).
+
+use proptest::prelude::*;
+use tmql_lang::ast::{Expr, FromItem};
+use tmql_lang::parse_query;
+use tmql_lang::token::Span;
+
+fn sp() -> Span {
+    Span::new(0, 0)
+}
+
+/// Generated identifiers avoid keywords by construction (prefix `v`).
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z]{0,4}".prop_map(|s| format!("v{s}"))
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(|i| Expr::Int(i, sp())),
+        any::<bool>().prop_map(|b| Expr::Bool(b, sp())),
+        "[a-z ]{0,5}".prop_map(|s| Expr::Str(s, sp())),
+        ident().prop_map(|v| Expr::Var(v, sp())),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), ident()).prop_map(|(e, f)| Expr::Field(Box::new(e), f, sp())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Cmp(
+                tmql_lang::ast::CmpOp::Eq,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::SetCmp(
+                tmql_lang::ast::SetCmpOp::SubsetEq,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Agg(tmql_lang::ast::AggFn::Count, Box::new(e), sp())),
+            prop::collection::vec(inner.clone(), 0..3)
+                .prop_map(|es| Expr::SetLit(es, sp())),
+            (ident(), inner.clone(), inner.clone()).prop_map(|(v, over, pred)| Expr::Quant {
+                q: tmql_lang::ast::Quantifier::Exists,
+                var: v,
+                over: Box::new(over),
+                pred: Box::new(pred),
+                span: sp(),
+            }),
+            // A small SFW block.
+            (ident(), ident(), inner.clone(), prop::option::of(inner)).prop_map(
+                |(table_like, var, sel, wh)| {
+                    Expr::Sfw {
+                        select: Box::new(sel),
+                        from: vec![FromItem {
+                            operand: Expr::Var(format!("T{table_like}"), sp()),
+                            var,
+                            span: sp(),
+                        }],
+                        where_clause: wh.map(Box::new),
+                        with_bindings: vec![],
+                        span: sp(),
+                    }
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: parse returns, never panics.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,80}") {
+        let _ = parse_query(&src);
+    }
+
+    /// Arbitrary token-ish soup: also no panics.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("FROM".to_string()),
+                Just("WHERE".to_string()),
+                Just("IN".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(",".to_string()),
+                Just("=".to_string()),
+                Just("COUNT".to_string()),
+                "[a-z]{1,3}".prop_map(|s| s),
+                (0i64..99).prop_map(|i| i.to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_query(&src);
+    }
+
+    /// Round trip: display → parse → display is stable. `NOT` is applied
+    /// only at the top level: it is the one prefix form the printer leaves
+    /// unparenthesized, so in operand position it is outside the grammar's
+    /// image (everything else prints self-delimiting).
+    #[test]
+    fn display_parse_round_trip(
+        (e, negate) in (arb_expr(), any::<bool>()).prop_map(|(e, n)| {
+            if n { (Expr::Not(Box::new(e)), true) } else { (e, false) }
+        })
+    ) {
+        let _ = negate;
+        let printed = e.to_string();
+        match parse_query(&printed) {
+            Ok(reparsed) => {
+                prop_assert_eq!(
+                    reparsed.to_string(),
+                    printed.clone(),
+                    "unstable round trip for `{}`", printed
+                );
+            }
+            Err(err) => {
+                return Err(TestCaseError::fail(format!(
+                    "`{printed}` failed to reparse: {}",
+                    err.render(&printed)
+                )));
+            }
+        }
+    }
+}

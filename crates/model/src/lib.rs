@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # tmql-model — the TM complex object data model
+//!
+//! This crate implements the data model of the TM database specification
+//! language as described in Section 3 of Steenhagen, Apers & Blanken,
+//! *Optimization of Nested Queries in a Complex Object Model* (EDBT 1994):
+//!
+//! * arbitrarily nested values built from the **tuple**, **set**, **list**,
+//!   and **variant** type constructors over basic types
+//!   ([`Value`], [`Record`]);
+//! * the corresponding type language ([`Ty`]) with structural typing;
+//! * **set semantics**: sets never contain duplicates ("Sets do not contain
+//!   duplicates", Section 3.1) — enforced by representing sets as ordered
+//!   [`std::collections::BTreeSet`]s over the total order on [`Value`];
+//! * class and sort definitions with explicitly named extensions
+//!   ([`schema::ClassDef`], [`schema::SortDef`]), mirroring the paper's
+//!   `CLASS Employee WITH EXTENSION EMP` declarations.
+//!
+//! A deliberately included oddity is [`Value::Null`]: TM itself has **no**
+//! NULL — "in a complex object model we do not have to represent the empty
+//! set: the empty set is part of the model" (Section 6). NULL exists here
+//! solely so that the *relational* baselines the paper compares against
+//! (Ganski–Wong outerjoin unnesting) can be expressed and measured.
+
+pub mod error;
+pub mod record;
+pub mod schema;
+pub mod setops;
+pub mod types;
+pub mod value;
+
+pub use error::ModelError;
+pub use record::Record;
+pub use schema::{AttrDef, ClassDef, Schema, SortDef};
+pub use types::Ty;
+pub use value::Value;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,262 @@
+//! Labelled tuples (records).
+//!
+//! A [`Record`] is a sequence of `(label, value)` pairs in declaration order.
+//! Order is preserved (schemas are positional for display) but equality,
+//! ordering, and hashing are **label-insensitive to permutation**: two
+//! records with the same label→value mapping are equal regardless of field
+//! order, matching TM's structural tuple semantics.
+//!
+//! Records support the paper's tuple concatenation `x ++ (a = z)`
+//! (Section 6) via [`Record::concat`] and [`Record::extend_field`], which
+//! reject duplicate top-level labels.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::ModelError;
+use crate::value::Value;
+use crate::Result;
+
+/// A labelled tuple value `(a = 1, b = {2, 3})`.
+#[derive(Debug, Clone, Default)]
+pub struct Record {
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// Build a record from `(label, value)` pairs, rejecting duplicates.
+    pub fn new(fields: impl IntoIterator<Item = (String, Value)>) -> Result<Record> {
+        let mut rec = Record { fields: Vec::new() };
+        for (l, v) in fields {
+            rec.push(l, v)?;
+        }
+        Ok(rec)
+    }
+
+    /// The empty record `()`.
+    pub fn empty() -> Record {
+        Record::default()
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True iff the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Append one field, rejecting a duplicate label.
+    pub fn push(&mut self, label: impl Into<String>, value: Value) -> Result<()> {
+        let label = label.into();
+        if self.has(&label) {
+            return Err(ModelError::DuplicateField(label));
+        }
+        self.fields.push((label, value));
+        Ok(())
+    }
+
+    /// True iff a field with this label exists.
+    pub fn has(&self, label: &str) -> bool {
+        self.fields.iter().any(|(l, _)| l == label)
+    }
+
+    /// Look up a field value by label.
+    pub fn get(&self, label: &str) -> Result<&Value> {
+        self.fields
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| v)
+            .ok_or_else(|| ModelError::NoSuchField {
+                field: label.to_string(),
+                available: self.labels().map(str::to_string).collect(),
+            })
+    }
+
+    /// Iterate `(label, value)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(l, v)| (l.as_str(), v))
+    }
+
+    /// Iterate the labels in declaration order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|(l, _)| l.as_str())
+    }
+
+    /// Iterate the values in declaration order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.fields.iter().map(|(_, v)| v)
+    }
+
+    /// Tuple concatenation `x ++ y` (Section 6). Fails if the operands share
+    /// a top-level label.
+    pub fn concat(&self, other: &Record) -> Result<Record> {
+        let mut out = self.clone();
+        for (l, v) in other.iter() {
+            out.push(l, v.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// The paper's `x ++ (a = z)`: extend with a single unary tuple.
+    /// Fails if `a` already occurs on the top level of `x`.
+    pub fn extend_field(&self, label: &str, value: Value) -> Result<Record> {
+        let mut out = self.clone();
+        out.push(label, value)?;
+        Ok(out)
+    }
+
+    /// Projection onto a list of labels (in the order given).
+    pub fn project(&self, labels: &[&str]) -> Result<Record> {
+        let mut out = Record::empty();
+        for l in labels {
+            out.push(*l, self.get(l)?.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Remove a field, returning the remainder. Fails if absent.
+    pub fn without(&self, label: &str) -> Result<Record> {
+        if !self.has(label) {
+            return Err(ModelError::NoSuchField {
+                field: label.to_string(),
+                available: self.labels().map(str::to_string).collect(),
+            });
+        }
+        Ok(Record {
+            fields: self.fields.iter().filter(|(l, _)| l != label).cloned().collect(),
+        })
+    }
+
+    /// Fields sorted by label — the canonical form used for equality,
+    /// ordering, and hashing.
+    fn canonical(&self) -> Vec<(&str, &Value)> {
+        let mut v: Vec<(&str, &Value)> = self.iter().collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+}
+
+impl PartialEq for Record {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical() == other.canonical()
+    }
+}
+
+impl Eq for Record {}
+
+impl PartialOrd for Record {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Record {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.canonical().cmp(&other.canonical())
+    }
+}
+
+impl Hash for Record {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for (l, v) in self.canonical() {
+            l.hash(state);
+            v.hash(state);
+        }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (l, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l} = {v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<(String, Value)> for Record {
+    /// Collects pairs, silently overwriting nothing: panics on duplicates.
+    /// Intended for internal construction where labels are known distinct.
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Record::new(iter).expect("duplicate label collecting Record")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pairs: &[(&str, i64)]) -> Record {
+        Record::new(pairs.iter().map(|(l, v)| (l.to_string(), Value::Int(*v)))).unwrap()
+    }
+
+    #[test]
+    fn equality_ignores_field_order() {
+        let a = rec(&[("x", 1), ("y", 2)]);
+        let b = rec(&[("y", 2), ("x", 1)]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let r = Record::new([("a".to_string(), Value::Int(1)), ("a".to_string(), Value::Int(2))]);
+        assert!(matches!(r, Err(ModelError::DuplicateField(_))));
+    }
+
+    #[test]
+    fn concat_rejects_shared_labels() {
+        let a = rec(&[("x", 1)]);
+        let b = rec(&[("x", 2)]);
+        assert!(a.concat(&b).is_err());
+        let c = rec(&[("y", 2)]);
+        let joined = a.concat(&c).unwrap();
+        assert_eq!(joined.len(), 2);
+    }
+
+    #[test]
+    fn extend_field_is_paper_concat() {
+        // x ++ (a = ∅) from the nest join definition.
+        let x = rec(&[("e", 2), ("d", 1)]);
+        let extended = x.extend_field("s", Value::empty_set()).unwrap();
+        assert_eq!(extended.get("s").unwrap(), &Value::empty_set());
+        assert!(x.extend_field("e", Value::Int(9)).is_err());
+    }
+
+    #[test]
+    fn project_and_without() {
+        let r = rec(&[("a", 1), ("b", 2), ("c", 3)]);
+        let p = r.project(&["c", "a"]).unwrap();
+        assert_eq!(p.labels().collect::<Vec<_>>(), vec!["c", "a"]);
+        let w = r.without("b").unwrap();
+        assert!(!w.has("b"));
+        assert!(r.without("zz").is_err());
+    }
+
+    #[test]
+    fn display_preserves_declaration_order() {
+        let r = rec(&[("b", 2), ("a", 1)]);
+        assert_eq!(r.to_string(), "(b = 2, a = 1)");
+    }
+
+    #[test]
+    fn ordering_is_canonical() {
+        let a = rec(&[("x", 1), ("y", 2)]);
+        let b = rec(&[("y", 3), ("x", 1)]);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the value universe: total-order laws, set
+//! algebra laws, and record concatenation invariants. These are the
+//! foundations every operator upstream relies on — if `Value`'s order were
+//! not total, `BTreeSet` sets (and hence TM set semantics) would silently
+//! corrupt.
+
+use proptest::prelude::*;
+use tmql_model::{setops, Record, Ty, Value};
+
+/// Strategy for arbitrary (bounded-depth) complex object values.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        "[a-z]{0,6}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::set),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            prop::collection::vec(("[a-d]", inner), 0..3).prop_map(|pairs| {
+                let mut rec = Record::empty();
+                for (l, v) in pairs {
+                    // Skip duplicate labels rather than fail the case.
+                    let _ = rec.push(l, v);
+                }
+                Value::Tuple(rec)
+            }),
+        ]
+    })
+}
+
+fn arb_int_set() -> impl Strategy<Value = Value> {
+    prop::collection::btree_set((-20i64..20).prop_map(Value::Int), 0..8).prop_map(Value::Set)
+}
+
+proptest! {
+    #[test]
+    fn ordering_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering::*;
+        match a.cmp(&b) {
+            Equal => prop_assert_eq!(b.cmp(&a), Equal),
+            Less => prop_assert_eq!(b.cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.cmp(&a), Less),
+        }
+    }
+
+    #[test]
+    fn ordering_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn equal_values_hash_equal(a in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let b = a.clone();
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        prop_assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn type_of_admits_its_value(a in arb_value()) {
+        let t = Ty::of(&a);
+        prop_assert!(t.admits(&a), "inferred type {} must admit {}", t, a);
+    }
+
+    #[test]
+    fn union_is_commutative_associative_idempotent(
+        a in arb_int_set(), b in arb_int_set(), c in arb_int_set()
+    ) {
+        let ab = setops::union(&a, &b).unwrap();
+        let ba = setops::union(&b, &a).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        let ab_c = setops::union(&ab, &c).unwrap();
+        let bc = setops::union(&b, &c).unwrap();
+        let a_bc = setops::union(&a, &bc).unwrap();
+        prop_assert_eq!(ab_c, a_bc);
+        prop_assert_eq!(setops::union(&a, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn demorgan_for_containment(a in arb_int_set(), b in arb_int_set()) {
+        // a ⊆ b  ⟺  a \ b = ∅ — the identity Table 2's ⊆ rows rest on.
+        let diff = setops::difference(&a, &b).unwrap();
+        prop_assert_eq!(
+            setops::subseteq(&a, &b).unwrap(),
+            setops::count(&diff).unwrap() == 0
+        );
+    }
+
+    #[test]
+    fn disjoint_iff_intersection_empty(a in arb_int_set(), b in arb_int_set()) {
+        let inter = setops::intersect(&a, &b).unwrap();
+        prop_assert_eq!(
+            setops::disjoint(&a, &b).unwrap(),
+            setops::count(&inter).unwrap() == 0
+        );
+    }
+
+    #[test]
+    fn proper_subset_is_strict(a in arb_int_set(), b in arb_int_set()) {
+        if setops::subset(&a, &b).unwrap() {
+            prop_assert!(setops::subseteq(&a, &b).unwrap());
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn unnest_of_singletons_is_identity(a in arb_int_set()) {
+        // UNNEST({{x} | x ∈ a}) = a
+        let singletons = Value::set(
+            a.as_set().unwrap().iter().map(|v| Value::set([v.clone()]))
+        );
+        prop_assert_eq!(setops::unnest(&singletons).unwrap(), a);
+    }
+
+    #[test]
+    fn record_concat_preserves_fields(
+        xs in prop::collection::vec(("[a-c]", -5i64..5), 0..3),
+        ys in prop::collection::vec(("[d-f]", -5i64..5), 0..3),
+    ) {
+        let mut x = Record::empty();
+        for (l, v) in &xs { let _ = x.push(l.clone(), Value::Int(*v)); }
+        let mut y = Record::empty();
+        for (l, v) in &ys { let _ = y.push(l.clone(), Value::Int(*v)); }
+        let joined = x.concat(&y).unwrap();
+        prop_assert_eq!(joined.len(), x.len() + y.len());
+        for (l, v) in x.iter() {
+            prop_assert_eq!(joined.get(l).unwrap(), v);
+        }
+        for (l, v) in y.iter() {
+            prop_assert_eq!(joined.get(l).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The catalog: schema + named extensions (tables).
+
+use std::collections::BTreeMap;
+
+use tmql_model::{ModelError, Result, Schema, Ty};
+
+use crate::stats::TableStats;
+use crate::table::Table;
+
+/// Maps extension names (`EMP`, `DEPT`, `R`, `S`, ...) to stored tables and
+/// carries the TM schema for type resolution.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    schema: Schema,
+    tables: BTreeMap<String, Table>,
+    stats: BTreeMap<String, TableStats>,
+}
+
+impl Catalog {
+    /// An empty catalog with an empty schema.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Build a catalog around an existing schema.
+    pub fn with_schema(schema: Schema) -> Catalog {
+        Catalog { schema, ..Catalog::default() }
+    }
+
+    /// The TM schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable access to the schema (for registering classes/sorts).
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// Register a table under its own name. Statistics are computed eagerly
+    /// (tables are immutable once registered — the paper's queries are
+    /// read-only).
+    pub fn register(&mut self, table: Table) -> Result<()> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(ModelError::SchemaError(format!("table `{name}` already registered")));
+        }
+        self.stats.insert(name.clone(), TableStats::compute(&table));
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Replace a table (e.g. between benchmark iterations), refreshing stats.
+    pub fn replace(&mut self, table: Table) {
+        let name = table.name().to_string();
+        self.stats.insert(name.clone(), TableStats::compute(&table));
+        self.tables.insert(name, table);
+    }
+
+    /// Look up a table by extension name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| ModelError::SchemaError(format!("unknown table `{name}`")))
+    }
+
+    /// Look up precomputed statistics for a table.
+    pub fn stats(&self, name: &str) -> Option<&TableStats> {
+        self.stats.get(name)
+    }
+
+    /// The row type of a stored table, falling back to the schema's class
+    /// declaration when the table is registered via a class extension.
+    pub fn row_ty(&self, name: &str) -> Result<Ty> {
+        if let Ok(t) = self.table(name) {
+            return Ok(t.row_ty());
+        }
+        match self.schema.extension_ty(name)? {
+            Ty::Set(inner) => Ok(*inner),
+            other => Ok(other),
+        }
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::int_table;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.register(int_table("R", &["a", "b"], &[&[1, 2]])).unwrap();
+        assert_eq!(cat.table("R").unwrap().len(), 1);
+        assert!(cat.table("S").is_err());
+        assert!(cat.register(int_table("R", &["a"], &[])).is_err());
+    }
+
+    #[test]
+    fn stats_computed_on_register() {
+        let mut cat = Catalog::new();
+        cat.register(int_table("R", &["a"], &[&[1], &[2], &[2]])).unwrap();
+        let st = cat.stats("R").unwrap();
+        assert_eq!(st.cardinality, 2); // set semantics deduped the 2
+    }
+
+    #[test]
+    fn replace_refreshes_stats() {
+        let mut cat = Catalog::new();
+        cat.register(int_table("R", &["a"], &[&[1]])).unwrap();
+        cat.replace(int_table("R", &["a"], &[&[1], &[2], &[3]]));
+        assert_eq!(cat.stats("R").unwrap().cardinality, 3);
+    }
+
+    #[test]
+    fn row_ty_from_table() {
+        let mut cat = Catalog::new();
+        cat.register(int_table("R", &["a", "b"], &[])).unwrap();
+        let ty = cat.row_ty("R").unwrap();
+        assert_eq!(ty, Ty::Tuple(vec![("a".into(), Ty::Int), ("b".into(), Ty::Int)]));
+    }
+
+    #[test]
+    fn row_ty_from_schema_when_unregistered() {
+        use tmql_model::schema::paper_schema;
+        let cat = Catalog::with_schema(paper_schema());
+        let ty = cat.row_ty("EMP").unwrap();
+        assert!(matches!(ty, Ty::Tuple(_)));
+        assert!(cat.row_ty("NOPE").is_err());
+    }
+}

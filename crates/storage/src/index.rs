@@ -1,0 +1,135 @@
+//! Single-attribute indexes over stored tables.
+//!
+//! Both index kinds map an attribute value to the row positions holding it.
+//! They back the index-nested-loop execution alternatives and give the
+//! sort-merge operators a cheap source of ordered runs.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tmql_model::{Record, Result, Value};
+
+use crate::table::Table;
+
+/// Hash index: attribute value → row indexes.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    attr: String,
+    map: HashMap<Value, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Build over `table.attr`. Fails if some row lacks the attribute.
+    pub fn build(table: &Table, attr: &str) -> Result<HashIndex> {
+        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, row) in table.rows().enumerate() {
+            map.entry(row.get(attr)?.clone()).or_default().push(i);
+        }
+        Ok(HashIndex { attr: attr.to_string(), map })
+    }
+
+    /// The indexed attribute.
+    pub fn attr(&self) -> &str {
+        &self.attr
+    }
+
+    /// Row positions whose attribute equals `key`.
+    pub fn probe(&self, key: &Value) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Ordered index: attribute value → row indexes, supporting range scans.
+#[derive(Debug, Clone)]
+pub struct OrdIndex {
+    attr: String,
+    map: BTreeMap<Value, Vec<usize>>,
+}
+
+impl OrdIndex {
+    /// Build over `table.attr`. Fails if some row lacks the attribute.
+    pub fn build(table: &Table, attr: &str) -> Result<OrdIndex> {
+        let mut map: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+        for (i, row) in table.rows().enumerate() {
+            map.entry(row.get(attr)?.clone()).or_default().push(i);
+        }
+        Ok(OrdIndex { attr: attr.to_string(), map })
+    }
+
+    /// The indexed attribute.
+    pub fn attr(&self) -> &str {
+        &self.attr
+    }
+
+    /// Row positions whose attribute equals `key`.
+    pub fn probe(&self, key: &Value) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Row positions with attribute in `[lo, hi]` (inclusive), in key order.
+    pub fn range(&self, lo: &Value, hi: &Value) -> Vec<usize> {
+        self.map
+            .range(lo.clone()..=hi.clone())
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
+    }
+
+    /// Iterate `(key, positions)` in key order — yields the table as sorted
+    /// runs for merge-based operators.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &[usize])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+}
+
+/// Fetch records by positions (shared helper for index scans).
+pub fn fetch<'a>(table: &'a Table, positions: &[usize]) -> Vec<&'a Record> {
+    let rows: Vec<&Record> = table.rows().collect();
+    positions.iter().map(|&i| rows[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::int_table;
+
+    #[test]
+    fn hash_index_probe() {
+        let t = int_table("R", &["a", "b"], &[&[1, 10], &[2, 10], &[3, 20]]);
+        let idx = HashIndex::build(&t, "b").unwrap();
+        assert_eq!(idx.probe(&Value::Int(10)).len(), 2);
+        assert_eq!(idx.probe(&Value::Int(99)).len(), 0);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.attr(), "b");
+    }
+
+    #[test]
+    fn ord_index_range() {
+        let t = int_table("R", &["a"], &[&[5], &[1], &[3], &[9]]);
+        let idx = OrdIndex::build(&t, "a").unwrap();
+        let hits = idx.range(&Value::Int(2), &Value::Int(6));
+        let vals: Vec<i64> = fetch(&t, &hits)
+            .iter()
+            .map(|r| r.get("a").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![3, 5]);
+    }
+
+    #[test]
+    fn ord_index_iter_is_sorted() {
+        let t = int_table("R", &["a"], &[&[5], &[1], &[3]]);
+        let idx = OrdIndex::build(&t, "a").unwrap();
+        let keys: Vec<i64> = idx.iter().map(|(k, _)| k.as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn build_fails_on_missing_attr() {
+        let t = int_table("R", &["a"], &[&[1]]);
+        assert!(HashIndex::build(&t, "zz").is_err());
+        assert!(OrdIndex::build(&t, "zz").is_err());
+    }
+}

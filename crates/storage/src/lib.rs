@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # tmql-storage — in-memory storage for class extensions
+//!
+//! The paper assumes class extensions (`EMP`, `DEPT`, or the relational
+//! `R`, `S` of Section 2) are stored tables: "set-valued attributes are
+//! stored with the objects themselves (as materialized joins), at least
+//! conceptually" (Section 3.2). This crate provides:
+//!
+//! * [`Table`] — a typed, duplicate-free (set semantics) collection of
+//!   [`tmql_model::Record`]s;
+//! * [`Catalog`] — maps extension names to tables, carries the
+//!   [`tmql_model::Schema`];
+//! * [`stats::TableStats`] — cardinality / distinct-count / min-max
+//!   statistics used by the cost-based physical planner;
+//! * [`index`] — hash and ordered indexes over one attribute. The executor
+//!   builds equivalent transient structures inside its hash/merge joins;
+//!   these persistent variants back index-based access paths and give
+//!   tests a reference implementation of key lookup.
+
+pub mod catalog;
+pub mod index;
+pub mod stats;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use index::{HashIndex, OrdIndex};
+pub use stats::TableStats;
+pub use table::Table;
+
+pub use tmql_model::{ModelError, Result};

@@ -1,0 +1,126 @@
+//! Table statistics for the cost-based physical planner.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use tmql_model::Value;
+
+use crate::table::Table;
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// Minimum value under the model's total order (None for empty tables).
+    pub min: Option<Value>,
+    /// Maximum value under the model's total order.
+    pub max: Option<Value>,
+    /// Fraction of rows in which the value is a set — set-valued attributes
+    /// change unnesting decisions (Section 3.2).
+    pub set_valued_fraction: f64,
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Row count (after set-semantics dedup).
+    pub cardinality: usize,
+    /// Per-column stats keyed by column name.
+    pub columns: BTreeMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute statistics with one pass per column.
+    pub fn compute(table: &Table) -> TableStats {
+        let mut columns = BTreeMap::new();
+        for (name, _ty) in table.columns() {
+            let mut distinct: BTreeSet<&Value> = BTreeSet::new();
+            let mut sets = 0usize;
+            for row in table.rows() {
+                if let Ok(v) = row.get(name) {
+                    if matches!(v, Value::Set(_)) {
+                        sets += 1;
+                    }
+                    distinct.insert(v);
+                }
+            }
+            let min = distinct.iter().next().map(|v| (*v).clone());
+            let max = distinct.iter().next_back().map(|v| (*v).clone());
+            let n = table.len().max(1);
+            columns.insert(
+                name.clone(),
+                ColumnStats {
+                    distinct: distinct.len(),
+                    min,
+                    max,
+                    set_valued_fraction: sets as f64 / n as f64,
+                },
+            );
+        }
+        TableStats { cardinality: table.len(), columns }
+    }
+
+    /// Estimated selectivity of an equality predicate on `column`
+    /// (classic 1/NDV); 0.1 fallback when the column is unknown.
+    pub fn eq_selectivity(&self, column: &str) -> f64 {
+        match self.columns.get(column) {
+            Some(c) if c.distinct > 0 => 1.0 / c.distinct as f64,
+            _ => 0.1,
+        }
+    }
+
+    /// Estimated number of rows matching an equality on `column`.
+    pub fn eq_cardinality(&self, column: &str) -> f64 {
+        self.cardinality as f64 * self.eq_selectivity(column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::int_table;
+    use crate::table::Table;
+    use tmql_model::{Record, Ty};
+
+    #[test]
+    fn basic_stats() {
+        let t = int_table("R", &["a", "b"], &[&[1, 10], &[2, 10], &[3, 20]]);
+        let st = TableStats::compute(&t);
+        assert_eq!(st.cardinality, 3);
+        assert_eq!(st.columns["a"].distinct, 3);
+        assert_eq!(st.columns["b"].distinct, 2);
+        assert_eq!(st.columns["a"].min, Some(Value::Int(1)));
+        assert_eq!(st.columns["a"].max, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn selectivity() {
+        let t = int_table("R", &["a"], &[&[1], &[2], &[3], &[4]]);
+        let st = TableStats::compute(&t);
+        assert!((st.eq_selectivity("a") - 0.25).abs() < 1e-12);
+        assert!((st.eq_cardinality("a") - 1.0).abs() < 1e-12);
+        assert!((st.eq_selectivity("zz") - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_valued_fraction() {
+        let mut t = Table::new(
+            "X",
+            vec![("a".into(), Ty::Any)],
+        );
+        t.insert(Record::new([("a".to_string(), Value::set([Value::Int(1)]))]).unwrap()).unwrap();
+        t.insert(Record::new([("a".to_string(), Value::Int(1))]).unwrap()).unwrap();
+        let st = TableStats::compute(&t);
+        assert!((st.columns["a"].set_valued_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let t = int_table("E", &["a"], &[]);
+        let st = TableStats::compute(&t);
+        assert_eq!(st.cardinality, 0);
+        assert_eq!(st.columns["a"].distinct, 0);
+        assert_eq!(st.columns["a"].min, None);
+    }
+}

@@ -1,0 +1,267 @@
+//! Typed in-memory tables with TM set semantics.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use tmql_model::{ModelError, Record, Result, Ty, Value};
+
+/// A table: an ordered schema plus a duplicate-free multiset of records.
+///
+/// TM extensions are *sets* of complex objects, so inserting an already
+/// present record is a no-op. Insertion order of first occurrences is
+/// preserved so results print deterministically.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<(String, Ty)>,
+    rows: Vec<Record>,
+    seen: BTreeSet<Record>,
+}
+
+impl Table {
+    /// Create an empty table with the given column schema.
+    pub fn new(name: impl Into<String>, columns: Vec<(String, Ty)>) -> Table {
+        Table { name: name.into(), columns, rows: Vec::new(), seen: BTreeSet::new() }
+    }
+
+    /// Build a table directly from rows, validating each against the schema.
+    pub fn from_rows(
+        name: impl Into<String>,
+        columns: Vec<(String, Ty)>,
+        rows: impl IntoIterator<Item = Record>,
+    ) -> Result<Table> {
+        let mut t = Table::new(name, columns);
+        for r in rows {
+            t.insert(r)?;
+        }
+        Ok(t)
+    }
+
+    /// Table name (usually the extension name, e.g. `EMP`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column schema in declaration order.
+    pub fn columns(&self) -> &[(String, Ty)] {
+        &self.columns
+    }
+
+    /// The tuple type of one row.
+    pub fn row_ty(&self) -> Ty {
+        Ty::Tuple(self.columns.clone())
+    }
+
+    /// Number of (distinct) rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a record. Returns `Ok(true)` if the record was new,
+    /// `Ok(false)` if it was a duplicate (set semantics: silently absorbed),
+    /// and an error if it does not match the schema.
+    pub fn insert(&mut self, row: Record) -> Result<bool> {
+        self.validate(&row)?;
+        if self.seen.contains(&row) {
+            return Ok(false);
+        }
+        self.seen.insert(row.clone());
+        self.rows.push(row);
+        Ok(true)
+    }
+
+    /// Validate a record against the column schema: same label set,
+    /// admissible values.
+    pub fn validate(&self, row: &Record) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(ModelError::SchemaError(format!(
+                "table `{}` expects {} columns, row has {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (label, ty) in &self.columns {
+            let v = row.get(label)?;
+            if !ty.admits(v) {
+                return Err(ModelError::SchemaError(format!(
+                    "column `{}` of table `{}` has type {}, got {}",
+                    label, self.name, ty, v
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate rows in first-insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = &Record> {
+        self.rows.iter()
+    }
+
+    /// Membership test (set semantics makes this well-defined).
+    pub fn contains(&self, row: &Record) -> bool {
+        self.seen.contains(row)
+    }
+
+    /// Consume the table into its row vector.
+    pub fn into_rows(self) -> Vec<Record> {
+        self.rows
+    }
+
+    /// The whole table as a TM set-of-tuples value.
+    pub fn to_value(&self) -> Value {
+        Value::set(self.rows.iter().cloned().map(Value::Tuple))
+    }
+
+    /// Order-insensitive equality of contents (the correct notion of result
+    /// equality for set-semantics queries; used pervasively by differential
+    /// tests between unnesting strategies).
+    pub fn same_contents(&self, other: &Table) -> bool {
+        self.seen == other.seen
+    }
+
+    /// Render as an aligned ASCII table (used by examples to reproduce the
+    /// paper's Table 1 layout).
+    pub fn render(&self) -> String {
+        let headers: Vec<String> = self.columns.iter().map(|(l, _)| l.clone()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                headers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, h)| {
+                        let s = r.get(h).map(|v| v.to_string()).unwrap_or_default();
+                        widths[i] = widths[i].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        let fmt_row = |cols: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cols.iter().zip(widths) {
+                line.push_str(&format!(" {c:w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&headers, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep, &widths));
+        for row in &cells {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} rows)\n{}", self.name, self.len(), self.render())
+    }
+}
+
+/// Builder ergonomic for tests and workload generators: construct a table
+/// of `INT` columns from tuples of integers.
+pub fn int_table(name: &str, cols: &[&str], data: &[&[i64]]) -> Table {
+    let columns: Vec<(String, Ty)> = cols.iter().map(|c| (c.to_string(), Ty::Int)).collect();
+    let mut t = Table::new(name, columns);
+    for row in data {
+        assert_eq!(row.len(), cols.len(), "int_table row arity mismatch");
+        let rec = Record::new(
+            cols.iter().zip(row.iter()).map(|(c, v)| (c.to_string(), Value::Int(*v))),
+        )
+        .expect("distinct column names");
+        t.insert(rec).expect("schema admits ints");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_semantics_absorbs_duplicates() {
+        let mut t = int_table("T", &["a"], &[]);
+        let r = Record::new([("a".to_string(), Value::Int(1))]).unwrap();
+        assert!(t.insert(r.clone()).unwrap());
+        assert!(!t.insert(r).unwrap());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn schema_validation() {
+        let mut t = Table::new("T", vec![("a".into(), Ty::Int), ("b".into(), Ty::Str)]);
+        let bad_arity = Record::new([("a".to_string(), Value::Int(1))]).unwrap();
+        assert!(t.insert(bad_arity).is_err());
+        let bad_type = Record::new([
+            ("a".to_string(), Value::Int(1)),
+            ("b".to_string(), Value::Int(2)),
+        ])
+        .unwrap();
+        assert!(t.insert(bad_type).is_err());
+        let good = Record::new([
+            ("a".to_string(), Value::Int(1)),
+            ("b".to_string(), Value::str("x")),
+        ])
+        .unwrap();
+        assert!(t.insert(good).is_ok());
+    }
+
+    #[test]
+    fn complex_valued_columns() {
+        let mut t = Table::new(
+            "DEPT",
+            vec![("name".into(), Ty::Str), ("emps".into(), Ty::Set(Box::new(Ty::Any)))],
+        );
+        let row = Record::new([
+            ("name".to_string(), Value::str("CS")),
+            ("emps".to_string(), Value::set([Value::str("ann")])),
+        ])
+        .unwrap();
+        t.insert(row).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn same_contents_is_order_insensitive() {
+        let a = int_table("A", &["x"], &[&[1], &[2]]);
+        let b = int_table("B", &["x"], &[&[2], &[1]]);
+        assert!(a.same_contents(&b));
+        let c = int_table("C", &["x"], &[&[2]]);
+        assert!(!a.same_contents(&c));
+    }
+
+    #[test]
+    fn to_value_round_trip() {
+        let t = int_table("T", &["a", "b"], &[&[1, 2], &[3, 4]]);
+        let v = t.to_value();
+        assert_eq!(v.as_set().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let t = int_table("T", &["col", "b"], &[&[1, 22], &[333, 4]]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn contains_after_insert() {
+        let t = int_table("T", &["a"], &[&[5]]);
+        let r = Record::new([("a".to_string(), Value::Int(5))]).unwrap();
+        assert!(t.contains(&r));
+    }
+}

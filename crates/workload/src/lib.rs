@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # tmql-workload — schemas, data generators, and the query corpus
+//!
+//! The paper has no public datasets, so per the reproduction's
+//! substitution rule this crate provides synthetic equivalents that
+//! exercise the same code paths:
+//!
+//! * [`schemas`] — the paper's fixed fixtures: Table 1's `X`/`Y`, the
+//!   relational `R`/`S` of Section 2, the `Employee`/`Department` classes
+//!   of Section 3.2, and the `X`/`Y`/`Z` chain of Section 8;
+//! * [`gen`] — parameterized random generators (cardinality, **dangling
+//!   fraction** — the share of outer tuples with no inner match, which is
+//!   the knob the COUNT bug and the outerjoin/nest join comparison hinge
+//!   on — correlation fan-out, value skew);
+//! * [`queries`] — the paper's queries as `tmql-lang` source strings,
+//!   parameterized by predicate where the experiments sweep Table 2 rows;
+//! * [`zipf`] — a small Zipf sampler for skewed key distributions.
+
+pub mod gen;
+pub mod queries;
+pub mod schemas;
+pub mod zipf;
+
+pub use gen::{GenConfig, SkewKind};

@@ -1,0 +1,145 @@
+//! The paper's queries as `tmql` source strings.
+
+/// Q1 (Section 3.2): departments with at least one employee living in the
+/// same street the department is located. Nesting in the WHERE clause with
+/// a **set-valued attribute operand** (`d.emps`) — stays nested-loop per
+/// Section 3.2.
+pub const Q1: &str = "\
+SELECT d
+FROM DEPT d
+WHERE (s = d.address.street, c = d.address.city)
+      IN (SELECT (s = e.address.street, c = e.address.city)
+          FROM d.emps e)";
+
+/// Q2 (Section 3.2): for all departments, the department name and the
+/// employees living in the same city. Nesting in the SELECT clause over a
+/// **distinct table** (`EMP`) — nest join territory.
+pub const Q2: &str = "\
+SELECT (dname = d.name,
+        emps = (SELECT e
+                FROM EMP e
+                WHERE e.address.city = d.address.city))
+FROM DEPT d";
+
+/// The Section 2 COUNT-bug query over `R(a, b, c)` / `S(c, d)`:
+/// `SELECT * FROM R WHERE R.B = (SELECT COUNT(*) FROM S WHERE R.C = S.C)`.
+pub const COUNT_BUG: &str = "\
+SELECT x
+FROM R x
+WHERE x.b = COUNT((SELECT y.d FROM S y WHERE x.c = y.c))";
+
+/// The Section 4 SUBSETEQ-bug query over `X(a, b, n)` / `Y(b, a)`:
+/// `SELECT x FROM X x WHERE x.a ⊆ (SELECT y.a FROM Y y WHERE x.b = y.b)`.
+pub const SUBSETEQ_BUG: &str = "\
+SELECT x
+FROM X x
+WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b)";
+
+/// The Section 8 three-block query (both predicates require grouping).
+pub const SECTION8: &str = "\
+SELECT x
+FROM X x
+WHERE x.a SUBSETEQ (SELECT y.a
+                    FROM Y y
+                    WHERE x.b = y.b AND
+                          y.c SUBSETEQ (SELECT z.c
+                                        FROM Z z
+                                        WHERE y.d = z.d))";
+
+/// The Section 8 variant with `⊆` changed to `∈`/`∉`: the nest joins may
+/// be replaced by a semijoin (outer) and an antijoin (inner).
+pub const SECTION8_FLAT: &str = "\
+SELECT x
+FROM X x
+WHERE x.b IN (SELECT y.a
+              FROM Y y
+              WHERE x.b = y.b AND
+                    y.a NOT IN (SELECT z.c
+                                FROM Z z
+                                WHERE y.d = z.d))";
+
+/// The Section 5 UNNEST special case:
+/// `UNNEST(SELECT (SELECT (a = x.a, b = y.b) FROM Y y WHERE x.b = y.a) FROM X x)`.
+pub const UNNEST_COLLAPSE: &str = "\
+UNNEST(SELECT (SELECT (a = x.n, b = y.b) FROM Y y WHERE x.b = y.a)
+       FROM X x)";
+
+/// A membership query for the flattening experiments (B1/B3):
+/// `x.n ∈ {y.a | x.b = y.b}` — semijoin per Theorem 1.
+pub const MEMBERSHIP: &str = "\
+SELECT x
+FROM X x
+WHERE x.n IN (SELECT y.a FROM Y y WHERE x.b = y.b)";
+
+/// The antijoin twin of [`MEMBERSHIP`].
+pub const NON_MEMBERSHIP: &str = "\
+SELECT x
+FROM X x
+WHERE x.n NOT IN (SELECT y.a FROM Y y WHERE x.b = y.b)";
+
+/// Build a WHERE-nesting query over X/Y with an arbitrary predicate
+/// between the blocks (`{Z}` is the subquery placeholder).
+pub fn where_query(pred_template: &str) -> String {
+    let sub = "(SELECT y.a FROM Y y WHERE x.b = y.b)";
+    format!("SELECT x\nFROM X x\nWHERE {}", pred_template.replace("{Z}", sub))
+}
+
+/// The Table 2 predicate sweep, as `where_query` templates keyed by the
+/// paper's row names.
+pub fn table2_templates() -> Vec<(&'static str, String)> {
+    vec![
+        ("z = ∅", where_query("{Z} = {}")),
+        ("count(z) = 0", where_query("COUNT({Z}) = 0")),
+        ("count(z) <> 0", where_query("COUNT({Z}) <> 0")),
+        ("x.n = count(z)", where_query("x.n = COUNT({Z})")),
+        ("x.n ∈ z", where_query("x.n IN {Z}")),
+        ("x.n ∉ z", where_query("x.n NOT IN {Z}")),
+        ("x.a ⊆ z", where_query("x.a SUBSETEQ {Z}")),
+        ("x.a ⊂ z", where_query("x.a SUBSET {Z}")),
+        ("x.a ⊇ z", where_query("x.a SUPERSETEQ {Z}")),
+        ("x.a ⊃ z", where_query("x.a SUPERSET {Z}")),
+        ("x.a = z", where_query("x.a = {Z}")),
+        ("x.a ≠ z", where_query("x.a <> {Z}")),
+        ("x.a ∩ z = ∅", where_query("x.a DISJOINT {Z}")),
+        ("x.a ∩ z ≠ ∅", where_query("x.a INTERSECTS {Z}")),
+        ("∀w ∈ x.a (w ∈ z)", where_query("FORALL w IN x.a (w IN {Z})")),
+        ("∀w ∈ x.a (w ∉ z)", where_query("FORALL w IN x.a (w NOT IN {Z})")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses() {
+        for (name, src) in [
+            ("Q1", Q1),
+            ("Q2", Q2),
+            ("COUNT_BUG", COUNT_BUG),
+            ("SUBSETEQ_BUG", SUBSETEQ_BUG),
+            ("SECTION8", SECTION8),
+            ("UNNEST_COLLAPSE", UNNEST_COLLAPSE),
+            ("MEMBERSHIP", MEMBERSHIP),
+            ("NON_MEMBERSHIP", NON_MEMBERSHIP),
+        ] {
+            tmql_lang::parse_query(src)
+                .unwrap_or_else(|e| panic!("{name} does not parse: {}", e.render(src)));
+        }
+    }
+
+    #[test]
+    fn table2_templates_parse() {
+        for (name, src) in table2_templates() {
+            tmql_lang::parse_query(&src)
+                .unwrap_or_else(|e| panic!("template `{name}` does not parse: {}", e.render(&src)));
+        }
+    }
+
+    #[test]
+    fn where_query_substitutes() {
+        let q = where_query("x.n IN {Z}");
+        assert!(q.contains("SELECT y.a"));
+        assert!(!q.contains("{Z}"));
+    }
+}

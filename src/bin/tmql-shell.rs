@@ -1,0 +1,215 @@
+//! `tmql-shell` — an interactive shell over the tmql engine.
+//!
+//! ```sh
+//! cargo run --bin tmql-shell
+//! tmql> \load company
+//! tmql> SELECT d.name FROM DEPT d
+//! tmql> \strategy kim
+//! tmql> \explain SELECT x FROM R x WHERE x.b = COUNT((SELECT y.d FROM S y WHERE x.c = y.c))
+//! ```
+//!
+//! Meta commands start with `\`; anything else is executed as a TM query
+//! against the loaded catalog under the current strategy/algorithm.
+
+use std::io::{self, BufRead, Write};
+
+use tmql::{Database, JoinAlgo, QueryOptions, UnnestStrategy};
+use tmql_workload::gen::{gen_company, gen_rs, gen_xy, gen_xyz, GenConfig};
+use tmql_workload::schemas;
+
+struct Shell {
+    db: Database,
+    opts: QueryOptions,
+}
+
+const HELP: &str = "\
+meta commands:
+  \\load <ds> [n]     load a dataset: table1 | countbug | company | section8
+                     or generated: rs | xy | xyz | gencompany  (size n, default 1000)
+  \\tables            list loaded tables with row counts
+  \\strategy [name]   show or set the unnesting strategy:
+                     nested-loop | kim | ganski-wong | muralikrishna |
+                     nest-join | semi-anti | optimal
+  \\algo [name]       show or set the join algorithm: auto | nl | hash | merge
+  \\explain <query>   show translated / optimized / physical plans
+  \\strategies <q>    run <q> under every strategy, compare row counts
+  \\help              this text
+  \\quit              exit
+anything else is executed as a TM query, e.g.
+  SELECT x FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b)";
+
+fn main() {
+    let mut shell = Shell {
+        db: Database::from_catalog(schemas::company_catalog()),
+        opts: QueryOptions::default(),
+    };
+    println!("tmql — nested query optimization in a complex object model (EDBT '94)");
+    println!("loaded dataset `company`; \\help for commands");
+    let stdin = io::stdin();
+    loop {
+        print!("tmql> ");
+        let _ = io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            if !shell.meta(rest) {
+                break;
+            }
+        } else {
+            shell.run_query(line);
+        }
+    }
+    println!("bye");
+}
+
+impl Shell {
+    /// Handle a meta command; returns false to exit the shell.
+    fn meta(&mut self, cmd: &str) -> bool {
+        let (head, rest) = match cmd.split_once(char::is_whitespace) {
+            Some((h, r)) => (h, r.trim()),
+            None => (cmd, ""),
+        };
+        match head {
+            "quit" | "q" | "exit" => return false,
+            "help" | "h" | "?" => println!("{HELP}"),
+            "load" => self.load(rest),
+            "tables" => {
+                for name in self.db.catalog().table_names() {
+                    let n = self.db.catalog().table(name).map(|t| t.len()).unwrap_or(0);
+                    println!("  {name} ({n} rows)");
+                }
+            }
+            "strategy" => match parse_strategy(rest) {
+                _ if rest.is_empty() => println!("strategy: {}", self.opts.strategy.name()),
+                Some(s) => {
+                    self.opts.strategy = s;
+                    println!("strategy: {}", s.name());
+                }
+                None => println!("unknown strategy `{rest}`; \\help for the list"),
+            },
+            "algo" => match parse_algo(rest) {
+                _ if rest.is_empty() => println!("algo: {:?}", self.opts.join_algo),
+                Some(a) => {
+                    self.opts.join_algo = a;
+                    println!("algo: {a:?}");
+                }
+                None => println!("unknown algorithm `{rest}`; \\help for the list"),
+            },
+            "explain" => match self.db.explain_with(rest, self.opts) {
+                Ok(s) => println!("{s}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "strategies" => self.compare_strategies(rest),
+            other => println!("unknown command `\\{other}`; \\help for the list"),
+        }
+        true
+    }
+
+    fn load(&mut self, spec: &str) {
+        let mut parts = spec.split_whitespace();
+        let name = parts.next().unwrap_or("");
+        let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+        let cfg = GenConfig::sized(n);
+        let catalog = match name {
+            "table1" => Some(schemas::table1_catalog()),
+            "countbug" => Some(schemas::count_bug_catalog()),
+            "company" => Some(schemas::company_catalog()),
+            "section8" => Some(schemas::section8_catalog()),
+            "rs" => Some(gen_rs(&cfg)),
+            "xy" => Some(gen_xy(&cfg)),
+            "xyz" => Some(gen_xyz(&cfg)),
+            "gencompany" => Some(gen_company(&GenConfig {
+                outer: n / 8,
+                inner: n,
+                ..GenConfig::default()
+            })),
+            _ => None,
+        };
+        match catalog {
+            Some(cat) => {
+                self.db = Database::from_catalog(cat);
+                print!("loaded `{name}`:");
+                for t in self.db.catalog().table_names() {
+                    let rows = self.db.catalog().table(t).map(|t| t.len()).unwrap_or(0);
+                    print!(" {t}({rows})");
+                }
+                println!();
+            }
+            None => println!("unknown dataset `{name}`; \\help for the list"),
+        }
+    }
+
+    fn run_query(&self, src: &str) {
+        let start = std::time::Instant::now();
+        match self.db.query_with(src, self.opts) {
+            Ok(r) => {
+                let elapsed = start.elapsed();
+                print!("{}", r.render());
+                println!(
+                    "-- {} rows in {:.2?} [{}; {:?}] {}",
+                    r.len(),
+                    elapsed,
+                    self.opts.strategy.name(),
+                    self.opts.join_algo,
+                    r.metrics
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn compare_strategies(&self, src: &str) {
+        println!("{:>14} {:>8} {:>12} {:>12}", "strategy", "rows", "time", "work");
+        let mut oracle: Option<usize> = None;
+        for strat in UnnestStrategy::ALL {
+            let opts = QueryOptions { strategy: strat, ..self.opts };
+            let start = std::time::Instant::now();
+            match self.db.query_with(src, opts) {
+                Ok(r) => {
+                    let t = start.elapsed();
+                    if strat == UnnestStrategy::NestedLoop {
+                        oracle = Some(r.len());
+                    }
+                    let flag = match oracle {
+                        Some(expect) if r.len() != expect => "  <- differs from oracle!",
+                        _ => "",
+                    };
+                    println!(
+                        "{:>14} {:>8} {:>12.2?} {:>12}{}",
+                        strat.name(),
+                        r.len(),
+                        t,
+                        r.metrics.total_work(),
+                        flag
+                    );
+                }
+                Err(e) => println!("{:>14} error: {e}", strat.name()),
+            }
+        }
+    }
+}
+
+fn parse_strategy(s: &str) -> Option<UnnestStrategy> {
+    UnnestStrategy::ALL.into_iter().find(|st| st.name() == s)
+}
+
+fn parse_algo(s: &str) -> Option<JoinAlgo> {
+    Some(match s {
+        "auto" => JoinAlgo::Auto,
+        "nl" | "nested-loop" => JoinAlgo::NestedLoop,
+        "hash" => JoinAlgo::Hash,
+        "merge" | "sort-merge" => JoinAlgo::SortMerge,
+        _ => return None,
+    })
+}

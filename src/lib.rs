@@ -1,0 +1,345 @@
+#![warn(missing_docs)]
+
+//! # tmql — nested query optimization in a complex object model
+//!
+//! A full implementation of Steenhagen, Apers & Blanken, *Optimization of
+//! Nested Queries in a Complex Object Model* (EDBT 1994): the TM
+//! SELECT-FROM-WHERE language over complex objects, its complex object
+//! algebra, and — the paper's contribution — the **nest join** operator Δ
+//! plus the Theorem 1 classification that decides when a nested query can
+//! instead be flattened into a semijoin/antijoin.
+//!
+//! ```
+//! use tmql::{Database, QueryOptions, UnnestStrategy};
+//! use tmql_storage::table::int_table;
+//!
+//! let mut db = Database::new();
+//! db.register_table(int_table("X", &["a", "b"], &[&[1, 1], &[2, 9]])).unwrap();
+//! db.register_table(int_table("Y", &["b", "c"], &[&[1, 10]])).unwrap();
+//!
+//! // Nested query: which X rows have no Y partners?
+//! let result = db
+//!     .query("SELECT x.a FROM X x WHERE COUNT((SELECT y.c FROM Y y WHERE x.b = y.b)) = 0")
+//!     .unwrap();
+//! assert_eq!(result.len(), 1); // x.a = 2 — dangling tuples are not lost
+//!
+//! // The optimizer flattened it into an antijoin (Theorem 1):
+//! let explain = db.explain("SELECT x.a FROM X x \
+//!                           WHERE COUNT((SELECT y.c FROM Y y WHERE x.b = y.b)) = 0").unwrap();
+//! assert!(explain.contains("antijoin"));
+//! # let _ = QueryOptions::default().strategy(UnnestStrategy::NestedLoop);
+//! ```
+//!
+//! The crates underneath (each re-exported here):
+//!
+//! | crate | role |
+//! |-------|------|
+//! | `tmql-model` | complex object values, types, schemas |
+//! | `tmql-storage` | in-memory extensions, catalog, statistics, indexes |
+//! | `tmql-lang` | the SFW language: parser + type checker |
+//! | `tmql-algebra` | the complex object algebra (ADL-like) |
+//! | `tmql-translate` | SFW → algebra (Apply-based nested-loop semantics) |
+//! | `tmql-core` | **the paper**: Table 2 classifier, Theorem 1, unnesting strategies, nest join rules |
+//! | `tmql-exec` | physical operators: NL/hash/sort-merge × join/semi/anti/outer/**nest join** |
+//! | `tmql-workload` | paper fixtures, random generators, query corpus |
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+pub use tmql_algebra::Plan;
+pub use tmql_core::{Classification, UnnestStrategy};
+pub use tmql_exec::{ExecConfig, JoinAlgo, Metrics};
+pub use tmql_model::{Record, Ty, Value};
+pub use tmql_storage::{Catalog, Table};
+
+/// Everything that can go wrong between source text and result set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TmqlError {
+    /// Lexing/parsing failed.
+    Parse(tmql_lang::ParseError),
+    /// The query does not type-check.
+    Type(tmql_lang::TypeError),
+    /// Translation to the algebra failed.
+    Translate(tmql_translate::TranslateError),
+    /// Execution or catalog error.
+    Model(tmql_model::ModelError),
+}
+
+impl fmt::Display for TmqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmqlError::Parse(e) => write!(f, "{e}"),
+            TmqlError::Type(e) => write!(f, "{e}"),
+            TmqlError::Translate(e) => write!(f, "{e}"),
+            TmqlError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TmqlError {}
+
+impl From<tmql_lang::ParseError> for TmqlError {
+    fn from(e: tmql_lang::ParseError) -> Self {
+        TmqlError::Parse(e)
+    }
+}
+
+impl From<tmql_lang::TypeError> for TmqlError {
+    fn from(e: tmql_lang::TypeError) -> Self {
+        TmqlError::Type(e)
+    }
+}
+
+impl From<tmql_translate::TranslateError> for TmqlError {
+    fn from(e: tmql_translate::TranslateError) -> Self {
+        TmqlError::Translate(e)
+    }
+}
+
+impl From<tmql_model::ModelError> for TmqlError {
+    fn from(e: tmql_model::ModelError) -> Self {
+        TmqlError::Model(e)
+    }
+}
+
+/// Per-query knobs: unnesting strategy, join algorithm, rule cleanup, and
+/// whether to type-check before executing.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Logical unnesting strategy (default: the paper's Optimal pipeline).
+    pub strategy: UnnestStrategy,
+    /// Physical join algorithm selection (default: cost-based Auto).
+    pub join_algo: JoinAlgo,
+    /// Apply the Section 5/6 rewrite rules after unnesting.
+    pub apply_rules: bool,
+    /// Run the type checker (on by default; turn off for benchmarks that
+    /// measure pure execution).
+    pub typecheck: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            strategy: UnnestStrategy::Optimal,
+            join_algo: JoinAlgo::Auto,
+            apply_rules: true,
+            typecheck: true,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Set the unnesting strategy.
+    pub fn strategy(mut self, s: UnnestStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Set the join algorithm.
+    pub fn join_algo(mut self, a: JoinAlgo) -> Self {
+        self.join_algo = a;
+        self
+    }
+}
+
+/// A query result: the result **set** (TM queries denote sets) plus the
+/// plans and metrics that produced it.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The result values, deduplicated and ordered by the model's total
+    /// order.
+    pub values: BTreeSet<Value>,
+    /// The logical plan after translation (nested-loop semantics).
+    pub translated: Plan,
+    /// The logical plan after unnesting/rules.
+    pub optimized: Plan,
+    /// Executor work counters.
+    pub metrics: Metrics,
+}
+
+impl QueryResult {
+    /// Number of result values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Render the result set one value per line (deterministic order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.values {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An in-memory TM database: catalog + query pipeline.
+#[derive(Debug, Default)]
+pub struct Database {
+    catalog: Catalog,
+}
+
+/// Adapter exposing the catalog's row types to the language type checker.
+struct CatalogTypes<'a>(&'a Catalog);
+
+impl tmql_algebra::typing::TableTypes for CatalogTypes<'_> {
+    fn row_ty(&self, table: &str) -> tmql_model::Result<Ty> {
+        self.0.row_ty(table)
+    }
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// A database over an existing catalog (e.g. from `tmql-workload`).
+    pub fn from_catalog(catalog: Catalog) -> Database {
+        Database { catalog }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (schema registration, table replacement).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Register a table as a class extension.
+    pub fn register_table(&mut self, table: Table) -> Result<(), TmqlError> {
+        self.catalog.register(table).map_err(TmqlError::from)
+    }
+
+    /// Run a query with default options.
+    pub fn query(&self, src: &str) -> Result<QueryResult, TmqlError> {
+        self.query_with(src, QueryOptions::default())
+    }
+
+    /// Run a query with explicit options.
+    pub fn query_with(&self, src: &str, opts: QueryOptions) -> Result<QueryResult, TmqlError> {
+        let (translated, optimized) = self.plan_with(src, opts)?;
+        let config = ExecConfig { join_algo: opts.join_algo };
+        let phys = tmql_exec::lower(&optimized, &self.catalog, &config)?;
+        let mut ctx = tmql_exec::ExecContext::new(&self.catalog);
+        let rows = tmql_exec::execute(&phys, &mut ctx, &tmql_algebra::Env::new())?;
+        let values = rows.iter().map(Plan::row_output_value).collect();
+        Ok(QueryResult { values, translated, optimized, metrics: ctx.metrics })
+    }
+
+    /// Produce the translated and optimized logical plans without
+    /// executing.
+    pub fn plan_with(
+        &self,
+        src: &str,
+        opts: QueryOptions,
+    ) -> Result<(Plan, Plan), TmqlError> {
+        let ast = tmql_lang::parse_query(src)?;
+        if opts.typecheck {
+            tmql_lang::check_query(&ast, &CatalogTypes(&self.catalog))?;
+        }
+        let extensions: BTreeSet<String> =
+            self.catalog.table_names().map(str::to_string).collect();
+        let translated = tmql_translate::translate_query(&ast, &extensions)?;
+        let optimizer = tmql_core::Optimizer {
+            strategy: opts.strategy,
+            apply_rules: opts.apply_rules,
+        };
+        let optimized = optimizer.optimize(translated.clone());
+        Ok((translated, optimized))
+    }
+
+    /// `EXPLAIN`: the translated plan, the optimized logical plan, and the
+    /// physical plan, as one printable report.
+    pub fn explain(&self, src: &str) -> Result<String, TmqlError> {
+        self.explain_with(src, QueryOptions::default())
+    }
+
+    /// `EXPLAIN` under explicit options.
+    pub fn explain_with(&self, src: &str, opts: QueryOptions) -> Result<String, TmqlError> {
+        let (translated, optimized) = self.plan_with(src, opts)?;
+        let config = ExecConfig { join_algo: opts.join_algo };
+        let phys = tmql_exec::lower(&optimized, &self.catalog, &config)?;
+        Ok(format!(
+            "== translated (nested-loop semantics) ==\n{}\
+             == optimized ({}) ==\n{}\
+             == physical ==\n{}",
+            tmql_algebra::pretty::explain(&translated),
+            opts.strategy.name(),
+            tmql_algebra::pretty::explain(&optimized),
+            phys.explain(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmql_storage::table::int_table;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register_table(int_table("X", &["a", "b"], &[&[1, 1], &[2, 1], &[3, 9]])).unwrap();
+        db.register_table(int_table("Y", &["b", "c"], &[&[1, 10], &[1, 11]])).unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_flat_query() {
+        let r = db().query("SELECT x.a FROM X x WHERE x.b = 1").unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.values.contains(&Value::Int(1)));
+    }
+
+    #[test]
+    fn end_to_end_nested_query_all_strategies_agree() {
+        let db = db();
+        let q = "SELECT x.a FROM X x WHERE x.a IN (SELECT y.c - 9 FROM Y y WHERE x.b = y.b)";
+        let base = db.query_with(q, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+            .unwrap();
+        for strat in UnnestStrategy::ALL {
+            if strat.is_bug_compatible() {
+                continue;
+            }
+            let r = db.query_with(q, QueryOptions::default().strategy(strat)).unwrap();
+            assert_eq!(r.values, base.values, "strategy {}", strat.name());
+        }
+    }
+
+    #[test]
+    fn explain_mentions_all_layers() {
+        let s = db()
+            .explain("SELECT x.a FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE x.b = y.b)")
+            .unwrap();
+        assert!(s.contains("translated"), "{s}");
+        assert!(s.contains("Apply"), "{s}");
+        assert!(s.contains("semijoin"), "{s}");
+        assert!(s.contains("HashJoin") || s.contains("MergeJoin"), "{s}");
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let err = db().query("SELECT x.zz FROM X x").unwrap_err();
+        assert!(matches!(err, TmqlError::Type(_)));
+        let err = db().query("SELECT x FROM").unwrap_err();
+        assert!(matches!(err, TmqlError::Parse(_)));
+        let err = db().query("SELECT w FROM W w").unwrap_err();
+        assert!(matches!(err, TmqlError::Type(_)));
+    }
+
+    #[test]
+    fn metrics_populated() {
+        let r = db().query("SELECT x FROM X x").unwrap();
+        assert!(r.metrics.rows_scanned >= 3);
+        assert!(!r.render().is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Whole-pipeline differential tests: random generator configurations ×
+//! the full Table 2 query corpus × every strategy × every join algorithm,
+//! all compared against nested-loop semantics through the public API.
+
+use proptest::prelude::*;
+use tmql::{Database, JoinAlgo, QueryOptions, UnnestStrategy};
+use tmql_workload::gen::{gen_xy, gen_xyz, GenConfig, SkewKind};
+use tmql_workload::queries::{self, table2_templates};
+
+fn correct_strategies() -> [UnnestStrategy; 5] {
+    [
+        UnnestStrategy::Optimal,
+        UnnestStrategy::NestJoin,
+        UnnestStrategy::GanskiWong,
+        UnnestStrategy::Muralikrishna,
+        UnnestStrategy::FlattenSemiAnti,
+    ]
+}
+
+#[test]
+fn corpus_under_all_join_algorithms() {
+    let cfg = GenConfig { outer: 24, inner: 36, dangling_fraction: 0.3, ..GenConfig::default() };
+    let db = Database::from_catalog(gen_xy(&cfg));
+    for (name, src) in table2_templates() {
+        let oracle = db
+            .query_with(&src, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+            .unwrap();
+        for strat in correct_strategies() {
+            for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::Auto]
+            {
+                let r = db
+                    .query_with(
+                        &src,
+                        QueryOptions::default().strategy(strat).join_algo(algo),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    r.values, oracle.values,
+                    "`{name}` / {} / {algo:?}",
+                    strat.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multilevel_corpus_under_skew() {
+    for skew in [SkewKind::Uniform, SkewKind::Zipf(1.1)] {
+        let cfg = GenConfig {
+            outer: 20,
+            inner: 25,
+            dangling_fraction: 0.2,
+            skew,
+            ..GenConfig::default()
+        };
+        let db = Database::from_catalog(gen_xyz(&cfg));
+        for src in [queries::SECTION8, queries::SECTION8_FLAT] {
+            let oracle = db
+                .query_with(src, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+                .unwrap();
+            for strat in correct_strategies() {
+                let r = db.query_with(src, QueryOptions::default().strategy(strat)).unwrap();
+                assert_eq!(r.values, oracle.values, "{skew:?} {}", strat.name());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random generator configs: the full pipeline agrees with the oracle
+    /// on membership, non-membership, count-compare and ⊆ — the four
+    /// archetypes (semijoin, antijoin, aggregate grouping, set grouping).
+    #[test]
+    fn archetypes_on_random_configs(
+        outer in 1usize..40,
+        inner in 0usize..50,
+        dangling in 0.0f64..1.0,
+        max_set in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let cfg = GenConfig { outer, inner, dangling_fraction: dangling, max_set, seed,
+                              skew: SkewKind::Uniform };
+        let db = Database::from_catalog(gen_xy(&cfg));
+        let archetypes = [
+            queries::MEMBERSHIP.to_string(),
+            queries::NON_MEMBERSHIP.to_string(),
+            queries::where_query("x.n = COUNT({Z})"),
+            queries::SUBSETEQ_BUG.to_string(),
+        ];
+        for src in &archetypes {
+            let oracle = db
+                .query_with(src, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+                .unwrap();
+            for strat in correct_strategies() {
+                let r = db.query_with(src, QueryOptions::default().strategy(strat)).unwrap();
+                prop_assert_eq!(&r.values, &oracle.values, "{}", strat.name());
+            }
+        }
+    }
+
+    /// The membership archetype flattens to a semijoin for every
+    /// configuration — and never contains grouping operators.
+    #[test]
+    fn membership_always_flattens(seed in 0u64..500) {
+        let cfg = GenConfig { outer: 10, inner: 10, seed, ..GenConfig::default() };
+        let db = Database::from_catalog(gen_xy(&cfg));
+        let (_, plan) = db
+            .plan_with(queries::MEMBERSHIP, QueryOptions::default())
+            .unwrap();
+        let is_semi = plan.any_node(&mut |n| matches!(n, tmql::Plan::SemiJoin { .. }));
+        prop_assert!(!plan.has_apply());
+        prop_assert!(!plan.has_nest_join());
+        prop_assert!(is_semi);
+    }
+}

@@ -1,0 +1,107 @@
+//! Experiment E3: the paper's running example queries Q1 and Q2
+//! (Section 3.2) on the Employee/Department database.
+
+use tmql::{Database, QueryOptions, UnnestStrategy, Value};
+use tmql_workload::queries::{Q1, Q2};
+use tmql_workload::schemas::company_catalog;
+
+#[test]
+fn q1_departments_with_cohabiting_employee() {
+    let db = Database::from_catalog(company_catalog());
+    let r = db.query(Q1).unwrap();
+    // Only `cs` has an employee (ann) on its own street and city.
+    assert_eq!(r.len(), 1);
+    let dept = r.values.iter().next().unwrap().as_tuple().unwrap();
+    assert_eq!(dept.get("name").unwrap(), &Value::str("cs"));
+}
+
+#[test]
+fn q1_stays_nested_loop_under_every_strategy() {
+    // Q1's subquery operand is the set-valued attribute d.emps — "there is
+    // no use to flatten nested queries in which subquery operands are
+    // set-valued attributes" (Section 3.2). Every strategy must leave the
+    // Apply in place and still compute the right answer.
+    let db = Database::from_catalog(company_catalog());
+    for strat in UnnestStrategy::ALL {
+        let (_, plan) = db.plan_with(Q1, QueryOptions::default().strategy(strat)).unwrap();
+        assert!(plan.has_apply(), "{}: d.emps must not be flattened\n{plan}", strat.name());
+        let r = db.query_with(Q1, QueryOptions::default().strategy(strat)).unwrap();
+        assert_eq!(r.len(), 1, "{}", strat.name());
+    }
+}
+
+#[test]
+fn q2_nested_result_contents() {
+    let db = Database::from_catalog(company_catalog());
+    let r = db.query(Q2).unwrap();
+    assert_eq!(r.len(), 3, "one result tuple per department");
+    for v in &r.values {
+        let t = v.as_tuple().unwrap();
+        let dname = t.get("dname").unwrap().as_str().unwrap().to_string();
+        let emps = t.get("emps").unwrap().as_set().unwrap();
+        match dname.as_str() {
+            // ann, bob, dirk live in Enschede — both Enschede departments
+            // group all three.
+            "cs" | "math" => assert_eq!(emps.len(), 3, "{dname}"),
+            // Nobody lives in Amsterdam: the **empty set**, not a lost
+            // tuple and not NULL — the nest join's raison d'être.
+            "sales" => assert_eq!(emps.len(), 0, "{dname}"),
+            other => panic!("unexpected department {other}"),
+        }
+    }
+}
+
+#[test]
+fn q2_uses_nest_join_and_matches_nested_loop() {
+    let db = Database::from_catalog(company_catalog());
+    let (_, plan) = db
+        .plan_with(Q2, QueryOptions::default().strategy(UnnestStrategy::Optimal))
+        .unwrap();
+    assert!(plan.has_nest_join(), "SELECT-clause nesting → nest join\n{plan}");
+    assert!(!plan.has_apply());
+
+    let oracle = db
+        .query_with(Q2, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .unwrap();
+    for strat in [UnnestStrategy::Optimal, UnnestStrategy::NestJoin, UnnestStrategy::GanskiWong] {
+        let r = db.query_with(Q2, QueryOptions::default().strategy(strat)).unwrap();
+        assert_eq!(r.values, oracle.values, "{}", strat.name());
+    }
+}
+
+#[test]
+fn q2_work_drops_when_unnested() {
+    // The point of unnesting: the nest join scans EMP once; the nested
+    // loop scans it once per department.
+    let db = Database::from_catalog(company_catalog());
+    let nl = db
+        .query_with(Q2, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .unwrap();
+    let nj = db
+        .query_with(Q2, QueryOptions::default().strategy(UnnestStrategy::NestJoin))
+        .unwrap();
+    assert!(nl.metrics.subquery_invocations > 0);
+    assert_eq!(nj.metrics.subquery_invocations, 0);
+    assert!(
+        nj.metrics.rows_scanned < nl.metrics.rows_scanned,
+        "nest join {} vs nested loop {}",
+        nj.metrics.rows_scanned,
+        nl.metrics.rows_scanned
+    );
+}
+
+#[test]
+fn children_attribute_queries_work() {
+    // Exercise the deeply nested children attribute from the Employee
+    // class declaration.
+    let db = Database::from_catalog(company_catalog());
+    let r = db
+        .query("SELECT e.name FROM EMP e WHERE EXISTS c IN e.children (c.age < 10)")
+        .unwrap();
+    // ann (bo, 7), carla (ed, 9), eva (fe, 2).
+    assert_eq!(r.len(), 3);
+    let r = db
+        .query("SELECT c.name FROM EMP e, e.children c WHERE e.address.city = 'Enschede'")
+        .unwrap();
+    assert_eq!(r.len(), 1); // only ann's bo — bob and dirk are childless
+}

@@ -1,0 +1,89 @@
+//! End-to-end test of the `tmql-shell` binary: drive it through stdin and
+//! check the output, including the live COUNT-bug demonstration.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_shell(input: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tmql-shell"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("shell starts");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write input");
+    let out = child.wait_with_output().expect("shell exits");
+    assert!(out.status.success(), "shell exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn query_and_metadata_commands() {
+    let out = run_shell(
+        "\\tables\n\
+         SELECT d.name FROM DEPT d\n\
+         \\quit\n",
+    );
+    assert!(out.contains("DEPT (3 rows)"), "{out}");
+    assert!(out.contains("\"cs\""), "{out}");
+    assert!(out.contains("-- 3 rows"), "{out}");
+}
+
+#[test]
+fn count_bug_demo_in_shell() {
+    let out = run_shell(
+        "\\load countbug\n\
+         \\strategies SELECT x FROM R x WHERE x.b = COUNT((SELECT y.d FROM S y WHERE x.c = y.c))\n\
+         \\quit\n",
+    );
+    assert!(out.contains("differs from oracle!"), "Kim's bug must be flagged:\n{out}");
+    // Exactly one strategy differs.
+    assert_eq!(out.matches("differs from oracle!").count(), 1, "{out}");
+}
+
+#[test]
+fn strategy_and_algo_switching() {
+    let out = run_shell(
+        "\\strategy nest-join\n\
+         \\algo merge\n\
+         SELECT e.name FROM EMP e WHERE e.sal > 5000\n\
+         \\strategy bogus\n\
+         \\quit\n",
+    );
+    assert!(out.contains("strategy: nest-join"), "{out}");
+    assert!(out.contains("algo: SortMerge"), "{out}");
+    assert!(out.contains("[nest-join; SortMerge]"), "{out}");
+    assert!(out.contains("unknown strategy"), "{out}");
+}
+
+#[test]
+fn explain_and_errors_dont_crash() {
+    let out = run_shell(
+        "\\explain SELECT x FROM X x\n\
+         SELECT nope FROM DEPT d\n\
+         \\load nosuchdataset\n\
+         \\nosuchcommand\n\
+         \\quit\n",
+    );
+    // X is unknown in the company catalog: a type error, not a crash.
+    assert!(out.contains("error"), "{out}");
+    assert!(out.contains("unknown dataset"), "{out}");
+    assert!(out.contains("unknown command"), "{out}");
+    assert!(out.contains("bye"), "{out}");
+}
+
+#[test]
+fn generated_dataset_load() {
+    let out = run_shell(
+        "\\load xy 64\n\
+         SELECT x.n FROM X x WHERE x.n IN (SELECT y.a FROM Y y WHERE x.b = y.b)\n\
+         \\quit\n",
+    );
+    assert!(out.contains("X(64)"), "{out}");
+    assert!(out.contains("rows in"), "{out}");
+}
