@@ -1,0 +1,782 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this path crate
+//! supplies the subset of the `proptest 1.x` API that the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`,
+//! `prop_recursive` and `boxed`; range / tuple / `&str`-regex / [`Just`] /
+//! [`any`] strategies; `prop::collection::{vec, btree_set}` and
+//! `prop::option::of`; and the [`proptest!`], [`prop_oneof!`] and
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs
+//!   (which are deterministic per test name, so failures replay);
+//! * **regex strategies** cover the character-class subset actually used
+//!   (`[a-z]{0,6}`-style classes plus `\PC` for printable chars);
+//! * `prop_recursive(depth, ..)` builds a depth-bounded strategy tower
+//!   rather than a probabilistic recursion budget.
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic RNG (SplitMix64) driving all generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test's fully qualified name so each
+    /// test has its own reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let m = (self.next_u64() as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn usize_in(&mut self, lo: usize, hi_excl: usize) -> usize {
+        if hi_excl <= lo {
+            return lo;
+        }
+        lo + self.below((hi_excl - lo) as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Explicit test-case failure, mirroring `proptest::test_runner::TestCaseError`.
+/// A property body may `return Err(TestCaseError::fail(..))` to fail a case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    /// Fail the current case with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError {
+            reason: reason.into(),
+        }
+    }
+
+    /// Alias kept for API compatibility: the shim has no rejection
+    /// machinery, so a rejected case simply fails.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::fail(reason)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `f` receives a strategy for the
+    /// recursive positions and returns a strategy for composite values.
+    /// `depth` bounds the recursion; `_desired_size` and `_expected_branch`
+    /// are accepted for API compatibility.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let base = self.boxed();
+        let mut level = base.clone();
+        for _ in 0..depth {
+            // Mix the base back in at every level so generated trees have
+            // leaves at all depths, not only at the bottom.
+            let composite = f(level).boxed();
+            level = Union {
+                arms: vec![base.clone(), composite],
+            }
+            .boxed();
+        }
+        level
+    }
+
+    /// Type-erase into a cloneable, shareable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.sample_value(rng)),
+        }
+    }
+}
+
+/// Type-erased strategy; cheap to clone.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Uniform choice between type-erased arms; built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from already-boxed arms.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_in(0, self.arms.len());
+        self.arms[i].sample_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- ranges ---------------------------------------------------------------
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.f64_unit() * (self.end - self.start);
+        // Rounding can land exactly on the exclusive bound; remap that
+        // measure-zero case onto `start`.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn sample_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (rng.f64_unit() as f32) * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+// --- string patterns ------------------------------------------------------
+
+/// `&str` regex-subset strategies: sequences of `[class]{m,n}` atoms, a
+/// literal char, or `\PC` (any printable char). This covers the patterns
+/// used in the workspace's tests.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample_value(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample_value(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    /// A set of candidate chars.
+    Class(Vec<char>),
+    /// Any printable character (`\PC`).
+    Printable,
+    /// A literal character.
+    Lit(char),
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let mut atoms = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                for d in chars.by_ref() {
+                    match d {
+                        ']' => break,
+                        // A '-' after a char opens a range; the next char
+                        // closes it (handled in the arm below).
+                        '-' => set.push('-'),
+                        d => {
+                            if set.last() == Some(&'-') && prev.is_some() {
+                                set.pop(); // the '-'
+                                let lo = set.pop().unwrap();
+                                for r in lo as u32..=d as u32 {
+                                    if let Some(ch) = char::from_u32(r) {
+                                        set.push(ch);
+                                    }
+                                }
+                                prev = None;
+                                continue;
+                            }
+                            set.push(d);
+                            prev = Some(d);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty char class in pattern {pat:?}");
+                Atom::Class(set)
+            }
+            '\\' => {
+                let p = chars.next();
+                let cc = chars.next();
+                assert!(
+                    p == Some('P') && cc == Some('C'),
+                    "unsupported escape in pattern {pat:?} (only \\PC is implemented)"
+                );
+                Atom::Printable
+            }
+            lit => Atom::Lit(lit),
+        };
+        // Optional {m,n} / {n} quantifier.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("bad quantifier"),
+                    b.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn sample_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_pattern(pat);
+    let mut out = String::new();
+    for (atom, lo, hi) in &atoms {
+        let n = rng.usize_in(*lo, hi + 1);
+        for _ in 0..n {
+            match atom {
+                Atom::Class(set) => out.push(set[rng.usize_in(0, set.len())]),
+                Atom::Printable => {
+                    // Mostly printable ASCII, occasionally non-ASCII to keep
+                    // parsers honest about UTF-8.
+                    if rng.below(16) == 0 {
+                        const EXOTIC: [char; 8] = ['λ', 'é', '∅', '⊆', '∈', '中', '𝔸', '\u{00A0}'];
+                        out.push(EXOTIC[rng.usize_in(0, EXOTIC.len())]);
+                    } else {
+                        out.push((0x20u8 + rng.below(0x5F) as u8) as char);
+                    }
+                }
+                Atom::Lit(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+// --- any / Arbitrary ------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.f64_unit() * 2e6 - 1e6
+    }
+}
+
+/// Strategy for any value of `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --- tuples ---------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($( self.$idx.sample_value(rng), )+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 / 0);
+tuple_strategy!(S0 / 0, S1 / 1);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+
+// --- collections and option ----------------------------------------------
+
+/// `prop::collection` equivalents.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with length drawn from `len`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` of values from `elem`, length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = sample_len(&self.len, rng);
+            (0..n).map(|_| self.elem.sample_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with target size drawn from `size`.
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `BTreeSet` of values from `elem`; duplicates collapse, so the
+    /// resulting set may be smaller than the drawn size.
+    pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = sample_len(&self.size, rng);
+            (0..n).map(|_| self.elem.sample_value(rng)).collect()
+        }
+    }
+
+    fn sample_len(range: &Range<usize>, rng: &mut TestRng) -> usize {
+        rng.usize_in(range.start, range.end.max(range.start))
+    }
+}
+
+/// `prop::option` equivalents.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>`; `Some` with probability 3/4.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` values from `inner` (3/4 of the time), else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.sample_value(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(
+                    let $pat = $crate::Strategy::sample_value(&($strat), &mut __rng);
+                )+
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = __outcome {
+                    panic!("proptest case failed: {}", e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among strategies; all arms must generate the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($arm) ),+ ])
+    };
+}
+
+/// Property assertion (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+// ---------------------------------------------------------------------------
+// Prelude
+// ---------------------------------------------------------------------------
+
+/// One-stop import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+
+    /// Mirrors `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn ident() -> impl Strategy<Value = String> {
+        "[a-z]{1,3}"
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -5i64..5, b in 0usize..4) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!(b < 4);
+        }
+
+        #[test]
+        fn patterns_match_shape(s in "[a-z]{0,6}", t in ident()) {
+            prop_assert!(s.len() <= 6);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!((1..=3).contains(&t.len()));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0i64..10, "[a-c]"), 0..5),
+            o in prop::option::of(0i64..3),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(v.len() < 5);
+            for (n, s) in &v {
+                prop_assert!((0..10).contains(n));
+                prop_assert_eq!(s.len(), 1);
+            }
+            if let Some(x) = o {
+                prop_assert!((0..3).contains(&x));
+            }
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = prop_oneof![(0i64..5).prop_map(Tree::Leaf), Just(Tree::Leaf(99))];
+        let strat = leaf.prop_recursive(3, 16, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::from_name("oneof_and_recursive");
+        for _ in 0..200 {
+            let t = strat.sample_value(&mut rng);
+            assert!(depth(&t) <= 4, "depth bound violated: {t:?}");
+        }
+    }
+
+    #[test]
+    fn printable_pattern() {
+        let mut rng = TestRng::from_name("printable");
+        for _ in 0..100 {
+            let s = Strategy::sample_value(&"\\PC{0,80}", &mut rng);
+            assert!(s.chars().count() <= 80);
+        }
+    }
+}
