@@ -12,7 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tmql::{Database, JoinAlgo, QueryOptions, UnnestStrategy};
-use tmql_bench::{criterion, report_work, NL_CAP, SIZES};
+use tmql_bench::{criterion, report_work, sizes, NL_CAP};
 use tmql_workload::gen::{gen_xy, GenConfig};
 use tmql_workload::queries::MEMBERSHIP;
 
@@ -43,7 +43,7 @@ fn configs() -> Vec<(&'static str, QueryOptions)> {
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("b1_flatten_vs_apply");
-    for &n in &SIZES {
+    for n in sizes() {
         let db = Database::from_catalog(gen_xy(&GenConfig::sized(n)));
         for (label, opts) in configs() {
             if label.contains("nested-loop") && n > NL_CAP {

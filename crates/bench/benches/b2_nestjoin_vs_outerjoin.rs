@@ -13,7 +13,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tmql::{Database, QueryOptions, UnnestStrategy};
-use tmql_bench::{criterion, report_work, NL_CAP, SIZES};
+use tmql_bench::{criterion, report_work, sizes, NL_CAP};
 use tmql_workload::gen::{gen_rs, GenConfig};
 use tmql_workload::queries::COUNT_BUG;
 
@@ -27,7 +27,7 @@ fn strategies() -> Vec<(&'static str, UnnestStrategy)> {
 
 fn bench_sizes(c: &mut Criterion) {
     let mut g = c.benchmark_group("b2_size_sweep");
-    for &n in &SIZES {
+    for n in sizes() {
         let cfg = GenConfig {
             outer: n,
             inner: n,

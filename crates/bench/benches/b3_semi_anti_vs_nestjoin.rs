@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tmql::{Database, QueryOptions, UnnestStrategy};
-use tmql_bench::{criterion, report_work, SIZES};
+use tmql_bench::{criterion, report_work, sizes};
 use tmql_workload::gen::{gen_xy, GenConfig};
 use tmql_workload::queries::{MEMBERSHIP, NON_MEMBERSHIP, SUBSETEQ_BUG};
 
@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
         // ⊆ cannot flatten: nest join only (Theorem 1's boundary).
         ("subseteq", SUBSETEQ_BUG, &[UnnestStrategy::NestJoin]),
     ];
-    for &n in &SIZES {
+    for n in sizes() {
         let db = Database::from_catalog(gen_xy(&GenConfig::sized(n)));
         for (case, src, strats) in &cases {
             for strat in *strats {

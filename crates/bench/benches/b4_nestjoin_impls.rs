@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tmql::{Database, JoinAlgo, QueryOptions, UnnestStrategy};
-use tmql_bench::{criterion, report_work, NL_CAP, SIZES};
+use tmql_bench::{criterion, report_work, sizes, NL_CAP};
 use tmql_workload::gen::{gen_xy, GenConfig};
 use tmql_workload::queries::SUBSETEQ_BUG;
 
@@ -20,7 +20,7 @@ const ALGOS: [(&str, JoinAlgo); 3] = [
 
 fn bench_sizes(c: &mut Criterion) {
     let mut g = c.benchmark_group("b4_size_sweep");
-    for &n in &SIZES {
+    for n in sizes() {
         let db = Database::from_catalog(gen_xy(&GenConfig::sized(n)));
         for (label, algo) in ALGOS {
             if algo == JoinAlgo::NestedLoop && n > NL_CAP {

@@ -9,13 +9,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tmql::{Database, QueryOptions, UnnestStrategy};
-use tmql_bench::{criterion, report_work};
+use tmql_bench::{criterion, ladder, report_work};
 use tmql_workload::gen::{gen_xyz, GenConfig};
 use tmql_workload::queries::{SECTION8, SECTION8_FLAT};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("b5_multilevel");
-    for &n in &[128usize, 512, 2048] {
+    for n in ladder(&[128usize, 512, 2048]) {
         let cfg =
             GenConfig { outer: n, inner: n, dangling_fraction: 0.25, ..GenConfig::default() };
         let db = Database::from_catalog(gen_xyz(&cfg));

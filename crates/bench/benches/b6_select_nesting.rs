@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tmql::{Database, QueryOptions, UnnestStrategy};
-use tmql_bench::{criterion, report_work, NL_CAP};
+use tmql_bench::{criterion, ladder, report_work, NL_CAP};
 use tmql_workload::gen::{gen_company, GenConfig};
 
 const Q2_GEN: &str = "\
@@ -22,7 +22,7 @@ FROM DEPT d";
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("b6_select_nesting");
-    for &(depts, emps) in &[(64usize, 512usize), (256, 2048), (512, 8192)] {
+    for (depts, emps) in ladder(&[(64usize, 512usize), (256, 2048), (512, 8192)]) {
         let cfg = GenConfig {
             outer: depts,
             inner: emps,

@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tmql::{Database, QueryOptions, UnnestStrategy};
-use tmql_bench::{criterion, report_work};
+use tmql_bench::{criterion, ladder, report_work};
 use tmql_workload::gen::{gen_rs, gen_xy, GenConfig};
 use tmql_workload::queries::{where_query, COUNT_BUG, UNNEST_COLLAPSE};
 
@@ -20,7 +20,7 @@ fn bench_rules(c: &mut Criterion) {
     // Membership plus a selective outer filter: pushdown shrinks the
     // semijoin's probe side.
     let src = where_query("x.n < 4 AND x.n IN {Z}");
-    for &n in &[1024usize, 4096] {
+    for n in ladder(&[1024usize, 4096]) {
         let db = Database::from_catalog(gen_xy(&GenConfig::sized(n)));
         for (label, apply_rules) in [("rules-on", true), ("rules-off", false)] {
             let opts = QueryOptions { apply_rules, ..QueryOptions::default() };
@@ -35,7 +35,7 @@ fn bench_rules(c: &mut Criterion) {
 
 fn bench_collapse(c: &mut Criterion) {
     let mut g = c.benchmark_group("b7_unnest_collapse");
-    for &n in &[1024usize, 4096] {
+    for n in ladder(&[1024usize, 4096]) {
         let db = Database::from_catalog(gen_xy(&GenConfig::sized(n)));
         let collapse_on = QueryOptions::default();
         let collapse_off = QueryOptions {
@@ -55,7 +55,7 @@ fn bench_collapse(c: &mut Criterion) {
 
 fn bench_all_strategies(c: &mut Criterion) {
     let mut g = c.benchmark_group("b7_strategy_survey");
-    let n = 1024;
+    let n = if tmql_bench::quick_mode() { 256 } else { 1024 };
     let cfg = GenConfig { outer: n, inner: n, dangling_fraction: 0.25, ..GenConfig::default() };
     let db = Database::from_catalog(gen_rs(&cfg));
     for strat in UnnestStrategy::ALL {

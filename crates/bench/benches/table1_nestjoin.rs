@@ -40,8 +40,9 @@ fn bench(c: &mut Criterion) {
         });
     }
 
-    // A generated 1k×1k version.
-    let big = gen_xy(&GenConfig::sized(1024));
+    // A generated 1k×1k version (smaller under the CI quick-smoke mode).
+    let big_n = if tmql_bench::quick_mode() { 256 } else { 1024 };
+    let big = gen_xy(&GenConfig::sized(big_n));
     let plan = nest_join("X", "b", "Y", "b");
     for (label, algo) in algos {
         let phys = lower(&plan, &big, &ExecConfig::with_join_algo(algo)).expect("lowers");

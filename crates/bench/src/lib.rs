@@ -4,24 +4,42 @@
 //!
 //! Each Criterion bench target under `benches/` regenerates one experiment
 //! from `EXPERIMENTS.md` (B1–B6 plus the Table 1 micro-benchmark). This
-//! library holds the shared helpers: standard Criterion configuration and
-//! a one-shot work-metrics reporter so every benchmark also logs the
-//! executor's machine-independent counters.
+//! library holds the shared helpers: standard Criterion configuration, a
+//! one-shot work-metrics reporter so every benchmark also logs the
+//! executor's machine-independent counters, and the **quick-smoke mode**
+//! (`TMQL_BENCH_QUICK=1`) CI uses to actually *execute* every bench target
+//! in seconds instead of minutes: tiny sample counts and the smallest rung
+//! of every cardinality ladder.
 
 use std::time::Duration;
 
 use criterion::Criterion;
 use tmql::{Database, QueryOptions};
 
+/// True when `TMQL_BENCH_QUICK` is set (to anything but `0`/empty):
+/// shrink sampling and ladders so a full `cargo bench` run finishes in CI
+/// smoke time while still executing every benchmark at least once.
+pub fn quick_mode() -> bool {
+    std::env::var("TMQL_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
 /// Criterion tuned for interpreter-scale workloads: modest sample counts,
 /// short measurement windows (the comparisons here are 2–100×, far above
-/// noise).
+/// noise). In [`quick_mode`] the windows collapse to smoke-test length.
 pub fn criterion() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2))
-        .configure_from_args()
+    if quick_mode() {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(40))
+            .configure_from_args()
+    } else {
+        Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2))
+            .configure_from_args()
+    }
 }
 
 /// Run once and log the executor work counters (rows scanned, comparisons,
@@ -40,8 +58,36 @@ pub fn report_work(tag: &str, db: &Database, src: &str, opts: QueryOptions) {
 }
 
 /// The standard cardinality ladder. Nested-loop configurations skip the
-/// top rung (quadratic blow-up would dominate the whole run).
-pub const SIZES: [usize; 3] = [256, 1024, 4096];
+/// top rung (quadratic blow-up would dominate the whole run); quick mode
+/// keeps only the smallest rung.
+pub fn sizes() -> Vec<usize> {
+    ladder(&[256, 1024, 4096])
+}
+
+/// Truncate a per-bench scale ladder to its smallest rung in
+/// [`quick_mode`], pass it through unchanged otherwise.
+pub fn ladder<T: Clone>(full: &[T]) -> Vec<T> {
+    if quick_mode() {
+        full[..1.min(full.len())].to_vec()
+    } else {
+        full.to_vec()
+    }
+}
 
 /// Cap for strategies with quadratic behaviour.
 pub const NL_CAP: usize = 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_full_without_quick_env() {
+        // The test process does not set TMQL_BENCH_QUICK, so ladders pass
+        // through untouched.
+        if !quick_mode() {
+            assert_eq!(sizes(), vec![256, 1024, 4096]);
+            assert_eq!(ladder(&[1, 2, 3]), vec![1, 2, 3]);
+        }
+    }
+}

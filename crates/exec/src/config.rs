@@ -1,5 +1,8 @@
 //! Executor configuration.
 
+/// Default number of rows per [`crate::op::operator::Batch`].
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
 /// Join algorithm selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinAlgo {
@@ -17,23 +20,38 @@ pub enum JoinAlgo {
 }
 
 /// Configuration for planning and execution.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecConfig {
     /// Algorithm for the join family (join/semi/anti/outer/nest join).
     pub join_algo: JoinAlgo,
+    /// Rows per streaming batch (clamped to ≥ 1 by the executor). Smaller
+    /// batches lower peak memory; larger batches amortize dispatch.
+    pub batch_size: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { join_algo: JoinAlgo::Auto, batch_size: DEFAULT_BATCH_SIZE }
+    }
 }
 
 impl ExecConfig {
     /// Cost-based defaults.
     pub fn auto() -> ExecConfig {
-        ExecConfig { join_algo: JoinAlgo::Auto }
+        ExecConfig::default()
     }
 
     /// Pin a join algorithm (benchmarks use this to compare
     /// implementations, reproducing the paper's "the optimizer can choose
     /// the most suitable join execution method").
     pub fn with_join_algo(algo: JoinAlgo) -> ExecConfig {
-        ExecConfig { join_algo: algo }
+        ExecConfig { join_algo: algo, ..ExecConfig::default() }
+    }
+
+    /// Override the streaming batch size.
+    pub fn batch_size(mut self, n: usize) -> ExecConfig {
+        self.batch_size = n.max(1);
+        self
     }
 }
 
@@ -46,5 +64,12 @@ mod tests {
         assert_eq!(ExecConfig::default().join_algo, JoinAlgo::Auto);
         assert_eq!(ExecConfig::auto().join_algo, JoinAlgo::Auto);
         assert_eq!(ExecConfig::with_join_algo(JoinAlgo::Hash).join_algo, JoinAlgo::Hash);
+        assert_eq!(ExecConfig::default().batch_size, DEFAULT_BATCH_SIZE);
+    }
+
+    #[test]
+    fn batch_size_is_clamped_to_one() {
+        assert_eq!(ExecConfig::default().batch_size(0).batch_size, 1);
+        assert_eq!(ExecConfig::default().batch_size(7).batch_size, 7);
     }
 }

@@ -1,17 +1,22 @@
-//! The physical plan interpreter.
+//! The execution driver: builds the streaming operator tree for a physical
+//! plan and drains it.
+//!
+//! The old recursive `exec_inner` interpreter materialized a full
+//! `Vec<Record>` at every plan node; it is gone. Execution now flows
+//! through the Volcano-style [`crate::op::operator`] tree batch-at-a-time,
+//! and [`execute`] is the thin collect-all wrapper kept for API
+//! compatibility (differential tests and the facade consume row vectors).
 
-use std::collections::BTreeSet;
-
-use tmql_algebra::{eval, eval_predicate, Env, Plan, ScalarExpr};
+use tmql_algebra::{eval, Env, ScalarExpr};
 use tmql_model::{Record, Result, Value};
 use tmql_storage::Catalog;
 
 use crate::config::ExecConfig;
 use crate::metrics::Metrics;
-use crate::op;
-use crate::physical::PhysPlan;
+use crate::op::operator;
 
-/// Execution context: the catalog plus accumulated metrics.
+/// Execution context: the catalog, accumulated metrics, and the streaming
+/// knobs shared by every operator in the tree.
 #[derive(Debug)]
 pub struct ExecContext<'a> {
     /// Stored tables.
@@ -19,136 +24,74 @@ pub struct ExecContext<'a> {
     /// Work counters, accumulated across the whole plan (including
     /// correlated subquery executions).
     pub metrics: Metrics,
+    batch_size: usize,
+    resident_rows: u64,
 }
 
 impl<'a> ExecContext<'a> {
-    /// Fresh context over a catalog.
+    /// Fresh context over a catalog with the default batch size.
     pub fn new(catalog: &'a Catalog) -> ExecContext<'a> {
-        ExecContext { catalog, metrics: Metrics::new() }
+        ExecContext::with_config(catalog, &ExecConfig::default())
+    }
+
+    /// Fresh context with explicit execution configuration.
+    pub fn with_config(catalog: &'a Catalog, config: &ExecConfig) -> ExecContext<'a> {
+        ExecContext {
+            catalog,
+            metrics: Metrics::new(),
+            batch_size: config.batch_size.max(1),
+            resident_rows: 0,
+        }
+    }
+
+    /// Rows per streaming batch (≥ 1).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Rows currently resident in operator state (0 after a clean close).
+    pub fn resident_rows(&self) -> u64 {
+        self.resident_rows
+    }
+
+    /// Record `n` rows entering operator state (build tables, sort/group
+    /// buffers, dedup sets, carry queues) and bump the peak gauge.
+    pub(crate) fn resident_acquire(&mut self, n: usize) {
+        self.resident_rows += n as u64;
+        if self.resident_rows > self.metrics.peak_resident_rows {
+            self.metrics.peak_resident_rows = self.resident_rows;
+        }
+    }
+
+    /// Record `n` rows leaving operator state.
+    pub(crate) fn resident_release(&mut self, n: usize) {
+        self.resident_rows = self.resident_rows.saturating_sub(n as u64);
     }
 }
 
-/// Execute a physical plan. `env` carries correlation bindings (outer rows
-/// of enclosing `Apply` operators); it is restored before returning.
-pub fn execute(plan: &PhysPlan, ctx: &mut ExecContext<'_>, env: &Env) -> Result<Vec<Record>> {
-    let mut env = env.clone();
-    exec_inner(plan, ctx, &mut env)
+/// Execute a physical plan, collecting all result rows. `env` carries
+/// correlation bindings (outer rows of enclosing `Apply` operators).
+///
+/// This is the compatibility wrapper over the streaming executor: the
+/// *collection* here is the query result, not an intermediate, so it is
+/// excluded from [`Metrics::peak_resident_rows`].
+pub fn execute(plan: &crate::PhysPlan, ctx: &mut ExecContext<'_>, env: &Env) -> Result<Vec<Record>> {
+    execute_profiled(plan, ctx, env).map(|(rows, _)| rows)
 }
 
-fn exec_inner(plan: &PhysPlan, ctx: &mut ExecContext<'_>, env: &mut Env) -> Result<Vec<Record>> {
-    match plan {
-        PhysPlan::ScanTable { table, var } => {
-            let t = ctx.catalog.table(table)?;
-            ctx.metrics.rows_scanned += t.len() as u64;
-            let mut out = Vec::with_capacity(t.len());
-            for row in t.rows() {
-                out.push(Record::new([(var.clone(), Value::Tuple(row.clone()))])?);
-            }
-            Ok(out)
-        }
-        PhysPlan::ScanExpr { expr, var } => {
-            let set = eval(expr, env)?;
-            let set = set.as_set()?.clone();
-            ctx.metrics.rows_scanned += set.len() as u64;
-            let mut out = Vec::with_capacity(set.len());
-            for item in set {
-                out.push(Record::new([(var.clone(), item)])?);
-            }
-            Ok(out)
-        }
-        PhysPlan::Filter { input, pred } => {
-            let rows = exec_inner(input, ctx, env)?;
-            let mut out = Vec::new();
-            for row in rows {
-                ctx.metrics.comparisons += 1;
-                let keep = op::with_row(env, &row, |e| eval_predicate(pred, e))?;
-                if keep {
-                    out.push(row);
-                }
-            }
-            ctx.metrics.rows_emitted += out.len() as u64;
-            Ok(out)
-        }
-        PhysPlan::Map { input, expr, var } => {
-            let rows = exec_inner(input, ctx, env)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let v = op::with_row(env, &row, |e| eval(expr, e))?;
-                out.push(Record::new([(var.clone(), v)])?);
-            }
-            let out = op::dedup(out);
-            ctx.metrics.rows_emitted += out.len() as u64;
-            Ok(out)
-        }
-        PhysPlan::Extend { input, expr, var } => {
-            let rows = exec_inner(input, ctx, env)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let v = op::with_row(env, &row, |e| eval(expr, e))?;
-                out.push(row.extend_field(var, v)?);
-            }
-            ctx.metrics.rows_emitted += out.len() as u64;
-            Ok(out)
-        }
-        PhysPlan::Project { input, vars } => {
-            let rows = exec_inner(input, ctx, env)?;
-            let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                out.push(row.project(&var_refs)?);
-            }
-            let out = op::dedup(out);
-            ctx.metrics.rows_emitted += out.len() as u64;
-            Ok(out)
-        }
-        PhysPlan::NlJoin { left, right, pred, kind } => {
-            let l = exec_inner(left, ctx, env)?;
-            let r = exec_inner(right, ctx, env)?;
-            op::nl::join(&l, &r, pred, kind, env, &mut ctx.metrics)
-        }
-        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual, kind } => {
-            let l = exec_inner(left, ctx, env)?;
-            let r = exec_inner(right, ctx, env)?;
-            op::hash::join(&l, &r, left_keys, right_keys, residual.as_ref(), kind, env, &mut ctx.metrics)
-        }
-        PhysPlan::MergeJoin { left, right, left_keys, right_keys, residual, kind } => {
-            let l = exec_inner(left, ctx, env)?;
-            let r = exec_inner(right, ctx, env)?;
-            op::merge::join(&l, &r, left_keys, right_keys, residual.as_ref(), kind, env, &mut ctx.metrics)
-        }
-        PhysPlan::Nest { input, keys, value, label, star } => {
-            let rows = exec_inner(input, ctx, env)?;
-            op::group::nest(&rows, keys, value, label, *star, env, &mut ctx.metrics)
-        }
-        PhysPlan::Unnest { input, expr, elem_var, drop_vars } => {
-            let rows = exec_inner(input, ctx, env)?;
-            op::group::unnest(&rows, expr, elem_var, drop_vars, env, &mut ctx.metrics)
-        }
-        PhysPlan::GroupAgg { input, keys, aggs, var } => {
-            let rows = exec_inner(input, ctx, env)?;
-            op::group::group_agg(&rows, keys, aggs, var, env, &mut ctx.metrics)
-        }
-        PhysPlan::Apply { input, subquery, label } => {
-            let rows = exec_inner(input, ctx, env)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                env.push_row(&row);
-                ctx.metrics.subquery_invocations += 1;
-                let sub = exec_inner(subquery, ctx, env);
-                env.pop_n(row.len());
-                let sub = sub?;
-                let set: BTreeSet<Value> = sub.iter().map(Plan::row_output_value).collect();
-                out.push(row.extend_field(label, Value::Set(set))?);
-            }
-            ctx.metrics.rows_emitted += out.len() as u64;
-            Ok(out)
-        }
-        PhysPlan::SetOp { kind, left, right, var } => {
-            let l = exec_inner(left, ctx, env)?;
-            let r = exec_inner(right, ctx, env)?;
-            op::group::set_op(*kind, &l, &r, var, &mut ctx.metrics)
-        }
-    }
+/// Execute a physical plan and also return the per-operator profile: the
+/// operator tree annotated with each operator's emitted rows and batches.
+pub fn execute_profiled(
+    plan: &crate::PhysPlan,
+    ctx: &mut ExecContext<'_>,
+    env: &Env,
+) -> Result<(Vec<Record>, String)> {
+    let mut root = operator::build(plan, env);
+    let result = root.open(ctx).and_then(|()| operator::drain(&mut root, ctx));
+    root.close(ctx);
+    let rows = result?;
+    let profile = operator::render_tree(root.as_ref());
+    Ok((rows, profile))
 }
 
 /// Lower a logical plan with `config` and execute it, returning rows only.
@@ -158,7 +101,7 @@ pub fn execute_logical(
     config: &ExecConfig,
 ) -> Result<Vec<Record>> {
     let phys = crate::planner::lower(plan, catalog, config)?;
-    let mut ctx = ExecContext::new(catalog);
+    let mut ctx = ExecContext::with_config(catalog, config);
     execute(&phys, &mut ctx, &Env::new())
 }
 
@@ -171,6 +114,7 @@ pub fn eval_const(expr: &ScalarExpr) -> Result<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::physical::PhysPlan;
     use tmql_algebra::ScalarExpr as E;
     use tmql_storage::table::int_table;
 
@@ -241,14 +185,50 @@ mod tests {
     }
 
     #[test]
+    fn apply_streams_outer_rows_per_batch() {
+        // With batch_size=2 over 4 outer rows, the Apply sees two input
+        // batches and the outer scan is never materialized whole: its
+        // carry-free pipeline keeps resident rows well below 4 outer + all
+        // subquery intermediates at once.
+        let cat = catalog();
+        let sub = PhysPlan::Filter {
+            input: Box::new(PhysPlan::ScanTable { table: "Y".into(), var: "y".into() }),
+            pred: E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+        };
+        let plan = PhysPlan::Apply {
+            input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+            subquery: Box::new(sub),
+            label: "z".into(),
+        };
+        let mut ctx = ExecContext::with_config(&cat, &ExecConfig::default().batch_size(2));
+        let (rows, profile) = execute_profiled(&plan, &mut ctx, &Env::new()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(ctx.metrics.subquery_invocations, 4);
+        assert!(profile.contains("Apply [rows=4 batches=2]"), "{profile}");
+    }
+
+    #[test]
     fn scan_expr_iterates_correlated_sets() {
         let cat = catalog();
         let plan = PhysPlan::ScanExpr { expr: E::var("zs"), var: "v".into() };
         let mut env = Env::new();
         env.push("zs", Value::set([Value::Int(1), Value::Int(2)]));
         let mut ctx = ExecContext::new(&cat);
-        let rows = exec_inner(&plan, &mut ctx, &mut env).unwrap();
+        let rows = execute(&plan, &mut ctx, &env).unwrap();
         assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn profile_tree_matches_plan_shape() {
+        let cat = catalog();
+        let plan = PhysPlan::Filter {
+            input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+            pred: E::cmp(tmql_algebra::CmpOp::Gt, E::path("x", &["a"]), E::lit(0i64)),
+        };
+        let mut ctx = ExecContext::new(&cat);
+        let (_, profile) = execute_profiled(&plan, &mut ctx, &Env::new()).unwrap();
+        assert!(profile.starts_with("Filter"), "{profile}");
+        assert!(profile.contains("  Scan(X)"), "{profile}");
     }
 
     #[test]

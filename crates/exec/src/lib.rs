@@ -21,12 +21,16 @@
 //!   over table statistics (overridable per [`ExecConfig`], which the
 //!   benchmark harness uses to pin algorithms);
 //! * [`Metrics`] counting scanned rows, predicate/key comparisons, hash
-//!   operations, and emitted rows, so experiments can report *work* as well
-//!   as wall-time.
+//!   operations, emitted rows/batches, and the peak-resident-row gauge, so
+//!   experiments can report *work* and *memory shape* as well as wall-time.
 //!
-//! Operators are materializing (operate on `Vec<Record>`): with the paper's
-//! workloads everything is memory-resident, and materialization keeps the
-//! comparison between strategies free of pipelining noise.
+//! Execution is streaming: every physical operator implements the
+//! Volcano-style [`Operator`] trait (`open` / `next_batch` / `close`) over
+//! fixed-capacity [`Batch`]es ([`ExecConfig::batch_size`] rows). Scans,
+//! filters, maps, unnests, hash-join probes and `Apply` outer rows are
+//! pipelined; only genuine pipeline breakers (hash build sides, sorts,
+//! grouping, set ops, dedup state) hold rows resident — which is what
+//! [`Metrics::peak_resident_rows`] measures.
 
 pub mod config;
 pub mod cost;
@@ -36,9 +40,10 @@ pub mod op;
 pub mod physical;
 pub mod planner;
 
-pub use config::{ExecConfig, JoinAlgo};
-pub use exec::{execute, execute_logical, ExecContext};
+pub use config::{ExecConfig, JoinAlgo, DEFAULT_BATCH_SIZE};
+pub use exec::{execute, execute_logical, execute_profiled, ExecContext};
 pub use metrics::Metrics;
+pub use op::operator::{Batch, OpStats, Operator};
 pub use physical::{JoinKind, PhysPlan};
 pub use planner::lower;
 
@@ -50,7 +55,7 @@ use tmql_storage::Catalog;
 /// against `catalog`, and return rows plus metrics.
 pub fn run(plan: &Plan, catalog: &Catalog, config: &ExecConfig) -> Result<(Vec<Record>, Metrics)> {
     let phys = planner::lower(plan, catalog, config)?;
-    let mut ctx = ExecContext::new(catalog);
+    let mut ctx = ExecContext::with_config(catalog, config);
     let rows = exec::execute(&phys, &mut ctx, &tmql_algebra::Env::new())?;
     Ok((rows, ctx.metrics))
 }

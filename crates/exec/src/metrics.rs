@@ -7,11 +7,31 @@ use std::ops::AddAssign;
 /// them next to wall-time so the *shape* of an experiment (e.g. the
 /// quadratic blow-up of nested-loop Apply) is visible independent of the
 /// machine.
+///
+/// # Unit of `comparisons`
+///
+/// One comparison = **one predicate (or residual) evaluation against one
+/// candidate**. Operators therefore count at different granularities, by
+/// design:
+///
+/// * `Filter` evaluates its predicate once per input row → one comparison
+///   **per row**;
+/// * the nested-loop join evaluates the join predicate once per (left,
+///   right) candidate → one comparison **per pair**;
+/// * hash/merge joins count one comparison per *residual* evaluation (the
+///   equi-part is covered by `hash_probes` / `rows_sorted`), plus one per
+///   key-order advance in the merge.
+///
+/// Summing them is still meaningful: the total is the number of predicate
+/// evaluations performed, which is exactly the work the paper's rewrites
+/// reduce. The unit test `comparisons_unit_is_one_predicate_evaluation`
+/// in `tests/operators.rs` pins both granularities.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Rows read from base tables.
     pub rows_scanned: u64,
-    /// Predicate evaluations and key comparisons.
+    /// Predicate evaluations and key comparisons (see the struct docs for
+    /// the per-operator granularity).
     pub comparisons: u64,
     /// Rows inserted into hash tables.
     pub hash_build_rows: u64,
@@ -19,11 +39,21 @@ pub struct Metrics {
     pub hash_probes: u64,
     /// Rows passed through sorts (merge joins).
     pub rows_sorted: u64,
-    /// Rows emitted by operators.
+    /// Rows emitted by operators (every operator in the tree, scans
+    /// included — the "total intermediate row count" of a streaming run).
     pub rows_emitted: u64,
     /// Correlated subquery executions (Apply invocations) — the count the
     /// paper's unnesting eliminates.
     pub subquery_invocations: u64,
+    /// Batches emitted by operators (streaming executor granularity).
+    pub batches_emitted: u64,
+    /// High-water mark of rows resident in operator state at any point
+    /// during execution: pipeline-breaker materializations (hash build
+    /// sides, sort buffers, group tables), dedup sets, and carry-over
+    /// buffers. The final result vector collected by the caller is *not*
+    /// counted — this gauge measures what streaming saves, not what the
+    /// query returns. A gauge, not a counter: `+=` merges by `max`.
+    pub peak_resident_rows: u64,
 }
 
 impl Metrics {
@@ -32,7 +62,13 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Total work proxy: the sum of all counters.
+    /// Total work proxy: the sum of all *work* counters; the
+    /// `batches_emitted` and `peak_resident_rows` gauges are excluded
+    /// (they measure traffic granularity and memory shape, not work).
+    /// Note that `rows_emitted` counts every operator's output including
+    /// scans under the streaming executor, so absolute totals are higher
+    /// than numbers recorded before the streaming refactor — compare
+    /// totals only within one executor generation.
     pub fn total_work(&self) -> u64 {
         self.rows_scanned
             + self.comparisons
@@ -53,6 +89,9 @@ impl AddAssign for Metrics {
         self.rows_sorted += rhs.rows_sorted;
         self.rows_emitted += rhs.rows_emitted;
         self.subquery_invocations += rhs.subquery_invocations;
+        self.batches_emitted += rhs.batches_emitted;
+        // Peak is a gauge: merging two runs keeps the higher water mark.
+        self.peak_resident_rows = self.peak_resident_rows.max(rhs.peak_resident_rows);
     }
 }
 
@@ -60,14 +99,16 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} cmp={} hbuild={} hprobe={} sorted={} emitted={} subq={}",
+            "scanned={} cmp={} hbuild={} hprobe={} sorted={} emitted={} subq={} batches={} peak={}",
             self.rows_scanned,
             self.comparisons,
             self.hash_build_rows,
             self.hash_probes,
             self.rows_sorted,
             self.rows_emitted,
-            self.subquery_invocations
+            self.subquery_invocations,
+            self.batches_emitted,
+            self.peak_resident_rows
         )
     }
 }
@@ -88,8 +129,19 @@ mod tests {
     }
 
     #[test]
+    fn peak_merges_by_max_and_stays_out_of_total_work() {
+        let mut a = Metrics { peak_resident_rows: 100, batches_emitted: 3, ..Metrics::new() };
+        let b = Metrics { peak_resident_rows: 40, batches_emitted: 2, ..Metrics::new() };
+        a += b;
+        assert_eq!(a.peak_resident_rows, 100, "gauge merges by max");
+        assert_eq!(a.batches_emitted, 5);
+        assert_eq!(a.total_work(), 0, "gauges are not work");
+    }
+
+    #[test]
     fn display_compact() {
         let m = Metrics::new();
         assert!(m.to_string().starts_with("scanned=0"));
+        assert!(m.to_string().contains("peak=0"));
     }
 }

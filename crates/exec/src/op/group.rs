@@ -55,7 +55,6 @@ pub fn nest(
         let (rec, set) = groups.remove(&key).expect("group recorded");
         out.push(rec.extend_field(label, Value::Set(set))?);
     }
-    m.rows_emitted += out.len() as u64;
     Ok(out)
 }
 
@@ -69,7 +68,6 @@ pub fn unnest(
     elem_var: &str,
     drop_vars: &[String],
     env: &mut Env,
-    m: &mut Metrics,
 ) -> Result<Vec<Record>> {
     let mut out = Vec::new();
     for row in rows {
@@ -83,7 +81,6 @@ pub fn unnest(
             out.push(base.extend_field(elem_var, item)?);
         }
     }
-    m.rows_emitted += out.len() as u64;
     Ok(out)
 }
 
@@ -134,7 +131,6 @@ pub fn group_agg(
         }
         out.push(Record::new([(var.to_string(), Value::Tuple(tup))])?);
     }
-    m.rows_emitted += out.len() as u64;
     Ok(out)
 }
 
@@ -186,7 +182,6 @@ pub fn set_op(
             Record::new([(var.to_string(), v)]).map_err(|e| ModelError::SchemaError(e.to_string()))?,
         );
     }
-    m.rows_emitted += out.len() as u64;
     Ok(out)
 }
 
@@ -266,7 +261,6 @@ mod tests {
             "v",
             &["s".to_string()],
             &mut Env::new(),
-            &mut Metrics::new(),
         )
         .unwrap();
         assert_eq!(out.len(), 2);
@@ -296,7 +290,6 @@ mod tests {
             "a",
             &["as".to_string()],
             &mut Env::new(),
-            &mut Metrics::new(),
         )
         .unwrap();
         let orig: BTreeSet<Record> = rows.into_iter().collect();

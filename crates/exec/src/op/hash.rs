@@ -6,6 +6,11 @@
 //! dangling probe row emits `label = ∅`. Building on the **right** operand
 //! keeps the output grouped by left rows, which is the paper's
 //! implementation restriction for the nest join (Section 6).
+//!
+//! The implementation is split into [`build`] (a pipeline breaker: it owns
+//! the materialized build side) and [`probe`] (streamable: each probe batch
+//! is independent), so the streaming executor builds once and probes
+//! batch-at-a-time. [`join`] composes the two for one-shot callers.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -17,44 +22,71 @@ use crate::physical::JoinKind;
 
 use super::{eval_keys, null_extend, with_row};
 
-/// Hash join of materialized operands on equi-keys plus an optional
-/// residual predicate.
-#[allow(clippy::too_many_arguments)]
-pub fn join(
-    left: &[Record],
-    right: &[Record],
-    left_keys: &[ScalarExpr],
+/// A built hash table over the right (build) operand: the owned build rows
+/// plus an index from key values to row positions.
+#[derive(Debug)]
+pub struct HashTable {
+    rows: Vec<Record>,
+    index: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl HashTable {
+    /// Number of resident build-side rows (for peak-memory accounting).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no build rows were retained.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Build phase: index `right` by its key values. Rows with a NULL key are
+/// dropped — NULL never equi-joins, consistent with SQL semantics in the
+/// relational baselines.
+pub fn build(
+    right: Vec<Record>,
     right_keys: &[ScalarExpr],
+    env: &mut Env,
+    m: &mut Metrics,
+) -> Result<HashTable> {
+    let mut table = HashTable { rows: Vec::with_capacity(right.len()), index: HashMap::new() };
+    for r in right {
+        let key = with_row(env, &r, |e| eval_keys(right_keys, e))?;
+        if let Some(key) = key {
+            table.index.entry(key).or_default().push(table.rows.len());
+            table.rows.push(r);
+            m.hash_build_rows += 1;
+        }
+    }
+    Ok(table)
+}
+
+/// Probe phase: join a batch of left rows against a built table. Left rows
+/// are independent of each other, so this streams.
+pub fn probe(
+    left: &[Record],
+    table: &HashTable,
+    left_keys: &[ScalarExpr],
     residual: Option<&ScalarExpr>,
     kind: &JoinKind,
     env: &mut Env,
     m: &mut Metrics,
 ) -> Result<Vec<Record>> {
-    // Build phase over the right operand.
-    let mut table: HashMap<Vec<Value>, Vec<&Record>> = HashMap::new();
-    for r in right {
-        let key = with_row(env, r, |e| eval_keys(right_keys, e))?;
-        if let Some(key) = key {
-            table.entry(key).or_default().push(r);
-            m.hash_build_rows += 1;
-        }
-        // NULL keys never match an equi-join; they are dropped from the
-        // build side (consistent with SQL semantics in the relational
-        // baselines).
-    }
-
     let mut out = Vec::new();
     for l in left {
         env.push_row(l);
         m.hash_probes += 1;
         let key = eval_keys(left_keys, env)?;
-        let candidates: &[&Record] = match &key {
-            Some(k) => table.get(k).map(Vec::as_slice).unwrap_or(&[]),
+        let candidates: &[usize] = match &key {
+            Some(k) => table.index.get(k).map(Vec::as_slice).unwrap_or(&[]),
             None => &[],
         };
         let mut matched = false;
         let mut nested: BTreeSet<Value> = BTreeSet::new();
-        for r in candidates {
+        for &ri in candidates {
+            let r = &table.rows[ri];
             env.push_row(r);
             let hit = match residual {
                 Some(p) => {
@@ -109,8 +141,24 @@ pub fn join(
             }
         }
     }
-    m.rows_emitted += out.len() as u64;
     Ok(out)
+}
+
+/// One-shot hash join of materialized operands on equi-keys plus an
+/// optional residual predicate ([`build`] then [`probe`]).
+#[allow(clippy::too_many_arguments)]
+pub fn join(
+    left: &[Record],
+    right: &[Record],
+    left_keys: &[ScalarExpr],
+    right_keys: &[ScalarExpr],
+    residual: Option<&ScalarExpr>,
+    kind: &JoinKind,
+    env: &mut Env,
+    m: &mut Metrics,
+) -> Result<Vec<Record>> {
+    let table = build(right.to_vec(), right_keys, env, m)?;
+    probe(left, &table, left_keys, residual, kind, env, m)
 }
 
 #[cfg(test)]
@@ -156,6 +204,26 @@ mod tests {
             let hs: BTreeSet<Record> = h.into_iter().collect();
             let ns: BTreeSet<Record> = n.into_iter().collect();
             assert_eq!(hs, ns, "kind {:?}", kind.name());
+        }
+    }
+
+    #[test]
+    fn probe_batches_compose_to_one_shot_join() {
+        // Streaming contract: probing in arbitrary batch splits equals the
+        // one-shot probe over the concatenation.
+        let (x, y, lk, rk) = fixture();
+        let mut env = Env::new();
+        let mut m = Metrics::new();
+        let table = build(y.clone(), &rk, &mut env, &mut m).unwrap();
+        let whole = probe(&x, &table, &lk, None, &JoinKind::Inner, &mut env, &mut m).unwrap();
+        for split in 1..x.len() {
+            let mut pieces = Vec::new();
+            for chunk in x.chunks(split) {
+                pieces.extend(
+                    probe(chunk, &table, &lk, None, &JoinKind::Inner, &mut env, &mut m).unwrap(),
+                );
+            }
+            assert_eq!(pieces, whole, "split {split}");
         }
     }
 

@@ -156,7 +156,6 @@ pub fn join(
         li = lj;
         ri = rj;
     }
-    m.rows_emitted += out.len() as u64;
     Ok(out)
 }
 

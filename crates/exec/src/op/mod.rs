@@ -4,12 +4,15 @@
 //! each implementing **all five** [`crate::JoinKind`]s, demonstrating the
 //! paper's observation that the nest join is "a simple modification of any
 //! common join implementation method" (Section 6). Grouping operators are
-//! in [`group`].
+//! in [`group`]. These are the materialized *kernels*; the Volcano-style
+//! streaming operator tree that drives them batch-at-a-time is in
+//! [`operator`].
 
 pub mod group;
 pub mod hash;
 pub mod merge;
 pub mod nl;
+pub mod operator;
 
 use tmql_algebra::Env;
 use tmql_model::{Record, Result, Value};

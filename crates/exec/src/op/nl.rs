@@ -82,7 +82,6 @@ pub fn join(
             }
         }
     }
-    m.rows_emitted += out.len() as u64;
     Ok(out)
 }
 

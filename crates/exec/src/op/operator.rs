@@ -1,0 +1,1129 @@
+//! Volcano-style streaming operator tree.
+//!
+//! Every physical operator implements [`Operator`]: `open` / `next_batch`
+//! / `close`, where [`next_batch`](Operator::next_batch) produces a
+//! [`Batch`] of at most [`ExecContext::batch_size`](crate::exec::ExecContext::batch_size)
+//! rows (joins and unnests buffer overflow in a carry queue so batches keep
+//! their nominal capacity). Scan / Filter / Map / Extend / Project /
+//! Unnest / Apply stream batch-at-a-time; pipeline breakers (the hash join
+//! *build side*, the sort-merge sort, ν / GROUP BY grouping, set
+//! operations, and dedup state) consume their input before producing, but
+//! still **emit** in batches — so memory is bounded by operator *state*
+//! (build tables, sort buffers, dedup sets), not by every intermediate
+//! result at once. [`Metrics::peak_resident_rows`] tracks exactly that
+//! high-water mark; [`Metrics::batches_emitted`] counts the batch traffic.
+//!
+//! The operator tree borrows the [`PhysPlan`] it was built from (no
+//! expression cloning) and owns only its correlation [`Env`], so
+//! [`Apply`](PhysPlan::Apply) can rebuild its subquery tree per outer row —
+//! the true nested loop the paper's unnesting removes.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use tmql_algebra::{eval, eval_predicate, Env, Plan, ScalarExpr};
+use tmql_model::{Record, Result, Value};
+
+use crate::exec::ExecContext;
+use crate::metrics::Metrics;
+use crate::op::{self, group, hash, merge, nl};
+use crate::physical::{JoinKind, PhysPlan};
+
+/// A unit of streamed data: up to `batch_size` rows.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Batch {
+    /// The rows (at most the configured batch size for pipelined
+    /// operators; never empty when returned from `next_batch`).
+    pub rows: Vec<Record>,
+}
+
+impl Batch {
+    /// Wrap a row vector.
+    pub fn new(rows: Vec<Record>) -> Batch {
+        Batch { rows }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Per-operator output counters, reported by the profile tree.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Rows this operator has emitted.
+    pub rows_out: u64,
+    /// Batches this operator has emitted.
+    pub batches_out: u64,
+}
+
+/// A physical operator in the streaming executor.
+///
+/// Lifecycle: `open` (reset state, recurse into children), then `pull`
+/// (the metered wrapper around `next_batch`) until `None`, then `close`
+/// (release buffered state, recurse). Implementations return `None` only
+/// when exhausted and never return an empty batch.
+pub trait Operator {
+    /// Display label (mirrors [`PhysPlan::op_label`]).
+    fn label(&self) -> String;
+
+    /// Reset to the start of the stream and open children.
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()>;
+
+    /// Produce the next batch, or `None` when exhausted.
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>>;
+
+    /// Release buffered state and close children.
+    fn close(&mut self, ctx: &mut ExecContext<'_>);
+
+    /// Output counters so far.
+    fn stats(&self) -> OpStats;
+
+    /// Mutable access for the metering in [`Operator::pull`].
+    fn stats_mut(&mut self) -> &mut OpStats;
+
+    /// Children, left to right (for profile rendering).
+    fn children(&self) -> Vec<&dyn Operator>;
+
+    /// Metered `next_batch`: updates the global batch/row counters and the
+    /// per-operator stats. Parents and drivers call this, not `next_batch`.
+    fn pull(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        match self.next_batch(ctx)? {
+            Some(b) => {
+                ctx.metrics.batches_emitted += 1;
+                ctx.metrics.rows_emitted += b.len() as u64;
+                let s = self.stats_mut();
+                s.batches_out += 1;
+                s.rows_out += b.len() as u64;
+                Ok(Some(b))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// An owned operator borrowing plan nodes with lifetime `'p`.
+pub type BoxedOperator<'p> = Box<dyn Operator + 'p>;
+
+/// Drain an operator to completion through the metered [`Operator::pull`].
+pub fn drain(op: &mut BoxedOperator<'_>, ctx: &mut ExecContext<'_>) -> Result<Vec<Record>> {
+    let mut out = Vec::new();
+    while let Some(b) = op.pull(ctx)? {
+        out.extend(b.rows);
+    }
+    Ok(out)
+}
+
+/// Render the operator tree with per-operator output metrics (the
+/// post-execution profile shown by `EXPLAIN`).
+pub fn render_tree(root: &dyn Operator) -> String {
+    fn go(op: &dyn Operator, depth: usize, out: &mut String) {
+        let s = op.stats();
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!(
+            "{} [rows={} batches={}]\n",
+            op.label(),
+            s.rows_out,
+            s.batches_out
+        ));
+        for c in op.children() {
+            go(c, depth + 1, out);
+        }
+    }
+    let mut s = String::new();
+    go(root, 0, &mut s);
+    s
+}
+
+/// Pop up to `n` rows off a carry buffer as a batch (releasing them from
+/// the resident-row gauge), or `None` when the buffer is empty.
+fn pop_carry(carry: &mut VecDeque<Record>, n: usize, ctx: &mut ExecContext<'_>) -> Option<Batch> {
+    if carry.is_empty() {
+        return None;
+    }
+    let k = n.min(carry.len());
+    let rows: Vec<Record> = carry.drain(..k).collect();
+    ctx.resident_release(rows.len());
+    Some(Batch::new(rows))
+}
+
+/// Build the operator tree for a physical plan. `env` carries correlation
+/// bindings (outer rows of enclosing `Apply` operators); each operator
+/// keeps its own copy so subtrees can be re-instantiated per outer row.
+pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
+    match plan {
+        PhysPlan::ScanTable { table, var } => {
+            Box::new(ScanTableOp { table, var, pos: 0, stats: OpStats::default() })
+        }
+        PhysPlan::ScanExpr { expr, var } => Box::new(ScanExprOp {
+            expr,
+            var,
+            env: env.clone(),
+            items: None,
+            stats: OpStats::default(),
+        }),
+        PhysPlan::Filter { input, pred } => Box::new(FilterOp {
+            child: build(input, env),
+            pred,
+            env: env.clone(),
+            stats: OpStats::default(),
+        }),
+        PhysPlan::Map { input, expr, var } => Box::new(MapOp {
+            child: build(input, env),
+            expr,
+            var,
+            env: env.clone(),
+            seen: BTreeSet::new(),
+            stats: OpStats::default(),
+        }),
+        PhysPlan::Extend { input, expr, var } => Box::new(ExtendOp {
+            child: build(input, env),
+            expr,
+            var,
+            env: env.clone(),
+            stats: OpStats::default(),
+        }),
+        PhysPlan::Project { input, vars } => Box::new(ProjectOp {
+            child: build(input, env),
+            vars: vars.iter().map(String::as_str).collect(),
+            seen: BTreeSet::new(),
+            stats: OpStats::default(),
+        }),
+        PhysPlan::Unnest { input, expr, elem_var, drop_vars } => Box::new(UnnestOp {
+            child: build(input, env),
+            expr,
+            elem_var,
+            drop_vars,
+            env: env.clone(),
+            carry: VecDeque::new(),
+            done: false,
+            stats: OpStats::default(),
+        }),
+        PhysPlan::NlJoin { left, right, pred, kind } => Box::new(NlJoinOp {
+            left: build(left, env),
+            right: build(right, env),
+            pred,
+            kind,
+            env: env.clone(),
+            right_rows: None,
+            carry: VecDeque::new(),
+            done: false,
+            stats: OpStats::default(),
+        }),
+        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual, kind } => {
+            Box::new(HashJoinOp {
+                left: build(left, env),
+                right: build(right, env),
+                left_keys,
+                right_keys,
+                residual: residual.as_ref(),
+                kind,
+                env: env.clone(),
+                table: None,
+                carry: VecDeque::new(),
+                done: false,
+                stats: OpStats::default(),
+            })
+        }
+        PhysPlan::MergeJoin { left, right, left_keys, right_keys, residual, kind } => {
+            Box::new(BinaryBreaker {
+                name: format!("MergeJoin[{}]", kind.name()),
+                left: build(left, env),
+                right: build(right, env),
+                env: env.clone(),
+                kernel: Box::new(move |l, r, env, m| {
+                    merge::join(l, r, left_keys, right_keys, residual.as_ref(), kind, env, m)
+                }),
+                out: None,
+                stats: OpStats::default(),
+            })
+        }
+        PhysPlan::Nest { input, keys, value, label, star } => Box::new(UnaryBreaker {
+            name: if *star { "Nest[ν*]" } else { "Nest[ν]" }.into(),
+            child: build(input, env),
+            env: env.clone(),
+            kernel: Box::new(move |rows, env, m| {
+                group::nest(rows, keys, value, label, *star, env, m)
+            }),
+            out: None,
+            stats: OpStats::default(),
+        }),
+        PhysPlan::GroupAgg { input, keys, aggs, var } => Box::new(UnaryBreaker {
+            name: "GroupAgg".into(),
+            child: build(input, env),
+            env: env.clone(),
+            kernel: Box::new(move |rows, env, m| group::group_agg(rows, keys, aggs, var, env, m)),
+            out: None,
+            stats: OpStats::default(),
+        }),
+        PhysPlan::SetOp { kind, left, right, var } => Box::new(BinaryBreaker {
+            name: "SetOp".into(),
+            left: build(left, env),
+            right: build(right, env),
+            env: env.clone(),
+            kernel: Box::new(move |l, r, _env, m| group::set_op(*kind, l, r, var, m)),
+            out: None,
+            stats: OpStats::default(),
+        }),
+        PhysPlan::Apply { input, subquery, label } => Box::new(ApplyOp {
+            child: build(input, env),
+            subquery,
+            label,
+            env: env.clone(),
+            stats: OpStats::default(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming leaves
+// ---------------------------------------------------------------------------
+
+/// Cursor scan over a stored table; borrows one batch at a time via
+/// [`tmql_storage::Table::batch`], never cloning the whole extension.
+struct ScanTableOp<'p> {
+    table: &'p str,
+    var: &'p str,
+    pos: usize,
+    stats: OpStats,
+}
+
+impl Operator for ScanTableOp<'_> {
+    fn label(&self) -> String {
+        format!("Scan({})", self.table)
+    }
+
+    fn open(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        let t = ctx.catalog.table(self.table)?;
+        let chunk = t.batch(self.pos, ctx.batch_size());
+        if chunk.is_empty() {
+            return Ok(None);
+        }
+        let mut rows = Vec::with_capacity(chunk.len());
+        for row in chunk {
+            rows.push(Record::new([(self.var.to_string(), Value::Tuple(row.clone()))])?);
+        }
+        self.pos += rows.len();
+        ctx.metrics.rows_scanned += rows.len() as u64;
+        Ok(Some(Batch::new(rows)))
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext<'_>) {}
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![]
+    }
+}
+
+/// Iterate a set expression (correlated or constant): the set value is one
+/// evaluation, buffered and re-emitted in batches.
+struct ScanExprOp<'p> {
+    expr: &'p ScalarExpr,
+    var: &'p str,
+    env: Env,
+    items: Option<VecDeque<Value>>,
+    stats: OpStats,
+}
+
+impl Operator for ScanExprOp<'_> {
+    fn label(&self) -> String {
+        "ScanExpr".into()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        if let Some(items) = self.items.take() {
+            ctx.resident_release(items.len());
+        }
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        if self.items.is_none() {
+            let set = eval(self.expr, &mut self.env)?;
+            let items: VecDeque<Value> = set.as_set()?.iter().cloned().collect();
+            ctx.resident_acquire(items.len());
+            self.items = Some(items);
+        }
+        let items = self.items.as_mut().expect("buffered above");
+        if items.is_empty() {
+            return Ok(None);
+        }
+        let k = ctx.batch_size().min(items.len());
+        let mut rows = Vec::with_capacity(k);
+        for _ in 0..k {
+            let item = items.pop_front().expect("k <= len");
+            rows.push(Record::new([(self.var.to_string(), item)])?);
+        }
+        ctx.resident_release(k);
+        ctx.metrics.rows_scanned += rows.len() as u64;
+        Ok(Some(Batch::new(rows)))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        if let Some(items) = self.items.take() {
+            ctx.resident_release(items.len());
+        }
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming unary operators
+// ---------------------------------------------------------------------------
+
+/// Streaming σ: one predicate evaluation (= one `comparisons` tick) per
+/// input row.
+struct FilterOp<'p> {
+    child: BoxedOperator<'p>,
+    pred: &'p ScalarExpr,
+    env: Env,
+    stats: OpStats,
+}
+
+impl Operator for FilterOp<'_> {
+    fn label(&self) -> String {
+        "Filter".into()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        loop {
+            let Some(b) = self.child.pull(ctx)? else { return Ok(None) };
+            let mut out = Vec::new();
+            for row in b.rows {
+                ctx.metrics.comparisons += 1;
+                let keep = op::with_row(&mut self.env, &row, |e| eval_predicate(self.pred, e))?;
+                if keep {
+                    out.push(row);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(Batch::new(out)));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.child.close(ctx);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+/// Streaming generalized projection to a single binding. Dedup state (the
+/// set of distinct records seen) is the only resident memory.
+struct MapOp<'p> {
+    child: BoxedOperator<'p>,
+    expr: &'p ScalarExpr,
+    var: &'p str,
+    env: Env,
+    seen: BTreeSet<Record>,
+    stats: OpStats,
+}
+
+impl Operator for MapOp<'_> {
+    fn label(&self) -> String {
+        "Map".into()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        ctx.resident_release(self.seen.len());
+        self.seen.clear();
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        loop {
+            let Some(b) = self.child.pull(ctx)? else { return Ok(None) };
+            let mut out = Vec::new();
+            for row in b.rows {
+                let v = op::with_row(&mut self.env, &row, |e| eval(self.expr, e))?;
+                let rec = Record::new([(self.var.to_string(), v)])?;
+                if self.seen.insert(rec.clone()) {
+                    ctx.resident_acquire(1);
+                    out.push(rec);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(Batch::new(out)));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        ctx.resident_release(self.seen.len());
+        self.seen.clear();
+        self.child.close(ctx);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+/// Streaming binding extension (no dedup: input rows stay distinct).
+struct ExtendOp<'p> {
+    child: BoxedOperator<'p>,
+    expr: &'p ScalarExpr,
+    var: &'p str,
+    env: Env,
+    stats: OpStats,
+}
+
+impl Operator for ExtendOp<'_> {
+    fn label(&self) -> String {
+        "Extend".into()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        let Some(b) = self.child.pull(ctx)? else { return Ok(None) };
+        let mut out = Vec::with_capacity(b.len());
+        for row in b.rows {
+            let v = op::with_row(&mut self.env, &row, |e| eval(self.expr, e))?;
+            out.push(row.extend_field(self.var, v)?);
+        }
+        Ok(Some(Batch::new(out)))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.child.close(ctx);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+/// Streaming π onto a variable subset, with streaming dedup.
+struct ProjectOp<'p> {
+    child: BoxedOperator<'p>,
+    vars: Vec<&'p str>,
+    seen: BTreeSet<Record>,
+    stats: OpStats,
+}
+
+impl Operator for ProjectOp<'_> {
+    fn label(&self) -> String {
+        "Project".into()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        ctx.resident_release(self.seen.len());
+        self.seen.clear();
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        loop {
+            let Some(b) = self.child.pull(ctx)? else { return Ok(None) };
+            let mut out = Vec::new();
+            for row in b.rows {
+                let rec = row.project(&self.vars)?;
+                if self.seen.insert(rec.clone()) {
+                    ctx.resident_acquire(1);
+                    out.push(rec);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(Batch::new(out)));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        ctx.resident_release(self.seen.len());
+        self.seen.clear();
+        self.child.close(ctx);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+/// Streaming μ: each input batch expands independently; a carry buffer
+/// caps the emitted batch size despite per-row fan-out.
+struct UnnestOp<'p> {
+    child: BoxedOperator<'p>,
+    expr: &'p ScalarExpr,
+    elem_var: &'p str,
+    drop_vars: &'p [String],
+    env: Env,
+    carry: VecDeque<Record>,
+    done: bool,
+    stats: OpStats,
+}
+
+impl Operator for UnnestOp<'_> {
+    fn label(&self) -> String {
+        "Unnest".into()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        ctx.resident_release(self.carry.len());
+        self.carry.clear();
+        self.done = false;
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        let n = ctx.batch_size();
+        loop {
+            if self.carry.len() >= n || (self.done && !self.carry.is_empty()) {
+                return Ok(pop_carry(&mut self.carry, n, ctx));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            match self.child.pull(ctx)? {
+                None => self.done = true,
+                Some(b) => {
+                    let expanded = group::unnest(
+                        &b.rows,
+                        self.expr,
+                        self.elem_var,
+                        self.drop_vars,
+                        &mut self.env,
+                    )?;
+                    ctx.resident_acquire(expanded.len());
+                    self.carry.extend(expanded);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        ctx.resident_release(self.carry.len());
+        self.carry.clear();
+        self.child.close(ctx);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+/// Nested-loop join: materializes the inner (right) operand once, streams
+/// the outer (left) operand batch-at-a-time.
+struct NlJoinOp<'p> {
+    left: BoxedOperator<'p>,
+    right: BoxedOperator<'p>,
+    pred: &'p ScalarExpr,
+    kind: &'p JoinKind,
+    env: Env,
+    right_rows: Option<Vec<Record>>,
+    carry: VecDeque<Record>,
+    done: bool,
+    stats: OpStats,
+}
+
+impl Operator for NlJoinOp<'_> {
+    fn label(&self) -> String {
+        format!("NlJoin[{}]", self.kind.name())
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        if let Some(r) = self.right_rows.take() {
+            ctx.resident_release(r.len());
+        }
+        ctx.resident_release(self.carry.len());
+        self.carry.clear();
+        self.done = false;
+        self.left.open(ctx)?;
+        self.right.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        if self.right_rows.is_none() {
+            let r = drain(&mut self.right, ctx)?;
+            ctx.resident_acquire(r.len());
+            self.right_rows = Some(r);
+        }
+        let n = ctx.batch_size();
+        loop {
+            if self.carry.len() >= n || (self.done && !self.carry.is_empty()) {
+                return Ok(pop_carry(&mut self.carry, n, ctx));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            match self.left.pull(ctx)? {
+                None => self.done = true,
+                Some(b) => {
+                    let right = self.right_rows.as_ref().expect("materialized above");
+                    let out =
+                        nl::join(&b.rows, right, self.pred, self.kind, &mut self.env, &mut ctx.metrics)?;
+                    ctx.resident_acquire(out.len());
+                    self.carry.extend(out);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        if let Some(r) = self.right_rows.take() {
+            ctx.resident_release(r.len());
+        }
+        ctx.resident_release(self.carry.len());
+        self.carry.clear();
+        self.left.close(ctx);
+        self.right.close(ctx);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+}
+
+/// Hash join: the build side (right) is the pipeline breaker; the probe
+/// side (left) streams.
+struct HashJoinOp<'p> {
+    left: BoxedOperator<'p>,
+    right: BoxedOperator<'p>,
+    left_keys: &'p [ScalarExpr],
+    right_keys: &'p [ScalarExpr],
+    residual: Option<&'p ScalarExpr>,
+    kind: &'p JoinKind,
+    env: Env,
+    table: Option<hash::HashTable>,
+    carry: VecDeque<Record>,
+    done: bool,
+    stats: OpStats,
+}
+
+impl Operator for HashJoinOp<'_> {
+    fn label(&self) -> String {
+        format!("HashJoin[{}]", self.kind.name())
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        if let Some(t) = self.table.take() {
+            ctx.resident_release(t.len());
+        }
+        ctx.resident_release(self.carry.len());
+        self.carry.clear();
+        self.done = false;
+        self.left.open(ctx)?;
+        self.right.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        if self.table.is_none() {
+            let r = drain(&mut self.right, ctx)?;
+            let table = hash::build(r, self.right_keys, &mut self.env, &mut ctx.metrics)?;
+            ctx.resident_acquire(table.len());
+            self.table = Some(table);
+        }
+        let n = ctx.batch_size();
+        loop {
+            if self.carry.len() >= n || (self.done && !self.carry.is_empty()) {
+                return Ok(pop_carry(&mut self.carry, n, ctx));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            match self.left.pull(ctx)? {
+                None => self.done = true,
+                Some(b) => {
+                    let table = self.table.as_ref().expect("built above");
+                    let out = hash::probe(
+                        &b.rows,
+                        table,
+                        self.left_keys,
+                        self.residual,
+                        self.kind,
+                        &mut self.env,
+                        &mut ctx.metrics,
+                    )?;
+                    ctx.resident_acquire(out.len());
+                    self.carry.extend(out);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        if let Some(t) = self.table.take() {
+            ctx.resident_release(t.len());
+        }
+        ctx.resident_release(self.carry.len());
+        self.carry.clear();
+        self.left.close(ctx);
+        self.right.close(ctx);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline breakers (generic over the materialized kernel)
+// ---------------------------------------------------------------------------
+
+type UnaryKernel<'p> =
+    Box<dyn FnMut(&[Record], &mut Env, &mut Metrics) -> Result<Vec<Record>> + 'p>;
+
+/// A one-input pipeline breaker: drains its child, runs a materialized
+/// kernel (ν / ν* / GROUP BY), then re-emits the result in batches.
+struct UnaryBreaker<'p> {
+    name: String,
+    child: BoxedOperator<'p>,
+    env: Env,
+    kernel: UnaryKernel<'p>,
+    out: Option<VecDeque<Record>>,
+    stats: OpStats,
+}
+
+impl Operator for UnaryBreaker<'_> {
+    fn label(&self) -> String {
+        self.name.clone()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        if let Some(out) = self.out.take() {
+            ctx.resident_release(out.len());
+        }
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        if self.out.is_none() {
+            let input = drain(&mut self.child, ctx)?;
+            ctx.resident_acquire(input.len());
+            let out = (self.kernel)(&input, &mut self.env, &mut ctx.metrics)?;
+            ctx.resident_acquire(out.len());
+            ctx.resident_release(input.len());
+            drop(input);
+            self.out = Some(out.into());
+        }
+        let out = self.out.as_mut().expect("materialized above");
+        Ok(pop_carry(out, ctx.batch_size(), ctx))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        if let Some(out) = self.out.take() {
+            ctx.resident_release(out.len());
+        }
+        self.child.close(ctx);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+type BinaryKernel<'p> =
+    Box<dyn FnMut(&[Record], &[Record], &mut Env, &mut Metrics) -> Result<Vec<Record>> + 'p>;
+
+/// A two-input pipeline breaker: drains both children, runs a materialized
+/// kernel (sort-merge join, set operation), then re-emits in batches.
+struct BinaryBreaker<'p> {
+    name: String,
+    left: BoxedOperator<'p>,
+    right: BoxedOperator<'p>,
+    env: Env,
+    kernel: BinaryKernel<'p>,
+    out: Option<VecDeque<Record>>,
+    stats: OpStats,
+}
+
+impl Operator for BinaryBreaker<'_> {
+    fn label(&self) -> String {
+        self.name.clone()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        if let Some(out) = self.out.take() {
+            ctx.resident_release(out.len());
+        }
+        self.left.open(ctx)?;
+        self.right.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        if self.out.is_none() {
+            let l = drain(&mut self.left, ctx)?;
+            ctx.resident_acquire(l.len());
+            let r = drain(&mut self.right, ctx)?;
+            ctx.resident_acquire(r.len());
+            let out = (self.kernel)(&l, &r, &mut self.env, &mut ctx.metrics)?;
+            ctx.resident_acquire(out.len());
+            ctx.resident_release(l.len() + r.len());
+            drop((l, r));
+            self.out = Some(out.into());
+        }
+        let out = self.out.as_mut().expect("materialized above");
+        Ok(pop_carry(out, ctx.batch_size(), ctx))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        if let Some(out) = self.out.take() {
+            ctx.resident_release(out.len());
+        }
+        self.left.close(ctx);
+        self.right.close(ctx);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Apply
+// ---------------------------------------------------------------------------
+
+/// Correlated Apply — the paper's baseline, now streaming: outer rows flow
+/// through batch-at-a-time (never materialized as a whole), and for each
+/// outer row the subquery operator tree is instantiated with the row's
+/// bindings pushed onto the correlation environment.
+struct ApplyOp<'p> {
+    child: BoxedOperator<'p>,
+    subquery: &'p PhysPlan,
+    label: &'p str,
+    env: Env,
+    stats: OpStats,
+}
+
+impl Operator for ApplyOp<'_> {
+    fn label(&self) -> String {
+        "Apply".into()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        let Some(b) = self.child.pull(ctx)? else { return Ok(None) };
+        let mut out = Vec::with_capacity(b.len());
+        for row in b.rows {
+            let mut sub_env = self.env.clone();
+            sub_env.push_row(&row);
+            ctx.metrics.subquery_invocations += 1;
+            let mut sub = build(self.subquery, &sub_env);
+            sub.open(ctx)?;
+            let res = drain(&mut sub, ctx);
+            sub.close(ctx);
+            let set: BTreeSet<Value> = res?.iter().map(Plan::row_output_value).collect();
+            out.push(row.extend_field(self.label, Value::Set(set))?);
+        }
+        Ok(Some(Batch::new(out)))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.child.close(ctx);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecConfig;
+    use crate::exec::ExecContext;
+    use tmql_algebra::ScalarExpr as E;
+    use tmql_storage::{table::int_table, Catalog};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let rows: Vec<Vec<i64>> = (0..10).map(|i| vec![i, i % 3]).collect();
+        cat.register(int_table(
+            "X",
+            &["a", "b"],
+            &rows.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+        ))
+        .unwrap();
+        cat
+    }
+
+    fn scan_filter() -> PhysPlan {
+        PhysPlan::Filter {
+            input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+            pred: E::cmp(tmql_algebra::CmpOp::Gt, E::path("x", &["a"]), E::lit(3i64)),
+        }
+    }
+
+    #[test]
+    fn batches_respect_batch_size() {
+        let cat = catalog();
+        let plan = PhysPlan::ScanTable { table: "X".into(), var: "x".into() };
+        let mut ctx = ExecContext::with_config(&cat, &ExecConfig::default().batch_size(3));
+        let mut root = build(&plan, &Env::new());
+        root.open(&mut ctx).unwrap();
+        let mut sizes = Vec::new();
+        while let Some(b) = root.pull(&mut ctx).unwrap() {
+            assert!(!b.is_empty(), "operators never emit empty batches");
+            sizes.push(b.len());
+        }
+        root.close(&mut ctx);
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+        assert_eq!(ctx.metrics.batches_emitted, 4);
+        assert_eq!(ctx.metrics.rows_scanned, 10);
+    }
+
+    #[test]
+    fn per_op_stats_show_in_profile_tree() {
+        let cat = catalog();
+        let plan = scan_filter();
+        let mut ctx = ExecContext::with_config(&cat, &ExecConfig::default().batch_size(4));
+        let mut root = build(&plan, &Env::new());
+        root.open(&mut ctx).unwrap();
+        let rows = drain(&mut root, &mut ctx).unwrap();
+        root.close(&mut ctx);
+        assert_eq!(rows.len(), 6);
+        let tree = render_tree(root.as_ref());
+        assert!(tree.contains("Filter [rows=6"), "{tree}");
+        assert!(tree.contains("Scan(X) [rows=10"), "{tree}");
+    }
+
+    #[test]
+    fn resident_gauge_returns_to_zero_after_close() {
+        let cat = catalog();
+        // A breaker (Nest) plus dedup state (Map): both must release.
+        let plan = PhysPlan::Nest {
+            input: Box::new(PhysPlan::Map {
+                input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+                expr: E::path("x", &["b"]),
+                var: "v".into(),
+            }),
+            keys: vec!["v".into()],
+            value: E::var("v"),
+            label: "vs".into(),
+            star: false,
+        };
+        let mut ctx = ExecContext::with_config(&cat, &ExecConfig::default().batch_size(2));
+        let mut root = build(&plan, &Env::new());
+        root.open(&mut ctx).unwrap();
+        let _ = drain(&mut root, &mut ctx).unwrap();
+        root.close(&mut ctx);
+        assert!(ctx.metrics.peak_resident_rows > 0, "breaker state was tracked");
+        assert_eq!(ctx.resident_rows(), 0, "close released everything");
+    }
+}

@@ -1,4 +1,9 @@
 //! Physical plans: logical operators annotated with implementation choice.
+//!
+//! A [`PhysPlan`] is pure description; [`crate::op::operator::build`]
+//! turns it into the streaming operator tree that actually executes. The
+//! `op_label` names here match the operator labels in the executed
+//! profile so `EXPLAIN` output lines up before and after execution.
 
 use std::fmt;
 

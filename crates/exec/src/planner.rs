@@ -11,6 +11,11 @@
 //! 3. picks nested-loop / hash / sort-merge per the [`ExecConfig`] (or the
 //!    cost model under [`JoinAlgo::Auto`]), keeping non-equi conjuncts as a
 //!    residual predicate.
+//!
+//! The produced [`PhysPlan`] is a description only: the streaming
+//! [`crate::op::operator::build`] instantiates it as an operator tree that
+//! borrows the plan's expressions, so lowering once and executing many
+//! times (as the benchmarks do) never re-clones the plan.
 
 use std::collections::BTreeSet;
 

@@ -219,6 +219,26 @@ proptest! {
 }
 
 #[test]
+fn comparisons_unit_is_one_predicate_evaluation() {
+    // The documented unit of `Metrics::comparisons` (see metrics.rs): one
+    // comparison = one predicate evaluation against one candidate.
+    let x: Vec<(i64, i64)> = (0..7).map(|i| (i, i % 2)).collect();
+    let y: Vec<(i64, i64)> = (0..5).map(|i| (i % 2, i)).collect();
+    let cat = catalog(&x, &y);
+
+    // Filter: one comparison PER INPUT ROW, match or not.
+    let filter = Plan::scan("X", "x").select(E::cmp(CmpOp::Lt, E::path("x", &["a"]), E::lit(3i64)));
+    let (_, m) = run(&filter, &cat, &ExecConfig::auto()).unwrap();
+    assert_eq!(m.comparisons, 7, "Filter: |X| evaluations");
+
+    // Nested-loop join: one comparison PER (LEFT, RIGHT) PAIR.
+    let join = Plan::scan("X", "x")
+        .join(Plan::scan("Y", "y"), E::cmp(CmpOp::Lt, E::path("x", &["b"]), E::path("y", &["c"])));
+    let (_, m) = run(&join, &cat, &ExecConfig::with_join_algo(JoinAlgo::NestedLoop)).unwrap();
+    assert_eq!(m.comparisons, 7 * 5, "NlJoin: |X|·|Y| evaluations");
+}
+
+#[test]
 fn metrics_distinguish_algorithms() {
     let rows: Vec<(i64, i64)> = (0..50).map(|i| (i, i % 10)).collect();
     let yrows: Vec<(i64, i64)> = (0..50).map(|i| (i % 10, i)).collect();

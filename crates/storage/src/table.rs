@@ -103,6 +103,21 @@ impl Table {
         self.rows.iter()
     }
 
+    /// Iterate the table as contiguous batches of at most `n` rows (the
+    /// streaming executor's scan granularity — scans borrow one batch at a
+    /// time instead of cloning the whole extension up front).
+    pub fn batches(&self, n: usize) -> impl Iterator<Item = &[Record]> {
+        self.rows.chunks(n.max(1))
+    }
+
+    /// Borrow the batch of up to `n` rows starting at `start` (empty when
+    /// `start` is past the end). Cursor-style access for scan operators.
+    pub fn batch(&self, start: usize, n: usize) -> &[Record] {
+        let lo = start.min(self.rows.len());
+        let hi = start.saturating_add(n).min(self.rows.len());
+        &self.rows[lo..hi]
+    }
+
     /// Membership test (set semantics makes this well-defined).
     pub fn contains(&self, row: &Record) -> bool {
         self.seen.contains(row)
@@ -256,6 +271,26 @@ mod tests {
         let lines: Vec<&str> = r.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn batches_cover_all_rows_without_overlap() {
+        let t = int_table("T", &["a"], &[&[1], &[2], &[3], &[4], &[5]]);
+        let chunks: Vec<&[Record]> = t.batches(2).collect();
+        assert_eq!(chunks.iter().map(|c| c.len()).collect::<Vec<_>>(), vec![2, 2, 1]);
+        let flat: Vec<&Record> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat.len(), t.len());
+        // Zero batch size is clamped, not a panic.
+        assert_eq!(t.batches(0).next().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batch_cursor_access() {
+        let t = int_table("T", &["a"], &[&[1], &[2], &[3]]);
+        assert_eq!(t.batch(0, 2).len(), 2);
+        assert_eq!(t.batch(2, 2).len(), 1);
+        assert!(t.batch(3, 2).is_empty());
+        assert!(t.batch(usize::MAX, 2).is_empty());
     }
 
     #[test]

@@ -102,14 +102,17 @@ impl From<tmql_model::ModelError> for TmqlError {
     }
 }
 
-/// Per-query knobs: unnesting strategy, join algorithm, rule cleanup, and
-/// whether to type-check before executing.
+/// Per-query knobs: unnesting strategy, join algorithm, batch size, rule
+/// cleanup, and whether to type-check before executing.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryOptions {
     /// Logical unnesting strategy (default: the paper's Optimal pipeline).
     pub strategy: UnnestStrategy,
     /// Physical join algorithm selection (default: cost-based Auto).
     pub join_algo: JoinAlgo,
+    /// Rows per streaming batch in the executor (default 1024). Smaller
+    /// batches lower peak memory; larger batches amortize dispatch.
+    pub batch_size: usize,
     /// Apply the Section 5/6 rewrite rules after unnesting.
     pub apply_rules: bool,
     /// Run the type checker (on by default; turn off for benchmarks that
@@ -122,6 +125,7 @@ impl Default for QueryOptions {
         QueryOptions {
             strategy: UnnestStrategy::Optimal,
             join_algo: JoinAlgo::Auto,
+            batch_size: tmql_exec::DEFAULT_BATCH_SIZE,
             apply_rules: true,
             typecheck: true,
         }
@@ -140,6 +144,16 @@ impl QueryOptions {
         self.join_algo = a;
         self
     }
+
+    /// Set the streaming batch size (clamped to ≥ 1).
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n.max(1);
+        self
+    }
+
+    fn exec_config(&self) -> ExecConfig {
+        ExecConfig { join_algo: self.join_algo, batch_size: self.batch_size }
+    }
 }
 
 /// A query result: the result **set** (TM queries denote sets) plus the
@@ -155,6 +169,9 @@ pub struct QueryResult {
     pub optimized: Plan,
     /// Executor work counters.
     pub metrics: Metrics,
+    /// The executed operator tree annotated with per-operator emitted
+    /// rows/batches (the streaming executor's profile).
+    pub op_profile: String,
 }
 
 impl QueryResult {
@@ -228,12 +245,13 @@ impl Database {
     /// Run a query with explicit options.
     pub fn query_with(&self, src: &str, opts: QueryOptions) -> Result<QueryResult, TmqlError> {
         let (translated, optimized) = self.plan_with(src, opts)?;
-        let config = ExecConfig { join_algo: opts.join_algo };
+        let config = opts.exec_config();
         let phys = tmql_exec::lower(&optimized, &self.catalog, &config)?;
-        let mut ctx = tmql_exec::ExecContext::new(&self.catalog);
-        let rows = tmql_exec::execute(&phys, &mut ctx, &tmql_algebra::Env::new())?;
+        let mut ctx = tmql_exec::ExecContext::with_config(&self.catalog, &config);
+        let (rows, op_profile) =
+            tmql_exec::execute_profiled(&phys, &mut ctx, &tmql_algebra::Env::new())?;
         let values = rows.iter().map(Plan::row_output_value).collect();
-        Ok(QueryResult { values, translated, optimized, metrics: ctx.metrics })
+        Ok(QueryResult { values, translated, optimized, metrics: ctx.metrics, op_profile })
     }
 
     /// Produce the translated and optimized logical plans without
@@ -264,10 +282,10 @@ impl Database {
         self.explain_with(src, QueryOptions::default())
     }
 
-    /// `EXPLAIN` under explicit options.
+    /// `EXPLAIN` under explicit options (plans only, does not execute).
     pub fn explain_with(&self, src: &str, opts: QueryOptions) -> Result<String, TmqlError> {
         let (translated, optimized) = self.plan_with(src, opts)?;
-        let config = ExecConfig { join_algo: opts.join_algo };
+        let config = opts.exec_config();
         let phys = tmql_exec::lower(&optimized, &self.catalog, &config)?;
         Ok(format!(
             "== translated (nested-loop semantics) ==\n{}\
@@ -277,6 +295,18 @@ impl Database {
             opts.strategy.name(),
             tmql_algebra::pretty::explain(&optimized),
             phys.explain(),
+        ))
+    }
+
+    /// `EXPLAIN ANALYZE`: the full [`Database::explain_with`] report plus
+    /// the **executed** operator tree with per-operator emitted
+    /// rows/batches and the run's work counters. This runs the query.
+    pub fn profile_with(&self, src: &str, opts: QueryOptions) -> Result<String, TmqlError> {
+        let explain = self.explain_with(src, opts)?;
+        let result = self.query_with(src, opts)?;
+        Ok(format!(
+            "{explain}== operators (executed, batch_size={}) ==\n{}-- {}\n",
+            opts.batch_size, result.op_profile, result.metrics,
         ))
     }
 }
@@ -340,6 +370,32 @@ mod tests {
     fn metrics_populated() {
         let r = db().query("SELECT x FROM X x").unwrap();
         assert!(r.metrics.rows_scanned >= 3);
+        assert!(r.metrics.batches_emitted >= 1);
         assert!(!r.render().is_empty());
+    }
+
+    #[test]
+    fn profile_shows_executed_operator_tree() {
+        let s = db()
+            .profile_with(
+                "SELECT x.a FROM X x WHERE x.b = 1",
+                QueryOptions::default().batch_size(2),
+            )
+            .unwrap();
+        assert!(s.contains("== operators (executed, batch_size=2) =="), "{s}");
+        assert!(s.contains("Scan(X) [rows=3"), "{s}");
+        assert!(s.contains("scanned=3"), "{s}");
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let db = db();
+        let q = "SELECT x.a FROM X x WHERE x.a IN (SELECT y.c - 9 FROM Y y WHERE x.b = y.b)";
+        let base = db.query_with(q, QueryOptions::default()).unwrap();
+        for bs in [1, 2, 7] {
+            let r = db.query_with(q, QueryOptions::default().batch_size(bs)).unwrap();
+            assert_eq!(r.values, base.values, "batch_size {bs}");
+            assert_eq!(r.metrics.rows_scanned, base.metrics.rows_scanned, "batch_size {bs}");
+        }
     }
 }
