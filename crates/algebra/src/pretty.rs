@@ -7,96 +7,82 @@ use crate::plan::{Plan, SetOpKind};
 /// Render a plan as an indented operator tree, one operator per line, using
 /// the paper's operator symbols where they exist (⋈ ⋉ ▷ ⟕ Δ ν μ σ π).
 pub fn explain(plan: &Plan) -> String {
+    explain_annotated(plan, &mut |_| None)
+}
+
+/// [`explain`] with a per-node annotation hook: whatever the callback
+/// returns is appended to that operator's line as `  -- note`. The
+/// facade uses this to print estimated rows next to each operator.
+pub fn explain_annotated(
+    plan: &Plan,
+    annotate: &mut impl FnMut(&Plan) -> Option<String>,
+) -> String {
+    fn go(
+        plan: &Plan,
+        depth: usize,
+        annotate: &mut impl FnMut(&Plan) -> Option<String>,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(depth);
+        match annotate(plan) {
+            Some(note) => {
+                let _ = writeln!(out, "{pad}{}  -- {note}", head(plan));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}{}", head(plan));
+            }
+        }
+        for c in plan.children() {
+            go(c, depth + 1, annotate, out);
+        }
+    }
     let mut out = String::new();
-    render(plan, 0, &mut out);
+    go(plan, 0, annotate, &mut out);
     out
 }
 
-fn render(plan: &Plan, depth: usize, out: &mut String) {
-    let pad = "  ".repeat(depth);
+/// The one-line operator header (no indentation, no children).
+fn head(plan: &Plan) -> String {
     match plan {
-        Plan::ScanTable { table, var } => {
-            let _ = writeln!(out, "{pad}Scan {table} {var}");
+        Plan::ScanTable { table, var } => format!("Scan {table} {var}"),
+        Plan::ScanExpr { expr, var } => format!("ScanExpr {expr} {var}"),
+        Plan::Select { pred, .. } => format!("σ [{pred}]"),
+        Plan::Map { expr, var, .. } => format!("Map [{var} := {expr}]"),
+        Plan::Extend { expr, var, .. } => format!("Extend [{var} := {expr}]"),
+        Plan::Project { vars, .. } => format!("π [{}]", vars.join(", ")),
+        Plan::Join { pred, .. } => format!("⋈ [{pred}]"),
+        Plan::SemiJoin { pred, .. } => format!("⋉ semijoin [{pred}]"),
+        Plan::AntiJoin { pred, .. } => format!("▷ antijoin [{pred}]"),
+        Plan::LeftOuterJoin { pred, .. } => format!("⟕ outerjoin [{pred}]"),
+        Plan::NestJoin { pred, func, label, .. } => {
+            format!("Δ nestjoin [{pred}; {label} := {{{func}}}]")
         }
-        Plan::ScanExpr { expr, var } => {
-            let _ = writeln!(out, "{pad}ScanExpr {expr} {var}");
-        }
-        Plan::Select { input, pred } => {
-            let _ = writeln!(out, "{pad}σ [{pred}]");
-            render(input, depth + 1, out);
-        }
-        Plan::Map { input, expr, var } => {
-            let _ = writeln!(out, "{pad}Map [{var} := {expr}]");
-            render(input, depth + 1, out);
-        }
-        Plan::Extend { input, expr, var } => {
-            let _ = writeln!(out, "{pad}Extend [{var} := {expr}]");
-            render(input, depth + 1, out);
-        }
-        Plan::Project { input, vars } => {
-            let _ = writeln!(out, "{pad}π [{}]", vars.join(", "));
-            render(input, depth + 1, out);
-        }
-        Plan::Join { left, right, pred } => {
-            let _ = writeln!(out, "{pad}⋈ [{pred}]");
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
-        }
-        Plan::SemiJoin { left, right, pred } => {
-            let _ = writeln!(out, "{pad}⋉ semijoin [{pred}]");
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
-        }
-        Plan::AntiJoin { left, right, pred } => {
-            let _ = writeln!(out, "{pad}▷ antijoin [{pred}]");
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
-        }
-        Plan::LeftOuterJoin { left, right, pred } => {
-            let _ = writeln!(out, "{pad}⟕ outerjoin [{pred}]");
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
-        }
-        Plan::NestJoin { left, right, pred, func, label } => {
-            let _ = writeln!(out, "{pad}Δ nestjoin [{pred}; {label} := {{{func}}}]");
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
-        }
-        Plan::Nest { input, keys, value, label, star } => {
+        Plan::Nest { keys, value, label, star, .. } => {
             let star_s = if *star { "ν*" } else { "ν" };
-            let _ = writeln!(out, "{pad}{star_s} [by {}; {label} := {{{value}}}]", keys.join(", "));
-            render(input, depth + 1, out);
+            format!("{star_s} [by {}; {label} := {{{value}}}]", keys.join(", "))
         }
-        Plan::Unnest { input, expr, elem_var, drop_vars } => {
+        Plan::Unnest { expr, elem_var, drop_vars, .. } => {
             let drop = if drop_vars.is_empty() {
                 String::new()
             } else {
                 format!("; drop {}", drop_vars.join(", "))
             };
-            let _ = writeln!(out, "{pad}μ [{elem_var} ∈ {expr}{drop}]");
-            render(input, depth + 1, out);
+            format!("μ [{elem_var} ∈ {expr}{drop}]")
         }
-        Plan::GroupAgg { input, keys, aggs, var } => {
+        Plan::GroupAgg { keys, aggs, var, .. } => {
             let ks: Vec<String> = keys.iter().map(|(l, e)| format!("{l} := {e}")).collect();
             let ags: Vec<String> =
                 aggs.iter().map(|(l, f, e)| format!("{l} := {f}({e})")).collect();
-            let _ = writeln!(out, "{pad}γ [{var}: by {}; {}]", ks.join(", "), ags.join(", "));
-            render(input, depth + 1, out);
+            format!("γ [{var}: by {}; {}]", ks.join(", "), ags.join(", "))
         }
-        Plan::Apply { input, subquery, label } => {
-            let _ = writeln!(out, "{pad}Apply [{label} := subquery]");
-            render(input, depth + 1, out);
-            render(subquery, depth + 1, out);
-        }
-        Plan::SetOp { kind, left, right, var } => {
+        Plan::Apply { label, .. } => format!("Apply [{label} := subquery]"),
+        Plan::SetOp { kind, var, .. } => {
             let sym = match kind {
                 SetOpKind::Union => "∪",
                 SetOpKind::Intersect => "∩",
                 SetOpKind::Except => "\\",
             };
-            let _ = writeln!(out, "{pad}{sym} [{var}]");
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
+            format!("{sym} [{var}]")
         }
     }
 }
@@ -133,5 +119,16 @@ mod tests {
         let p = Plan::scan("X", "x").apply(Plan::scan("Y", "y"), "z");
         let s = explain(&p);
         assert!(s.starts_with("Apply [z := subquery]"), "{s}");
+    }
+
+    #[test]
+    fn annotations_attach_per_node() {
+        let p = Plan::scan("X", "x").select(E::lit(true));
+        let s = explain_annotated(&p, &mut |n| match n {
+            Plan::ScanTable { .. } => Some("~3 rows".into()),
+            _ => None,
+        });
+        assert!(s.contains("Scan X x  -- ~3 rows"), "{s}");
+        assert!(s.lines().next().unwrap().ends_with("σ [true]"), "{s}");
     }
 }

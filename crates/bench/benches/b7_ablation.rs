@@ -6,8 +6,14 @@
 //!    unnesting?
 //! 2. **UNNEST collapse on/off** (Section 5): the special case rule vs.
 //!    building the set-of-sets with a nest join and flattening it.
-//! 3. **All seven strategies** on the COUNT-bug query at one size — the
+//! 3. **All strategies** on the COUNT-bug query at one size — the
 //!    complete survey ranking in a single chart.
+//! 4. **Rule-based vs cost-based selection**: `Optimal` (Section 8 rules)
+//!    against `CostBased` (statistics-ranked candidates) on the COUNT-bug
+//!    query across fan-outs. At fan-out ≈ 1 the choices coincide (nest
+//!    join); at high fan-out the cost model switches to the group-first
+//!    plan, which touches each inner row once instead of materializing a
+//!    set per outer row.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tmql::{Database, QueryOptions, UnnestStrategy};
@@ -68,9 +74,33 @@ fn bench_all_strategies(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_costmodel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b7_costmodel");
+    let base = if tmql_bench::quick_mode() { 128 } else { 1024 };
+    // Inner/outer fan-out ladder: 1× (choices coincide) to 8× (the cost
+    // model switches the COUNT-bug block to group-first).
+    for fanout in ladder(&[1usize, 4, 8]) {
+        let cfg = GenConfig {
+            outer: base,
+            inner: base * fanout,
+            dangling_fraction: 0.25,
+            ..GenConfig::default()
+        };
+        let db = Database::from_catalog(gen_rs(&cfg));
+        for strat in [UnnestStrategy::Optimal, UnnestStrategy::CostBased] {
+            let opts = QueryOptions::default().strategy(strat);
+            report_work(&format!("b7-costmodel/{}/x{fanout}", strat.name()), &db, COUNT_BUG, opts);
+            g.bench_with_input(BenchmarkId::new(strat.name(), fanout), &fanout, |b, _| {
+                b.iter(|| db.query_with(COUNT_BUG, opts).expect("runs").len())
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = criterion();
-    targets = bench_rules, bench_collapse, bench_all_strategies
+    targets = bench_rules, bench_collapse, bench_all_strategies, bench_costmodel
 }
 criterion_main!(benches);

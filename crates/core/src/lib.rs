@@ -23,7 +23,10 @@
 //!   * [`strategy::UnnestStrategy::FlattenSemiAnti`] — Theorem 1 flattening
 //!     into semijoin/antijoin with join predicate `P'(x, G(x,y)) ∧ Q(x,y)`,
 //!   * [`strategy::UnnestStrategy::Optimal`] — the paper's full pipeline
-//!     (Section 8): flatten where Theorem 1 allows, nest join elsewhere;
+//!     (Section 8): flatten where Theorem 1 allows, nest join elsewhere,
+//!   * [`strategy::UnnestStrategy::CostBased`] — per-block candidate
+//!     enumeration ranked by a [`CostModel`] over storage statistics
+//!     (the deployed-optimizer refinement of the Section 8 pipeline);
 //! * [`rules`] — the algebraic properties of the nest join from Section 6
 //!   (`π_X(X Δ Y) = X`, the Δ/⋈ interchange laws, selection pushdown) and
 //!   the Section 5 `UNNEST`-collapse equivalence;
@@ -37,7 +40,7 @@ pub mod table2;
 pub mod theorem1;
 
 pub use classify::{classify, Classification};
-pub use optimizer::{unnest_plan, Optimizer};
+pub use optimizer::{unnest_plan, unnest_plan_with, CostModel, Optimizer};
 pub use strategy::UnnestStrategy;
 pub use theorem1::needs_grouping;
 

@@ -1,9 +1,20 @@
-//! The unnesting optimizer: strategy dispatch plus rule-based cleanup.
+//! The unnesting optimizer: strategy dispatch, cost-based strategy
+//! selection, and rule-based cleanup.
 
 use tmql_algebra::Plan;
 
 use crate::rules;
 use crate::strategy::{self, UnnestStrategy};
+
+/// A cost model the optimizer can rank candidate plans with. Implemented
+/// by `tmql-exec`'s statistics-backed estimator (adapted in the `tmql`
+/// facade); the trait lives here so logical optimization does not depend
+/// on the execution crate.
+pub trait CostModel {
+    /// Total estimated cost of executing `plan`, in abstract work units.
+    /// Only the *ordering* matters to the optimizer.
+    fn total_cost(&self, plan: &Plan) -> f64;
+}
 
 /// Rewrite a translated plan under the given strategy. This is pure plan
 /// surgery — execution method selection (hash vs sort-merge vs nested
@@ -11,7 +22,22 @@ use crate::strategy::{self, UnnestStrategy};
 /// paper argues for: "after rewriting a nested query into a join query,
 /// the optimizer has better possibilities to choose the most appropriate
 /// join implementation" (Section 1).
+///
+/// [`UnnestStrategy::CostBased`] needs a [`CostModel`] to rank candidates;
+/// this entry point has none and therefore degrades it to the rule-based
+/// [`UnnestStrategy::Optimal`] pipeline. Use [`unnest_plan_with`] (or
+/// [`Optimizer::optimize_with`]) to supply one.
 pub fn unnest_plan(plan: Plan, strat: UnnestStrategy) -> Plan {
+    unnest_plan_with(plan, strat, None)
+}
+
+/// [`unnest_plan`] with an optional cost model for
+/// [`UnnestStrategy::CostBased`].
+pub fn unnest_plan_with(
+    plan: Plan,
+    strat: UnnestStrategy,
+    model: Option<&dyn CostModel>,
+) -> Plan {
     match strat {
         UnnestStrategy::NestedLoop => strategy::nested_loop::rewrite(plan),
         UnnestStrategy::Kim => strategy::kim::rewrite(plan),
@@ -20,6 +46,10 @@ pub fn unnest_plan(plan: Plan, strat: UnnestStrategy) -> Plan {
         UnnestStrategy::NestJoin => strategy::nestjoin::rewrite(plan),
         UnnestStrategy::FlattenSemiAnti => strategy::semi_anti::rewrite(plan),
         UnnestStrategy::Optimal => optimal(plan),
+        UnnestStrategy::CostBased => match model {
+            Some(m) => cost_based(plan, m),
+            None => optimal(plan),
+        },
     }
 }
 
@@ -48,6 +78,85 @@ fn optimal(plan: Plan) -> Plan {
     })
 }
 
+/// Fraction by which a later candidate must undercut the incumbent's
+/// estimated cost to displace it. Candidates are enumerated in the
+/// paper's rule-preference order, so this is hysteresis against
+/// estimation noise: the model overrides the Section 8 rules only when
+/// it predicts a clear win, not on a coin-flip-sized gap.
+const COST_MARGIN: f64 = 0.2;
+
+/// Cost-based per-block selection: enumerate every applicable rewrite of
+/// the block plus the nested-loop baseline, cost each candidate plan, and
+/// keep the cheapest (subject to [`COST_MARGIN`]). Blocks whose inner
+/// plan is not closed (Section 3.2: subquery operands that are set-valued
+/// attributes) have no applicable rewrites and therefore stay
+/// nested-loop; when Theorem 1 denies a flat join, only the grouping
+/// strategies compete.
+fn cost_based(plan: Plan, model: &dyn CostModel) -> Plan {
+    strategy::rewrite_blocks(plan, &mut |pred, input, subquery, label| {
+        // Candidates in rule-preference order (the `Optimal` pipeline's
+        // own ranking first): flatten, nest join, then the relational
+        // repairs.
+        let mut candidates: Vec<Plan> = Vec::new();
+        match pred {
+            Some(p) => {
+                if let Some(flat) = strategy::semi_anti::rewrite_one(p, input, subquery, label) {
+                    candidates.push(flat);
+                }
+                if let Some(nj) = strategy::nestjoin::rewrite_one(input, subquery, label) {
+                    candidates.push(nj.select(p.clone()));
+                }
+                if let Some(mur) =
+                    strategy::muralikrishna::rewrite_one(p, input, subquery, label)
+                {
+                    candidates.push(mur);
+                }
+                if let Some(gw) = strategy::ganski_wong::rewrite_one(input, subquery, label) {
+                    candidates.push(gw.select(p.clone()));
+                }
+            }
+            None => {
+                if let Some(nj) = strategy::nestjoin::rewrite_one(input, subquery, label) {
+                    candidates.push(nj);
+                }
+                if let Some(gw) = strategy::ganski_wong::rewrite_one(input, subquery, label) {
+                    candidates.push(gw);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            // Not closed / not canonical: nested-loop is the only option.
+            return None;
+        }
+        let mut best: Option<(Plan, f64)> = None;
+        for candidate in candidates {
+            let cost = model.total_cost(&candidate);
+            let displaces = match &best {
+                None => true,
+                Some((_, incumbent)) => cost < incumbent * (1.0 - COST_MARGIN),
+            };
+            if displaces {
+                best = Some((candidate, cost));
+            }
+        }
+        let (best, best_cost) = best.expect("candidates is non-empty");
+        // The rewrites still have to beat keeping the Apply outright (no
+        // margin: the nested loop is the fallback, not the preference).
+        let baseline = {
+            let apply = input.clone().apply(subquery.clone(), label);
+            match pred {
+                Some(p) => apply.select(p.clone()),
+                None => apply,
+            }
+        };
+        if best_cost <= model.total_cost(&baseline) {
+            Some(best)
+        } else {
+            None
+        }
+    })
+}
+
 /// A configured optimizer: strategy + optional rule cleanup.
 #[derive(Debug, Clone, Copy)]
 pub struct Optimizer {
@@ -60,7 +169,7 @@ pub struct Optimizer {
 
 impl Default for Optimizer {
     fn default() -> Self {
-        Optimizer { strategy: UnnestStrategy::Optimal, apply_rules: true }
+        Optimizer { strategy: UnnestStrategy::CostBased, apply_rules: true }
     }
 }
 
@@ -70,8 +179,16 @@ impl Optimizer {
         Optimizer { strategy, apply_rules: true }
     }
 
-    /// Run the full logical optimization pipeline.
+    /// Run the full logical optimization pipeline without a cost model
+    /// ([`UnnestStrategy::CostBased`] degrades to the rule-based
+    /// pipeline — see [`unnest_plan`]).
     pub fn optimize(&self, plan: Plan) -> Plan {
+        self.optimize_with(plan, None)
+    }
+
+    /// Run the full logical optimization pipeline, ranking
+    /// [`UnnestStrategy::CostBased`] candidates with `model`.
+    pub fn optimize_with(&self, plan: Plan, model: Option<&dyn CostModel>) -> Plan {
         // UNNEST collapse must run before unnesting: it removes the Apply
         // entirely (Section 5's special case), which is strictly better
         // than any join strategy for it.
@@ -82,7 +199,7 @@ impl Optimizer {
         } else {
             plan
         };
-        let plan = unnest_plan(plan, self.strategy);
+        let plan = unnest_plan_with(plan, self.strategy, model);
         if self.apply_rules {
             rules::cleanup(plan)
         } else {
@@ -104,6 +221,29 @@ mod tests {
 
     fn where_block(pred: E) -> Plan {
         Plan::scan("X", "x").apply(sub(), "z").select(pred).map(E::var("x"), "out")
+    }
+
+    /// A deterministic toy model: counts operators, charging `Apply`
+    /// heavily (so any rewrite beats the baseline) and `LeftOuterJoin`
+    /// mildly (so the nest join beats the relational fixes), mirroring the
+    /// ranking of the real estimator without needing a catalog.
+    struct OpCountModel;
+
+    impl CostModel for OpCountModel {
+        fn total_cost(&self, plan: &Plan) -> f64 {
+            let mut cost = 0.0;
+            plan.any_node(&mut |n| {
+                cost += match n {
+                    Plan::Apply { .. } => 1000.0,
+                    Plan::LeftOuterJoin { .. } => 50.0,
+                    Plan::GroupAgg { .. } | Plan::Nest { .. } => 25.0,
+                    Plan::NestJoin { .. } => 20.0,
+                    _ => 1.0,
+                };
+                false
+            });
+            cost
+        }
     }
 
     #[test]
@@ -141,6 +281,81 @@ mod tests {
                 }
                 _ => assert!(!out.has_apply(), "{} should unnest", strat.name()),
             }
+        }
+    }
+
+    #[test]
+    fn cost_based_picks_semijoin_for_membership() {
+        let plan = where_block(E::set_cmp(SetCmpOp::In, E::path("x", &["a"]), E::var("z")));
+        let out = unnest_plan_with(plan, UnnestStrategy::CostBased, Some(&OpCountModel));
+        assert!(out.any_node(&mut |n| matches!(n, Plan::SemiJoin { .. })), "{out}");
+        assert!(!out.has_apply());
+    }
+
+    #[test]
+    fn cost_based_chooses_cheapest_grouping_candidate() {
+        // ⊆ requires grouping: candidates are Muralikrishna (ν + ⟕),
+        // nest join, Ganski–Wong (⟕ + ν*). Under the toy model the nest
+        // join (20) beats Muralikrishna (25 + 50) and GW (50 + 25).
+        let plan =
+            where_block(E::set_cmp(SetCmpOp::SubsetEq, E::path("x", &["a"]), E::var("z")));
+        let out = unnest_plan_with(plan, UnnestStrategy::CostBased, Some(&OpCountModel));
+        assert!(out.has_nest_join(), "{out}");
+        assert!(!out.any_node(&mut |n| matches!(n, Plan::LeftOuterJoin { .. })), "{out}");
+        assert!(!out.has_apply());
+    }
+
+    #[test]
+    fn cost_based_can_prefer_group_first_when_model_says_so() {
+        // Same query, but a model that charges the nest join above the
+        // relational group-first plan: Muralikrishna's ν + ⟕ shape wins.
+        struct NestJoinHostile;
+        impl CostModel for NestJoinHostile {
+            fn total_cost(&self, plan: &Plan) -> f64 {
+                let mut cost = 0.0;
+                plan.any_node(&mut |n| {
+                    cost += match n {
+                        Plan::Apply { .. } => 1000.0,
+                        Plan::NestJoin { .. } => 500.0,
+                        _ => 1.0,
+                    };
+                    false
+                });
+                cost
+            }
+        }
+        let pred = E::eq(E::path("x", &["b"]), E::agg(AggFn::Count, E::var("z")));
+        let out = unnest_plan_with(where_block(pred), UnnestStrategy::CostBased, Some(&NestJoinHostile));
+        assert!(!out.has_apply());
+        assert!(!out.has_nest_join(), "{out}");
+        assert!(out.any_node(&mut |n| matches!(n, Plan::GroupAgg { .. })), "{out}");
+    }
+
+    #[test]
+    fn cost_based_degrades_to_nested_loop_when_inner_not_closed() {
+        // FROM d.emps e — the inner plan references the outer variable, so
+        // no strategy applies (Section 3.2) and the Apply must survive.
+        let sub = Plan::ScanExpr { expr: E::path("d", &["emps"]), var: "e".into() }
+            .map(E::var("e"), "s");
+        let plan = Plan::scan("DEPT", "d").apply(sub, "z").select(E::set_cmp(
+            SetCmpOp::In,
+            E::path("d", &["mgr"]),
+            E::var("z"),
+        ));
+        let out = unnest_plan_with(plan, UnnestStrategy::CostBased, Some(&OpCountModel));
+        assert!(out.has_apply(), "{out}");
+        assert!(!out.has_nest_join());
+    }
+
+    #[test]
+    fn cost_based_without_model_matches_optimal() {
+        for pred in [
+            E::set_cmp(SetCmpOp::In, E::path("x", &["a"]), E::var("z")),
+            E::set_cmp(SetCmpOp::SubsetEq, E::path("x", &["a"]), E::var("z")),
+        ] {
+            let a = unnest_plan(where_block(pred.clone()), UnnestStrategy::CostBased);
+            let b = unnest_plan(where_block(pred), UnnestStrategy::Optimal);
+            assert_eq!(a, b);
         }
     }
 

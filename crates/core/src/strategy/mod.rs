@@ -54,13 +54,21 @@ pub enum UnnestStrategy {
     FlattenSemiAnti,
     /// The paper's full pipeline (Section 8): flatten to semi/antijoin
     /// where Theorem 1 allows, use the nest join everywhere else.
-    #[default]
     Optimal,
+    /// Cost-based per-block choice: enumerate the applicable rewrites
+    /// (semi/antijoin flattening, nest join, Ganski–Wong, Muralikrishna,
+    /// and the nested-loop baseline), estimate each candidate's cost with
+    /// a [`crate::optimizer::CostModel`] over storage statistics, and keep
+    /// the cheapest. Where Theorem 1 or closedness restricts the
+    /// candidates (Section 3.2), only the legal ones compete; with no
+    /// model available it degrades to the rule-based [`Self::Optimal`].
+    #[default]
+    CostBased,
 }
 
 impl UnnestStrategy {
     /// All strategies, for differential tests and benchmarks.
-    pub const ALL: [UnnestStrategy; 7] = [
+    pub const ALL: [UnnestStrategy; 8] = [
         UnnestStrategy::NestedLoop,
         UnnestStrategy::Kim,
         UnnestStrategy::GanskiWong,
@@ -68,6 +76,7 @@ impl UnnestStrategy {
         UnnestStrategy::NestJoin,
         UnnestStrategy::FlattenSemiAnti,
         UnnestStrategy::Optimal,
+        UnnestStrategy::CostBased,
     ];
 
     /// Display name.
@@ -80,6 +89,7 @@ impl UnnestStrategy {
             UnnestStrategy::NestJoin => "nest-join",
             UnnestStrategy::FlattenSemiAnti => "semi-anti",
             UnnestStrategy::Optimal => "optimal",
+            UnnestStrategy::CostBased => "cost-based",
         }
     }
 

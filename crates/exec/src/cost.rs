@@ -1,49 +1,85 @@
-//! A small cardinality/cost model over table statistics.
+//! The cardinality and cost model over table statistics.
 //!
-//! Deliberately classical (System-R-style magic selectivities): its only
-//! job is to rank join implementations sensibly and to expose estimates
-//! for ablation benchmarks.
+//! This module turns `tmql-storage` statistics (cardinalities, distinct
+//! counts, equi-width histograms, set-valued fan-outs) into per-plan
+//! estimates the decision layers consume:
+//!
+//! * the **logical optimizer** (`tmql-core`) ranks rewritten candidate
+//!   plans per query block under `UnnestStrategy::CostBased`;
+//! * the **physical planner** ([`crate::planner`]) picks join algorithms
+//!   and the hash-join build side;
+//! * the **facade** annotates `EXPLAIN` output with estimated rows and the
+//!   executed profile with estimated-vs-actual rows, making q-error
+//!   visible.
+//!
+//! The model is deliberately classical (System-R lineage): per-operator
+//! output cardinalities from selectivities, abstract `work` units that
+//! mirror the executor's counters (rows scanned, predicate evaluations,
+//! hash build/probe traffic, subquery invocations), and a `resident`
+//! component that mirrors the streaming executor's pipeline-breaker model
+//! from the `peak_resident_rows` gauge — breakers (hash build sides, sort
+//! buffers, grouping state, dedup sets) hold rows, pipelined operators do
+//! not.
 
-use tmql_algebra::Plan;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use tmql_algebra::{CmpOp, Plan, ScalarExpr};
+use tmql_model::Value;
+use tmql_storage::stats::{ColumnStats, TableStats};
 use tmql_storage::Catalog;
+
+use crate::physical::{JoinKind, PhysPlan};
+use crate::planner::extract_equi_keys;
 
 /// Default selectivity of an opaque predicate.
 pub const DEFAULT_SELECTIVITY: f64 = 0.25;
 /// Default selectivity of an equi-join conjunct when no stats are known.
 pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.01;
+/// Default fan-out of a set-valued expression (`ScanExpr`, `Unnest`) when
+/// no per-column average set-cardinality statistic is available — e.g. the
+/// set is a subquery label or a constructed value. When the expression is
+/// a stored column, [`TableStats::avg_set_card`] is used instead.
+pub const DEFAULT_SET_FANOUT: f64 = 16.0;
+/// Assumed cardinality of a table with no recorded statistics.
+pub const UNKNOWN_TABLE_ROWS: f64 = 1000.0;
+/// Grouping collapse factor when group-key distinct counts are unknown.
+pub const GROUP_COLLAPSE: f64 = 0.1;
+/// Abstract per-invocation overhead of a correlated `Apply` (operator-tree
+/// instantiation + environment push), on top of the subquery's own work.
+pub const APPLY_OVERHEAD: f64 = 4.0;
+/// Floor for combined predicate selectivities.
+const MIN_SELECTIVITY: f64 = 1e-4;
+/// Scalar-expression nodes evaluated per abstract work unit: predicate
+/// evaluation is interpretive (a tree walk per row), so a selection's
+/// per-row cost scales with its predicate's size.
+const EXPR_NODES_PER_WORK_UNIT: f64 = 4.0;
+/// Weight of the `resident` component in [`CostEstimate::total`]: a mild
+/// memory-pressure penalty so that, costs being close, the plan with the
+/// smaller pipeline-breaker footprint wins.
+const RESIDENT_WEIGHT: f64 = 0.25;
 
-/// Estimated output cardinality of a logical plan.
-pub fn estimate_rows(plan: &Plan, catalog: &Catalog) -> f64 {
-    match plan {
-        Plan::ScanTable { table, .. } => {
-            catalog.stats(table).map(|s| s.cardinality as f64).unwrap_or(1000.0)
-        }
-        Plan::ScanExpr { .. } => 16.0, // typical set-valued attribute fan-out
-        Plan::Select { input, .. } => estimate_rows(input, catalog) * DEFAULT_SELECTIVITY,
-        Plan::Map { input, .. } | Plan::Extend { input, .. } | Plan::Project { input, .. } => {
-            estimate_rows(input, catalog)
-        }
-        Plan::Join { left, right, .. } => {
-            estimate_rows(left, catalog) * estimate_rows(right, catalog) * DEFAULT_EQ_SELECTIVITY
-        }
-        Plan::SemiJoin { left, .. } => estimate_rows(left, catalog) * 0.5,
-        Plan::AntiJoin { left, .. } => estimate_rows(left, catalog) * 0.5,
-        // Outerjoin and nest join preserve every left row.
-        Plan::LeftOuterJoin { left, right, .. } => {
-            let l = estimate_rows(left, catalog);
-            let joined = l * estimate_rows(right, catalog) * DEFAULT_EQ_SELECTIVITY;
-            joined.max(l)
-        }
-        Plan::NestJoin { left, .. } => estimate_rows(left, catalog),
-        Plan::Nest { input, .. } | Plan::GroupAgg { input, .. } => {
-            // Grouping collapses; assume 10 rows per group.
-            (estimate_rows(input, catalog) / 10.0).max(1.0)
-        }
-        Plan::Unnest { input, .. } => estimate_rows(input, catalog) * 16.0,
-        Plan::Apply { input, .. } => estimate_rows(input, catalog),
-        Plan::SetOp { left, right, .. } => {
-            estimate_rows(left, catalog) + estimate_rows(right, catalog)
-        }
+/// Estimated execution characteristics of a plan (cumulative over the
+/// whole subtree).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Abstract work units: scans + predicate evaluations + hash traffic +
+    /// emitted rows + subquery invocations, mirroring
+    /// [`crate::Metrics::total_work`].
+    pub work: f64,
+    /// Estimated peak rows resident in operator state (pipeline breakers,
+    /// dedup sets) — the model counterpart of
+    /// [`crate::Metrics::peak_resident_rows`]. An upper bound: concurrent
+    /// breaker states are summed.
+    pub resident: f64,
+}
+
+impl CostEstimate {
+    /// Total comparable cost: work plus a mild memory-pressure penalty.
+    pub fn total(&self) -> f64 {
+        self.work + RESIDENT_WEIGHT * self.resident
     }
 }
 
@@ -68,6 +104,597 @@ pub mod join_cost {
     }
 }
 
+/// Correlation scope for estimates under an `Apply`: iteration variables of
+/// enclosing plans mapped to the table they scan.
+type Scope = BTreeMap<String, String>;
+
+/// The statistics-backed estimator. Cheap to construct (borrows the
+/// catalog); all estimation is pure.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Estimator<'a> {
+    /// An estimator over the catalog's statistics.
+    pub fn new(catalog: &'a Catalog) -> Estimator<'a> {
+        Estimator { catalog }
+    }
+
+    /// Estimated output cardinality of a logical plan.
+    pub fn rows(&self, plan: &Plan) -> f64 {
+        self.node(plan, &Scope::new()).rows
+    }
+
+    /// Full cost estimate of a logical plan.
+    pub fn cost(&self, plan: &Plan) -> CostEstimate {
+        self.node(plan, &Scope::new())
+    }
+
+    /// Per-node row estimates in **executed-operator order**: pre-order
+    /// over the plan, except that `Apply` descends only into its outer
+    /// input — the subquery operator tree is instantiated per outer row
+    /// and does not appear in the executed profile. Zips 1:1 with the
+    /// streaming executor's profile tree for the same (lowered) plan.
+    pub fn exec_order_rows(&self, plan: &Plan) -> Vec<f64> {
+        let mut out = Vec::with_capacity(plan.size());
+        self.collect_exec_order(plan, &Scope::new(), &mut out);
+        out
+    }
+
+    /// [`Estimator::exec_order_rows`] for a physical plan (post join
+    /// algorithm / build-side choice), via its [`logical_view`].
+    pub fn exec_order_rows_phys(&self, phys: &PhysPlan) -> Vec<f64> {
+        self.exec_order_rows(&logical_view(phys))
+    }
+
+    fn collect_exec_order(&self, plan: &Plan, outer: &Scope, out: &mut Vec<f64>) {
+        out.push(self.node(plan, outer).rows);
+        match plan {
+            Plan::Apply { input, .. } => self.collect_exec_order(input, outer, out),
+            other => {
+                for c in other.children() {
+                    self.collect_exec_order(c, outer, out);
+                }
+            }
+        }
+    }
+
+    // -- statistics resolution ---------------------------------------------
+
+    /// Table statistics for the iteration variable `var`, resolved against
+    /// the given subtree roots (a `ScanTable` binding `var`) or the outer
+    /// correlation scope.
+    fn table_of(&self, roots: &[&Plan], outer: &Scope, var: &str) -> Option<&'a TableStats> {
+        for root in roots {
+            if let Some(stats) = Self::find_scan_stats(self.catalog, root, var) {
+                return Some(stats);
+            }
+        }
+        outer.get(var).and_then(|t| self.catalog.stats(t))
+    }
+
+    fn find_scan_stats<'c>(catalog: &'c Catalog, plan: &Plan, var: &str) -> Option<&'c TableStats> {
+        if let Plan::ScanTable { table, var: v } = plan {
+            if v == var {
+                return catalog.stats(table);
+            }
+        }
+        plan.children().into_iter().find_map(|c| Self::find_scan_stats(catalog, c, var))
+    }
+
+    /// Column statistics for `var.col`.
+    fn col_of(
+        &self,
+        roots: &[&Plan],
+        outer: &Scope,
+        var: &str,
+        col: &str,
+    ) -> Option<&'a ColumnStats> {
+        self.table_of(roots, outer, var).and_then(|t| t.column(col))
+    }
+
+    /// Decompose `e` as a single-level column reference `var.col`.
+    fn as_column(e: &ScalarExpr) -> Option<(&str, &str)> {
+        if let ScalarExpr::Field(inner, col) = e {
+            if let ScalarExpr::Var(v) = &**inner {
+                return Some((v.as_str(), col.as_str()));
+            }
+        }
+        None
+    }
+
+    /// Numeric literal value of `e`, if any.
+    fn as_number(e: &ScalarExpr) -> Option<f64> {
+        match e {
+            ScalarExpr::Lit(Value::Int(i)) => Some(*i as f64),
+            ScalarExpr::Lit(Value::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Fan-out of a set-valued expression: the per-column average
+    /// set-cardinality when the expression is a stored column,
+    /// [`DEFAULT_SET_FANOUT`] otherwise.
+    fn fanout(&self, expr: &ScalarExpr, roots: &[&Plan], outer: &Scope) -> f64 {
+        if let Some((var, col)) = Self::as_column(expr) {
+            if let Some(t) = self.table_of(roots, outer, var) {
+                if let Some(f) = t.avg_set_card(col) {
+                    return f.max(0.0);
+                }
+            }
+        }
+        if let ScalarExpr::SetLit(items) = expr {
+            return items.len() as f64;
+        }
+        DEFAULT_SET_FANOUT
+    }
+
+    // -- selectivities -----------------------------------------------------
+
+    /// Selectivity of a predicate, resolving columns against the subtree
+    /// roots and the outer correlation scope. Conjuncts multiply, clamped
+    /// to `[MIN_SELECTIVITY, 1]`.
+    fn selectivity(&self, pred: &ScalarExpr, roots: &[&Plan], outer: &Scope) -> f64 {
+        let s = self.conjunct_selectivity(pred, roots, outer);
+        s.clamp(MIN_SELECTIVITY, 1.0)
+    }
+
+    fn conjunct_selectivity(&self, e: &ScalarExpr, roots: &[&Plan], outer: &Scope) -> f64 {
+        match e {
+            ScalarExpr::Lit(Value::Bool(true)) => 1.0,
+            ScalarExpr::Lit(Value::Bool(false)) => MIN_SELECTIVITY,
+            ScalarExpr::And(a, b) => {
+                self.conjunct_selectivity(a, roots, outer)
+                    * self.conjunct_selectivity(b, roots, outer)
+            }
+            ScalarExpr::Or(a, b) => {
+                let sa = self.conjunct_selectivity(a, roots, outer);
+                let sb = self.conjunct_selectivity(b, roots, outer);
+                (sa + sb - sa * sb).min(1.0)
+            }
+            ScalarExpr::Not(inner) => {
+                (1.0 - self.conjunct_selectivity(inner, roots, outer)).max(MIN_SELECTIVITY)
+            }
+            ScalarExpr::Cmp(op, a, b) => self.cmp_selectivity(*op, a, b, roots, outer),
+            // Whole-set comparisons between blocks: no per-element stats;
+            // assume the generic default.
+            ScalarExpr::SetCmp(..) | ScalarExpr::Quant { .. } => DEFAULT_SELECTIVITY,
+            ScalarExpr::IsNull(inner) => {
+                if let Some((var, col)) = Self::as_column(inner) {
+                    if let Some(c) = self.col_of(roots, outer, var, col) {
+                        return c.null_fraction.max(MIN_SELECTIVITY);
+                    }
+                }
+                DEFAULT_SELECTIVITY
+            }
+            _ => DEFAULT_SELECTIVITY,
+        }
+    }
+
+    fn cmp_selectivity(
+        &self,
+        op: CmpOp,
+        a: &ScalarExpr,
+        b: &ScalarExpr,
+        roots: &[&Plan],
+        outer: &Scope,
+    ) -> f64 {
+        // Orient as column-op-something when possible.
+        let (col, other, op) = match (Self::as_column(a), Self::as_column(b)) {
+            (Some(_), _) => (a, b, op),
+            (None, Some(_)) => (b, a, op.flip()),
+            (None, None) => {
+                return match op {
+                    CmpOp::Eq => DEFAULT_EQ_SELECTIVITY,
+                    CmpOp::Ne => 1.0 - DEFAULT_EQ_SELECTIVITY,
+                    _ => DEFAULT_SELECTIVITY,
+                }
+            }
+        };
+        let (var, name) = Self::as_column(col).expect("oriented above");
+        let cstats = self.col_of(roots, outer, var, name);
+        match op {
+            CmpOp::Eq | CmpOp::Ne => {
+                // Column = column → 1/max(NDV); column = literal/expr →
+                // 1/NDV of the column.
+                let ndv_a = cstats.map(|c| c.distinct.max(1) as f64);
+                let ndv_b = Self::as_column(other)
+                    .and_then(|(v, c)| self.col_of(roots, outer, v, c))
+                    .map(|c| c.distinct.max(1) as f64);
+                let eq = match (ndv_a, ndv_b) {
+                    (Some(x), Some(y)) => 1.0 / x.max(y),
+                    (Some(x), None) | (None, Some(x)) => 1.0 / x,
+                    (None, None) => DEFAULT_EQ_SELECTIVITY,
+                };
+                if op == CmpOp::Eq {
+                    eq
+                } else {
+                    (1.0 - eq).max(MIN_SELECTIVITY)
+                }
+            }
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                // Histogram-based range selectivity for column-vs-literal;
+                // default for column-vs-column ranges. `fraction_lt` is
+                // strict (P[x < v]) while `fraction_gt` is its complement
+                // (P[x ≥ v]), so the mass of one distinct value moves the
+                // strict/inclusive variants apart.
+                let Some(v) = Self::as_number(other) else { return DEFAULT_SELECTIVITY };
+                let Some(c) = cstats else { return DEFAULT_SELECTIVITY };
+                let eq_mass = c.fraction_eq().unwrap_or(0.0);
+                let frac = match op {
+                    CmpOp::Lt => c.fraction_lt(v),
+                    CmpOp::Le => c.fraction_lt(v).map(|f| f + eq_mass),
+                    CmpOp::Ge => c.fraction_gt(v),
+                    CmpOp::Gt => c.fraction_gt(v).map(|f| f - eq_mass),
+                    _ => unreachable!("range ops only"),
+                };
+                frac.map(|f| f.clamp(0.0, 1.0)).unwrap_or(DEFAULT_SELECTIVITY)
+            }
+        }
+    }
+
+    /// Selectivity of one equi-key pair of a join (1/max NDV).
+    fn equi_pair_selectivity(
+        &self,
+        lk: &ScalarExpr,
+        rk: &ScalarExpr,
+        left: &Plan,
+        right: &Plan,
+        outer: &Scope,
+    ) -> f64 {
+        let ndv = |e: &ScalarExpr, root: &Plan| -> Option<f64> {
+            Self::as_column(e)
+                .and_then(|(v, c)| self.col_of(&[root], outer, v, c))
+                .map(|c| c.distinct.max(1) as f64)
+        };
+        match (ndv(lk, left), ndv(rk, right)) {
+            (Some(x), Some(y)) => 1.0 / x.max(y),
+            (Some(x), None) | (None, Some(x)) => 1.0 / x,
+            (None, None) => DEFAULT_EQ_SELECTIVITY,
+        }
+    }
+
+    // -- the estimator proper ----------------------------------------------
+
+    fn node(&self, plan: &Plan, outer: &Scope) -> CostEstimate {
+        match plan {
+            Plan::ScanTable { table, .. } => {
+                let rows =
+                    self.catalog.stats(table).map(|s| s.cardinality as f64).unwrap_or(UNKNOWN_TABLE_ROWS);
+                CostEstimate { rows, work: rows, resident: 0.0 }
+            }
+            Plan::ScanExpr { expr, .. } => {
+                let rows = self.fanout(expr, &[], outer);
+                // The set value is evaluated once and buffered.
+                CostEstimate { rows, work: rows, resident: rows }
+            }
+            Plan::Select { input, pred } => {
+                let c = self.node(input, outer);
+                let sel = self.selectivity(pred, &[input], outer);
+                CostEstimate {
+                    rows: c.rows * sel,
+                    work: c.work + c.rows * expr_weight(pred),
+                    resident: c.resident,
+                }
+            }
+            Plan::Map { input, expr, var: _ } => {
+                let c = self.node(input, outer);
+                // Map dedups: cap by the NDV of the projected column or the
+                // cardinality of the projected table variable when known.
+                let cap = match expr {
+                    e if Self::as_column(e).is_some() => {
+                        let (v, col) = Self::as_column(e).expect("checked");
+                        self.col_of(&[input], outer, v, col).map(|c| c.distinct.max(1) as f64)
+                    }
+                    ScalarExpr::Var(v) => {
+                        self.table_of(&[input], outer, v).map(|t| t.cardinality.max(1) as f64)
+                    }
+                    _ => None,
+                };
+                let rows = cap.map_or(c.rows, |cap| c.rows.min(cap));
+                CostEstimate {
+                    rows,
+                    work: c.work + c.rows,
+                    // The dedup set is resident state.
+                    resident: c.resident + rows,
+                }
+            }
+            Plan::Extend { input, .. } => {
+                let c = self.node(input, outer);
+                CostEstimate { rows: c.rows, work: c.work + c.rows, resident: c.resident }
+            }
+            Plan::Project { input, .. } => {
+                let c = self.node(input, outer);
+                CostEstimate { rows: c.rows, work: c.work + c.rows, resident: c.resident + c.rows }
+            }
+            Plan::Join { .. }
+            | Plan::SemiJoin { .. }
+            | Plan::AntiJoin { .. }
+            | Plan::LeftOuterJoin { .. }
+            | Plan::NestJoin { .. } => self.join_node(plan, outer),
+            Plan::Nest { input, keys, .. } => {
+                let c = self.node(input, outer);
+                // Groups: bounded by the cardinality of a key variable's
+                // table when resolvable (ν over an outerjoin groups back to
+                // the preserved side), else a generic collapse.
+                let cap = keys
+                    .iter()
+                    .filter_map(|k| self.table_of(&[input], outer, k))
+                    .map(|t| t.cardinality.max(1) as f64)
+                    .fold(None::<f64>, |acc, card| Some(acc.map_or(card, |a| a.max(card))));
+                let rows = cap
+                    .map(|cap| c.rows.min(cap))
+                    .unwrap_or((c.rows * GROUP_COLLAPSE).max(1.0));
+                CostEstimate { rows, work: c.work + c.rows, resident: c.resident + c.rows }
+            }
+            Plan::GroupAgg { input, keys, .. } => {
+                let c = self.node(input, outer);
+                let cap = keys
+                    .iter()
+                    .filter_map(|(_, e)| Self::as_column(e))
+                    .filter_map(|(v, col)| self.col_of(&[input], outer, v, col))
+                    .map(|cs| cs.distinct.max(1) as f64)
+                    .fold(None::<f64>, |acc, ndv| Some(acc.map_or(ndv, |a| a.max(ndv))));
+                let rows = cap
+                    .map(|cap| c.rows.min(cap))
+                    .unwrap_or((c.rows * GROUP_COLLAPSE).max(1.0));
+                CostEstimate { rows, work: c.work + c.rows, resident: c.resident + c.rows }
+            }
+            Plan::Unnest { input, expr, .. } => {
+                let c = self.node(input, outer);
+                let rows = c.rows * self.fanout(expr, &[input], outer);
+                CostEstimate { rows, work: c.work + c.rows + rows, resident: c.resident }
+            }
+            Plan::Apply { input, subquery, .. } => {
+                let c = self.node(input, outer);
+                let mut inner_scope = outer.clone();
+                bind_scans(input, &mut inner_scope);
+                let sub = self.node(subquery, &inner_scope);
+                CostEstimate {
+                    rows: c.rows,
+                    // The subquery tree is rebuilt and drained per outer row.
+                    work: c.work + c.rows * (sub.work + APPLY_OVERHEAD),
+                    resident: c.resident + sub.resident,
+                }
+            }
+            Plan::SetOp { kind, left, right, .. } => {
+                let l = self.node(left, outer);
+                let r = self.node(right, outer);
+                // Satellite fix: intersect is bounded by the smaller input
+                // and except by the left input; only union can grow.
+                let rows = match kind {
+                    tmql_algebra::SetOpKind::Union => l.rows + r.rows,
+                    tmql_algebra::SetOpKind::Intersect => l.rows.min(r.rows),
+                    tmql_algebra::SetOpKind::Except => l.rows,
+                };
+                CostEstimate {
+                    rows,
+                    work: l.work + r.work + l.rows + r.rows,
+                    resident: l.resident + r.resident + l.rows + r.rows,
+                }
+            }
+        }
+    }
+
+    fn join_node(&self, plan: &Plan, outer: &Scope) -> CostEstimate {
+        let (left, right, pred) = match plan {
+            Plan::Join { left, right, pred }
+            | Plan::SemiJoin { left, right, pred }
+            | Plan::AntiJoin { left, right, pred }
+            | Plan::LeftOuterJoin { left, right, pred }
+            | Plan::NestJoin { left, right, pred, .. } => (left, right, pred),
+            _ => unreachable!("join_node called on a non-join"),
+        };
+        let l = self.node(left, outer);
+        let r = self.node(right, outer);
+        let lv: BTreeSet<String> = left.output_vars().into_iter().collect();
+        let rv: BTreeSet<String> = right.output_vars().into_iter().collect();
+        let split = extract_equi_keys(pred, &lv, &rv);
+        let mut sel = 1.0f64;
+        for (lk, rk) in split.left_keys.iter().zip(&split.right_keys) {
+            sel *= self.equi_pair_selectivity(lk, rk, left, right, outer);
+        }
+        if let Some(residual) = &split.residual {
+            sel *= self.selectivity(residual, &[left, right], outer);
+        }
+        let sel = sel.clamp(MIN_SELECTIVITY, 1.0);
+        let matches = l.rows * r.rows * sel;
+        // Expected matches per left row → P(left row has ≥ 1 match).
+        let match_frac = (r.rows * sel).min(1.0);
+        let rows = match plan {
+            Plan::Join { .. } => matches,
+            Plan::SemiJoin { .. } => l.rows * match_frac,
+            Plan::AntiJoin { .. } => l.rows * (1.0 - match_frac),
+            Plan::LeftOuterJoin { .. } => matches.max(l.rows),
+            Plan::NestJoin { .. } => l.rows,
+            _ => unreachable!(),
+        };
+        // Per-match output/collection work (the nest join inserts each
+        // match into a per-row set; flat joins emit rows).
+        let emit = match plan {
+            Plan::SemiJoin { .. } | Plan::AntiJoin { .. } => rows,
+            _ => matches.max(rows),
+        };
+        let (algo_work, own_resident) = if split.left_keys.is_empty() {
+            // No equi keys: nested loop, right side materialized.
+            (join_cost::nested_loop(l.rows, r.rows), r.rows)
+        } else {
+            // Hash join. Inner joins build on the smaller side (the
+            // planner swaps); every left-preserving kind builds on the
+            // right and probes with the left.
+            let (probe, build) = if matches!(plan, Plan::Join { .. }) {
+                (l.rows.max(r.rows), l.rows.min(r.rows))
+            } else {
+                (l.rows, r.rows)
+            };
+            (join_cost::hash(probe, build), build)
+        };
+        CostEstimate {
+            rows,
+            work: l.work + r.work + algo_work + emit,
+            resident: l.resident + r.resident + own_resident,
+        }
+    }
+}
+
+/// Per-row evaluation weight of a scalar expression: its node count in
+/// [`EXPR_NODES_PER_WORK_UNIT`]-sized units, floored at one work unit. A
+/// one-comparison predicate costs 1; the compound matched/dangling
+/// predicates the relational rewrites produce cost proportionally more —
+/// which is real interpreter time the optimizer must not ignore.
+fn expr_weight(e: &ScalarExpr) -> f64 {
+    (expr_nodes(e) as f64 / EXPR_NODES_PER_WORK_UNIT).max(1.0)
+}
+
+fn expr_nodes(e: &ScalarExpr) -> usize {
+    use ScalarExpr as E;
+    1 + match e {
+        E::Lit(_) | E::Var(_) => 0,
+        E::Field(a, _) | E::Not(a) | E::Agg(_, a) | E::Unnest(a) | E::IsNull(a) => expr_nodes(a),
+        E::Cmp(_, a, b)
+        | E::Arith(_, a, b)
+        | E::And(a, b)
+        | E::Or(a, b)
+        | E::SetBin(_, a, b)
+        | E::SetCmp(_, a, b) => expr_nodes(a) + expr_nodes(b),
+        E::Tuple(fs) => fs.iter().map(|(_, x)| expr_nodes(x)).sum(),
+        E::SetLit(xs) => xs.iter().map(expr_nodes).sum(),
+        E::Quant { over, pred, .. } => expr_nodes(over) + expr_nodes(pred),
+    }
+}
+
+/// Record the `ScanTable` bindings of a subtree into a correlation scope
+/// (outer variables visible to an `Apply` subquery).
+fn bind_scans(plan: &Plan, scope: &mut Scope) {
+    if let Plan::ScanTable { table, var } = plan {
+        scope.insert(var.clone(), table.clone());
+    }
+    for c in plan.children() {
+        bind_scans(c, scope);
+    }
+}
+
+/// Reconstruct the logical plan a physical plan implements (join algorithm
+/// and build-side choices erased). Used to estimate rows per *physical*
+/// operator — after lowering may have swapped an inner hash join's sides —
+/// in the exact tree shape the executor profiles.
+pub fn logical_view(phys: &PhysPlan) -> Plan {
+    match phys {
+        PhysPlan::ScanTable { table, var } => Plan::ScanTable { table: table.clone(), var: var.clone() },
+        PhysPlan::ScanExpr { expr, var } => Plan::ScanExpr { expr: expr.clone(), var: var.clone() },
+        PhysPlan::Filter { input, pred } => {
+            Plan::Select { input: Box::new(logical_view(input)), pred: pred.clone() }
+        }
+        PhysPlan::Map { input, expr, var } => Plan::Map {
+            input: Box::new(logical_view(input)),
+            expr: expr.clone(),
+            var: var.clone(),
+        },
+        PhysPlan::Extend { input, expr, var } => Plan::Extend {
+            input: Box::new(logical_view(input)),
+            expr: expr.clone(),
+            var: var.clone(),
+        },
+        PhysPlan::Project { input, vars } => {
+            Plan::Project { input: Box::new(logical_view(input)), vars: vars.clone() }
+        }
+        PhysPlan::NlJoin { left, right, pred, kind } => {
+            rebuild_join(left, right, pred.clone(), kind)
+        }
+        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual, kind }
+        | PhysPlan::MergeJoin { left, right, left_keys, right_keys, residual, kind } => {
+            let mut conjs: Vec<ScalarExpr> = left_keys
+                .iter()
+                .zip(right_keys)
+                .map(|(lk, rk)| ScalarExpr::eq(lk.clone(), rk.clone()))
+                .collect();
+            conjs.extend(residual.iter().cloned());
+            rebuild_join(left, right, ScalarExpr::conj(conjs), kind)
+        }
+        PhysPlan::Nest { input, keys, value, label, star } => Plan::Nest {
+            input: Box::new(logical_view(input)),
+            keys: keys.clone(),
+            value: value.clone(),
+            label: label.clone(),
+            star: *star,
+        },
+        PhysPlan::Unnest { input, expr, elem_var, drop_vars } => Plan::Unnest {
+            input: Box::new(logical_view(input)),
+            expr: expr.clone(),
+            elem_var: elem_var.clone(),
+            drop_vars: drop_vars.clone(),
+        },
+        PhysPlan::GroupAgg { input, keys, aggs, var } => Plan::GroupAgg {
+            input: Box::new(logical_view(input)),
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+            var: var.clone(),
+        },
+        PhysPlan::Apply { input, subquery, label } => Plan::Apply {
+            input: Box::new(logical_view(input)),
+            subquery: Box::new(logical_view(subquery)),
+            label: label.clone(),
+        },
+        PhysPlan::SetOp { kind, left, right, var } => Plan::SetOp {
+            kind: *kind,
+            left: Box::new(logical_view(left)),
+            right: Box::new(logical_view(right)),
+            var: var.clone(),
+        },
+    }
+}
+
+fn rebuild_join(left: &PhysPlan, right: &PhysPlan, pred: ScalarExpr, kind: &JoinKind) -> Plan {
+    let l = Box::new(logical_view(left));
+    let r = Box::new(logical_view(right));
+    match kind {
+        JoinKind::Inner => Plan::Join { left: l, right: r, pred },
+        JoinKind::Semi => Plan::SemiJoin { left: l, right: r, pred },
+        JoinKind::Anti => Plan::AntiJoin { left: l, right: r, pred },
+        JoinKind::LeftOuter { .. } => Plan::LeftOuterJoin { left: l, right: r, pred },
+        JoinKind::Nest { func, label } => Plan::NestJoin {
+            left: l,
+            right: r,
+            pred,
+            func: func.clone(),
+            label: label.clone(),
+        },
+    }
+}
+
+/// Render a physical plan with per-operator estimated rows — the
+/// `EXPLAIN` view of the cost model's predictions before execution.
+pub fn explain_with_estimates(phys: &PhysPlan, catalog: &Catalog) -> String {
+    fn go(p: &PhysPlan, est: &Estimator<'_>, depth: usize, out: &mut String) {
+        let rows = est.rows(&logical_view(p));
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!("{} [est_rows={}]\n", p.op_label(), format_rows(rows)));
+        for c in p.children() {
+            go(c, est, depth + 1, out);
+        }
+    }
+    let est = Estimator::new(catalog);
+    let mut s = String::new();
+    go(phys, &est, 0, &mut s);
+    s
+}
+
+/// Compact row-estimate formatting (integers below 10k, then 1 decimal).
+pub fn format_rows(rows: f64) -> String {
+    if rows < 10_000.0 {
+        format!("{}", rows.round() as i64)
+    } else {
+        format!("{rows:.3e}")
+    }
+}
+
+/// Estimated output cardinality of a logical plan (statistics-backed;
+/// convenience wrapper over [`Estimator`]).
+pub fn estimate_rows(plan: &Plan, catalog: &Catalog) -> f64 {
+    Estimator::new(catalog).rows(plan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,7 +716,7 @@ mod tests {
         assert_eq!(estimate_rows(&Plan::scan("BIG", "x"), &cat), 100.0);
         assert_eq!(estimate_rows(&Plan::scan("SMALL", "x"), &cat), 1.0);
         // Unknown table: fallback, not a panic.
-        assert_eq!(estimate_rows(&Plan::scan("NOPE", "x"), &cat), 1000.0);
+        assert_eq!(estimate_rows(&Plan::scan("NOPE", "x"), &cat), UNKNOWN_TABLE_ROWS);
     }
 
     #[test]
@@ -113,9 +740,158 @@ mod tests {
     }
 
     #[test]
-    fn select_reduces_estimate() {
+    fn histogram_select_estimates_beat_magic_constants() {
         let cat = catalog();
+        // x.a < 25 on uniform 0..100 → about a quarter of the rows.
+        let p = Plan::scan("BIG", "x")
+            .select(E::cmp(CmpOp::Lt, E::path("x", &["a"]), E::lit(25i64)));
+        let rows = estimate_rows(&p, &cat);
+        assert!((rows - 25.0).abs() < 8.0, "{rows}");
+        // Equality on a 10-distinct column → a tenth.
+        let p = Plan::scan("BIG", "x").select(E::eq(E::path("x", &["b"]), E::lit(3i64)));
+        let rows = estimate_rows(&p, &cat);
+        assert!((rows - 10.0).abs() < 1.0, "{rows}");
+        // A tautology does not shrink the estimate.
         let p = Plan::scan("BIG", "x").select(E::lit(true));
-        assert!(estimate_rows(&p, &cat) < 100.0);
+        assert_eq!(estimate_rows(&p, &cat), 100.0);
+        // Strict vs inclusive differ by one distinct value's mass:
+        // a > 99 keeps (essentially) nothing, a ≥ 99 keeps ≈ one row.
+        let gt = Plan::scan("BIG", "x")
+            .select(E::cmp(CmpOp::Gt, E::path("x", &["a"]), E::lit(99i64)));
+        assert!(estimate_rows(&gt, &cat) < 1.0, "{}", estimate_rows(&gt, &cat));
+        let ge = Plan::scan("BIG", "x")
+            .select(E::cmp(CmpOp::Ge, E::path("x", &["a"]), E::lit(99i64)));
+        let ge_rows = estimate_rows(&ge, &cat);
+        assert!((ge_rows - 1.0).abs() < 1.0, "{ge_rows}");
+    }
+
+    #[test]
+    fn equi_join_uses_distinct_counts() {
+        let cat = catalog();
+        // BIG ⋈ BIG on b (NDV 10): 100·100/10 = 1000.
+        let j = Plan::scan("BIG", "x")
+            .join(Plan::scan("BIG", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let rows = estimate_rows(&j, &cat);
+        assert!((rows - 1000.0).abs() < 1.0, "{rows}");
+    }
+
+    #[test]
+    fn semi_and_anti_join_partition_left() {
+        let cat = catalog();
+        let pred = E::eq(E::path("x", &["b"]), E::path("y", &["b"]));
+        let semi = Plan::scan("BIG", "x").semi_join(Plan::scan("BIG", "y"), pred.clone());
+        let anti = Plan::scan("BIG", "x").anti_join(Plan::scan("BIG", "y"), pred);
+        let s = estimate_rows(&semi, &cat);
+        let a = estimate_rows(&anti, &cat);
+        assert!((s + a - 100.0).abs() < 1.0, "semi {s} + anti {a} ≈ |L|");
+        assert!(s > a, "every b value has matches here");
+    }
+
+    #[test]
+    fn setop_estimates_fixed() {
+        let cat = catalog();
+        let mk = |kind| Plan::SetOp {
+            kind,
+            left: Box::new(Plan::scan("BIG", "x")),
+            right: Box::new(Plan::scan("SMALL", "y")),
+            var: "v".into(),
+        };
+        use tmql_algebra::SetOpKind::*;
+        assert_eq!(estimate_rows(&mk(Union), &cat), 101.0);
+        assert_eq!(estimate_rows(&mk(Intersect), &cat), 1.0, "∩ bounded by the smaller side");
+        assert_eq!(estimate_rows(&mk(Except), &cat), 100.0, "\\ bounded by the left side");
+    }
+
+    #[test]
+    fn scan_expr_fanout_uses_column_stats() {
+        use tmql_model::{Record, Ty, Value};
+        let mut cat = Catalog::new();
+        let mut t = tmql_storage::Table::new(
+            "D",
+            vec![("emps".into(), Ty::Set(Box::new(Ty::Int))), ("k".into(), Ty::Int)],
+        );
+        for i in 0..4i64 {
+            t.insert(
+                Record::new([
+                    (
+                        "emps".to_string(),
+                        Value::set((0..3).map(|j| Value::Int(i * 10 + j))),
+                    ),
+                    ("k".to_string(), Value::Int(i)),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        cat.register(t).unwrap();
+        let est = Estimator::new(&cat);
+        // FROM d.emps e under an Apply over D: fan-out 3, not the default.
+        let apply = Plan::scan("D", "d").apply(
+            Plan::ScanExpr { expr: E::path("d", &["emps"]), var: "e".into() }
+                .map(E::var("e"), "s"),
+            "z",
+        );
+        let Plan::Apply { subquery, .. } = &apply else { unreachable!() };
+        let Plan::Map { input, .. } = &**subquery else { unreachable!() };
+        // Direct estimate of the correlated scan, resolved via the Apply.
+        let cost = est.cost(&apply);
+        assert!(cost.rows == 4.0);
+        // The subquery's ScanExpr alone (no scope) falls back to default.
+        assert_eq!(est.rows(input), DEFAULT_SET_FANOUT);
+        // Fan-out stat is visible through the whole-plan work estimate:
+        // 4 invocations × (≈3 scanned + ≈3 mapped + overhead) ≪ default 16.
+        assert!(cost.work < 4.0 * (2.0 * DEFAULT_SET_FANOUT + APPLY_OVERHEAD) + 4.0);
+    }
+
+    #[test]
+    fn apply_work_scales_with_outer_rows() {
+        let cat = catalog();
+        let sub = Plan::scan("BIG", "y")
+            .select(E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+            .map(E::path("y", &["a"]), "s");
+        let apply = Plan::scan("BIG", "x").apply(sub.clone(), "z");
+        let est = Estimator::new(&cat);
+        let apply_cost = est.cost(&apply);
+        // The equivalent nest join does the matching once.
+        let nj = Plan::scan("BIG", "x").nest_join(
+            Plan::scan("BIG", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+            E::path("y", &["a"]),
+            "z",
+        );
+        let nj_cost = est.cost(&nj);
+        assert!(
+            apply_cost.total() > 10.0 * nj_cost.total(),
+            "apply {} vs nest join {}",
+            apply_cost.total(),
+            nj_cost.total()
+        );
+    }
+
+    #[test]
+    fn exec_order_skips_apply_subquery() {
+        let cat = catalog();
+        let sub = Plan::scan("BIG", "y").map(E::path("y", &["a"]), "s");
+        let apply = Plan::scan("BIG", "x").apply(sub, "z");
+        let est = Estimator::new(&cat);
+        // Apply + its outer scan only — the subquery tree is per-row.
+        assert_eq!(est.exec_order_rows(&apply).len(), 2);
+        // Full pre-order would be 4 nodes.
+        assert_eq!(apply.size(), 4);
+    }
+
+    #[test]
+    fn logical_view_round_trips_lowering() {
+        let cat = catalog();
+        let plan = Plan::scan("BIG", "x")
+            .join(Plan::scan("SMALL", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+            .select(E::cmp(CmpOp::Gt, E::path("x", &["a"]), E::lit(10i64)));
+        let phys = crate::planner::lower(&plan, &cat, &crate::ExecConfig::auto()).unwrap();
+        let view = logical_view(&phys);
+        // Same shape: one select, one join, two scans.
+        assert_eq!(view.size(), plan.size());
+        assert!(view.any_node(&mut |n| matches!(n, Plan::Join { .. })));
+        let s = explain_with_estimates(&phys, &cat);
+        assert!(s.contains("est_rows="), "{s}");
     }
 }

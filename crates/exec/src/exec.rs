@@ -86,11 +86,26 @@ pub fn execute_profiled(
     ctx: &mut ExecContext<'_>,
     env: &Env,
 ) -> Result<(Vec<Record>, String)> {
+    let (rows, profile) = execute_collect(plan, ctx, env, None)?;
+    Ok((rows, operator::render_profile(&profile)))
+}
+
+/// Execute a physical plan and return structured per-operator profiles.
+/// `est` supplies estimated output rows per operator in executed-tree
+/// pre-order (see [`crate::cost::Estimator::exec_order_rows_phys`]); when
+/// present, each profile entry carries estimated next to actual rows so
+/// callers can render them side by side and compute q-error.
+pub fn execute_collect(
+    plan: &crate::PhysPlan,
+    ctx: &mut ExecContext<'_>,
+    env: &Env,
+    est: Option<&[f64]>,
+) -> Result<(Vec<Record>, Vec<operator::OpProfile>)> {
     let mut root = operator::build(plan, env);
     let result = root.open(ctx).and_then(|()| operator::drain(&mut root, ctx));
     root.close(ctx);
     let rows = result?;
-    let profile = operator::render_tree(root.as_ref());
+    let profile = operator::collect_profile(root.as_ref(), est);
     Ok((rows, profile))
 }
 

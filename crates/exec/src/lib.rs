@@ -16,10 +16,15 @@
 //! * grouping (`ν`/`ν*`, GROUP BY aggregation), unnesting (`μ`), set
 //!   operations, and the correlated [`Plan::Apply`] as a real nested-loop —
 //!   the baseline the paper wants to beat;
+//! * a [`cost`] estimator that turns `tmql-storage` statistics
+//!   (histograms, distinct counts, set-valued fan-outs) into per-plan
+//!   `{rows, work, resident}` estimates — consumed by the logical
+//!   optimizer's cost-based strategy selection, by `EXPLAIN`/profile
+//!   annotation (estimated vs. actual rows), and by
 //! * a [`planner`] that lowers logical plans to physical ones, extracting
-//!   equi-join keys and choosing join algorithms by a simple cost model
-//!   over table statistics (overridable per [`ExecConfig`], which the
-//!   benchmark harness uses to pin algorithms);
+//!   equi-join keys, choosing join algorithms, and building hash inner
+//!   joins on the estimated-smaller side (overridable per [`ExecConfig`],
+//!   which the benchmark harness uses to pin algorithms);
 //! * [`Metrics`] counting scanned rows, predicate/key comparisons, hash
 //!   operations, emitted rows/batches, and the peak-resident-row gauge, so
 //!   experiments can report *work* and *memory shape* as well as wall-time.
@@ -41,9 +46,10 @@ pub mod physical;
 pub mod planner;
 
 pub use config::{ExecConfig, JoinAlgo, DEFAULT_BATCH_SIZE};
-pub use exec::{execute, execute_logical, execute_profiled, ExecContext};
+pub use cost::{CostEstimate, Estimator};
+pub use exec::{execute, execute_collect, execute_logical, execute_profiled, ExecContext};
 pub use metrics::Metrics;
-pub use op::operator::{Batch, OpStats, Operator};
+pub use op::operator::{Batch, OpProfile, OpStats, Operator};
 pub use physical::{JoinKind, PhysPlan};
 pub use planner::lower;
 

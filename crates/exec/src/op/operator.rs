@@ -119,25 +119,90 @@ pub fn drain(op: &mut BoxedOperator<'_>, ctx: &mut ExecContext<'_>) -> Result<Ve
     Ok(out)
 }
 
+/// One executed operator's profile line: its tree position, output
+/// counters, and (when the caller supplied estimates) the cost model's
+/// predicted output rows — estimated vs. actual side by side, which is
+/// what makes q-error observable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpProfile {
+    /// Depth in the operator tree (root = 0).
+    pub depth: usize,
+    /// Operator label (mirrors [`PhysPlan::op_label`]).
+    pub label: String,
+    /// Rows emitted.
+    pub rows_out: u64,
+    /// Batches emitted.
+    pub batches_out: u64,
+    /// Estimated output rows from the cost model, in the same pre-order
+    /// position (None when executed without estimates).
+    pub est_rows: Option<f64>,
+}
+
+impl OpProfile {
+    /// The q-error of this operator's row estimate: `max(est/actual,
+    /// actual/est)` with both sides floored at 1 row (so empty outputs
+    /// and sub-row estimates stay finite). `None` without an estimate.
+    pub fn qerror(&self) -> Option<f64> {
+        self.est_rows.map(|est| {
+            let est = est.max(1.0);
+            let actual = (self.rows_out as f64).max(1.0);
+            (est / actual).max(actual / est)
+        })
+    }
+}
+
+/// Collect per-operator profiles in pre-order. `est` supplies estimated
+/// rows in the same pre-order (as produced by the cost model's
+/// exec-order walk over the physical plan the tree was built from).
+pub fn collect_profile(root: &dyn Operator, est: Option<&[f64]>) -> Vec<OpProfile> {
+    fn go(op: &dyn Operator, depth: usize, est: Option<&[f64]>, idx: &mut usize, out: &mut Vec<OpProfile>) {
+        let s = op.stats();
+        let est_rows = est.and_then(|v| v.get(*idx)).copied();
+        *idx += 1;
+        out.push(OpProfile {
+            depth,
+            label: op.label(),
+            rows_out: s.rows_out,
+            batches_out: s.batches_out,
+            est_rows,
+        });
+        for c in op.children() {
+            go(c, depth + 1, est, idx, out);
+        }
+    }
+    let mut out = Vec::new();
+    go(root, 0, est, &mut 0, &mut out);
+    out
+}
+
+/// Render collected profiles as the indented tree shown by `EXPLAIN
+/// ANALYZE`-style output; estimated rows print next to actual rows when
+/// present.
+pub fn render_profile(entries: &[OpProfile]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&"  ".repeat(e.depth));
+        match e.est_rows {
+            Some(est) => out.push_str(&format!(
+                "{} [rows={} est={} batches={}]\n",
+                e.label,
+                e.rows_out,
+                crate::cost::format_rows(est),
+                e.batches_out
+            )),
+            None => out.push_str(&format!(
+                "{} [rows={} batches={}]\n",
+                e.label, e.rows_out, e.batches_out
+            )),
+        }
+    }
+    out
+}
+
 /// Render the operator tree with per-operator output metrics (the
 /// post-execution profile shown by `EXPLAIN`).
 pub fn render_tree(root: &dyn Operator) -> String {
-    fn go(op: &dyn Operator, depth: usize, out: &mut String) {
-        let s = op.stats();
-        out.push_str(&"  ".repeat(depth));
-        out.push_str(&format!(
-            "{} [rows={} batches={}]\n",
-            op.label(),
-            s.rows_out,
-            s.batches_out
-        ));
-        for c in op.children() {
-            go(c, depth + 1, out);
-        }
-    }
-    let mut s = String::new();
-    go(root, 0, &mut s);
-    s
+    render_profile(&collect_profile(root, None))
 }
 
 /// Pop up to `n` rows off a carry buffer as a batch (releasing them from

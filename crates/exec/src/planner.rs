@@ -177,7 +177,10 @@ fn lower_join(
     let r = Box::new(lower(right, catalog, config)?);
     let lv: BTreeSet<String> = left.output_vars().into_iter().collect();
     let rv: BTreeSet<String> = right.output_vars().into_iter().collect();
-    let split = extract_equi_keys(pred, &lv, &rv);
+    let mut split = extract_equi_keys(pred, &lv, &rv);
+
+    let estimator = cost::Estimator::new(catalog);
+    let (lc, rc) = (estimator.rows(left), estimator.rows(right));
 
     let algo = if split.left_keys.is_empty() {
         // No equi keys: only nested-loop is applicable.
@@ -185,8 +188,6 @@ fn lower_join(
     } else {
         match config.join_algo {
             JoinAlgo::Auto => {
-                let lc = cost::estimate_rows(left, catalog);
-                let rc = cost::estimate_rows(right, catalog);
                 if cost::join_cost::hash(lc, rc) <= cost::join_cost::sort_merge(lc, rc) {
                     JoinAlgo::Hash
                 } else {
@@ -196,6 +197,21 @@ fn lower_join(
             forced => forced,
         }
     };
+
+    // Build-side choice: a hash *inner* join is symmetric (records compare
+    // label-insensitively), so under cost-based selection build on the
+    // smaller operand. Every other kind is left-preserving — and for the
+    // nest join "only the right join operand may be the build table"
+    // (Section 6) — so their sides stay fixed.
+    let (mut l, mut r) = (l, r);
+    if matches!(kind, JoinKind::Inner)
+        && matches!(algo, JoinAlgo::Hash | JoinAlgo::Auto)
+        && config.join_algo == JoinAlgo::Auto
+        && lc < rc
+    {
+        std::mem::swap(&mut l, &mut r);
+        std::mem::swap(&mut split.left_keys, &mut split.right_keys);
+    }
 
     Ok(match algo {
         JoinAlgo::NestedLoop => PhysPlan::NlJoin { left: l, right: r, pred: pred.clone(), kind },
@@ -294,6 +310,38 @@ mod tests {
             let phys = lower(&plan, &cat, &ExecConfig::with_join_algo(algo)).unwrap();
             assert!(matches!(phys, PhysPlan::NlJoin { .. }), "{phys}");
         }
+    }
+
+    #[test]
+    fn auto_inner_join_builds_on_smaller_side() {
+        let mut cat = Catalog::new();
+        let rows: Vec<Vec<i64>> = (0..50).map(|i| vec![i, i % 5]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        cat.register(int_table("BIG", &["a", "b"], &refs)).unwrap();
+        cat.register(int_table("TINY", &["b", "c"], &[&[1, 10], &[2, 20]])).unwrap();
+        // TINY ⋈ BIG under Auto: probe the big side, build on the tiny one.
+        let plan = Plan::scan("TINY", "t")
+            .join(Plan::scan("BIG", "x"), E::eq(E::path("t", &["b"]), E::path("x", &["b"])));
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        let PhysPlan::HashJoin { left, right, left_keys, .. } = phys else {
+            panic!("hash join expected");
+        };
+        assert!(matches!(*left, PhysPlan::ScanTable { ref table, .. } if table == "BIG"));
+        assert!(matches!(*right, PhysPlan::ScanTable { ref table, .. } if table == "TINY"));
+        // Keys swapped with the sides.
+        assert_eq!(left_keys, vec![E::path("x", &["b"])]);
+        // A forced algorithm keeps the written build side.
+        let phys = lower(&plan, &cat, &ExecConfig::with_join_algo(JoinAlgo::Hash)).unwrap();
+        let PhysPlan::HashJoin { left, .. } = phys else { panic!("hash join expected") };
+        assert!(matches!(*left, PhysPlan::ScanTable { ref table, .. } if table == "TINY"));
+        // Left-preserving kinds never swap, whatever the cardinalities.
+        let semi = Plan::scan("TINY", "t")
+            .semi_join(Plan::scan("BIG", "x"), E::eq(E::path("t", &["b"]), E::path("x", &["b"])));
+        let phys = lower(&semi, &cat, &ExecConfig::auto()).unwrap();
+        let PhysPlan::HashJoin { left, kind: JoinKind::Semi, .. } = phys else {
+            panic!("hash semijoin expected");
+        };
+        assert!(matches!(*left, PhysPlan::ScanTable { ref table, .. } if table == "TINY"));
     }
 
     #[test]

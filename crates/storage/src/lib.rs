@@ -11,8 +11,10 @@
 //!   [`tmql_model::Record`]s;
 //! * [`Catalog`] — maps extension names to tables, carries the
 //!   [`tmql_model::Schema`];
-//! * [`stats::TableStats`] — cardinality / distinct-count / min-max
-//!   statistics used by the cost-based physical planner;
+//! * [`stats::TableStats`] — cardinality, distinct counts, min/max,
+//!   equi-width histograms, null/empty-set fractions, and set-valued
+//!   fan-out per column, accumulated incrementally on registration and
+//!   consumed by the cost-based optimizer and physical planner;
 //! * [`index`] — hash and ordered indexes over one attribute. The executor
 //!   builds equivalent transient structures inside its hash/merge joins;
 //!   these persistent variants back index-based access paths and give
@@ -25,7 +27,7 @@ pub mod table;
 
 pub use catalog::Catalog;
 pub use index::{HashIndex, OrdIndex};
-pub use stats::TableStats;
+pub use stats::{ColumnStats, Histogram, StatsBuilder, TableStats};
 pub use table::Table;
 
 pub use tmql_model::{ModelError, Result};

@@ -1,4 +1,18 @@
-//! Table statistics for the cost-based physical planner.
+//! Table statistics for the cost-based optimizer and physical planner.
+//!
+//! Statistics are accumulated **incrementally**: [`StatsBuilder`] observes
+//! one row at a time, so [`crate::Catalog::register`] /
+//! [`crate::Catalog::replace`] make a single pass over the table instead
+//! of one pass per column. The finished [`TableStats`] carry, per column:
+//!
+//! * distinct count, min/max (classic System-R inputs),
+//! * an **equi-width histogram** over numeric values (comparison
+//!   selectivities better than a magic constant),
+//! * the **null fraction** (the relational baselines introduce NULLs),
+//! * the **set-valued / empty-set fractions** and the **average
+//!   set-valued fan-out** — the complex-object inputs that drive
+//!   `ScanExpr`/`Unnest` cardinality and unnest-strategy choice
+//!   (Section 3.2: subqueries over set-valued attributes).
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -6,6 +20,69 @@ use std::collections::BTreeSet;
 use tmql_model::Value;
 
 use crate::table::Table;
+
+/// Number of buckets in per-column equi-width histograms. Small on
+/// purpose: tables are in-memory and queries are selective enough that
+/// 16 buckets bound the estimation error well below the cost gaps the
+/// optimizer has to rank.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// An equi-width histogram over the numeric values of one column
+/// (`Int` and `Float` values; everything else is ignored).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Lower bound of the value range (inclusive).
+    pub lo: f64,
+    /// Upper bound of the value range (inclusive).
+    pub hi: f64,
+    /// Per-bucket value counts over `[lo, hi]` split equi-width.
+    pub counts: Vec<u64>,
+    /// Total number of values counted.
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Build from a sample of numeric values; `None` when empty.
+    pub fn build(values: &[f64]) -> Option<Histogram> {
+        if values.is_empty() {
+            return None;
+        }
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0u64; HISTOGRAM_BUCKETS];
+        let width = (hi - lo).max(f64::MIN_POSITIVE);
+        for &v in values {
+            let idx = (((v - lo) / width) * HISTOGRAM_BUCKETS as f64) as usize;
+            counts[idx.min(HISTOGRAM_BUCKETS - 1)] += 1;
+        }
+        Some(Histogram { lo, hi, counts, total: values.len() as u64 })
+    }
+
+    /// Estimated fraction of values strictly below `v` (linear
+    /// interpolation inside the bucket containing `v`).
+    pub fn fraction_below(&self, v: f64) -> f64 {
+        if v <= self.lo {
+            return 0.0;
+        }
+        if v > self.hi {
+            return 1.0;
+        }
+        let width = (self.hi - self.lo).max(f64::MIN_POSITIVE) / HISTOGRAM_BUCKETS as f64;
+        let pos = (v - self.lo) / width;
+        let bucket = (pos as usize).min(HISTOGRAM_BUCKETS - 1);
+        let within = pos - bucket as f64;
+        let below: u64 = self.counts[..bucket].iter().sum();
+        (below as f64 + self.counts[bucket] as f64 * within) / self.total.max(1) as f64
+    }
+
+    /// Estimated fraction of values strictly above `v`.
+    pub fn fraction_above(&self, v: f64) -> f64 {
+        if v < self.lo {
+            return 1.0;
+        }
+        (1.0 - self.fraction_below(v)).max(0.0)
+    }
+}
 
 /// Per-column statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,9 +93,132 @@ pub struct ColumnStats {
     pub min: Option<Value>,
     /// Maximum value under the model's total order.
     pub max: Option<Value>,
+    /// Fraction of rows in which the value is NULL (the relational
+    /// outerjoin baselines are the only producers of NULLs in TM data).
+    pub null_fraction: f64,
     /// Fraction of rows in which the value is a set — set-valued attributes
     /// change unnesting decisions (Section 3.2).
     pub set_valued_fraction: f64,
+    /// Fraction of rows in which the value is the **empty** set. Empty sets
+    /// make membership-style predicates trivially false and cut the fan-out
+    /// of `FROM x.a e` iteration.
+    pub empty_set_fraction: f64,
+    /// Average cardinality of the set values in this column (0.0 when the
+    /// column holds no sets) — the per-column fan-out of `ScanExpr`/unnest.
+    pub avg_set_card: f64,
+    /// Equi-width histogram over the numeric values, when any exist.
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Estimated fraction of rows with value `< v` (histogram-based; `None`
+    /// when the column has no numeric histogram).
+    pub fn fraction_lt(&self, v: f64) -> Option<f64> {
+        self.histogram.as_ref().map(|h| h.fraction_below(v))
+    }
+
+    /// Estimated fraction of rows with value `> v`.
+    pub fn fraction_gt(&self, v: f64) -> Option<f64> {
+        self.histogram.as_ref().map(|h| h.fraction_above(v))
+    }
+
+    /// Estimated fraction of rows with value `= v`: histogram bucket mass
+    /// spread over the distinct values, falling back to 1/NDV.
+    pub fn fraction_eq(&self) -> Option<f64> {
+        if self.distinct == 0 {
+            return None;
+        }
+        Some(1.0 / self.distinct as f64)
+    }
+}
+
+/// Incremental per-column accumulator (one [`StatsBuilder::observe`] call
+/// per row keeps registration single-pass).
+#[derive(Debug, Default)]
+struct ColumnAcc {
+    distinct: BTreeSet<Value>,
+    nulls: usize,
+    sets: usize,
+    empty_sets: usize,
+    set_elems: usize,
+    numerics: Vec<f64>,
+}
+
+impl ColumnAcc {
+    fn observe(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.nulls += 1,
+            Value::Set(s) => {
+                self.sets += 1;
+                if s.is_empty() {
+                    self.empty_sets += 1;
+                }
+                self.set_elems += s.len();
+            }
+            Value::Int(i) => self.numerics.push(*i as f64),
+            Value::Float(f) => self.numerics.push(*f),
+            _ => {}
+        }
+        if !self.distinct.contains(v) {
+            self.distinct.insert(v.clone());
+        }
+    }
+
+    fn finish(self, rows: usize) -> ColumnStats {
+        let n = rows.max(1) as f64;
+        ColumnStats {
+            min: self.distinct.iter().next().cloned(),
+            max: self.distinct.iter().next_back().cloned(),
+            null_fraction: self.nulls as f64 / n,
+            set_valued_fraction: self.sets as f64 / n,
+            empty_set_fraction: self.empty_sets as f64 / n,
+            avg_set_card: if self.sets > 0 {
+                self.set_elems as f64 / self.sets as f64
+            } else {
+                0.0
+            },
+            histogram: Histogram::build(&self.numerics),
+            distinct: self.distinct.len(),
+        }
+    }
+}
+
+/// Incremental statistics builder: feed rows one at a time, then
+/// [`StatsBuilder::finish`]. [`TableStats::compute`] is the whole-table
+/// convenience wrapper used by catalog registration.
+#[derive(Debug)]
+pub struct StatsBuilder {
+    rows: usize,
+    columns: Vec<(String, ColumnAcc)>,
+}
+
+impl StatsBuilder {
+    /// A builder for the given column names.
+    pub fn new<'a>(columns: impl IntoIterator<Item = &'a str>) -> StatsBuilder {
+        StatsBuilder {
+            rows: 0,
+            columns: columns.into_iter().map(|c| (c.to_string(), ColumnAcc::default())).collect(),
+        }
+    }
+
+    /// Observe one row (missing fields are simply not counted).
+    pub fn observe(&mut self, row: &tmql_model::Record) {
+        self.rows += 1;
+        for (name, acc) in &mut self.columns {
+            if let Ok(v) = row.get(name) {
+                acc.observe(v);
+            }
+        }
+    }
+
+    /// Finish into per-table statistics.
+    pub fn finish(self) -> TableStats {
+        let rows = self.rows;
+        TableStats {
+            cardinality: rows,
+            columns: self.columns.into_iter().map(|(n, acc)| (n, acc.finish(rows))).collect(),
+        }
+    }
 }
 
 /// Statistics for one table.
@@ -31,34 +231,18 @@ pub struct TableStats {
 }
 
 impl TableStats {
-    /// Compute statistics with one pass per column.
+    /// Compute statistics in a single incremental pass over the table.
     pub fn compute(table: &Table) -> TableStats {
-        let mut columns = BTreeMap::new();
-        for (name, _ty) in table.columns() {
-            let mut distinct: BTreeSet<&Value> = BTreeSet::new();
-            let mut sets = 0usize;
-            for row in table.rows() {
-                if let Ok(v) = row.get(name) {
-                    if matches!(v, Value::Set(_)) {
-                        sets += 1;
-                    }
-                    distinct.insert(v);
-                }
-            }
-            let min = distinct.iter().next().map(|v| (*v).clone());
-            let max = distinct.iter().next_back().map(|v| (*v).clone());
-            let n = table.len().max(1);
-            columns.insert(
-                name.clone(),
-                ColumnStats {
-                    distinct: distinct.len(),
-                    min,
-                    max,
-                    set_valued_fraction: sets as f64 / n as f64,
-                },
-            );
+        let mut b = StatsBuilder::new(table.columns().iter().map(|(n, _)| n.as_str()));
+        for row in table.rows() {
+            b.observe(row);
         }
-        TableStats { cardinality: table.len(), columns }
+        b.finish()
+    }
+
+    /// Per-column stats, `None` for unknown columns.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(name)
     }
 
     /// Estimated selectivity of an equality predicate on `column`
@@ -73,6 +257,16 @@ impl TableStats {
     /// Estimated number of rows matching an equality on `column`.
     pub fn eq_cardinality(&self, column: &str) -> f64 {
         self.cardinality as f64 * self.eq_selectivity(column)
+    }
+
+    /// Average set-valued fan-out of `column` — the expected element count
+    /// when iterating `x.column` — or `None` when the column is unknown or
+    /// holds no sets.
+    pub fn avg_set_card(&self, column: &str) -> Option<f64> {
+        match self.columns.get(column) {
+            Some(c) if c.set_valued_fraction > 0.0 => Some(c.avg_set_card),
+            _ => None,
+        }
     }
 }
 
@@ -104,15 +298,61 @@ mod tests {
     }
 
     #[test]
-    fn set_valued_fraction() {
-        let mut t = Table::new(
-            "X",
-            vec![("a".into(), Ty::Any)],
-        );
-        t.insert(Record::new([("a".to_string(), Value::set([Value::Int(1)]))]).unwrap()).unwrap();
+    fn set_valued_fraction_and_fanout() {
+        let mut t = Table::new("X", vec![("a".into(), Ty::Any)]);
+        t.insert(
+            Record::new([("a".to_string(), Value::set([Value::Int(1), Value::Int(2)]))]).unwrap(),
+        )
+        .unwrap();
+        t.insert(Record::new([("a".to_string(), Value::set([Value::Int(7)]))]).unwrap()).unwrap();
+        t.insert(Record::new([("a".to_string(), Value::empty_set())]).unwrap()).unwrap();
         t.insert(Record::new([("a".to_string(), Value::Int(1))]).unwrap()).unwrap();
         let st = TableStats::compute(&t);
-        assert!((st.columns["a"].set_valued_fraction - 0.5).abs() < 1e-12);
+        let c = &st.columns["a"];
+        assert!((c.set_valued_fraction - 0.75).abs() < 1e-12);
+        assert!((c.empty_set_fraction - 0.25).abs() < 1e-12);
+        assert!((c.avg_set_card - 1.0).abs() < 1e-12, "(2 + 1 + 0) / 3 sets");
+        assert_eq!(st.avg_set_card("a"), Some(1.0));
+        assert_eq!(st.avg_set_card("nope"), None);
+    }
+
+    #[test]
+    fn null_fraction_counted() {
+        let mut t = Table::new("N", vec![("a".into(), Ty::Any)]);
+        t.insert(Record::new([("a".to_string(), Value::Null)]).unwrap()).unwrap();
+        t.insert(Record::new([("a".to_string(), Value::Int(3))]).unwrap()).unwrap();
+        let st = TableStats::compute(&t);
+        assert!((st.columns["a"].null_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_fractions() {
+        // Uniform 0..100: P(< 25) ≈ 0.25, P(> 75) ≈ 0.25.
+        let rows: Vec<Vec<i64>> = (0..100).map(|i| vec![i]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        let st = TableStats::compute(&int_table("H", &["a"], &refs));
+        let c = &st.columns["a"];
+        let below = c.fraction_lt(25.0).unwrap();
+        assert!((below - 0.25).abs() < 0.05, "{below}");
+        let above = c.fraction_gt(75.0).unwrap();
+        assert!((above - 0.25).abs() < 0.05, "{above}");
+        // Out-of-range probes clamp.
+        assert_eq!(c.fraction_lt(-1.0), Some(0.0));
+        assert_eq!(c.fraction_gt(1000.0), Some(0.0));
+        assert_eq!(c.fraction_lt(1000.0), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_skew_visible() {
+        // Two distinct clusters (values 0..=9 and 170..=179, one row
+        // each under set semantics): the histogram puts half the mass in
+        // the low buckets, so P(< 50) ≈ 0.5 — not the uniform ≈ 0.28.
+        let rows: Vec<Vec<i64>> =
+            (0..10i64).map(|v| vec![v]).chain((170..180).map(|v| vec![v])).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        let st = TableStats::compute(&int_table("S", &["a"], &refs));
+        let below = st.columns["a"].fraction_lt(50.0).unwrap();
+        assert!((below - 0.5).abs() < 0.1, "{below}");
     }
 
     #[test]
@@ -122,5 +362,17 @@ mod tests {
         assert_eq!(st.cardinality, 0);
         assert_eq!(st.columns["a"].distinct, 0);
         assert_eq!(st.columns["a"].min, None);
+        assert!(st.columns["a"].histogram.is_none());
+        assert_eq!(st.columns["a"].fraction_eq(), None);
+    }
+
+    #[test]
+    fn incremental_builder_matches_compute() {
+        let t = int_table("R", &["a", "b"], &[&[1, 10], &[2, 10], &[3, 20]]);
+        let mut b = StatsBuilder::new(["a", "b"]);
+        for row in t.rows() {
+            b.observe(row);
+        }
+        assert_eq!(b.finish(), TableStats::compute(&t));
     }
 }

@@ -29,9 +29,11 @@ meta commands:
   \\tables            list loaded tables with row counts
   \\strategy [name]   show or set the unnesting strategy:
                      nested-loop | kim | ganski-wong | muralikrishna |
-                     nest-join | semi-anti | optimal
+                     nest-join | semi-anti | optimal | cost-based
   \\algo [name]       show or set the join algorithm: auto | nl | hash | merge
-  \\explain <query>   show translated / optimized / physical plans
+  \\explain <query>   show translated / optimized / physical plans (est_rows per operator)
+  \\profile <query>   run the query; explain + executed operator tree
+                     with estimated vs actual rows per operator
   \\strategies <q>    run <q> under every strategy, compare row counts
   \\help              this text
   \\quit              exit
@@ -107,6 +109,10 @@ impl Shell {
                 None => println!("unknown algorithm `{rest}`; \\help for the list"),
             },
             "explain" => match self.db.explain_with(rest, self.opts) {
+                Ok(s) => println!("{s}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "profile" => match self.db.profile_with(rest, self.opts) {
                 Ok(s) => println!("{s}"),
                 Err(e) => println!("error: {e}"),
             },

@@ -39,18 +39,31 @@
 //! | `tmql-lang` | the SFW language: parser + type checker |
 //! | `tmql-algebra` | the complex object algebra (ADL-like) |
 //! | `tmql-translate` | SFW → algebra (Apply-based nested-loop semantics) |
-//! | `tmql-core` | **the paper**: Table 2 classifier, Theorem 1, unnesting strategies, nest join rules |
-//! | `tmql-exec` | physical operators: NL/hash/sort-merge × join/semi/anti/outer/**nest join** |
+//! | `tmql-core` | **the paper**: Table 2 classifier, Theorem 1, unnesting strategies (incl. cost-based selection), nest join rules |
+//! | `tmql-exec` | physical operators: NL/hash/sort-merge × join/semi/anti/outer/**nest join**; the statistics-backed cost estimator |
 //! | `tmql-workload` | paper fixtures, random generators, query corpus |
 
 use std::collections::BTreeSet;
 use std::fmt;
 
 pub use tmql_algebra::Plan;
-pub use tmql_core::{Classification, UnnestStrategy};
-pub use tmql_exec::{ExecConfig, JoinAlgo, Metrics};
+pub use tmql_core::{Classification, CostModel, UnnestStrategy};
+pub use tmql_exec::{CostEstimate, Estimator, ExecConfig, JoinAlgo, Metrics, OpProfile};
 pub use tmql_model::{Record, Ty, Value};
 pub use tmql_storage::{Catalog, Table};
+
+/// Adapter wiring `tmql-exec`'s statistics-backed [`Estimator`] into the
+/// logical optimizer's [`CostModel`] trait — the seam through which
+/// storage stats reach `UnnestStrategy::CostBased` without the core crate
+/// depending on the execution crate.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatorCostModel<'a>(pub Estimator<'a>);
+
+impl CostModel for EstimatorCostModel<'_> {
+    fn total_cost(&self, plan: &Plan) -> f64 {
+        self.0.cost(plan).total()
+    }
+}
 
 /// Everything that can go wrong between source text and result set.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,7 +119,9 @@ impl From<tmql_model::ModelError> for TmqlError {
 /// cleanup, and whether to type-check before executing.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryOptions {
-    /// Logical unnesting strategy (default: the paper's Optimal pipeline).
+    /// Logical unnesting strategy (default: cost-based per-block choice
+    /// over storage statistics; `Optimal` is the paper's rule-based
+    /// Section 8 pipeline).
     pub strategy: UnnestStrategy,
     /// Physical join algorithm selection (default: cost-based Auto).
     pub join_algo: JoinAlgo,
@@ -123,7 +138,7 @@ pub struct QueryOptions {
 impl Default for QueryOptions {
     fn default() -> Self {
         QueryOptions {
-            strategy: UnnestStrategy::Optimal,
+            strategy: UnnestStrategy::CostBased,
             join_algo: JoinAlgo::Auto,
             batch_size: tmql_exec::DEFAULT_BATCH_SIZE,
             apply_rules: true,
@@ -170,8 +185,12 @@ pub struct QueryResult {
     /// Executor work counters.
     pub metrics: Metrics,
     /// The executed operator tree annotated with per-operator emitted
-    /// rows/batches (the streaming executor's profile).
+    /// rows/batches and the cost model's estimated rows (the streaming
+    /// executor's profile with estimated vs. actual side by side).
     pub op_profile: String,
+    /// Structured per-operator profiles (pre-order over the executed
+    /// tree), each carrying estimated and actual output rows.
+    pub ops: Vec<OpProfile>,
 }
 
 impl QueryResult {
@@ -183,6 +202,14 @@ impl QueryResult {
     /// True iff the result is empty.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// The worst per-operator q-error of the run — `max(est/actual,
+    /// actual/est)` over all executed operators (both sides floored at
+    /// one row). 1.0 means every estimate was exact; CI smokes pin an
+    /// upper bound on this to catch estimator regressions.
+    pub fn max_qerror(&self) -> f64 {
+        self.ops.iter().filter_map(OpProfile::qerror).fold(1.0, f64::max)
     }
 
     /// Render the result set one value per line (deterministic order).
@@ -247,11 +274,15 @@ impl Database {
         let (translated, optimized) = self.plan_with(src, opts)?;
         let config = opts.exec_config();
         let phys = tmql_exec::lower(&optimized, &self.catalog, &config)?;
+        // Estimated rows per executed operator (same pre-order as the
+        // operator tree), so profiles show estimated vs. actual.
+        let est = Estimator::new(&self.catalog).exec_order_rows_phys(&phys);
         let mut ctx = tmql_exec::ExecContext::with_config(&self.catalog, &config);
-        let (rows, op_profile) =
-            tmql_exec::execute_profiled(&phys, &mut ctx, &tmql_algebra::Env::new())?;
+        let (rows, ops) =
+            tmql_exec::execute_collect(&phys, &mut ctx, &tmql_algebra::Env::new(), Some(&est))?;
         let values = rows.iter().map(Plan::row_output_value).collect();
-        Ok(QueryResult { values, translated, optimized, metrics: ctx.metrics, op_profile })
+        let op_profile = tmql_exec::op::operator::render_profile(&ops);
+        Ok(QueryResult { values, translated, optimized, metrics: ctx.metrics, op_profile, ops })
     }
 
     /// Produce the translated and optimized logical plans without
@@ -272,7 +303,10 @@ impl Database {
             strategy: opts.strategy,
             apply_rules: opts.apply_rules,
         };
-        let optimized = optimizer.optimize(translated.clone());
+        // Storage statistics flow into strategy choice here: the
+        // estimator-backed cost model ranks CostBased candidates.
+        let model = EstimatorCostModel(Estimator::new(&self.catalog));
+        let optimized = optimizer.optimize_with(translated.clone(), Some(&model));
         Ok((translated, optimized))
     }
 
@@ -283,18 +317,24 @@ impl Database {
     }
 
     /// `EXPLAIN` under explicit options (plans only, does not execute).
+    /// The optimized and physical sections carry the cost model's
+    /// estimated rows per operator.
     pub fn explain_with(&self, src: &str, opts: QueryOptions) -> Result<String, TmqlError> {
         let (translated, optimized) = self.plan_with(src, opts)?;
         let config = opts.exec_config();
         let phys = tmql_exec::lower(&optimized, &self.catalog, &config)?;
+        let est = Estimator::new(&self.catalog);
+        let annotated = tmql_algebra::pretty::explain_annotated(&optimized, &mut |node| {
+            Some(format!("est_rows={}", tmql_exec::cost::format_rows(est.rows(node))))
+        });
         Ok(format!(
             "== translated (nested-loop semantics) ==\n{}\
              == optimized ({}) ==\n{}\
              == physical ==\n{}",
             tmql_algebra::pretty::explain(&translated),
             opts.strategy.name(),
-            tmql_algebra::pretty::explain(&optimized),
-            phys.explain(),
+            annotated,
+            tmql_exec::cost::explain_with_estimates(&phys, &self.catalog),
         ))
     }
 

@@ -1,0 +1,66 @@
+//! Cost-model accuracy smoke (wired into CI): run the B7 ablation
+//! queries, compare the estimator's per-operator row predictions against
+//! the executed profile's actual rows, and fail when the worst q-error
+//! exceeds a generous pinned bound. Catches estimator regressions (a
+//! broken selectivity or fan-out stat shows up as a 100×+ q-error long
+//! before it misranks every plan).
+//!
+//! `TMQL_BENCH_QUICK=1` (the CI bench smoke env) shrinks the data so the
+//! whole check runs in milliseconds.
+
+use tmql::{Database, QueryOptions};
+use tmql_workload::gen::{gen_rs, gen_xy, GenConfig};
+use tmql_workload::queries::{where_query, COUNT_BUG, UNNEST_COLLAPSE};
+
+/// Generous upper bound on the worst per-operator q-error across the b7
+/// queries. Exact estimates give 1.0; the current model stays around
+/// 10–15 (group-size and residual-selectivity guesses); triple digits
+/// means the estimator broke.
+const MAX_QERROR: f64 = 64.0;
+
+fn size() -> usize {
+    let quick = std::env::var("TMQL_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+    if quick {
+        256
+    } else {
+        1024
+    }
+}
+
+fn check(tag: &str, db: &Database, src: &str) {
+    let r = db.query_with(src, QueryOptions::default()).expect("query runs");
+    let q = r.max_qerror();
+    assert!(
+        q.is_finite() && q <= MAX_QERROR,
+        "{tag}: max q-error {q:.1} exceeds {MAX_QERROR} — estimator regression?\n{}",
+        r.op_profile
+    );
+}
+
+#[test]
+fn b7_rules_query_estimates_within_bound() {
+    let db = Database::from_catalog(gen_xy(&GenConfig::sized(size())));
+    check("b7-rules", &db, &where_query("x.n < 4 AND x.n IN {Z}"));
+}
+
+#[test]
+fn b7_collapse_query_estimates_within_bound() {
+    let db = Database::from_catalog(gen_xy(&GenConfig::sized(size())));
+    check("b7-collapse", &db, UNNEST_COLLAPSE);
+}
+
+#[test]
+fn b7_survey_query_estimates_within_bound() {
+    let cfg = GenConfig {
+        outer: size(),
+        inner: size(),
+        dangling_fraction: 0.25,
+        ..GenConfig::default()
+    };
+    let db = Database::from_catalog(gen_rs(&cfg));
+    check("b7-survey", &db, COUNT_BUG);
+    // The cost-model ablation's high-fanout variant.
+    let cfg = GenConfig { outer: size() / 4, inner: size(), ..cfg };
+    let db = Database::from_catalog(gen_rs(&cfg));
+    check("b7-costmodel", &db, COUNT_BUG);
+}

@@ -1,0 +1,72 @@
+//! Differential testing of `UnnestStrategy::CostBased` over the workload
+//! schemas: whatever the cost model picks per block, the result **set**
+//! must be identical to every correct strategy's result — strategy choice
+//! must never change answers, only cost. (Kim is excluded: it is
+//! deliberately bug-compatible and loses dangling tuples.)
+
+use proptest::prelude::*;
+use tmql::{Database, QueryOptions, UnnestStrategy};
+use tmql_workload::gen::{gen_rs, gen_xy, GenConfig};
+use tmql_workload::queries::{where_query, COUNT_BUG, MEMBERSHIP, NON_MEMBERSHIP, SUBSETEQ_BUG};
+
+fn arb_config() -> impl Strategy<Value = GenConfig> {
+    (1usize..32, 1usize..48, 0u32..10, 0usize..4, any::<u64>()).prop_map(
+        |(outer, inner, dangling, max_set, seed)| GenConfig {
+            outer,
+            inner,
+            dangling_fraction: dangling as f64 / 10.0,
+            max_set,
+            seed,
+            ..GenConfig::default()
+        },
+    )
+}
+
+/// Run `src` under every strategy and assert the result values agree with
+/// the nested-loop ground truth — in particular for `CostBased`, whose
+/// block choices depend on the generated data's statistics.
+fn assert_all_strategies_agree(db: &Database, src: &str) {
+    let oracle = db
+        .query_with(src, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .expect("nested-loop oracle runs");
+    for strat in UnnestStrategy::ALL {
+        if strat.is_bug_compatible() {
+            continue;
+        }
+        let got = db
+            .query_with(src, QueryOptions::default().strategy(strat))
+            .unwrap_or_else(|e| panic!("{} fails: {e}", strat.name()));
+        assert_eq!(
+            got.values,
+            oracle.values,
+            "strategy {} changed the result on {src}",
+            strat.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cost_based_matches_all_strategies_on_rs(cfg in arb_config()) {
+        let db = Database::from_catalog(gen_rs(&cfg));
+        assert_all_strategies_agree(&db, COUNT_BUG);
+        assert_all_strategies_agree(&db, "SELECT x.a FROM R x WHERE x.b IN (SELECT y.d FROM S y WHERE x.c = y.c)");
+    }
+
+    #[test]
+    fn cost_based_matches_all_strategies_on_xy(cfg in arb_config()) {
+        let db = Database::from_catalog(gen_xy(&cfg));
+        for src in [
+            MEMBERSHIP.to_string(),
+            NON_MEMBERSHIP.to_string(),
+            SUBSETEQ_BUG.to_string(),
+            where_query("COUNT({Z}) = 0"),
+            where_query("x.n = COUNT({Z})"),
+            where_query("x.a INTERSECTS {Z}"),
+        ] {
+            assert_all_strategies_agree(&db, &src);
+        }
+    }
+}
