@@ -1,0 +1,67 @@
+//! B8 — spill-to-disk: budget-bounded vs unbounded execution as table
+//! sizes grow past `memory_budget_rows`.
+//!
+//! The membership query flattens to a hash semijoin whose build side is
+//! the full Y extension. With the budget pinned at [`BUDGET`] rows, the
+//! ladder starts at 4× the budget and grows past 32× — every budgeted
+//! rung runs grace-hash (build + probe partitioned to disk, partitions
+//! joined one at a time, `peak_resident_rows ≈ BUDGET`), while the
+//! unbounded twin keeps the whole build side resident. The `[work]` lines
+//! record `spilled=`/`parts=`/`peak=` next to wall time; the recorded
+//! trajectory lives in `BENCH_spill.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, QueryOptions, Record, Table, Ty, Value};
+use tmql_bench::{criterion, ladder, report_work};
+
+/// Breaker budget for the bounded configurations (rows).
+const BUDGET: usize = 1024;
+
+/// Flattens to a hash semijoin on (n = a, b = b); projecting `x.b` keeps
+/// the result (and its dedup set) small so the join dominates residency.
+const MEMBER: &str = "SELECT x.b FROM X x WHERE x.n IN (SELECT y.a FROM Y y WHERE x.b = y.b)";
+
+/// X(n, b) / Y(a, b), `b = id % 64` on both sides: every X row has
+/// partners, the build side is all of Y.
+fn join_db(n: usize) -> Database {
+    let mut db = Database::new();
+    for (name, c0, c1) in [("X", "n", "b"), ("Y", "a", "b")] {
+        let mut t = Table::new(name, vec![(c0.into(), Ty::Int), (c1.into(), Ty::Int)]);
+        for i in 0..n as i64 {
+            t.insert(
+                Record::new([
+                    (c0.to_string(), Value::Int(i)),
+                    (c1.to_string(), Value::Int(i % 64)),
+                ])
+                .expect("distinct labels"),
+            )
+            .expect("valid row");
+        }
+        db.register_table(t).expect("fresh table");
+    }
+    db
+}
+
+fn bench_spill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b8_spill");
+    for n in ladder(&[4096usize, 16384, 32768]) {
+        let db = join_db(n);
+        for (label, opts) in [
+            ("unbounded", QueryOptions::default()),
+            ("budget-1024", QueryOptions::default().memory_budget(BUDGET)),
+        ] {
+            report_work(&format!("b8-spill/{label}/{n}"), &db, MEMBER, opts);
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| db.query_with(MEMBER, opts).expect("runs").len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench_spill
+}
+criterion_main!(benches);

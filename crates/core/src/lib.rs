@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # tmql-core — optimization of nested queries (the paper's contribution)
 //!

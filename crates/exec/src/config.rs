@@ -27,11 +27,25 @@ pub struct ExecConfig {
     /// Rows per streaming batch (clamped to ≥ 1 by the executor). Smaller
     /// batches lower peak memory; larger batches amortize dispatch.
     pub batch_size: usize,
+    /// Maximum rows any single pipeline breaker may hold resident before
+    /// it spills to disk (`None` = unbounded, the default — queries behave
+    /// exactly as before this knob existed). When set, hash-join builds
+    /// switch to grace-hash partitioning, grouping/sort/set-op state and
+    /// dedup sets switch to partitioned spill files, and
+    /// [`crate::Metrics::rows_spilled`] / [`crate::Metrics::spill_partitions`]
+    /// record the traffic. Best-effort: a single group or key run larger
+    /// than the budget still has to be resident to be processed (recursive
+    /// repartitioning stops at [`crate::op::spill::MAX_REPARTITION_DEPTH`]).
+    pub memory_budget_rows: Option<usize>,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { join_algo: JoinAlgo::Auto, batch_size: DEFAULT_BATCH_SIZE }
+        ExecConfig {
+            join_algo: JoinAlgo::Auto,
+            batch_size: DEFAULT_BATCH_SIZE,
+            memory_budget_rows: None,
+        }
     }
 }
 
@@ -53,6 +67,19 @@ impl ExecConfig {
         self.batch_size = n.max(1);
         self
     }
+
+    /// Bound resident breaker state to `n` rows, spilling beyond it
+    /// (clamped to ≥ 1; use [`ExecConfig::unbounded`] to remove the bound).
+    pub fn memory_budget(mut self, n: usize) -> ExecConfig {
+        self.memory_budget_rows = Some(n.max(1));
+        self
+    }
+
+    /// Remove the memory budget (the default): breakers never spill.
+    pub fn unbounded(mut self) -> ExecConfig {
+        self.memory_budget_rows = None;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +98,13 @@ mod tests {
     fn batch_size_is_clamped_to_one() {
         assert_eq!(ExecConfig::default().batch_size(0).batch_size, 1);
         assert_eq!(ExecConfig::default().batch_size(7).batch_size, 7);
+    }
+
+    #[test]
+    fn memory_budget_defaults_off_and_clamps() {
+        assert_eq!(ExecConfig::default().memory_budget_rows, None);
+        assert_eq!(ExecConfig::default().memory_budget(0).memory_budget_rows, Some(1));
+        assert_eq!(ExecConfig::default().memory_budget(512).memory_budget_rows, Some(512));
+        assert_eq!(ExecConfig::default().memory_budget(512).unbounded().memory_budget_rows, None);
     }
 }

@@ -54,6 +54,12 @@ const MIN_SELECTIVITY: f64 = 1e-4;
 /// evaluation is interpretive (a tree walk per row), so a selection's
 /// per-row cost scales with its predicate's size.
 const EXPR_NODES_PER_WORK_UNIT: f64 = 4.0;
+/// Abstract work units charged per row that a breaker spills (serialize +
+/// write, then read + decode — several times the cost of touching a row in
+/// memory). Mirrors [`crate::Metrics::rows_spilled`] entering
+/// `total_work`, with the weight capturing that a spilled row is more
+/// expensive than an emitted one.
+pub const SPILL_IO_PER_ROW: f64 = 4.0;
 /// Weight of the `resident` component in [`CostEstimate::total`]: a mild
 /// memory-pressure penalty so that, costs being close, the plan with the
 /// smaller pipeline-breaker footprint wins.
@@ -113,12 +119,35 @@ type Scope = BTreeMap<String, String>;
 #[derive(Debug, Clone, Copy)]
 pub struct Estimator<'a> {
     catalog: &'a Catalog,
+    /// Mirror of [`crate::ExecConfig::memory_budget_rows`]: when a
+    /// breaker's predicted state exceeds it, the model caps the resident
+    /// contribution at the budget and charges [`SPILL_IO_PER_ROW`] per
+    /// spilled row instead — so under tight memory, plans with smaller
+    /// breaker state win on work, not just on the resident penalty.
+    budget: Option<f64>,
 }
 
 impl<'a> Estimator<'a> {
-    /// An estimator over the catalog's statistics.
+    /// An estimator over the catalog's statistics (no memory budget).
     pub fn new(catalog: &'a Catalog) -> Estimator<'a> {
-        Estimator { catalog }
+        Estimator { catalog, budget: None }
+    }
+
+    /// An estimator that models spilling under the given breaker budget
+    /// (`None` behaves exactly like [`Estimator::new`]).
+    pub fn with_budget(catalog: &'a Catalog, budget: Option<usize>) -> Estimator<'a> {
+        Estimator { catalog, budget: budget.map(|b| b as f64) }
+    }
+
+    /// Resident contribution and spill-I/O work of one breaker holding
+    /// `state` rows: in memory it is `(state, 0)`; past the budget the
+    /// resident share is capped at the budget and every state row is
+    /// charged a spill round-trip.
+    fn breaker_state(&self, state: f64) -> (f64, f64) {
+        match self.budget {
+            Some(b) if state > b => (b, SPILL_IO_PER_ROW * state),
+            _ => (state, 0.0),
+        }
     }
 
     /// Estimated output cardinality of a logical plan.
@@ -393,11 +422,12 @@ impl<'a> Estimator<'a> {
                     _ => None,
                 };
                 let rows = cap.map_or(c.rows, |cap| c.rows.min(cap));
+                // The dedup set is resident breaker state (spillable).
+                let (res, spill) = self.breaker_state(rows);
                 CostEstimate {
                     rows,
-                    work: c.work + c.rows,
-                    // The dedup set is resident state.
-                    resident: c.resident + rows,
+                    work: c.work + c.rows + spill,
+                    resident: c.resident + res,
                 }
             }
             Plan::Extend { input, .. } => {
@@ -406,7 +436,12 @@ impl<'a> Estimator<'a> {
             }
             Plan::Project { input, .. } => {
                 let c = self.node(input, outer);
-                CostEstimate { rows: c.rows, work: c.work + c.rows, resident: c.resident + c.rows }
+                let (res, spill) = self.breaker_state(c.rows);
+                CostEstimate {
+                    rows: c.rows,
+                    work: c.work + c.rows + spill,
+                    resident: c.resident + res,
+                }
             }
             Plan::Join { .. }
             | Plan::SemiJoin { .. }
@@ -426,7 +461,8 @@ impl<'a> Estimator<'a> {
                 let rows = cap
                     .map(|cap| c.rows.min(cap))
                     .unwrap_or((c.rows * GROUP_COLLAPSE).max(1.0));
-                CostEstimate { rows, work: c.work + c.rows, resident: c.resident + c.rows }
+                let (res, spill) = self.breaker_state(c.rows);
+                CostEstimate { rows, work: c.work + c.rows + spill, resident: c.resident + res }
             }
             Plan::GroupAgg { input, keys, .. } => {
                 let c = self.node(input, outer);
@@ -439,7 +475,8 @@ impl<'a> Estimator<'a> {
                 let rows = cap
                     .map(|cap| c.rows.min(cap))
                     .unwrap_or((c.rows * GROUP_COLLAPSE).max(1.0));
-                CostEstimate { rows, work: c.work + c.rows, resident: c.resident + c.rows }
+                let (res, spill) = self.breaker_state(c.rows);
+                CostEstimate { rows, work: c.work + c.rows + spill, resident: c.resident + res }
             }
             Plan::Unnest { input, expr, .. } => {
                 let c = self.node(input, outer);
@@ -468,10 +505,11 @@ impl<'a> Estimator<'a> {
                     tmql_algebra::SetOpKind::Intersect => l.rows.min(r.rows),
                     tmql_algebra::SetOpKind::Except => l.rows,
                 };
+                let (res, spill) = self.breaker_state(l.rows + r.rows);
                 CostEstimate {
                     rows,
-                    work: l.work + r.work + l.rows + r.rows,
-                    resident: l.resident + r.resident + l.rows + r.rows,
+                    work: l.work + r.work + l.rows + r.rows + spill,
+                    resident: l.resident + r.resident + res,
                 }
             }
         }
@@ -517,7 +555,9 @@ impl<'a> Estimator<'a> {
             _ => matches.max(rows),
         };
         let (algo_work, own_resident) = if split.left_keys.is_empty() {
-            // No equi keys: nested loop, right side materialized.
+            // No equi keys: nested loop, right side materialized (the NL
+            // join does not spill, so no grace charge here — the resident
+            // penalty reports the pressure honestly).
             (join_cost::nested_loop(l.rows, r.rows), r.rows)
         } else {
             // Hash join. Inner joins build on the smaller side (the
@@ -528,7 +568,15 @@ impl<'a> Estimator<'a> {
             } else {
                 (l.rows, r.rows)
             };
-            (join_cost::hash(probe, build), build)
+            let (res, build_spill) = self.breaker_state(build);
+            // Grace hash writes and re-reads *both* sides once the build
+            // overflows — charge the probe side's round-trip too.
+            let spill = if build_spill > 0.0 {
+                build_spill + SPILL_IO_PER_ROW * probe
+            } else {
+                0.0
+            };
+            (join_cost::hash(probe, build) + spill, res)
         };
         CostEstimate {
             rows,
@@ -841,6 +889,36 @@ mod tests {
         // Fan-out stat is visible through the whole-plan work estimate:
         // 4 invocations × (≈3 scanned + ≈3 mapped + overhead) ≪ default 16.
         assert!(cost.work < 4.0 * (2.0 * DEFAULT_SET_FANOUT + APPLY_OVERHEAD) + 4.0);
+    }
+
+    #[test]
+    fn budget_charges_spill_io_and_caps_resident() {
+        let cat = catalog();
+        // BIG ⋈ BIG on b: the 100-row build side overflows a 10-row budget.
+        let j = Plan::scan("BIG", "x")
+            .join(Plan::scan("BIG", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let free = Estimator::new(&cat).cost(&j);
+        let tight = Estimator::with_budget(&cat, Some(10)).cost(&j);
+        assert_eq!(free.rows, tight.rows, "cardinalities are budget-independent");
+        assert!(
+            tight.work > free.work + SPILL_IO_PER_ROW * 100.0,
+            "grace hash charges both sides' spill round-trips: {} vs {}",
+            tight.work,
+            free.work
+        );
+        assert!(
+            tight.resident < free.resident,
+            "resident share is capped at the budget: {} vs {}",
+            tight.resident,
+            free.resident
+        );
+        // A budget nothing exceeds changes nothing.
+        let loose = Estimator::with_budget(&cat, Some(100_000)).cost(&j);
+        assert_eq!(loose.work, free.work);
+        assert_eq!(loose.resident, free.resident);
+        // And None behaves exactly like `new`.
+        let none = Estimator::with_budget(&cat, None).cost(&j);
+        assert_eq!(none.work, free.work);
     }
 
     #[test]

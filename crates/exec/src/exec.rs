@@ -9,7 +9,8 @@
 
 use tmql_algebra::{eval, Env, ScalarExpr};
 use tmql_model::{Record, Result, Value};
-use tmql_storage::Catalog;
+use tmql_storage::spill::RunWriter;
+use tmql_storage::{Catalog, SpillDir};
 
 use crate::config::ExecConfig;
 use crate::metrics::Metrics;
@@ -26,6 +27,10 @@ pub struct ExecContext<'a> {
     pub metrics: Metrics,
     batch_size: usize,
     resident_rows: u64,
+    memory_budget_rows: Option<usize>,
+    /// Scratch directory for spill runs, created on first spill and
+    /// removed (with all runs) when the context drops.
+    spill_dir: Option<SpillDir>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -41,12 +46,34 @@ impl<'a> ExecContext<'a> {
             metrics: Metrics::new(),
             batch_size: config.batch_size.max(1),
             resident_rows: 0,
+            memory_budget_rows: config.memory_budget_rows,
+            spill_dir: None,
         }
     }
 
     /// Rows per streaming batch (≥ 1).
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// The per-breaker resident-row budget, if one is configured.
+    pub fn memory_budget_rows(&self) -> Option<usize> {
+        self.memory_budget_rows
+    }
+
+    /// True iff a budget is configured and `n` resident rows exceed it.
+    pub(crate) fn over_budget(&self, n: usize) -> bool {
+        self.memory_budget_rows.is_some_and(|b| n > b)
+    }
+
+    /// Open `k` fresh spill runs in this query's scratch directory
+    /// (creating the directory on first use).
+    pub(crate) fn spill_runs(&mut self, k: usize) -> Result<Vec<RunWriter>> {
+        if self.spill_dir.is_none() {
+            self.spill_dir = Some(SpillDir::create()?);
+        }
+        let dir = self.spill_dir.as_ref().expect("created above");
+        (0..k).map(|_| dir.create_run()).collect()
     }
 
     /// Rows currently resident in operator state (0 after a clean close).

@@ -36,6 +36,13 @@
 //! pipelined; only genuine pipeline breakers (hash build sides, sorts,
 //! grouping, set ops, dedup state) hold rows resident — which is what
 //! [`Metrics::peak_resident_rows`] measures.
+//!
+//! Breakers are also the spill boundary: under
+//! [`ExecConfig::memory_budget_rows`] they cap their resident state and
+//! switch to grace-hash / partitioned execution over on-disk record runs
+//! ([`op::spill`]), so workloads larger than memory complete with bounded
+//! residency and identical results ([`Metrics::rows_spilled`] counts the
+//! traffic).
 
 pub mod config;
 pub mod cost;

@@ -45,6 +45,16 @@ pub struct Metrics {
     /// Correlated subquery executions (Apply invocations) — the count the
     /// paper's unnesting eliminates.
     pub subquery_invocations: u64,
+    /// Records written to spill files when breaker state exceeds
+    /// [`crate::ExecConfig::memory_budget_rows`]. Each recursive
+    /// repartitioning pass rewrites its rows, so a row can be counted more
+    /// than once — this is real I/O traffic, and it is part of
+    /// [`Metrics::total_work`]. Always 0 without a budget.
+    pub rows_spilled: u64,
+    /// Non-empty spill partitions created (grace-hash build/probe pairs
+    /// count each side). A shape metric like `batches_emitted`, excluded
+    /// from [`Metrics::total_work`].
+    pub spill_partitions: u64,
     /// Batches emitted by operators (streaming executor granularity).
     pub batches_emitted: u64,
     /// High-water mark of rows resident in operator state at any point
@@ -77,6 +87,7 @@ impl Metrics {
             + self.rows_sorted
             + self.rows_emitted
             + self.subquery_invocations
+            + self.rows_spilled
     }
 }
 
@@ -89,6 +100,8 @@ impl AddAssign for Metrics {
         self.rows_sorted += rhs.rows_sorted;
         self.rows_emitted += rhs.rows_emitted;
         self.subquery_invocations += rhs.subquery_invocations;
+        self.rows_spilled += rhs.rows_spilled;
+        self.spill_partitions += rhs.spill_partitions;
         self.batches_emitted += rhs.batches_emitted;
         // Peak is a gauge: merging two runs keeps the higher water mark.
         self.peak_resident_rows = self.peak_resident_rows.max(rhs.peak_resident_rows);
@@ -99,7 +112,8 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} cmp={} hbuild={} hprobe={} sorted={} emitted={} subq={} batches={} peak={}",
+            "scanned={} cmp={} hbuild={} hprobe={} sorted={} emitted={} subq={} spilled={} \
+             parts={} batches={} peak={}",
             self.rows_scanned,
             self.comparisons,
             self.hash_build_rows,
@@ -107,6 +121,8 @@ impl fmt::Display for Metrics {
             self.rows_sorted,
             self.rows_emitted,
             self.subquery_invocations,
+            self.rows_spilled,
+            self.spill_partitions,
             self.batches_emitted,
             self.peak_resident_rows
         )
@@ -136,6 +152,18 @@ mod tests {
         assert_eq!(a.peak_resident_rows, 100, "gauge merges by max");
         assert_eq!(a.batches_emitted, 5);
         assert_eq!(a.total_work(), 0, "gauges are not work");
+    }
+
+    #[test]
+    fn spilled_rows_are_work_but_partitions_are_shape() {
+        let mut a = Metrics { rows_spilled: 100, spill_partitions: 8, ..Metrics::new() };
+        let b = Metrics { rows_spilled: 20, spill_partitions: 8, ..Metrics::new() };
+        a += b;
+        assert_eq!(a.rows_spilled, 120);
+        assert_eq!(a.spill_partitions, 16);
+        assert_eq!(a.total_work(), 120, "spilled rows are I/O work; partition count is not");
+        assert!(a.to_string().contains("spilled=120"));
+        assert!(a.to_string().contains("parts=16"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod hash;
 pub mod merge;
 pub mod nl;
 pub mod operator;
+pub mod spill;
 
 use tmql_algebra::Env;
 use tmql_model::{Record, Result, Value};

@@ -13,18 +13,26 @@
 //! result at once. [`Metrics::peak_resident_rows`] tracks exactly that
 //! high-water mark; [`Metrics::batches_emitted`] counts the batch traffic.
 //!
+//! Under [`crate::ExecConfig::memory_budget_rows`] the breakers cap their
+//! resident state and spill the excess to disk (grace-hash partitioning of
+//! hash joins, partitioned grouping / set-op / sort state, hybrid dedup) —
+//! see [`crate::op::spill`].
+//!
 //! The operator tree borrows the [`PhysPlan`] it was built from (no
 //! expression cloning) and owns only its correlation [`Env`], so
 //! [`Apply`](PhysPlan::Apply) can rebuild its subquery tree per outer row —
 //! the true nested loop the paper's unnesting removes.
 
 use std::collections::{BTreeSet, VecDeque};
+use std::hash::{Hash, Hasher};
 
 use tmql_algebra::{eval, eval_predicate, Env, Plan, ScalarExpr};
 use tmql_model::{Record, Result, Value};
+use tmql_storage::spill::{RunReader, SpillFile};
 
 use crate::exec::ExecContext;
 use crate::metrics::Metrics;
+use crate::op::spill::{self, Drained, PartFn, SpillDedup, MAX_REPARTITION_DEPTH};
 use crate::op::{self, group, hash, merge, nl};
 use crate::physical::{JoinKind, PhysPlan};
 
@@ -60,6 +68,11 @@ pub struct OpStats {
     pub rows_out: u64,
     /// Batches this operator has emitted.
     pub batches_out: u64,
+    /// Records this operator wrote to spill runs (0 unless a
+    /// [`crate::ExecConfig::memory_budget_rows`] forced it to disk;
+    /// repartitioning passes re-count their rows, mirroring
+    /// [`Metrics::rows_spilled`]).
+    pub rows_spilled: u64,
 }
 
 /// A physical operator in the streaming executor.
@@ -133,6 +146,8 @@ pub struct OpProfile {
     pub rows_out: u64,
     /// Batches emitted.
     pub batches_out: u64,
+    /// Rows this operator spilled to disk (0 without a memory budget).
+    pub rows_spilled: u64,
     /// Estimated output rows from the cost model, in the same pre-order
     /// position (None when executed without estimates).
     pub est_rows: Option<f64>,
@@ -164,6 +179,7 @@ pub fn collect_profile(root: &dyn Operator, est: Option<&[f64]>) -> Vec<OpProfil
             label: op.label(),
             rows_out: s.rows_out,
             batches_out: s.batches_out,
+            rows_spilled: s.rows_spilled,
             est_rows,
         });
         for c in op.children() {
@@ -182,16 +198,23 @@ pub fn render_profile(entries: &[OpProfile]) -> String {
     let mut out = String::new();
     for e in entries {
         out.push_str(&"  ".repeat(e.depth));
+        // `spilled=` appears only when the operator actually spilled, so
+        // in-memory profiles read exactly as before the spill tier existed.
+        let spilled = if e.rows_spilled > 0 {
+            format!(" spilled={}", e.rows_spilled)
+        } else {
+            String::new()
+        };
         match e.est_rows {
             Some(est) => out.push_str(&format!(
-                "{} [rows={} est={} batches={}]\n",
+                "{} [rows={} est={} batches={}{spilled}]\n",
                 e.label,
                 e.rows_out,
                 crate::cost::format_rows(est),
                 e.batches_out
             )),
             None => out.push_str(&format!(
-                "{} [rows={} batches={}]\n",
+                "{} [rows={} batches={}{spilled}]\n",
                 e.label, e.rows_out, e.batches_out
             )),
         }
@@ -203,6 +226,29 @@ pub fn render_profile(entries: &[OpProfile]) -> String {
 /// post-execution profile shown by `EXPLAIN`).
 pub fn render_tree(root: &dyn Operator) -> String {
     render_profile(&collect_profile(root, None))
+}
+
+/// Partition-key function over equi-join keys: the seeded hash of the
+/// evaluated key values, `None` for NULL keys (the caller drops them on
+/// build sides and routes them to partition 0 elsewhere).
+fn keys_part<'p>(keys: &'p [ScalarExpr]) -> PartFn<'p> {
+    Box::new(move |r, env, seed| {
+        Ok(op::with_row(env, r, |e| op::eval_keys(keys, e))?.map(|vals| {
+            let mut h = spill::seed_hasher(seed);
+            vals.hash(&mut h);
+            h.finish()
+        }))
+    })
+}
+
+/// Partition-key function over a row's output value (set operations
+/// compare whole output values, so equal values must co-partition).
+fn value_part() -> PartFn<'static> {
+    Box::new(|r, _env, seed| {
+        let mut h = spill::seed_hasher(seed);
+        Plan::row_output_value(r).hash(&mut h);
+        Ok(Some(h.finish()))
+    })
 }
 
 /// Pop up to `n` rows off a carry buffer as a batch (releasing them from
@@ -243,7 +289,8 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             expr,
             var,
             env: env.clone(),
-            seen: BTreeSet::new(),
+            dedup: SpillDedup::new(),
+            sealed: false,
             stats: OpStats::default(),
         }),
         PhysPlan::Extend { input, expr, var } => Box::new(ExtendOp {
@@ -256,7 +303,8 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
         PhysPlan::Project { input, vars } => Box::new(ProjectOp {
             child: build(input, env),
             vars: vars.iter().map(String::as_str).collect(),
-            seen: BTreeSet::new(),
+            dedup: SpillDedup::new(),
+            sealed: false,
             stats: OpStats::default(),
         }),
         PhysPlan::Unnest { input, expr, elem_var, drop_vars } => Box::new(UnnestOp {
@@ -289,7 +337,11 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
                 residual: residual.as_ref(),
                 kind,
                 env: env.clone(),
+                build_part: keys_part(right_keys),
+                probe_part: keys_part(left_keys),
                 table: None,
+                grace: None,
+                built: false,
                 carry: VecDeque::new(),
                 done: false,
                 stats: OpStats::default(),
@@ -304,7 +356,11 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
                 kernel: Box::new(move |l, r, env, m| {
                     merge::join(l, r, left_keys, right_keys, residual.as_ref(), kind, env, m)
                 }),
+                left_part: keys_part(left_keys),
+                right_part: keys_part(right_keys),
                 out: None,
+                grace: None,
+                done: false,
                 stats: OpStats::default(),
             })
         }
@@ -315,7 +371,17 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             kernel: Box::new(move |rows, env, m| {
                 group::nest(rows, keys, value, label, *star, env, m)
             }),
+            // Groups co-partition by the hash of the grouping fields.
+            part: Box::new(move |r, _env, seed| {
+                let mut h = spill::seed_hasher(seed);
+                for k in keys {
+                    r.get(k)?.hash(&mut h);
+                }
+                Ok(Some(h.finish()))
+            }),
             out: None,
+            grace: None,
+            done: false,
             stats: OpStats::default(),
         }),
         PhysPlan::GroupAgg { input, keys, aggs, var } => Box::new(UnaryBreaker {
@@ -323,7 +389,19 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             child: build(input, env),
             env: env.clone(),
             kernel: Box::new(move |rows, env, m| group::group_agg(rows, keys, aggs, var, env, m)),
+            part: Box::new(move |r, env, seed| {
+                let mut h = spill::seed_hasher(seed);
+                op::with_row(env, r, |e| {
+                    for (_, ke) in keys {
+                        eval(ke, e)?.hash(&mut h);
+                    }
+                    Ok(())
+                })?;
+                Ok(Some(h.finish()))
+            }),
             out: None,
+            grace: None,
+            done: false,
             stats: OpStats::default(),
         }),
         PhysPlan::SetOp { kind, left, right, var } => Box::new(BinaryBreaker {
@@ -332,7 +410,13 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             right: build(right, env),
             env: env.clone(),
             kernel: Box::new(move |l, r, _env, m| group::set_op(*kind, l, r, var, m)),
+            // Equal output values co-partition, so per-partition
+            // union/intersect/except concatenate to the global result.
+            left_part: value_part(),
+            right_part: value_part(),
             out: None,
+            grace: None,
+            done: false,
             stats: OpStats::default(),
         }),
         PhysPlan::Apply { input, subquery, label } => Box::new(ApplyOp {
@@ -518,13 +602,16 @@ impl Operator for FilterOp<'_> {
 }
 
 /// Streaming generalized projection to a single binding. Dedup state (the
-/// set of distinct records seen) is the only resident memory.
+/// set of distinct records seen) is the only resident memory; under a
+/// memory budget it spills via [`SpillDedup`], deferring emission of the
+/// overflow to a partitioned drain after the input is exhausted.
 struct MapOp<'p> {
     child: BoxedOperator<'p>,
     expr: &'p ScalarExpr,
     var: &'p str,
     env: Env,
-    seen: BTreeSet<Record>,
+    dedup: SpillDedup,
+    sealed: bool,
     stats: OpStats,
 }
 
@@ -534,32 +621,41 @@ impl Operator for MapOp<'_> {
     }
 
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
-        ctx.resident_release(self.seen.len());
-        self.seen.clear();
+        self.dedup.reset(ctx);
+        self.sealed = false;
         self.child.open(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
         loop {
-            let Some(b) = self.child.pull(ctx)? else { return Ok(None) };
-            let mut out = Vec::new();
-            for row in b.rows {
-                let v = op::with_row(&mut self.env, &row, |e| eval(self.expr, e))?;
-                let rec = Record::new([(self.var.to_string(), v)])?;
-                if self.seen.insert(rec.clone()) {
-                    ctx.resident_acquire(1);
-                    out.push(rec);
-                }
+            if self.sealed {
+                let out = self.dedup.next_deferred(ctx.batch_size(), ctx, &mut self.stats)?;
+                return Ok(if out.is_empty() { None } else { Some(Batch::new(out)) });
             }
-            if !out.is_empty() {
-                return Ok(Some(Batch::new(out)));
+            match self.child.pull(ctx)? {
+                None => {
+                    self.dedup.seal(ctx)?;
+                    self.sealed = true;
+                }
+                Some(b) => {
+                    let mut out = Vec::new();
+                    for row in b.rows {
+                        let v = op::with_row(&mut self.env, &row, |e| eval(self.expr, e))?;
+                        let rec = Record::new([(self.var.to_string(), v)])?;
+                        if let Some(rec) = self.dedup.offer(rec, ctx, &mut self.stats)? {
+                            out.push(rec);
+                        }
+                    }
+                    if !out.is_empty() {
+                        return Ok(Some(Batch::new(out)));
+                    }
+                }
             }
         }
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
-        ctx.resident_release(self.seen.len());
-        self.seen.clear();
+        self.dedup.reset(ctx);
         self.child.close(ctx);
     }
 
@@ -621,11 +717,13 @@ impl Operator for ExtendOp<'_> {
     }
 }
 
-/// Streaming π onto a variable subset, with streaming dedup.
+/// Streaming π onto a variable subset, with streaming dedup (spilling via
+/// [`SpillDedup`] under a memory budget, like [`MapOp`]).
 struct ProjectOp<'p> {
     child: BoxedOperator<'p>,
     vars: Vec<&'p str>,
-    seen: BTreeSet<Record>,
+    dedup: SpillDedup,
+    sealed: bool,
     stats: OpStats,
 }
 
@@ -635,31 +733,40 @@ impl Operator for ProjectOp<'_> {
     }
 
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
-        ctx.resident_release(self.seen.len());
-        self.seen.clear();
+        self.dedup.reset(ctx);
+        self.sealed = false;
         self.child.open(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
         loop {
-            let Some(b) = self.child.pull(ctx)? else { return Ok(None) };
-            let mut out = Vec::new();
-            for row in b.rows {
-                let rec = row.project(&self.vars)?;
-                if self.seen.insert(rec.clone()) {
-                    ctx.resident_acquire(1);
-                    out.push(rec);
-                }
+            if self.sealed {
+                let out = self.dedup.next_deferred(ctx.batch_size(), ctx, &mut self.stats)?;
+                return Ok(if out.is_empty() { None } else { Some(Batch::new(out)) });
             }
-            if !out.is_empty() {
-                return Ok(Some(Batch::new(out)));
+            match self.child.pull(ctx)? {
+                None => {
+                    self.dedup.seal(ctx)?;
+                    self.sealed = true;
+                }
+                Some(b) => {
+                    let mut out = Vec::new();
+                    for row in b.rows {
+                        let rec = row.project(&self.vars)?;
+                        if let Some(rec) = self.dedup.offer(rec, ctx, &mut self.stats)? {
+                            out.push(rec);
+                        }
+                    }
+                    if !out.is_empty() {
+                        return Ok(Some(Batch::new(out)));
+                    }
+                }
             }
         }
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
-        ctx.resident_release(self.seen.len());
-        self.seen.clear();
+        self.dedup.reset(ctx);
         self.child.close(ctx);
     }
 
@@ -830,8 +937,27 @@ impl Operator for NlJoinOp<'_> {
     }
 }
 
+/// Grace-hash-join state: build/probe partition pairs still to process,
+/// and the partition currently being probed.
+struct GraceJoin {
+    /// (build, probe, depth) triples, processed front to back.
+    parts: VecDeque<(SpillFile, SpillFile, usize)>,
+    cur: Option<GracePart>,
+}
+
+struct GracePart {
+    table: hash::HashTable,
+    reader: RunReader,
+    /// Keeps the probe run alive while its reader streams.
+    _file: SpillFile,
+}
+
 /// Hash join: the build side (right) is the pipeline breaker; the probe
-/// side (left) streams.
+/// side (left) streams. Under a memory budget the build switches to
+/// **grace hash**: both sides hash-partition to spill files on the join
+/// key, then each partition joins independently (an in-memory build over
+/// the partition's build rows, batch-streamed probes from its probe run),
+/// with oversized partitions recursively repartitioned under a fresh seed.
 struct HashJoinOp<'p> {
     left: BoxedOperator<'p>,
     right: BoxedOperator<'p>,
@@ -840,7 +966,11 @@ struct HashJoinOp<'p> {
     residual: Option<&'p ScalarExpr>,
     kind: &'p JoinKind,
     env: Env,
+    build_part: PartFn<'p>,
+    probe_part: PartFn<'p>,
     table: Option<hash::HashTable>,
+    grace: Option<GraceJoin>,
+    built: bool,
     carry: VecDeque<Record>,
     done: bool,
     stats: OpStats,
@@ -855,6 +985,12 @@ impl Operator for HashJoinOp<'_> {
         if let Some(t) = self.table.take() {
             ctx.resident_release(t.len());
         }
+        if let Some(g) = self.grace.take() {
+            if let Some(cur) = g.cur {
+                ctx.resident_release(cur.table.len());
+            }
+        }
+        self.built = false;
         ctx.resident_release(self.carry.len());
         self.carry.clear();
         self.done = false;
@@ -863,11 +999,45 @@ impl Operator for HashJoinOp<'_> {
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
-        if self.table.is_none() {
-            let r = drain(&mut self.right, ctx)?;
-            let table = hash::build(r, self.right_keys, &mut self.env, &mut ctx.metrics)?;
-            ctx.resident_acquire(table.len());
-            self.table = Some(table);
+        if !self.built {
+            match spill::drain_or_spill(
+                &mut self.right,
+                ctx,
+                &mut self.env,
+                &self.build_part,
+                true, // NULL keys never match: drop them before they hit disk
+                &mut self.stats,
+            )? {
+                Drained::Mem(r) => {
+                    let n_in = r.len();
+                    let table = hash::build(r, self.right_keys, &mut self.env, &mut ctx.metrics)?;
+                    // `build` *moves* the drained rows (already counted by
+                    // the drain) into the table; only the NULL-key rows it
+                    // drops leave resident state.
+                    ctx.resident_release(n_in - table.len());
+                    self.table = Some(table);
+                }
+                Drained::Spilled(build_files) => {
+                    // Grace mode: the probe side must partition the same
+                    // way (NULL-key probe rows go to partition 0, where
+                    // they probe empty and take the kind's dangling path).
+                    let probe_files = spill::spill_stream(
+                        &mut self.left,
+                        ctx,
+                        &mut self.env,
+                        &self.probe_part,
+                        false,
+                        &mut self.stats,
+                    )?;
+                    let parts = build_files
+                        .into_iter()
+                        .zip(probe_files)
+                        .map(|(b, p)| (b, p, 1))
+                        .collect();
+                    self.grace = Some(GraceJoin { parts, cur: None });
+                }
+            }
+            self.built = true;
         }
         let n = ctx.batch_size();
         loop {
@@ -877,21 +1047,95 @@ impl Operator for HashJoinOp<'_> {
             if self.done {
                 return Ok(None);
             }
-            match self.left.pull(ctx)? {
+            if let Some(table) = self.table.as_ref() {
+                // In-memory path: stream probe batches from the left child.
+                match self.left.pull(ctx)? {
+                    None => self.done = true,
+                    Some(b) => {
+                        let out = hash::probe(
+                            &b.rows,
+                            table,
+                            self.left_keys,
+                            self.residual,
+                            self.kind,
+                            &mut self.env,
+                            &mut ctx.metrics,
+                        )?;
+                        ctx.resident_acquire(out.len());
+                        self.carry.extend(out);
+                    }
+                }
+                continue;
+            }
+            // Grace path: stream probe batches from the current
+            // partition's run, loading the next partition as needed.
+            let g = self.grace.as_mut().expect("grace mode engaged");
+            if let Some(cur) = g.cur.as_mut() {
+                let batch = cur.reader.read_batch(n)?;
+                if batch.is_empty() {
+                    ctx.resident_release(cur.table.len());
+                    g.cur = None;
+                    continue;
+                }
+                let out = hash::probe(
+                    &batch,
+                    &cur.table,
+                    self.left_keys,
+                    self.residual,
+                    self.kind,
+                    &mut self.env,
+                    &mut ctx.metrics,
+                )?;
+                ctx.resident_acquire(out.len());
+                self.carry.extend(out);
+                continue;
+            }
+            match g.parts.pop_front() {
                 None => self.done = true,
-                Some(b) => {
-                    let table = self.table.as_ref().expect("built above");
-                    let out = hash::probe(
-                        &b.rows,
-                        table,
-                        self.left_keys,
-                        self.residual,
-                        self.kind,
-                        &mut self.env,
-                        &mut ctx.metrics,
-                    )?;
-                    ctx.resident_acquire(out.len());
-                    self.carry.extend(out);
+                Some((bf, pf, depth)) => {
+                    if ctx.over_budget(bf.rows() as usize)
+                        && depth < MAX_REPARTITION_DEPTH
+                        && bf.rows() > 1
+                    {
+                        // Skewed partition: re-split both sides with the
+                        // next seed so equal keys stay paired.
+                        let seed = depth as u64;
+                        let nb = spill::repartition(
+                            bf,
+                            ctx,
+                            &mut self.env,
+                            &self.build_part,
+                            seed,
+                            true,
+                            &mut self.stats,
+                        )?;
+                        let np = spill::repartition(
+                            pf,
+                            ctx,
+                            &mut self.env,
+                            &self.probe_part,
+                            seed,
+                            false,
+                            &mut self.stats,
+                        )?;
+                        let g = self.grace.as_mut().expect("still grace");
+                        for (b2, p2) in nb.into_iter().zip(np).rev() {
+                            g.parts.push_front((b2, p2, depth + 1));
+                        }
+                        continue;
+                    }
+                    if pf.is_empty() {
+                        // Every join kind emits per probe row (or pair);
+                        // no probe rows means no output from this part.
+                        continue;
+                    }
+                    let build_rows = bf.reader()?.read_all()?;
+                    let table =
+                        hash::build(build_rows, self.right_keys, &mut self.env, &mut ctx.metrics)?;
+                    ctx.resident_acquire(table.len());
+                    let reader = pf.reader()?;
+                    let g = self.grace.as_mut().expect("still grace");
+                    g.cur = Some(GracePart { table, reader, _file: pf });
                 }
             }
         }
@@ -900,6 +1144,11 @@ impl Operator for HashJoinOp<'_> {
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
         if let Some(t) = self.table.take() {
             ctx.resident_release(t.len());
+        }
+        if let Some(g) = self.grace.take() {
+            if let Some(cur) = g.cur {
+                ctx.resident_release(cur.table.len());
+            }
         }
         ctx.resident_release(self.carry.len());
         self.carry.clear();
@@ -929,12 +1178,21 @@ type UnaryKernel<'p> =
 
 /// A one-input pipeline breaker: drains its child, runs a materialized
 /// kernel (ν / ν* / GROUP BY), then re-emits the result in batches.
+///
+/// Under a memory budget the drain switches to partitioned spill on the
+/// operator's grouping key ([`spill::drain_or_spill`]); the kernel then
+/// runs once per partition — grouping keys co-partition, so per-partition
+/// outputs concatenate to the in-memory result (up to emission order,
+/// which set semantics absorbs).
 struct UnaryBreaker<'p> {
     name: String,
     child: BoxedOperator<'p>,
     env: Env,
     kernel: UnaryKernel<'p>,
+    part: PartFn<'p>,
     out: Option<VecDeque<Record>>,
+    grace: Option<VecDeque<(SpillFile, usize)>>,
+    done: bool,
     stats: OpStats,
 }
 
@@ -947,27 +1205,93 @@ impl Operator for UnaryBreaker<'_> {
         if let Some(out) = self.out.take() {
             ctx.resident_release(out.len());
         }
+        self.grace = None;
+        self.done = false;
         self.child.open(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
-        if self.out.is_none() {
-            let input = drain(&mut self.child, ctx)?;
-            ctx.resident_acquire(input.len());
-            let out = (self.kernel)(&input, &mut self.env, &mut ctx.metrics)?;
-            ctx.resident_acquire(out.len());
-            ctx.resident_release(input.len());
-            drop(input);
-            self.out = Some(out.into());
+        loop {
+            if let Some(out) = self.out.as_mut() {
+                if let Some(b) = pop_carry(out, ctx.batch_size(), ctx) {
+                    return Ok(Some(b));
+                }
+                self.out = None;
+                if self.grace.is_none() {
+                    self.done = true;
+                }
+            }
+            if self.done {
+                return Ok(None);
+            }
+            if self.grace.is_none() {
+                match spill::drain_or_spill(
+                    &mut self.child,
+                    ctx,
+                    &mut self.env,
+                    &self.part,
+                    false,
+                    &mut self.stats,
+                )? {
+                    Drained::Mem(input) => {
+                        let out = (self.kernel)(&input, &mut self.env, &mut ctx.metrics)?;
+                        ctx.resident_acquire(out.len());
+                        ctx.resident_release(input.len());
+                        drop(input);
+                        self.out = Some(out.into());
+                        continue;
+                    }
+                    Drained::Spilled(files) => {
+                        self.grace = Some(files.into_iter().map(|f| (f, 1)).collect());
+                    }
+                }
+            }
+            // Grace mode: run the kernel over the next partition.
+            let g = self.grace.as_mut().expect("grace mode engaged");
+            match g.pop_front() {
+                None => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                Some((file, depth)) => {
+                    if ctx.over_budget(file.rows() as usize)
+                        && depth < MAX_REPARTITION_DEPTH
+                        && file.rows() > 1
+                    {
+                        let subs = spill::repartition(
+                            file,
+                            ctx,
+                            &mut self.env,
+                            &self.part,
+                            depth as u64,
+                            false,
+                            &mut self.stats,
+                        )?;
+                        let g = self.grace.as_mut().expect("still grace");
+                        for f in subs.into_iter().rev() {
+                            g.push_front((f, depth + 1));
+                        }
+                        continue;
+                    }
+                    if file.is_empty() {
+                        continue;
+                    }
+                    let input = file.reader()?.read_all()?;
+                    ctx.resident_acquire(input.len());
+                    let out = (self.kernel)(&input, &mut self.env, &mut ctx.metrics)?;
+                    ctx.resident_acquire(out.len());
+                    ctx.resident_release(input.len());
+                    self.out = Some(out.into());
+                }
+            }
         }
-        let out = self.out.as_mut().expect("materialized above");
-        Ok(pop_carry(out, ctx.batch_size(), ctx))
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
         if let Some(out) = self.out.take() {
             ctx.resident_release(out.len());
         }
+        self.grace = None;
         self.child.close(ctx);
     }
 
@@ -989,13 +1313,23 @@ type BinaryKernel<'p> =
 
 /// A two-input pipeline breaker: drains both children, runs a materialized
 /// kernel (sort-merge join, set operation), then re-emits in batches.
+///
+/// Under a memory budget both operands partition on keys that co-locate
+/// every interacting pair of rows (equi-join keys; whole output values for
+/// set operations), and the kernel runs per partition pair. If only the
+/// second operand overflows, the already-buffered first operand is
+/// partitioned post hoc so the pairing stays aligned.
 struct BinaryBreaker<'p> {
     name: String,
     left: BoxedOperator<'p>,
     right: BoxedOperator<'p>,
     env: Env,
     kernel: BinaryKernel<'p>,
+    left_part: PartFn<'p>,
+    right_part: PartFn<'p>,
     out: Option<VecDeque<Record>>,
+    grace: Option<VecDeque<(SpillFile, SpillFile, usize)>>,
+    done: bool,
     stats: OpStats,
 }
 
@@ -1008,30 +1342,157 @@ impl Operator for BinaryBreaker<'_> {
         if let Some(out) = self.out.take() {
             ctx.resident_release(out.len());
         }
+        self.grace = None;
+        self.done = false;
         self.left.open(ctx)?;
         self.right.open(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
-        if self.out.is_none() {
-            let l = drain(&mut self.left, ctx)?;
-            ctx.resident_acquire(l.len());
-            let r = drain(&mut self.right, ctx)?;
-            ctx.resident_acquire(r.len());
-            let out = (self.kernel)(&l, &r, &mut self.env, &mut ctx.metrics)?;
-            ctx.resident_acquire(out.len());
-            ctx.resident_release(l.len() + r.len());
-            drop((l, r));
-            self.out = Some(out.into());
+        loop {
+            if let Some(out) = self.out.as_mut() {
+                if let Some(b) = pop_carry(out, ctx.batch_size(), ctx) {
+                    return Ok(Some(b));
+                }
+                self.out = None;
+                if self.grace.is_none() {
+                    self.done = true;
+                }
+            }
+            if self.done {
+                return Ok(None);
+            }
+            if self.grace.is_none() {
+                let left = spill::drain_or_spill(
+                    &mut self.left,
+                    ctx,
+                    &mut self.env,
+                    &self.left_part,
+                    false,
+                    &mut self.stats,
+                )?;
+                let right = spill::drain_or_spill(
+                    &mut self.right,
+                    ctx,
+                    &mut self.env,
+                    &self.right_part,
+                    false,
+                    &mut self.stats,
+                )?;
+                match (left, right) {
+                    // The budget bounds the breaker's *combined* state, so
+                    // two individually-fitting operands must still spill
+                    // when their sum overflows.
+                    (Drained::Mem(l), Drained::Mem(r))
+                        if !ctx.over_budget(l.len() + r.len()) =>
+                    {
+                        let out = (self.kernel)(&l, &r, &mut self.env, &mut ctx.metrics)?;
+                        ctx.resident_acquire(out.len());
+                        ctx.resident_release(l.len() + r.len());
+                        drop((l, r));
+                        self.out = Some(out.into());
+                        continue;
+                    }
+                    (l, r) => {
+                        // At least one side spilled (or the sides only
+                        // overflow together): bring both to the same
+                        // partitioned form.
+                        let lf = match l {
+                            Drained::Spilled(files) => files,
+                            Drained::Mem(rows) => {
+                                let n = rows.len();
+                                let files = spill::spill_rows(
+                                    rows,
+                                    ctx,
+                                    &mut self.env,
+                                    &self.left_part,
+                                    false,
+                                    &mut self.stats,
+                                )?;
+                                ctx.resident_release(n);
+                                files
+                            }
+                        };
+                        let rf = match r {
+                            Drained::Spilled(files) => files,
+                            Drained::Mem(rows) => {
+                                let n = rows.len();
+                                let files = spill::spill_rows(
+                                    rows,
+                                    ctx,
+                                    &mut self.env,
+                                    &self.right_part,
+                                    false,
+                                    &mut self.stats,
+                                )?;
+                                ctx.resident_release(n);
+                                files
+                            }
+                        };
+                        self.grace = Some(
+                            lf.into_iter().zip(rf).map(|(a, b)| (a, b, 1)).collect(),
+                        );
+                    }
+                }
+            }
+            // Grace mode: kernel per partition pair.
+            let g = self.grace.as_mut().expect("grace mode engaged");
+            match g.pop_front() {
+                None => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                Some((lf, rf, depth)) => {
+                    let total = lf.rows() + rf.rows();
+                    if ctx.over_budget(total as usize)
+                        && depth < MAX_REPARTITION_DEPTH
+                        && total > 1
+                    {
+                        let seed = depth as u64;
+                        let nl = spill::repartition(
+                            lf,
+                            ctx,
+                            &mut self.env,
+                            &self.left_part,
+                            seed,
+                            false,
+                            &mut self.stats,
+                        )?;
+                        let nr = spill::repartition(
+                            rf,
+                            ctx,
+                            &mut self.env,
+                            &self.right_part,
+                            seed,
+                            false,
+                            &mut self.stats,
+                        )?;
+                        let g = self.grace.as_mut().expect("still grace");
+                        for (a, b) in nl.into_iter().zip(nr).rev() {
+                            g.push_front((a, b, depth + 1));
+                        }
+                        continue;
+                    }
+                    if lf.is_empty() && rf.is_empty() {
+                        continue;
+                    }
+                    let l = lf.reader()?.read_all()?;
+                    let r = rf.reader()?.read_all()?;
+                    ctx.resident_acquire(l.len() + r.len());
+                    let out = (self.kernel)(&l, &r, &mut self.env, &mut ctx.metrics)?;
+                    ctx.resident_acquire(out.len());
+                    ctx.resident_release(l.len() + r.len());
+                    self.out = Some(out.into());
+                }
+            }
         }
-        let out = self.out.as_mut().expect("materialized above");
-        Ok(pop_carry(out, ctx.batch_size(), ctx))
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
         if let Some(out) = self.out.take() {
             ctx.resident_release(out.len());
         }
+        self.grace = None;
         self.left.close(ctx);
         self.right.close(ctx);
     }

@@ -1,0 +1,236 @@
+//! Spill-tier invariants: with `memory_budget_rows` set, every pipeline
+//! breaker produces results identical to the unbounded run, the resident
+//! gauge respects the budget (up to batch-granular slack), and skew that
+//! defeats partitioning degrades gracefully instead of failing.
+
+use proptest::prelude::*;
+use tmql_algebra::{AggFn, CmpOp, Plan, ScalarExpr as E, SetOpKind};
+use tmql_exec::{run, ExecConfig, JoinAlgo};
+use tmql_model::Record;
+use tmql_storage::{table::int_table, Catalog};
+
+fn catalog(x: &[(i64, i64)], y: &[(i64, i64)]) -> Catalog {
+    let mut cat = Catalog::new();
+    let xr: Vec<Vec<i64>> = x.iter().map(|(a, b)| vec![*a, *b]).collect();
+    let yr: Vec<Vec<i64>> = y.iter().map(|(b, c)| vec![*b, *c]).collect();
+    cat.register(int_table("X", &["a", "b"], &xr.iter().map(Vec::as_slice).collect::<Vec<_>>()))
+        .unwrap();
+    cat.register(int_table("Y", &["b", "c"], &yr.iter().map(Vec::as_slice).collect::<Vec<_>>()))
+        .unwrap();
+    cat
+}
+
+/// Sized catalog: X rows (i, i % modb), Y rows (i % modb, i) — every X row
+/// has join partners on b, group keys collapse `modb`-ways.
+fn sized_catalog(n: i64, modb: i64) -> Catalog {
+    let x: Vec<(i64, i64)> = (0..n).map(|i| (i, i % modb)).collect();
+    let y: Vec<(i64, i64)> = (0..n).map(|i| (i % modb, i)).collect();
+    catalog(&x, &y)
+}
+
+/// Every breaker shape: hash/merge joins of all kinds, ν, GROUP BY, set
+/// ops, and Map dedup.
+fn breaker_corpus() -> Vec<(&'static str, Plan)> {
+    let equi = || E::eq(E::path("x", &["b"]), E::path("y", &["b"]));
+    vec![
+        ("join", Plan::scan("X", "x").join(Plan::scan("Y", "y"), equi())),
+        ("semi", Plan::scan("X", "x").semi_join(Plan::scan("Y", "y"), equi())),
+        ("anti", Plan::scan("X", "x").anti_join(Plan::scan("Y", "y"), equi())),
+        (
+            "outer",
+            Plan::LeftOuterJoin {
+                left: Box::new(Plan::scan("X", "x")),
+                right: Box::new(Plan::scan("Y", "y")),
+                pred: equi(),
+            },
+        ),
+        (
+            "nestjoin",
+            Plan::scan("X", "x").nest_join(Plan::scan("Y", "y"), equi(), E::path("y", &["c"]), "cs"),
+        ),
+        (
+            "nest",
+            Plan::Nest {
+                input: Box::new(Plan::scan("X", "x")),
+                keys: vec!["x".into()],
+                value: E::path("x", &["b"]),
+                label: "bs".into(),
+                star: false,
+            },
+        ),
+        (
+            "group-agg",
+            Plan::GroupAgg {
+                input: Box::new(Plan::scan("Y", "y")),
+                keys: vec![("b".into(), E::path("y", &["b"]))],
+                aggs: vec![("n".into(), AggFn::Count, E::var("y"))],
+                var: "g".into(),
+            },
+        ),
+        (
+            "setop-except",
+            Plan::SetOp {
+                kind: SetOpKind::Except,
+                left: Box::new(Plan::scan("X", "x").map(E::path("x", &["a"]), "v")),
+                right: Box::new(Plan::scan("Y", "y").map(E::path("y", &["b"]), "v")),
+                var: "v".into(),
+            },
+        ),
+        (
+            "setop-union",
+            Plan::SetOp {
+                kind: SetOpKind::Union,
+                left: Box::new(Plan::scan("X", "x").map(E::path("x", &["a"]), "v")),
+                right: Box::new(Plan::scan("Y", "y").map(E::path("y", &["c"]), "v")),
+                var: "v".into(),
+            },
+        ),
+        ("map-dedup", Plan::scan("X", "x").map(E::path("x", &["a"]), "v")),
+        (
+            "filtered-map",
+            Plan::scan("X", "x")
+                .select(E::cmp(CmpOp::Ge, E::path("x", &["a"]), E::lit(3i64)))
+                .map(E::path("x", &["a"]), "v"),
+        ),
+    ]
+}
+
+fn multiset(rows: Vec<Record>) -> Vec<Record> {
+    let mut rows = rows;
+    rows.sort();
+    rows
+}
+
+#[test]
+fn budgeted_runs_match_unbounded_for_every_breaker() {
+    let cat = sized_catalog(512, 16);
+    for algo in [JoinAlgo::Hash, JoinAlgo::SortMerge] {
+        for (name, plan) in breaker_corpus() {
+            let free = ExecConfig::with_join_algo(algo).batch_size(64);
+            let (rows_free, m_free) = run(&plan, &cat, &free).unwrap();
+            let tight = free.memory_budget(48);
+            let (rows_tight, m_tight) = run(&plan, &cat, &tight).unwrap();
+            assert_eq!(
+                multiset(rows_free),
+                multiset(rows_tight),
+                "{name}/{algo:?}: budgeted result diverged"
+            );
+            assert!(
+                m_tight.rows_spilled > 0,
+                "{name}/{algo:?}: breaker state of 512 rows under a 48-row budget must spill"
+            );
+            assert_eq!(m_free.rows_spilled, 0, "{name}/{algo:?}: unbounded run spilled");
+            assert!(
+                m_tight.peak_resident_rows < m_free.peak_resident_rows,
+                "{name}/{algo:?}: spilling should lower the resident peak \
+                 (free={} tight={})",
+                m_free.peak_resident_rows,
+                m_tight.peak_resident_rows
+            );
+        }
+    }
+}
+
+#[test]
+fn grace_hash_join_bounds_resident_rows() {
+    // Build side 2048 rows at an 8× overshoot of the 256-row budget: the
+    // grace join must keep the gauge within budget + batch-granular slack.
+    let cat = sized_catalog(2048, 64);
+    let plan = Plan::scan("X", "x")
+        .semi_join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+    let budget = 256;
+    let batch = 128;
+    let config = ExecConfig::with_join_algo(JoinAlgo::Hash).batch_size(batch).memory_budget(budget);
+    let (rows, m) = run(&plan, &cat, &config).unwrap();
+    assert_eq!(rows.len(), 2048, "every X row has partners on b");
+    assert!(m.rows_spilled > 0);
+    assert!(m.spill_partitions > 0);
+    assert!(
+        m.peak_resident_rows <= (budget + 3 * batch) as u64,
+        "peak {} exceeds budget {} + slack",
+        m.peak_resident_rows,
+        budget
+    );
+}
+
+#[test]
+fn skewed_keys_repartition_and_still_finish() {
+    // Every row shares one join key: partitioning cannot split the build
+    // side, so recursion must hit its depth cap and fall back to an
+    // in-memory partition — correct results, no infinite loop.
+    let x: Vec<(i64, i64)> = (0..256).map(|i| (i, 7)).collect();
+    let y: Vec<(i64, i64)> = (0..256).map(|i| (7, i)).collect();
+    let cat = catalog(&x, &y);
+    let plan = Plan::scan("X", "x")
+        .nest_join(
+            Plan::scan("Y", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+            E::path("y", &["c"]),
+            "cs",
+        );
+    let free = ExecConfig::with_join_algo(JoinAlgo::Hash).batch_size(32);
+    let (rows_free, _) = run(&plan, &cat, &free).unwrap();
+    let (rows_tight, m) = run(&plan, &cat, &free.memory_budget(16)).unwrap();
+    assert_eq!(multiset(rows_free), multiset(rows_tight));
+    assert!(m.rows_spilled > 0, "the skewed build side still spills on the way through");
+}
+
+#[test]
+fn binary_breaker_budget_bounds_combined_operands() {
+    // Each set-op operand fits the budget alone (100 rows ≤ 120); their
+    // sum does not. The breaker bounds *combined* state, so this must
+    // spill rather than holding ~200 rows resident.
+    let cat = sized_catalog(100, 100);
+    let plan = Plan::SetOp {
+        kind: SetOpKind::Union,
+        left: Box::new(Plan::scan("X", "x").map(E::path("x", &["a"]), "v")),
+        right: Box::new(Plan::scan("Y", "y").map(E::path("y", &["c"]), "v")),
+        var: "v".into(),
+    };
+    let free = ExecConfig::auto().batch_size(32);
+    let (rows_free, _) = run(&plan, &cat, &free).unwrap();
+    let (rows_tight, m) = run(&plan, &cat, &free.memory_budget(120)).unwrap();
+    assert_eq!(multiset(rows_free), multiset(rows_tight));
+    assert!(m.rows_spilled > 0, "combined 200-row state over a 120-row budget must spill");
+}
+
+#[test]
+fn resident_gauge_returns_to_zero_after_spilling_runs() {
+    let cat = sized_catalog(300, 8);
+    for (name, plan) in breaker_corpus() {
+        let config = ExecConfig::auto().batch_size(32).memory_budget(24);
+        let phys = tmql_exec::lower(&plan, &cat, &config).unwrap();
+        let mut ctx = tmql_exec::ExecContext::with_config(&cat, &config);
+        let _ = tmql_exec::execute(&phys, &mut ctx, &tmql_algebra::Env::new()).unwrap();
+        assert_eq!(ctx.resident_rows(), 0, "{name}: leaked resident rows after spill");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential: for random inputs, budgets, batch sizes, and join
+    /// algorithms, budgeted execution returns exactly the unbounded rows.
+    #[test]
+    fn budget_never_changes_results(
+        x in prop::collection::vec((0i64..16, 0i64..6), 0..48),
+        y in prop::collection::vec((0i64..6, 0i64..16), 0..48),
+        budget in 1usize..24,
+        bs_i in 0usize..3,
+        algo_i in 0usize..2,
+    ) {
+        let bs = [1usize, 7, 64][bs_i];
+        let algo = [JoinAlgo::Hash, JoinAlgo::SortMerge][algo_i];
+        let cat = catalog(&x, &y);
+        for (name, plan) in breaker_corpus() {
+            let free = ExecConfig::with_join_algo(algo).batch_size(bs);
+            let (rows_free, _) = run(&plan, &cat, &free).unwrap();
+            let (rows_tight, _) = run(&plan, &cat, &free.memory_budget(budget)).unwrap();
+            prop_assert_eq!(
+                multiset(rows_free),
+                multiset(rows_tight),
+                "{}: budget {} diverged", name, budget
+            );
+        }
+    }
+}

@@ -33,6 +33,10 @@ pub enum ModelError {
     SchemaError(String),
     /// Arithmetic error (division by zero, overflow).
     Arithmetic(String),
+    /// I/O failure in a spill file or other on-disk structure. Carries the
+    /// rendered `std::io::Error` (the cause is not kept: `ModelError` is
+    /// `Clone + PartialEq`, which `io::Error` is not).
+    Io(String),
 }
 
 impl fmt::Display for ModelError {
@@ -48,6 +52,7 @@ impl fmt::Display for ModelError {
             ModelError::DuplicateField(l) => write!(f, "duplicate top-level label `{l}`"),
             ModelError::SchemaError(m) => write!(f, "schema error: {m}"),
             ModelError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            ModelError::Io(m) => write!(f, "i/o error: {m}"),
         }
     }
 }

@@ -18,15 +18,21 @@
 //! * [`index`] — hash and ordered indexes over one attribute. The executor
 //!   builds equivalent transient structures inside its hash/merge joins;
 //!   these persistent variants back index-based access paths and give
-//!   tests a reference implementation of key lookup.
+//!   tests a reference implementation of key lookup;
+//! * [`spill`] — on-disk record runs ([`SpillDir`], [`RunWriter`],
+//!   [`SpillFile`], [`RunReader`]) with a length-prefixed binary codec, the
+//!   substrate of the executor's larger-than-memory (grace-hash /
+//!   partitioned) mode.
 
 pub mod catalog;
 pub mod index;
+pub mod spill;
 pub mod stats;
 pub mod table;
 
 pub use catalog::Catalog;
 pub use index::{HashIndex, OrdIndex};
+pub use spill::{RunReader, RunWriter, SpillDir, SpillFile};
 pub use stats::{ColumnStats, Histogram, StatsBuilder, TableStats};
 pub use table::Table;
 

@@ -1,0 +1,477 @@
+//! Spill files: on-disk runs of records for larger-than-memory execution.
+//!
+//! The streaming executor's pipeline breakers (hash-join build sides,
+//! grouping state, sort buffers, dedup sets) are the only places resident
+//! memory grows with the data. When a breaker's state would exceed the
+//! configured `memory_budget_rows`, it spills rows here: a [`RunWriter`]
+//! serializes records **length-prefixed** into a file under a per-query
+//! [`SpillDir`] in the OS temp directory, and a [`RunReader`] streams them
+//! back in batches. Files delete themselves when the owning [`SpillFile`]
+//! drops, and the whole directory is removed when the [`SpillDir`] drops —
+//! a crash leaves at most one stale `tmql-spill-*` directory per process,
+//! inside the OS temp dir where it is reclaimed by the platform.
+//!
+//! # On-disk format
+//!
+//! A run is a sequence of frames, each `u32` little-endian payload length
+//! followed by the payload: one encoded [`Record`]. Values are encoded with
+//! a one-byte kind tag followed by the payload (integers and float bits
+//! little-endian, strings and labels as `u32` length + UTF-8, containers as
+//! `u32` element count + elements). The codec covers the full [`Value`]
+//! universe — nested tuples, sets, lists, and variants round-trip exactly,
+//! including `NaN` floats (bit-pattern preserved via `to_bits`).
+
+use std::collections::BTreeSet;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tmql_model::{ModelError, Record, Result, Value};
+
+/// Map an I/O failure into the model error type (rendered, since
+/// `io::Error` is neither `Clone` nor `PartialEq`).
+fn io_err(e: std::io::Error) -> ModelError {
+    ModelError::Io(e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Value / Record codec
+// ---------------------------------------------------------------------------
+
+mod tag {
+    pub const NULL: u8 = 0;
+    pub const FALSE: u8 = 1;
+    pub const TRUE: u8 = 2;
+    pub const INT: u8 = 3;
+    pub const FLOAT: u8 = 4;
+    pub const STR: u8 = 5;
+    pub const TUPLE: u8 = 6;
+    pub const SET: u8 = 7;
+    pub const LIST: u8 = 8;
+    pub const VARIANT: u8 = 9;
+}
+
+fn encode_len(out: &mut Vec<u8>, n: usize) {
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+}
+
+fn encode_str(out: &mut Vec<u8>, s: &str) {
+    encode_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append the encoding of one value to `out`.
+pub fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(tag::NULL),
+        Value::Bool(false) => out.push(tag::FALSE),
+        Value::Bool(true) => out.push(tag::TRUE),
+        Value::Int(i) => {
+            out.push(tag::INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(tag::FLOAT);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(tag::STR);
+            encode_str(out, s);
+        }
+        Value::Tuple(rec) => {
+            out.push(tag::TUPLE);
+            encode_fields(out, rec);
+        }
+        Value::Set(items) => {
+            out.push(tag::SET);
+            encode_len(out, items.len());
+            for item in items {
+                encode_value(out, item);
+            }
+        }
+        Value::List(items) => {
+            out.push(tag::LIST);
+            encode_len(out, items.len());
+            for item in items {
+                encode_value(out, item);
+            }
+        }
+        Value::Variant(label, inner) => {
+            out.push(tag::VARIANT);
+            encode_str(out, label);
+            encode_value(out, inner);
+        }
+    }
+}
+
+fn encode_fields(out: &mut Vec<u8>, rec: &Record) {
+    encode_len(out, rec.len());
+    for (label, v) in rec.iter() {
+        encode_str(out, label);
+        encode_value(out, v);
+    }
+}
+
+/// Encode one record as a standalone byte payload (no length prefix —
+/// framing is the run writer's job).
+pub fn encode_record(rec: &Record) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    encode_fields(&mut out, rec);
+    out
+}
+
+/// Cursor over an encoded payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|e| *e <= self.buf.len()).ok_or_else(|| {
+            ModelError::Io(format!("spill decode: truncated payload (want {n} bytes)"))
+        })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Result<&'a str> {
+        let n = self.u32()? as usize;
+        std::str::from_utf8(self.take(n)?)
+            .map_err(|e| ModelError::Io(format!("spill decode: invalid UTF-8: {e}")))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            tag::NULL => Value::Null,
+            tag::FALSE => Value::Bool(false),
+            tag::TRUE => Value::Bool(true),
+            tag::INT => Value::Int(self.u64()? as i64),
+            tag::FLOAT => Value::Float(f64::from_bits(self.u64()?)),
+            tag::STR => Value::Str(Arc::from(self.str()?)),
+            tag::TUPLE => Value::Tuple(self.record()?),
+            tag::SET => {
+                let n = self.u32()? as usize;
+                let mut items = BTreeSet::new();
+                for _ in 0..n {
+                    items.insert(self.value()?);
+                }
+                Value::Set(items)
+            }
+            tag::LIST => {
+                let n = self.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Value::List(items)
+            }
+            tag::VARIANT => {
+                let label = Arc::from(self.str()?);
+                Value::Variant(label, Box::new(self.value()?))
+            }
+            other => {
+                return Err(ModelError::Io(format!("spill decode: unknown value tag {other}")))
+            }
+        })
+    }
+
+    fn record(&mut self) -> Result<Record> {
+        let n = self.u32()? as usize;
+        let mut fields = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let label = self.str()?.to_string();
+            let v = self.value()?;
+            fields.push((label, v));
+        }
+        Record::new(fields)
+    }
+}
+
+/// Decode one record from an encoded payload (the inverse of
+/// [`encode_record`]). Fails on truncated or malformed bytes.
+pub fn decode_record(payload: &[u8]) -> Result<Record> {
+    let mut c = Cursor { buf: payload, pos: 0 };
+    let rec = c.record()?;
+    if c.pos != payload.len() {
+        return Err(ModelError::Io(format!(
+            "spill decode: {} trailing bytes after record",
+            payload.len() - c.pos
+        )));
+    }
+    Ok(rec)
+}
+
+// ---------------------------------------------------------------------------
+// Spill directory / runs
+// ---------------------------------------------------------------------------
+
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A per-query scratch directory under the OS temp dir. Created lazily by
+/// the executor the first time anything spills; removed (with everything
+/// in it) on drop.
+#[derive(Debug)]
+pub struct SpillDir {
+    path: PathBuf,
+    run_seq: AtomicU64,
+}
+
+impl SpillDir {
+    /// Create a fresh, uniquely named spill directory.
+    pub fn create() -> Result<SpillDir> {
+        let unique = SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir()
+            .join(format!("tmql-spill-{}-{unique}", std::process::id()));
+        fs::create_dir_all(&path).map_err(io_err)?;
+        Ok(SpillDir { path, run_seq: AtomicU64::new(0) })
+    }
+
+    /// The directory path (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Open a new run for writing.
+    pub fn create_run(&self) -> Result<RunWriter> {
+        let n = self.run_seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.path.join(format!("run-{n}.spill"));
+        let file = File::create(&path).map_err(io_err)?;
+        Ok(RunWriter { out: BufWriter::new(file), path, rows: 0 })
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        // Best-effort cleanup; leaking a temp dir is not worth a panic.
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// An open spill run being written. Call [`RunWriter::finish`] to flush and
+/// turn it into a readable [`SpillFile`].
+#[derive(Debug)]
+pub struct RunWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    rows: u64,
+}
+
+impl RunWriter {
+    /// Append one record (length-prefixed frame).
+    pub fn write(&mut self, rec: &Record) -> Result<()> {
+        let payload = encode_record(rec);
+        // One frame is capped at u32::MAX bytes. This also guards every
+        // inner `as u32` in the codec: an overflowing string or container
+        // length implies an overflowing payload.
+        let len = u32::try_from(payload.len()).map_err(|_| {
+            ModelError::Io(format!(
+                "spill frame too large: one record encodes to {} bytes (max {})",
+                payload.len(),
+                u32::MAX
+            ))
+        })?;
+        self.out.write_all(&len.to_le_bytes()).map_err(io_err)?;
+        self.out.write_all(&payload).map_err(io_err)?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Rows written so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Flush and seal the run.
+    pub fn finish(mut self) -> Result<SpillFile> {
+        self.out.flush().map_err(io_err)?;
+        Ok(SpillFile { path: self.path, rows: self.rows })
+    }
+}
+
+/// A sealed on-disk run. The file is deleted when this handle drops.
+#[derive(Debug)]
+pub struct SpillFile {
+    path: PathBuf,
+    rows: u64,
+}
+
+impl SpillFile {
+    /// Number of records in the run.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// True iff the run holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Open the run for a fresh sequential read.
+    pub fn reader(&self) -> Result<RunReader> {
+        let file = File::open(&self.path).map_err(io_err)?;
+        Ok(RunReader { input: BufReader::new(file), remaining: self.rows })
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Sequential batched reader over a sealed run.
+#[derive(Debug)]
+pub struct RunReader {
+    input: BufReader<File>,
+    remaining: u64,
+}
+
+impl RunReader {
+    /// Records not yet read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Read up to `n` records; an empty vector means end of run.
+    pub fn read_batch(&mut self, n: usize) -> Result<Vec<Record>> {
+        let k = (n as u64).min(self.remaining) as usize;
+        let mut out = Vec::with_capacity(k);
+        let mut payload = Vec::new();
+        for _ in 0..k {
+            let mut len_buf = [0u8; 4];
+            self.input.read_exact(&mut len_buf).map_err(io_err)?;
+            let len = u32::from_le_bytes(len_buf) as usize;
+            payload.resize(len, 0);
+            self.input.read_exact(&mut payload).map_err(io_err)?;
+            out.push(decode_record(&payload)?);
+            self.remaining -= 1;
+        }
+        Ok(out)
+    }
+
+    /// Read the whole remainder of the run.
+    pub fn read_all(&mut self) -> Result<Vec<Record>> {
+        let mut out = Vec::with_capacity(self.remaining as usize);
+        loop {
+            let batch = self.read_batch(4096)?;
+            if batch.is_empty() {
+                return Ok(out);
+            }
+            out.extend(batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<Record> {
+        let nested = Value::tuple([
+            ("name", Value::str("ann")),
+            ("tags", Value::set([Value::Int(1), Value::Int(2)])),
+        ]);
+        vec![
+            Record::new([("a".to_string(), Value::Int(1)), ("b".to_string(), nested)]).unwrap(),
+            Record::new([
+                ("a".to_string(), Value::Float(f64::NAN)),
+                ("b".to_string(), Value::List(vec![Value::Bool(true), Value::Null])),
+            ])
+            .unwrap(),
+            Record::new([
+                ("a".to_string(), Value::Variant(Arc::from("left"), Box::new(Value::Int(7)))),
+                ("b".to_string(), Value::empty_set()),
+            ])
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn codec_round_trips_every_value_kind() {
+        for rec in sample_rows() {
+            let bytes = encode_record(&rec);
+            let back = decode_record(&bytes).unwrap();
+            assert_eq!(rec, back);
+        }
+    }
+
+    #[test]
+    fn nan_float_round_trips_bit_exact() {
+        let rec = Record::new([("x".to_string(), Value::Float(f64::NAN))]).unwrap();
+        let back = decode_record(&encode_record(&rec)).unwrap();
+        match back.get("x").unwrap() {
+            Value::Float(x) => assert!(x.is_nan()),
+            other => panic!("expected float, got {other}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_record(&[]).is_err());
+        assert!(decode_record(&[1, 0, 0, 0, 0, 0, 0, 0, 255]).is_err());
+        // Trailing bytes after a well-formed record are an error too.
+        let mut bytes = encode_record(&Record::empty());
+        bytes.push(0);
+        assert!(decode_record(&bytes).is_err());
+    }
+
+    #[test]
+    fn run_round_trips_and_batches() {
+        let dir = SpillDir::create().unwrap();
+        let rows = sample_rows();
+        let mut w = dir.create_run().unwrap();
+        for r in &rows {
+            w.write(r).unwrap();
+        }
+        assert_eq!(w.rows(), 3);
+        let file = w.finish().unwrap();
+        assert_eq!(file.rows(), 3);
+        let mut r = file.reader().unwrap();
+        assert_eq!(r.read_batch(2).unwrap().len(), 2);
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.read_batch(2).unwrap().len(), 1);
+        assert!(r.read_batch(2).unwrap().is_empty(), "EOF is an empty batch");
+        // A second reader re-reads from the start.
+        let again = file.reader().unwrap().read_all().unwrap();
+        assert_eq!(again, rows);
+    }
+
+    #[test]
+    fn spill_files_and_dir_clean_up_after_themselves() {
+        let dir = SpillDir::create().unwrap();
+        let dir_path = dir.path().to_path_buf();
+        let mut w = dir.create_run().unwrap();
+        w.write(&Record::empty()).unwrap();
+        let file = w.finish().unwrap();
+        let file_path = dir_path.join("run-0.spill");
+        assert!(file_path.exists());
+        drop(file);
+        assert!(!file_path.exists(), "SpillFile removes its file on drop");
+        drop(dir);
+        assert!(!dir_path.exists(), "SpillDir removes itself on drop");
+    }
+
+    #[test]
+    fn empty_run_is_fine() {
+        let dir = SpillDir::create().unwrap();
+        let file = dir.create_run().unwrap().finish().unwrap();
+        assert!(file.is_empty());
+        assert!(file.reader().unwrap().read_all().unwrap().is_empty());
+    }
+}

@@ -31,9 +31,15 @@ meta commands:
                      nested-loop | kim | ganski-wong | muralikrishna |
                      nest-join | semi-anti | optimal | cost-based
   \\algo [name]       show or set the join algorithm: auto | nl | hash | merge
+  \\set <opt> <val>   set a session option:
+                     batch_size <rows> | memory_budget <rows|off> |
+                     strategy <name> | algo <name> | rules <on|off> |
+                     typecheck <on|off>
+  \\show              list the current session options
   \\explain <query>   show translated / optimized / physical plans (est_rows per operator)
   \\profile <query>   run the query; explain + executed operator tree
-                     with estimated vs actual rows per operator
+                     with estimated vs actual rows per operator (and
+                     spilled rows when a memory_budget forces spilling)
   \\strategies <q>    run <q> under every strategy, compare row counts
   \\help              this text
   \\quit              exit
@@ -92,22 +98,14 @@ impl Shell {
                     println!("  {name} ({n} rows)");
                 }
             }
-            "strategy" => match parse_strategy(rest) {
-                _ if rest.is_empty() => println!("strategy: {}", self.opts.strategy.name()),
-                Some(s) => {
-                    self.opts.strategy = s;
-                    println!("strategy: {}", s.name());
-                }
-                None => println!("unknown strategy `{rest}`; \\help for the list"),
-            },
-            "algo" => match parse_algo(rest) {
-                _ if rest.is_empty() => println!("algo: {:?}", self.opts.join_algo),
-                Some(a) => {
-                    self.opts.join_algo = a;
-                    println!("algo: {a:?}");
-                }
-                None => println!("unknown algorithm `{rest}`; \\help for the list"),
-            },
+            "strategy" if rest.is_empty() => {
+                println!("strategy: {}", self.opts.strategy.name())
+            }
+            "strategy" => self.set_option(&format!("strategy {rest}")),
+            "algo" if rest.is_empty() => println!("algo: {:?}", self.opts.join_algo),
+            "algo" => self.set_option(&format!("algo {rest}")),
+            "set" => self.set_option(rest),
+            "show" => self.show_options(),
             "explain" => match self.db.explain_with(rest, self.opts) {
                 Ok(s) => println!("{s}"),
                 Err(e) => println!("error: {e}"),
@@ -120,6 +118,84 @@ impl Shell {
             other => println!("unknown command `\\{other}`; \\help for the list"),
         }
         true
+    }
+
+    /// `\set <option> <value>`: mutate one session [`QueryOptions`] knob.
+    fn set_option(&mut self, spec: &str) {
+        let (key, val) = match spec.split_once(char::is_whitespace) {
+            Some((k, v)) => (k, v.trim()),
+            None => (spec, ""),
+        };
+        match key {
+            "batch_size" => match val.parse::<usize>() {
+                Ok(n) => {
+                    self.opts = self.opts.batch_size(n);
+                    println!("batch_size: {}", self.opts.batch_size);
+                }
+                Err(_) => println!("usage: \\set batch_size <rows>"),
+            },
+            "memory_budget" => match val {
+                "off" | "none" | "unbounded" => {
+                    self.opts.memory_budget_rows = None;
+                    println!("memory_budget: unbounded");
+                }
+                _ => match val.parse::<usize>() {
+                    Ok(n) => {
+                        self.opts = self.opts.memory_budget(n);
+                        println!(
+                            "memory_budget: {} rows (breakers spill past this)",
+                            self.opts.memory_budget_rows.expect("just set")
+                        );
+                    }
+                    Err(_) => println!("usage: \\set memory_budget <rows|off>"),
+                },
+            },
+            "strategy" => match parse_strategy(val) {
+                Some(s) => {
+                    self.opts.strategy = s;
+                    println!("strategy: {}", s.name());
+                }
+                None => println!("unknown strategy `{val}`; \\help for the list"),
+            },
+            "algo" => match parse_algo(val) {
+                Some(a) => {
+                    self.opts.join_algo = a;
+                    println!("algo: {a:?}");
+                }
+                None => println!("unknown algorithm `{val}`; \\help for the list"),
+            },
+            "rules" => match parse_on_off(val) {
+                Some(b) => {
+                    self.opts.apply_rules = b;
+                    println!("rules: {}", if b { "on" } else { "off" });
+                }
+                None => println!("usage: \\set rules <on|off>"),
+            },
+            "typecheck" => match parse_on_off(val) {
+                Some(b) => {
+                    self.opts.typecheck = b;
+                    println!("typecheck: {}", if b { "on" } else { "off" });
+                }
+                None => println!("usage: \\set typecheck <on|off>"),
+            },
+            "" => println!("usage: \\set <option> <value>; \\show lists the options"),
+            other => println!("unknown option `{other}`; \\show lists the options"),
+        }
+    }
+
+    /// `\show`: print every session option and its current value.
+    fn show_options(&self) {
+        let on_off = |b: bool| if b { "on" } else { "off" };
+        println!("session options (\\set <option> <value>):");
+        println!("  strategy       {}", self.opts.strategy.name());
+        println!("  algo           {:?}", self.opts.join_algo);
+        println!("  batch_size     {}", self.opts.batch_size);
+        match self.opts.memory_budget_rows {
+            Some(n) => println!("  memory_budget  {n} rows"),
+            None => println!("  memory_budget  unbounded"),
+        }
+        println!("  rules          {}", on_off(self.opts.apply_rules));
+        println!("  typecheck      {}", on_off(self.opts.typecheck));
     }
 
     fn load(&mut self, spec: &str) {
@@ -208,6 +284,14 @@ impl Shell {
 
 fn parse_strategy(s: &str) -> Option<UnnestStrategy> {
     UnnestStrategy::ALL.into_iter().find(|st| st.name() == s)
+}
+
+fn parse_on_off(s: &str) -> Option<bool> {
+    match s {
+        "on" | "true" | "1" => Some(true),
+        "off" | "false" | "0" => Some(false),
+        _ => None,
+    }
 }
 
 fn parse_algo(s: &str) -> Option<JoinAlgo> {

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # tmql — nested query optimization in a complex object model
 //!
@@ -128,6 +128,20 @@ pub struct QueryOptions {
     /// Rows per streaming batch in the executor (default 1024). Smaller
     /// batches lower peak memory; larger batches amortize dispatch.
     pub batch_size: usize,
+    /// Maximum rows any single pipeline breaker (hash-join build, grouping
+    /// or set-operation state, dedup set) may hold resident before
+    /// spilling to disk. `None` (the default) means unbounded — identical
+    /// behavior to before the spill tier existed. See
+    /// [`ExecConfig::memory_budget_rows`] for the exact semantics.
+    ///
+    /// ```
+    /// use tmql::QueryOptions;
+    ///
+    /// let opts = QueryOptions::default().memory_budget(10_000);
+    /// assert_eq!(opts.memory_budget_rows, Some(10_000));
+    /// assert_eq!(QueryOptions::default().memory_budget_rows, None);
+    /// ```
+    pub memory_budget_rows: Option<usize>,
     /// Apply the Section 5/6 rewrite rules after unnesting.
     pub apply_rules: bool,
     /// Run the type checker (on by default; turn off for benchmarks that
@@ -141,6 +155,7 @@ impl Default for QueryOptions {
             strategy: UnnestStrategy::CostBased,
             join_algo: JoinAlgo::Auto,
             batch_size: tmql_exec::DEFAULT_BATCH_SIZE,
+            memory_budget_rows: None,
             apply_rules: true,
             typecheck: true,
         }
@@ -166,8 +181,20 @@ impl QueryOptions {
         self
     }
 
+    /// Bound resident breaker state to `n` rows, spilling beyond it
+    /// (clamped to ≥ 1). Results are identical to an unbounded run; the
+    /// spill traffic shows up in [`Metrics::rows_spilled`].
+    pub fn memory_budget(mut self, n: usize) -> Self {
+        self.memory_budget_rows = Some(n.max(1));
+        self
+    }
+
     fn exec_config(&self) -> ExecConfig {
-        ExecConfig { join_algo: self.join_algo, batch_size: self.batch_size }
+        ExecConfig {
+            join_algo: self.join_algo,
+            batch_size: self.batch_size,
+            memory_budget_rows: self.memory_budget_rows,
+        }
     }
 }
 
@@ -208,6 +235,19 @@ impl QueryResult {
     /// actual/est)` over all executed operators (both sides floored at
     /// one row). 1.0 means every estimate was exact; CI smokes pin an
     /// upper bound on this to catch estimator regressions.
+    ///
+    /// ```
+    /// use tmql::Database;
+    /// use tmql_storage::table::int_table;
+    ///
+    /// let mut db = Database::new();
+    /// db.register_table(int_table("X", &["a"], &[&[1], &[2], &[3]])).unwrap();
+    /// let r = db.query("SELECT x.a FROM X x").unwrap();
+    /// // Exact statistics on a plain scan-and-project: every operator's
+    /// // estimate is spot on.
+    /// assert_eq!(r.max_qerror(), 1.0);
+    /// assert!(!r.ops.is_empty(), "structured per-operator profiles");
+    /// ```
     pub fn max_qerror(&self) -> f64 {
         self.ops.iter().filter_map(OpProfile::qerror).fold(1.0, f64::max)
     }
@@ -270,6 +310,28 @@ impl Database {
     }
 
     /// Run a query with explicit options.
+    ///
+    /// With a memory budget, pipeline breakers spill to disk instead of
+    /// growing past it — same results, bounded residency:
+    ///
+    /// ```
+    /// use tmql::{Database, QueryOptions};
+    /// use tmql_storage::table::int_table;
+    ///
+    /// let mut db = Database::new();
+    /// let rows: Vec<Vec<i64>> = (0..256).map(|i| vec![i, i % 8]).collect();
+    /// let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    /// db.register_table(int_table("X", &["n", "b"], &refs)).unwrap();
+    /// db.register_table(int_table("Y", &["a", "b"], &refs)).unwrap();
+    ///
+    /// let q = "SELECT x.b FROM X x WHERE x.n IN (SELECT y.a FROM Y y WHERE x.b = y.b)";
+    /// let free = db.query(q).unwrap();
+    /// let tight = db.query_with(q, QueryOptions::default().memory_budget(32)).unwrap();
+    /// assert_eq!(free.values, tight.values);
+    /// assert_eq!(free.metrics.rows_spilled, 0);
+    /// assert!(tight.metrics.rows_spilled > 0, "the 256-row build side spilled");
+    /// assert!(tight.metrics.peak_resident_rows < free.metrics.peak_resident_rows);
+    /// ```
     pub fn query_with(&self, src: &str, opts: QueryOptions) -> Result<QueryResult, TmqlError> {
         let (translated, optimized) = self.plan_with(src, opts)?;
         let config = opts.exec_config();
@@ -304,8 +366,11 @@ impl Database {
             apply_rules: opts.apply_rules,
         };
         // Storage statistics flow into strategy choice here: the
-        // estimator-backed cost model ranks CostBased candidates.
-        let model = EstimatorCostModel(Estimator::new(&self.catalog));
+        // estimator-backed cost model ranks CostBased candidates. The
+        // memory budget flows in too, so under tight memory the model
+        // charges spill I/O to plans with oversized breaker state.
+        let model =
+            EstimatorCostModel(Estimator::with_budget(&self.catalog, opts.memory_budget_rows));
         let optimized = optimizer.optimize_with(translated.clone(), Some(&model));
         Ok((translated, optimized))
     }

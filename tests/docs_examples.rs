@@ -1,0 +1,138 @@
+//! Executes every fenced `tmql` snippet in `docs/strategies.md`, so the
+//! documentation cannot rot: each block names a dataset and strategy,
+//! must parse/typecheck/run, and its `expect-plan:` substrings must
+//! appear in `EXPLAIN` output (`expect-rows:` pins the cardinality).
+
+use tmql::{Database, QueryOptions, UnnestStrategy};
+use tmql_workload::gen::{gen_rs, gen_xy, gen_xyz, GenConfig};
+use tmql_workload::schemas;
+
+/// One parsed snippet: directives plus the query text.
+#[derive(Debug, Default)]
+struct Snippet {
+    line: usize,
+    dataset: String,
+    strategy: String,
+    expect_plan: Vec<String>,
+    expect_rows: Option<usize>,
+    query: String,
+}
+
+/// Extract every ```tmql block with its `-- key: value` directives.
+fn parse_snippets(md: &str) -> Vec<Snippet> {
+    let mut out = Vec::new();
+    let mut cur: Option<Snippet> = None;
+    for (i, line) in md.lines().enumerate() {
+        match cur.as_mut() {
+            None => {
+                if line.trim() == "```tmql" {
+                    cur = Some(Snippet {
+                        line: i + 1,
+                        dataset: "company".into(),
+                        strategy: "cost-based".into(),
+                        ..Snippet::default()
+                    });
+                }
+            }
+            Some(s) => {
+                if line.trim() == "```" {
+                    out.push(cur.take().expect("open snippet"));
+                } else if let Some(rest) = line.trim().strip_prefix("--") {
+                    let rest = rest.trim();
+                    if let Some((key, val)) = rest.split_once(':') {
+                        let val = val.trim().to_string();
+                        match key.trim() {
+                            "dataset" => s.dataset = val,
+                            "strategy" => s.strategy = val,
+                            "expect-plan" => s.expect_plan.push(val),
+                            "expect-rows" => {
+                                s.expect_rows =
+                                    Some(val.parse().expect("expect-rows takes an integer"))
+                            }
+                            other => panic!("line {}: unknown directive `{other}`", i + 1),
+                        }
+                    }
+                } else {
+                    if !s.query.is_empty() {
+                        s.query.push(' ');
+                    }
+                    s.query.push_str(line.trim());
+                }
+            }
+        }
+    }
+    assert!(cur.is_none(), "unterminated ```tmql block");
+    out
+}
+
+fn load_dataset(name: &str) -> Database {
+    let cfg = GenConfig::sized(64);
+    let cat = match name {
+        "table1" => schemas::table1_catalog(),
+        "countbug" => schemas::count_bug_catalog(),
+        "company" => schemas::company_catalog(),
+        "section8" => schemas::section8_catalog(),
+        "rs" => gen_rs(&cfg),
+        "xy" => gen_xy(&cfg),
+        "xyz" => gen_xyz(&cfg),
+        other => panic!("snippet names unknown dataset `{other}`"),
+    };
+    Database::from_catalog(cat)
+}
+
+fn parse_strategy(name: &str) -> UnnestStrategy {
+    UnnestStrategy::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| panic!("snippet names unknown strategy `{name}`"))
+}
+
+#[test]
+fn every_strategies_md_snippet_runs_and_matches_its_plan() {
+    let md = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/docs/strategies.md"
+    ))
+    .expect("docs/strategies.md exists");
+    let snippets = parse_snippets(&md);
+    assert!(
+        snippets.len() >= UnnestStrategy::ALL.len(),
+        "strategies.md must exercise at least one snippet per strategy, found {}",
+        snippets.len()
+    );
+
+    let mut covered = std::collections::BTreeSet::new();
+    for s in &snippets {
+        let db = load_dataset(&s.dataset);
+        let strategy = parse_strategy(&s.strategy);
+        covered.insert(strategy.name());
+        let opts = QueryOptions::default().strategy(strategy);
+
+        let explain = db.explain_with(&s.query, opts).unwrap_or_else(|e| {
+            panic!("line {}: snippet does not plan: {e}\n{}", s.line, s.query)
+        });
+        for want in &s.expect_plan {
+            assert!(
+                explain.contains(want.as_str()),
+                "line {}: EXPLAIN lacks `{want}`:\n{explain}",
+                s.line
+            );
+        }
+
+        let result = db.query_with(&s.query, opts).unwrap_or_else(|e| {
+            panic!("line {}: snippet does not run: {e}\n{}", s.line, s.query)
+        });
+        if let Some(n) = s.expect_rows {
+            assert_eq!(result.len(), n, "line {}: row count", s.line);
+        }
+    }
+
+    // The file documents every variant; make sure none lost its snippet.
+    for strat in UnnestStrategy::ALL {
+        assert!(
+            covered.contains(strat.name()),
+            "strategies.md has no snippet for `{}`",
+            strat.name()
+        );
+    }
+}

@@ -78,6 +78,62 @@ fn explain_and_errors_dont_crash() {
 }
 
 #[test]
+fn help_lists_every_implemented_command() {
+    // The shell dispatches on these command heads (aliases excluded); each
+    // must be documented in `\help` so the help text cannot rot again the
+    // way it once missed `\profile`.
+    let commands = [
+        "\\load", "\\tables", "\\strategy", "\\algo", "\\set", "\\show", "\\explain",
+        "\\profile", "\\strategies", "\\help", "\\quit",
+    ];
+    let out = run_shell("\\help\n\\quit\n");
+    for cmd in commands {
+        assert!(out.contains(cmd), "`\\help` does not mention `{cmd}`:\n{out}");
+    }
+    // And the `\set` options are spelled out.
+    for opt in ["batch_size", "memory_budget", "rules", "typecheck"] {
+        assert!(out.contains(opt), "`\\help` does not mention \\set option `{opt}`:\n{out}");
+    }
+}
+
+#[test]
+fn set_and_show_session_options() {
+    let out = run_shell(
+        "\\show\n\
+         \\set memory_budget 64\n\
+         \\set batch_size 128\n\
+         \\set rules off\n\
+         \\show\n\
+         \\set memory_budget off\n\
+         \\set bogus 1\n\
+         \\set memory_budget notanumber\n\
+         \\quit\n",
+    );
+    assert!(out.contains("memory_budget  unbounded"), "{out}");
+    assert!(out.contains("memory_budget: 64 rows"), "{out}");
+    assert!(out.contains("memory_budget  64 rows"), "{out}");
+    assert!(out.contains("batch_size     128"), "{out}");
+    assert!(out.contains("rules          off"), "{out}");
+    assert!(out.contains("memory_budget: unbounded"), "{out}");
+    assert!(out.contains("unknown option `bogus`"), "{out}");
+    assert!(out.contains("usage: \\set memory_budget"), "{out}");
+}
+
+#[test]
+fn memory_budget_makes_queries_spill() {
+    // xy(512): the semijoin build side is 512 rows; a 32-row budget forces
+    // grace-hash spilling, visible in the metrics line.
+    let out = run_shell(
+        "\\load xy 512\n\
+         \\set memory_budget 32\n\
+         SELECT x.n FROM X x WHERE x.n IN (SELECT y.a FROM Y y WHERE x.b = y.b)\n\
+         \\quit\n",
+    );
+    assert!(out.contains("spilled="), "{out}");
+    assert!(!out.contains("spilled=0 "), "budgeted run must actually spill:\n{out}");
+}
+
+#[test]
 fn generated_dataset_load() {
     let out = run_shell(
         "\\load xy 64\n\
