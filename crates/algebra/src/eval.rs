@@ -23,7 +23,12 @@ impl Env {
 
     /// Environment holding the bindings of one row.
     pub fn from_row(row: &Record) -> Env {
-        Env { bindings: row.iter().map(|(l, v)| (l.to_string(), v.clone())).collect() }
+        Env {
+            bindings: row
+                .iter()
+                .map(|(l, v)| (l.to_string(), v.clone()))
+                .collect(),
+        }
     }
 
     /// Push a binding (shadows any previous binding of the same name).
@@ -238,7 +243,10 @@ mod tests {
         let mut env = Env::new();
         env.push(
             "x",
-            Value::tuple([("a", Value::Int(2)), ("b", Value::set([Value::Int(1), Value::Int(2)]))]),
+            Value::tuple([
+                ("a", Value::Int(2)),
+                ("b", Value::set([Value::Int(1), Value::Int(2)])),
+            ]),
         );
         env.push("y", Value::tuple([("c", Value::Int(5))]));
         env
@@ -275,7 +283,11 @@ mod tests {
         // NULL = NULL is false; NULL ≠ 1 is false (unknown → false).
         let e = ScalarExpr::eq(ScalarExpr::Lit(Value::Null), ScalarExpr::Lit(Value::Null));
         assert!(!eval_predicate(&e, &mut env).unwrap());
-        let e = ScalarExpr::cmp(CmpOp::Ne, ScalarExpr::Lit(Value::Null), ScalarExpr::lit(1i64));
+        let e = ScalarExpr::cmp(
+            CmpOp::Ne,
+            ScalarExpr::Lit(Value::Null),
+            ScalarExpr::lit(1i64),
+        );
         assert!(!eval_predicate(&e, &mut env).unwrap());
     }
 
@@ -310,7 +322,12 @@ mod tests {
         assert!(!eval_predicate(&e, &mut env).unwrap());
         // Quantifier over empty set: ∃ false, ∀ true.
         let empty = ScalarExpr::Lit(Value::empty_set());
-        let ex = ScalarExpr::quant(Quantifier::Exists, "v", empty.clone(), ScalarExpr::lit(true));
+        let ex = ScalarExpr::quant(
+            Quantifier::Exists,
+            "v",
+            empty.clone(),
+            ScalarExpr::lit(true),
+        );
         assert!(!eval_predicate(&ex, &mut env).unwrap());
         let fa = ScalarExpr::quant(Quantifier::Forall, "v", empty, ScalarExpr::lit(false));
         assert!(eval_predicate(&fa, &mut env).unwrap());
@@ -332,8 +349,14 @@ mod tests {
 
     #[test]
     fn aggregates_count_vs_others_on_empty() {
-        assert_eq!(eval_agg(AggFn::Count, &Value::empty_set()).unwrap(), Value::Int(0));
-        assert_eq!(eval_agg(AggFn::Sum, &Value::empty_set()).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_agg(AggFn::Count, &Value::empty_set()).unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_agg(AggFn::Sum, &Value::empty_set()).unwrap(),
+            Value::Int(0)
+        );
         assert!(eval_agg(AggFn::Min, &Value::empty_set()).unwrap().is_null());
         assert!(eval_agg(AggFn::Max, &Value::empty_set()).unwrap().is_null());
         assert!(eval_agg(AggFn::Avg, &Value::empty_set()).unwrap().is_null());
@@ -347,7 +370,10 @@ mod tests {
             ("c".into(), ScalarExpr::path("y", &["c"])),
         ]);
         let v = eval(&e, &mut env).unwrap();
-        assert_eq!(v, Value::tuple([("a", Value::Int(2)), ("c", Value::Int(5))]));
+        assert_eq!(
+            v,
+            Value::tuple([("a", Value::Int(2)), ("c", Value::Int(5))])
+        );
         let s = ScalarExpr::SetLit(vec![ScalarExpr::lit(1i64), ScalarExpr::lit(1i64)]);
         assert_eq!(eval(&s, &mut env).unwrap().as_set().unwrap().len(), 1);
     }

@@ -40,6 +40,6 @@ pub mod typing;
 
 pub use eval::{eval, eval_predicate, Env};
 pub use plan::{AggFn, Plan, SetOpKind};
-pub use scalar::{ArithOp, CmpOp, Quantifier, ScalarExpr, SetCmpOp, SetBinOp};
+pub use scalar::{ArithOp, CmpOp, Quantifier, ScalarExpr, SetBinOp, SetCmpOp};
 
 pub use tmql_model::{ModelError, Result};

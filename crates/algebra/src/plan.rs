@@ -4,8 +4,8 @@ use std::fmt;
 
 use tmql_model::{Record, Value};
 
-use crate::scalar::ScalarExpr;
 pub use crate::scalar::AggFn;
+use crate::scalar::ScalarExpr;
 
 /// Set operations between plans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,42 +199,71 @@ pub enum Plan {
 impl Plan {
     /// Scan builder.
     pub fn scan(table: impl Into<String>, var: impl Into<String>) -> Plan {
-        Plan::ScanTable { table: table.into(), var: var.into() }
+        Plan::ScanTable {
+            table: table.into(),
+            var: var.into(),
+        }
     }
 
     /// Selection builder.
     pub fn select(self, pred: ScalarExpr) -> Plan {
-        Plan::Select { input: Box::new(self), pred }
+        Plan::Select {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// Map builder.
     pub fn map(self, expr: ScalarExpr, var: impl Into<String>) -> Plan {
-        Plan::Map { input: Box::new(self), expr, var: var.into() }
+        Plan::Map {
+            input: Box::new(self),
+            expr,
+            var: var.into(),
+        }
     }
 
     /// Extend builder.
     pub fn extend(self, expr: ScalarExpr, var: impl Into<String>) -> Plan {
-        Plan::Extend { input: Box::new(self), expr, var: var.into() }
+        Plan::Extend {
+            input: Box::new(self),
+            expr,
+            var: var.into(),
+        }
     }
 
     /// Project builder.
     pub fn project(self, vars: &[&str]) -> Plan {
-        Plan::Project { input: Box::new(self), vars: vars.iter().map(|s| s.to_string()).collect() }
+        Plan::Project {
+            input: Box::new(self),
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     /// Join builder.
     pub fn join(self, right: Plan, pred: ScalarExpr) -> Plan {
-        Plan::Join { left: Box::new(self), right: Box::new(right), pred }
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
     }
 
     /// Semijoin builder.
     pub fn semi_join(self, right: Plan, pred: ScalarExpr) -> Plan {
-        Plan::SemiJoin { left: Box::new(self), right: Box::new(right), pred }
+        Plan::SemiJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
     }
 
     /// Antijoin builder.
     pub fn anti_join(self, right: Plan, pred: ScalarExpr) -> Plan {
-        Plan::AntiJoin { left: Box::new(self), right: Box::new(right), pred }
+        Plan::AntiJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
     }
 
     /// Nest join builder.
@@ -256,7 +285,11 @@ impl Plan {
 
     /// Apply builder.
     pub fn apply(self, subquery: Plan, label: impl Into<String>) -> Plan {
-        Plan::Apply { input: Box::new(self), subquery: Box::new(subquery), label: label.into() }
+        Plan::Apply {
+            input: Box::new(self),
+            subquery: Box::new(subquery),
+            label: label.into(),
+        }
     }
 
     /// The variables bound in this plan's output rows, in order.
@@ -287,9 +320,17 @@ impl Plan {
                 v.push(label.clone());
                 v
             }
-            Plan::Unnest { input, elem_var, drop_vars, .. } => {
-                let mut v: Vec<String> =
-                    input.output_vars().into_iter().filter(|x| !drop_vars.contains(x)).collect();
+            Plan::Unnest {
+                input,
+                elem_var,
+                drop_vars,
+                ..
+            } => {
+                let mut v: Vec<String> = input
+                    .output_vars()
+                    .into_iter()
+                    .filter(|x| !drop_vars.contains(x))
+                    .collect();
                 v.push(elem_var.clone());
                 v
             }
@@ -332,7 +373,9 @@ impl Plan {
             | Plan::LeftOuterJoin { left, right, .. }
             | Plan::NestJoin { left, right, .. }
             | Plan::SetOp { left, right, .. } => vec![left, right],
-            Plan::Apply { input, subquery, .. } => vec![input, subquery],
+            Plan::Apply {
+                input, subquery, ..
+            } => vec![input, subquery],
         }
     }
 
@@ -374,7 +417,11 @@ impl Plan {
     /// Count nodes satisfying a predicate.
     pub fn count_nodes(&self, pred: &mut impl FnMut(&Plan) -> bool) -> usize {
         let own = usize::from(pred(self));
-        own + self.children().into_iter().map(|c| c.count_nodes(pred)).sum::<usize>()
+        own + self
+            .children()
+            .into_iter()
+            .map(|c| c.count_nodes(pred))
+            .sum::<usize>()
     }
 
     /// Free variables of the plan: variables referenced by any expression
@@ -417,12 +464,16 @@ impl Plan {
             | Plan::SemiJoin { pred, .. }
             | Plan::AntiJoin { pred, .. }
             | Plan::LeftOuterJoin { pred, .. } => add_expr(pred, referenced),
-            Plan::NestJoin { pred, func, label, .. } => {
+            Plan::NestJoin {
+                pred, func, label, ..
+            } => {
                 add_expr(pred, referenced);
                 add_expr(func, referenced);
                 bound.insert(label.clone());
             }
-            Plan::Nest { keys, value, label, .. } => {
+            Plan::Nest {
+                keys, value, label, ..
+            } => {
                 referenced.extend(keys.iter().cloned());
                 add_expr(value, referenced);
                 bound.insert(label.clone());
@@ -431,7 +482,9 @@ impl Plan {
                 add_expr(expr, referenced);
                 bound.insert(elem_var.clone());
             }
-            Plan::GroupAgg { keys, aggs, var, .. } => {
+            Plan::GroupAgg {
+                keys, aggs, var, ..
+            } => {
                 for (_, e) in keys {
                     add_expr(e, referenced);
                 }
@@ -477,7 +530,10 @@ mod tests {
 
     fn sample() -> Plan {
         Plan::scan("X", "x")
-            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+            .join(
+                Plan::scan("Y", "y"),
+                E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+            )
             .map(E::var("x"), "out")
     }
 
@@ -486,7 +542,8 @@ mod tests {
         let j = Plan::scan("X", "x").join(Plan::scan("Y", "y"), E::lit(true));
         assert_eq!(j.output_vars(), vec!["x", "y"]);
         assert_eq!(sample().output_vars(), vec!["out"]);
-        let nj = Plan::scan("X", "x").nest_join(Plan::scan("Y", "y"), E::lit(true), E::var("y"), "ys");
+        let nj =
+            Plan::scan("X", "x").nest_join(Plan::scan("Y", "y"), E::lit(true), E::var("y"), "ys");
         assert_eq!(nj.output_vars(), vec!["x", "ys"]);
         let semi = Plan::scan("X", "x").semi_join(Plan::scan("Y", "y"), E::lit(true));
         assert_eq!(semi.output_vars(), vec!["x"]);
@@ -533,7 +590,10 @@ mod tests {
     #[test]
     fn scan_expr_over_attribute_is_correlated() {
         // FROM d.emps e — references outer d.
-        let p = Plan::ScanExpr { expr: E::path("d", &["emps"]), var: "e".into() };
+        let p = Plan::ScanExpr {
+            expr: E::path("d", &["emps"]),
+            var: "e".into(),
+        };
         assert!(p.free_vars().contains("d"));
     }
 
@@ -544,6 +604,9 @@ mod tests {
         assert!(!p.has_apply());
         let a = Plan::scan("X", "x").apply(Plan::scan("Y", "y"), "z");
         assert!(a.has_apply());
-        assert_eq!(a.count_nodes(&mut |n| matches!(n, Plan::ScanTable { .. })), 2);
+        assert_eq!(
+            a.count_nodes(&mut |n| matches!(n, Plan::ScanTable { .. })),
+            2
+        );
     }
 }

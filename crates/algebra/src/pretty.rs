@@ -54,14 +54,27 @@ fn head(plan: &Plan) -> String {
         Plan::SemiJoin { pred, .. } => format!("⋉ semijoin [{pred}]"),
         Plan::AntiJoin { pred, .. } => format!("▷ antijoin [{pred}]"),
         Plan::LeftOuterJoin { pred, .. } => format!("⟕ outerjoin [{pred}]"),
-        Plan::NestJoin { pred, func, label, .. } => {
+        Plan::NestJoin {
+            pred, func, label, ..
+        } => {
             format!("Δ nestjoin [{pred}; {label} := {{{func}}}]")
         }
-        Plan::Nest { keys, value, label, star, .. } => {
+        Plan::Nest {
+            keys,
+            value,
+            label,
+            star,
+            ..
+        } => {
             let star_s = if *star { "ν*" } else { "ν" };
             format!("{star_s} [by {}; {label} := {{{value}}}]", keys.join(", "))
         }
-        Plan::Unnest { expr, elem_var, drop_vars, .. } => {
+        Plan::Unnest {
+            expr,
+            elem_var,
+            drop_vars,
+            ..
+        } => {
             let drop = if drop_vars.is_empty() {
                 String::new()
             } else {
@@ -69,10 +82,14 @@ fn head(plan: &Plan) -> String {
             };
             format!("μ [{elem_var} ∈ {expr}{drop}]")
         }
-        Plan::GroupAgg { keys, aggs, var, .. } => {
+        Plan::GroupAgg {
+            keys, aggs, var, ..
+        } => {
             let ks: Vec<String> = keys.iter().map(|(l, e)| format!("{l} := {e}")).collect();
-            let ags: Vec<String> =
-                aggs.iter().map(|(l, f, e)| format!("{l} := {f}({e})")).collect();
+            let ags: Vec<String> = aggs
+                .iter()
+                .map(|(l, f, e)| format!("{l} := {f}({e})"))
+                .collect();
             format!("γ [{var}: by {}; {}]", ks.join(", "), ags.join(", "))
         }
         Plan::Apply { label, .. } => format!("Apply [{label} := subquery]"),

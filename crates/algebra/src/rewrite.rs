@@ -14,30 +14,96 @@ pub fn with_children(plan: Plan, mut children: Vec<Plan>) -> Plan {
     let mut next = || Box::new(children.remove(0));
     match plan {
         p @ (Plan::ScanTable { .. } | Plan::ScanExpr { .. }) => p,
-        Plan::Select { pred, .. } => Plan::Select { input: next(), pred },
-        Plan::Map { expr, var, .. } => Plan::Map { input: next(), expr, var },
-        Plan::Extend { expr, var, .. } => Plan::Extend { input: next(), expr, var },
-        Plan::Project { vars, .. } => Plan::Project { input: next(), vars },
-        Plan::Join { pred, .. } => Plan::Join { left: next(), right: next(), pred },
-        Plan::SemiJoin { pred, .. } => Plan::SemiJoin { left: next(), right: next(), pred },
-        Plan::AntiJoin { pred, .. } => Plan::AntiJoin { left: next(), right: next(), pred },
-        Plan::LeftOuterJoin { pred, .. } => {
-            Plan::LeftOuterJoin { left: next(), right: next(), pred }
-        }
-        Plan::NestJoin { pred, func, label, .. } => {
-            Plan::NestJoin { left: next(), right: next(), pred, func, label }
-        }
-        Plan::Nest { keys, value, label, star, .. } => {
-            Plan::Nest { input: next(), keys, value, label, star }
-        }
-        Plan::Unnest { expr, elem_var, drop_vars, .. } => {
-            Plan::Unnest { input: next(), expr, elem_var, drop_vars }
-        }
-        Plan::GroupAgg { keys, aggs, var, .. } => {
-            Plan::GroupAgg { input: next(), keys, aggs, var }
-        }
-        Plan::Apply { label, .. } => Plan::Apply { input: next(), subquery: next(), label },
-        Plan::SetOp { kind, var, .. } => Plan::SetOp { kind, left: next(), right: next(), var },
+        Plan::Select { pred, .. } => Plan::Select {
+            input: next(),
+            pred,
+        },
+        Plan::Map { expr, var, .. } => Plan::Map {
+            input: next(),
+            expr,
+            var,
+        },
+        Plan::Extend { expr, var, .. } => Plan::Extend {
+            input: next(),
+            expr,
+            var,
+        },
+        Plan::Project { vars, .. } => Plan::Project {
+            input: next(),
+            vars,
+        },
+        Plan::Join { pred, .. } => Plan::Join {
+            left: next(),
+            right: next(),
+            pred,
+        },
+        Plan::SemiJoin { pred, .. } => Plan::SemiJoin {
+            left: next(),
+            right: next(),
+            pred,
+        },
+        Plan::AntiJoin { pred, .. } => Plan::AntiJoin {
+            left: next(),
+            right: next(),
+            pred,
+        },
+        Plan::LeftOuterJoin { pred, .. } => Plan::LeftOuterJoin {
+            left: next(),
+            right: next(),
+            pred,
+        },
+        Plan::NestJoin {
+            pred, func, label, ..
+        } => Plan::NestJoin {
+            left: next(),
+            right: next(),
+            pred,
+            func,
+            label,
+        },
+        Plan::Nest {
+            keys,
+            value,
+            label,
+            star,
+            ..
+        } => Plan::Nest {
+            input: next(),
+            keys,
+            value,
+            label,
+            star,
+        },
+        Plan::Unnest {
+            expr,
+            elem_var,
+            drop_vars,
+            ..
+        } => Plan::Unnest {
+            input: next(),
+            expr,
+            elem_var,
+            drop_vars,
+        },
+        Plan::GroupAgg {
+            keys, aggs, var, ..
+        } => Plan::GroupAgg {
+            input: next(),
+            keys,
+            aggs,
+            var,
+        },
+        Plan::Apply { label, .. } => Plan::Apply {
+            input: next(),
+            subquery: next(),
+            label,
+        },
+        Plan::SetOp { kind, var, .. } => Plan::SetOp {
+            kind,
+            left: next(),
+            right: next(),
+            var,
+        },
     }
 }
 
@@ -49,8 +115,10 @@ pub fn take_children(plan: &Plan) -> Vec<Plan> {
 /// Bottom-up transform: children first, then the rebuilt node is handed to
 /// `f`. `f` returns the (possibly) replaced node.
 pub fn transform_up(plan: Plan, f: &mut impl FnMut(Plan) -> Plan) -> Plan {
-    let children: Vec<Plan> =
-        take_children(&plan).into_iter().map(|c| transform_up(c, f)).collect();
+    let children: Vec<Plan> = take_children(&plan)
+        .into_iter()
+        .map(|c| transform_up(c, f))
+        .collect();
     f(with_children(plan, children))
 }
 
@@ -65,8 +133,10 @@ pub fn transform_down(plan: Plan, f: &mut impl FnMut(Plan) -> Plan) -> Plan {
             break;
         }
     }
-    let children: Vec<Plan> =
-        take_children(&node).into_iter().map(|c| transform_down(c, f)).collect();
+    let children: Vec<Plan> = take_children(&node)
+        .into_iter()
+        .map(|c| transform_down(c, f))
+        .collect();
     with_children(node, children)
 }
 
@@ -104,9 +174,10 @@ mod tests {
     fn transform_up_renames_scans() {
         let p = Plan::scan("X", "x").join(Plan::scan("Y", "y"), truep());
         let out = transform_up(p, &mut |n| match n {
-            Plan::ScanTable { table, var } => {
-                Plan::ScanTable { table: format!("{table}2"), var }
-            }
+            Plan::ScanTable { table, var } => Plan::ScanTable {
+                table: format!("{table}2"),
+                var,
+            },
             other => other,
         });
         let tables: Vec<String> = collect_tables(&out);
@@ -119,13 +190,25 @@ mod tests {
         let p = Plan::scan("X", "x").select(truep()).select(truep());
         let out = transform_down(p, &mut |n| match n {
             Plan::Select { input, pred } if matches!(*input, Plan::Select { .. }) => {
-                let Plan::Select { input: inner, pred: ip } = *input else { unreachable!() };
-                Plan::Select { input: inner, pred: E::and(ip, pred) }
+                let Plan::Select {
+                    input: inner,
+                    pred: ip,
+                } = *input
+                else {
+                    unreachable!()
+                };
+                Plan::Select {
+                    input: inner,
+                    pred: E::and(ip, pred),
+                }
             }
             other => other,
         });
         // Both selects fused into one conjunction.
-        assert_eq!(out.count_nodes(&mut |n| matches!(n, Plan::Select { .. })), 1);
+        assert_eq!(
+            out.count_nodes(&mut |n| matches!(n, Plan::Select { .. })),
+            1
+        );
     }
 
     #[test]
@@ -134,9 +217,16 @@ mod tests {
         let p = Plan::scan("X", "x").select(E::lit(true));
         let out = fixpoint(p, 4, &mut |n| match n {
             Plan::Select { input, pred } => {
-                let flipped = if pred == E::lit(true) { E::lit(false) } else { E::lit(true) };
+                let flipped = if pred == E::lit(true) {
+                    E::lit(false)
+                } else {
+                    E::lit(true)
+                };
                 let _ = pred;
-                Plan::Select { input, pred: flipped }
+                Plan::Select {
+                    input,
+                    pred: flipped,
+                }
             }
             other => other,
         });

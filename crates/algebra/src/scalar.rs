@@ -249,7 +249,12 @@ impl ScalarExpr {
         over: ScalarExpr,
         pred: ScalarExpr,
     ) -> ScalarExpr {
-        ScalarExpr::Quant { q, var: var.into(), over: Box::new(over), pred: Box::new(pred) }
+        ScalarExpr::Quant {
+            q,
+            var: var.into(),
+            over: Box::new(over),
+            pred: Box::new(pred),
+        }
     }
 
     /// Conjunction of many terms (`true` for the empty list).
@@ -302,7 +307,9 @@ impl ScalarExpr {
                     e.collect_free(bound, out);
                 }
             }
-            ScalarExpr::Quant { var, over, pred, .. } => {
+            ScalarExpr::Quant {
+                var, over, pred, ..
+            } => {
                 over.collect_free(bound, out);
                 let fresh = bound.insert(var.clone());
                 pred.collect_free(bound, out);
@@ -335,12 +342,8 @@ impl ScalarExpr {
             }
             ScalarExpr::Not(e) => ScalarExpr::not(e.substitute(var, replacement)),
             ScalarExpr::Agg(f, e) => ScalarExpr::agg(*f, e.substitute(var, replacement)),
-            ScalarExpr::Unnest(e) => {
-                ScalarExpr::Unnest(Box::new(e.substitute(var, replacement)))
-            }
-            ScalarExpr::IsNull(e) => {
-                ScalarExpr::IsNull(Box::new(e.substitute(var, replacement)))
-            }
+            ScalarExpr::Unnest(e) => ScalarExpr::Unnest(Box::new(e.substitute(var, replacement))),
+            ScalarExpr::IsNull(e) => ScalarExpr::IsNull(Box::new(e.substitute(var, replacement))),
             ScalarExpr::Cmp(op, a, b) => ScalarExpr::cmp(
                 *op,
                 a.substitute(var, replacement),
@@ -351,12 +354,14 @@ impl ScalarExpr {
                 Box::new(a.substitute(var, replacement)),
                 Box::new(b.substitute(var, replacement)),
             ),
-            ScalarExpr::And(a, b) => {
-                ScalarExpr::and(a.substitute(var, replacement), b.substitute(var, replacement))
-            }
-            ScalarExpr::Or(a, b) => {
-                ScalarExpr::or(a.substitute(var, replacement), b.substitute(var, replacement))
-            }
+            ScalarExpr::And(a, b) => ScalarExpr::and(
+                a.substitute(var, replacement),
+                b.substitute(var, replacement),
+            ),
+            ScalarExpr::Or(a, b) => ScalarExpr::or(
+                a.substitute(var, replacement),
+                b.substitute(var, replacement),
+            ),
             ScalarExpr::SetBin(op, a, b) => ScalarExpr::SetBin(
                 *op,
                 Box::new(a.substitute(var, replacement)),
@@ -368,14 +373,25 @@ impl ScalarExpr {
                 b.substitute(var, replacement),
             ),
             ScalarExpr::Tuple(fs) => ScalarExpr::Tuple(
-                fs.iter().map(|(l, e)| (l.clone(), e.substitute(var, replacement))).collect(),
+                fs.iter()
+                    .map(|(l, e)| (l.clone(), e.substitute(var, replacement)))
+                    .collect(),
             ),
             ScalarExpr::SetLit(es) => {
                 ScalarExpr::SetLit(es.iter().map(|e| e.substitute(var, replacement)).collect())
             }
-            ScalarExpr::Quant { q, var: bv, over, pred } => {
+            ScalarExpr::Quant {
+                q,
+                var: bv,
+                over,
+                pred,
+            } => {
                 let over2 = over.substitute(var, replacement);
-                let pred2 = if bv == var { (**pred).clone() } else { pred.substitute(var, replacement) };
+                let pred2 = if bv == var {
+                    (**pred).clone()
+                } else {
+                    pred.substitute(var, replacement)
+                };
                 ScalarExpr::quant(*q, bv.clone(), over2, pred2)
             }
         }
@@ -494,7 +510,10 @@ mod tests {
             ScalarExpr::eq(ScalarExpr::var("v"), ScalarExpr::path("x", &["a"])),
         );
         let fv = e.free_vars();
-        assert_eq!(fv.into_iter().collect::<Vec<_>>(), vec!["x".to_string(), "z".to_string()]);
+        assert_eq!(
+            fv.into_iter().collect::<Vec<_>>(),
+            vec!["x".to_string(), "z".to_string()]
+        );
     }
 
     #[test]

@@ -28,9 +28,11 @@ pub fn infer_scalar(expr: &ScalarExpr, vars: &TyEnv) -> Ty {
         ScalarExpr::Lit(v) => Ty::of(v),
         ScalarExpr::Var(n) => vars.get(n).cloned().unwrap_or(Ty::Any),
         ScalarExpr::Field(e, label) => match infer_scalar(e, vars) {
-            Ty::Tuple(fs) => {
-                fs.into_iter().find(|(l, _)| l == label).map(|(_, t)| t).unwrap_or(Ty::Any)
-            }
+            Ty::Tuple(fs) => fs
+                .into_iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, t)| t)
+                .unwrap_or(Ty::Any),
             _ => Ty::Any,
         },
         ScalarExpr::Cmp(..)
@@ -70,9 +72,11 @@ pub fn infer_scalar(expr: &ScalarExpr, vars: &TyEnv) -> Ty {
                 _ => Ty::Any,
             },
         },
-        ScalarExpr::Tuple(fs) => {
-            Ty::Tuple(fs.iter().map(|(l, e)| (l.clone(), infer_scalar(e, vars))).collect())
-        }
+        ScalarExpr::Tuple(fs) => Ty::Tuple(
+            fs.iter()
+                .map(|(l, e)| (l.clone(), infer_scalar(e, vars)))
+                .collect(),
+        ),
         ScalarExpr::SetLit(es) => {
             let el = es.first().map(|e| infer_scalar(e, vars)).unwrap_or(Ty::Any);
             Ty::Set(Box::new(el))
@@ -137,10 +141,14 @@ pub fn derive(plan: &Plan, tables: &dyn TableTypes, outer: &TyEnv) -> Result<TyE
             env.extend(derive(right, tables, outer)?);
             env
         }
-        Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => {
-            derive(left, tables, outer)?
-        }
-        Plan::NestJoin { left, right, func, label, .. } => {
+        Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => derive(left, tables, outer)?,
+        Plan::NestJoin {
+            left,
+            right,
+            func,
+            label,
+            ..
+        } => {
             let mut env = derive(left, tables, outer)?;
             let mut scope = env.clone();
             scope.extend(derive(right, tables, outer)?);
@@ -148,16 +156,30 @@ pub fn derive(plan: &Plan, tables: &dyn TableTypes, outer: &TyEnv) -> Result<TyE
             env.insert(label.clone(), Ty::Set(Box::new(infer_scalar(func, &scope))));
             env
         }
-        Plan::Nest { input, keys, value, label, .. } => {
+        Plan::Nest {
+            input,
+            keys,
+            value,
+            label,
+            ..
+        } => {
             let in_env = derive(input, tables, outer)?;
             let mut env = TyEnv::new();
             for k in keys {
                 env.insert(k.clone(), in_env.get(k).cloned().unwrap_or(Ty::Any));
             }
-            env.insert(label.clone(), Ty::Set(Box::new(infer_scalar(value, &in_env))));
+            env.insert(
+                label.clone(),
+                Ty::Set(Box::new(infer_scalar(value, &in_env))),
+            );
             env
         }
-        Plan::Unnest { input, expr, elem_var, drop_vars } => {
+        Plan::Unnest {
+            input,
+            expr,
+            elem_var,
+            drop_vars,
+        } => {
             let mut env = derive(input, tables, outer)?;
             let elem = match infer_scalar(expr, &env) {
                 Ty::Set(el) => *el,
@@ -169,7 +191,12 @@ pub fn derive(plan: &Plan, tables: &dyn TableTypes, outer: &TyEnv) -> Result<TyE
             env.insert(elem_var.clone(), elem);
             env
         }
-        Plan::GroupAgg { input, keys, aggs, var } => {
+        Plan::GroupAgg {
+            input,
+            keys,
+            aggs,
+            var,
+        } => {
             let mut in_env = derive(input, tables, outer)?;
             merge_outer(&mut in_env, outer);
             let mut fields = Vec::new();
@@ -188,7 +215,11 @@ pub fn derive(plan: &Plan, tables: &dyn TableTypes, outer: &TyEnv) -> Result<TyE
             env.insert(var.clone(), Ty::Tuple(fields));
             env
         }
-        Plan::Apply { input, subquery, label } => {
+        Plan::Apply {
+            input,
+            subquery,
+            label,
+        } => {
             let mut env = derive(input, tables, outer)?;
             let mut inner_outer = env.clone();
             merge_outer(&mut inner_outer, outer);
@@ -242,7 +273,10 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert(
             "X".to_string(),
-            Ty::Tuple(vec![("a".into(), Ty::Set(Box::new(Ty::Int))), ("b".into(), Ty::Int)]),
+            Ty::Tuple(vec![
+                ("a".into(), Ty::Set(Box::new(Ty::Int))),
+                ("b".into(), Ty::Int),
+            ]),
         );
         m.insert(
             "Y".to_string(),
@@ -283,11 +317,21 @@ mod tests {
 
     #[test]
     fn agg_and_scan_expr_types() {
-        let vars: TyEnv =
-            [("z".to_string(), Ty::Set(Box::new(Ty::Int)))].into_iter().collect();
-        assert_eq!(infer_scalar(&E::agg(AggFn::Count, E::var("z")), &vars), Ty::Int);
-        assert_eq!(infer_scalar(&E::agg(AggFn::Max, E::var("z")), &vars), Ty::Int);
-        let p = Plan::ScanExpr { expr: E::var("z"), var: "v".into() };
+        let vars: TyEnv = [("z".to_string(), Ty::Set(Box::new(Ty::Int)))]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            infer_scalar(&E::agg(AggFn::Count, E::var("z")), &vars),
+            Ty::Int
+        );
+        assert_eq!(
+            infer_scalar(&E::agg(AggFn::Max, E::var("z")), &vars),
+            Ty::Int
+        );
+        let p = Plan::ScanExpr {
+            expr: E::var("z"),
+            var: "v".into(),
+        };
         let env = derive(&p, &tables(), &vars).unwrap();
         assert_eq!(env["v"], Ty::Int);
     }

@@ -29,15 +29,23 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
         prop_oneof![
             (inner.clone(), arb_scalar()).prop_map(|(p, e)| p.select(e)),
             (inner.clone(), arb_scalar(), ident()).prop_map(|(p, e, v)| p.map(e, v)),
-            (inner.clone(), inner.clone(), arb_scalar())
-                .prop_map(|(l, r, e)| l.join(r, e)),
-            (inner.clone(), inner.clone(), arb_scalar())
-                .prop_map(|(l, r, e)| l.semi_join(r, e)),
-            (inner.clone(), inner.clone(), arb_scalar(), arb_scalar(), ident())
+            (inner.clone(), inner.clone(), arb_scalar()).prop_map(|(l, r, e)| l.join(r, e)),
+            (inner.clone(), inner.clone(), arb_scalar()).prop_map(|(l, r, e)| l.semi_join(r, e)),
+            (
+                inner.clone(),
+                inner.clone(),
+                arb_scalar(),
+                arb_scalar(),
+                ident()
+            )
                 .prop_map(|(l, r, p, g, lbl)| l.nest_join(r, p, g, lbl)),
-            (inner.clone(), inner.clone(), ident())
-                .prop_map(|(l, r, lbl)| l.apply(r, lbl)),
-            (inner.clone(), prop::collection::vec(ident(), 0..2), arb_scalar(), ident())
+            (inner.clone(), inner.clone(), ident()).prop_map(|(l, r, lbl)| l.apply(r, lbl)),
+            (
+                inner.clone(),
+                prop::collection::vec(ident(), 0..2),
+                arb_scalar(),
+                ident()
+            )
                 .prop_map(|(p, keys, v, lbl)| Plan::Nest {
                     input: Box::new(p),
                     keys,

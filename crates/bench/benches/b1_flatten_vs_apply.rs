@@ -30,7 +30,9 @@ fn configs() -> Vec<(&'static str, QueryOptions)> {
         ),
         (
             "semijoin-hash",
-            QueryOptions::default().strategy(UnnestStrategy::Optimal).join_algo(JoinAlgo::Hash),
+            QueryOptions::default()
+                .strategy(UnnestStrategy::Optimal)
+                .join_algo(JoinAlgo::Hash),
         ),
         (
             "semijoin-sort-merge",

@@ -26,8 +26,9 @@ fn bench_sizes(c: &mut Criterion) {
             if algo == JoinAlgo::NestedLoop && n > NL_CAP {
                 continue;
             }
-            let opts =
-                QueryOptions::default().strategy(UnnestStrategy::NestJoin).join_algo(algo);
+            let opts = QueryOptions::default()
+                .strategy(UnnestStrategy::NestJoin)
+                .join_algo(algo);
             report_work(&format!("b4/{label}/{n}"), &db, SUBSETEQ_BUG, opts);
             g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 b.iter(|| db.query_with(SUBSETEQ_BUG, opts).expect("runs").len())
@@ -52,8 +53,9 @@ fn bench_fanout(c: &mut Criterion) {
             if algo == JoinAlgo::NestedLoop && fanout > 4 {
                 continue;
             }
-            let opts =
-                QueryOptions::default().strategy(UnnestStrategy::NestJoin).join_algo(algo);
+            let opts = QueryOptions::default()
+                .strategy(UnnestStrategy::NestJoin)
+                .join_algo(algo);
             g.bench_with_input(BenchmarkId::new(label, fanout), &fanout, |b, _| {
                 b.iter(|| db.query_with(SUBSETEQ_BUG, opts).expect("runs").len())
             });

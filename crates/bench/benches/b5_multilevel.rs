@@ -16,8 +16,12 @@ use tmql_workload::queries::{SECTION8, SECTION8_FLAT};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("b5_multilevel");
     for n in ladder(&[128usize, 512, 2048]) {
-        let cfg =
-            GenConfig { outer: n, inner: n, dangling_fraction: 0.25, ..GenConfig::default() };
+        let cfg = GenConfig {
+            outer: n,
+            inner: n,
+            dangling_fraction: 0.25,
+            ..GenConfig::default()
+        };
         let db = Database::from_catalog(gen_xyz(&cfg));
         for (qname, src) in [("subseteq", SECTION8), ("in-notin", SECTION8_FLAT)] {
             for strat in [

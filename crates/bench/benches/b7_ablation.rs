@@ -29,7 +29,10 @@ fn bench_rules(c: &mut Criterion) {
     for n in ladder(&[1024usize, 4096]) {
         let db = Database::from_catalog(gen_xy(&GenConfig::sized(n)));
         for (label, apply_rules) in [("rules-on", true), ("rules-off", false)] {
-            let opts = QueryOptions { apply_rules, ..QueryOptions::default() };
+            let opts = QueryOptions {
+                apply_rules,
+                ..QueryOptions::default()
+            };
             report_work(&format!("b7-rules/{label}/{n}"), &db, &src, opts);
             g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 b.iter(|| db.query_with(&src, opts).expect("runs").len())
@@ -48,9 +51,16 @@ fn bench_collapse(c: &mut Criterion) {
             apply_rules: false,
             ..QueryOptions::default().strategy(UnnestStrategy::NestJoin)
         };
-        for (label, opts) in [("collapse", collapse_on), ("nestjoin-then-flatten", collapse_off)]
-        {
-            report_work(&format!("b7-collapse/{label}/{n}"), &db, UNNEST_COLLAPSE, opts);
+        for (label, opts) in [
+            ("collapse", collapse_on),
+            ("nestjoin-then-flatten", collapse_off),
+        ] {
+            report_work(
+                &format!("b7-collapse/{label}/{n}"),
+                &db,
+                UNNEST_COLLAPSE,
+                opts,
+            );
             g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 b.iter(|| db.query_with(UNNEST_COLLAPSE, opts).expect("runs").len())
             });
@@ -62,11 +72,21 @@ fn bench_collapse(c: &mut Criterion) {
 fn bench_all_strategies(c: &mut Criterion) {
     let mut g = c.benchmark_group("b7_strategy_survey");
     let n = if tmql_bench::quick_mode() { 256 } else { 1024 };
-    let cfg = GenConfig { outer: n, inner: n, dangling_fraction: 0.25, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer: n,
+        inner: n,
+        dangling_fraction: 0.25,
+        ..GenConfig::default()
+    };
     let db = Database::from_catalog(gen_rs(&cfg));
     for strat in UnnestStrategy::ALL {
         let opts = QueryOptions::default().strategy(strat);
-        report_work(&format!("b7-survey/{}/{n}", strat.name()), &db, COUNT_BUG, opts);
+        report_work(
+            &format!("b7-survey/{}/{n}", strat.name()),
+            &db,
+            COUNT_BUG,
+            opts,
+        );
         g.bench_function(BenchmarkId::new(strat.name(), n), |b| {
             b.iter(|| db.query_with(COUNT_BUG, opts).expect("runs").len())
         });
@@ -89,7 +109,12 @@ fn bench_costmodel(c: &mut Criterion) {
         let db = Database::from_catalog(gen_rs(&cfg));
         for strat in [UnnestStrategy::Optimal, UnnestStrategy::CostBased] {
             let opts = QueryOptions::default().strategy(strat);
-            report_work(&format!("b7-costmodel/{}/x{fanout}", strat.name()), &db, COUNT_BUG, opts);
+            report_work(
+                &format!("b7-costmodel/{}/x{fanout}", strat.name()),
+                &db,
+                COUNT_BUG,
+                opts,
+            );
             g.bench_with_input(BenchmarkId::new(strat.name(), fanout), &fanout, |b, _| {
                 b.iter(|| db.query_with(COUNT_BUG, opts).expect("runs").len())
             });

@@ -1,0 +1,100 @@
+//! B9 — the storage tier: cold vs warm buffer pool vs in-memory scans as
+//! table sizes grow.
+//!
+//! Three rungs per table size, all running the same scan-dominated query:
+//!
+//! * **memory** — the pre-pager in-memory table (the baseline every disk
+//!   configuration is measured against);
+//! * **disk-warm** — a disk-backed database whose buffer pool holds the
+//!   whole extent: after one warming scan, every page request is a hit
+//!   (`pmiss=0` in the `[work]` lines);
+//! * **disk-cold** — a pool of [`COLD_POOL`] pages, far below the
+//!   extent: every scan re-faults the table, so the rung prices the full
+//!   page-I/O path (read + slot decode per page).
+//!
+//! The recorded trajectory lives in `BENCH_coldscan.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, QueryOptions, Record, Table, Ty, Value};
+use tmql_bench::{criterion, ladder, report_work};
+
+/// Pool size (pages) of the cold configuration — a handful of frames, so
+/// any table on the ladder evicts continuously.
+const COLD_POOL: usize = 8;
+
+/// Pool size (pages) of the warm configuration — comfortably holds every
+/// ladder rung.
+const WARM_POOL: usize = 4096;
+
+/// Scan-dominated probe: selects nothing, touches every row.
+const SCAN: &str = "SELECT x.n FROM X x WHERE x.n < 0";
+
+fn table(n: usize) -> Table {
+    let mut t = Table::new("X", vec![("n".into(), Ty::Int), ("b".into(), Ty::Int)]);
+    for i in 0..n as i64 {
+        t.insert(
+            Record::new([
+                ("n".to_string(), Value::Int(i)),
+                ("b".to_string(), Value::Int(i % 64)),
+            ])
+            .expect("distinct labels"),
+        )
+        .expect("valid row");
+    }
+    t
+}
+
+fn disk_db(n: usize, pool: usize, tag: &str) -> (Database, std::path::PathBuf) {
+    let path = std::env::temp_dir().join(format!(
+        "tmql-bench-coldscan-{}-{tag}-{n}.tmdb",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut db = Database::open_with(&path, pool).expect("create db");
+        db.register_table(table(n)).expect("register");
+    }
+    // Reopen so the pool starts empty — registration leaves pages warm.
+    (Database::open_with(&path, pool).expect("reopen db"), path)
+}
+
+fn bench_coldscan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b9_coldscan");
+    let opts = QueryOptions::default();
+    for n in ladder(&[4096usize, 16384, 65536]) {
+        let mem = {
+            let mut db = Database::new();
+            db.register_table(table(n)).expect("register");
+            db
+        };
+        let (cold, cold_path) = disk_db(n, COLD_POOL, "cold");
+        let (warm, warm_path) = disk_db(n, WARM_POOL, "warm");
+        // One warming scan: afterwards the warm pool holds the extent.
+        let _ = warm.query_with(SCAN, opts).expect("warming scan");
+
+        report_work(&format!("b9-coldscan/memory/{n}"), &mem, SCAN, opts);
+        report_work(&format!("b9-coldscan/disk-warm/{n}"), &warm, SCAN, opts);
+        report_work(&format!("b9-coldscan/disk-cold/{n}"), &cold, SCAN, opts);
+
+        g.bench_with_input(BenchmarkId::new("memory", n), &n, |b, _| {
+            b.iter(|| mem.query_with(SCAN, opts).expect("runs").len())
+        });
+        g.bench_with_input(BenchmarkId::new("disk-warm", n), &n, |b, _| {
+            b.iter(|| warm.query_with(SCAN, opts).expect("runs").len())
+        });
+        g.bench_with_input(BenchmarkId::new("disk-cold", n), &n, |b, _| {
+            b.iter(|| cold.query_with(SCAN, opts).expect("runs").len())
+        });
+
+        let _ = std::fs::remove_file(&cold_path);
+        let _ = std::fs::remove_file(&warm_path);
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench_coldscan
+}
+criterion_main!(benches);

@@ -24,8 +24,11 @@ fn nest_join(table_x: &str, key_x: &str, table_y: &str, key_y: &str) -> Plan {
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_nestjoin");
-    let algos =
-        [("nested-loop", JoinAlgo::NestedLoop), ("hash", JoinAlgo::Hash), ("sort-merge", JoinAlgo::SortMerge)];
+    let algos = [
+        ("nested-loop", JoinAlgo::NestedLoop),
+        ("hash", JoinAlgo::Hash),
+        ("sort-merge", JoinAlgo::SortMerge),
+    ];
 
     // The paper's exact fixture.
     let cat = table1_catalog();

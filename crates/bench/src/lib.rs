@@ -20,7 +20,9 @@ use tmql::{Database, QueryOptions};
 /// shrink sampling and ladders so a full `cargo bench` run finishes in CI
 /// smoke time while still executing every benchmark at least once.
 pub fn quick_mode() -> bool {
-    std::env::var("TMQL_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    std::env::var("TMQL_BENCH_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
 }
 
 /// Criterion tuned for interpreter-scale workloads: modest sample counts,

@@ -73,11 +73,13 @@ impl Classification {
 /// requiring grouping.
 pub fn split_on_z(pred: &ScalarExpr, z: &str) -> (Option<ScalarExpr>, Vec<ScalarExpr>) {
     let conjuncts = conjuncts(pred);
-    let (with_z, without_z): (Vec<_>, Vec<_>) =
-        conjuncts.into_iter().partition(|c| c.mentions(z));
+    let (with_z, without_z): (Vec<_>, Vec<_>) = conjuncts.into_iter().partition(|c| c.mentions(z));
     match with_z.len() {
         0 => (None, without_z),
-        1 => (Some(with_z.into_iter().next().expect("len is 1")), without_z),
+        1 => (
+            Some(with_z.into_iter().next().expect("len is 1")),
+            without_z,
+        ),
         _ => (Some(ScalarExpr::conj(with_z)), without_z),
     }
 }
@@ -112,7 +114,12 @@ fn classify_pos(pred: &ScalarExpr, z: &str) -> Classification {
         // Already in calculus form: (¬)∃v ∈ z (P') with arbitrary P' —
         // Theorem 1 explicitly allows any body, so accept directly
         // (the body must not mention z again).
-        ScalarExpr::Quant { q, var, over, pred: body } if **over == ScalarExpr::Var(z.into()) => {
+        ScalarExpr::Quant {
+            q,
+            var,
+            over,
+            pred: body,
+        } if **over == ScalarExpr::Var(z.into()) => {
             if body.mentions(z) {
                 return Classification::RequiresGrouping;
             }
@@ -125,9 +132,9 @@ fn classify_pos(pred: &ScalarExpr, z: &str) -> Classification {
             match q {
                 Quantifier::Exists => Classification::Existential { pred: renamed },
                 // ∀v ∈ z (P') ≡ ¬∃v ∈ z (¬P').
-                Quantifier::Forall => {
-                    Classification::NegatedExistential { pred: ScalarExpr::not(renamed) }
-                }
+                Quantifier::Forall => Classification::NegatedExistential {
+                    pred: ScalarExpr::not(renamed),
+                },
             }
         }
 
@@ -138,22 +145,22 @@ fn classify_pos(pred: &ScalarExpr, z: &str) -> Classification {
         //   ∃w ∈ S (w ∈ z) ≡ S ∩ z ≠ ∅ ≡ ∃v ∈ z (v ∈ S)
         // (∀w ∈ S (w ∈ z) is S ⊆ z and ∃w ∈ S (w ∉ z) is S ⊈ z — both need
         // grouping, handled by the fallthrough.)
-        ScalarExpr::Quant { q, var, over, pred: body } if !over.mentions(z) => {
-            let member = ScalarExpr::set_cmp(
-                SetCmpOp::In,
-                ScalarExpr::var(FRESH_VAR),
-                (**over).clone(),
-            );
+        ScalarExpr::Quant {
+            q,
+            var,
+            over,
+            pred: body,
+        } if !over.mentions(z) => {
+            let member =
+                ScalarExpr::set_cmp(SetCmpOp::In, ScalarExpr::var(FRESH_VAR), (**over).clone());
             match (q, &**body) {
                 (Quantifier::Forall, ScalarExpr::SetCmp(SetCmpOp::NotIn, w, zz))
-                    if **w == ScalarExpr::Var(var.clone())
-                        && **zz == ScalarExpr::Var(z.into()) =>
+                    if **w == ScalarExpr::Var(var.clone()) && **zz == ScalarExpr::Var(z.into()) =>
                 {
                     Classification::NegatedExistential { pred: member }
                 }
                 (Quantifier::Exists, ScalarExpr::SetCmp(SetCmpOp::In, w, zz))
-                    if **w == ScalarExpr::Var(var.clone())
-                        && **zz == ScalarExpr::Var(z.into()) =>
+                    if **w == ScalarExpr::Var(var.clone()) && **zz == ScalarExpr::Var(z.into()) =>
                 {
                     Classification::Existential { pred: member }
                 }
@@ -173,12 +180,7 @@ fn classify_pos(pred: &ScalarExpr, z: &str) -> Classification {
 }
 
 /// Set-comparison rows of Table 2.
-fn classify_set_cmp(
-    op: SetCmpOp,
-    lhs: &ScalarExpr,
-    rhs: &ScalarExpr,
-    z: &str,
-) -> Classification {
+fn classify_set_cmp(op: SetCmpOp, lhs: &ScalarExpr, rhs: &ScalarExpr, z: &str) -> Classification {
     let zvar = ScalarExpr::Var(z.to_string());
     let v = || ScalarExpr::var(FRESH_VAR);
 
@@ -205,24 +207,24 @@ fn classify_set_cmp(
 
     match op {
         // x.a ∈ z ≡ ∃v ∈ z (v = x.a) — Table 2.
-        SetCmpOp::In => {
-            Classification::Existential { pred: ScalarExpr::eq(v(), a) }
-        }
+        SetCmpOp::In => Classification::Existential {
+            pred: ScalarExpr::eq(v(), a),
+        },
         // x.a ∉ z ≡ ¬∃v ∈ z (v = x.a) — Table 2.
-        SetCmpOp::NotIn => {
-            Classification::NegatedExistential { pred: ScalarExpr::eq(v(), a) }
-        }
+        SetCmpOp::NotIn => Classification::NegatedExistential {
+            pred: ScalarExpr::eq(v(), a),
+        },
         // x.a ⊇ z ≡ ¬∃v ∈ z (v ∉ x.a) — Table 2.
         SetCmpOp::SupersetEq => Classification::NegatedExistential {
             pred: ScalarExpr::set_cmp(SetCmpOp::NotIn, v(), a),
         },
         // z = ∅ ≡ ¬∃v ∈ z (true); z ≠ ∅ ≡ ∃v ∈ z (true) — Table 2.
-        SetCmpOp::SetEq if is_empty_set_expr(&a) => {
-            Classification::NegatedExistential { pred: ScalarExpr::lit(true) }
-        }
-        SetCmpOp::SetNe if is_empty_set_expr(&a) => {
-            Classification::Existential { pred: ScalarExpr::lit(true) }
-        }
+        SetCmpOp::SetEq if is_empty_set_expr(&a) => Classification::NegatedExistential {
+            pred: ScalarExpr::lit(true),
+        },
+        SetCmpOp::SetNe if is_empty_set_expr(&a) => Classification::Existential {
+            pred: ScalarExpr::lit(true),
+        },
         // x.a ∩ z = ∅ ≡ ¬∃v ∈ z (v ∈ x.a); ≠ ∅ ≡ ∃v ∈ z (v ∈ x.a) — Table 2.
         SetCmpOp::Disjoint => Classification::NegatedExistential {
             pred: ScalarExpr::set_cmp(SetCmpOp::In, v(), a),
@@ -262,20 +264,14 @@ fn classify_cmp(op: CmpOp, lhs: &ScalarExpr, rhs: &ScalarExpr, z: &str) -> Class
             let one = ScalarExpr::lit(1i64);
             let t = ScalarExpr::lit(true);
             match (&a, op) {
-                (a, CmpOp::Eq) if *a == zero => {
-                    Classification::NegatedExistential { pred: t }
-                }
+                (a, CmpOp::Eq) if *a == zero => Classification::NegatedExistential { pred: t },
                 (a, CmpOp::Ne) if *a == zero => Classification::Existential { pred: t },
                 // 0 < count(z) / 1 ≤ count(z)
                 (a, CmpOp::Lt) if *a == zero => Classification::Existential { pred: t },
                 (a, CmpOp::Le) if *a == one => Classification::Existential { pred: t },
                 // 0 ≥ count(z) / 1 > count(z)
-                (a, CmpOp::Ge) if *a == zero => {
-                    Classification::NegatedExistential { pred: t }
-                }
-                (a, CmpOp::Gt) if *a == one => {
-                    Classification::NegatedExistential { pred: t }
-                }
+                (a, CmpOp::Ge) if *a == zero => Classification::NegatedExistential { pred: t },
+                (a, CmpOp::Gt) if *a == one => Classification::NegatedExistential { pred: t },
                 _ => Classification::RequiresGrouping,
             }
         }
@@ -285,15 +281,15 @@ fn classify_cmp(op: CmpOp, lhs: &ScalarExpr, rhs: &ScalarExpr, z: &str) -> Class
         //   a < max(z)  ≡ ∃v ∈ z (a < v)      a ≤ max(z) ≡ ∃v ∈ z (a ≤ v)
         //   a > min(z)  ≡ ∃v ∈ z (a > v)      a ≥ min(z) ≡ ∃v ∈ z (a ≥ v)
         AggFn::Max => match op {
-            CmpOp::Lt | CmpOp::Le => {
-                Classification::Existential { pred: ScalarExpr::cmp(op, a, v()) }
-            }
+            CmpOp::Lt | CmpOp::Le => Classification::Existential {
+                pred: ScalarExpr::cmp(op, a, v()),
+            },
             _ => Classification::RequiresGrouping,
         },
         AggFn::Min => match op {
-            CmpOp::Gt | CmpOp::Ge => {
-                Classification::Existential { pred: ScalarExpr::cmp(op, a, v()) }
-            }
+            CmpOp::Gt | CmpOp::Ge => Classification::Existential {
+                pred: ScalarExpr::cmp(op, a, v()),
+            },
             _ => Classification::RequiresGrouping,
         },
         // SUM/AVG always need the whole set.
@@ -336,7 +332,12 @@ mod tests {
     #[test]
     fn membership_is_existential() {
         let c = classify(&E::set_cmp(SetCmpOp::In, xa(), zv()), "z");
-        assert_eq!(c, Classification::Existential { pred: E::eq(E::var(FRESH_VAR), xa()) });
+        assert_eq!(
+            c,
+            Classification::Existential {
+                pred: E::eq(E::var(FRESH_VAR), xa())
+            }
+        );
         let c = classify(&E::set_cmp(SetCmpOp::NotIn, xa(), zv()), "z");
         assert!(matches!(c, Classification::NegatedExistential { .. }));
     }
@@ -376,9 +377,15 @@ mod tests {
 
     #[test]
     fn emptiness_tests() {
-        let c = classify(&E::set_cmp(SetCmpOp::SetEq, zv(), E::Lit(Value::empty_set())), "z");
+        let c = classify(
+            &E::set_cmp(SetCmpOp::SetEq, zv(), E::Lit(Value::empty_set())),
+            "z",
+        );
         assert_eq!(c, Classification::NegatedExistential { pred: E::lit(true) });
-        let c = classify(&E::set_cmp(SetCmpOp::SetNe, zv(), E::Lit(Value::empty_set())), "z");
+        let c = classify(
+            &E::set_cmp(SetCmpOp::SetNe, zv(), E::Lit(Value::empty_set())),
+            "z",
+        );
         assert_eq!(c, Classification::Existential { pred: E::lit(true) });
         // z = {1} (non-empty literal) needs the whole set.
         let c = classify(
@@ -414,7 +421,9 @@ mod tests {
         let c = classify(&E::cmp(CmpOp::Lt, xa(), maxz.clone()), "z");
         assert_eq!(
             c,
-            Classification::Existential { pred: E::cmp(CmpOp::Lt, xa(), E::var(FRESH_VAR)) }
+            Classification::Existential {
+                pred: E::cmp(CmpOp::Lt, xa(), E::var(FRESH_VAR))
+            }
         );
         // max(z) > x.a flips to x.a < max(z).
         let c = classify(&E::cmp(CmpOp::Gt, maxz.clone(), xa()), "z");
@@ -435,7 +444,9 @@ mod tests {
         // ∃s ∈ z (s = x.a) — already Theorem 1 form, arbitrary body allowed.
         let q = E::quant(Quantifier::Exists, "s", zv(), E::eq(E::var("s"), xa()));
         let c = classify(&q, "z");
-        let Classification::Existential { pred } = c else { panic!("existential expected") };
+        let Classification::Existential { pred } = c else {
+            panic!("existential expected")
+        };
         assert!(pred.mentions(FRESH_VAR));
         assert!(!pred.mentions("s"), "bound var must be renamed");
         // ∀s ∈ z (s ≠ x.a) ≡ ¬∃s ∈ z (s = x.a).
@@ -445,17 +456,26 @@ mod tests {
             zv(),
             E::cmp(CmpOp::Ne, E::var("s"), xa()),
         );
-        assert!(matches!(classify(&q, "z"), Classification::NegatedExistential { .. }));
+        assert!(matches!(
+            classify(&q, "z"),
+            Classification::NegatedExistential { .. }
+        ));
     }
 
     #[test]
     fn independent_predicate() {
-        assert_eq!(classify(&E::eq(xa(), E::lit(1i64)), "z"), Classification::Independent);
+        assert_eq!(
+            classify(&E::eq(xa(), E::lit(1i64)), "z"),
+            Classification::Independent
+        );
     }
 
     #[test]
     fn disjunction_with_z_is_conservative() {
-        let p = E::or(E::eq(xa(), E::lit(1i64)), E::set_cmp(SetCmpOp::In, xa(), zv()));
+        let p = E::or(
+            E::eq(xa(), E::lit(1i64)),
+            E::set_cmp(SetCmpOp::In, xa(), zv()),
+        );
         assert_eq!(classify(&p, "z"), Classification::RequiresGrouping);
     }
 
@@ -478,7 +498,11 @@ mod tests {
     fn double_z_mention_requires_grouping() {
         // count(z) = count(z): silly, but must not misclassify.
         let c = classify(
-            &E::cmp(CmpOp::Eq, E::agg(AggFn::Count, zv()), E::agg(AggFn::Count, zv())),
+            &E::cmp(
+                CmpOp::Eq,
+                E::agg(AggFn::Count, zv()),
+                E::agg(AggFn::Count, zv()),
+            ),
             "z",
         );
         assert_eq!(c, Classification::RequiresGrouping);

@@ -33,11 +33,7 @@ pub fn unnest_plan(plan: Plan, strat: UnnestStrategy) -> Plan {
 
 /// [`unnest_plan`] with an optional cost model for
 /// [`UnnestStrategy::CostBased`].
-pub fn unnest_plan_with(
-    plan: Plan,
-    strat: UnnestStrategy,
-    model: Option<&dyn CostModel>,
-) -> Plan {
+pub fn unnest_plan_with(plan: Plan, strat: UnnestStrategy, model: Option<&dyn CostModel>) -> Plan {
     match strat {
         UnnestStrategy::NestedLoop => strategy::nested_loop::rewrite(plan),
         UnnestStrategy::Kim => strategy::kim::rewrite(plan),
@@ -106,9 +102,7 @@ fn cost_based(plan: Plan, model: &dyn CostModel) -> Plan {
                 if let Some(nj) = strategy::nestjoin::rewrite_one(input, subquery, label) {
                     candidates.push(nj.select(p.clone()));
                 }
-                if let Some(mur) =
-                    strategy::muralikrishna::rewrite_one(p, input, subquery, label)
-                {
+                if let Some(mur) = strategy::muralikrishna::rewrite_one(p, input, subquery, label) {
                     candidates.push(mur);
                 }
                 if let Some(gw) = strategy::ganski_wong::rewrite_one(input, subquery, label) {
@@ -169,14 +163,20 @@ pub struct Optimizer {
 
 impl Default for Optimizer {
     fn default() -> Self {
-        Optimizer { strategy: UnnestStrategy::CostBased, apply_rules: true }
+        Optimizer {
+            strategy: UnnestStrategy::CostBased,
+            apply_rules: true,
+        }
     }
 }
 
 impl Optimizer {
     /// Optimizer with a fixed strategy and cleanup enabled.
     pub fn with_strategy(strategy: UnnestStrategy) -> Optimizer {
-        Optimizer { strategy, apply_rules: true }
+        Optimizer {
+            strategy,
+            apply_rules: true,
+        }
     }
 
     /// Run the full logical optimization pipeline without a cost model
@@ -220,7 +220,10 @@ mod tests {
     }
 
     fn where_block(pred: E) -> Plan {
-        Plan::scan("X", "x").apply(sub(), "z").select(pred).map(E::var("x"), "out")
+        Plan::scan("X", "x")
+            .apply(sub(), "z")
+            .select(pred)
+            .map(E::var("x"), "out")
     }
 
     /// A deterministic toy model: counts operators, charging `Apply`
@@ -256,8 +259,11 @@ mod tests {
 
     #[test]
     fn optimal_uses_nestjoin_for_grouping_predicates() {
-        let plan =
-            where_block(E::set_cmp(SetCmpOp::SubsetEq, E::path("x", &["a"]), E::var("z")));
+        let plan = where_block(E::set_cmp(
+            SetCmpOp::SubsetEq,
+            E::path("x", &["a"]),
+            E::var("z"),
+        ));
         let out = unnest_plan(plan, UnnestStrategy::Optimal);
         assert!(out.has_nest_join());
         assert!(!out.has_apply());
@@ -265,7 +271,9 @@ mod tests {
 
     #[test]
     fn optimal_handles_select_clause_nesting() {
-        let q2 = Plan::scan("DEPT", "d").apply(sub(), "emps").map(E::var("emps"), "out");
+        let q2 = Plan::scan("DEPT", "d")
+            .apply(sub(), "emps")
+            .map(E::var("emps"), "out");
         let out = unnest_plan(q2, UnnestStrategy::Optimal);
         assert!(out.has_nest_join());
     }
@@ -277,7 +285,11 @@ mod tests {
             let out = unnest_plan(where_block(pred.clone()), strat);
             match strat {
                 UnnestStrategy::NestedLoop | UnnestStrategy::FlattenSemiAnti => {
-                    assert!(out.has_apply(), "{} should keep the Apply here", strat.name());
+                    assert!(
+                        out.has_apply(),
+                        "{} should keep the Apply here",
+                        strat.name()
+                    );
                 }
                 _ => assert!(!out.has_apply(), "{} should unnest", strat.name()),
             }
@@ -288,7 +300,10 @@ mod tests {
     fn cost_based_picks_semijoin_for_membership() {
         let plan = where_block(E::set_cmp(SetCmpOp::In, E::path("x", &["a"]), E::var("z")));
         let out = unnest_plan_with(plan, UnnestStrategy::CostBased, Some(&OpCountModel));
-        assert!(out.any_node(&mut |n| matches!(n, Plan::SemiJoin { .. })), "{out}");
+        assert!(
+            out.any_node(&mut |n| matches!(n, Plan::SemiJoin { .. })),
+            "{out}"
+        );
         assert!(!out.has_apply());
     }
 
@@ -297,11 +312,17 @@ mod tests {
         // ⊆ requires grouping: candidates are Muralikrishna (ν + ⟕),
         // nest join, Ganski–Wong (⟕ + ν*). Under the toy model the nest
         // join (20) beats Muralikrishna (25 + 50) and GW (50 + 25).
-        let plan =
-            where_block(E::set_cmp(SetCmpOp::SubsetEq, E::path("x", &["a"]), E::var("z")));
+        let plan = where_block(E::set_cmp(
+            SetCmpOp::SubsetEq,
+            E::path("x", &["a"]),
+            E::var("z"),
+        ));
         let out = unnest_plan_with(plan, UnnestStrategy::CostBased, Some(&OpCountModel));
         assert!(out.has_nest_join(), "{out}");
-        assert!(!out.any_node(&mut |n| matches!(n, Plan::LeftOuterJoin { .. })), "{out}");
+        assert!(
+            !out.any_node(&mut |n| matches!(n, Plan::LeftOuterJoin { .. })),
+            "{out}"
+        );
         assert!(!out.has_apply());
     }
 
@@ -325,18 +346,28 @@ mod tests {
             }
         }
         let pred = E::eq(E::path("x", &["b"]), E::agg(AggFn::Count, E::var("z")));
-        let out = unnest_plan_with(where_block(pred), UnnestStrategy::CostBased, Some(&NestJoinHostile));
+        let out = unnest_plan_with(
+            where_block(pred),
+            UnnestStrategy::CostBased,
+            Some(&NestJoinHostile),
+        );
         assert!(!out.has_apply());
         assert!(!out.has_nest_join(), "{out}");
-        assert!(out.any_node(&mut |n| matches!(n, Plan::GroupAgg { .. })), "{out}");
+        assert!(
+            out.any_node(&mut |n| matches!(n, Plan::GroupAgg { .. })),
+            "{out}"
+        );
     }
 
     #[test]
     fn cost_based_degrades_to_nested_loop_when_inner_not_closed() {
         // FROM d.emps e — the inner plan references the outer variable, so
         // no strategy applies (Section 3.2) and the Apply must survive.
-        let sub = Plan::ScanExpr { expr: E::path("d", &["emps"]), var: "e".into() }
-            .map(E::var("e"), "s");
+        let sub = Plan::ScanExpr {
+            expr: E::path("d", &["emps"]),
+            var: "e".into(),
+        }
+        .map(E::var("e"), "s");
         let plan = Plan::scan("DEPT", "d").apply(sub, "z").select(E::set_cmp(
             SetCmpOp::In,
             E::path("d", &["mgr"]),

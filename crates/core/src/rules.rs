@@ -33,7 +33,10 @@ pub fn project_nestjoin_elim(plan: &Plan) -> Option<Plan> {
     Some(if *vars == left.output_vars() {
         (**left).clone()
     } else {
-        Plan::Project { input: left.clone(), vars: vars.clone() }
+        Plan::Project {
+            input: left.clone(),
+            vars: vars.clone(),
+        }
     })
 }
 
@@ -45,7 +48,14 @@ pub fn select_pushdown_nestjoin(plan: &Plan) -> Option<Plan> {
     let Plan::Select { input, pred } = plan else {
         return None;
     };
-    let Plan::NestJoin { left, right, pred: q, func, label } = &**input else {
+    let Plan::NestJoin {
+        left,
+        right,
+        pred: q,
+        func,
+        label,
+    } = &**input
+    else {
         return None;
     };
     let left_vars: BTreeSet<String> = left.output_vars().into_iter().collect();
@@ -53,7 +63,10 @@ pub fn select_pushdown_nestjoin(plan: &Plan) -> Option<Plan> {
         return None;
     }
     Some(Plan::NestJoin {
-        left: Box::new(Plan::Select { input: left.clone(), pred: pred.clone() }),
+        left: Box::new(Plan::Select {
+            input: left.clone(),
+            pred: pred.clone(),
+        }),
         right: right.clone(),
         pred: q.clone(),
         func: func.clone(),
@@ -69,38 +82,62 @@ pub fn select_pushdown_join(plan: &Plan) -> Option<Plan> {
         return None;
     };
     match &**input {
-        Plan::Join { left, right, pred: q } => {
+        Plan::Join {
+            left,
+            right,
+            pred: q,
+        } => {
             let lv: BTreeSet<String> = left.output_vars().into_iter().collect();
             let rv: BTreeSet<String> = right.output_vars().into_iter().collect();
             let fv = pred.free_vars();
             if fv.is_subset(&lv) {
                 Some(Plan::Join {
-                    left: Box::new(Plan::Select { input: left.clone(), pred: pred.clone() }),
+                    left: Box::new(Plan::Select {
+                        input: left.clone(),
+                        pred: pred.clone(),
+                    }),
                     right: right.clone(),
                     pred: q.clone(),
                 })
             } else if fv.is_subset(&rv) {
                 Some(Plan::Join {
                     left: left.clone(),
-                    right: Box::new(Plan::Select { input: right.clone(), pred: pred.clone() }),
+                    right: Box::new(Plan::Select {
+                        input: right.clone(),
+                        pred: pred.clone(),
+                    }),
                     pred: q.clone(),
                 })
             } else {
                 None
             }
         }
-        Plan::SemiJoin { left, right, pred: q } => {
+        Plan::SemiJoin {
+            left,
+            right,
+            pred: q,
+        } => {
             let lv: BTreeSet<String> = left.output_vars().into_iter().collect();
             pred.free_vars().is_subset(&lv).then(|| Plan::SemiJoin {
-                left: Box::new(Plan::Select { input: left.clone(), pred: pred.clone() }),
+                left: Box::new(Plan::Select {
+                    input: left.clone(),
+                    pred: pred.clone(),
+                }),
                 right: right.clone(),
                 pred: q.clone(),
             })
         }
-        Plan::AntiJoin { left, right, pred: q } => {
+        Plan::AntiJoin {
+            left,
+            right,
+            pred: q,
+        } => {
             let lv: BTreeSet<String> = left.output_vars().into_iter().collect();
             pred.free_vars().is_subset(&lv).then(|| Plan::AntiJoin {
-                left: Box::new(Plan::Select { input: left.clone(), pred: pred.clone() }),
+                left: Box::new(Plan::Select {
+                    input: left.clone(),
+                    pred: pred.clone(),
+                }),
                 right: right.clone(),
                 pred: q.clone(),
             })
@@ -114,10 +151,22 @@ pub fn select_pushdown_join(plan: &Plan) -> Option<Plan> {
 /// The nest join slides below a join when its predicate and function only
 /// touch the join's left operand.
 pub fn nestjoin_join_interchange(plan: &Plan) -> Option<Plan> {
-    let Plan::NestJoin { left, right: z_plan, pred: p2, func, label } = plan else {
+    let Plan::NestJoin {
+        left,
+        right: z_plan,
+        pred: p2,
+        func,
+        label,
+    } = plan
+    else {
         return None;
     };
-    let Plan::Join { left: x_plan, right: y_plan, pred: p1 } = &**left else {
+    let Plan::Join {
+        left: x_plan,
+        right: y_plan,
+        pred: p1,
+    } = &**left
+    else {
         return None;
     };
     let xv: BTreeSet<String> = x_plan.output_vars().into_iter().collect();
@@ -143,10 +192,22 @@ pub fn nestjoin_join_interchange(plan: &Plan) -> Option<Plan> {
 /// `(X ⋈_{r(x,y)} Y) Δ_{r(y,z)} Z ≡ X ⋈_{r(x,y)} (Y Δ_{r(y,z)} Z)`.
 /// The nest join attaches to the join operand it actually references.
 pub fn join_nestjoin_assoc(plan: &Plan) -> Option<Plan> {
-    let Plan::NestJoin { left, right: z_plan, pred: p2, func, label } = plan else {
+    let Plan::NestJoin {
+        left,
+        right: z_plan,
+        pred: p2,
+        func,
+        label,
+    } = plan
+    else {
         return None;
     };
-    let Plan::Join { left: x_plan, right: y_plan, pred: p1 } = &**left else {
+    let Plan::Join {
+        left: x_plan,
+        right: y_plan,
+        pred: p1,
+    } = &**left
+    else {
         return None;
     };
     let yv: BTreeSet<String> = y_plan.output_vars().into_iter().collect();
@@ -181,12 +242,22 @@ pub fn join_nestjoin_assoc(plan: &Plan) -> Option<Plan> {
 /// never built. Dangling `I` rows contributed ∅ to the union, so the
 /// inner join loses nothing.
 pub fn unnest_collapse(plan: &Plan) -> Option<Plan> {
-    let Plan::Unnest { input, expr, elem_var, drop_vars } = plan else {
+    let Plan::Unnest {
+        input,
+        expr,
+        elem_var,
+        drop_vars,
+    } = plan
+    else {
         return None;
     };
     // Peel an optional Map m := z between Unnest and Apply.
     let (apply, set_var) = match &**input {
-        Plan::Map { input: apply, expr: ScalarExpr::Var(z), var: m } => {
+        Plan::Map {
+            input: apply,
+            expr: ScalarExpr::Var(z),
+            var: m,
+        } => {
             if *expr != ScalarExpr::var(m.clone()) || drop_vars != std::slice::from_ref(m) {
                 return None;
             }
@@ -199,7 +270,12 @@ pub fn unnest_collapse(plan: &Plan) -> Option<Plan> {
             (other, z.clone())
         }
     };
-    let Plan::Apply { input: outer, subquery, label } = apply else {
+    let Plan::Apply {
+        input: outer,
+        subquery,
+        label,
+    } = apply
+    else {
         return None;
     };
     if *label != set_var {
@@ -220,8 +296,12 @@ pub fn unnest_collapse(plan: &Plan) -> Option<Plan> {
         return None;
     }
     Some(
-        Plan::Join { left: outer.clone(), right: Box::new(parts.inner), pred: parts.q }
-            .map(parts.g, elem_var.clone()),
+        Plan::Join {
+            left: outer.clone(),
+            right: Box::new(parts.inner),
+            pred: parts.q,
+        }
+        .map(parts.g, elem_var.clone()),
     )
 }
 
@@ -279,7 +359,9 @@ mod tests {
     fn select_pushes_into_left_of_nestjoin() {
         let p = nj().select(E::cmp(CmpOp::Gt, E::path("x", &["a"]), E::lit(1i64)));
         let out = select_pushdown_nestjoin(&p).unwrap();
-        let Plan::NestJoin { left, .. } = out else { panic!("nest join") };
+        let Plan::NestJoin { left, .. } = out else {
+            panic!("nest join")
+        };
         assert!(matches!(*left, Plan::Select { .. }));
         // Predicates over the label must not push.
         let blocked = nj().select(E::set_cmp(
@@ -292,23 +374,33 @@ mod tests {
 
     #[test]
     fn join_pushdown_picks_side() {
-        let j = Plan::scan("X", "x")
-            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
-        let left_pred = j.clone().select(E::cmp(CmpOp::Gt, E::path("x", &["a"]), E::lit(0i64)));
+        let j = Plan::scan("X", "x").join(
+            Plan::scan("Y", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+        );
+        let left_pred = j
+            .clone()
+            .select(E::cmp(CmpOp::Gt, E::path("x", &["a"]), E::lit(0i64)));
         let out = select_pushdown_join(&left_pred).unwrap();
-        let Plan::Join { left, .. } = out else { panic!() };
+        let Plan::Join { left, .. } = out else {
+            panic!()
+        };
         assert!(matches!(*left, Plan::Select { .. }));
         let right_pred = j.select(E::cmp(CmpOp::Gt, E::path("y", &["c"]), E::lit(0i64)));
         let out = select_pushdown_join(&right_pred).unwrap();
-        let Plan::Join { right, .. } = out else { panic!() };
+        let Plan::Join { right, .. } = out else {
+            panic!()
+        };
         assert!(matches!(*right, Plan::Select { .. }));
     }
 
     #[test]
     fn interchange_requires_disjoint_reference() {
         // (X ⋈ Y) Δ Z with Δ-pred over x only: slides under.
-        let xy = Plan::scan("X", "x")
-            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let xy = Plan::scan("X", "x").join(
+            Plan::scan("Y", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+        );
         let p = xy.nest_join(
             Plan::scan("Z", "z"),
             E::eq(E::path("x", &["c"]), E::path("z", &["c"])),
@@ -316,12 +408,16 @@ mod tests {
             "zs",
         );
         let out = nestjoin_join_interchange(&p).unwrap();
-        let Plan::Join { left, .. } = &out else { panic!("join root") };
+        let Plan::Join { left, .. } = &out else {
+            panic!("join root")
+        };
         assert!(matches!(**left, Plan::NestJoin { .. }));
         // A Δ-pred referencing y blocks the interchange (but enables the
         // associativity form instead).
-        let xy = Plan::scan("X", "x")
-            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let xy = Plan::scan("X", "x").join(
+            Plan::scan("Y", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+        );
         let p = xy.nest_join(
             Plan::scan("Z", "z"),
             E::eq(E::path("y", &["d"]), E::path("z", &["d"])),
@@ -330,7 +426,9 @@ mod tests {
         );
         assert!(nestjoin_join_interchange(&p).is_none());
         let out = join_nestjoin_assoc(&p).unwrap();
-        let Plan::Join { right, .. } = &out else { panic!("join root") };
+        let Plan::Join { right, .. } = &out else {
+            panic!("join root")
+        };
         assert!(matches!(**right, Plan::NestJoin { .. }));
     }
 
@@ -354,15 +452,19 @@ mod tests {
         let out = unnest_collapse(&plan).unwrap();
         assert!(!out.has_apply());
         assert!(out.any_node(&mut |n| matches!(n, Plan::Join { .. })));
-        let Plan::Map { var, .. } = out else { panic!("map root") };
+        let Plan::Map { var, .. } = out else {
+            panic!("map root")
+        };
         assert_eq!(var, "u");
     }
 
     #[test]
     fn cleanup_reaches_fixpoint() {
         // Stacked rules: select over nest join over join.
-        let xy = Plan::scan("X", "x")
-            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let xy = Plan::scan("X", "x").join(
+            Plan::scan("Y", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+        );
         let p = xy
             .nest_join(
                 Plan::scan("Z", "z"),

@@ -94,7 +94,9 @@ mod tests {
     #[test]
     fn count_bug_query_gets_outerjoin_and_nu_star() {
         let pred = E::eq(E::path("x", &["b"]), E::agg(AggFn::Count, E::var("z")));
-        let p = Plan::scan("R", "x").apply(sub(E::path("y", &["d"])), "z").select(pred);
+        let p = Plan::scan("R", "x")
+            .apply(sub(E::path("y", &["d"])), "z")
+            .select(pred);
         let out = rewrite(p);
         assert!(!out.has_apply());
         assert!(out.any_node(&mut |n| matches!(n, Plan::LeftOuterJoin { .. })));
@@ -105,7 +107,10 @@ mod tests {
     fn select_clause_nesting_supported() {
         // Grouping "following the join" (Section 5) — bare Apply.
         let p = Plan::scan("R", "x").apply(sub(E::var("y")), "emps").map(
-            E::Tuple(vec![("r".into(), E::var("x")), ("es".into(), E::var("emps"))]),
+            E::Tuple(vec![
+                ("r".into(), E::var("x")),
+                ("es".into(), E::var("emps")),
+            ]),
             "out",
         );
         let out = rewrite(p);
@@ -126,8 +131,11 @@ mod tests {
 
     #[test]
     fn correlated_inner_refused() {
-        let sub = Plan::ScanExpr { expr: E::path("x", &["kids"]), var: "k".into() }
-            .map(E::var("k"), "s");
+        let sub = Plan::ScanExpr {
+            expr: E::path("x", &["kids"]),
+            var: "k".into(),
+        }
+        .map(E::var("k"), "s");
         let p = Plan::scan("R", "x").apply(sub, "z").select(E::cmp(
             CmpOp::Eq,
             E::agg(AggFn::Count, E::var("z")),

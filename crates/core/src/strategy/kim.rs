@@ -141,7 +141,11 @@ pub(crate) fn correlation(input: &Plan, parts: &SubqueryParts) -> Option<Correla
     } else {
         parts.inner.clone().select(ScalarExpr::conj(inner_resid))
     };
-    Some(Correlation { outer_keys, inner_keys, inner_plan })
+    Some(Correlation {
+        outer_keys,
+        inner_keys,
+        inner_plan,
+    })
 }
 
 fn conjuncts(e: &ScalarExpr) -> Vec<ScalarExpr> {
@@ -184,7 +188,13 @@ fn kim_agg_variant(
     let p_sub = replace_subexpr(zpart, &target, &ScalarExpr::path(&tvar, &["agg"]));
     if p_sub.mentions(label) {
         // z occurs outside the aggregate too — mixed form, fall back.
-        return kim_nest_variant(&ScalarExpr::conj([zpart.clone()]), rest, input, parts, label);
+        return kim_nest_variant(
+            &ScalarExpr::conj([zpart.clone()]),
+            rest,
+            input,
+            parts,
+            label,
+        );
     }
     let mut join_conjs: Vec<ScalarExpr> = corr
         .outer_keys
@@ -335,7 +345,11 @@ mod tests {
     #[test]
     fn non_equi_correlation_is_not_kims_case() {
         let sub = Plan::scan("S", "y")
-            .select(E::cmp(CmpOp::Lt, E::path("x", &["c"]), E::path("y", &["c"])))
+            .select(E::cmp(
+                CmpOp::Lt,
+                E::path("x", &["c"]),
+                E::path("y", &["c"]),
+            ))
             .map(E::path("y", &["d"]), "s");
         let pred = E::eq(E::path("x", &["b"]), E::agg(AggFn::Count, E::var("z")));
         let p = Plan::scan("R", "x").apply(sub, "z").select(pred);
@@ -351,9 +365,8 @@ mod tests {
         let p = Plan::scan("R", "x").apply(sub, "z").select(pred);
         let out = rewrite(p);
         assert!(!out.has_apply());
-        let has_keyless_group = out.any_node(&mut |n| {
-            matches!(n, Plan::GroupAgg { keys, .. } if keys.is_empty())
-        });
+        let has_keyless_group =
+            out.any_node(&mut |n| matches!(n, Plan::GroupAgg { keys, .. } if keys.is_empty()));
         assert!(has_keyless_group);
     }
 }

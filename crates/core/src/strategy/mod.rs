@@ -123,7 +123,11 @@ pub fn decompose_subquery(sub: &Plan) -> Option<SubqueryParts> {
             q: pred.clone(),
             g: expr.clone(),
         },
-        other => SubqueryParts { inner: other.clone(), q: ScalarExpr::lit(true), g: expr.clone() },
+        other => SubqueryParts {
+            inner: other.clone(),
+            q: ScalarExpr::lit(true),
+            g: expr.clone(),
+        },
     })
 }
 
@@ -180,11 +184,15 @@ pub fn replace_subexpr(
             replace_subexpr(b, target, replacement),
         ),
         E::Tuple(fs) => E::Tuple(
-            fs.iter().map(|(l, e)| (l.clone(), replace_subexpr(e, target, replacement))).collect(),
+            fs.iter()
+                .map(|(l, e)| (l.clone(), replace_subexpr(e, target, replacement)))
+                .collect(),
         ),
-        E::SetLit(es) => {
-            E::SetLit(es.iter().map(|e| replace_subexpr(e, target, replacement)).collect())
-        }
+        E::SetLit(es) => E::SetLit(
+            es.iter()
+                .map(|e| replace_subexpr(e, target, replacement))
+                .collect(),
+        ),
         E::Quant { q, var, over, pred } => E::quant(
             *q,
             var.clone(),
@@ -209,7 +217,14 @@ pub fn rewrite_blocks(
     // *then* offer the rebuilt pattern to the rewriter.
     match plan {
         Plan::Select { input, pred } if matches!(*input, Plan::Apply { .. }) => {
-            let Plan::Apply { input: outer, subquery, label } = *input else { unreachable!() };
+            let Plan::Apply {
+                input: outer,
+                subquery,
+                label,
+            } = *input
+            else {
+                unreachable!()
+            };
             let outer = rewrite_blocks(*outer, rewriter);
             let subquery = rewrite_blocks(*subquery, rewriter);
             match rewriter(Some(&pred), &outer, &subquery, &label) {
@@ -224,7 +239,11 @@ pub fn rewrite_blocks(
                 },
             }
         }
-        Plan::Apply { input, subquery, label } => {
+        Plan::Apply {
+            input,
+            subquery,
+            label,
+        } => {
             let input = rewrite_blocks(*input, rewriter);
             let subquery = rewrite_blocks(*subquery, rewriter);
             match rewriter(None, &input, &subquery, &label) {
@@ -281,8 +300,11 @@ mod tests {
     #[test]
     fn correlated_inner_not_decorrelatable() {
         // FROM d.emps e — inner plan references the outer var d.
-        let sub = Plan::ScanExpr { expr: E::path("d", &["emps"]), var: "e".into() }
-            .map(E::var("e"), "sub");
+        let sub = Plan::ScanExpr {
+            expr: E::path("d", &["emps"]),
+            var: "e".into(),
+        }
+        .map(E::var("e"), "sub");
         let parts = decompose_subquery(&sub).unwrap();
         assert!(!decorrelatable(&parts));
     }
@@ -311,9 +333,11 @@ mod tests {
                 E::var("z2"),
             ))
             .map(E::path("y", &["a"]), "s1");
-        let top = Plan::scan("X", "x")
-            .apply(y_block, "z1")
-            .select(E::set_cmp(tmql_algebra::SetCmpOp::In, E::path("x", &["a"]), E::var("z1")));
+        let top = Plan::scan("X", "x").apply(y_block, "z1").select(E::set_cmp(
+            tmql_algebra::SetCmpOp::In,
+            E::path("x", &["a"]),
+            E::var("z1"),
+        ));
         let mut order = Vec::new();
         let _ = rewrite_blocks(top, &mut |_, _, _, label| {
             order.push(label.to_string());

@@ -39,12 +39,7 @@ pub fn rewrite(plan: Plan) -> Plan {
 }
 
 /// Rewrite one block; `None` leaves it as a nested loop.
-pub fn rewrite_one(
-    pred: &ScalarExpr,
-    input: &Plan,
-    subquery: &Plan,
-    label: &str,
-) -> Option<Plan> {
+pub fn rewrite_one(pred: &ScalarExpr, input: &Plan, subquery: &Plan, label: &str) -> Option<Plan> {
     let parts = decompose_subquery(subquery)?;
     if !decorrelatable(&parts) {
         return None;
@@ -97,7 +92,12 @@ pub fn rewrite_one(
                     ScalarExpr::eq(o.clone(), ScalarExpr::var(&tvar).field(kname.clone()))
                 })
                 .collect();
-            (t, vec![tvar.clone()], conj_with(key_eqs, matched, &tvar), anti)
+            (
+                t,
+                vec![tvar.clone()],
+                conj_with(key_eqs, matched, &tvar),
+                anti,
+            )
         } else {
             // Complex-object case: T = ν(R), antijoin predicate P[z ↦ ∅].
             let mut extended = corr.inner_plan.clone();
@@ -120,8 +120,7 @@ pub fn rewrite_one(
                 .zip(&key_vars)
                 .map(|(o, k)| ScalarExpr::eq(o.clone(), ScalarExpr::var(k)))
                 .collect();
-            let anti =
-                zpart.substitute(label, &ScalarExpr::Lit(Value::empty_set()));
+            let anti = zpart.substitute(label, &ScalarExpr::Lit(Value::empty_set()));
             let mut t_vars = key_vars.clone();
             t_vars.push(label.to_string());
             (t, t_vars, conj_with(key_eqs, zpart.clone(), label), anti)
@@ -186,8 +185,14 @@ mod tests {
         let p = Plan::scan("R", "x").apply(sub(), "z").select(pred);
         let out = rewrite(p);
         assert!(!out.has_apply());
-        assert!(out.any_node(&mut |n| matches!(n, Plan::GroupAgg { .. })), "{out}");
-        assert!(out.any_node(&mut |n| matches!(n, Plan::LeftOuterJoin { .. })), "{out}");
+        assert!(
+            out.any_node(&mut |n| matches!(n, Plan::GroupAgg { .. })),
+            "{out}"
+        );
+        assert!(
+            out.any_node(&mut |n| matches!(n, Plan::LeftOuterJoin { .. })),
+            "{out}"
+        );
         // The dangling branch compares against COUNT(∅) = 0.
         let has_anti = out.any_node(&mut |n| {
             matches!(n, Plan::Select { pred, .. }
@@ -202,10 +207,13 @@ mod tests {
         let p = Plan::scan("R", "x").apply(sub(), "z").select(pred);
         let out = rewrite(p);
         assert!(!out.has_apply());
-        assert!(out.any_node(&mut |n| matches!(n, Plan::Nest { star: false, .. })), "{out}");
-        let has_empty = out.any_node(&mut |n| {
-            matches!(n, Plan::Select { pred, .. } if format!("{pred}").contains("⊆ {}"))
-        });
+        assert!(
+            out.any_node(&mut |n| matches!(n, Plan::Nest { star: false, .. })),
+            "{out}"
+        );
+        let has_empty = out.any_node(
+            &mut |n| matches!(n, Plan::Select { pred, .. } if format!("{pred}").contains("⊆ {}")),
+        );
         assert!(has_empty, "{out}");
     }
 
@@ -214,14 +222,21 @@ mod tests {
         let pred = E::set_cmp(SetCmpOp::In, E::path("x", &["b"]), E::var("z"));
         let p = Plan::scan("R", "x").apply(sub(), "z").select(pred);
         let out = rewrite(p);
-        assert!(out.any_node(&mut |n| matches!(n, Plan::SemiJoin { .. })), "{out}");
+        assert!(
+            out.any_node(&mut |n| matches!(n, Plan::SemiJoin { .. })),
+            "{out}"
+        );
         assert!(!out.any_node(&mut |n| matches!(n, Plan::LeftOuterJoin { .. })));
     }
 
     #[test]
     fn non_equi_correlation_stays_nested_loop() {
         let sub = Plan::scan("S", "y")
-            .select(E::cmp(CmpOp::Lt, E::path("x", &["c"]), E::path("y", &["c"])))
+            .select(E::cmp(
+                CmpOp::Lt,
+                E::path("x", &["c"]),
+                E::path("y", &["c"]),
+            ))
             .map(E::path("y", &["d"]), "s");
         let pred = E::eq(E::path("x", &["b"]), E::agg(AggFn::Count, E::var("z")));
         let p = Plan::scan("R", "x").apply(sub, "z").select(pred);

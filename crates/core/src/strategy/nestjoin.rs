@@ -76,7 +76,11 @@ mod tests {
             .map(E::path("y", &["a"]), "s");
         Plan::scan("X", "x")
             .apply(sub, "z")
-            .select(E::set_cmp(SetCmpOp::SubsetEq, E::path("x", &["a"]), E::var("z")))
+            .select(E::set_cmp(
+                SetCmpOp::SubsetEq,
+                E::path("x", &["a"]),
+                E::var("z"),
+            ))
             .map(E::var("x"), "out")
     }
 
@@ -86,10 +90,16 @@ mod tests {
         assert!(!out.has_apply());
         assert!(out.has_nest_join());
         // Shape: Map(Select(NestJoin)).
-        let Plan::Map { input, .. } = out else { panic!("map root") };
-        let Plan::Select { input, pred } = *input else { panic!("select") };
+        let Plan::Map { input, .. } = out else {
+            panic!("map root")
+        };
+        let Plan::Select { input, pred } = *input else {
+            panic!("select")
+        };
         assert!(pred.mentions("z"));
-        let Plan::NestJoin { label, pred: q, .. } = *input else { panic!("nest join") };
+        let Plan::NestJoin { label, pred: q, .. } = *input else {
+            panic!("nest join")
+        };
         assert_eq!(label, "z");
         assert!(q.mentions("x") && q.mentions("y"));
     }
@@ -115,8 +125,11 @@ mod tests {
     #[test]
     fn correlated_inner_operand_stays_apply() {
         // FROM d.emps e — must NOT be flattened (Section 3.2).
-        let sub = Plan::ScanExpr { expr: E::path("d", &["emps"]), var: "e".into() }
-            .map(E::var("e"), "s");
+        let sub = Plan::ScanExpr {
+            expr: E::path("d", &["emps"]),
+            var: "e".into(),
+        }
+        .map(E::var("e"), "s");
         let q = Plan::scan("DEPT", "d").apply(sub, "z").select(E::set_cmp(
             SetCmpOp::In,
             E::path("d", &["mgr"]),
@@ -140,11 +153,16 @@ mod tests {
                 E::set_cmp(SetCmpOp::SubsetEq, E::path("y", &["c"]), E::var("z2")),
             ))
             .map(E::path("y", &["a"]), "s1");
-        let top = Plan::scan("X", "x")
-            .apply(y_block, "z1")
-            .select(E::set_cmp(SetCmpOp::SubsetEq, E::path("x", &["a"]), E::var("z1")));
+        let top = Plan::scan("X", "x").apply(y_block, "z1").select(E::set_cmp(
+            SetCmpOp::SubsetEq,
+            E::path("x", &["a"]),
+            E::var("z1"),
+        ));
         let out = rewrite(top);
         assert!(!out.has_apply());
-        assert_eq!(out.count_nodes(&mut |n| matches!(n, Plan::NestJoin { .. })), 2);
+        assert_eq!(
+            out.count_nodes(&mut |n| matches!(n, Plan::NestJoin { .. })),
+            2
+        );
     }
 }

@@ -30,12 +30,7 @@ pub fn rewrite(plan: Plan) -> Plan {
 
 /// Attempt to flatten one block. Returns `None` when the predicate
 /// requires grouping or the inner plan cannot be decorrelated.
-pub fn rewrite_one(
-    pred: &ScalarExpr,
-    input: &Plan,
-    subquery: &Plan,
-    label: &str,
-) -> Option<Plan> {
+pub fn rewrite_one(pred: &ScalarExpr, input: &Plan, subquery: &Plan, label: &str) -> Option<Plan> {
     let parts = decompose_subquery(subquery)?;
     if !decorrelatable(&parts) {
         return None;
@@ -91,16 +86,27 @@ mod tests {
     }
 
     fn block(pred: E) -> Plan {
-        Plan::scan("X", "x").apply(sub(), "z").select(pred).map(E::var("x"), "out")
+        Plan::scan("X", "x")
+            .apply(sub(), "z")
+            .select(pred)
+            .map(E::var("x"), "out")
     }
 
     #[test]
     fn membership_becomes_semijoin_with_papers_predicate() {
         // x.a ∈ z → X ⋉_{x.b=y.b ∧ y.a=x.a} Y.
-        let out = rewrite(block(E::set_cmp(SetCmpOp::In, E::path("x", &["a"]), E::var("z"))));
+        let out = rewrite(block(E::set_cmp(
+            SetCmpOp::In,
+            E::path("x", &["a"]),
+            E::var("z"),
+        )));
         assert!(!out.has_apply());
-        let Plan::Map { input, .. } = out else { panic!("map root") };
-        let Plan::SemiJoin { pred, .. } = *input else { panic!("semijoin, got {input}") };
+        let Plan::Map { input, .. } = out else {
+            panic!("map root")
+        };
+        let Plan::SemiJoin { pred, .. } = *input else {
+            panic!("semijoin, got {input}")
+        };
         // Join predicate must mention both Q and P'(x, G).
         assert!(pred.mentions("x") && pred.mentions("y"));
         assert!(!pred.mentions("z"));
@@ -109,14 +115,25 @@ mod tests {
 
     #[test]
     fn non_membership_becomes_antijoin() {
-        let out = rewrite(block(E::set_cmp(SetCmpOp::NotIn, E::path("x", &["a"]), E::var("z"))));
+        let out = rewrite(block(E::set_cmp(
+            SetCmpOp::NotIn,
+            E::path("x", &["a"]),
+            E::var("z"),
+        )));
         assert!(out.any_node(&mut |n| matches!(n, Plan::AntiJoin { .. })));
     }
 
     #[test]
     fn grouping_predicate_left_as_nested_loop() {
-        let out = rewrite(block(E::set_cmp(SetCmpOp::SubsetEq, E::path("x", &["a"]), E::var("z"))));
-        assert!(out.has_apply(), "⊆ requires grouping; this strategy must not flatten it");
+        let out = rewrite(block(E::set_cmp(
+            SetCmpOp::SubsetEq,
+            E::path("x", &["a"]),
+            E::var("z"),
+        )));
+        assert!(
+            out.has_apply(),
+            "⊆ requires grouping; this strategy must not flatten it"
+        );
     }
 
     #[test]
@@ -126,8 +143,12 @@ mod tests {
             E::set_cmp(SetCmpOp::In, E::path("x", &["a"]), E::var("z")),
         );
         let out = rewrite(block(pred));
-        let Plan::Map { input, .. } = out else { panic!("map root") };
-        let Plan::Select { pred: rest, input } = *input else { panic!("residual select") };
+        let Plan::Map { input, .. } = out else {
+            panic!("map root")
+        };
+        let Plan::Select { pred: rest, input } = *input else {
+            panic!("residual select")
+        };
         assert!(rest.mentions("x") && !rest.mentions("z"));
         assert!(matches!(*input, Plan::SemiJoin { .. }));
     }
@@ -148,7 +169,9 @@ mod tests {
             E::var("z"),
         ));
         let out = rewrite(q);
-        let Plan::SemiJoin { pred, .. } = out else { panic!("semijoin") };
+        let Plan::SemiJoin { pred, .. } = out else {
+            panic!("semijoin")
+        };
         // No `true ∧ …` wrapper.
         assert!(matches!(pred, E::Cmp(..)));
     }

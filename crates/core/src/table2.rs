@@ -101,13 +101,17 @@ pub fn entries() -> Vec<Table2Entry> {
             form: "x.a ∈ z",
             dialect: Dialect::Sql,
             pred: ScalarExpr::set_cmp(SetCmpOp::In, xa(), z()),
-            expected: Existential { pred: ScalarExpr::eq(v(), xa()) },
+            expected: Existential {
+                pred: ScalarExpr::eq(v(), xa()),
+            },
         },
         Table2Entry {
             form: "x.a ∉ z",
             dialect: Dialect::Sql,
             pred: ScalarExpr::set_cmp(SetCmpOp::NotIn, xa(), z()),
-            expected: NegatedExistential { pred: ScalarExpr::eq(v(), xa()) },
+            expected: NegatedExistential {
+                pred: ScalarExpr::eq(v(), xa()),
+            },
         },
         // ——— TM-specific rows (set-valued x.a) ———
         Table2Entry {
@@ -160,7 +164,9 @@ pub fn entries() -> Vec<Table2Entry> {
             form: "x.a ∩ z ≠ ∅",
             dialect: Dialect::Tm,
             pred: ScalarExpr::set_cmp(SetCmpOp::Intersects, xa(), z()),
-            expected: Existential { pred: ScalarExpr::set_cmp(SetCmpOp::In, v(), xa()) },
+            expected: Existential {
+                pred: ScalarExpr::set_cmp(SetCmpOp::In, v(), xa()),
+            },
         },
         Table2Entry {
             form: "∀w ∈ x.a (w ∈ z)",

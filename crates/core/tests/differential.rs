@@ -32,7 +32,10 @@ fn catalog(x_rows: &[(Vec<i64>, i64, i64)], y_rows: &[(i64, i64)]) -> Catalog {
     );
     for (set, b, n) in x_rows {
         let rec = Record::new([
-            ("a".to_string(), Value::set(set.iter().copied().map(Value::Int))),
+            (
+                "a".to_string(),
+                Value::set(set.iter().copied().map(Value::Int)),
+            ),
             ("b".to_string(), Value::Int(*b)),
             ("n".to_string(), Value::Int(*n)),
         ])
@@ -42,9 +45,11 @@ fn catalog(x_rows: &[(Vec<i64>, i64, i64)], y_rows: &[(i64, i64)]) -> Catalog {
     cat.register(x).unwrap();
     let mut y = Table::new("Y", vec![("b".into(), Ty::Int), ("a".into(), Ty::Int)]);
     for (b, a) in y_rows {
-        let rec =
-            Record::new([("b".to_string(), Value::Int(*b)), ("a".to_string(), Value::Int(*a))])
-                .unwrap();
+        let rec = Record::new([
+            ("b".to_string(), Value::Int(*b)),
+            ("a".to_string(), Value::Int(*a)),
+        ])
+        .unwrap();
         y.insert(rec).unwrap();
     }
     cat.register(y).unwrap();
@@ -56,7 +61,10 @@ fn nested_query(pred: E) -> Plan {
     let sub = Plan::scan("Y", "y")
         .select(E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
         .map(E::path("y", &["a"]), "s");
-    Plan::scan("X", "x").apply(sub, "z").select(pred).map(E::var("x"), "out")
+    Plan::scan("X", "x")
+        .apply(sub, "z")
+        .select(pred)
+        .map(E::var("x"), "out")
 }
 
 fn results(plan: &Plan, cat: &Catalog, algo: JoinAlgo) -> std::collections::BTreeSet<Value> {
@@ -70,9 +78,26 @@ fn predicate_corpus() -> Vec<(&'static str, E)> {
     let xn = || E::path("x", &["n"]);
     let z = || E::var("z");
     vec![
-        ("z = ∅", E::set_cmp(SetCmpOp::SetEq, z(), E::Lit(Value::empty_set()))),
-        ("count(z) = 0", E::cmp(tmql_algebra::CmpOp::Eq, E::agg(AggFn::Count, z()), E::lit(0i64))),
-        ("count(z) ≠ 0", E::cmp(tmql_algebra::CmpOp::Ne, E::agg(AggFn::Count, z()), E::lit(0i64))),
+        (
+            "z = ∅",
+            E::set_cmp(SetCmpOp::SetEq, z(), E::Lit(Value::empty_set())),
+        ),
+        (
+            "count(z) = 0",
+            E::cmp(
+                tmql_algebra::CmpOp::Eq,
+                E::agg(AggFn::Count, z()),
+                E::lit(0i64),
+            ),
+        ),
+        (
+            "count(z) ≠ 0",
+            E::cmp(
+                tmql_algebra::CmpOp::Ne,
+                E::agg(AggFn::Count, z()),
+                E::lit(0i64),
+            ),
+        ),
         ("x.n = count(z)", E::eq(xn(), E::agg(AggFn::Count, z()))),
         ("x.n ∈ z", E::set_cmp(SetCmpOp::In, xn(), z())),
         ("x.n ∉ z", E::set_cmp(SetCmpOp::NotIn, xn(), z())),
@@ -84,8 +109,14 @@ fn predicate_corpus() -> Vec<(&'static str, E)> {
         ("x.a ≠ z", E::set_cmp(SetCmpOp::SetNe, xa(), z())),
         ("x.a ∩ z = ∅", E::set_cmp(SetCmpOp::Disjoint, xa(), z())),
         ("x.a ∩ z ≠ ∅", E::set_cmp(SetCmpOp::Intersects, xa(), z())),
-        ("x.n < max(z)", E::cmp(tmql_algebra::CmpOp::Lt, xn(), E::agg(AggFn::Max, z()))),
-        ("x.n > min(z)", E::cmp(tmql_algebra::CmpOp::Gt, xn(), E::agg(AggFn::Min, z()))),
+        (
+            "x.n < max(z)",
+            E::cmp(tmql_algebra::CmpOp::Lt, xn(), E::agg(AggFn::Max, z())),
+        ),
+        (
+            "x.n > min(z)",
+            E::cmp(tmql_algebra::CmpOp::Gt, xn(), E::agg(AggFn::Min, z())),
+        ),
         (
             "∃v ∈ z (v < x.n)",
             E::quant(
@@ -125,9 +156,11 @@ fn check_catalog(cat: &Catalog) {
             for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge] {
                 let got = results(&plan, cat, algo);
                 assert_eq!(
-                    got, oracle,
+                    got,
+                    oracle,
                     "strategy {} / algo {:?} disagrees on predicate `{name}`",
-                    strat.name(), algo,
+                    strat.name(),
+                    algo,
                 );
             }
         }
@@ -154,7 +187,11 @@ fn kim_exhibits_the_count_bug_here() {
     let base = nested_query(pred);
     let oracle = results(&base, &cat, JoinAlgo::Auto);
     assert_eq!(oracle.len(), 2, "both rows satisfy the nested query");
-    let kim = results(&unnest_plan(base, UnnestStrategy::Kim), &cat, JoinAlgo::Auto);
+    let kim = results(
+        &unnest_plan(base, UnnestStrategy::Kim),
+        &cat,
+        JoinAlgo::Auto,
+    );
     assert_eq!(kim.len(), 1, "Kim loses the dangling tuple — the COUNT bug");
     assert!(kim.is_subset(&oracle));
 }
@@ -167,8 +204,16 @@ fn kim_exhibits_the_subseteq_bug_here() {
     let base = nested_query(pred);
     let oracle = results(&base, &cat, JoinAlgo::Auto);
     assert_eq!(oracle.len(), 2);
-    let kim = results(&unnest_plan(base, UnnestStrategy::Kim), &cat, JoinAlgo::Auto);
-    assert_eq!(kim.len(), 1, "Kim loses the dangling tuple — the SUBSETEQ bug");
+    let kim = results(
+        &unnest_plan(base, UnnestStrategy::Kim),
+        &cat,
+        JoinAlgo::Auto,
+    );
+    assert_eq!(
+        kim.len(),
+        1,
+        "Kim loses the dangling tuple — the SUBSETEQ bug"
+    );
 }
 
 #[test]
@@ -191,7 +236,12 @@ fn kim_agrees_when_no_dangling_tuples() {
 fn table2_rows_execute_equivalently() {
     // Each Table 2 entry's predicate, executed under Optimal vs oracle.
     let cat = catalog(
-        &[(vec![10, 11], 1, 2), (vec![], 9, 0), (vec![10], 1, 1), (vec![30, 31], 3, 0)],
+        &[
+            (vec![10, 11], 1, 2),
+            (vec![], 9, 0),
+            (vec![10], 1, 1),
+            (vec![30, 31], 3, 0),
+        ],
         &[(1, 10), (1, 11), (3, 30)],
     );
     for entry in table2::entries() {

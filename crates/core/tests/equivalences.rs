@@ -21,18 +21,29 @@ use tmql_storage::{table::int_table, Catalog};
 
 fn catalog(x: &[(i64, i64)], y: &[(i64, i64)], z: &[(i64, i64)]) -> Catalog {
     let mut cat = Catalog::new();
-    let to_refs = |rows: &[(i64, i64)]| -> Vec<Vec<i64>> {
-        rows.iter().map(|(a, b)| vec![*a, *b]).collect()
-    };
+    let to_refs =
+        |rows: &[(i64, i64)]| -> Vec<Vec<i64>> { rows.iter().map(|(a, b)| vec![*a, *b]).collect() };
     let xr = to_refs(x);
     let yr = to_refs(y);
     let zr = to_refs(z);
-    cat.register(int_table("X", &["a", "b"], &xr.iter().map(Vec::as_slice).collect::<Vec<_>>()))
-        .unwrap();
-    cat.register(int_table("Y", &["b", "c"], &yr.iter().map(Vec::as_slice).collect::<Vec<_>>()))
-        .unwrap();
-    cat.register(int_table("Z", &["c", "d"], &zr.iter().map(Vec::as_slice).collect::<Vec<_>>()))
-        .unwrap();
+    cat.register(int_table(
+        "X",
+        &["a", "b"],
+        &xr.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+    ))
+    .unwrap();
+    cat.register(int_table(
+        "Y",
+        &["b", "c"],
+        &yr.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+    ))
+    .unwrap();
+    cat.register(int_table(
+        "Z",
+        &["c", "d"],
+        &zr.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+    ))
+    .unwrap();
     cat
 }
 
@@ -41,8 +52,10 @@ fn eval(plan: &Plan, cat: &Catalog) -> std::collections::BTreeSet<tmql_model::Va
 }
 
 fn xy_join() -> Plan {
-    Plan::scan("X", "x")
-        .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+    Plan::scan("X", "x").join(
+        Plan::scan("Y", "y"),
+        E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+    )
 }
 
 proptest! {

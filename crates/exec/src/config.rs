@@ -59,7 +59,10 @@ impl ExecConfig {
     /// implementations, reproducing the paper's "the optimizer can choose
     /// the most suitable join execution method").
     pub fn with_join_algo(algo: JoinAlgo) -> ExecConfig {
-        ExecConfig { join_algo: algo, ..ExecConfig::default() }
+        ExecConfig {
+            join_algo: algo,
+            ..ExecConfig::default()
+        }
     }
 
     /// Override the streaming batch size.
@@ -90,7 +93,10 @@ mod tests {
     fn defaults_are_auto() {
         assert_eq!(ExecConfig::default().join_algo, JoinAlgo::Auto);
         assert_eq!(ExecConfig::auto().join_algo, JoinAlgo::Auto);
-        assert_eq!(ExecConfig::with_join_algo(JoinAlgo::Hash).join_algo, JoinAlgo::Hash);
+        assert_eq!(
+            ExecConfig::with_join_algo(JoinAlgo::Hash).join_algo,
+            JoinAlgo::Hash
+        );
         assert_eq!(ExecConfig::default().batch_size, DEFAULT_BATCH_SIZE);
     }
 
@@ -103,8 +109,20 @@ mod tests {
     #[test]
     fn memory_budget_defaults_off_and_clamps() {
         assert_eq!(ExecConfig::default().memory_budget_rows, None);
-        assert_eq!(ExecConfig::default().memory_budget(0).memory_budget_rows, Some(1));
-        assert_eq!(ExecConfig::default().memory_budget(512).memory_budget_rows, Some(512));
-        assert_eq!(ExecConfig::default().memory_budget(512).unbounded().memory_budget_rows, None);
+        assert_eq!(
+            ExecConfig::default().memory_budget(0).memory_budget_rows,
+            Some(1)
+        );
+        assert_eq!(
+            ExecConfig::default().memory_budget(512).memory_budget_rows,
+            Some(512)
+        );
+        assert_eq!(
+            ExecConfig::default()
+                .memory_budget(512)
+                .unbounded()
+                .memory_budget_rows,
+            None
+        );
     }
 }

@@ -60,6 +60,12 @@ const EXPR_NODES_PER_WORK_UNIT: f64 = 4.0;
 /// `total_work`, with the weight capturing that a spilled row is more
 /// expensive than an emitted one.
 pub const SPILL_IO_PER_ROW: f64 = 4.0;
+/// Abstract work units charged per data page a scan must fault in from
+/// disk (seek + read + slot decode for a whole 8 KiB page). Applied to
+/// the pages of a disk-backed table that are **not** currently resident
+/// in the buffer pool, so a cold scan costs more than the same scan warm
+/// — mirroring [`crate::Metrics::pool_misses`] entering `total_work`.
+pub const PAGE_IO_WORK: f64 = 16.0;
 /// Weight of the `resident` component in [`CostEstimate::total`]: a mild
 /// memory-pressure penalty so that, costs being close, the plan with the
 /// smaller pipeline-breaker footprint wins.
@@ -130,13 +136,19 @@ pub struct Estimator<'a> {
 impl<'a> Estimator<'a> {
     /// An estimator over the catalog's statistics (no memory budget).
     pub fn new(catalog: &'a Catalog) -> Estimator<'a> {
-        Estimator { catalog, budget: None }
+        Estimator {
+            catalog,
+            budget: None,
+        }
     }
 
     /// An estimator that models spilling under the given breaker budget
     /// (`None` behaves exactly like [`Estimator::new`]).
     pub fn with_budget(catalog: &'a Catalog, budget: Option<usize>) -> Estimator<'a> {
-        Estimator { catalog, budget: budget.map(|b| b as f64) }
+        Estimator {
+            catalog,
+            budget: budget.map(|b| b as f64),
+        }
     }
 
     /// Resident contribution and spill-I/O work of one breaker holding
@@ -209,7 +221,9 @@ impl<'a> Estimator<'a> {
                 return catalog.stats(table);
             }
         }
-        plan.children().into_iter().find_map(|c| Self::find_scan_stats(catalog, c, var))
+        plan.children()
+            .into_iter()
+            .find_map(|c| Self::find_scan_stats(catalog, c, var))
     }
 
     /// Column statistics for `var.col`.
@@ -348,8 +362,12 @@ impl<'a> Estimator<'a> {
                 // strict (P[x < v]) while `fraction_gt` is its complement
                 // (P[x ≥ v]), so the mass of one distinct value moves the
                 // strict/inclusive variants apart.
-                let Some(v) = Self::as_number(other) else { return DEFAULT_SELECTIVITY };
-                let Some(c) = cstats else { return DEFAULT_SELECTIVITY };
+                let Some(v) = Self::as_number(other) else {
+                    return DEFAULT_SELECTIVITY;
+                };
+                let Some(c) = cstats else {
+                    return DEFAULT_SELECTIVITY;
+                };
                 let eq_mass = c.fraction_eq().unwrap_or(0.0);
                 let frac = match op {
                     CmpOp::Lt => c.fraction_lt(v),
@@ -358,7 +376,8 @@ impl<'a> Estimator<'a> {
                     CmpOp::Gt => c.fraction_gt(v).map(|f| f - eq_mass),
                     _ => unreachable!("range ops only"),
                 };
-                frac.map(|f| f.clamp(0.0, 1.0)).unwrap_or(DEFAULT_SELECTIVITY)
+                frac.map(|f| f.clamp(0.0, 1.0))
+                    .unwrap_or(DEFAULT_SELECTIVITY)
             }
         }
     }
@@ -389,14 +408,33 @@ impl<'a> Estimator<'a> {
     fn node(&self, plan: &Plan, outer: &Scope) -> CostEstimate {
         match plan {
             Plan::ScanTable { table, .. } => {
-                let rows =
-                    self.catalog.stats(table).map(|s| s.cardinality as f64).unwrap_or(UNKNOWN_TABLE_ROWS);
-                CostEstimate { rows, work: rows, resident: 0.0 }
+                let rows = self
+                    .catalog
+                    .stats(table)
+                    .map(|s| s.cardinality as f64)
+                    .unwrap_or(UNKNOWN_TABLE_ROWS);
+                // Disk-backed tables pay page I/O for whatever part of
+                // their extent is cold in the buffer pool right now; a
+                // warm working set scans at in-memory cost.
+                let page_io = self
+                    .catalog
+                    .page_residency(table)
+                    .map(|(resident, total)| PAGE_IO_WORK * total.saturating_sub(resident) as f64)
+                    .unwrap_or(0.0);
+                CostEstimate {
+                    rows,
+                    work: rows + page_io,
+                    resident: 0.0,
+                }
             }
             Plan::ScanExpr { expr, .. } => {
                 let rows = self.fanout(expr, &[], outer);
                 // The set value is evaluated once and buffered.
-                CostEstimate { rows, work: rows, resident: rows }
+                CostEstimate {
+                    rows,
+                    work: rows,
+                    resident: rows,
+                }
             }
             Plan::Select { input, pred } => {
                 let c = self.node(input, outer);
@@ -407,18 +445,23 @@ impl<'a> Estimator<'a> {
                     resident: c.resident,
                 }
             }
-            Plan::Map { input, expr, var: _ } => {
+            Plan::Map {
+                input,
+                expr,
+                var: _,
+            } => {
                 let c = self.node(input, outer);
                 // Map dedups: cap by the NDV of the projected column or the
                 // cardinality of the projected table variable when known.
                 let cap = match expr {
                     e if Self::as_column(e).is_some() => {
                         let (v, col) = Self::as_column(e).expect("checked");
-                        self.col_of(&[input], outer, v, col).map(|c| c.distinct.max(1) as f64)
+                        self.col_of(&[input], outer, v, col)
+                            .map(|c| c.distinct.max(1) as f64)
                     }
-                    ScalarExpr::Var(v) => {
-                        self.table_of(&[input], outer, v).map(|t| t.cardinality.max(1) as f64)
-                    }
+                    ScalarExpr::Var(v) => self
+                        .table_of(&[input], outer, v)
+                        .map(|t| t.cardinality.max(1) as f64),
                     _ => None,
                 };
                 let rows = cap.map_or(c.rows, |cap| c.rows.min(cap));
@@ -432,7 +475,11 @@ impl<'a> Estimator<'a> {
             }
             Plan::Extend { input, .. } => {
                 let c = self.node(input, outer);
-                CostEstimate { rows: c.rows, work: c.work + c.rows, resident: c.resident }
+                CostEstimate {
+                    rows: c.rows,
+                    work: c.work + c.rows,
+                    resident: c.resident,
+                }
             }
             Plan::Project { input, .. } => {
                 let c = self.node(input, outer);
@@ -457,12 +504,18 @@ impl<'a> Estimator<'a> {
                     .iter()
                     .filter_map(|k| self.table_of(&[input], outer, k))
                     .map(|t| t.cardinality.max(1) as f64)
-                    .fold(None::<f64>, |acc, card| Some(acc.map_or(card, |a| a.max(card))));
+                    .fold(None::<f64>, |acc, card| {
+                        Some(acc.map_or(card, |a| a.max(card)))
+                    });
                 let rows = cap
                     .map(|cap| c.rows.min(cap))
                     .unwrap_or((c.rows * GROUP_COLLAPSE).max(1.0));
                 let (res, spill) = self.breaker_state(c.rows);
-                CostEstimate { rows, work: c.work + c.rows + spill, resident: c.resident + res }
+                CostEstimate {
+                    rows,
+                    work: c.work + c.rows + spill,
+                    resident: c.resident + res,
+                }
             }
             Plan::GroupAgg { input, keys, .. } => {
                 let c = self.node(input, outer);
@@ -471,19 +524,31 @@ impl<'a> Estimator<'a> {
                     .filter_map(|(_, e)| Self::as_column(e))
                     .filter_map(|(v, col)| self.col_of(&[input], outer, v, col))
                     .map(|cs| cs.distinct.max(1) as f64)
-                    .fold(None::<f64>, |acc, ndv| Some(acc.map_or(ndv, |a| a.max(ndv))));
+                    .fold(None::<f64>, |acc, ndv| {
+                        Some(acc.map_or(ndv, |a| a.max(ndv)))
+                    });
                 let rows = cap
                     .map(|cap| c.rows.min(cap))
                     .unwrap_or((c.rows * GROUP_COLLAPSE).max(1.0));
                 let (res, spill) = self.breaker_state(c.rows);
-                CostEstimate { rows, work: c.work + c.rows + spill, resident: c.resident + res }
+                CostEstimate {
+                    rows,
+                    work: c.work + c.rows + spill,
+                    resident: c.resident + res,
+                }
             }
             Plan::Unnest { input, expr, .. } => {
                 let c = self.node(input, outer);
                 let rows = c.rows * self.fanout(expr, &[input], outer);
-                CostEstimate { rows, work: c.work + c.rows + rows, resident: c.resident }
+                CostEstimate {
+                    rows,
+                    work: c.work + c.rows + rows,
+                    resident: c.resident,
+                }
             }
-            Plan::Apply { input, subquery, .. } => {
+            Plan::Apply {
+                input, subquery, ..
+            } => {
                 let c = self.node(input, outer);
                 let mut inner_scope = outer.clone();
                 bind_scans(input, &mut inner_scope);
@@ -495,7 +560,9 @@ impl<'a> Estimator<'a> {
                     resident: c.resident + sub.resident,
                 }
             }
-            Plan::SetOp { kind, left, right, .. } => {
+            Plan::SetOp {
+                kind, left, right, ..
+            } => {
                 let l = self.node(left, outer);
                 let r = self.node(right, outer);
                 // Satellite fix: intersect is bounded by the smaller input
@@ -521,7 +588,9 @@ impl<'a> Estimator<'a> {
             | Plan::SemiJoin { left, right, pred }
             | Plan::AntiJoin { left, right, pred }
             | Plan::LeftOuterJoin { left, right, pred }
-            | Plan::NestJoin { left, right, pred, .. } => (left, right, pred),
+            | Plan::NestJoin {
+                left, right, pred, ..
+            } => (left, right, pred),
             _ => unreachable!("join_node called on a non-join"),
         };
         let l = self.node(left, outer);
@@ -629,11 +698,18 @@ fn bind_scans(plan: &Plan, scope: &mut Scope) {
 /// in the exact tree shape the executor profiles.
 pub fn logical_view(phys: &PhysPlan) -> Plan {
     match phys {
-        PhysPlan::ScanTable { table, var } => Plan::ScanTable { table: table.clone(), var: var.clone() },
-        PhysPlan::ScanExpr { expr, var } => Plan::ScanExpr { expr: expr.clone(), var: var.clone() },
-        PhysPlan::Filter { input, pred } => {
-            Plan::Select { input: Box::new(logical_view(input)), pred: pred.clone() }
-        }
+        PhysPlan::ScanTable { table, var } => Plan::ScanTable {
+            table: table.clone(),
+            var: var.clone(),
+        },
+        PhysPlan::ScanExpr { expr, var } => Plan::ScanExpr {
+            expr: expr.clone(),
+            var: var.clone(),
+        },
+        PhysPlan::Filter { input, pred } => Plan::Select {
+            input: Box::new(logical_view(input)),
+            pred: pred.clone(),
+        },
         PhysPlan::Map { input, expr, var } => Plan::Map {
             input: Box::new(logical_view(input)),
             expr: expr.clone(),
@@ -644,14 +720,32 @@ pub fn logical_view(phys: &PhysPlan) -> Plan {
             expr: expr.clone(),
             var: var.clone(),
         },
-        PhysPlan::Project { input, vars } => {
-            Plan::Project { input: Box::new(logical_view(input)), vars: vars.clone() }
+        PhysPlan::Project { input, vars } => Plan::Project {
+            input: Box::new(logical_view(input)),
+            vars: vars.clone(),
+        },
+        PhysPlan::NlJoin {
+            left,
+            right,
+            pred,
+            kind,
+        } => rebuild_join(left, right, pred.clone(), kind),
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            kind,
         }
-        PhysPlan::NlJoin { left, right, pred, kind } => {
-            rebuild_join(left, right, pred.clone(), kind)
-        }
-        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual, kind }
-        | PhysPlan::MergeJoin { left, right, left_keys, right_keys, residual, kind } => {
+        | PhysPlan::MergeJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+        } => {
             let mut conjs: Vec<ScalarExpr> = left_keys
                 .iter()
                 .zip(right_keys)
@@ -660,31 +754,56 @@ pub fn logical_view(phys: &PhysPlan) -> Plan {
             conjs.extend(residual.iter().cloned());
             rebuild_join(left, right, ScalarExpr::conj(conjs), kind)
         }
-        PhysPlan::Nest { input, keys, value, label, star } => Plan::Nest {
+        PhysPlan::Nest {
+            input,
+            keys,
+            value,
+            label,
+            star,
+        } => Plan::Nest {
             input: Box::new(logical_view(input)),
             keys: keys.clone(),
             value: value.clone(),
             label: label.clone(),
             star: *star,
         },
-        PhysPlan::Unnest { input, expr, elem_var, drop_vars } => Plan::Unnest {
+        PhysPlan::Unnest {
+            input,
+            expr,
+            elem_var,
+            drop_vars,
+        } => Plan::Unnest {
             input: Box::new(logical_view(input)),
             expr: expr.clone(),
             elem_var: elem_var.clone(),
             drop_vars: drop_vars.clone(),
         },
-        PhysPlan::GroupAgg { input, keys, aggs, var } => Plan::GroupAgg {
+        PhysPlan::GroupAgg {
+            input,
+            keys,
+            aggs,
+            var,
+        } => Plan::GroupAgg {
             input: Box::new(logical_view(input)),
             keys: keys.clone(),
             aggs: aggs.clone(),
             var: var.clone(),
         },
-        PhysPlan::Apply { input, subquery, label } => Plan::Apply {
+        PhysPlan::Apply {
+            input,
+            subquery,
+            label,
+        } => Plan::Apply {
             input: Box::new(logical_view(input)),
             subquery: Box::new(logical_view(subquery)),
             label: label.clone(),
         },
-        PhysPlan::SetOp { kind, left, right, var } => Plan::SetOp {
+        PhysPlan::SetOp {
+            kind,
+            left,
+            right,
+            var,
+        } => Plan::SetOp {
             kind: *kind,
             left: Box::new(logical_view(left)),
             right: Box::new(logical_view(right)),
@@ -697,10 +816,26 @@ fn rebuild_join(left: &PhysPlan, right: &PhysPlan, pred: ScalarExpr, kind: &Join
     let l = Box::new(logical_view(left));
     let r = Box::new(logical_view(right));
     match kind {
-        JoinKind::Inner => Plan::Join { left: l, right: r, pred },
-        JoinKind::Semi => Plan::SemiJoin { left: l, right: r, pred },
-        JoinKind::Anti => Plan::AntiJoin { left: l, right: r, pred },
-        JoinKind::LeftOuter { .. } => Plan::LeftOuterJoin { left: l, right: r, pred },
+        JoinKind::Inner => Plan::Join {
+            left: l,
+            right: r,
+            pred,
+        },
+        JoinKind::Semi => Plan::SemiJoin {
+            left: l,
+            right: r,
+            pred,
+        },
+        JoinKind::Anti => Plan::AntiJoin {
+            left: l,
+            right: r,
+            pred,
+        },
+        JoinKind::LeftOuter { .. } => Plan::LeftOuterJoin {
+            left: l,
+            right: r,
+            pred,
+        },
         JoinKind::Nest { func, label } => Plan::NestJoin {
             left: l,
             right: r,
@@ -717,7 +852,11 @@ pub fn explain_with_estimates(phys: &PhysPlan, catalog: &Catalog) -> String {
     fn go(p: &PhysPlan, est: &Estimator<'_>, depth: usize, out: &mut String) {
         let rows = est.rows(&logical_view(p));
         out.push_str(&"  ".repeat(depth));
-        out.push_str(&format!("{} [est_rows={}]\n", p.op_label(), format_rows(rows)));
+        out.push_str(&format!(
+            "{} [est_rows={}]\n",
+            p.op_label(),
+            format_rows(rows)
+        ));
         for c in p.children() {
             go(c, est, depth + 1, out);
         }
@@ -754,7 +893,8 @@ mod tests {
         let rows: Vec<Vec<i64>> = (0..100).map(|i| vec![i, i % 10]).collect();
         let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
         cat.register(int_table("BIG", &["a", "b"], &refs)).unwrap();
-        cat.register(int_table("SMALL", &["a", "b"], &[&[1, 1]])).unwrap();
+        cat.register(int_table("SMALL", &["a", "b"], &[&[1, 1]]))
+            .unwrap();
         cat
     }
 
@@ -764,7 +904,10 @@ mod tests {
         assert_eq!(estimate_rows(&Plan::scan("BIG", "x"), &cat), 100.0);
         assert_eq!(estimate_rows(&Plan::scan("SMALL", "x"), &cat), 1.0);
         // Unknown table: fallback, not a panic.
-        assert_eq!(estimate_rows(&Plan::scan("NOPE", "x"), &cat), UNKNOWN_TABLE_ROWS);
+        assert_eq!(
+            estimate_rows(&Plan::scan("NOPE", "x"), &cat),
+            UNKNOWN_TABLE_ROWS
+        );
     }
 
     #[test]
@@ -791,8 +934,8 @@ mod tests {
     fn histogram_select_estimates_beat_magic_constants() {
         let cat = catalog();
         // x.a < 25 on uniform 0..100 → about a quarter of the rows.
-        let p = Plan::scan("BIG", "x")
-            .select(E::cmp(CmpOp::Lt, E::path("x", &["a"]), E::lit(25i64)));
+        let p =
+            Plan::scan("BIG", "x").select(E::cmp(CmpOp::Lt, E::path("x", &["a"]), E::lit(25i64)));
         let rows = estimate_rows(&p, &cat);
         assert!((rows - 25.0).abs() < 8.0, "{rows}");
         // Equality on a 10-distinct column → a tenth.
@@ -804,11 +947,15 @@ mod tests {
         assert_eq!(estimate_rows(&p, &cat), 100.0);
         // Strict vs inclusive differ by one distinct value's mass:
         // a > 99 keeps (essentially) nothing, a ≥ 99 keeps ≈ one row.
-        let gt = Plan::scan("BIG", "x")
-            .select(E::cmp(CmpOp::Gt, E::path("x", &["a"]), E::lit(99i64)));
-        assert!(estimate_rows(&gt, &cat) < 1.0, "{}", estimate_rows(&gt, &cat));
-        let ge = Plan::scan("BIG", "x")
-            .select(E::cmp(CmpOp::Ge, E::path("x", &["a"]), E::lit(99i64)));
+        let gt =
+            Plan::scan("BIG", "x").select(E::cmp(CmpOp::Gt, E::path("x", &["a"]), E::lit(99i64)));
+        assert!(
+            estimate_rows(&gt, &cat) < 1.0,
+            "{}",
+            estimate_rows(&gt, &cat)
+        );
+        let ge =
+            Plan::scan("BIG", "x").select(E::cmp(CmpOp::Ge, E::path("x", &["a"]), E::lit(99i64)));
         let ge_rows = estimate_rows(&ge, &cat);
         assert!((ge_rows - 1.0).abs() < 1.0, "{ge_rows}");
     }
@@ -817,8 +964,10 @@ mod tests {
     fn equi_join_uses_distinct_counts() {
         let cat = catalog();
         // BIG ⋈ BIG on b (NDV 10): 100·100/10 = 1000.
-        let j = Plan::scan("BIG", "x")
-            .join(Plan::scan("BIG", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let j = Plan::scan("BIG", "x").join(
+            Plan::scan("BIG", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+        );
         let rows = estimate_rows(&j, &cat);
         assert!((rows - 1000.0).abs() < 1.0, "{rows}");
     }
@@ -846,8 +995,16 @@ mod tests {
         };
         use tmql_algebra::SetOpKind::*;
         assert_eq!(estimate_rows(&mk(Union), &cat), 101.0);
-        assert_eq!(estimate_rows(&mk(Intersect), &cat), 1.0, "∩ bounded by the smaller side");
-        assert_eq!(estimate_rows(&mk(Except), &cat), 100.0, "\\ bounded by the left side");
+        assert_eq!(
+            estimate_rows(&mk(Intersect), &cat),
+            1.0,
+            "∩ bounded by the smaller side"
+        );
+        assert_eq!(
+            estimate_rows(&mk(Except), &cat),
+            100.0,
+            "\\ bounded by the left side"
+        );
     }
 
     #[test]
@@ -856,7 +1013,10 @@ mod tests {
         let mut cat = Catalog::new();
         let mut t = tmql_storage::Table::new(
             "D",
-            vec![("emps".into(), Ty::Set(Box::new(Ty::Int))), ("k".into(), Ty::Int)],
+            vec![
+                ("emps".into(), Ty::Set(Box::new(Ty::Int))),
+                ("k".into(), Ty::Int),
+            ],
         );
         for i in 0..4i64 {
             t.insert(
@@ -875,12 +1035,19 @@ mod tests {
         let est = Estimator::new(&cat);
         // FROM d.emps e under an Apply over D: fan-out 3, not the default.
         let apply = Plan::scan("D", "d").apply(
-            Plan::ScanExpr { expr: E::path("d", &["emps"]), var: "e".into() }
-                .map(E::var("e"), "s"),
+            Plan::ScanExpr {
+                expr: E::path("d", &["emps"]),
+                var: "e".into(),
+            }
+            .map(E::var("e"), "s"),
             "z",
         );
-        let Plan::Apply { subquery, .. } = &apply else { unreachable!() };
-        let Plan::Map { input, .. } = &**subquery else { unreachable!() };
+        let Plan::Apply { subquery, .. } = &apply else {
+            unreachable!()
+        };
+        let Plan::Map { input, .. } = &**subquery else {
+            unreachable!()
+        };
         // Direct estimate of the correlated scan, resolved via the Apply.
         let cost = est.cost(&apply);
         assert!(cost.rows == 4.0);
@@ -895,11 +1062,16 @@ mod tests {
     fn budget_charges_spill_io_and_caps_resident() {
         let cat = catalog();
         // BIG ⋈ BIG on b: the 100-row build side overflows a 10-row budget.
-        let j = Plan::scan("BIG", "x")
-            .join(Plan::scan("BIG", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let j = Plan::scan("BIG", "x").join(
+            Plan::scan("BIG", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+        );
         let free = Estimator::new(&cat).cost(&j);
         let tight = Estimator::with_budget(&cat, Some(10)).cost(&j);
-        assert_eq!(free.rows, tight.rows, "cardinalities are budget-independent");
+        assert_eq!(
+            free.rows, tight.rows,
+            "cardinalities are budget-independent"
+        );
         assert!(
             tight.work > free.work + SPILL_IO_PER_ROW * 100.0,
             "grace hash charges both sides' spill round-trips: {} vs {}",
@@ -962,7 +1134,10 @@ mod tests {
     fn logical_view_round_trips_lowering() {
         let cat = catalog();
         let plan = Plan::scan("BIG", "x")
-            .join(Plan::scan("SMALL", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+            .join(
+                Plan::scan("SMALL", "y"),
+                E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+            )
             .select(E::cmp(CmpOp::Gt, E::path("x", &["a"]), E::lit(10i64)));
         let phys = crate::planner::lower(&plan, &cat, &crate::ExecConfig::auto()).unwrap();
         let view = logical_view(&phys);

@@ -31,6 +31,10 @@ pub struct ExecContext<'a> {
     /// Scratch directory for spill runs, created on first spill and
     /// removed (with all runs) when the context drops.
     spill_dir: Option<SpillDir>,
+    /// Buffer-pool counters at context creation (persistent catalogs
+    /// only); [`ExecContext::sync_pool_metrics`] diffs against this to
+    /// report the query's own page traffic.
+    pool_base: Option<tmql_storage::PoolStats>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -42,12 +46,24 @@ impl<'a> ExecContext<'a> {
     /// Fresh context with explicit execution configuration.
     pub fn with_config(catalog: &'a Catalog, config: &ExecConfig) -> ExecContext<'a> {
         ExecContext {
-            catalog,
             metrics: Metrics::new(),
             batch_size: config.batch_size.max(1),
             resident_rows: 0,
             memory_budget_rows: config.memory_budget_rows,
             spill_dir: None,
+            pool_base: catalog.pool_stats(),
+            catalog,
+        }
+    }
+
+    /// Fold the buffer pool's page traffic since this context was created
+    /// into [`Metrics::pool_hits`] / [`Metrics::pool_misses`]. Called by
+    /// the execution driver when a plan finishes; a no-op for in-memory
+    /// catalogs.
+    pub fn sync_pool_metrics(&mut self) {
+        if let (Some(base), Some(now)) = (self.pool_base, self.catalog.pool_stats()) {
+            self.metrics.pool_hits = now.hits.saturating_sub(base.hits);
+            self.metrics.pool_misses = now.misses.saturating_sub(base.misses);
         }
     }
 
@@ -102,7 +118,11 @@ impl<'a> ExecContext<'a> {
 /// This is the compatibility wrapper over the streaming executor: the
 /// *collection* here is the query result, not an intermediate, so it is
 /// excluded from [`Metrics::peak_resident_rows`].
-pub fn execute(plan: &crate::PhysPlan, ctx: &mut ExecContext<'_>, env: &Env) -> Result<Vec<Record>> {
+pub fn execute(
+    plan: &crate::PhysPlan,
+    ctx: &mut ExecContext<'_>,
+    env: &Env,
+) -> Result<Vec<Record>> {
     execute_profiled(plan, ctx, env).map(|(rows, _)| rows)
 }
 
@@ -129,8 +149,11 @@ pub fn execute_collect(
     est: Option<&[f64]>,
 ) -> Result<(Vec<Record>, Vec<operator::OpProfile>)> {
     let mut root = operator::build(plan, env);
-    let result = root.open(ctx).and_then(|()| operator::drain(&mut root, ctx));
+    let result = root
+        .open(ctx)
+        .and_then(|()| operator::drain(&mut root, ctx));
     root.close(ctx);
+    ctx.sync_pool_metrics();
     let rows = result?;
     let profile = operator::collect_profile(root.as_ref(), est);
     Ok((rows, profile))
@@ -162,8 +185,14 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
-        cat.register(int_table("X", &["a", "b"], &[&[1, 1], &[2, 1], &[3, 3], &[4, 9]])).unwrap();
-        cat.register(int_table("Y", &["b", "c"], &[&[1, 10], &[1, 11], &[3, 30]])).unwrap();
+        cat.register(int_table(
+            "X",
+            &["a", "b"],
+            &[&[1, 1], &[2, 1], &[3, 3], &[4, 9]],
+        ))
+        .unwrap();
+        cat.register(int_table("Y", &["b", "c"], &[&[1, 10], &[1, 11], &[3, 30]]))
+            .unwrap();
         cat
     }
 
@@ -172,7 +201,10 @@ mod tests {
         let cat = catalog();
         let plan = PhysPlan::Map {
             input: Box::new(PhysPlan::Filter {
-                input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+                input: Box::new(PhysPlan::ScanTable {
+                    table: "X".into(),
+                    var: "x".into(),
+                }),
                 pred: E::cmp(tmql_algebra::CmpOp::Gt, E::path("x", &["a"]), E::lit(2i64)),
             }),
             expr: E::path("x", &["a"]),
@@ -189,7 +221,10 @@ mod tests {
         let cat = catalog();
         // Project X onto b: values {1, 1, 3, 9} → 3 distinct.
         let plan = PhysPlan::Map {
-            input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+            input: Box::new(PhysPlan::ScanTable {
+                table: "X".into(),
+                var: "x".into(),
+            }),
             expr: E::path("x", &["b"]),
             var: "v".into(),
         };
@@ -204,14 +239,20 @@ mod tests {
         // For each x: { y.c | y ∈ Y, x.b = y.b }
         let sub = PhysPlan::Map {
             input: Box::new(PhysPlan::Filter {
-                input: Box::new(PhysPlan::ScanTable { table: "Y".into(), var: "y".into() }),
+                input: Box::new(PhysPlan::ScanTable {
+                    table: "Y".into(),
+                    var: "y".into(),
+                }),
                 pred: E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
             }),
             expr: E::path("y", &["c"]),
             var: "v".into(),
         };
         let plan = PhysPlan::Apply {
-            input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+            input: Box::new(PhysPlan::ScanTable {
+                table: "X".into(),
+                var: "x".into(),
+            }),
             subquery: Box::new(sub),
             label: "z".into(),
         };
@@ -234,11 +275,17 @@ mod tests {
         // subquery intermediates at once.
         let cat = catalog();
         let sub = PhysPlan::Filter {
-            input: Box::new(PhysPlan::ScanTable { table: "Y".into(), var: "y".into() }),
+            input: Box::new(PhysPlan::ScanTable {
+                table: "Y".into(),
+                var: "y".into(),
+            }),
             pred: E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
         };
         let plan = PhysPlan::Apply {
-            input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+            input: Box::new(PhysPlan::ScanTable {
+                table: "X".into(),
+                var: "x".into(),
+            }),
             subquery: Box::new(sub),
             label: "z".into(),
         };
@@ -252,7 +299,10 @@ mod tests {
     #[test]
     fn scan_expr_iterates_correlated_sets() {
         let cat = catalog();
-        let plan = PhysPlan::ScanExpr { expr: E::var("zs"), var: "v".into() };
+        let plan = PhysPlan::ScanExpr {
+            expr: E::var("zs"),
+            var: "v".into(),
+        };
         let mut env = Env::new();
         env.push("zs", Value::set([Value::Int(1), Value::Int(2)]));
         let mut ctx = ExecContext::new(&cat);
@@ -264,7 +314,10 @@ mod tests {
     fn profile_tree_matches_plan_shape() {
         let cat = catalog();
         let plan = PhysPlan::Filter {
-            input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+            input: Box::new(PhysPlan::ScanTable {
+                table: "X".into(),
+                var: "x".into(),
+            }),
             pred: E::cmp(tmql_algebra::CmpOp::Gt, E::path("x", &["a"]), E::lit(0i64)),
         };
         let mut ctx = ExecContext::new(&cat);
@@ -275,8 +328,11 @@ mod tests {
 
     #[test]
     fn eval_const_subquery() {
-        let v = eval_const(&E::agg(tmql_algebra::AggFn::Count, E::SetLit(vec![E::lit(1i64)])))
-            .unwrap();
+        let v = eval_const(&E::agg(
+            tmql_algebra::AggFn::Count,
+            E::SetLit(vec![E::lit(1i64)]),
+        ))
+        .unwrap();
         assert_eq!(v, Value::Int(1));
     }
 }

@@ -57,6 +57,15 @@ pub struct Metrics {
     pub spill_partitions: u64,
     /// Batches emitted by operators (streaming executor granularity).
     pub batches_emitted: u64,
+    /// Buffer-pool page requests served from memory while this query ran
+    /// (disk-backed catalogs only; always 0 for in-memory databases). A
+    /// shape metric, excluded from [`Metrics::total_work`].
+    pub pool_hits: u64,
+    /// Buffer-pool page faults — pages read from disk — while this query
+    /// ran. Real I/O, included in [`Metrics::total_work`]; the cost
+    /// model's page-I/O charge for cold scans predicts exactly this
+    /// traffic.
+    pub pool_misses: u64,
     /// High-water mark of rows resident in operator state at any point
     /// during execution: pipeline-breaker materializations (hash build
     /// sides, sort buffers, group tables), dedup sets, and carry-over
@@ -88,6 +97,19 @@ impl Metrics {
             + self.rows_emitted
             + self.subquery_invocations
             + self.rows_spilled
+            + self.pool_misses
+    }
+
+    /// Buffer-pool hit fraction of this query's page traffic (1.0 when
+    /// the query touched no pages — in-memory tables, or a fully warm
+    /// working set with zero requests recorded).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
     }
 }
 
@@ -103,6 +125,8 @@ impl AddAssign for Metrics {
         self.rows_spilled += rhs.rows_spilled;
         self.spill_partitions += rhs.spill_partitions;
         self.batches_emitted += rhs.batches_emitted;
+        self.pool_hits += rhs.pool_hits;
+        self.pool_misses += rhs.pool_misses;
         // Peak is a gauge: merging two runs keeps the higher water mark.
         self.peak_resident_rows = self.peak_resident_rows.max(rhs.peak_resident_rows);
     }
@@ -113,7 +137,7 @@ impl fmt::Display for Metrics {
         write!(
             f,
             "scanned={} cmp={} hbuild={} hprobe={} sorted={} emitted={} subq={} spilled={} \
-             parts={} batches={} peak={}",
+             parts={} batches={} peak={} phit={} pmiss={}",
             self.rows_scanned,
             self.comparisons,
             self.hash_build_rows,
@@ -124,7 +148,9 @@ impl fmt::Display for Metrics {
             self.rows_spilled,
             self.spill_partitions,
             self.batches_emitted,
-            self.peak_resident_rows
+            self.peak_resident_rows,
+            self.pool_hits,
+            self.pool_misses
         )
     }
 }
@@ -135,8 +161,16 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = Metrics { rows_scanned: 1, comparisons: 2, ..Metrics::new() };
-        let b = Metrics { rows_scanned: 10, rows_emitted: 5, ..Metrics::new() };
+        let mut a = Metrics {
+            rows_scanned: 1,
+            comparisons: 2,
+            ..Metrics::new()
+        };
+        let b = Metrics {
+            rows_scanned: 10,
+            rows_emitted: 5,
+            ..Metrics::new()
+        };
         a += b;
         assert_eq!(a.rows_scanned, 11);
         assert_eq!(a.comparisons, 2);
@@ -146,8 +180,16 @@ mod tests {
 
     #[test]
     fn peak_merges_by_max_and_stays_out_of_total_work() {
-        let mut a = Metrics { peak_resident_rows: 100, batches_emitted: 3, ..Metrics::new() };
-        let b = Metrics { peak_resident_rows: 40, batches_emitted: 2, ..Metrics::new() };
+        let mut a = Metrics {
+            peak_resident_rows: 100,
+            batches_emitted: 3,
+            ..Metrics::new()
+        };
+        let b = Metrics {
+            peak_resident_rows: 40,
+            batches_emitted: 2,
+            ..Metrics::new()
+        };
         a += b;
         assert_eq!(a.peak_resident_rows, 100, "gauge merges by max");
         assert_eq!(a.batches_emitted, 5);
@@ -156,14 +198,51 @@ mod tests {
 
     #[test]
     fn spilled_rows_are_work_but_partitions_are_shape() {
-        let mut a = Metrics { rows_spilled: 100, spill_partitions: 8, ..Metrics::new() };
-        let b = Metrics { rows_spilled: 20, spill_partitions: 8, ..Metrics::new() };
+        let mut a = Metrics {
+            rows_spilled: 100,
+            spill_partitions: 8,
+            ..Metrics::new()
+        };
+        let b = Metrics {
+            rows_spilled: 20,
+            spill_partitions: 8,
+            ..Metrics::new()
+        };
         a += b;
         assert_eq!(a.rows_spilled, 120);
         assert_eq!(a.spill_partitions, 16);
-        assert_eq!(a.total_work(), 120, "spilled rows are I/O work; partition count is not");
+        assert_eq!(
+            a.total_work(),
+            120,
+            "spilled rows are I/O work; partition count is not"
+        );
         assert!(a.to_string().contains("spilled=120"));
         assert!(a.to_string().contains("parts=16"));
+    }
+
+    #[test]
+    fn pool_misses_are_work_and_hits_are_shape() {
+        let mut a = Metrics {
+            pool_hits: 30,
+            pool_misses: 10,
+            ..Metrics::new()
+        };
+        let b = Metrics {
+            pool_hits: 10,
+            pool_misses: 0,
+            ..Metrics::new()
+        };
+        a += b;
+        assert_eq!(a.pool_hits, 40);
+        assert_eq!(a.total_work(), 10, "page faults are I/O work; hits are not");
+        assert!((a.pool_hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(
+            Metrics::new().pool_hit_rate(),
+            1.0,
+            "no traffic reads as fully warm"
+        );
+        assert!(a.to_string().contains("phit=40"));
+        assert!(a.to_string().contains("pmiss=10"));
     }
 
     #[test]

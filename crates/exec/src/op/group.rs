@@ -179,7 +179,8 @@ pub fn set_op(
     let mut out = Vec::with_capacity(vals.len());
     for v in vals {
         out.push(
-            Record::new([(var.to_string(), v)]).map_err(|e| ModelError::SchemaError(e.to_string()))?,
+            Record::new([(var.to_string(), v)])
+                .map_err(|e| ModelError::SchemaError(e.to_string()))?,
         );
     }
     Ok(out)
@@ -252,7 +253,10 @@ mod tests {
     #[test]
     fn unnest_drops_empty_sets() {
         let rows = vec![
-            row(&[("x", Value::Int(1)), ("s", Value::set([Value::Int(1), Value::Int(2)]))]),
+            row(&[
+                ("x", Value::Int(1)),
+                ("s", Value::set([Value::Int(1), Value::Int(2)])),
+            ]),
             row(&[("x", Value::Int(2)), ("s", Value::empty_set())]),
         ];
         let out = unnest(
@@ -301,9 +305,18 @@ mod tests {
     fn group_agg_count_matches_kim_t_table() {
         // T(C, CNT) = SELECT S.C, COUNT(*) FROM S GROUP BY S.C (Section 2).
         let s_rows = vec![
-            row(&[("y", Value::tuple([("c", Value::Int(1)), ("d", Value::Int(5))]))]),
-            row(&[("y", Value::tuple([("c", Value::Int(1)), ("d", Value::Int(6))]))]),
-            row(&[("y", Value::tuple([("c", Value::Int(2)), ("d", Value::Int(7))]))]),
+            row(&[(
+                "y",
+                Value::tuple([("c", Value::Int(1)), ("d", Value::Int(5))]),
+            )]),
+            row(&[(
+                "y",
+                Value::tuple([("c", Value::Int(1)), ("d", Value::Int(6))]),
+            )]),
+            row(&[(
+                "y",
+                Value::tuple([("c", Value::Int(2)), ("d", Value::Int(7))]),
+            )]),
         ];
         let out = group_agg(
             &s_rows,

@@ -51,7 +51,10 @@ pub fn build(
     env: &mut Env,
     m: &mut Metrics,
 ) -> Result<HashTable> {
-    let mut table = HashTable { rows: Vec::with_capacity(right.len()), index: HashMap::new() };
+    let mut table = HashTable {
+        rows: Vec::with_capacity(right.len()),
+        index: HashMap::new(),
+    };
     for r in right {
         let key = with_row(env, &r, |e| eval_keys(right_keys, e))?;
         if let Some(key) = key {
@@ -193,14 +196,29 @@ mod tests {
             JoinKind::Inner,
             JoinKind::Semi,
             JoinKind::Anti,
-            JoinKind::LeftOuter { right_vars: vec!["y".into()] },
-            JoinKind::Nest { func: E::var("y"), label: "s".into() },
+            JoinKind::LeftOuter {
+                right_vars: vec!["y".into()],
+            },
+            JoinKind::Nest {
+                func: E::var("y"),
+                label: "s".into(),
+            },
         ];
         for kind in kinds {
-            let h = join(&x, &y, &lk, &rk, None, &kind, &mut Env::new(), &mut Metrics::new())
-                .unwrap();
-            let n = super::super::nl::join(&x, &y, &pred, &kind, &mut Env::new(), &mut Metrics::new())
-                .unwrap();
+            let h = join(
+                &x,
+                &y,
+                &lk,
+                &rk,
+                None,
+                &kind,
+                &mut Env::new(),
+                &mut Metrics::new(),
+            )
+            .unwrap();
+            let n =
+                super::super::nl::join(&x, &y, &pred, &kind, &mut Env::new(), &mut Metrics::new())
+                    .unwrap();
             let hs: BTreeSet<Record> = h.into_iter().collect();
             let ns: BTreeSet<Record> = n.into_iter().collect();
             assert_eq!(hs, ns, "kind {:?}", kind.name());
@@ -230,9 +248,21 @@ mod tests {
     #[test]
     fn nest_join_dangling_probe_gets_empty_set() {
         let (x, y, lk, rk) = fixture();
-        let kind = JoinKind::Nest { func: E::path("y", &["a"]), label: "s".into() };
-        let out = join(&x, &y, &lk, &rk, None, &kind, &mut Env::new(), &mut Metrics::new())
-            .unwrap();
+        let kind = JoinKind::Nest {
+            func: E::path("y", &["a"]),
+            label: "s".into(),
+        };
+        let out = join(
+            &x,
+            &y,
+            &lk,
+            &rk,
+            None,
+            &kind,
+            &mut Env::new(),
+            &mut Metrics::new(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 4);
         let dangling = out
             .iter()
@@ -264,14 +294,25 @@ mod tests {
     fn null_keys_never_match() {
         let mut x = rows("x", &[(1, 1)], "e", "d");
         // A probe row whose key is NULL.
-        let null_tup =
-            Record::new([("e".to_string(), Value::Int(9)), ("d".to_string(), Value::Null)])
-                .unwrap();
+        let null_tup = Record::new([
+            ("e".to_string(), Value::Int(9)),
+            ("d".to_string(), Value::Null),
+        ])
+        .unwrap();
         x.push(Record::new([("x".to_string(), Value::Tuple(null_tup))]).unwrap());
         let y = rows("y", &[(1, 1)], "a", "b");
         let (lk, rk) = (vec![E::path("x", &["d"])], vec![E::path("y", &["b"])]);
-        let out = join(&x, &y, &lk, &rk, None, &JoinKind::Inner, &mut Env::new(), &mut Metrics::new())
-            .unwrap();
+        let out = join(
+            &x,
+            &y,
+            &lk,
+            &rk,
+            None,
+            &JoinKind::Inner,
+            &mut Env::new(),
+            &mut Metrics::new(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 1);
     }
 
@@ -279,7 +320,17 @@ mod tests {
     fn metrics_reflect_build_and_probe() {
         let (x, y, lk, rk) = fixture();
         let mut m = Metrics::new();
-        let _ = join(&x, &y, &lk, &rk, None, &JoinKind::Inner, &mut Env::new(), &mut m).unwrap();
+        let _ = join(
+            &x,
+            &y,
+            &lk,
+            &rk,
+            None,
+            &JoinKind::Inner,
+            &mut Env::new(),
+            &mut m,
+        )
+        .unwrap();
         assert_eq!(m.hash_build_rows, 3);
         assert_eq!(m.hash_probes, 4);
     }

@@ -202,14 +202,29 @@ mod tests {
             JoinKind::Inner,
             JoinKind::Semi,
             JoinKind::Anti,
-            JoinKind::LeftOuter { right_vars: vec!["y".into()] },
-            JoinKind::Nest { func: E::var("y"), label: "s".into() },
+            JoinKind::LeftOuter {
+                right_vars: vec!["y".into()],
+            },
+            JoinKind::Nest {
+                func: E::var("y"),
+                label: "s".into(),
+            },
         ];
         for kind in kinds {
-            let mj =
-                join(&x, &y, &lk, &rk, None, &kind, &mut Env::new(), &mut Metrics::new()).unwrap();
-            let nl = super::super::nl::join(&x, &y, &pred, &kind, &mut Env::new(), &mut Metrics::new())
-                .unwrap();
+            let mj = join(
+                &x,
+                &y,
+                &lk,
+                &rk,
+                None,
+                &kind,
+                &mut Env::new(),
+                &mut Metrics::new(),
+            )
+            .unwrap();
+            let nl =
+                super::super::nl::join(&x, &y, &pred, &kind, &mut Env::new(), &mut Metrics::new())
+                    .unwrap();
             let ms: BTreeSet<Record> = mj.into_iter().collect();
             let ns: BTreeSet<Record> = nl.into_iter().collect();
             assert_eq!(ms, ns, "kind {:?}", kind.name());
@@ -220,7 +235,10 @@ mod tests {
     fn nest_join_groups_per_left_row() {
         let x = rows("x", &[(1, 1), (2, 1)], "e", "d");
         let y = rows("y", &[(10, 1), (11, 1)], "a", "b");
-        let kind = JoinKind::Nest { func: E::path("y", &["a"]), label: "s".into() };
+        let kind = JoinKind::Nest {
+            func: E::path("y", &["a"]),
+            label: "s".into(),
+        };
         let out = join(
             &x,
             &y,
@@ -241,12 +259,17 @@ mod tests {
     #[test]
     fn left_null_keys_are_dangling() {
         let mut x = rows("x", &[(1, 1)], "e", "d");
-        let null_tup =
-            Record::new([("e".to_string(), Value::Int(9)), ("d".to_string(), Value::Null)])
-                .unwrap();
+        let null_tup = Record::new([
+            ("e".to_string(), Value::Int(9)),
+            ("d".to_string(), Value::Null),
+        ])
+        .unwrap();
         x.push(Record::new([("x".to_string(), Value::Tuple(null_tup))]).unwrap());
         let y = rows("y", &[(1, 1)], "a", "b");
-        let kind = JoinKind::Nest { func: E::var("y"), label: "s".into() };
+        let kind = JoinKind::Nest {
+            func: E::var("y"),
+            label: "s".into(),
+        };
         let out = join(
             &x,
             &y,
@@ -261,7 +284,15 @@ mod tests {
         assert_eq!(out.len(), 2);
         let null_row = out
             .iter()
-            .find(|r| r.get("x").unwrap().as_tuple().unwrap().get("d").unwrap().is_null())
+            .find(|r| {
+                r.get("x")
+                    .unwrap()
+                    .as_tuple()
+                    .unwrap()
+                    .get("d")
+                    .unwrap()
+                    .is_null()
+            })
             .unwrap();
         assert_eq!(null_row.get("s").unwrap(), &Value::empty_set());
     }

@@ -32,10 +32,7 @@ pub fn dedup(rows: Vec<Record>) -> Vec<Record> {
 
 /// Evaluate a list of key expressions for a row pushed on `env`.
 /// Returns `None` if any key is NULL (NULL never equi-joins).
-pub fn eval_keys(
-    keys: &[tmql_algebra::ScalarExpr],
-    env: &mut Env,
-) -> Result<Option<Vec<Value>>> {
+pub fn eval_keys(keys: &[tmql_algebra::ScalarExpr], env: &mut Env) -> Result<Option<Vec<Value>>> {
     let mut out = Vec::with_capacity(keys.len());
     for k in keys {
         let v = tmql_algebra::eval(k, env)?;
@@ -88,7 +85,10 @@ mod tests {
         let keys = vec![E::var("x")];
         assert_eq!(eval_keys(&keys, &mut env).unwrap(), None);
         env.push("x", Value::Int(3));
-        assert_eq!(eval_keys(&keys, &mut env).unwrap(), Some(vec![Value::Int(3)]));
+        assert_eq!(
+            eval_keys(&keys, &mut env).unwrap(),
+            Some(vec![Value::Int(3)])
+        );
     }
 
     #[test]

@@ -1,5 +1,12 @@
 //! Nested-loop join: the universal fallback, correct for arbitrary
 //! predicates and every [`JoinKind`].
+//!
+//! The kernel is **chunk-feedable**: [`BlockState`] carries the
+//! per-left-row match flags (and nest-join accumulator sets) across
+//! successive chunks of the inner operand, so the operator can stream a
+//! spilled inner side from disk in batches — block nested loop — instead
+//! of holding it resident. [`join`] is the one-chunk convenience wrapper
+//! for fully materialized operands.
 
 use std::collections::BTreeSet;
 
@@ -11,24 +18,54 @@ use crate::physical::JoinKind;
 
 use super::null_extend;
 
-/// Nested-loop join of materialized operands.
-pub fn join(
+/// Per-left-row state of a block nested-loop join, carried across inner
+/// chunks: which left rows have matched so far, and (for the nest join)
+/// the accumulator set each left row is building — "for each left operand
+/// tuple a set is created to hold the (possibly modified) right operand
+/// tuples that match" (Section 6).
+#[derive(Debug)]
+pub struct BlockState {
+    matched: Vec<bool>,
+    nested: Vec<BTreeSet<Value>>,
+}
+
+impl BlockState {
+    /// Fresh state for a block of `left_len` outer rows.
+    pub fn new(left_len: usize, kind: &JoinKind) -> BlockState {
+        BlockState {
+            matched: vec![false; left_len],
+            nested: if matches!(kind, JoinKind::Nest { .. }) {
+                vec![BTreeSet::new(); left_len]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+/// Join one chunk of the inner operand against the whole left block,
+/// updating `state` and appending matched output (inner/outer pairs, semi
+/// rows on first match) to `out`. Call [`finish_block`] after the last
+/// chunk to emit what depends on the full inner scan (anti rows, dangling
+/// outer rows, nest-join sets).
+#[allow(clippy::too_many_arguments)] // mirrors the other join kernels' shape
+pub fn join_chunk(
     left: &[Record],
-    right: &[Record],
+    chunk: &[Record],
     pred: &ScalarExpr,
     kind: &JoinKind,
     env: &mut Env,
     m: &mut Metrics,
-) -> Result<Vec<Record>> {
-    let mut out = Vec::new();
-    for l in left {
+    state: &mut BlockState,
+    out: &mut Vec<Record>,
+) -> Result<()> {
+    for (i, l) in left.iter().enumerate() {
+        if state.matched[i] && matches!(kind, JoinKind::Semi | JoinKind::Anti) {
+            // Existence already decided in an earlier chunk (or row).
+            continue;
+        }
         env.push_row(l);
-        let mut matched = false;
-        // The nest join accumulator: "for each left operand tuple a set is
-        // created to hold the (possibly modified) right operand tuples that
-        // match" (Section 6).
-        let mut nested: BTreeSet<Value> = BTreeSet::new();
-        for r in right {
+        for r in chunk {
             env.push_row(r);
             m.comparisons += 1;
             let hit = eval_predicate(pred, env);
@@ -41,47 +78,75 @@ pub fn join(
                 }
             };
             if hit {
-                matched = true;
+                let first = !state.matched[i];
+                state.matched[i] = true;
                 match kind {
                     JoinKind::Inner | JoinKind::LeftOuter { .. } => {
                         out.push(l.concat(r)?);
                     }
                     JoinKind::Semi | JoinKind::Anti => {
                         // Existence decided; no need to scan further.
+                        if first && matches!(kind, JoinKind::Semi) {
+                            out.push(l.clone());
+                        }
                         env.pop_n(r.len());
                         break;
                     }
                     JoinKind::Nest { func, .. } => {
-                        nested.insert(eval(func, env)?);
+                        state.nested[i].insert(eval(func, env)?);
                     }
                 }
             }
             env.pop_n(r.len());
         }
         env.pop_n(l.len());
+    }
+    Ok(())
+}
+
+/// Emit the part of a block's output that needs the whole inner scan:
+/// anti-join survivors, NULL-extended dangling outer rows, and nest-join
+/// rows (dangling tuples get label = ∅, never NULL).
+pub fn finish_block(
+    left: &[Record],
+    kind: &JoinKind,
+    state: &mut BlockState,
+    out: &mut Vec<Record>,
+) -> Result<()> {
+    for (i, l) in left.iter().enumerate() {
         match kind {
-            JoinKind::Inner => {}
-            JoinKind::Semi => {
-                if matched {
-                    out.push(l.clone());
-                }
-            }
+            JoinKind::Inner | JoinKind::Semi => {}
             JoinKind::Anti => {
-                if !matched {
+                if !state.matched[i] {
                     out.push(l.clone());
                 }
             }
             JoinKind::LeftOuter { right_vars } => {
-                if !matched {
+                if !state.matched[i] {
                     out.push(null_extend(l, right_vars)?);
                 }
             }
             JoinKind::Nest { label, .. } => {
-                // Dangling tuples get label = ∅, never NULL.
-                out.push(l.extend_field(label, Value::Set(nested))?);
+                out.push(l.extend_field(label, Value::Set(std::mem::take(&mut state.nested[i])))?);
             }
         }
     }
+    Ok(())
+}
+
+/// Nested-loop join of fully materialized operands (one chunk + finish).
+pub fn join(
+    left: &[Record],
+    right: &[Record],
+    pred: &ScalarExpr,
+    kind: &JoinKind,
+    env: &mut Env,
+    m: &mut Metrics,
+) -> Result<Vec<Record>> {
+    let mut out = Vec::new();
+    let mut state = BlockState::new(left.len(), kind);
+    join_chunk(left, right, pred, kind, env, m, &mut state, &mut out)?;
+    finish_block(left, kind, &mut state, &mut out)?;
     Ok(out)
 }
 
@@ -126,7 +191,10 @@ mod tests {
     fn nest_join_reproduces_table1() {
         let (x, y, pred) = table1();
         let mut m = Metrics::new();
-        let kind = JoinKind::Nest { func: E::var("y"), label: "s".into() };
+        let kind = JoinKind::Nest {
+            func: E::var("y"),
+            label: "s".into(),
+        };
         let out = join(&x, &y, &pred, &kind, &mut Env::new(), &mut m).unwrap();
         assert_eq!(out.len(), 3, "every left tuple survives");
         // x=(2,1): matches y=(1,1),(2,1) — wait, x=(2,1).d=1 matches b=1.
@@ -141,7 +209,10 @@ mod tests {
         let x = rows("x", &[(2, 2)], "e", "d");
         let y = rows("y", &[(1, 1)], "a", "b");
         let pred = E::eq(E::path("x", &["d"]), E::path("y", &["b"]));
-        let kind = JoinKind::Nest { func: E::var("y"), label: "s".into() };
+        let kind = JoinKind::Nest {
+            func: E::var("y"),
+            label: "s".into(),
+        };
         let out = join(&x, &y, &pred, &kind, &mut Env::new(), &mut Metrics::new()).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].get("s").unwrap(), &Value::empty_set());
@@ -150,10 +221,24 @@ mod tests {
     #[test]
     fn semi_and_anti_partition_left() {
         let (x, y, pred) = table1();
-        let semi =
-            join(&x, &y, &pred, &JoinKind::Semi, &mut Env::new(), &mut Metrics::new()).unwrap();
-        let anti =
-            join(&x, &y, &pred, &JoinKind::Anti, &mut Env::new(), &mut Metrics::new()).unwrap();
+        let semi = join(
+            &x,
+            &y,
+            &pred,
+            &JoinKind::Semi,
+            &mut Env::new(),
+            &mut Metrics::new(),
+        )
+        .unwrap();
+        let anti = join(
+            &x,
+            &y,
+            &pred,
+            &JoinKind::Anti,
+            &mut Env::new(),
+            &mut Metrics::new(),
+        )
+        .unwrap();
         assert_eq!(semi.len() + anti.len(), x.len());
         assert_eq!(semi.len(), 3);
     }
@@ -165,7 +250,11 @@ mod tests {
         let _ = join(&x, &y, &pred, &JoinKind::Semi, &mut Env::new(), &mut m).unwrap();
         // x1 stops at first y (1 cmp), x2 stops at first y (1), x3 scans to
         // third (3): fewer than the 9 full comparisons.
-        assert!(m.comparisons < 9, "semijoin must short-circuit: {}", m.comparisons);
+        assert!(
+            m.comparisons < 9,
+            "semijoin must short-circuit: {}",
+            m.comparisons
+        );
     }
 
     #[test]
@@ -173,10 +262,58 @@ mod tests {
         let x = rows("x", &[(1, 1), (2, 9)], "e", "d");
         let y = rows("y", &[(1, 1)], "a", "b");
         let pred = E::eq(E::path("x", &["d"]), E::path("y", &["b"]));
-        let kind = JoinKind::LeftOuter { right_vars: vec!["y".into()] };
+        let kind = JoinKind::LeftOuter {
+            right_vars: vec!["y".into()],
+        };
         let out = join(&x, &y, &pred, &kind, &mut Env::new(), &mut Metrics::new()).unwrap();
         assert_eq!(out.len(), 2);
         let dangling = out.iter().find(|r| r.get("y").unwrap().is_null());
         assert!(dangling.is_some(), "dangling x must be NULL-extended");
+    }
+
+    #[test]
+    fn chunked_inner_agrees_with_materialized_for_every_kind() {
+        // Left rows matching in the first chunk, the second chunk, both,
+        // or neither — the cases that distinguish block state handling.
+        let x = rows("x", &[(1, 1), (2, 2), (3, 3), (4, 9)], "e", "d");
+        let y = rows("y", &[(1, 1), (2, 3), (3, 2), (4, 3), (5, 1)], "a", "b");
+        let pred = E::eq(E::path("x", &["d"]), E::path("y", &["b"]));
+        let kinds = [
+            JoinKind::Inner,
+            JoinKind::Semi,
+            JoinKind::Anti,
+            JoinKind::LeftOuter {
+                right_vars: vec!["y".into()],
+            },
+            JoinKind::Nest {
+                func: E::var("y"),
+                label: "s".into(),
+            },
+        ];
+        for kind in &kinds {
+            let whole = join(&x, &y, &pred, kind, &mut Env::new(), &mut Metrics::new()).unwrap();
+            for chunk_size in [1usize, 2, 3, 5] {
+                let mut state = BlockState::new(x.len(), kind);
+                let mut out = Vec::new();
+                for chunk in y.chunks(chunk_size) {
+                    join_chunk(
+                        &x,
+                        chunk,
+                        &pred,
+                        kind,
+                        &mut Env::new(),
+                        &mut Metrics::new(),
+                        &mut state,
+                        &mut out,
+                    )
+                    .unwrap();
+                }
+                finish_block(&x, kind, &mut state, &mut out).unwrap();
+                let a: BTreeSet<&Record> = whole.iter().collect();
+                let b: BTreeSet<&Record> = out.iter().collect();
+                assert_eq!(a, b, "kind {kind:?} chunk {chunk_size}");
+                assert_eq!(whole.len(), out.len(), "kind {kind:?} chunk {chunk_size}");
+            }
+        }
     }
 }

@@ -170,7 +170,13 @@ impl OpProfile {
 /// rows in the same pre-order (as produced by the cost model's
 /// exec-order walk over the physical plan the tree was built from).
 pub fn collect_profile(root: &dyn Operator, est: Option<&[f64]>) -> Vec<OpProfile> {
-    fn go(op: &dyn Operator, depth: usize, est: Option<&[f64]>, idx: &mut usize, out: &mut Vec<OpProfile>) {
+    fn go(
+        op: &dyn Operator,
+        depth: usize,
+        est: Option<&[f64]>,
+        idx: &mut usize,
+        out: &mut Vec<OpProfile>,
+    ) {
         let s = op.stats();
         let est_rows = est.and_then(|v| v.get(*idx)).copied();
         *idx += 1;
@@ -233,11 +239,13 @@ pub fn render_tree(root: &dyn Operator) -> String {
 /// build sides and routes them to partition 0 elsewhere).
 fn keys_part<'p>(keys: &'p [ScalarExpr]) -> PartFn<'p> {
     Box::new(move |r, env, seed| {
-        Ok(op::with_row(env, r, |e| op::eval_keys(keys, e))?.map(|vals| {
-            let mut h = spill::seed_hasher(seed);
-            vals.hash(&mut h);
-            h.finish()
-        }))
+        Ok(
+            op::with_row(env, r, |e| op::eval_keys(keys, e))?.map(|vals| {
+                let mut h = spill::seed_hasher(seed);
+                vals.hash(&mut h);
+                h.finish()
+            }),
+        )
     })
 }
 
@@ -268,14 +276,19 @@ fn pop_carry(carry: &mut VecDeque<Record>, n: usize, ctx: &mut ExecContext<'_>) 
 /// keeps its own copy so subtrees can be re-instantiated per outer row.
 pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
     match plan {
-        PhysPlan::ScanTable { table, var } => {
-            Box::new(ScanTableOp { table, var, pos: 0, stats: OpStats::default() })
-        }
+        PhysPlan::ScanTable { table, var } => Box::new(ScanTableOp {
+            table,
+            var,
+            pos: 0,
+            stats: OpStats::default(),
+        }),
         PhysPlan::ScanExpr { expr, var } => Box::new(ScanExprOp {
             expr,
             var,
             env: env.clone(),
             items: None,
+            overflow: None,
+            overflow_reader: None,
             stats: OpStats::default(),
         }),
         PhysPlan::Filter { input, pred } => Box::new(FilterOp {
@@ -307,7 +320,12 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             sealed: false,
             stats: OpStats::default(),
         }),
-        PhysPlan::Unnest { input, expr, elem_var, drop_vars } => Box::new(UnnestOp {
+        PhysPlan::Unnest {
+            input,
+            expr,
+            elem_var,
+            drop_vars,
+        } => Box::new(UnnestOp {
             child: build(input, env),
             expr,
             elem_var,
@@ -317,54 +335,75 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             done: false,
             stats: OpStats::default(),
         }),
-        PhysPlan::NlJoin { left, right, pred, kind } => Box::new(NlJoinOp {
+        PhysPlan::NlJoin {
+            left,
+            right,
+            pred,
+            kind,
+        } => Box::new(NlJoinOp {
             left: build(left, env),
             right: build(right, env),
             pred,
             kind,
             env: env.clone(),
-            right_rows: None,
+            inner: None,
             carry: VecDeque::new(),
             done: false,
             stats: OpStats::default(),
         }),
-        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual, kind } => {
-            Box::new(HashJoinOp {
-                left: build(left, env),
-                right: build(right, env),
-                left_keys,
-                right_keys,
-                residual: residual.as_ref(),
-                kind,
-                env: env.clone(),
-                build_part: keys_part(right_keys),
-                probe_part: keys_part(left_keys),
-                table: None,
-                grace: None,
-                built: false,
-                carry: VecDeque::new(),
-                done: false,
-                stats: OpStats::default(),
-            })
-        }
-        PhysPlan::MergeJoin { left, right, left_keys, right_keys, residual, kind } => {
-            Box::new(BinaryBreaker {
-                name: format!("MergeJoin[{}]", kind.name()),
-                left: build(left, env),
-                right: build(right, env),
-                env: env.clone(),
-                kernel: Box::new(move |l, r, env, m| {
-                    merge::join(l, r, left_keys, right_keys, residual.as_ref(), kind, env, m)
-                }),
-                left_part: keys_part(left_keys),
-                right_part: keys_part(right_keys),
-                out: None,
-                grace: None,
-                done: false,
-                stats: OpStats::default(),
-            })
-        }
-        PhysPlan::Nest { input, keys, value, label, star } => Box::new(UnaryBreaker {
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+        } => Box::new(HashJoinOp {
+            left: build(left, env),
+            right: build(right, env),
+            left_keys,
+            right_keys,
+            residual: residual.as_ref(),
+            kind,
+            env: env.clone(),
+            build_part: keys_part(right_keys),
+            probe_part: keys_part(left_keys),
+            table: None,
+            grace: None,
+            built: false,
+            carry: VecDeque::new(),
+            done: false,
+            stats: OpStats::default(),
+        }),
+        PhysPlan::MergeJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+        } => Box::new(BinaryBreaker {
+            name: format!("MergeJoin[{}]", kind.name()),
+            left: build(left, env),
+            right: build(right, env),
+            env: env.clone(),
+            kernel: Box::new(move |l, r, env, m| {
+                merge::join(l, r, left_keys, right_keys, residual.as_ref(), kind, env, m)
+            }),
+            left_part: keys_part(left_keys),
+            right_part: keys_part(right_keys),
+            out: None,
+            grace: None,
+            done: false,
+            stats: OpStats::default(),
+        }),
+        PhysPlan::Nest {
+            input,
+            keys,
+            value,
+            label,
+            star,
+        } => Box::new(UnaryBreaker {
             name: if *star { "Nest[ν*]" } else { "Nest[ν]" }.into(),
             child: build(input, env),
             env: env.clone(),
@@ -384,7 +423,12 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             done: false,
             stats: OpStats::default(),
         }),
-        PhysPlan::GroupAgg { input, keys, aggs, var } => Box::new(UnaryBreaker {
+        PhysPlan::GroupAgg {
+            input,
+            keys,
+            aggs,
+            var,
+        } => Box::new(UnaryBreaker {
             name: "GroupAgg".into(),
             child: build(input, env),
             env: env.clone(),
@@ -404,7 +448,12 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             done: false,
             stats: OpStats::default(),
         }),
-        PhysPlan::SetOp { kind, left, right, var } => Box::new(BinaryBreaker {
+        PhysPlan::SetOp {
+            kind,
+            left,
+            right,
+            var,
+        } => Box::new(BinaryBreaker {
             name: "SetOp".into(),
             left: build(left, env),
             right: build(right, env),
@@ -419,7 +468,11 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             done: false,
             stats: OpStats::default(),
         }),
-        PhysPlan::Apply { input, subquery, label } => Box::new(ApplyOp {
+        PhysPlan::Apply {
+            input,
+            subquery,
+            label,
+        } => Box::new(ApplyOp {
             child: build(input, env),
             subquery,
             label,
@@ -454,13 +507,15 @@ impl Operator for ScanTableOp<'_> {
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
         let t = ctx.catalog.table(self.table)?;
-        let chunk = t.batch(self.pos, ctx.batch_size());
+        // Owned batches: in-memory tables clone the slice; disk-backed
+        // tables stream the needed pages through the buffer pool.
+        let chunk = t.batch(self.pos, ctx.batch_size())?;
         if chunk.is_empty() {
             return Ok(None);
         }
         let mut rows = Vec::with_capacity(chunk.len());
         for row in chunk {
-            rows.push(Record::new([(self.var.to_string(), Value::Tuple(row.clone()))])?);
+            rows.push(Record::new([(self.var.to_string(), Value::Tuple(row))])?);
         }
         self.pos += rows.len();
         ctx.metrics.rows_scanned += rows.len() as u64;
@@ -483,13 +538,29 @@ impl Operator for ScanTableOp<'_> {
 }
 
 /// Iterate a set expression (correlated or constant): the set value is one
-/// evaluation, buffered and re-emitted in batches.
+/// evaluation, buffered and re-emitted in batches. The buffered set is
+/// resident state (it counts toward [`Metrics::peak_resident_rows`]);
+/// under a memory budget only the first budget-many elements stay in
+/// memory and the overflow spills to a run that streams back after the
+/// buffer drains.
 struct ScanExprOp<'p> {
     expr: &'p ScalarExpr,
     var: &'p str,
     env: Env,
     items: Option<VecDeque<Value>>,
+    overflow: Option<SpillFile>,
+    overflow_reader: Option<RunReader>,
     stats: OpStats,
+}
+
+impl ScanExprOp<'_> {
+    fn release(&mut self, ctx: &mut ExecContext<'_>) {
+        if let Some(items) = self.items.take() {
+            ctx.resident_release(items.len());
+        }
+        self.overflow = None;
+        self.overflow_reader = None;
+    }
 }
 
 impl Operator for ScanExprOp<'_> {
@@ -498,38 +569,64 @@ impl Operator for ScanExprOp<'_> {
     }
 
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
-        if let Some(items) = self.items.take() {
-            ctx.resident_release(items.len());
-        }
+        self.release(ctx);
         Ok(())
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
-        if self.items.is_none() {
+        if self.items.is_none() && self.overflow.is_none() {
             let set = eval(self.expr, &mut self.env)?;
-            let items: VecDeque<Value> = set.as_set()?.iter().cloned().collect();
+            let mut items: VecDeque<Value> = set.as_set()?.iter().cloned().collect();
+            if ctx.over_budget(items.len()) {
+                // Keep a budget's worth resident; the tail goes to disk
+                // as ready-to-emit rows.
+                let keep = ctx
+                    .memory_budget_rows()
+                    .expect("over_budget implies a budget");
+                let mut w = ctx.spill_runs(1)?.pop().expect("one run requested");
+                for item in items.drain(keep..) {
+                    w.write(&Record::new([(self.var.to_string(), item)])?)?;
+                }
+                let spilled = w.rows();
+                ctx.metrics.rows_spilled += spilled;
+                ctx.metrics.spill_partitions += 1;
+                self.stats.rows_spilled += spilled;
+                self.overflow = Some(w.finish()?);
+            }
             ctx.resident_acquire(items.len());
             self.items = Some(items);
         }
-        let items = self.items.as_mut().expect("buffered above");
-        if items.is_empty() {
+        if let Some(items) = self.items.as_mut() {
+            if !items.is_empty() {
+                let k = ctx.batch_size().min(items.len());
+                let mut rows = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let item = items.pop_front().expect("k <= len");
+                    rows.push(Record::new([(self.var.to_string(), item)])?);
+                }
+                ctx.resident_release(k);
+                ctx.metrics.rows_scanned += rows.len() as u64;
+                return Ok(Some(Batch::new(rows)));
+            }
+        }
+        // Memory drained: stream the spilled tail, if any.
+        let Some(file) = self.overflow.as_ref() else {
+            return Ok(None);
+        };
+        if self.overflow_reader.is_none() {
+            self.overflow_reader = Some(file.reader()?);
+        }
+        let reader = self.overflow_reader.as_mut().expect("opened above");
+        let rows = reader.read_batch(ctx.batch_size())?;
+        if rows.is_empty() {
             return Ok(None);
         }
-        let k = ctx.batch_size().min(items.len());
-        let mut rows = Vec::with_capacity(k);
-        for _ in 0..k {
-            let item = items.pop_front().expect("k <= len");
-            rows.push(Record::new([(self.var.to_string(), item)])?);
-        }
-        ctx.resident_release(k);
         ctx.metrics.rows_scanned += rows.len() as u64;
         Ok(Some(Batch::new(rows)))
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
-        if let Some(items) = self.items.take() {
-            ctx.resident_release(items.len());
-        }
+        self.release(ctx);
     }
 
     fn stats(&self) -> OpStats {
@@ -569,7 +666,9 @@ impl Operator for FilterOp<'_> {
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
         loop {
-            let Some(b) = self.child.pull(ctx)? else { return Ok(None) };
+            let Some(b) = self.child.pull(ctx)? else {
+                return Ok(None);
+            };
             let mut out = Vec::new();
             for row in b.rows {
                 ctx.metrics.comparisons += 1;
@@ -629,8 +728,14 @@ impl Operator for MapOp<'_> {
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
         loop {
             if self.sealed {
-                let out = self.dedup.next_deferred(ctx.batch_size(), ctx, &mut self.stats)?;
-                return Ok(if out.is_empty() { None } else { Some(Batch::new(out)) });
+                let out = self
+                    .dedup
+                    .next_deferred(ctx.batch_size(), ctx, &mut self.stats)?;
+                return Ok(if out.is_empty() {
+                    None
+                } else {
+                    Some(Batch::new(out))
+                });
             }
             match self.child.pull(ctx)? {
                 None => {
@@ -691,7 +796,9 @@ impl Operator for ExtendOp<'_> {
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
-        let Some(b) = self.child.pull(ctx)? else { return Ok(None) };
+        let Some(b) = self.child.pull(ctx)? else {
+            return Ok(None);
+        };
         let mut out = Vec::with_capacity(b.len());
         for row in b.rows {
             let v = op::with_row(&mut self.env, &row, |e| eval(self.expr, e))?;
@@ -741,8 +848,14 @@ impl Operator for ProjectOp<'_> {
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
         loop {
             if self.sealed {
-                let out = self.dedup.next_deferred(ctx.batch_size(), ctx, &mut self.stats)?;
-                return Ok(if out.is_empty() { None } else { Some(Batch::new(out)) });
+                let out = self
+                    .dedup
+                    .next_deferred(ctx.batch_size(), ctx, &mut self.stats)?;
+                return Ok(if out.is_empty() {
+                    None
+                } else {
+                    Some(Batch::new(out))
+                });
             }
             match self.child.pull(ctx)? {
                 None => {
@@ -857,18 +970,79 @@ impl Operator for UnnestOp<'_> {
 // Joins
 // ---------------------------------------------------------------------------
 
+/// The materialized inner side of a nested-loop join: resident, or — past
+/// the memory budget — a single on-disk run replayed per outer block.
+enum NlInner {
+    Mem(Vec<Record>),
+    Spilled(SpillFile),
+}
+
 /// Nested-loop join: materializes the inner (right) operand once, streams
-/// the outer (left) operand batch-at-a-time.
+/// the outer (left) operand batch-at-a-time. The materialized inner side
+/// counts toward [`Metrics::peak_resident_rows`]; under a memory budget
+/// it spills to a run instead, and each outer batch block-joins against
+/// the run streamed back chunk-at-a-time ([`nl::join_chunk`] /
+/// [`nl::finish_block`] carry per-row match state across chunks, so
+/// semi/anti/outer/nest semantics survive the chunking).
 struct NlJoinOp<'p> {
     left: BoxedOperator<'p>,
     right: BoxedOperator<'p>,
     pred: &'p ScalarExpr,
     kind: &'p JoinKind,
     env: Env,
-    right_rows: Option<Vec<Record>>,
+    inner: Option<NlInner>,
     carry: VecDeque<Record>,
     done: bool,
     stats: OpStats,
+}
+
+impl NlJoinOp<'_> {
+    fn release_inner(&mut self, ctx: &mut ExecContext<'_>) {
+        if let Some(NlInner::Mem(r)) = self.inner.take() {
+            ctx.resident_release(r.len());
+        }
+    }
+
+    /// Drain the right child, tracking residency as it accumulates; once
+    /// the buffer exceeds the budget, move it (and the rest of the
+    /// stream) into one spill run.
+    fn materialize_inner(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        let mut rows: Vec<Record> = Vec::new();
+        let mut writer = None;
+        while let Some(b) = self.right.pull(ctx)? {
+            match writer.as_mut() {
+                None => {
+                    ctx.resident_acquire(b.len());
+                    rows.extend(b.rows);
+                    if ctx.over_budget(rows.len()) {
+                        let mut w = ctx.spill_runs(1)?.pop().expect("one run requested");
+                        for r in &rows {
+                            w.write(r)?;
+                        }
+                        ctx.resident_release(rows.len());
+                        rows.clear();
+                        writer = Some(w);
+                    }
+                }
+                Some(w) => {
+                    for r in &b.rows {
+                        w.write(r)?;
+                    }
+                }
+            }
+        }
+        self.inner = Some(match writer {
+            None => NlInner::Mem(rows),
+            Some(w) => {
+                let spilled = w.rows();
+                ctx.metrics.rows_spilled += spilled;
+                ctx.metrics.spill_partitions += 1;
+                self.stats.rows_spilled += spilled;
+                NlInner::Spilled(w.finish()?)
+            }
+        });
+        Ok(())
+    }
 }
 
 impl Operator for NlJoinOp<'_> {
@@ -877,9 +1051,7 @@ impl Operator for NlJoinOp<'_> {
     }
 
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
-        if let Some(r) = self.right_rows.take() {
-            ctx.resident_release(r.len());
-        }
+        self.release_inner(ctx);
         ctx.resident_release(self.carry.len());
         self.carry.clear();
         self.done = false;
@@ -888,10 +1060,8 @@ impl Operator for NlJoinOp<'_> {
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
-        if self.right_rows.is_none() {
-            let r = drain(&mut self.right, ctx)?;
-            ctx.resident_acquire(r.len());
-            self.right_rows = Some(r);
+        if self.inner.is_none() {
+            self.materialize_inner(ctx)?;
         }
         let n = ctx.batch_size();
         loop {
@@ -904,9 +1074,44 @@ impl Operator for NlJoinOp<'_> {
             match self.left.pull(ctx)? {
                 None => self.done = true,
                 Some(b) => {
-                    let right = self.right_rows.as_ref().expect("materialized above");
-                    let out =
-                        nl::join(&b.rows, right, self.pred, self.kind, &mut self.env, &mut ctx.metrics)?;
+                    let out = match self.inner.as_ref().expect("materialized above") {
+                        NlInner::Mem(right) => nl::join(
+                            &b.rows,
+                            right,
+                            self.pred,
+                            self.kind,
+                            &mut self.env,
+                            &mut ctx.metrics,
+                        )?,
+                        NlInner::Spilled(file) => {
+                            // Block nested loop: replay the run in
+                            // batch-sized chunks against this outer block.
+                            let mut state = nl::BlockState::new(b.rows.len(), self.kind);
+                            let mut out = Vec::new();
+                            let mut reader = file.reader()?;
+                            loop {
+                                let chunk = reader.read_batch(n)?;
+                                if chunk.is_empty() {
+                                    break;
+                                }
+                                ctx.resident_acquire(chunk.len());
+                                let res = nl::join_chunk(
+                                    &b.rows,
+                                    &chunk,
+                                    self.pred,
+                                    self.kind,
+                                    &mut self.env,
+                                    &mut ctx.metrics,
+                                    &mut state,
+                                    &mut out,
+                                );
+                                ctx.resident_release(chunk.len());
+                                res?;
+                            }
+                            nl::finish_block(&b.rows, self.kind, &mut state, &mut out)?;
+                            out
+                        }
+                    };
                     ctx.resident_acquire(out.len());
                     self.carry.extend(out);
                 }
@@ -915,9 +1120,7 @@ impl Operator for NlJoinOp<'_> {
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
-        if let Some(r) = self.right_rows.take() {
-            ctx.resident_release(r.len());
-        }
+        self.release_inner(ctx);
         ctx.resident_release(self.carry.len());
         self.carry.clear();
         self.left.close(ctx);
@@ -1135,7 +1338,11 @@ impl Operator for HashJoinOp<'_> {
                     ctx.resident_acquire(table.len());
                     let reader = pf.reader()?;
                     let g = self.grace.as_mut().expect("still grace");
-                    g.cur = Some(GracePart { table, reader, _file: pf });
+                    g.cur = Some(GracePart {
+                        table,
+                        reader,
+                        _file: pf,
+                    });
                 }
             }
         }
@@ -1383,9 +1590,7 @@ impl Operator for BinaryBreaker<'_> {
                     // The budget bounds the breaker's *combined* state, so
                     // two individually-fitting operands must still spill
                     // when their sum overflows.
-                    (Drained::Mem(l), Drained::Mem(r))
-                        if !ctx.over_budget(l.len() + r.len()) =>
-                    {
+                    (Drained::Mem(l), Drained::Mem(r)) if !ctx.over_budget(l.len() + r.len()) => {
                         let out = (self.kernel)(&l, &r, &mut self.env, &mut ctx.metrics)?;
                         ctx.resident_acquire(out.len());
                         ctx.resident_release(l.len() + r.len());
@@ -1429,9 +1634,7 @@ impl Operator for BinaryBreaker<'_> {
                                 files
                             }
                         };
-                        self.grace = Some(
-                            lf.into_iter().zip(rf).map(|(a, b)| (a, b, 1)).collect(),
-                        );
+                        self.grace = Some(lf.into_iter().zip(rf).map(|(a, b)| (a, b, 1)).collect());
                     }
                 }
             }
@@ -1444,9 +1647,7 @@ impl Operator for BinaryBreaker<'_> {
                 }
                 Some((lf, rf, depth)) => {
                     let total = lf.rows() + rf.rows();
-                    if ctx.over_budget(total as usize)
-                        && depth < MAX_REPARTITION_DEPTH
-                        && total > 1
+                    if ctx.over_budget(total as usize) && depth < MAX_REPARTITION_DEPTH && total > 1
                     {
                         let seed = depth as u64;
                         let nl = spill::repartition(
@@ -1536,7 +1737,9 @@ impl Operator for ApplyOp<'_> {
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
-        let Some(b) = self.child.pull(ctx)? else { return Ok(None) };
+        let Some(b) = self.child.pull(ctx)? else {
+            return Ok(None);
+        };
         let mut out = Vec::with_capacity(b.len());
         for row in b.rows {
             let mut sub_env = self.env.clone();
@@ -1591,7 +1794,10 @@ mod tests {
 
     fn scan_filter() -> PhysPlan {
         PhysPlan::Filter {
-            input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+            input: Box::new(PhysPlan::ScanTable {
+                table: "X".into(),
+                var: "x".into(),
+            }),
             pred: E::cmp(tmql_algebra::CmpOp::Gt, E::path("x", &["a"]), E::lit(3i64)),
         }
     }
@@ -1599,7 +1805,10 @@ mod tests {
     #[test]
     fn batches_respect_batch_size() {
         let cat = catalog();
-        let plan = PhysPlan::ScanTable { table: "X".into(), var: "x".into() };
+        let plan = PhysPlan::ScanTable {
+            table: "X".into(),
+            var: "x".into(),
+        };
         let mut ctx = ExecContext::with_config(&cat, &ExecConfig::default().batch_size(3));
         let mut root = build(&plan, &Env::new());
         root.open(&mut ctx).unwrap();
@@ -1635,7 +1844,10 @@ mod tests {
         // A breaker (Nest) plus dedup state (Map): both must release.
         let plan = PhysPlan::Nest {
             input: Box::new(PhysPlan::Map {
-                input: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
+                input: Box::new(PhysPlan::ScanTable {
+                    table: "X".into(),
+                    var: "x".into(),
+                }),
                 expr: E::path("x", &["b"]),
                 var: "v".into(),
             }),
@@ -1649,7 +1861,10 @@ mod tests {
         root.open(&mut ctx).unwrap();
         let _ = drain(&mut root, &mut ctx).unwrap();
         root.close(&mut ctx);
-        assert!(ctx.metrics.peak_resident_rows > 0, "breaker state was tracked");
+        assert!(
+            ctx.metrics.peak_resident_rows > 0,
+            "breaker state was tracked"
+        );
         assert_eq!(ctx.resident_rows(), 0, "close released everything");
     }
 }

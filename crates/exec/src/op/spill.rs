@@ -142,7 +142,16 @@ pub fn drain_or_spill(
                     let mut ws = ctx.spill_runs(SPILL_FANOUT)?;
                     let n = buf.len();
                     for r in buf.drain(..) {
-                        route(&mut ws, part, env, &r, 0, drop_nullkey, &mut ctx.metrics, ops)?;
+                        route(
+                            &mut ws,
+                            part,
+                            env,
+                            &r,
+                            0,
+                            drop_nullkey,
+                            &mut ctx.metrics,
+                            ops,
+                        )?;
                     }
                     ctx.resident_release(n);
                     writers = Some(ws);
@@ -174,7 +183,16 @@ pub fn spill_stream(
     let mut ws = ctx.spill_runs(SPILL_FANOUT)?;
     while let Some(b) = child.pull(ctx)? {
         for r in b.rows {
-            route(&mut ws, part, env, &r, 0, drop_nullkey, &mut ctx.metrics, ops)?;
+            route(
+                &mut ws,
+                part,
+                env,
+                &r,
+                0,
+                drop_nullkey,
+                &mut ctx.metrics,
+                ops,
+            )?;
         }
     }
     finish_runs(ws, ctx)
@@ -192,7 +210,16 @@ pub fn spill_rows(
 ) -> Result<Vec<SpillFile>> {
     let mut ws = ctx.spill_runs(SPILL_FANOUT)?;
     for r in &rows {
-        route(&mut ws, part, env, r, 0, drop_nullkey, &mut ctx.metrics, ops)?;
+        route(
+            &mut ws,
+            part,
+            env,
+            r,
+            0,
+            drop_nullkey,
+            &mut ctx.metrics,
+            ops,
+        )?;
     }
     finish_runs(ws, ctx)
 }
@@ -216,7 +243,16 @@ pub fn repartition(
             break;
         }
         for r in &batch {
-            route(&mut ws, part, env, r, seed, drop_nullkey, &mut ctx.metrics, ops)?;
+            route(
+                &mut ws,
+                part,
+                env,
+                r,
+                seed,
+                drop_nullkey,
+                &mut ctx.metrics,
+                ops,
+            )?;
         }
     }
     finish_runs(ws, ctx)
@@ -303,7 +339,10 @@ impl SpillDedup {
             // candidates.
             let seen_parts = ctx.spill_runs(SPILL_FANOUT)?;
             let cand_parts = ctx.spill_runs(SPILL_FANOUT)?;
-            let mut w = DedupWriters { seen_parts, cand_parts };
+            let mut w = DedupWriters {
+                seen_parts,
+                cand_parts,
+            };
             let n = self.seen.len();
             for r in std::mem::take(&mut self.seen) {
                 let idx = (hash_record(&r, 0) % w.seen_parts.len() as u64) as usize;
@@ -351,7 +390,9 @@ impl SpillDedup {
     ) -> Result<Vec<Record>> {
         let part = dedup_part();
         loop {
-            let Some(drain) = self.drain.as_mut() else { return Ok(Vec::new()) };
+            let Some(drain) = self.drain.as_mut() else {
+                return Ok(Vec::new());
+            };
             if let Some(cur) = drain.cur.as_mut() {
                 let batch = cur.reader.read_batch(n)?;
                 if batch.is_empty() {
@@ -383,10 +424,8 @@ impl SpillDedup {
                     {
                         let mut env = Env::new();
                         let seed = depth as u64;
-                        let new_seen =
-                            repartition(seen_f, ctx, &mut env, &part, seed, false, ops)?;
-                        let new_cand =
-                            repartition(cand_f, ctx, &mut env, &part, seed, false, ops)?;
+                        let new_seen = repartition(seen_f, ctx, &mut env, &part, seed, false, ops)?;
+                        let new_cand = repartition(cand_f, ctx, &mut env, &part, seed, false, ops)?;
                         let drain = self.drain.as_mut().expect("still draining");
                         for (s, c) in new_seen.into_iter().zip(new_cand).rev() {
                             drain.parts.push_front((s, c, depth + 1));
@@ -396,11 +435,14 @@ impl SpillDedup {
                     if cand_f.is_empty() {
                         continue;
                     }
-                    let seen: BTreeSet<Record> =
-                        seen_f.reader()?.read_all()?.into_iter().collect();
+                    let seen: BTreeSet<Record> = seen_f.reader()?.read_all()?.into_iter().collect();
                     ctx.resident_acquire(seen.len());
                     let reader = cand_f.reader()?;
-                    drain.cur = Some(CurPart { seen, reader, _file: cand_f });
+                    drain.cur = Some(CurPart {
+                        seen,
+                        reader,
+                        _file: cand_f,
+                    });
                 }
             }
         }

@@ -241,7 +241,9 @@ impl PhysPlan {
             | PhysPlan::HashJoin { left, right, .. }
             | PhysPlan::MergeJoin { left, right, .. }
             | PhysPlan::SetOp { left, right, .. } => vec![left, right],
-            PhysPlan::Apply { input, subquery, .. } => vec![input, subquery],
+            PhysPlan::Apply {
+                input, subquery, ..
+            } => vec![input, subquery],
         }
     }
 
@@ -275,12 +277,21 @@ mod tests {
     #[test]
     fn explain_shows_algorithms() {
         let p = PhysPlan::HashJoin {
-            left: Box::new(PhysPlan::ScanTable { table: "X".into(), var: "x".into() }),
-            right: Box::new(PhysPlan::ScanTable { table: "Y".into(), var: "y".into() }),
+            left: Box::new(PhysPlan::ScanTable {
+                table: "X".into(),
+                var: "x".into(),
+            }),
+            right: Box::new(PhysPlan::ScanTable {
+                table: "Y".into(),
+                var: "y".into(),
+            }),
             left_keys: vec![E::path("x", &["b"])],
             right_keys: vec![E::path("y", &["b"])],
             residual: None,
-            kind: JoinKind::Nest { func: E::var("y"), label: "ys".into() },
+            kind: JoinKind::Nest {
+                func: E::var("y"),
+                label: "ys".into(),
+            },
         };
         let s = p.explain();
         assert!(s.contains("HashJoin[nestjoin]"), "{s}");
@@ -292,6 +303,9 @@ mod tests {
         assert_eq!(JoinKind::Inner.name(), "join");
         assert_eq!(JoinKind::Semi.name(), "semijoin");
         assert_eq!(JoinKind::Anti.name(), "antijoin");
-        assert_eq!(JoinKind::LeftOuter { right_vars: vec![] }.name(), "outerjoin");
+        assert_eq!(
+            JoinKind::LeftOuter { right_vars: vec![] }.name(),
+            "outerjoin"
+        );
     }
 }

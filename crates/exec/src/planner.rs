@@ -58,7 +58,11 @@ pub fn extract_equi_keys(
     left_vars: &BTreeSet<String>,
     right_vars: &BTreeSet<String>,
 ) -> EquiSplit {
-    let mut split = EquiSplit { left_keys: vec![], right_keys: vec![], residual: None };
+    let mut split = EquiSplit {
+        left_keys: vec![],
+        right_keys: vec![],
+        residual: None,
+    };
     let mut residuals = Vec::new();
     for conj in split_conjuncts(pred) {
         if let ScalarExpr::Cmp(tmql_algebra::CmpOp::Eq, a, b) = &conj {
@@ -73,7 +77,10 @@ pub fn extract_equi_keys(
                 split.right_keys.push((**b).clone());
                 continue;
             }
-            if fa.is_subset(right_vars) && fb.is_subset(left_vars) && !fa.is_empty() && !fb.is_empty()
+            if fa.is_subset(right_vars)
+                && fb.is_subset(left_vars)
+                && !fa.is_empty()
+                && !fb.is_empty()
             {
                 split.left_keys.push((**b).clone());
                 split.right_keys.push((**a).clone());
@@ -91,12 +98,14 @@ pub fn extract_equi_keys(
 /// Lower a logical plan to a physical plan.
 pub fn lower(plan: &Plan, catalog: &Catalog, config: &ExecConfig) -> Result<PhysPlan> {
     Ok(match plan {
-        Plan::ScanTable { table, var } => {
-            PhysPlan::ScanTable { table: table.clone(), var: var.clone() }
-        }
-        Plan::ScanExpr { expr, var } => {
-            PhysPlan::ScanExpr { expr: expr.clone(), var: var.clone() }
-        }
+        Plan::ScanTable { table, var } => PhysPlan::ScanTable {
+            table: table.clone(),
+            var: var.clone(),
+        },
+        Plan::ScanExpr { expr, var } => PhysPlan::ScanExpr {
+            expr: expr.clone(),
+            var: var.clone(),
+        },
         Plan::Select { input, pred } => PhysPlan::Filter {
             input: Box::new(lower(input, catalog, config)?),
             pred: pred.clone(),
@@ -125,38 +134,74 @@ pub fn lower(plan: &Plan, catalog: &Catalog, config: &ExecConfig) -> Result<Phys
             lower_join(left, right, pred, JoinKind::Anti, catalog, config)?
         }
         Plan::LeftOuterJoin { left, right, pred } => {
-            let kind = JoinKind::LeftOuter { right_vars: right.output_vars() };
+            let kind = JoinKind::LeftOuter {
+                right_vars: right.output_vars(),
+            };
             lower_join(left, right, pred, kind, catalog, config)?
         }
-        Plan::NestJoin { left, right, pred, func, label } => {
-            let kind = JoinKind::Nest { func: func.clone(), label: label.clone() };
+        Plan::NestJoin {
+            left,
+            right,
+            pred,
+            func,
+            label,
+        } => {
+            let kind = JoinKind::Nest {
+                func: func.clone(),
+                label: label.clone(),
+            };
             lower_join(left, right, pred, kind, catalog, config)?
         }
-        Plan::Nest { input, keys, value, label, star } => PhysPlan::Nest {
+        Plan::Nest {
+            input,
+            keys,
+            value,
+            label,
+            star,
+        } => PhysPlan::Nest {
             input: Box::new(lower(input, catalog, config)?),
             keys: keys.clone(),
             value: value.clone(),
             label: label.clone(),
             star: *star,
         },
-        Plan::Unnest { input, expr, elem_var, drop_vars } => PhysPlan::Unnest {
+        Plan::Unnest {
+            input,
+            expr,
+            elem_var,
+            drop_vars,
+        } => PhysPlan::Unnest {
             input: Box::new(lower(input, catalog, config)?),
             expr: expr.clone(),
             elem_var: elem_var.clone(),
             drop_vars: drop_vars.clone(),
         },
-        Plan::GroupAgg { input, keys, aggs, var } => PhysPlan::GroupAgg {
+        Plan::GroupAgg {
+            input,
+            keys,
+            aggs,
+            var,
+        } => PhysPlan::GroupAgg {
             input: Box::new(lower(input, catalog, config)?),
             keys: keys.clone(),
             aggs: aggs.clone(),
             var: var.clone(),
         },
-        Plan::Apply { input, subquery, label } => PhysPlan::Apply {
+        Plan::Apply {
+            input,
+            subquery,
+            label,
+        } => PhysPlan::Apply {
             input: Box::new(lower(input, catalog, config)?),
             subquery: Box::new(lower(subquery, catalog, config)?),
             label: label.clone(),
         },
-        Plan::SetOp { kind, left, right, var } => PhysPlan::SetOp {
+        Plan::SetOp {
+            kind,
+            left,
+            right,
+            var,
+        } => PhysPlan::SetOp {
             kind: *kind,
             left: Box::new(lower(left, catalog, config)?),
             right: Box::new(lower(right, catalog, config)?),
@@ -214,7 +259,12 @@ fn lower_join(
     }
 
     Ok(match algo {
-        JoinAlgo::NestedLoop => PhysPlan::NlJoin { left: l, right: r, pred: pred.clone(), kind },
+        JoinAlgo::NestedLoop => PhysPlan::NlJoin {
+            left: l,
+            right: r,
+            pred: pred.clone(),
+            kind,
+        },
         JoinAlgo::Hash | JoinAlgo::Auto => PhysPlan::HashJoin {
             left: l,
             right: r,
@@ -242,8 +292,10 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
-        cat.register(int_table("X", &["a", "b"], &[&[1, 1]])).unwrap();
-        cat.register(int_table("Y", &["b", "c"], &[&[1, 10]])).unwrap();
+        cat.register(int_table("X", &["a", "b"], &[&[1, 1]]))
+            .unwrap();
+        cat.register(int_table("Y", &["b", "c"], &[&[1, 10]]))
+            .unwrap();
         cat
     }
 
@@ -293,8 +345,10 @@ mod tests {
     #[test]
     fn lower_picks_hash_for_equi_join_auto() {
         let cat = catalog();
-        let plan = Plan::scan("X", "x")
-            .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let plan = Plan::scan("X", "x").join(
+            Plan::scan("Y", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+        );
         let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
         assert!(matches!(phys, PhysPlan::HashJoin { .. }), "{phys}");
     }
@@ -318,12 +372,21 @@ mod tests {
         let rows: Vec<Vec<i64>> = (0..50).map(|i| vec![i, i % 5]).collect();
         let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
         cat.register(int_table("BIG", &["a", "b"], &refs)).unwrap();
-        cat.register(int_table("TINY", &["b", "c"], &[&[1, 10], &[2, 20]])).unwrap();
+        cat.register(int_table("TINY", &["b", "c"], &[&[1, 10], &[2, 20]]))
+            .unwrap();
         // TINY ⋈ BIG under Auto: probe the big side, build on the tiny one.
-        let plan = Plan::scan("TINY", "t")
-            .join(Plan::scan("BIG", "x"), E::eq(E::path("t", &["b"]), E::path("x", &["b"])));
+        let plan = Plan::scan("TINY", "t").join(
+            Plan::scan("BIG", "x"),
+            E::eq(E::path("t", &["b"]), E::path("x", &["b"])),
+        );
         let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
-        let PhysPlan::HashJoin { left, right, left_keys, .. } = phys else {
+        let PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            ..
+        } = phys
+        else {
             panic!("hash join expected");
         };
         assert!(matches!(*left, PhysPlan::ScanTable { ref table, .. } if table == "BIG"));
@@ -332,13 +395,22 @@ mod tests {
         assert_eq!(left_keys, vec![E::path("x", &["b"])]);
         // A forced algorithm keeps the written build side.
         let phys = lower(&plan, &cat, &ExecConfig::with_join_algo(JoinAlgo::Hash)).unwrap();
-        let PhysPlan::HashJoin { left, .. } = phys else { panic!("hash join expected") };
+        let PhysPlan::HashJoin { left, .. } = phys else {
+            panic!("hash join expected")
+        };
         assert!(matches!(*left, PhysPlan::ScanTable { ref table, .. } if table == "TINY"));
         // Left-preserving kinds never swap, whatever the cardinalities.
-        let semi = Plan::scan("TINY", "t")
-            .semi_join(Plan::scan("BIG", "x"), E::eq(E::path("t", &["b"]), E::path("x", &["b"])));
+        let semi = Plan::scan("TINY", "t").semi_join(
+            Plan::scan("BIG", "x"),
+            E::eq(E::path("t", &["b"]), E::path("x", &["b"])),
+        );
         let phys = lower(&semi, &cat, &ExecConfig::auto()).unwrap();
-        let PhysPlan::HashJoin { left, kind: JoinKind::Semi, .. } = phys else {
+        let PhysPlan::HashJoin {
+            left,
+            kind: JoinKind::Semi,
+            ..
+        } = phys
+        else {
             panic!("hash semijoin expected");
         };
         assert!(matches!(*left, PhysPlan::ScanTable { ref table, .. } if table == "TINY"));
@@ -347,14 +419,44 @@ mod tests {
     #[test]
     fn forced_algorithms_respected() {
         let cat = catalog();
-        let plan = Plan::scan("X", "x")
-            .semi_join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+        let plan = Plan::scan("X", "x").semi_join(
+            Plan::scan("Y", "y"),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+        );
         let h = lower(&plan, &cat, &ExecConfig::with_join_algo(JoinAlgo::Hash)).unwrap();
-        assert!(matches!(h, PhysPlan::HashJoin { kind: JoinKind::Semi, .. }));
-        let m = lower(&plan, &cat, &ExecConfig::with_join_algo(JoinAlgo::SortMerge)).unwrap();
-        assert!(matches!(m, PhysPlan::MergeJoin { kind: JoinKind::Semi, .. }));
-        let n = lower(&plan, &cat, &ExecConfig::with_join_algo(JoinAlgo::NestedLoop)).unwrap();
-        assert!(matches!(n, PhysPlan::NlJoin { kind: JoinKind::Semi, .. }));
+        assert!(matches!(
+            h,
+            PhysPlan::HashJoin {
+                kind: JoinKind::Semi,
+                ..
+            }
+        ));
+        let m = lower(
+            &plan,
+            &cat,
+            &ExecConfig::with_join_algo(JoinAlgo::SortMerge),
+        )
+        .unwrap();
+        assert!(matches!(
+            m,
+            PhysPlan::MergeJoin {
+                kind: JoinKind::Semi,
+                ..
+            }
+        ));
+        let n = lower(
+            &plan,
+            &cat,
+            &ExecConfig::with_join_algo(JoinAlgo::NestedLoop),
+        )
+        .unwrap();
+        assert!(matches!(
+            n,
+            PhysPlan::NlJoin {
+                kind: JoinKind::Semi,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -367,7 +469,11 @@ mod tests {
             "zs",
         );
         let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
-        let PhysPlan::HashJoin { kind: JoinKind::Nest { label, .. }, .. } = phys else {
+        let PhysPlan::HashJoin {
+            kind: JoinKind::Nest { label, .. },
+            ..
+        } = phys
+        else {
             panic!("expected hash nest join");
         };
         assert_eq!(label, "zs");

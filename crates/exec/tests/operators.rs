@@ -13,10 +13,18 @@ fn catalog(x: &[(i64, i64)], y: &[(i64, i64)]) -> Catalog {
     let mut cat = Catalog::new();
     let xr: Vec<Vec<i64>> = x.iter().map(|(a, b)| vec![*a, *b]).collect();
     let yr: Vec<Vec<i64>> = y.iter().map(|(b, c)| vec![*b, *c]).collect();
-    cat.register(int_table("X", &["a", "b"], &xr.iter().map(Vec::as_slice).collect::<Vec<_>>()))
-        .unwrap();
-    cat.register(int_table("Y", &["b", "c"], &yr.iter().map(Vec::as_slice).collect::<Vec<_>>()))
-        .unwrap();
+    cat.register(int_table(
+        "X",
+        &["a", "b"],
+        &xr.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+    ))
+    .unwrap();
+    cat.register(int_table(
+        "Y",
+        &["b", "c"],
+        &yr.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+    ))
+    .unwrap();
     cat
 }
 
@@ -113,11 +121,14 @@ fn env_depth_is_preserved_across_failures() {
     let bad = Plan::scan("X", "x").join(
         Plan::scan("Y", "y"),
         // y.c + "zzz" type-errors at runtime.
-        E::eq(E::path("x", &["b"]), E::Arith(
-            tmql_algebra::ArithOp::Add,
-            Box::new(E::path("y", &["c"])),
-            Box::new(E::lit("zzz")),
-        )),
+        E::eq(
+            E::path("x", &["b"]),
+            E::Arith(
+                tmql_algebra::ArithOp::Add,
+                Box::new(E::path("y", &["c"])),
+                Box::new(E::lit("zzz")),
+            ),
+        ),
     );
     let phys = tmql_exec::lower(&bad, &cat, &ExecConfig::auto()).unwrap();
     let mut ctx = tmql_exec::ExecContext::new(&cat);
@@ -232,9 +243,16 @@ fn comparisons_unit_is_one_predicate_evaluation() {
     assert_eq!(m.comparisons, 7, "Filter: |X| evaluations");
 
     // Nested-loop join: one comparison PER (LEFT, RIGHT) PAIR.
-    let join = Plan::scan("X", "x")
-        .join(Plan::scan("Y", "y"), E::cmp(CmpOp::Lt, E::path("x", &["b"]), E::path("y", &["c"])));
-    let (_, m) = run(&join, &cat, &ExecConfig::with_join_algo(JoinAlgo::NestedLoop)).unwrap();
+    let join = Plan::scan("X", "x").join(
+        Plan::scan("Y", "y"),
+        E::cmp(CmpOp::Lt, E::path("x", &["b"]), E::path("y", &["c"])),
+    );
+    let (_, m) = run(
+        &join,
+        &cat,
+        &ExecConfig::with_join_algo(JoinAlgo::NestedLoop),
+    )
+    .unwrap();
     assert_eq!(m.comparisons, 7 * 5, "NlJoin: |X|·|Y| evaluations");
 }
 
@@ -243,8 +261,10 @@ fn metrics_distinguish_algorithms() {
     let rows: Vec<(i64, i64)> = (0..50).map(|i| (i, i % 10)).collect();
     let yrows: Vec<(i64, i64)> = (0..50).map(|i| (i % 10, i)).collect();
     let cat = catalog(&rows, &yrows);
-    let plan = Plan::scan("X", "x")
-        .join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+    let plan = Plan::scan("X", "x").join(
+        Plan::scan("Y", "y"),
+        E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+    );
     let work = |algo| {
         let (_, m) = run(&plan, &cat, &ExecConfig::with_join_algo(algo)).unwrap();
         m
@@ -275,8 +295,9 @@ fn apply_env_visibility() {
         );
     let plan = Plan::scan("X", "x").apply(sub, "z").map(E::var("z"), "out");
     let vals = run_values(&plan, &cat, &ExecConfig::auto()).unwrap();
-    let expect: BTreeSet<Value> =
-        [Value::set([Value::Int(11), Value::Int(12)])].into_iter().collect();
+    let expect: BTreeSet<Value> = [Value::set([Value::Int(11), Value::Int(12)])]
+        .into_iter()
+        .collect();
     assert_eq!(vals, expect);
     let _ = Record::empty();
 }

@@ -13,10 +13,18 @@ fn catalog(x: &[(i64, i64)], y: &[(i64, i64)]) -> Catalog {
     let mut cat = Catalog::new();
     let xr: Vec<Vec<i64>> = x.iter().map(|(a, b)| vec![*a, *b]).collect();
     let yr: Vec<Vec<i64>> = y.iter().map(|(b, c)| vec![*b, *c]).collect();
-    cat.register(int_table("X", &["a", "b"], &xr.iter().map(Vec::as_slice).collect::<Vec<_>>()))
-        .unwrap();
-    cat.register(int_table("Y", &["b", "c"], &yr.iter().map(Vec::as_slice).collect::<Vec<_>>()))
-        .unwrap();
+    cat.register(int_table(
+        "X",
+        &["a", "b"],
+        &xr.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+    ))
+    .unwrap();
+    cat.register(int_table(
+        "Y",
+        &["b", "c"],
+        &yr.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+    ))
+    .unwrap();
     cat
 }
 
@@ -33,9 +41,18 @@ fn sized_catalog(n: i64, modb: i64) -> Catalog {
 fn breaker_corpus() -> Vec<(&'static str, Plan)> {
     let equi = || E::eq(E::path("x", &["b"]), E::path("y", &["b"]));
     vec![
-        ("join", Plan::scan("X", "x").join(Plan::scan("Y", "y"), equi())),
-        ("semi", Plan::scan("X", "x").semi_join(Plan::scan("Y", "y"), equi())),
-        ("anti", Plan::scan("X", "x").anti_join(Plan::scan("Y", "y"), equi())),
+        (
+            "join",
+            Plan::scan("X", "x").join(Plan::scan("Y", "y"), equi()),
+        ),
+        (
+            "semi",
+            Plan::scan("X", "x").semi_join(Plan::scan("Y", "y"), equi()),
+        ),
+        (
+            "anti",
+            Plan::scan("X", "x").anti_join(Plan::scan("Y", "y"), equi()),
+        ),
         (
             "outer",
             Plan::LeftOuterJoin {
@@ -46,7 +63,12 @@ fn breaker_corpus() -> Vec<(&'static str, Plan)> {
         ),
         (
             "nestjoin",
-            Plan::scan("X", "x").nest_join(Plan::scan("Y", "y"), equi(), E::path("y", &["c"]), "cs"),
+            Plan::scan("X", "x").nest_join(
+                Plan::scan("Y", "y"),
+                equi(),
+                E::path("y", &["c"]),
+                "cs",
+            ),
         ),
         (
             "nest",
@@ -85,7 +107,10 @@ fn breaker_corpus() -> Vec<(&'static str, Plan)> {
                 var: "v".into(),
             },
         ),
-        ("map-dedup", Plan::scan("X", "x").map(E::path("x", &["a"]), "v")),
+        (
+            "map-dedup",
+            Plan::scan("X", "x").map(E::path("x", &["a"]), "v"),
+        ),
         (
             "filtered-map",
             Plan::scan("X", "x")
@@ -119,7 +144,10 @@ fn budgeted_runs_match_unbounded_for_every_breaker() {
                 m_tight.rows_spilled > 0,
                 "{name}/{algo:?}: breaker state of 512 rows under a 48-row budget must spill"
             );
-            assert_eq!(m_free.rows_spilled, 0, "{name}/{algo:?}: unbounded run spilled");
+            assert_eq!(
+                m_free.rows_spilled, 0,
+                "{name}/{algo:?}: unbounded run spilled"
+            );
             assert!(
                 m_tight.peak_resident_rows < m_free.peak_resident_rows,
                 "{name}/{algo:?}: spilling should lower the resident peak \
@@ -136,11 +164,15 @@ fn grace_hash_join_bounds_resident_rows() {
     // Build side 2048 rows at an 8× overshoot of the 256-row budget: the
     // grace join must keep the gauge within budget + batch-granular slack.
     let cat = sized_catalog(2048, 64);
-    let plan = Plan::scan("X", "x")
-        .semi_join(Plan::scan("Y", "y"), E::eq(E::path("x", &["b"]), E::path("y", &["b"])));
+    let plan = Plan::scan("X", "x").semi_join(
+        Plan::scan("Y", "y"),
+        E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+    );
     let budget = 256;
     let batch = 128;
-    let config = ExecConfig::with_join_algo(JoinAlgo::Hash).batch_size(batch).memory_budget(budget);
+    let config = ExecConfig::with_join_algo(JoinAlgo::Hash)
+        .batch_size(batch)
+        .memory_budget(budget);
     let (rows, m) = run(&plan, &cat, &config).unwrap();
     assert_eq!(rows.len(), 2048, "every X row has partners on b");
     assert!(m.rows_spilled > 0);
@@ -161,18 +193,20 @@ fn skewed_keys_repartition_and_still_finish() {
     let x: Vec<(i64, i64)> = (0..256).map(|i| (i, 7)).collect();
     let y: Vec<(i64, i64)> = (0..256).map(|i| (7, i)).collect();
     let cat = catalog(&x, &y);
-    let plan = Plan::scan("X", "x")
-        .nest_join(
-            Plan::scan("Y", "y"),
-            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
-            E::path("y", &["c"]),
-            "cs",
-        );
+    let plan = Plan::scan("X", "x").nest_join(
+        Plan::scan("Y", "y"),
+        E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+        E::path("y", &["c"]),
+        "cs",
+    );
     let free = ExecConfig::with_join_algo(JoinAlgo::Hash).batch_size(32);
     let (rows_free, _) = run(&plan, &cat, &free).unwrap();
     let (rows_tight, m) = run(&plan, &cat, &free.memory_budget(16)).unwrap();
     assert_eq!(multiset(rows_free), multiset(rows_tight));
-    assert!(m.rows_spilled > 0, "the skewed build side still spills on the way through");
+    assert!(
+        m.rows_spilled > 0,
+        "the skewed build side still spills on the way through"
+    );
 }
 
 #[test]
@@ -191,7 +225,10 @@ fn binary_breaker_budget_bounds_combined_operands() {
     let (rows_free, _) = run(&plan, &cat, &free).unwrap();
     let (rows_tight, m) = run(&plan, &cat, &free.memory_budget(120)).unwrap();
     assert_eq!(multiset(rows_free), multiset(rows_tight));
-    assert!(m.rows_spilled > 0, "combined 200-row state over a 120-row budget must spill");
+    assert!(
+        m.rows_spilled > 0,
+        "combined 200-row state over a 120-row budget must spill"
+    );
 }
 
 #[test]
@@ -202,8 +239,99 @@ fn resident_gauge_returns_to_zero_after_spilling_runs() {
         let phys = tmql_exec::lower(&plan, &cat, &config).unwrap();
         let mut ctx = tmql_exec::ExecContext::with_config(&cat, &config);
         let _ = tmql_exec::execute(&phys, &mut ctx, &tmql_algebra::Env::new()).unwrap();
-        assert_eq!(ctx.resident_rows(), 0, "{name}: leaked resident rows after spill");
+        assert_eq!(
+            ctx.resident_rows(),
+            0,
+            "{name}: leaked resident rows after spill"
+        );
     }
+}
+
+#[test]
+fn nested_loop_inner_side_spills_under_budget() {
+    // Force the nested-loop implementation of every join kind: the inner
+    // materialization — flagged in the ROADMAP as non-spilling — now
+    // moves to a run past the budget and block-joins chunk-at-a-time.
+    let cat = sized_catalog(512, 16);
+    let join_family = ["join", "semi", "anti", "outer", "nestjoin"];
+    for (name, plan) in breaker_corpus() {
+        if !join_family.contains(&name) {
+            continue;
+        }
+        let free = ExecConfig::with_join_algo(JoinAlgo::NestedLoop).batch_size(64);
+        let (rows_free, m_free) = run(&plan, &cat, &free).unwrap();
+        let (rows_tight, m_tight) = run(&plan, &cat, &free.memory_budget(48)).unwrap();
+        assert_eq!(
+            multiset(rows_free),
+            multiset(rows_tight),
+            "{name}: block nested loop diverged"
+        );
+        assert_eq!(m_free.rows_spilled, 0, "{name}: unbounded NL join spilled");
+        assert!(
+            m_tight.rows_spilled >= 512,
+            "{name}: the 512-row inner side must spill (got {})",
+            m_tight.rows_spilled
+        );
+        assert!(
+            m_tight.peak_resident_rows < m_free.peak_resident_rows,
+            "{name}: spilling the inner side should lower the peak (free={} tight={})",
+            m_free.peak_resident_rows,
+            m_tight.peak_resident_rows
+        );
+    }
+}
+
+#[test]
+fn nested_loop_spill_leaves_gauge_balanced() {
+    let cat = sized_catalog(300, 8);
+    let plan = Plan::scan("X", "x").anti_join(
+        Plan::scan("Y", "y"),
+        E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+    );
+    let config = ExecConfig::with_join_algo(JoinAlgo::NestedLoop)
+        .batch_size(32)
+        .memory_budget(24);
+    let phys = tmql_exec::lower(&plan, &cat, &config).unwrap();
+    let mut ctx = tmql_exec::ExecContext::with_config(&cat, &config);
+    let _ = tmql_exec::execute(&phys, &mut ctx, &tmql_algebra::Env::new()).unwrap();
+    assert!(ctx.metrics.rows_spilled > 0);
+    assert_eq!(
+        ctx.resident_rows(),
+        0,
+        "leaked resident rows after NL spill"
+    );
+}
+
+#[test]
+fn scan_expr_buffered_set_spills_under_budget() {
+    // A 300-element set expression: the buffered items count toward the
+    // gauge, and past the budget only a budget's worth stays resident
+    // while the tail streams back from a run.
+    let cat = Catalog::new();
+    let items: Vec<E> = (0..300).map(|i| E::lit(i as i64)).collect();
+    let plan = Plan::ScanExpr {
+        expr: E::SetLit(items),
+        var: "v".into(),
+    };
+    let free = ExecConfig::auto().batch_size(32);
+    let (rows_free, m_free) = run(&plan, &cat, &free).unwrap();
+    assert_eq!(rows_free.len(), 300);
+    assert!(
+        m_free.peak_resident_rows >= 300,
+        "the buffered set is visible in the gauge"
+    );
+    let (rows_tight, m_tight) = run(&plan, &cat, &free.memory_budget(32)).unwrap();
+    assert_eq!(multiset(rows_free), multiset(rows_tight));
+    assert_eq!(
+        m_tight.rows_spilled,
+        300 - 32,
+        "everything past the budget spilled"
+    );
+    assert!(
+        m_tight.peak_resident_rows <= 32 + 32,
+        "peak {} exceeds budget + one batch",
+        m_tight.peak_resident_rows
+    );
 }
 
 proptest! {

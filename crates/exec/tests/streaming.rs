@@ -15,10 +15,18 @@ fn catalog(x: &[(i64, i64)], y: &[(i64, i64)]) -> Catalog {
     let mut cat = Catalog::new();
     let xr: Vec<Vec<i64>> = x.iter().map(|(a, b)| vec![*a, *b]).collect();
     let yr: Vec<Vec<i64>> = y.iter().map(|(b, c)| vec![*b, *c]).collect();
-    cat.register(int_table("X", &["a", "b"], &xr.iter().map(Vec::as_slice).collect::<Vec<_>>()))
-        .unwrap();
-    cat.register(int_table("Y", &["b", "c"], &yr.iter().map(Vec::as_slice).collect::<Vec<_>>()))
-        .unwrap();
+    cat.register(int_table(
+        "X",
+        &["a", "b"],
+        &xr.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+    ))
+    .unwrap();
+    cat.register(int_table(
+        "Y",
+        &["b", "c"],
+        &yr.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+    ))
+    .unwrap();
     cat
 }
 
@@ -39,9 +47,18 @@ fn plan_corpus(lim: i64) -> Vec<(&'static str, Plan)> {
                 .select(E::cmp(CmpOp::Lt, E::path("x", &["a"]), E::lit(lim)))
                 .map(E::path("x", &["a"]), "v"),
         ),
-        ("join", Plan::scan("X", "x").join(Plan::scan("Y", "y"), equi())),
-        ("semi", Plan::scan("X", "x").semi_join(Plan::scan("Y", "y"), equi())),
-        ("anti", Plan::scan("X", "x").anti_join(Plan::scan("Y", "y"), equi())),
+        (
+            "join",
+            Plan::scan("X", "x").join(Plan::scan("Y", "y"), equi()),
+        ),
+        (
+            "semi",
+            Plan::scan("X", "x").semi_join(Plan::scan("Y", "y"), equi()),
+        ),
+        (
+            "anti",
+            Plan::scan("X", "x").anti_join(Plan::scan("Y", "y"), equi()),
+        ),
         (
             "outer",
             Plan::LeftOuterJoin {
@@ -52,7 +69,12 @@ fn plan_corpus(lim: i64) -> Vec<(&'static str, Plan)> {
         ),
         (
             "nestjoin",
-            Plan::scan("X", "x").nest_join(Plan::scan("Y", "y"), equi(), E::path("y", &["c"]), "cs"),
+            Plan::scan("X", "x").nest_join(
+                Plan::scan("Y", "y"),
+                equi(),
+                E::path("y", &["c"]),
+                "cs",
+            ),
         ),
         (
             "nest-unnest",
@@ -87,7 +109,12 @@ fn plan_corpus(lim: i64) -> Vec<(&'static str, Plan)> {
                 var: "v".into(),
             },
         ),
-        ("apply", Plan::scan("X", "x").apply(sub(), "z").map(E::var("z"), "out")),
+        (
+            "apply",
+            Plan::scan("X", "x")
+                .apply(sub(), "z")
+                .map(E::var("z"), "out"),
+        ),
     ]
 }
 

@@ -143,7 +143,13 @@ impl Expr {
             Expr::Quant { over, pred, .. } => vec![over, pred],
             Expr::TupleLit(fs, _) => fs.iter().map(|(_, e)| e).collect(),
             Expr::SetLit(es, _) => es.iter().collect(),
-            Expr::Sfw { select, from, where_clause, with_bindings, .. } => {
+            Expr::Sfw {
+                select,
+                from,
+                where_clause,
+                with_bindings,
+                ..
+            } => {
                 let mut out: Vec<&Expr> = vec![select];
                 out.extend(from.iter().map(|f| &f.operand));
                 if let Some(w) = where_clause {
@@ -202,7 +208,9 @@ impl fmt::Display for Expr {
             Expr::Or(a, b) => write!(f, "({a} OR {b})"),
             Expr::Not(e) => write!(f, "NOT {e}"),
             Expr::Agg(fun, e, _) => write!(f, "{fun}({e})"),
-            Expr::Quant { q, var, over, pred, .. } => {
+            Expr::Quant {
+                q, var, over, pred, ..
+            } => {
                 let kw = match q {
                     Quantifier::Exists => "EXISTS",
                     Quantifier::Forall => "FORALL",
@@ -233,7 +241,13 @@ impl fmt::Display for Expr {
                 write!(f, "}}")
             }
             Expr::Unnest(e, _) => write!(f, "UNNEST({e})"),
-            Expr::Sfw { select, from, where_clause, with_bindings, .. } => {
+            Expr::Sfw {
+                select,
+                from,
+                where_clause,
+                with_bindings,
+                ..
+            } => {
                 write!(f, "(SELECT {select} FROM ")?;
                 for (i, item) in from.iter().enumerate() {
                     if i > 0 {
@@ -265,7 +279,11 @@ mod tests {
     fn has_subquery_detects_nesting() {
         let sub = Expr::Sfw {
             select: Box::new(Expr::Var("y".into(), sp())),
-            from: vec![FromItem { operand: Expr::Var("Y".into(), sp()), var: "y".into(), span: sp() }],
+            from: vec![FromItem {
+                operand: Expr::Var("Y".into(), sp()),
+                var: "y".into(),
+                span: sp(),
+            }],
             where_clause: None,
             with_bindings: vec![],
             span: sp(),
@@ -283,7 +301,11 @@ mod tests {
     fn display_round_trips_visually() {
         let e = Expr::SetCmp(
             SetCmpOp::SubsetEq,
-            Box::new(Expr::Field(Box::new(Expr::Var("x".into(), sp())), "a".into(), sp())),
+            Box::new(Expr::Field(
+                Box::new(Expr::Var("x".into(), sp())),
+                "a".into(),
+                sp(),
+            )),
             Box::new(Expr::Var("z".into(), sp())),
         );
         assert_eq!(e.to_string(), "(x.a SUBSETEQ z)");

@@ -30,10 +30,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             '=' => push(&mut out, Tok::Eq, i, &mut i),
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Le, span: Span::new(i, i + 2) });
+                    out.push(Token {
+                        tok: Tok::Le,
+                        span: Span::new(i, i + 2),
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token { tok: Tok::Ne, span: Span::new(i, i + 2) });
+                    out.push(Token {
+                        tok: Tok::Ne,
+                        span: Span::new(i, i + 2),
+                    });
                     i += 2;
                 } else {
                     push(&mut out, Tok::Lt, i, &mut i);
@@ -41,14 +47,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Ge, span: Span::new(i, i + 2) });
+                    out.push(Token {
+                        tok: Tok::Ge,
+                        span: Span::new(i, i + 2),
+                    });
                     i += 2;
                 } else {
                     push(&mut out, Tok::Gt, i, &mut i);
                 }
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Token { tok: Tok::Ne, span: Span::new(i, i + 2) });
+                out.push(Token {
+                    tok: Tok::Ne,
+                    span: Span::new(i, i + 2),
+                });
                 i += 2;
             }
             '\'' | '"' => {
@@ -74,7 +86,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                         }
                     }
                 }
-                out.push(Token { tok: Tok::Str(s), span: Span::new(start, i) });
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    span: Span::new(start, i),
+                });
             }
             '0'..='9' => {
                 let start = i;
@@ -93,7 +108,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                     let val: f64 = text.parse().map_err(|_| {
                         ParseError::new(format!("bad float literal `{text}`"), Span::new(start, i))
                     })?;
-                    out.push(Token { tok: Tok::Float(val), span: Span::new(start, i) });
+                    out.push(Token {
+                        tok: Tok::Float(val),
+                        span: Span::new(start, i),
+                    });
                 } else {
                     let text = &src[start..i];
                     let val: i64 = text.parse().map_err(|_| {
@@ -102,7 +120,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                             Span::new(start, i),
                         )
                     })?;
-                    out.push(Token { tok: Tok::Int(val), span: Span::new(start, i) });
+                    out.push(Token {
+                        tok: Tok::Int(val),
+                        span: Span::new(start, i),
+                    });
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -123,7 +144,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                     Some(k) => Tok::Kw(k),
                     None => Tok::Ident(word.to_string()),
                 };
-                out.push(Token { tok, span: Span::new(start, i) });
+                out.push(Token {
+                    tok,
+                    span: Span::new(start, i),
+                });
             }
             other => {
                 return Err(ParseError::new(
@@ -133,12 +157,18 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, span: Span::new(src.len(), src.len()) });
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
     Ok(out)
 }
 
 fn push(out: &mut Vec<Token>, tok: Tok, at: usize, i: &mut usize) {
-    out.push(Token { tok, span: Span::new(at, at + 1) });
+    out.push(Token {
+        tok,
+        span: Span::new(at, at + 1),
+    });
     *i += 1;
 }
 
@@ -205,7 +235,10 @@ mod tests {
     fn path_after_int_not_float() {
         // `1.x` should lex as Int Dot Ident, not a float.
         let t = toks("1.x");
-        assert_eq!(t, vec![Tok::Int(1), Tok::Dot, Tok::Ident("x".into()), Tok::Eof]);
+        assert_eq!(
+            t,
+            vec![Tok::Int(1), Tok::Dot, Tok::Ident("x".into()), Tok::Eof]
+        );
     }
 
     #[test]

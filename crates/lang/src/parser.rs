@@ -26,7 +26,10 @@ pub struct ParseError {
 impl ParseError {
     /// Construct an error.
     pub fn new(message: impl Into<String>, span: Span) -> ParseError {
-        ParseError { message: message.into(), span }
+        ParseError {
+            message: message.into(),
+            span,
+        }
     }
 
     /// Render with line/column resolved against the original source.
@@ -38,7 +41,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at bytes {}..{}: {}", self.span.start, self.span.end, self.message)
+        write!(
+            f,
+            "parse error at bytes {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
     }
 }
 
@@ -96,7 +103,10 @@ impl Parser {
         if *self.peek() == tok {
             Ok(self.bump())
         } else {
-            Err(ParseError::new(format!("expected {tok}, found {}", self.peek()), self.span()))
+            Err(ParseError::new(
+                format!("expected {tok}, found {}", self.peek()),
+                self.span(),
+            ))
         }
     }
 
@@ -107,7 +117,10 @@ impl Parser {
                 self.bump();
                 Ok((s, span))
             }
-            other => Err(ParseError::new(format!("expected identifier, found {other}"), span)),
+            other => Err(ParseError::new(
+                format!("expected identifier, found {other}"),
+                span,
+            )),
         }
     }
 
@@ -315,8 +328,18 @@ impl Parser {
                 self.expect(Tok::LParen)?;
                 let pred = self.expr()?;
                 self.expect(Tok::RParen)?;
-                let q = if k == K::Exists { Quantifier::Exists } else { Quantifier::Forall };
-                Ok(Expr::Quant { q, var, over: Box::new(over), pred: Box::new(pred), span })
+                let q = if k == K::Exists {
+                    Quantifier::Exists
+                } else {
+                    Quantifier::Forall
+                };
+                Ok(Expr::Quant {
+                    q,
+                    var,
+                    over: Box::new(over),
+                    pred: Box::new(pred),
+                    span,
+                })
             }
             Tok::LBrace => {
                 self.bump();
@@ -368,7 +391,10 @@ impl Parser {
             self.expect(Tok::Eq)?;
             let value = self.expr()?;
             if fields.iter().any(|(l, _)| *l == label) {
-                return Err(ParseError::new(format!("duplicate tuple label `{label}`"), lspan));
+                return Err(ParseError::new(
+                    format!("duplicate tuple label `{label}`"),
+                    lspan,
+                ));
             }
             fields.push((label, value));
             if !self.eat(&Tok::Comma) {
@@ -376,7 +402,10 @@ impl Parser {
             }
         }
         if fields.len() < 2 {
-            return Err(ParseError::new("tuple literal needs at least two fields", span));
+            return Err(ParseError::new(
+                "tuple literal needs at least two fields",
+                span,
+            ));
         }
         self.expect(Tok::RParen)?;
         Ok(Expr::TupleLit(fields, span))
@@ -393,14 +422,25 @@ impl Parser {
             let operand = self.set_expr()?;
             let (var, vspan) = self.ident()?;
             if from.iter().any(|f: &FromItem| f.var == var) {
-                return Err(ParseError::new(format!("duplicate FROM variable `{var}`"), vspan));
+                return Err(ParseError::new(
+                    format!("duplicate FROM variable `{var}`"),
+                    vspan,
+                ));
             }
-            from.push(FromItem { operand, var, span: vspan });
+            from.push(FromItem {
+                operand,
+                var,
+                span: vspan,
+            });
             if !self.eat(&Tok::Comma) {
                 break;
             }
         }
-        let where_clause = if self.eat_kw(K::Where) { Some(Box::new(self.expr()?)) } else { None };
+        let where_clause = if self.eat_kw(K::Where) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
         // The paper's WITH clause for local definitions:
         // `WHERE P(x, z) WITH z = (SELECT …)` (Section 4).
         let mut with_bindings = Vec::new();
@@ -408,7 +448,9 @@ impl Parser {
             loop {
                 let (var, vspan) = self.ident()?;
                 if from.iter().any(|f: &FromItem| f.var == var)
-                    || with_bindings.iter().any(|(v, _): &(String, Expr)| *v == var)
+                    || with_bindings
+                        .iter()
+                        .any(|(v, _): &(String, Expr)| *v == var)
                 {
                     return Err(ParseError::new(
                         format!("WITH variable `{var}` shadows an existing binding"),
@@ -422,7 +464,13 @@ impl Parser {
                 }
             }
         }
-        Ok(Expr::Sfw { select: Box::new(select), from, where_clause, with_bindings, span })
+        Ok(Expr::Sfw {
+            select: Box::new(select),
+            from,
+            where_clause,
+            with_bindings,
+            span,
+        })
     }
 }
 
@@ -440,13 +488,21 @@ mod tests {
                   FROM DEPT d \
                   WHERE (s = d.address.street, c = d.address.city) \
                         IN (SELECT (s = e.address.street, c = e.address.city) FROM d.emps e)";
-        let Expr::Sfw { select, from, where_clause, .. } = parse(q1) else {
+        let Expr::Sfw {
+            select,
+            from,
+            where_clause,
+            ..
+        } = parse(q1)
+        else {
             panic!("expected SFW")
         };
         assert!(matches!(*select, Expr::Var(ref v, _) if v == "d"));
         assert_eq!(from.len(), 1);
         let w = where_clause.unwrap();
-        let Expr::SetCmp(SetCmpOp::In, lhs, rhs) = *w else { panic!("IN predicate") };
+        let Expr::SetCmp(SetCmpOp::In, lhs, rhs) = *w else {
+            panic!("IN predicate")
+        };
         assert!(matches!(*lhs, Expr::TupleLit(ref fs, _) if fs.len() == 2));
         assert!(matches!(*rhs, Expr::Sfw { .. }));
     }
@@ -456,8 +512,12 @@ mod tests {
         let q2 = "SELECT (dname = d.name, \
                           emps = (SELECT e FROM EMP e WHERE e.address.city = d.address.city)) \
                   FROM DEPT d";
-        let Expr::Sfw { select, .. } = parse(q2) else { panic!("SFW") };
-        let Expr::TupleLit(fields, _) = *select else { panic!("tuple select") };
+        let Expr::Sfw { select, .. } = parse(q2) else {
+            panic!("SFW")
+        };
+        let Expr::TupleLit(fields, _) = *select else {
+            panic!("tuple select")
+        };
         assert!(matches!(fields[1].1, Expr::Sfw { .. }));
     }
 
@@ -465,9 +525,15 @@ mod tests {
     fn parses_count_bug_query() {
         let q = "SELECT x FROM R x \
                  WHERE x.b = COUNT((SELECT y.d FROM S y WHERE x.c = y.c))";
-        let Expr::Sfw { where_clause, .. } = parse(q) else { panic!() };
-        let Expr::Cmp(CmpOp::Eq, _, rhs) = *where_clause.unwrap() else { panic!() };
-        let Expr::Agg(AggFn::Count, inner, _) = *rhs else { panic!("COUNT") };
+        let Expr::Sfw { where_clause, .. } = parse(q) else {
+            panic!()
+        };
+        let Expr::Cmp(CmpOp::Eq, _, rhs) = *where_clause.unwrap() else {
+            panic!()
+        };
+        let Expr::Agg(AggFn::Count, inner, _) = *rhs else {
+            panic!("COUNT")
+        };
         assert!(matches!(*inner, Expr::Sfw { .. }));
     }
 
@@ -479,25 +545,44 @@ mod tests {
                                            y.c SUBSETEQ (SELECT z.c FROM Z z WHERE y.d = z.d))";
         let e = parse(q);
         assert!(e.has_subquery());
-        let Expr::Sfw { where_clause, .. } = e else { panic!() };
-        assert!(matches!(*where_clause.unwrap(), Expr::SetCmp(SetCmpOp::SubsetEq, ..)));
+        let Expr::Sfw { where_clause, .. } = e else {
+            panic!()
+        };
+        assert!(matches!(
+            *where_clause.unwrap(),
+            Expr::SetCmp(SetCmpOp::SubsetEq, ..)
+        ));
     }
 
     #[test]
     fn not_in_and_not_precedence() {
         let e = parse("SELECT x FROM X x WHERE NOT x.a IN (SELECT y.a FROM Y y)");
-        let Expr::Sfw { where_clause, .. } = e else { panic!() };
+        let Expr::Sfw { where_clause, .. } = e else {
+            panic!()
+        };
         assert!(matches!(*where_clause.unwrap(), Expr::Not(_)));
         let e = parse("SELECT x FROM X x WHERE x.a NOT IN (SELECT y.a FROM Y y)");
-        let Expr::Sfw { where_clause, .. } = e else { panic!() };
-        assert!(matches!(*where_clause.unwrap(), Expr::SetCmp(SetCmpOp::NotIn, ..)));
+        let Expr::Sfw { where_clause, .. } = e else {
+            panic!()
+        };
+        assert!(matches!(
+            *where_clause.unwrap(),
+            Expr::SetCmp(SetCmpOp::NotIn, ..)
+        ));
     }
 
     #[test]
     fn quantifiers() {
         let e = parse("SELECT x FROM X x WHERE EXISTS s IN x.kids (s.age < 10)");
-        let Expr::Sfw { where_clause, .. } = e else { panic!() };
-        let Expr::Quant { q: Quantifier::Exists, var, .. } = *where_clause.unwrap() else {
+        let Expr::Sfw { where_clause, .. } = e else {
+            panic!()
+        };
+        let Expr::Quant {
+            q: Quantifier::Exists,
+            var,
+            ..
+        } = *where_clause.unwrap()
+        else {
             panic!("quantifier")
         };
         assert_eq!(var, "s");
@@ -518,15 +603,21 @@ mod tests {
         let e = parse("UNNEST(SELECT (SELECT y.b FROM Y y WHERE x.b = y.a) FROM X x)");
         assert!(matches!(e, Expr::Unnest(..)));
         let e = parse("SELECT x FROM X x WHERE (SELECT y.a FROM Y y WHERE x.b = y.b) = {}");
-        let Expr::Sfw { where_clause, .. } = e else { panic!() };
-        let Expr::Cmp(CmpOp::Eq, _, rhs) = *where_clause.unwrap() else { panic!() };
+        let Expr::Sfw { where_clause, .. } = e else {
+            panic!()
+        };
+        let Expr::Cmp(CmpOp::Eq, _, rhs) = *where_clause.unwrap() else {
+            panic!()
+        };
         assert!(matches!(*rhs, Expr::SetLit(ref v, _) if v.is_empty()));
     }
 
     #[test]
     fn arithmetic_precedence() {
         let e = parse("1 + 2 * 3");
-        let Expr::Arith(ArithOp::Add, _, rhs) = e else { panic!() };
+        let Expr::Arith(ArithOp::Add, _, rhs) = e else {
+            panic!()
+        };
         assert!(matches!(*rhs, Expr::Arith(ArithOp::Mul, ..)));
         let e = parse("-5 + 2");
         assert!(matches!(e, Expr::Arith(ArithOp::Add, ..)));
@@ -540,16 +631,26 @@ mod tests {
         // A single-field "(a = 1)" parses as a grouped comparison, not a
         // tuple (documented restriction); the binder rejects `a` later.
         let e = parse_query("SELECT (a = 1) FROM X x").unwrap();
-        let Expr::Sfw { select, .. } = e else { panic!() };
+        let Expr::Sfw { select, .. } = e else {
+            panic!()
+        };
         assert!(matches!(*select, Expr::Cmp(CmpOp::Eq, ..)));
-        assert!(parse_query("SELECT x FROM X x, X x").is_err(), "duplicate var");
-        assert!(parse_query("SELECT (a = 1, a = 2) FROM X x").is_err(), "dup label");
+        assert!(
+            parse_query("SELECT x FROM X x, X x").is_err(),
+            "duplicate var"
+        );
+        assert!(
+            parse_query("SELECT (a = 1, a = 2) FROM X x").is_err(),
+            "dup label"
+        );
     }
 
     #[test]
     fn grouping_parens_still_work() {
         let e = parse("SELECT x FROM X x WHERE (x.a = 1 OR x.a = 2) AND x.b = 3");
-        let Expr::Sfw { where_clause, .. } = e else { panic!() };
+        let Expr::Sfw { where_clause, .. } = e else {
+            panic!()
+        };
         assert!(matches!(*where_clause.unwrap(), Expr::And(..)));
     }
 }

@@ -27,7 +27,10 @@ pub struct TypeError {
 
 impl TypeError {
     fn new(message: impl Into<String>, span: Span) -> TypeError {
-        TypeError { message: message.into(), span }
+        TypeError {
+            message: message.into(),
+            span,
+        }
     }
 
     /// Render with line/column resolved against the source.
@@ -53,7 +56,11 @@ pub fn check_query(expr: &Expr, tables: &dyn TableTypes) -> Result<Ty, TypeError
 }
 
 fn lookup(scopes: &[(String, Ty)], name: &str) -> Option<Ty> {
-    scopes.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t.clone())
+    scopes
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, t)| t.clone())
 }
 
 fn check(
@@ -86,9 +93,10 @@ fn check(
                     TypeError::new(format!("tuple {bt} has no field `{label}`"), *span)
                 }),
                 Ty::Any => Ok(Ty::Any),
-                other => {
-                    Err(TypeError::new(format!("field access on non-tuple type {other}"), *span))
-                }
+                other => Err(TypeError::new(
+                    format!("field access on non-tuple type {other}"),
+                    *span,
+                )),
             }
         }
         Expr::Cmp(_, a, b) => {
@@ -183,7 +191,10 @@ fn check(
         Expr::Not(e) => {
             let t = check(e, tables, scopes)?;
             if !matches!(t, Ty::Bool | Ty::Any) {
-                return Err(TypeError::new(format!("NOT over non-boolean {t}"), e.span()));
+                return Err(TypeError::new(
+                    format!("NOT over non-boolean {t}"),
+                    e.span(),
+                ));
             }
             Ok(Ty::Bool)
         }
@@ -213,7 +224,13 @@ fn check(
                 }
             })
         }
-        Expr::Quant { var, over, pred, span, .. } => {
+        Expr::Quant {
+            var,
+            over,
+            pred,
+            span,
+            ..
+        } => {
             let t = check(over, tables, scopes)?;
             let elem = match &t {
                 Ty::Set(inner) => (**inner).clone(),
@@ -266,12 +283,19 @@ fn check(
                     )),
                 },
                 Ty::Any => Ok(Ty::Set(Box::new(Ty::Any))),
-                other => {
-                    Err(TypeError::new(format!("UNNEST over non-set type {other}"), *span))
-                }
+                other => Err(TypeError::new(
+                    format!("UNNEST over non-set type {other}"),
+                    *span,
+                )),
             }
         }
-        Expr::Sfw { select, from, where_clause, with_bindings, .. } => {
+        Expr::Sfw {
+            select,
+            from,
+            where_clause,
+            with_bindings,
+            ..
+        } => {
             let depth = scopes.len();
             let mut result = Err(TypeError::new("empty FROM", expr.span()));
             // Bind FROM items left to right; later operands may reference
@@ -366,7 +390,10 @@ mod tests {
         );
         m.insert(
             "X".to_string(),
-            Ty::Tuple(vec![("a".into(), Ty::Set(Box::new(Ty::Int))), ("b".into(), Ty::Int)]),
+            Ty::Tuple(vec![
+                ("a".into(), Ty::Set(Box::new(Ty::Int))),
+                ("b".into(), Ty::Int),
+            ]),
         );
         m.insert(
             "Y".to_string(),
@@ -390,19 +417,14 @@ mod tests {
     fn nested_path_and_set_attr() {
         let t = check_src("SELECT e.address.city FROM EMP e").unwrap();
         assert_eq!(t, Ty::Set(Box::new(Ty::Str)));
-        let t = check_src(
-            "SELECT c.name FROM EMP e, e.children c WHERE c.age < 10",
-        )
-        .unwrap();
+        let t = check_src("SELECT c.name FROM EMP e, e.children c WHERE c.age < 10").unwrap();
         assert_eq!(t, Ty::Set(Box::new(Ty::Str)));
     }
 
     #[test]
     fn subquery_membership_types() {
-        let t = check_src(
-            "SELECT x FROM X x WHERE x.b IN (SELECT y.a FROM Y y WHERE x.b = y.b)",
-        )
-        .unwrap();
+        let t = check_src("SELECT x FROM X x WHERE x.b IN (SELECT y.a FROM Y y WHERE x.b = y.b)")
+            .unwrap();
         assert!(matches!(t, Ty::Set(_)));
     }
 
@@ -413,10 +435,8 @@ mod tests {
         )
         .is_ok());
         // Atomic ⊆ set is a type error.
-        let err = check_src(
-            "SELECT x FROM X x WHERE x.b SUBSETEQ (SELECT y.a FROM Y y)",
-        )
-        .unwrap_err();
+        let err =
+            check_src("SELECT x FROM X x WHERE x.b SUBSETEQ (SELECT y.a FROM Y y)").unwrap_err();
         assert!(err.message.contains("set comparison"), "{err:?}");
     }
 
@@ -425,7 +445,11 @@ mod tests {
         let err = check_src("SELECT q FROM X x").unwrap_err();
         assert!(err.message.contains("unbound"), "{err:?}");
         let err = check_src("SELECT x FROM NOPE x").unwrap_err();
-        assert!(err.message.contains("unbound variable or unknown extension"), "{err:?}");
+        assert!(
+            err.message
+                .contains("unbound variable or unknown extension"),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -451,10 +475,9 @@ mod tests {
     fn aggregates_and_quantifiers() {
         let t = check_src("SELECT COUNT(e.children) FROM EMP e").unwrap();
         assert_eq!(t, Ty::Set(Box::new(Ty::Int)));
-        assert!(check_src(
-            "SELECT e FROM EMP e WHERE EXISTS c IN e.children (c.age > e.sal)"
-        )
-        .is_ok());
+        assert!(
+            check_src("SELECT e FROM EMP e WHERE EXISTS c IN e.children (c.age > e.sal)").is_ok()
+        );
         assert!(check_src("SELECT e FROM EMP e WHERE EXISTS c IN e.sal (TRUE)").is_err());
         assert!(check_src("SELECT SUM(e.children) FROM EMP e").is_err());
     }

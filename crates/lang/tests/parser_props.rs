@@ -40,13 +40,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 Box::new(a),
                 Box::new(b)
             )),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
             inner
                 .clone()
                 .prop_map(|e| Expr::Agg(tmql_lang::ast::AggFn::Count, Box::new(e), sp())),
-            prop::collection::vec(inner.clone(), 0..3)
-                .prop_map(|es| Expr::SetLit(es, sp())),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(|es| Expr::SetLit(es, sp())),
             (ident(), inner.clone(), inner.clone()).prop_map(|(v, over, pred)| Expr::Quant {
                 q: tmql_lang::ast::Quantifier::Exists,
                 var: v,

@@ -43,7 +43,11 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::NoSuchField { field, available } => {
-                write!(f, "no such field `{field}` (available: {})", available.join(", "))
+                write!(
+                    f,
+                    "no such field `{field}` (available: {})",
+                    available.join(", ")
+                )
             }
             ModelError::KindMismatch { expected, found } => {
                 write!(f, "expected a {expected}, found {found}")
@@ -65,13 +69,19 @@ mod tests {
 
     #[test]
     fn display_no_such_field() {
-        let e = ModelError::NoSuchField { field: "x".into(), available: vec!["a".into(), "b".into()] };
+        let e = ModelError::NoSuchField {
+            field: "x".into(),
+            available: vec!["a".into(), "b".into()],
+        };
         assert_eq!(e.to_string(), "no such field `x` (available: a, b)");
     }
 
     #[test]
     fn display_kind_mismatch() {
-        let e = ModelError::KindMismatch { expected: "set", found: "42".into() };
+        let e = ModelError::KindMismatch {
+            expected: "set",
+            found: "42".into(),
+        };
         assert_eq!(e.to_string(), "expected a set, found 42");
     }
 

@@ -127,7 +127,12 @@ impl Record {
             });
         }
         Ok(Record {
-            fields: self.fields.iter().filter(|(l, _)| l != label).cloned().collect(),
+            fields: self
+                .fields
+                .iter()
+                .filter(|(l, _)| l != label)
+                .cloned()
+                .collect(),
         })
     }
 
@@ -214,7 +219,10 @@ mod tests {
 
     #[test]
     fn duplicate_labels_rejected() {
-        let r = Record::new([("a".to_string(), Value::Int(1)), ("a".to_string(), Value::Int(2))]);
+        let r = Record::new([
+            ("a".to_string(), Value::Int(1)),
+            ("a".to_string(), Value::Int(2)),
+        ]);
         assert!(matches!(r, Err(ModelError::DuplicateField(_))));
     }
 

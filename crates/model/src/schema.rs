@@ -32,7 +32,10 @@ pub struct AttrDef {
 impl AttrDef {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: Ty) -> AttrDef {
-        AttrDef { name: name.into(), ty }
+        AttrDef {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -54,12 +57,21 @@ impl ClassDef {
         extension: impl Into<String>,
         attributes: Vec<AttrDef>,
     ) -> ClassDef {
-        ClassDef { name: name.into(), extension: extension.into(), attributes }
+        ClassDef {
+            name: name.into(),
+            extension: extension.into(),
+            attributes,
+        }
     }
 
     /// The tuple type of one instance of this class.
     pub fn instance_ty(&self) -> Ty {
-        Ty::Tuple(self.attributes.iter().map(|a| (a.name.clone(), a.ty.clone())).collect())
+        Ty::Tuple(
+            self.attributes
+                .iter()
+                .map(|a| (a.name.clone(), a.ty.clone()))
+                .collect(),
+        )
     }
 
     /// The type of the class extension: a set of instance tuples.
@@ -78,7 +90,7 @@ pub struct SortDef {
 }
 
 /// A database schema: classes + sorts.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Schema {
     classes: Vec<ClassDef>,
     sorts: Vec<SortDef>,
@@ -93,7 +105,10 @@ impl Schema {
     /// Register a sort; rejects duplicate names.
     pub fn add_sort(&mut self, sort: SortDef) -> Result<()> {
         if self.sorts.iter().any(|s| s.name == sort.name) {
-            return Err(ModelError::SchemaError(format!("sort `{}` already defined", sort.name)));
+            return Err(ModelError::SchemaError(format!(
+                "sort `{}` already defined",
+                sort.name
+            )));
         }
         self.sorts.push(sort);
         Ok(())
@@ -102,7 +117,10 @@ impl Schema {
     /// Register a class; rejects duplicate class or extension names.
     pub fn add_class(&mut self, class: ClassDef) -> Result<()> {
         if self.classes.iter().any(|c| c.name == class.name) {
-            return Err(ModelError::SchemaError(format!("class `{}` already defined", class.name)));
+            return Err(ModelError::SchemaError(format!(
+                "class `{}` already defined",
+                class.name
+            )));
         }
         if self.classes.iter().any(|c| c.extension == class.extension) {
             return Err(ModelError::SchemaError(format!(
@@ -134,6 +152,12 @@ impl Schema {
         &self.classes
     }
 
+    /// All sorts in declaration order (the persistent catalog serializes
+    /// them alongside the classes).
+    pub fn sorts(&self) -> &[SortDef] {
+        &self.sorts
+    }
+
     /// Resolve sort and class references inside a type:
     /// * `Ty::Class(n)` where `n` names a **sort** → the sort's type;
     /// * `Ty::Class(n)` where `n` names a **class** → the class's instance
@@ -151,12 +175,18 @@ impl Schema {
                     // leaving a recursive class reference opaque.
                     let mut fields = Vec::with_capacity(c.attributes.len());
                     for a in &c.attributes {
-                        let t = if mentions_class(&a.ty, n) { a.ty.clone() } else { self.resolve(&a.ty)? };
+                        let t = if mentions_class(&a.ty, n) {
+                            a.ty.clone()
+                        } else {
+                            self.resolve(&a.ty)?
+                        };
                         fields.push((a.name.clone(), t));
                     }
                     Ty::Tuple(fields)
                 } else {
-                    return Err(ModelError::SchemaError(format!("unknown sort or class `{n}`")));
+                    return Err(ModelError::SchemaError(format!(
+                        "unknown sort or class `{n}`"
+                    )));
                 }
             }
             Ty::Set(t) => Ty::Set(Box::new(self.resolve(t)?)),
@@ -181,9 +211,9 @@ impl Schema {
 
     /// The fully resolved extension (table) type of a class.
     pub fn extension_ty(&self, extension: &str) -> Result<Ty> {
-        let class = self.class_by_extension(extension).ok_or_else(|| {
-            ModelError::SchemaError(format!("unknown extension `{extension}`"))
-        })?;
+        let class = self
+            .class_by_extension(extension)
+            .ok_or_else(|| ModelError::SchemaError(format!("unknown extension `{extension}`")))?;
         self.resolve(&class.extension_ty())
     }
 }
@@ -253,8 +283,12 @@ mod tests {
         let s = paper_schema();
         let dept = s.extension_ty("DEPT").unwrap();
         // DEPT : P (name, address-tuple, emps : P employee-tuple)
-        let Ty::Set(inner) = dept else { panic!("extension must be a set") };
-        let Ty::Tuple(fields) = *inner else { panic!("instances are tuples") };
+        let Ty::Set(inner) = dept else {
+            panic!("extension must be a set")
+        };
+        let Ty::Tuple(fields) = *inner else {
+            panic!("instances are tuples")
+        };
         let addr = &fields.iter().find(|(l, _)| l == "address").unwrap().1;
         assert_eq!(
             addr,
@@ -271,10 +305,17 @@ mod tests {
     #[test]
     fn duplicate_definitions_rejected() {
         let mut s = paper_schema();
-        assert!(s.add_class(ClassDef::new("Employee", "EMP2", vec![])).is_err());
-        assert!(s.add_class(ClassDef::new("Employee2", "EMP", vec![])).is_err());
         assert!(s
-            .add_sort(SortDef { name: "Address".into(), ty: Ty::Str })
+            .add_class(ClassDef::new("Employee", "EMP2", vec![]))
+            .is_err());
+        assert!(s
+            .add_class(ClassDef::new("Employee2", "EMP", vec![]))
+            .is_err());
+        assert!(s
+            .add_sort(SortDef {
+                name: "Address".into(),
+                ty: Ty::Str
+            })
             .is_err());
     }
 

@@ -42,7 +42,11 @@ pub fn superset(a: &Value, b: &Value) -> Result<bool> {
 pub fn disjoint(a: &Value, b: &Value) -> Result<bool> {
     let (sa, sb) = (a.as_set()?, b.as_set()?);
     // Iterate the smaller side.
-    let (small, large) = if sa.len() <= sb.len() { (sa, sb) } else { (sb, sa) };
+    let (small, large) = if sa.len() <= sb.len() {
+        (sa, sb)
+    } else {
+        (sb, sa)
+    };
     Ok(!small.iter().any(|v| large.contains(v)))
 }
 
@@ -77,7 +81,10 @@ pub fn unnest(s: &Value) -> Result<Value> {
         match inner {
             Value::Set(items) => out.extend(items.iter().cloned()),
             other => {
-                return Err(ModelError::KindMismatch { expected: "set", found: other.to_string() })
+                return Err(ModelError::KindMismatch {
+                    expected: "set",
+                    found: other.to_string(),
+                })
             }
         }
     }
@@ -184,7 +191,10 @@ mod tests {
         assert_eq!(aggregate::min(&s(&[3, 1])).unwrap(), Some(Value::Int(1)));
         assert_eq!(aggregate::max(&s(&[3, 1])).unwrap(), Some(Value::Int(3)));
         assert_eq!(aggregate::min(&s(&[])).unwrap(), None);
-        assert_eq!(aggregate::avg(&s(&[1, 2])).unwrap(), Some(Value::Float(1.5)));
+        assert_eq!(
+            aggregate::avg(&s(&[1, 2])).unwrap(),
+            Some(Value::Float(1.5))
+        );
         assert_eq!(aggregate::avg(&s(&[])).unwrap(), None);
     }
 }

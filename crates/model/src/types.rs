@@ -77,15 +77,13 @@ impl Ty {
             (Set(a), Set(b)) | (List(a), List(b)) => a.compatible(b),
             (Tuple(a), Tuple(b)) => {
                 a.len() == b.len()
-                    && a.iter().all(|(l, t)| {
-                        b.iter().any(|(l2, t2)| l == l2 && t.compatible(t2))
-                    })
+                    && a.iter()
+                        .all(|(l, t)| b.iter().any(|(l2, t2)| l == l2 && t.compatible(t2)))
             }
             (Variant(a), Variant(b)) => {
                 a.len() == b.len()
-                    && a.iter().all(|(l, t)| {
-                        b.iter().any(|(l2, t2)| l == l2 && t.compatible(t2))
-                    })
+                    && a.iter()
+                        .all(|(l, t)| b.iter().any(|(l2, t2)| l == l2 && t.compatible(t2)))
             }
             (Class(a), Class(b)) => a == b,
             _ => false,
@@ -143,7 +141,9 @@ impl Ty {
             (Ty::List(t), Value::List(l)) => l.iter().all(|v| t.admits(v)),
             (Ty::Tuple(fs), Value::Tuple(r)) => {
                 fs.len() == r.len()
-                    && fs.iter().all(|(l, t)| r.get(l).map(|v| t.admits(v)).unwrap_or(false))
+                    && fs
+                        .iter()
+                        .all(|(l, t)| r.get(l).map(|v| t.admits(v)).unwrap_or(false))
             }
             (Ty::Variant(alts), Value::Variant(lbl, v)) => alts
                 .iter()
@@ -208,7 +208,10 @@ mod tests {
     fn infer_nested_value_type() {
         let v = Value::tuple([
             ("name", Value::str("Smith")),
-            ("children", Value::set([Value::tuple([("age", Value::Int(7))])])),
+            (
+                "children",
+                Value::set([Value::tuple([("age", Value::Int(7))])]),
+            ),
         ]);
         let t = Ty::of(&v);
         assert_eq!(
@@ -270,7 +273,10 @@ mod tests {
 
     #[test]
     fn display_round_trip_forms() {
-        let t = Ty::table(vec![("emps".into(), Ty::Set(Box::new(Ty::Class("Employee".into()))))]);
+        let t = Ty::table(vec![(
+            "emps".into(),
+            Ty::Set(Box::new(Ty::Class("Employee".into()))),
+        )]);
         assert_eq!(t.to_string(), "P (emps : P Employee)");
     }
 }

@@ -212,7 +212,10 @@ impl Value {
 }
 
 fn mismatch(expected: &'static str, found: &Value) -> ModelError {
-    ModelError::KindMismatch { expected, found: found.to_string() }
+    ModelError::KindMismatch {
+        expected,
+        found: found.to_string(),
+    }
 }
 
 fn numeric_binop(
@@ -391,7 +394,11 @@ mod tests {
 
     #[test]
     fn float_total_order_handles_nan() {
-        let s = Value::set([Value::Float(f64::NAN), Value::Float(1.0), Value::Float(f64::NAN)]);
+        let s = Value::set([
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Float(f64::NAN),
+        ]);
         // NaN collapses to a single element under total order.
         assert_eq!(s.as_set().unwrap().len(), 2);
     }
@@ -400,9 +407,15 @@ mod tests {
     fn path_navigation() {
         let v = Value::tuple([(
             "address",
-            Value::tuple([("city", Value::str("Enschede")), ("street", Value::str("Drienerlolaan"))]),
+            Value::tuple([
+                ("city", Value::str("Enschede")),
+                ("street", Value::str("Drienerlolaan")),
+            ]),
         )]);
-        assert_eq!(v.path(&["address", "city"]).unwrap(), &Value::str("Enschede"));
+        assert_eq!(
+            v.path(&["address", "city"]).unwrap(),
+            &Value::str("Enschede")
+        );
         assert!(v.path(&["address", "zip"]).is_err());
     }
 
@@ -417,13 +430,19 @@ mod tests {
     fn sql_cmp_null_is_unknown() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
-        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(2.5)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
     fn arithmetic_promotion_and_errors() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
-        assert_eq!(Value::Int(2).add(&Value::Float(0.5)).unwrap(), Value::Float(2.5));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
         assert!(Value::Int(1).div(&Value::Int(0)).is_err());
         assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
         assert!(Value::str("a").add(&Value::Int(1)).is_err());
@@ -431,7 +450,12 @@ mod tests {
 
     #[test]
     fn cross_kind_ordering_is_stable() {
-        let mut vals = [Value::str("a"), Value::Int(1), Value::Bool(true), Value::Null];
+        let mut vals = [
+            Value::str("a"),
+            Value::Int(1),
+            Value::Bool(true),
+            Value::Null,
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));
@@ -440,9 +464,18 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Value::set([Value::Int(2), Value::Int(1)]).to_string(), "{1, 2}");
-        assert_eq!(Value::List(vec![Value::Int(1), Value::Int(1)]).to_string(), "[1, 1]");
-        assert_eq!(Value::Variant(Arc::from("some"), Box::new(Value::Int(1))).to_string(), "some(1)");
+        assert_eq!(
+            Value::set([Value::Int(2), Value::Int(1)]).to_string(),
+            "{1, 2}"
+        );
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(1)]).to_string(),
+            "[1, 1]"
+        );
+        assert_eq!(
+            Value::Variant(Arc::from("some"), Box::new(Value::Int(1))).to_string(),
+            "some(1)"
+        );
     }
 
     #[test]

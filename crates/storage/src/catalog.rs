@@ -1,30 +1,98 @@
-//! The catalog: schema + named extensions (tables).
+//! The catalog: schema + named extensions (tables), in memory or durable.
+//!
+//! A catalog is either **transient** (the default — tables live in
+//! memory, exactly the pre-pager behavior) or **persistent**
+//! ([`Catalog::open`]): backed by a [`crate::pager::PagedStore`], where
+//! [`Catalog::register`] / [`Catalog::replace`] write the rows into
+//! slotted pages and commit a new [catalog image](crate::pager::CatalogImage)
+//! — schema, column types, extents, and statistics — so
+//! `register → drop → open` round-trips the whole database. Reads stream
+//! through the store's buffer pool; the catalog itself keeps only
+//! descriptors.
 
 use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
 
-use tmql_model::{ModelError, Result, Schema, Ty};
+use tmql_model::{ModelError, Record, Result, Schema, Ty};
 
+use crate::pager::{CatalogImage, PagedStore, PoolStats, TableImage};
 use crate::stats::TableStats;
 use crate::table::Table;
 
 /// Maps extension names (`EMP`, `DEPT`, `R`, `S`, ...) to stored tables and
-/// carries the TM schema for type resolution.
+/// carries the TM schema for type resolution. See the module docs for the
+/// transient/persistent split.
 #[derive(Debug, Default)]
 pub struct Catalog {
     schema: Schema,
     tables: BTreeMap<String, Table>,
     stats: BTreeMap<String, TableStats>,
+    store: Option<Arc<PagedStore>>,
 }
 
 impl Catalog {
-    /// An empty catalog with an empty schema.
+    /// An empty transient catalog with an empty schema.
     pub fn new() -> Catalog {
         Catalog::default()
     }
 
-    /// Build a catalog around an existing schema.
+    /// Build a transient catalog around an existing schema.
     pub fn with_schema(schema: Schema) -> Catalog {
-        Catalog { schema, ..Catalog::default() }
+        Catalog {
+            schema,
+            ..Catalog::default()
+        }
+    }
+
+    /// Open (or create) a persistent catalog at `path` with a buffer pool
+    /// of `pool_pages` frames. An existing database loads its persisted
+    /// schema, table descriptors, and statistics; rows stay on disk until
+    /// scanned.
+    pub fn open(path: impl AsRef<Path>, pool_pages: usize) -> Result<Catalog> {
+        let path = path.as_ref();
+        if !path.exists() {
+            let store = PagedStore::create(path, pool_pages)?;
+            return Ok(Catalog {
+                store: Some(store),
+                ..Catalog::default()
+            });
+        }
+        let (store, image) = PagedStore::open(path, pool_pages)?;
+        let mut tables = BTreeMap::new();
+        let mut stats = BTreeMap::new();
+        for t in image.tables {
+            let table = Table::disk(t.name.clone(), t.columns, store.clone(), Arc::new(t.extent));
+            stats.insert(t.name.clone(), t.stats);
+            tables.insert(t.name, table);
+        }
+        Ok(Catalog {
+            schema: image.schema,
+            tables,
+            stats,
+            store: Some(store),
+        })
+    }
+
+    /// True iff this catalog writes through to a paged store.
+    pub fn is_persistent(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The persistent store's cumulative buffer-pool counters (`None` for
+    /// transient catalogs). The executor diffs snapshots of these into
+    /// per-query hit/miss metrics.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.store.as_ref().map(|s| s.pool_stats())
+    }
+
+    /// Buffer-pool residency of a disk-backed table: `(resident pages,
+    /// total pages)`. `None` for transient catalogs and in-memory tables —
+    /// the cost model charges page I/O only where pages exist.
+    pub fn page_residency(&self, name: &str) -> Option<(usize, usize)> {
+        let table = self.tables.get(name)?;
+        let (store, extent) = table.disk_parts()?;
+        Some((store.resident_pages(extent), extent.page_count()))
     }
 
     /// The TM schema.
@@ -32,29 +100,112 @@ impl Catalog {
         &self.schema
     }
 
-    /// Mutable access to the schema (for registering classes/sorts).
+    /// Mutable access to the schema (for registering classes/sorts). On a
+    /// persistent catalog the change is committed with the next
+    /// [`Catalog::register`] / [`Catalog::replace`] (or an explicit
+    /// [`Catalog::sync`]).
     pub fn schema_mut(&mut self) -> &mut Schema {
         &mut self.schema
     }
 
     /// Register a table under its own name. Statistics are computed eagerly
     /// (tables are immutable once registered — the paper's queries are
-    /// read-only).
+    /// read-only); on a persistent catalog the rows are written through
+    /// the buffer pool and the catalog image is committed durably.
     pub fn register(&mut self, table: Table) -> Result<()> {
         let name = table.name().to_string();
         if self.tables.contains_key(&name) {
-            return Err(ModelError::SchemaError(format!("table `{name}` already registered")));
+            return Err(ModelError::SchemaError(format!(
+                "table `{name}` already registered"
+            )));
         }
-        self.stats.insert(name.clone(), TableStats::compute(&table));
-        self.tables.insert(name, table);
+        self.commit(name, table)
+    }
+
+    /// Replace a table (e.g. between benchmark iterations), refreshing
+    /// stats. On a persistent catalog the new rows are written and
+    /// committed; the old extent's pages are leaked inside the file (see
+    /// the pager's durability rules).
+    pub fn replace(&mut self, table: Table) -> Result<()> {
+        let name = table.name().to_string();
+        self.commit(name, table)
+    }
+
+    /// Install a prepared table + stats and commit the catalog image,
+    /// rolling the in-memory view back if the durable commit fails — the
+    /// catalog never serves state that would vanish on reopen.
+    fn commit(&mut self, name: String, table: Table) -> Result<()> {
+        let (table, stats) = self.prepare(table)?;
+        let prev_stats = self.stats.insert(name.clone(), stats);
+        let prev_table = self.tables.insert(name.clone(), table);
+        if let Err(e) = self.sync() {
+            match prev_table {
+                Some(t) => self.tables.insert(name.clone(), t),
+                None => self.tables.remove(&name),
+            };
+            match prev_stats {
+                Some(s) => self.stats.insert(name.clone(), s),
+                None => self.stats.remove(&name),
+            };
+            return Err(e);
+        }
         Ok(())
     }
 
-    /// Replace a table (e.g. between benchmark iterations), refreshing stats.
-    pub fn replace(&mut self, table: Table) {
-        let name = table.name().to_string();
-        self.stats.insert(name.clone(), TableStats::compute(&table));
-        self.tables.insert(name, table);
+    /// Compute statistics for an incoming table and, when persistent,
+    /// write its rows through the store, returning the (possibly now
+    /// disk-backed) table to catalog.
+    fn prepare(&mut self, table: Table) -> Result<(Table, TableStats)> {
+        let Some(store) = self.store.clone() else {
+            let stats = TableStats::compute(&table);
+            return Ok((table, stats));
+        };
+        // One pass over the rows feeds both the statistics builder and
+        // the page writer. `rows_vec` materializes disk-backed sources
+        // (e.g. copying a database) — user registrations are in-memory.
+        let rows: Vec<Record> = match table.mem_rows() {
+            Some(r) => r.to_vec(),
+            None => table.rows_vec()?,
+        };
+        let mut builder =
+            crate::stats::StatsBuilder::new(table.columns().iter().map(|(n, _)| n.as_str()));
+        rows.iter().for_each(|r| builder.observe(r));
+        let stats = builder.finish();
+        let extent = Arc::new(store.write_table(&rows)?);
+        let disk = Table::disk(table.name(), table.columns().to_vec(), store, extent);
+        Ok((disk, stats))
+    }
+
+    /// Commit the current schema and table descriptors to the store
+    /// (no-op for transient catalogs). Called automatically by
+    /// [`Catalog::register`] / [`Catalog::replace`].
+    pub fn sync(&self) -> Result<()> {
+        let Some(store) = self.store.as_ref() else {
+            return Ok(());
+        };
+        let mut image = CatalogImage {
+            schema: self.schema.clone(),
+            tables: Vec::new(),
+        };
+        for (name, table) in &self.tables {
+            let (_, extent) = table
+                .disk_parts()
+                .expect("every table of a persistent catalog is disk-backed");
+            let stats = match self.stats.get(name) {
+                Some(s) => s.clone(),
+                // Every registered table has stats; this fallback only
+                // runs for hand-assembled catalogs, and must surface a
+                // scan failure rather than persist truncated statistics.
+                None => TableStats::try_compute(table)?,
+            };
+            image.tables.push(TableImage {
+                name: name.clone(),
+                columns: table.columns().to_vec(),
+                extent: (**extent).clone(),
+                stats,
+            });
+        }
+        store.save_catalog(&image)
     }
 
     /// Look up a table by extension name.
@@ -95,16 +246,21 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut cat = Catalog::new();
-        cat.register(int_table("R", &["a", "b"], &[&[1, 2]])).unwrap();
+        cat.register(int_table("R", &["a", "b"], &[&[1, 2]]))
+            .unwrap();
         assert_eq!(cat.table("R").unwrap().len(), 1);
         assert!(cat.table("S").is_err());
         assert!(cat.register(int_table("R", &["a"], &[])).is_err());
+        assert!(!cat.is_persistent());
+        assert_eq!(cat.pool_stats(), None);
+        assert_eq!(cat.page_residency("R"), None);
     }
 
     #[test]
     fn stats_computed_on_register() {
         let mut cat = Catalog::new();
-        cat.register(int_table("R", &["a"], &[&[1], &[2], &[2]])).unwrap();
+        cat.register(int_table("R", &["a"], &[&[1], &[2], &[2]]))
+            .unwrap();
         let st = cat.stats("R").unwrap();
         assert_eq!(st.cardinality, 2); // set semantics deduped the 2
     }
@@ -113,7 +269,8 @@ mod tests {
     fn replace_refreshes_stats() {
         let mut cat = Catalog::new();
         cat.register(int_table("R", &["a"], &[&[1]])).unwrap();
-        cat.replace(int_table("R", &["a"], &[&[1], &[2], &[3]]));
+        cat.replace(int_table("R", &["a"], &[&[1], &[2], &[3]]))
+            .unwrap();
         assert_eq!(cat.stats("R").unwrap().cardinality, 3);
     }
 
@@ -122,7 +279,10 @@ mod tests {
         let mut cat = Catalog::new();
         cat.register(int_table("R", &["a", "b"], &[])).unwrap();
         let ty = cat.row_ty("R").unwrap();
-        assert_eq!(ty, Ty::Tuple(vec![("a".into(), Ty::Int), ("b".into(), Ty::Int)]));
+        assert_eq!(
+            ty,
+            Ty::Tuple(vec![("a".into(), Ty::Int), ("b".into(), Ty::Int)])
+        );
     }
 
     #[test]
@@ -132,5 +292,73 @@ mod tests {
         let ty = cat.row_ty("EMP").unwrap();
         assert!(matches!(ty, Ty::Tuple(_)));
         assert!(cat.row_ty("NOPE").is_err());
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "tmql-catalog-test-{}-{name}.tmdb",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn persistent_catalog_round_trips_through_reopen() {
+        let path = scratch("roundtrip");
+        {
+            let mut cat = Catalog::open(&path, 16).unwrap();
+            assert!(cat.is_persistent());
+            cat.register(int_table("R", &["a", "b"], &[&[1, 10], &[2, 20], &[3, 20]]))
+                .unwrap();
+            let t = cat.table("R").unwrap();
+            assert!(t.is_disk_backed(), "registration wrote through the pager");
+            assert_eq!(t.len(), 3);
+        }
+        let cat = Catalog::open(&path, 16).unwrap();
+        let t = cat.table("R").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.batch(1, 2).unwrap(),
+            int_table("X", &["a", "b"], &[&[2, 20], &[3, 20]])
+                .batch(0, 2)
+                .unwrap(),
+            "reopened rows are identical"
+        );
+        let st = cat.stats("R").unwrap();
+        assert_eq!(st.cardinality, 3);
+        assert_eq!(st.columns["b"].distinct, 2, "statistics round-tripped");
+        let (resident, total) = cat.page_residency("R").unwrap();
+        assert!(total >= 1);
+        assert!(resident <= total);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persistent_replace_commits_new_rows() {
+        let path = scratch("replace");
+        {
+            let mut cat = Catalog::open(&path, 16).unwrap();
+            cat.register(int_table("R", &["a"], &[&[1]])).unwrap();
+            cat.replace(int_table("R", &["a"], &[&[7], &[8]])).unwrap();
+        }
+        let cat = Catalog::open(&path, 16).unwrap();
+        assert_eq!(cat.table("R").unwrap().len(), 2);
+        assert_eq!(cat.stats("R").unwrap().cardinality, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn schema_persists_with_sync() {
+        use tmql_model::schema::paper_schema;
+        let path = scratch("schema");
+        {
+            let mut cat = Catalog::open(&path, 16).unwrap();
+            *cat.schema_mut() = paper_schema();
+            cat.sync().unwrap();
+        }
+        let cat = Catalog::open(&path, 16).unwrap();
+        assert!(cat.schema().class_by_extension("EMP").is_some());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -24,7 +24,10 @@ impl HashIndex {
         for (i, row) in table.rows().enumerate() {
             map.entry(row.get(attr)?.clone()).or_default().push(i);
         }
-        Ok(HashIndex { attr: attr.to_string(), map })
+        Ok(HashIndex {
+            attr: attr.to_string(),
+            map,
+        })
     }
 
     /// The indexed attribute.
@@ -57,7 +60,10 @@ impl OrdIndex {
         for (i, row) in table.rows().enumerate() {
             map.entry(row.get(attr)?.clone()).or_default().push(i);
         }
-        Ok(OrdIndex { attr: attr.to_string(), map })
+        Ok(OrdIndex {
+            attr: attr.to_string(),
+            map,
+        })
     }
 
     /// The indexed attribute.

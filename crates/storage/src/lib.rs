@@ -1,6 +1,6 @@
 #![warn(missing_docs)]
 
-//! # tmql-storage — in-memory storage for class extensions
+//! # tmql-storage — stored class extensions, in memory and on disk
 //!
 //! The paper assumes class extensions (`EMP`, `DEPT`, or the relational
 //! `R`, `S` of Section 2) are stored tables: "set-valued attributes are
@@ -8,13 +8,21 @@
 //! conceptually" (Section 3.2). This crate provides:
 //!
 //! * [`Table`] — a typed, duplicate-free (set semantics) collection of
-//!   [`tmql_model::Record`]s;
+//!   [`tmql_model::Record`]s, either in memory or disk-backed through the
+//!   pager's buffer pool (scans are batch cursors in both cases);
 //! * [`Catalog`] — maps extension names to tables, carries the
-//!   [`tmql_model::Schema`];
+//!   [`tmql_model::Schema`]; [`Catalog::open`] makes it **persistent**:
+//!   register/replace write rows into pages and commit a durable catalog
+//!   image, so a database outlives the process;
+//! * [`pager`] — the disk tier: slotted pages, the fixed-capacity
+//!   [`pager::BufferPool`] (clock eviction, pin counts, dirty
+//!   write-back), table extents, and the persisted catalog image;
 //! * [`stats::TableStats`] — cardinality, distinct counts, min/max,
 //!   equi-width histograms, null/empty-set fractions, and set-valued
-//!   fan-out per column, accumulated incrementally on registration and
-//!   consumed by the cost-based optimizer and physical planner;
+//!   fan-out per column, accumulated incrementally on registration
+//!   (switching to reservoir sampling past
+//!   [`stats::STATS_SAMPLE_THRESHOLD`] rows) and consumed by the
+//!   cost-based optimizer and physical planner;
 //! * [`index`] — hash and ordered indexes over one attribute. The executor
 //!   builds equivalent transient structures inside its hash/merge joins;
 //!   these persistent variants back index-based access paths and give
@@ -22,16 +30,19 @@
 //! * [`spill`] — on-disk record runs ([`SpillDir`], [`RunWriter`],
 //!   [`SpillFile`], [`RunReader`]) with a length-prefixed binary codec, the
 //!   substrate of the executor's larger-than-memory (grace-hash /
-//!   partitioned) mode.
+//!   partitioned) mode — and of the pager's page payloads, which reuse
+//!   the same Record/Value codec.
 
 pub mod catalog;
 pub mod index;
+pub mod pager;
 pub mod spill;
 pub mod stats;
 pub mod table;
 
 pub use catalog::Catalog;
 pub use index::{HashIndex, OrdIndex};
+pub use pager::{BufferPool, PagedStore, PoolStats, TableExtent, DEFAULT_POOL_PAGES};
 pub use spill::{RunReader, RunWriter, SpillDir, SpillFile};
 pub use stats::{ColumnStats, Histogram, StatsBuilder, TableStats};
 pub use table::Table;

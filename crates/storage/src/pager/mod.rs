@@ -1,0 +1,31 @@
+//! Disk-backed table storage: slotted pages, a buffer pool, and a
+//! persistent catalog.
+//!
+//! This is the tier that lifts the base-data ceiling: where the spill
+//! machinery ([`crate::spill`]) bounds *operator state*, the pager bounds
+//! *stored tables*. A database is one file of fixed-size
+//! [pages](page::PAGE_SIZE); registered tables are written as slotted
+//! [data pages](page) (reusing the spill crate's Record/Value codec, so
+//! the full complex-object universe round-trips bit-exactly), faulted in
+//! on demand through a fixed-capacity [`BufferPool`] with clock eviction,
+//! pin counts, and dirty write-back, and described by a
+//! [catalog image](image::CatalogImage) whose header-last commit makes
+//! register/replace durable.
+//!
+//! The pieces:
+//!
+//! * [`page`] — byte-level slotted/overflow page layout;
+//! * [`pool`] — the buffer pool ([`BufferPool`], [`PoolStats`]);
+//! * [`store`] — the database file, extents, and the [`PagedStore`]
+//!   façade tables and the catalog share;
+//! * [`image`] — the persisted catalog blob (schema + extents + stats).
+
+pub mod image;
+pub mod page;
+pub mod pool;
+pub mod store;
+
+pub use image::{CatalogImage, TableImage};
+pub use page::{PageId, PAGE_SIZE};
+pub use pool::{BufferPool, PoolStats};
+pub use store::{PagedStore, TableExtent, DEFAULT_POOL_PAGES};

@@ -1,0 +1,307 @@
+//! The buffer pool: a fixed set of in-memory page frames over the
+//! database file, with clock (second-chance) eviction, pin counts, and
+//! dirty-page write-back.
+//!
+//! Every page access goes through [`BufferPool::get`] (fault in from disk)
+//! or [`BufferPool::create`] (install a fresh zeroed page without a disk
+//! read). Frames a caller is actively reading or writing are **pinned**
+//! ([`BufferPool::pin`] / [`BufferPool::unpin`]); the clock hand skips
+//! pinned frames, and if every frame is pinned the pool reports
+//! [`tmql_model::ModelError::Io`] instead of evicting under a live
+//! borrow. Evicting a dirty frame writes it back first, so the pool — not
+//! its callers — owns the write schedule; [`BufferPool::flush`] forces
+//! all dirty frames out (the durability point of a catalog update).
+//!
+//! [`PoolStats`] counts hits, faults (misses), evictions, and write-backs;
+//! the executor reports the per-query delta as `Metrics::pool_hits` /
+//! `Metrics::pool_misses`, and the cost model prices cold scans with the
+//! pool's current residency.
+
+use std::collections::HashMap;
+
+use tmql_model::{ModelError, Result};
+
+use super::page::{PageId, NO_PAGE, PAGE_SIZE};
+use super::store::PagedFile;
+
+/// Monotonic buffer-pool counters (never reset; consumers diff snapshots).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read the page from disk.
+    pub misses: u64,
+    /// Frames recycled to make room for another page.
+    pub evictions: u64,
+    /// Dirty frames written back to disk (on eviction or flush).
+    pub writebacks: u64,
+}
+
+impl PoolStats {
+    /// Hit fraction of all page requests so far (1.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    /// Resident page, or [`NO_PAGE`] for an empty frame.
+    page: PageId,
+    buf: Box<[u8]>,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+/// A fixed-capacity pool of page frames (see the module docs).
+#[derive(Debug)]
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    hand: usize,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames (clamped to ≥ 2 so a data page and one
+    /// overflow page can be resident together).
+    pub fn new(capacity: usize) -> BufferPool {
+        let capacity = capacity.max(2);
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                page: NO_PAGE,
+                buf: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                dirty: false,
+                pins: 0,
+                referenced: false,
+            })
+            .collect();
+        BufferPool {
+            frames,
+            map: HashMap::with_capacity(capacity),
+            hand: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// True iff `page` is currently resident (no fault, no stats change).
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// How many of the given pages are currently resident.
+    pub fn resident_among(&self, pages: impl Iterator<Item = PageId>) -> usize {
+        pages.filter(|p| self.map.contains_key(p)).count()
+    }
+
+    /// Borrow the bytes of frame `idx`.
+    pub fn buf(&self, idx: usize) -> &[u8] {
+        &self.frames[idx].buf
+    }
+
+    /// Borrow the bytes of frame `idx` mutably, marking it dirty.
+    pub fn buf_mut(&mut self, idx: usize) -> &mut [u8] {
+        self.frames[idx].dirty = true;
+        &mut self.frames[idx].buf
+    }
+
+    /// Pin frame `idx`: it will not be evicted until unpinned.
+    pub fn pin(&mut self, idx: usize) {
+        self.frames[idx].pins += 1;
+    }
+
+    /// Release one pin on frame `idx`.
+    pub fn unpin(&mut self, idx: usize) {
+        debug_assert!(self.frames[idx].pins > 0, "unbalanced unpin");
+        self.frames[idx].pins = self.frames[idx].pins.saturating_sub(1);
+    }
+
+    /// Clock sweep: find a victim frame (empty, or unpinned with its
+    /// reference bit already cleared), writing back its dirty contents.
+    fn victim(&mut self, file: &mut PagedFile) -> Result<usize> {
+        // Two full sweeps: the first clears reference bits, the second
+        // must find an unpinned frame unless everything is pinned.
+        for _ in 0..2 * self.frames.len() {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let f = &mut self.frames[idx];
+            if f.pins > 0 {
+                continue;
+            }
+            if f.referenced {
+                f.referenced = false;
+                continue;
+            }
+            if f.page != NO_PAGE {
+                if f.dirty {
+                    file.write_page(f.page, &f.buf)?;
+                    f.dirty = false;
+                    self.stats.writebacks += 1;
+                }
+                self.map.remove(&f.page);
+                self.stats.evictions += 1;
+                f.page = NO_PAGE;
+            }
+            return Ok(idx);
+        }
+        Err(ModelError::Io(format!(
+            "buffer pool exhausted: all {} frames pinned",
+            self.frames.len()
+        )))
+    }
+
+    /// Fault `page` into the pool (or find it resident) and return its
+    /// frame index.
+    pub fn get(&mut self, page: PageId, file: &mut PagedFile) -> Result<usize> {
+        debug_assert_ne!(page, NO_PAGE, "the header page is not pooled");
+        if let Some(&idx) = self.map.get(&page) {
+            self.stats.hits += 1;
+            self.frames[idx].referenced = true;
+            return Ok(idx);
+        }
+        let idx = self.victim(file)?;
+        file.read_page(page, &mut self.frames[idx].buf)?;
+        self.stats.misses += 1;
+        self.frames[idx].page = page;
+        self.frames[idx].referenced = true;
+        self.map.insert(page, idx);
+        Ok(idx)
+    }
+
+    /// Install a fresh zeroed frame for a newly allocated `page` (no disk
+    /// read) and return its frame index. The frame starts dirty.
+    pub fn create(&mut self, page: PageId, file: &mut PagedFile) -> Result<usize> {
+        debug_assert!(!self.map.contains_key(&page), "create of a resident page");
+        let idx = self.victim(file)?;
+        self.frames[idx].buf.fill(0);
+        self.frames[idx].page = page;
+        self.frames[idx].dirty = true;
+        self.frames[idx].referenced = true;
+        self.map.insert(page, idx);
+        Ok(idx)
+    }
+
+    /// Write back every dirty frame (frames stay resident).
+    pub fn flush(&mut self, file: &mut PagedFile) -> Result<()> {
+        for f in &mut self.frames {
+            if f.page != NO_PAGE && f.dirty {
+                file.write_page(f.page, &f.buf)?;
+                f.dirty = false;
+                self.stats.writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::store::PagedFile;
+
+    fn scratch_file(name: &str) -> PagedFile {
+        let path = std::env::temp_dir().join(format!(
+            "tmql-pool-test-{}-{name}.pages",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        PagedFile::create(&path).expect("scratch file")
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let mut file = scratch_file("hits");
+        let mut pool = BufferPool::new(4);
+        let idx = pool.create(1, &mut file).unwrap();
+        pool.buf_mut(idx)[0] = 7;
+        assert_eq!(pool.get(1, &mut file).unwrap(), idx, "resident hit");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 0));
+        assert!(pool.is_resident(1));
+        assert_eq!(pool.resident_among([1u32, 2, 3].into_iter()), 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_and_refaults() {
+        let mut file = scratch_file("evict");
+        let mut pool = BufferPool::new(2);
+        for p in 1..=3u32 {
+            let idx = pool.create(p, &mut file).unwrap();
+            pool.buf_mut(idx)[0] = p as u8;
+        }
+        // Capacity 2, three pages created: at least one eviction happened,
+        // and its dirty contents were written back.
+        assert!(pool.stats().evictions >= 1);
+        assert!(pool.stats().writebacks >= 1);
+        let idx = pool.get(1, &mut file).unwrap();
+        assert_eq!(pool.buf(idx)[0], 1, "evicted page re-read intact");
+    }
+
+    #[test]
+    fn pinned_frames_survive_eviction_pressure() {
+        let mut file = scratch_file("pins");
+        let mut pool = BufferPool::new(2);
+        let idx1 = pool.create(1, &mut file).unwrap();
+        pool.buf_mut(idx1)[0] = 11;
+        pool.pin(idx1);
+        // Fault many other pages through the second frame.
+        for p in 2..=6u32 {
+            pool.create(p, &mut file).unwrap();
+        }
+        assert!(pool.is_resident(1), "pinned page was never evicted");
+        assert_eq!(pool.buf(idx1)[0], 11);
+        pool.unpin(idx1);
+    }
+
+    #[test]
+    fn all_pinned_is_an_error_not_a_panic() {
+        let mut file = scratch_file("allpinned");
+        let mut pool = BufferPool::new(2);
+        let a = pool.create(1, &mut file).unwrap();
+        let b = pool.create(2, &mut file).unwrap();
+        pool.pin(a);
+        pool.pin(b);
+        assert!(matches!(pool.create(3, &mut file), Err(ModelError::Io(_))));
+        pool.unpin(a);
+        assert!(
+            pool.create(3, &mut file).is_ok(),
+            "an unpinned frame frees up"
+        );
+        pool.unpin(b);
+    }
+
+    #[test]
+    fn flush_clears_dirt() {
+        let mut file = scratch_file("flush");
+        let mut pool = BufferPool::new(2);
+        let idx = pool.create(1, &mut file).unwrap();
+        pool.buf_mut(idx)[5] = 9;
+        pool.flush(&mut file).unwrap();
+        let w = pool.stats().writebacks;
+        pool.flush(&mut file).unwrap();
+        assert_eq!(
+            pool.stats().writebacks,
+            w,
+            "second flush had nothing to write"
+        );
+        let mut back = vec![0u8; PAGE_SIZE];
+        file.read_page(1, &mut back).unwrap();
+        assert_eq!(back[5], 9);
+    }
+}

@@ -1,0 +1,677 @@
+//! The paged database file and the store façade over it.
+//!
+//! One database is one file. Page 0 is the header (magic, page size, the
+//! allocation watermark, and a pointer to the current catalog chain);
+//! every other page is a [data or overflow](super::page) page reached
+//! through the [`BufferPool`]. Tables occupy *extents* — ordered lists of
+//! data pages, each knowing how many rows it holds — so a scan cursor can
+//! map a row offset to a page without touching earlier pages.
+//!
+//! # Durability rules
+//!
+//! * Data and catalog pages are written through the pool; eviction and
+//!   [`BufferPool::flush`] perform the actual file writes.
+//! * A catalog update ([`Pager::write_catalog`]) is the commit point: all
+//!   dirty pages are flushed and synced **before** the header is
+//!   rewritten to point at the new catalog chain, then the header is
+//!   synced. A crash between the two leaves the previous catalog intact —
+//!   readers see the old state, never a torn one.
+//! * Replaced tables leak their old pages inside the file (there is no
+//!   free list); the space is reclaimed by copying the database
+//!   (re-registering into a fresh file).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use tmql_model::{ModelError, Record, Result};
+
+use super::image::{decode_catalog, encode_catalog, CatalogImage};
+use super::page::{self, PageId, NO_PAGE, OVF_CAPACITY, PAGE_SIZE};
+use super::pool::{BufferPool, PoolStats};
+use crate::spill::{decode_record, encode_record};
+
+/// Default buffer-pool capacity in pages (2 MiB at the 8 KiB page size).
+pub const DEFAULT_POOL_PAGES: usize = 256;
+
+const MAGIC: [u8; 4] = *b"TMQB";
+const VERSION: u16 = 1;
+
+fn io_err(e: std::io::Error) -> ModelError {
+    ModelError::Io(e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// The file
+// ---------------------------------------------------------------------------
+
+/// Raw page-granular I/O over the database file.
+#[derive(Debug)]
+pub struct PagedFile {
+    file: File,
+}
+
+impl PagedFile {
+    /// Create (truncating) a database file.
+    pub fn create(path: &Path) -> Result<PagedFile> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(io_err)?;
+        Ok(PagedFile { file })
+    }
+
+    /// Open an existing database file.
+    pub fn open(path: &Path) -> Result<PagedFile> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(io_err)?;
+        Ok(PagedFile { file })
+    }
+
+    /// Read page `pid` into `buf` (exactly one page).
+    pub fn read_page(&mut self, pid: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        self.file
+            .seek(SeekFrom::Start(pid as u64 * PAGE_SIZE as u64))
+            .map_err(io_err)?;
+        self.file.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                ModelError::Io(format!("truncated database file: page {pid} is missing"))
+            } else {
+                io_err(e)
+            }
+        })
+    }
+
+    /// Write page `pid` from `buf`.
+    pub fn write_page(&mut self, pid: PageId, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        self.file
+            .seek(SeekFrom::Start(pid as u64 * PAGE_SIZE as u64))
+            .map_err(io_err)?;
+        self.file.write_all(buf).map_err(io_err)
+    }
+
+    /// Force everything to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_all().map_err(io_err)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Header / meta
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    /// Next unallocated page id (page 0 is the header).
+    next_page: PageId,
+    /// First page of the current catalog chain ([`NO_PAGE`] when empty).
+    catalog_first: PageId,
+    /// Byte length of the current catalog blob.
+    catalog_len: u64,
+}
+
+impl Meta {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[..4].copy_from_slice(&MAGIC);
+        buf[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        buf[6..10].copy_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+        buf[10..14].copy_from_slice(&self.next_page.to_le_bytes());
+        buf[14..18].copy_from_slice(&self.catalog_first.to_le_bytes());
+        buf[18..26].copy_from_slice(&self.catalog_len.to_le_bytes());
+        buf
+    }
+
+    fn decode(buf: &[u8]) -> Result<Meta> {
+        if buf[..4] != MAGIC {
+            return Err(ModelError::Io(
+                "not a tmql database file (bad magic)".into(),
+            ));
+        }
+        let version = u16::from_le_bytes([buf[4], buf[5]]);
+        if version != VERSION {
+            return Err(ModelError::Io(format!(
+                "unsupported database format version {version} (this build reads {VERSION})"
+            )));
+        }
+        let page_size = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes"));
+        if page_size as usize != PAGE_SIZE {
+            return Err(ModelError::Io(format!(
+                "database page size {page_size} does not match this build's {PAGE_SIZE}"
+            )));
+        }
+        Ok(Meta {
+            next_page: u32::from_le_bytes(buf[10..14].try_into().expect("4 bytes")),
+            catalog_first: u32::from_le_bytes(buf[14..18].try_into().expect("4 bytes")),
+            catalog_len: u64::from_le_bytes(buf[18..26].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extents
+// ---------------------------------------------------------------------------
+
+/// The on-disk footprint of one table: its data pages in scan order, each
+/// with its row count (overflow chains hang off individual slots and are
+/// not listed here).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TableExtent {
+    /// `(page id, rows in page)` in scan order.
+    pub pages: Vec<(PageId, u16)>,
+    /// Total rows across all pages.
+    pub rows: u64,
+}
+
+impl TableExtent {
+    /// The extent's data page ids in scan order.
+    pub fn page_ids(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.pages.iter().map(|(p, _)| *p)
+    }
+
+    /// Number of data pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// In-progress table write (see [`Pager::append_row`]).
+#[derive(Debug, Default)]
+struct TableBuild {
+    pages: Vec<(PageId, u16)>,
+    cur: PageId,
+    rows_in_cur: u16,
+    rows: u64,
+}
+
+// ---------------------------------------------------------------------------
+// The pager
+// ---------------------------------------------------------------------------
+
+/// Single-threaded core of the store: the file, the pool, and the header.
+#[derive(Debug)]
+pub struct Pager {
+    file: PagedFile,
+    pool: BufferPool,
+    meta: Meta,
+}
+
+impl Pager {
+    fn create(path: &Path, pool_pages: usize) -> Result<Pager> {
+        let mut file = PagedFile::create(path)?;
+        let meta = Meta {
+            next_page: 1,
+            catalog_first: NO_PAGE,
+            catalog_len: 0,
+        };
+        file.write_page(0, &meta.encode())?;
+        file.sync()?;
+        Ok(Pager {
+            file,
+            pool: BufferPool::new(pool_pages),
+            meta,
+        })
+    }
+
+    fn open(path: &Path, pool_pages: usize) -> Result<Pager> {
+        let mut file = PagedFile::open(path)?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        file.read_page(0, &mut buf)?;
+        let meta = Meta::decode(&buf)?;
+        Ok(Pager {
+            file,
+            pool: BufferPool::new(pool_pages),
+            meta,
+        })
+    }
+
+    fn alloc(&mut self) -> PageId {
+        let pid = self.meta.next_page;
+        self.meta.next_page += 1;
+        pid
+    }
+
+    /// Append one encoded record to an in-progress table build.
+    fn append_row(&mut self, build: &mut TableBuild, rec: &Record) -> Result<()> {
+        let bytes = encode_record(rec);
+        if build.cur == NO_PAGE {
+            self.start_data_page(build)?;
+        }
+        if bytes.len() <= page::MAX_INLINE {
+            let idx = self.pool.get(build.cur, &mut self.file)?;
+            if !page::fits_inline(self.pool.buf(idx), bytes.len()) {
+                self.seal_data_page(build);
+                self.start_data_page(build)?;
+            }
+            let idx = self.pool.get(build.cur, &mut self.file)?;
+            page::push_inline(self.pool.buf_mut(idx), &bytes);
+        } else {
+            // Oversized record: spill its bytes into an overflow chain,
+            // then reference the chain from the data page.
+            let chunks: Vec<&[u8]> = bytes.chunks(OVF_CAPACITY).collect();
+            let ids: Vec<PageId> = chunks.iter().map(|_| self.alloc()).collect();
+            for (i, chunk) in chunks.iter().enumerate() {
+                let next = ids.get(i + 1).copied().unwrap_or(NO_PAGE);
+                let idx = self.pool.create(ids[i], &mut self.file)?;
+                page::init_overflow(self.pool.buf_mut(idx), next, chunk);
+            }
+            let idx = self.pool.get(build.cur, &mut self.file)?;
+            if !page::fits_overflow_ref(self.pool.buf(idx)) {
+                self.seal_data_page(build);
+                self.start_data_page(build)?;
+            }
+            let idx = self.pool.get(build.cur, &mut self.file)?;
+            page::push_overflow_ref(self.pool.buf_mut(idx), ids[0], bytes.len() as u32);
+        }
+        build.rows_in_cur += 1;
+        build.rows += 1;
+        Ok(())
+    }
+
+    fn start_data_page(&mut self, build: &mut TableBuild) -> Result<()> {
+        let pid = self.alloc();
+        let idx = self.pool.create(pid, &mut self.file)?;
+        page::init_data(self.pool.buf_mut(idx));
+        build.cur = pid;
+        build.rows_in_cur = 0;
+        Ok(())
+    }
+
+    fn seal_data_page(&mut self, build: &mut TableBuild) {
+        if build.cur != NO_PAGE {
+            build.pages.push((build.cur, build.rows_in_cur));
+            build.cur = NO_PAGE;
+            build.rows_in_cur = 0;
+        }
+    }
+
+    /// Write a whole table and return its extent.
+    pub fn write_table(&mut self, rows: &[Record]) -> Result<TableExtent> {
+        let mut build = TableBuild::default();
+        for rec in rows {
+            self.append_row(&mut build, rec)?;
+        }
+        let rows = build.rows;
+        self.seal_data_page(&mut build);
+        Ok(TableExtent {
+            pages: build.pages,
+            rows,
+        })
+    }
+
+    /// Assemble the full bytes of an overflow chain starting at `first`.
+    fn read_chain(&mut self, first: PageId, total: u32) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(total as usize);
+        let mut pid = first;
+        // A well-formed chain of `total` bytes spans at most this many
+        // pages; anything longer (including zero-length-chunk cycles,
+        // which never grow `out`) is corruption, not progress.
+        let mut pages_left = total as usize / OVF_CAPACITY + 2;
+        while pid != NO_PAGE {
+            if out.len() > total as usize || pages_left == 0 {
+                return Err(ModelError::Io(
+                    "corrupted page: overflow chain too long".into(),
+                ));
+            }
+            pages_left -= 1;
+            let idx = self.pool.get(pid, &mut self.file)?;
+            self.pool.pin(idx);
+            let res = (|| -> Result<PageId> {
+                let buf = self.pool.buf(idx);
+                out.extend_from_slice(page::ovf_data(buf)?);
+                page::ovf_next(buf)
+            })();
+            self.pool.unpin(idx);
+            pid = res?;
+        }
+        if out.len() != total as usize {
+            return Err(ModelError::Io(format!(
+                "corrupted page: overflow chain holds {} bytes, expected {total}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Read up to `n` decoded rows starting at row offset `start`.
+    pub fn read_rows(
+        &mut self,
+        extent: &TableExtent,
+        start: usize,
+        n: usize,
+    ) -> Result<Vec<Record>> {
+        let mut out = Vec::with_capacity(n.min(extent.rows as usize));
+        let mut skip = start;
+        for &(pid, rows_in_page) in &extent.pages {
+            let rows_in_page = rows_in_page as usize;
+            if skip >= rows_in_page {
+                skip -= rows_in_page;
+                continue;
+            }
+            if out.len() >= n {
+                break;
+            }
+            // Copy the needed slots out under a pin, then resolve overflow
+            // chains (which fault other pages) with the pin released.
+            enum Slot {
+                Inline(Vec<u8>),
+                Chain(PageId, u32),
+            }
+            let idx = self.pool.get(pid, &mut self.file)?;
+            self.pool.pin(idx);
+            let copied = (|| -> Result<Vec<Slot>> {
+                let buf = self.pool.buf(idx);
+                if page::kind(buf) != page::KIND_DATA || page::slot_count(buf) != rows_in_page {
+                    return Err(ModelError::Io(format!(
+                        "corrupted page: data page {pid} does not match the catalog extent"
+                    )));
+                }
+                let take = (rows_in_page - skip).min(n - out.len());
+                (skip..skip + take)
+                    .map(|i| {
+                        Ok(match page::slot(buf, i)? {
+                            page::SlotRef::Inline(b) => Slot::Inline(b.to_vec()),
+                            page::SlotRef::Overflow { first, total } => Slot::Chain(first, total),
+                        })
+                    })
+                    .collect()
+            })();
+            self.pool.unpin(idx);
+            for slot in copied? {
+                let rec = match slot {
+                    Slot::Inline(bytes) => decode_record(&bytes)?,
+                    Slot::Chain(first, total) => decode_record(&self.read_chain(first, total)?)?,
+                };
+                out.push(rec);
+            }
+            skip = 0;
+        }
+        Ok(out)
+    }
+
+    /// Persist a new catalog blob: write its chain, flush everything, then
+    /// commit by rewriting the header (see the module's durability rules).
+    pub fn write_catalog(&mut self, blob: &[u8]) -> Result<()> {
+        let mut first = NO_PAGE;
+        if !blob.is_empty() {
+            let chunks: Vec<&[u8]> = blob.chunks(OVF_CAPACITY).collect();
+            let ids: Vec<PageId> = chunks.iter().map(|_| self.alloc()).collect();
+            for (i, chunk) in chunks.iter().enumerate() {
+                let next = ids.get(i + 1).copied().unwrap_or(NO_PAGE);
+                let idx = self.pool.create(ids[i], &mut self.file)?;
+                page::init_overflow(self.pool.buf_mut(idx), next, chunk);
+            }
+            first = ids[0];
+        }
+        self.pool.flush(&mut self.file)?;
+        self.file.sync()?;
+        self.meta.catalog_first = first;
+        self.meta.catalog_len = blob.len() as u64;
+        self.file.write_page(0, &self.meta.encode())?;
+        self.file.sync()
+    }
+
+    /// Read the current catalog blob ([`None`] when the database is empty).
+    pub fn read_catalog(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.meta.catalog_first == NO_PAGE {
+            return Ok(None);
+        }
+        self.read_chain(self.meta.catalog_first, self.meta.catalog_len as u32)
+            .map(Some)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The thread-safe store façade
+// ---------------------------------------------------------------------------
+
+/// A shared handle to one paged database: the file, its buffer pool, and
+/// its header, behind a mutex. Cloned freely via `Arc` — every
+/// disk-backed [`crate::Table`] of a database holds one.
+#[derive(Debug)]
+pub struct PagedStore {
+    inner: Mutex<Pager>,
+    path: PathBuf,
+}
+
+impl PagedStore {
+    /// Create a fresh database file.
+    pub fn create(path: impl AsRef<Path>, pool_pages: usize) -> Result<Arc<PagedStore>> {
+        let path = path.as_ref().to_path_buf();
+        let pager = Pager::create(&path, pool_pages)?;
+        Ok(Arc::new(PagedStore {
+            inner: Mutex::new(pager),
+            path,
+        }))
+    }
+
+    /// Open an existing database file and decode its persisted catalog.
+    pub fn open(
+        path: impl AsRef<Path>,
+        pool_pages: usize,
+    ) -> Result<(Arc<PagedStore>, CatalogImage)> {
+        let path = path.as_ref().to_path_buf();
+        let mut pager = Pager::open(&path, pool_pages)?;
+        let image = match pager.read_catalog()? {
+            Some(blob) => decode_catalog(&blob)?,
+            None => CatalogImage::default(),
+        };
+        Ok((
+            Arc::new(PagedStore {
+                inner: Mutex::new(pager),
+                path,
+            }),
+            image,
+        ))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Pager> {
+        // A panic while holding the lock leaves no torn in-memory state we
+        // could not keep using (the header commit protocol guards the
+        // file), so recover from poisoning instead of propagating it.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The database file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Write a table's rows, returning its extent.
+    pub fn write_table(&self, rows: &[Record]) -> Result<TableExtent> {
+        self.lock().write_table(rows)
+    }
+
+    /// Read up to `n` rows of `extent` starting at row offset `start`.
+    pub fn read_rows(&self, extent: &TableExtent, start: usize, n: usize) -> Result<Vec<Record>> {
+        self.lock().read_rows(extent, start, n)
+    }
+
+    /// Persist the catalog image (the commit point of register/replace).
+    pub fn save_catalog(&self, image: &CatalogImage) -> Result<()> {
+        self.lock().write_catalog(&encode_catalog(image))
+    }
+
+    /// Cumulative buffer-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.lock().pool.stats()
+    }
+
+    /// Buffer-pool capacity in pages.
+    pub fn pool_pages(&self) -> usize {
+        self.lock().pool.capacity()
+    }
+
+    /// How many of the extent's data pages are currently resident — the
+    /// cost model's input for pricing a cold vs. warm scan.
+    pub fn resident_pages(&self, extent: &TableExtent) -> usize {
+        self.lock().pool.resident_among(extent.page_ids())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmql_model::Value;
+
+    fn scratch(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "tmql-store-test-{}-{name}.tmdb",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn int_rows(n: i64) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                Record::new([
+                    ("a".to_string(), Value::Int(i)),
+                    ("b".to_string(), Value::Int(i % 7)),
+                ])
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_and_read_rows_across_pages() {
+        let path = scratch("rw");
+        let store = PagedStore::create(&path, 4).unwrap();
+        let rows = int_rows(2000);
+        let extent = store.write_table(&rows).unwrap();
+        assert_eq!(extent.rows, 2000);
+        assert!(extent.page_count() > 1, "2000 rows span multiple pages");
+        // Sequential cursor reads reassemble the exact row sequence.
+        let mut got = Vec::new();
+        let mut pos = 0;
+        loop {
+            let batch = store.read_rows(&extent, pos, 300).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            pos += batch.len();
+            got.extend(batch);
+        }
+        assert_eq!(got, rows);
+        // Random-access batch in the middle.
+        assert_eq!(store.read_rows(&extent, 1500, 5).unwrap(), rows[1500..1505]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversized_records_take_overflow_chains() {
+        let path = scratch("ovf");
+        let store = PagedStore::create(&path, 4).unwrap();
+        // A record whose encoding far exceeds one page.
+        let big = Record::new([(
+            "s".to_string(),
+            Value::Str(std::sync::Arc::from("x".repeat(3 * PAGE_SIZE))),
+        )])
+        .unwrap();
+        let small = Record::new([("s".to_string(), Value::str("tiny"))]).unwrap();
+        let rows = vec![small.clone(), big.clone(), small.clone()];
+        let extent = store.write_table(&rows).unwrap();
+        assert_eq!(store.read_rows(&extent, 0, 10).unwrap(), rows);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn catalog_blob_round_trips_through_reopen() {
+        let path = scratch("cat");
+        {
+            let store = PagedStore::create(&path, 4).unwrap();
+            store
+                .lock()
+                .write_catalog(&vec![9u8; 3 * OVF_CAPACITY + 17])
+                .unwrap();
+        }
+        let mut pager = Pager::open(&path, 4).unwrap();
+        let blob = pager.read_catalog().unwrap().expect("catalog present");
+        assert_eq!(blob.len(), 3 * OVF_CAPACITY + 17);
+        assert!(blob.iter().all(|&b| b == 9));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cyclic_overflow_chain_errors_instead_of_hanging() {
+        // Hand-craft a database whose catalog chain is a self-referential
+        // overflow page with a zero-length chunk: the byte count never
+        // grows, so only the page bound can stop the walk.
+        let path = scratch("cycle");
+        {
+            let mut pager = Pager::create(&path, 4).unwrap();
+            let mut buf = vec![0u8; PAGE_SIZE];
+            page::init_overflow(&mut buf, 1, b""); // page 1 → page 1, 0 bytes
+            pager.file.write_page(1, &buf).unwrap();
+            pager.meta.next_page = 2;
+            pager.meta.catalog_first = 1;
+            pager.meta.catalog_len = 64;
+            pager.file.write_page(0, &pager.meta.encode()).unwrap();
+            pager.file.sync().unwrap();
+        }
+        let mut pager = Pager::open(&path, 4).unwrap();
+        let err = pager.read_catalog().unwrap_err();
+        assert!(matches!(err, ModelError::Io(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_rejects_non_database_files() {
+        let path = scratch("magic");
+        std::fs::write(&path, vec![0u8; 2 * PAGE_SIZE]).unwrap();
+        assert!(matches!(Pager::open(&path, 4), Err(ModelError::Io(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_file_reads_error_not_panic() {
+        let path = scratch("trunc");
+        let extent;
+        {
+            let store = PagedStore::create(&path, 4).unwrap();
+            extent = store.write_table(&int_rows(1000)).unwrap();
+            store.lock().write_catalog(b"x").unwrap(); // flush + sync everything
+        }
+        // Chop the file after the header: every data page is gone.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(PAGE_SIZE as u64).unwrap();
+        drop(f);
+        let store2 = PagedStore {
+            inner: Mutex::new(Pager::open(&path, 4).unwrap()),
+            path: path.clone(),
+        };
+        let err = store2.read_rows(&extent, 0, 10).unwrap_err();
+        assert!(matches!(err, ModelError::Io(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pool_stats_reflect_scan_temperature() {
+        let path = scratch("temp");
+        let store = PagedStore::create(&path, 64).unwrap();
+        let extent = store.write_table(&int_rows(2000)).unwrap();
+        let before = store.pool_stats();
+        let _ = store.read_rows(&extent, 0, 2000).unwrap();
+        let warm = store.pool_stats();
+        assert_eq!(
+            warm.misses, before.misses,
+            "freshly written pages are resident"
+        );
+        assert!(warm.hits > before.hits);
+        assert_eq!(store.resident_pages(&extent), extent.page_count());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -130,9 +130,13 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end = self.pos.checked_add(n).filter(|e| *e <= self.buf.len()).ok_or_else(|| {
-            ModelError::Io(format!("spill decode: truncated payload (want {n} bytes)"))
-        })?;
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|e| *e <= self.buf.len())
+            .ok_or_else(|| {
+                ModelError::Io(format!("spill decode: truncated payload (want {n} bytes)"))
+            })?;
         let s = &self.buf[self.pos..end];
         self.pos = end;
         Ok(s)
@@ -143,11 +147,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn str(&mut self) -> Result<&'a str> {
@@ -186,7 +194,9 @@ impl<'a> Cursor<'a> {
                 Value::Variant(label, Box::new(self.value()?))
             }
             other => {
-                return Err(ModelError::Io(format!("spill decode: unknown value tag {other}")))
+                return Err(ModelError::Io(format!(
+                    "spill decode: unknown value tag {other}"
+                )))
             }
         })
     }
@@ -203,10 +213,26 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Decode one value from the front of a payload (the inverse of
+/// [`encode_value`]), returning the value and the number of bytes
+/// consumed. The pager's catalog image uses this for statistics min/max
+/// values embedded in a larger blob.
+pub fn decode_value(payload: &[u8]) -> Result<(Value, usize)> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let v = c.value()?;
+    Ok((v, c.pos))
+}
+
 /// Decode one record from an encoded payload (the inverse of
 /// [`encode_record`]). Fails on truncated or malformed bytes.
 pub fn decode_record(payload: &[u8]) -> Result<Record> {
-    let mut c = Cursor { buf: payload, pos: 0 };
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
     let rec = c.record()?;
     if c.pos != payload.len() {
         return Err(ModelError::Io(format!(
@@ -236,10 +262,12 @@ impl SpillDir {
     /// Create a fresh, uniquely named spill directory.
     pub fn create() -> Result<SpillDir> {
         let unique = SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir()
-            .join(format!("tmql-spill-{}-{unique}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("tmql-spill-{}-{unique}", std::process::id()));
         fs::create_dir_all(&path).map_err(io_err)?;
-        Ok(SpillDir { path, run_seq: AtomicU64::new(0) })
+        Ok(SpillDir {
+            path,
+            run_seq: AtomicU64::new(0),
+        })
     }
 
     /// The directory path (for diagnostics).
@@ -252,7 +280,11 @@ impl SpillDir {
         let n = self.run_seq.fetch_add(1, Ordering::Relaxed);
         let path = self.path.join(format!("run-{n}.spill"));
         let file = File::create(&path).map_err(io_err)?;
-        Ok(RunWriter { out: BufWriter::new(file), path, rows: 0 })
+        Ok(RunWriter {
+            out: BufWriter::new(file),
+            path,
+            rows: 0,
+        })
     }
 }
 
@@ -300,7 +332,10 @@ impl RunWriter {
     /// Flush and seal the run.
     pub fn finish(mut self) -> Result<SpillFile> {
         self.out.flush().map_err(io_err)?;
-        Ok(SpillFile { path: self.path, rows: self.rows })
+        Ok(SpillFile {
+            path: self.path,
+            rows: self.rows,
+        })
     }
 }
 
@@ -325,7 +360,10 @@ impl SpillFile {
     /// Open the run for a fresh sequential read.
     pub fn reader(&self) -> Result<RunReader> {
         let file = File::open(&self.path).map_err(io_err)?;
-        Ok(RunReader { input: BufReader::new(file), remaining: self.rows })
+        Ok(RunReader {
+            input: BufReader::new(file),
+            remaining: self.rows,
+        })
     }
 }
 
@@ -391,11 +429,17 @@ mod tests {
             Record::new([("a".to_string(), Value::Int(1)), ("b".to_string(), nested)]).unwrap(),
             Record::new([
                 ("a".to_string(), Value::Float(f64::NAN)),
-                ("b".to_string(), Value::List(vec![Value::Bool(true), Value::Null])),
+                (
+                    "b".to_string(),
+                    Value::List(vec![Value::Bool(true), Value::Null]),
+                ),
             ])
             .unwrap(),
             Record::new([
-                ("a".to_string(), Value::Variant(Arc::from("left"), Box::new(Value::Int(7)))),
+                (
+                    "a".to_string(),
+                    Value::Variant(Arc::from("left"), Box::new(Value::Int(7))),
+                ),
                 ("b".to_string(), Value::empty_set()),
             ])
             .unwrap(),

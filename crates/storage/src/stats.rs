@@ -17,7 +17,9 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use tmql_model::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tmql_model::{Record, Result, Value};
 
 use crate::table::Table;
 
@@ -26,6 +28,17 @@ use crate::table::Table;
 /// 16 buckets bound the estimation error well below the cost gaps the
 /// optimizer has to rank.
 pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// Above this many rows, [`StatsBuilder`] switches from an exact full
+/// pass to **reservoir sampling**: per-row work becomes an O(1) reservoir
+/// update instead of distinct-set maintenance and numeric collection, and
+/// the finished statistics are estimated from a uniform
+/// [`STATS_SAMPLE_SIZE`]-row sample (row count and min/max stay exact).
+pub const STATS_SAMPLE_THRESHOLD: usize = 8192;
+
+/// Reservoir capacity of the sampled statistics pass (Vitter's
+/// Algorithm R over the registration stream, deterministic seed).
+pub const STATS_SAMPLE_SIZE: usize = 2048;
 
 /// An equi-width histogram over the numeric values of one column
 /// (`Int` and `Float` values; everything else is ignored).
@@ -55,7 +68,12 @@ impl Histogram {
             let idx = (((v - lo) / width) * HISTOGRAM_BUCKETS as f64) as usize;
             counts[idx.min(HISTOGRAM_BUCKETS - 1)] += 1;
         }
-        Some(Histogram { lo, hi, counts, total: values.len() as u64 })
+        Some(Histogram {
+            lo,
+            hi,
+            counts,
+            total: values.len() as u64,
+        })
     }
 
     /// Estimated fraction of values strictly below `v` (linear
@@ -183,30 +201,129 @@ impl ColumnAcc {
     }
 }
 
+/// Estimate a column's distinct count from a uniform sample of
+/// `sample_n` rows out of `total` (Chao1 with the standard bias-corrected
+/// fallback). `freq_once`/`freq_twice` count sample values seen exactly
+/// once / exactly twice. An all-distinct sample reads as a key column.
+fn estimate_distinct(
+    d_sample: usize,
+    freq_once: usize,
+    freq_twice: usize,
+    sample_n: usize,
+    total: usize,
+) -> usize {
+    if total <= sample_n || d_sample == 0 {
+        return d_sample;
+    }
+    if d_sample == sample_n {
+        // Every sampled value was unique: a key-like column.
+        return total;
+    }
+    let d = d_sample as f64;
+    let f1 = freq_once as f64;
+    let est = if freq_twice > 0 {
+        d + (f1 * f1) / (2.0 * freq_twice as f64)
+    } else {
+        d + (f1 * (f1 - 1.0)) / 2.0
+    };
+    (est.round() as usize).clamp(d_sample, total)
+}
+
 /// Incremental statistics builder: feed rows one at a time, then
 /// [`StatsBuilder::finish`]. [`TableStats::compute`] is the whole-table
 /// convenience wrapper used by catalog registration.
+///
+/// Up to [`STATS_SAMPLE_THRESHOLD`] rows the pass is exact (identical to
+/// the pre-sampling behavior). Past the threshold the exact accumulators
+/// are dropped and the statistics are estimated from a uniform reservoir
+/// of [`STATS_SAMPLE_SIZE`] rows: fractions, fan-outs, and histograms
+/// come straight from the sample; distinct counts through
+/// a Chao1 estimator; the row count and per-column min/max stay
+/// exact (they are O(1) to maintain). [`StatsBuilder::exact`] disables
+/// sampling for callers that need the full pass regardless of size
+/// (differential tests pin the sampled estimates against it).
 #[derive(Debug)]
 pub struct StatsBuilder {
     rows: usize,
-    columns: Vec<(String, ColumnAcc)>,
+    names: Vec<String>,
+    /// Exact accumulators, dropped once `rows` passes `threshold`.
+    exact: Option<Vec<ColumnAcc>>,
+    /// Exact running (min, max) per column, kept in both modes.
+    extremes: Vec<(Option<Value>, Option<Value>)>,
+    reservoir: Vec<Record>,
+    rng: StdRng,
+    threshold: usize,
 }
 
 impl StatsBuilder {
-    /// A builder for the given column names.
+    /// A builder for the given column names (sampling past
+    /// [`STATS_SAMPLE_THRESHOLD`] rows).
     pub fn new<'a>(columns: impl IntoIterator<Item = &'a str>) -> StatsBuilder {
+        StatsBuilder::with_threshold(columns, STATS_SAMPLE_THRESHOLD)
+    }
+
+    /// A builder that never samples — the exact full pass at any size.
+    pub fn exact<'a>(columns: impl IntoIterator<Item = &'a str>) -> StatsBuilder {
+        StatsBuilder::with_threshold(columns, usize::MAX)
+    }
+
+    fn with_threshold<'a>(
+        columns: impl IntoIterator<Item = &'a str>,
+        threshold: usize,
+    ) -> StatsBuilder {
+        let names: Vec<String> = columns.into_iter().map(str::to_string).collect();
         StatsBuilder {
             rows: 0,
-            columns: columns.into_iter().map(|c| (c.to_string(), ColumnAcc::default())).collect(),
+            exact: Some(names.iter().map(|_| ColumnAcc::default()).collect()),
+            extremes: names.iter().map(|_| (None, None)).collect(),
+            names,
+            reservoir: Vec::new(),
+            // Deterministic: registering the same table twice yields the
+            // same statistics.
+            rng: StdRng::seed_from_u64(0x7153_7461_7473),
+            threshold,
         }
     }
 
     /// Observe one row (missing fields are simply not counted).
-    pub fn observe(&mut self, row: &tmql_model::Record) {
+    pub fn observe(&mut self, row: &Record) {
         self.rows += 1;
-        for (name, acc) in &mut self.columns {
+        for (i, name) in self.names.iter().enumerate() {
             if let Ok(v) = row.get(name) {
-                acc.observe(v);
+                let (min, max) = &mut self.extremes[i];
+                if min.as_ref().map_or(true, |m| v < m) {
+                    *min = Some(v.clone());
+                }
+                if max.as_ref().map_or(true, |m| v > m) {
+                    *max = Some(v.clone());
+                }
+            }
+        }
+        if self.rows <= self.threshold {
+            let accs = self
+                .exact
+                .as_mut()
+                .expect("exact accumulators live below threshold");
+            for (i, name) in self.names.iter().enumerate() {
+                if let Ok(v) = row.get(name) {
+                    accs[i].observe(v);
+                }
+            }
+        } else {
+            // Past the threshold the exact pass is abandoned for good.
+            self.exact = None;
+        }
+        if self.threshold == usize::MAX {
+            return; // exact-only builder: no reservoir bookkeeping
+        }
+        // Algorithm R: every row ends up in the reservoir with
+        // probability STATS_SAMPLE_SIZE / rows.
+        if self.reservoir.len() < STATS_SAMPLE_SIZE {
+            self.reservoir.push(row.clone());
+        } else {
+            let j = self.rng.gen_range(0..self.rows);
+            if j < STATS_SAMPLE_SIZE {
+                self.reservoir[j] = row.clone();
             }
         }
     }
@@ -214,9 +331,43 @@ impl StatsBuilder {
     /// Finish into per-table statistics.
     pub fn finish(self) -> TableStats {
         let rows = self.rows;
+        if let Some(accs) = self.exact {
+            // Exact path: identical to the pre-sampling behavior.
+            return TableStats {
+                cardinality: rows,
+                columns: self
+                    .names
+                    .into_iter()
+                    .zip(accs)
+                    .map(|(n, acc)| (n, acc.finish(rows)))
+                    .collect(),
+            };
+        }
+        // Sampled path: rebuild accumulators over the reservoir, then
+        // correct what sampling biases (distinct counts, min/max).
+        let sample_n = self.reservoir.len();
+        let mut columns = BTreeMap::new();
+        for (i, name) in self.names.iter().enumerate() {
+            let mut acc = ColumnAcc::default();
+            let mut freq: BTreeMap<&Value, usize> = BTreeMap::new();
+            for row in &self.reservoir {
+                if let Ok(v) = row.get(name) {
+                    acc.observe(v);
+                    *freq.entry(v).or_default() += 1;
+                }
+            }
+            let f1 = freq.values().filter(|&&c| c == 1).count();
+            let f2 = freq.values().filter(|&&c| c == 2).count();
+            let mut cs = acc.finish(sample_n);
+            cs.distinct = estimate_distinct(freq.len(), f1, f2, sample_n, rows);
+            let (min, max) = self.extremes[i].clone();
+            cs.min = min;
+            cs.max = max;
+            columns.insert(name.clone(), cs);
+        }
         TableStats {
             cardinality: rows,
-            columns: self.columns.into_iter().map(|(n, acc)| (n, acc.finish(rows))).collect(),
+            columns,
         }
     }
 }
@@ -231,13 +382,37 @@ pub struct TableStats {
 }
 
 impl TableStats {
-    /// Compute statistics in a single incremental pass over the table.
+    /// Compute statistics in a single incremental pass over the table
+    /// (sampling past [`STATS_SAMPLE_THRESHOLD`] rows). Infallible for
+    /// in-memory tables; for disk-backed tables a failed page read
+    /// **stops the pass**, yielding statistics over the readable prefix
+    /// only — use [`TableStats::try_compute`] where a scan failure must
+    /// surface instead.
     pub fn compute(table: &Table) -> TableStats {
+        TableStats::try_compute(table).unwrap_or_else(|_| {
+            let mut b = StatsBuilder::new(table.columns().iter().map(|(n, _)| n.as_str()));
+            for batch in table.batches(1024) {
+                let Ok(batch) = batch else { break };
+                batch.iter().for_each(|r| b.observe(r));
+            }
+            b.finish()
+        })
+    }
+
+    /// [`TableStats::compute`] that propagates disk read failures rather
+    /// than truncating the pass (the persistent catalog uses this so a
+    /// corrupted table can never contribute silently-wrong statistics).
+    pub fn try_compute(table: &Table) -> Result<TableStats> {
         let mut b = StatsBuilder::new(table.columns().iter().map(|(n, _)| n.as_str()));
-        for row in table.rows() {
-            b.observe(row);
+        match table.mem_rows() {
+            Some(rows) => rows.iter().for_each(|r| b.observe(r)),
+            None => {
+                for batch in table.batches(1024) {
+                    batch?.iter().for_each(|r| b.observe(r));
+                }
+            }
         }
-        b.finish()
+        Ok(b.finish())
     }
 
     /// Per-column stats, `None` for unknown columns.
@@ -304,9 +479,12 @@ mod tests {
             Record::new([("a".to_string(), Value::set([Value::Int(1), Value::Int(2)]))]).unwrap(),
         )
         .unwrap();
-        t.insert(Record::new([("a".to_string(), Value::set([Value::Int(7)]))]).unwrap()).unwrap();
-        t.insert(Record::new([("a".to_string(), Value::empty_set())]).unwrap()).unwrap();
-        t.insert(Record::new([("a".to_string(), Value::Int(1))]).unwrap()).unwrap();
+        t.insert(Record::new([("a".to_string(), Value::set([Value::Int(7)]))]).unwrap())
+            .unwrap();
+        t.insert(Record::new([("a".to_string(), Value::empty_set())]).unwrap())
+            .unwrap();
+        t.insert(Record::new([("a".to_string(), Value::Int(1))]).unwrap())
+            .unwrap();
         let st = TableStats::compute(&t);
         let c = &st.columns["a"];
         assert!((c.set_valued_fraction - 0.75).abs() < 1e-12);
@@ -319,8 +497,10 @@ mod tests {
     #[test]
     fn null_fraction_counted() {
         let mut t = Table::new("N", vec![("a".into(), Ty::Any)]);
-        t.insert(Record::new([("a".to_string(), Value::Null)]).unwrap()).unwrap();
-        t.insert(Record::new([("a".to_string(), Value::Int(3))]).unwrap()).unwrap();
+        t.insert(Record::new([("a".to_string(), Value::Null)]).unwrap())
+            .unwrap();
+        t.insert(Record::new([("a".to_string(), Value::Int(3))]).unwrap())
+            .unwrap();
         let st = TableStats::compute(&t);
         assert!((st.columns["a"].null_fraction - 0.5).abs() < 1e-12);
     }
@@ -347,8 +527,10 @@ mod tests {
         // Two distinct clusters (values 0..=9 and 170..=179, one row
         // each under set semantics): the histogram puts half the mass in
         // the low buckets, so P(< 50) ≈ 0.5 — not the uniform ≈ 0.28.
-        let rows: Vec<Vec<i64>> =
-            (0..10i64).map(|v| vec![v]).chain((170..180).map(|v| vec![v])).collect();
+        let rows: Vec<Vec<i64>> = (0..10i64)
+            .map(|v| vec![v])
+            .chain((170..180).map(|v| vec![v]))
+            .collect();
         let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
         let st = TableStats::compute(&int_table("S", &["a"], &refs));
         let below = st.columns["a"].fraction_lt(50.0).unwrap();
@@ -364,6 +546,84 @@ mod tests {
         assert_eq!(st.columns["a"].min, None);
         assert!(st.columns["a"].histogram.is_none());
         assert_eq!(st.columns["a"].fraction_eq(), None);
+    }
+
+    fn wide_rows(n: i64) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                Record::new([
+                    ("id".to_string(), Value::Int(i)),
+                    ("m".to_string(), Value::Int(i % 64)),
+                ])
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sampling_kicks_in_past_the_threshold() {
+        let n = (STATS_SAMPLE_THRESHOLD * 3) as i64;
+        let mut sampled = StatsBuilder::new(["id", "m"]);
+        let mut exact = StatsBuilder::exact(["id", "m"]);
+        for row in wide_rows(n) {
+            sampled.observe(&row);
+            exact.observe(&row);
+        }
+        let s = sampled.finish();
+        let e = exact.finish();
+        // Row count and extremes are exact in both modes.
+        assert_eq!(s.cardinality, e.cardinality);
+        assert_eq!(s.columns["id"].min, e.columns["id"].min);
+        assert_eq!(s.columns["id"].max, e.columns["id"].max);
+        // Distinct estimates: the key column reads as all-distinct, the
+        // modulo column is saturated in the sample.
+        assert_eq!(s.columns["id"].distinct, n as usize);
+        let q = |est: usize, act: usize| {
+            let (e, a) = (est.max(1) as f64, act.max(1) as f64);
+            (e / a).max(a / e)
+        };
+        assert!(
+            q(s.columns["m"].distinct, 64) <= 1.5,
+            "{}",
+            s.columns["m"].distinct
+        );
+        // Sampled histogram fractions track the exact ones.
+        for probe in [n / 4, n / 2, 3 * n / 4] {
+            let fs = s.columns["id"].fraction_lt(probe as f64).unwrap();
+            let fe = e.columns["id"].fraction_lt(probe as f64).unwrap();
+            assert!(
+                (fs - fe).abs() < 0.05,
+                "probe {probe}: sampled {fs} vs exact {fe}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_tables_keep_the_exact_pass() {
+        let mut sampled = StatsBuilder::new(["id", "m"]);
+        let mut exact = StatsBuilder::exact(["id", "m"]);
+        for row in wide_rows(512) {
+            sampled.observe(&row);
+            exact.observe(&row);
+        }
+        assert_eq!(
+            sampled.finish(),
+            exact.finish(),
+            "below the threshold nothing changes"
+        );
+    }
+
+    #[test]
+    fn distinct_estimator_shapes() {
+        // Saturated sample: estimate equals the sample's distinct count.
+        assert_eq!(estimate_distinct(64, 0, 0, 2048, 100_000), 64);
+        // All-unique sample: key column, estimate the full cardinality.
+        assert_eq!(estimate_distinct(2048, 2048, 0, 2048, 100_000), 100_000);
+        // No sampling happened (sample covers the table): exact.
+        assert_eq!(estimate_distinct(77, 10, 5, 2048, 2000), 77);
+        // Chao1 interior case stays between the sample count and the total.
+        let est = estimate_distinct(1000, 500, 250, 2048, 100_000);
+        assert!((1000..=100_000).contains(&est), "{est}");
     }
 
     #[test]

@@ -1,9 +1,31 @@
-//! Typed in-memory tables with TM set semantics.
+//! Typed tables with TM set semantics, in memory or disk-backed.
+//!
+//! A [`Table`] is an ordered schema plus a duplicate-free set of records.
+//! Two backings share the type:
+//!
+//! * **In-memory** (the default): rows live in a vector, duplicates are
+//!   absorbed on [`Table::insert`], and scans borrow nothing from disk.
+//! * **Disk-backed**: rows live in slotted pages of a
+//!   [`crate::pager::PagedStore`] and stream through its buffer pool;
+//!   the table holds only the store handle and its
+//!   [extent](crate::pager::TableExtent). Disk tables are immutable —
+//!   they are created by registering an in-memory table into a
+//!   persistent [`crate::Catalog`], which writes the rows through the
+//!   pool and records the extent durably.
+//!
+//! The scan API is backing-agnostic: [`Table::batch`] /
+//! [`Table::batches`] return owned row batches (a disk fault can fail,
+//! so both are fallible), which is what the streaming executor's scan
+//! cursor consumes. [`Table::rows`] keeps the zero-copy borrowed
+//! iterator for in-memory tables only.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use tmql_model::{ModelError, Record, Result, Ty, Value};
+
+use crate::pager::{PagedStore, TableExtent};
 
 /// A table: an ordered schema plus a duplicate-free multiset of records.
 ///
@@ -14,17 +36,36 @@ use tmql_model::{ModelError, Record, Result, Ty, Value};
 pub struct Table {
     name: String,
     columns: Vec<(String, Ty)>,
-    rows: Vec<Record>,
-    seen: BTreeSet<Record>,
+    backing: Backing,
+}
+
+#[derive(Debug, Clone)]
+enum Backing {
+    Mem {
+        rows: Vec<Record>,
+        seen: BTreeSet<Record>,
+    },
+    Disk {
+        store: Arc<PagedStore>,
+        extent: Arc<TableExtent>,
+    },
 }
 
 impl Table {
-    /// Create an empty table with the given column schema.
+    /// Create an empty in-memory table with the given column schema.
     pub fn new(name: impl Into<String>, columns: Vec<(String, Ty)>) -> Table {
-        Table { name: name.into(), columns, rows: Vec::new(), seen: BTreeSet::new() }
+        Table {
+            name: name.into(),
+            columns,
+            backing: Backing::Mem {
+                rows: Vec::new(),
+                seen: BTreeSet::new(),
+            },
+        }
     }
 
-    /// Build a table directly from rows, validating each against the schema.
+    /// Build an in-memory table directly from rows, validating each
+    /// against the schema.
     pub fn from_rows(
         name: impl Into<String>,
         columns: Vec<(String, Ty)>,
@@ -35,6 +76,21 @@ impl Table {
             t.insert(r)?;
         }
         Ok(t)
+    }
+
+    /// A disk-backed table over an extent already written to `store`
+    /// (rows were validated and deduplicated before they hit the pages).
+    pub(crate) fn disk(
+        name: impl Into<String>,
+        columns: Vec<(String, Ty)>,
+        store: Arc<PagedStore>,
+        extent: Arc<TableExtent>,
+    ) -> Table {
+        Table {
+            name: name.into(),
+            columns,
+            backing: Backing::Disk { store, extent },
+        }
     }
 
     /// Table name (usually the extension name, e.g. `EMP`).
@@ -54,25 +110,60 @@ impl Table {
 
     /// Number of (distinct) rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.backing {
+            Backing::Mem { rows, .. } => rows.len(),
+            Backing::Disk { extent, .. } => extent.rows as usize,
+        }
     }
 
     /// True iff the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// True iff the rows live in pages of a persistent store.
+    pub fn is_disk_backed(&self) -> bool {
+        matches!(self.backing, Backing::Disk { .. })
+    }
+
+    /// Number of data pages on disk (`None` for in-memory tables) — the
+    /// cost model's unit for pricing cold scans.
+    pub fn page_count(&self) -> Option<usize> {
+        match &self.backing {
+            Backing::Mem { .. } => None,
+            Backing::Disk { extent, .. } => Some(extent.page_count()),
+        }
+    }
+
+    /// The store and extent of a disk-backed table.
+    pub(crate) fn disk_parts(&self) -> Option<(&Arc<PagedStore>, &Arc<TableExtent>)> {
+        match &self.backing {
+            Backing::Mem { .. } => None,
+            Backing::Disk { store, extent } => Some((store, extent)),
+        }
     }
 
     /// Insert a record. Returns `Ok(true)` if the record was new,
     /// `Ok(false)` if it was a duplicate (set semantics: silently absorbed),
-    /// and an error if it does not match the schema.
+    /// and an error if it does not match the schema — or if the table is
+    /// disk-backed (disk tables are immutable; build in memory and
+    /// re-register).
     pub fn insert(&mut self, row: Record) -> Result<bool> {
         self.validate(&row)?;
-        if self.seen.contains(&row) {
-            return Ok(false);
+        match &mut self.backing {
+            Backing::Mem { rows, seen } => {
+                if seen.contains(&row) {
+                    return Ok(false);
+                }
+                seen.insert(row.clone());
+                rows.push(row);
+                Ok(true)
+            }
+            Backing::Disk { .. } => Err(ModelError::SchemaError(format!(
+                "table `{}` is disk-backed and immutable; build a new table and re-register",
+                self.name
+            ))),
         }
-        self.seen.insert(row.clone());
-        self.rows.push(row);
-        Ok(true)
     }
 
     /// Validate a record against the column schema: same label set,
@@ -98,55 +189,137 @@ impl Table {
         Ok(())
     }
 
-    /// Iterate rows in first-insertion order.
+    /// Borrow the in-memory row vector (`None` for disk-backed tables).
+    pub fn mem_rows(&self) -> Option<&[Record]> {
+        match &self.backing {
+            Backing::Mem { rows, .. } => Some(rows),
+            Backing::Disk { .. } => None,
+        }
+    }
+
+    /// Iterate rows in first-insertion order, borrowing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics for disk-backed tables, whose rows cannot be borrowed —
+    /// use [`Table::batches`] or [`Table::rows_vec`] there. Every
+    /// in-engine consumer of disk tables goes through the batch cursor;
+    /// this borrowed form stays for the in-memory construction paths
+    /// (statistics, workload generators, tests).
     pub fn rows(&self) -> impl Iterator<Item = &Record> {
-        self.rows.iter()
+        self.mem_rows()
+            .unwrap_or_else(|| {
+                panic!(
+                    "Table::rows on disk-backed table `{}`; use batches()/rows_vec()",
+                    self.name
+                )
+            })
+            .iter()
     }
 
-    /// Iterate the table as contiguous batches of at most `n` rows (the
-    /// streaming executor's scan granularity — scans borrow one batch at a
-    /// time instead of cloning the whole extension up front).
-    pub fn batches(&self, n: usize) -> impl Iterator<Item = &[Record]> {
-        self.rows.chunks(n.max(1))
+    /// All rows, materialized (disk tables stream through the buffer
+    /// pool; in-memory tables clone).
+    pub fn rows_vec(&self) -> Result<Vec<Record>> {
+        match &self.backing {
+            Backing::Mem { rows, .. } => Ok(rows.clone()),
+            Backing::Disk { store, extent } => store.read_rows(extent, 0, extent.rows as usize),
+        }
     }
 
-    /// Borrow the batch of up to `n` rows starting at `start` (empty when
-    /// `start` is past the end). Cursor-style access for scan operators.
-    pub fn batch(&self, start: usize, n: usize) -> &[Record] {
-        let lo = start.min(self.rows.len());
-        let hi = start.saturating_add(n).min(self.rows.len());
-        &self.rows[lo..hi]
+    /// Iterate the table as owned batches of at most `n` rows (the
+    /// streaming executor's scan granularity). Disk-backed tables stream
+    /// pages through the buffer pool one batch at a time, so a fault can
+    /// fail — each batch is a `Result`.
+    pub fn batches(&self, n: usize) -> impl Iterator<Item = Result<Vec<Record>>> + '_ {
+        let n = n.max(1);
+        let mut pos = 0usize;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            match self.batch(pos, n) {
+                Ok(batch) if batch.is_empty() => None,
+                Ok(batch) => {
+                    pos += batch.len();
+                    Some(Ok(batch))
+                }
+                Err(e) => {
+                    done = true;
+                    Some(Err(e))
+                }
+            }
+        })
     }
 
-    /// Membership test (set semantics makes this well-defined).
-    pub fn contains(&self, row: &Record) -> bool {
-        self.seen.contains(row)
+    /// The batch of up to `n` rows starting at row offset `start` (empty
+    /// when `start` is past the end). Cursor-style access for scan
+    /// operators; disk-backed tables fault the needed pages through the
+    /// buffer pool.
+    pub fn batch(&self, start: usize, n: usize) -> Result<Vec<Record>> {
+        match &self.backing {
+            Backing::Mem { rows, .. } => {
+                let lo = start.min(rows.len());
+                let hi = start.saturating_add(n).min(rows.len());
+                Ok(rows[lo..hi].to_vec())
+            }
+            Backing::Disk { store, extent } => store.read_rows(extent, start, n),
+        }
     }
 
-    /// Consume the table into its row vector.
-    pub fn into_rows(self) -> Vec<Record> {
-        self.rows
+    /// Membership test (set semantics makes this well-defined). Constant
+    /// time in memory; a scan for disk-backed tables.
+    pub fn contains(&self, row: &Record) -> Result<bool> {
+        match &self.backing {
+            Backing::Mem { seen, .. } => Ok(seen.contains(row)),
+            Backing::Disk { .. } => {
+                for batch in self.batches(1024) {
+                    if batch?.iter().any(|r| r == row) {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Consume the table into its row vector (materializing disk rows).
+    pub fn into_rows(self) -> Result<Vec<Record>> {
+        match self.backing {
+            Backing::Mem { rows, .. } => Ok(rows),
+            Backing::Disk { .. } => self.rows_vec(),
+        }
     }
 
     /// The whole table as a TM set-of-tuples value.
-    pub fn to_value(&self) -> Value {
-        Value::set(self.rows.iter().cloned().map(Value::Tuple))
+    pub fn to_value(&self) -> Result<Value> {
+        Ok(Value::set(self.rows_vec()?.into_iter().map(Value::Tuple)))
     }
 
     /// Order-insensitive equality of contents (the correct notion of result
     /// equality for set-semantics queries; used pervasively by differential
-    /// tests between unnesting strategies).
-    pub fn same_contents(&self, other: &Table) -> bool {
-        self.seen == other.seen
+    /// tests between unnesting strategies and between backings).
+    pub fn same_contents(&self, other: &Table) -> Result<bool> {
+        fn row_set(t: &Table) -> Result<BTreeSet<Record>> {
+            if let Backing::Mem { seen, .. } = &t.backing {
+                return Ok(seen.clone());
+            }
+            Ok(t.rows_vec()?.into_iter().collect())
+        }
+        Ok(row_set(self)? == row_set(other)?)
     }
 
     /// Render as an aligned ASCII table (used by examples to reproduce the
-    /// paper's Table 1 layout).
+    /// paper's Table 1 layout). An I/O failure on a disk-backed table
+    /// renders as an error line rather than failing the display.
     pub fn render(&self) -> String {
+        let rows = match self.rows_vec() {
+            Ok(rows) => rows,
+            Err(e) => return format!("<unreadable table `{}`: {e}>\n", self.name),
+        };
         let headers: Vec<String> = self.columns.iter().map(|(l, _)| l.clone()).collect();
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
-        let cells: Vec<Vec<String>> = self
-            .rows
+        let cells: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
                 headers
@@ -193,7 +366,9 @@ pub fn int_table(name: &str, cols: &[&str], data: &[&[i64]]) -> Table {
     for row in data {
         assert_eq!(row.len(), cols.len(), "int_table row arity mismatch");
         let rec = Record::new(
-            cols.iter().zip(row.iter()).map(|(c, v)| (c.to_string(), Value::Int(*v))),
+            cols.iter()
+                .zip(row.iter())
+                .map(|(c, v)| (c.to_string(), Value::Int(*v))),
         )
         .expect("distinct column names");
         t.insert(rec).expect("schema admits ints");
@@ -237,7 +412,10 @@ mod tests {
     fn complex_valued_columns() {
         let mut t = Table::new(
             "DEPT",
-            vec![("name".into(), Ty::Str), ("emps".into(), Ty::Set(Box::new(Ty::Any)))],
+            vec![
+                ("name".into(), Ty::Str),
+                ("emps".into(), Ty::Set(Box::new(Ty::Any))),
+            ],
         );
         let row = Record::new([
             ("name".to_string(), Value::str("CS")),
@@ -252,15 +430,15 @@ mod tests {
     fn same_contents_is_order_insensitive() {
         let a = int_table("A", &["x"], &[&[1], &[2]]);
         let b = int_table("B", &["x"], &[&[2], &[1]]);
-        assert!(a.same_contents(&b));
+        assert!(a.same_contents(&b).unwrap());
         let c = int_table("C", &["x"], &[&[2]]);
-        assert!(!a.same_contents(&c));
+        assert!(!a.same_contents(&c).unwrap());
     }
 
     #[test]
     fn to_value_round_trip() {
         let t = int_table("T", &["a", "b"], &[&[1, 2], &[3, 4]]);
-        let v = t.to_value();
+        let v = t.to_value().unwrap();
         assert_eq!(v.as_set().unwrap().len(), 2);
     }
 
@@ -276,27 +454,41 @@ mod tests {
     #[test]
     fn batches_cover_all_rows_without_overlap() {
         let t = int_table("T", &["a"], &[&[1], &[2], &[3], &[4], &[5]]);
-        let chunks: Vec<&[Record]> = t.batches(2).collect();
-        assert_eq!(chunks.iter().map(|c| c.len()).collect::<Vec<_>>(), vec![2, 2, 1]);
-        let flat: Vec<&Record> = chunks.into_iter().flatten().collect();
+        let chunks: Vec<Vec<Record>> = t
+            .batches(2)
+            .collect::<Result<_>>()
+            .expect("in-memory batches");
+        assert_eq!(
+            chunks.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        let flat: Vec<Record> = chunks.into_iter().flatten().collect();
         assert_eq!(flat.len(), t.len());
         // Zero batch size is clamped, not a panic.
-        assert_eq!(t.batches(0).next().unwrap().len(), 1);
+        assert_eq!(t.batches(0).next().unwrap().unwrap().len(), 1);
     }
 
     #[test]
     fn batch_cursor_access() {
         let t = int_table("T", &["a"], &[&[1], &[2], &[3]]);
-        assert_eq!(t.batch(0, 2).len(), 2);
-        assert_eq!(t.batch(2, 2).len(), 1);
-        assert!(t.batch(3, 2).is_empty());
-        assert!(t.batch(usize::MAX, 2).is_empty());
+        assert_eq!(t.batch(0, 2).unwrap().len(), 2);
+        assert_eq!(t.batch(2, 2).unwrap().len(), 1);
+        assert!(t.batch(3, 2).unwrap().is_empty());
+        assert!(t.batch(usize::MAX, 2).unwrap().is_empty());
     }
 
     #[test]
     fn contains_after_insert() {
         let t = int_table("T", &["a"], &[&[5]]);
         let r = Record::new([("a".to_string(), Value::Int(5))]).unwrap();
-        assert!(t.contains(&r));
+        assert!(t.contains(&r).unwrap());
+    }
+
+    #[test]
+    fn in_memory_table_reports_no_pages() {
+        let t = int_table("T", &["a"], &[&[5]]);
+        assert!(!t.is_disk_backed());
+        assert_eq!(t.page_count(), None);
+        assert_eq!(t.mem_rows().map(<[Record]>::len), Some(1));
     }
 }

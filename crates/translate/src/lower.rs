@@ -18,7 +18,10 @@ pub struct TranslateError {
 
 impl TranslateError {
     fn new(message: impl Into<String>, span: Span) -> TranslateError {
-        TranslateError { message: message.into(), span }
+        TranslateError {
+            message: message.into(),
+            span,
+        }
     }
 
     /// Render with line/column against the source.
@@ -52,7 +55,11 @@ pub struct Translator<'a> {
 impl<'a> Translator<'a> {
     /// Create a translator over the given extension names.
     pub fn new(extensions: &'a BTreeSet<String>) -> Translator<'a> {
-        Translator { extensions, scope: Vec::new(), counter: 0 }
+        Translator {
+            extensions,
+            scope: Vec::new(),
+            counter: 0,
+        }
     }
 
     fn fresh(&mut self, prefix: &str) -> String {
@@ -94,7 +101,12 @@ impl<'a> Translator<'a> {
                     tmql_algebra::SetBinOp::Difference => SetOpKind::Except,
                 };
                 let var = self.fresh("q");
-                Ok(Plan::SetOp { kind, left: Box::new(left), right: Box::new(right), var })
+                Ok(Plan::SetOp {
+                    kind,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    var,
+                })
             }
             // A constant scalar expression as a query: a one-row plan.
             other => {
@@ -125,7 +137,14 @@ impl<'a> Translator<'a> {
 
     /// Translate an SFW block into `Map(select) ∘ Select(where) ∘ FROM`.
     fn sfw(&mut self, expr: &Expr) -> Result<Plan, TranslateError> {
-        let Expr::Sfw { select, from, where_clause, with_bindings, .. } = expr else {
+        let Expr::Sfw {
+            select,
+            from,
+            where_clause,
+            with_bindings,
+            ..
+        } = expr
+        else {
             return Err(TranslateError::new("expected an SFW block", expr.span()));
         };
         let depth = self.scope.len();
@@ -259,7 +278,10 @@ impl<'a> Translator<'a> {
                 let mut no_applies = Vec::new();
                 let scalar = self.to_scalar(other, &mut no_applies)?;
                 debug_assert!(no_applies.is_empty());
-                Ok(Plan::ScanExpr { expr: scalar, var: var.to_string() })
+                Ok(Plan::ScanExpr {
+                    expr: scalar,
+                    var: var.to_string(),
+                })
             }
         }
     }
@@ -316,7 +338,11 @@ impl<'a> Translator<'a> {
                         self.to_scalar(b, applies)?,
                     ));
                 }
-                ScalarExpr::cmp(*op, self.to_scalar(a, applies)?, self.to_scalar(b, applies)?)
+                ScalarExpr::cmp(
+                    *op,
+                    self.to_scalar(a, applies)?,
+                    self.to_scalar(b, applies)?,
+                )
             }
             Expr::SetCmp(op, a, b) => ScalarExpr::set_cmp(
                 *op,
@@ -341,7 +367,9 @@ impl<'a> Translator<'a> {
             }
             Expr::Not(e) => ScalarExpr::not(self.to_scalar(e, applies)?),
             Expr::Agg(f, e, _) => ScalarExpr::agg(*f, self.to_scalar(e, applies)?),
-            Expr::Quant { q, var, over, pred, .. } => {
+            Expr::Quant {
+                q, var, over, pred, ..
+            } => {
                 let over_s = self.to_scalar(over, applies)?;
                 self.scope.push(var.clone());
                 let pred_s = self.to_scalar(pred, applies);
@@ -362,9 +390,7 @@ impl<'a> Translator<'a> {
                 }
                 ScalarExpr::SetLit(out)
             }
-            Expr::Unnest(e, _) => {
-                ScalarExpr::Unnest(Box::new(self.to_scalar(e, applies)?))
-            }
+            Expr::Unnest(e, _) => ScalarExpr::Unnest(Box::new(self.to_scalar(e, applies)?)),
             Expr::Sfw { .. } => {
                 // The heart of the translation: a nested SFW becomes a
                 // fresh Apply label (correlated nested-loop semantics;
@@ -380,7 +406,10 @@ impl<'a> Translator<'a> {
 
 /// Syntactic set-ness (for `=`/`<>` disambiguation).
 fn is_setish(e: &Expr) -> bool {
-    matches!(e, Expr::SetLit(..) | Expr::Sfw { .. } | Expr::SetBin(..) | Expr::Unnest(..))
+    matches!(
+        e,
+        Expr::SetLit(..) | Expr::Sfw { .. } | Expr::SetBin(..) | Expr::Unnest(..)
+    )
 }
 
 #[cfg(test)]
@@ -389,7 +418,10 @@ mod tests {
     use tmql_lang::parse_query;
 
     fn exts() -> BTreeSet<String> {
-        ["X", "Y", "Z", "R", "S", "EMP", "DEPT"].iter().map(|s| s.to_string()).collect()
+        ["X", "Y", "Z", "R", "S", "EMP", "DEPT"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     }
 
     fn translate(src: &str) -> Plan {
@@ -400,24 +432,39 @@ mod tests {
     #[test]
     fn flat_query_shape() {
         let p = translate("SELECT x.a FROM X x WHERE x.b = 3");
-        let Plan::Map { input, .. } = p else { panic!("map root") };
-        let Plan::Select { input, .. } = *input else { panic!("select") };
+        let Plan::Map { input, .. } = p else {
+            panic!("map root")
+        };
+        let Plan::Select { input, .. } = *input else {
+            panic!("select")
+        };
         assert!(matches!(*input, Plan::ScanTable { .. }));
     }
 
     #[test]
     fn where_subquery_becomes_apply_under_select() {
-        let p = translate(
-            "SELECT x FROM X x WHERE x.b IN (SELECT y.a FROM Y y WHERE x.b = y.b)",
-        );
-        let Plan::Map { input, .. } = p else { panic!("map root") };
-        let Plan::Select { input, pred } = *input else { panic!("select") };
+        let p = translate("SELECT x FROM X x WHERE x.b IN (SELECT y.a FROM Y y WHERE x.b = y.b)");
+        let Plan::Map { input, .. } = p else {
+            panic!("map root")
+        };
+        let Plan::Select { input, pred } = *input else {
+            panic!("select")
+        };
         assert!(pred.mentions("z#2"), "{pred}");
-        let Plan::Apply { input, subquery, label } = *input else { panic!("apply") };
+        let Plan::Apply {
+            input,
+            subquery,
+            label,
+        } = *input
+        else {
+            panic!("apply")
+        };
         assert_eq!(label, "z#2");
         assert!(matches!(*input, Plan::ScanTable { .. }));
         // Canonical subquery shape: Map(Select(Scan)).
-        let Plan::Map { input: si, .. } = *subquery else { panic!("sub map") };
+        let Plan::Map { input: si, .. } = *subquery else {
+            panic!("sub map")
+        };
         assert!(matches!(*si, Plan::Select { .. }));
     }
 
@@ -426,8 +473,13 @@ mod tests {
         let p = translate(
             "SELECT (dname = d.name, es = (SELECT e FROM EMP e WHERE e.sal > 0)) FROM DEPT d",
         );
-        let Plan::Map { input, .. } = p else { panic!("map root") };
-        assert!(matches!(*input, Plan::Apply { .. }), "bare apply for SELECT nesting");
+        let Plan::Map { input, .. } = p else {
+            panic!("map root")
+        };
+        assert!(
+            matches!(*input, Plan::Apply { .. }),
+            "bare apply for SELECT nesting"
+        );
     }
 
     #[test]
@@ -442,14 +494,19 @@ mod tests {
         let p = translate("SELECT (a = x.a, b = y.b) FROM X x, Y y WHERE x.b = y.b");
         assert!(p.any_node(&mut |n| matches!(
             n,
-            Plan::Join { pred: ScalarExpr::Lit(tmql_model::Value::Bool(true)), .. }
+            Plan::Join {
+                pred: ScalarExpr::Lit(tmql_model::Value::Bool(true)),
+                ..
+            }
         )));
     }
 
     #[test]
     fn unnest_query_shape_collapsible() {
         let p = translate("UNNEST(SELECT (SELECT y.b FROM Y y WHERE x.b = y.a) FROM X x)");
-        let Plan::Unnest { .. } = &p else { panic!("unnest root") };
+        let Plan::Unnest { .. } = &p else {
+            panic!("unnest root")
+        };
         // The core rule must fire on this exact shape.
         let collapsed = tmql_core::rules::unnest_collapse(&p).expect("collapse fires");
         assert!(!collapsed.has_apply());
@@ -474,7 +531,13 @@ mod tests {
     #[test]
     fn union_of_queries() {
         let p = translate("(SELECT x.a FROM X x) UNION (SELECT y.a FROM Y y)");
-        assert!(matches!(p, Plan::SetOp { kind: SetOpKind::Union, .. }));
+        assert!(matches!(
+            p,
+            Plan::SetOp {
+                kind: SetOpKind::Union,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -492,8 +555,8 @@ mod tests {
         let ast = parse_query("SELECT x FROM NOPE x").unwrap();
         let err = translate_query(&ast, &exts()).unwrap_err();
         assert!(err.message.contains("unknown extension"), "{err:?}");
-        let ast =
-            parse_query("SELECT c FROM EMP e, (SELECT k FROM (SELECT e2 FROM EMP e2) k) c").unwrap();
+        let ast = parse_query("SELECT c FROM EMP e, (SELECT k FROM (SELECT e2 FROM EMP e2) k) c")
+            .unwrap();
         assert!(translate_query(&ast, &exts()).is_ok());
     }
 

@@ -51,7 +51,11 @@ impl Default for GenConfig {
 impl GenConfig {
     /// Scale both tables to `n`.
     pub fn sized(n: usize) -> GenConfig {
-        GenConfig { outer: n, inner: n, ..GenConfig::default() }
+        GenConfig {
+            outer: n,
+            inner: n,
+            ..GenConfig::default()
+        }
     }
 
     fn rng(&self) -> StdRng {
@@ -104,13 +108,21 @@ pub fn gen_rs(cfg: &GenConfig) -> Catalog {
 
     let mut r = Table::new(
         "R",
-        vec![("a".into(), Ty::Int), ("b".into(), Ty::Int), ("c".into(), Ty::Int)],
+        vec![
+            ("a".into(), Ty::Int),
+            ("b".into(), Ty::Int),
+            ("c".into(), Ty::Int),
+        ],
     );
     for (i, &true_count) in s_counts.iter().enumerate().take(cfg.outer) {
         let key = i as i64; // keys ≥ matched are dangling (no S rows)
-        // Half of the rows get the true count (including 0 for dangling
-        // rows — the bug triggers); half get a wrong count.
-        let b = if i % 2 == 0 { true_count } else { true_count + 1 };
+                            // Half of the rows get the true count (including 0 for dangling
+                            // rows — the bug triggers); half get a wrong count.
+        let b = if i % 2 == 0 {
+            true_count
+        } else {
+            true_count + 1
+        };
         r.insert(
             Record::new([
                 ("a".to_string(), Value::Int(i as i64)),
@@ -202,7 +214,10 @@ pub fn gen_xyz(cfg: &GenConfig) -> Catalog {
 
     let mut x = Table::new(
         "X",
-        vec![("a".into(), Ty::Set(Box::new(Ty::Int))), ("b".into(), Ty::Int)],
+        vec![
+            ("a".into(), Ty::Set(Box::new(Ty::Int))),
+            ("b".into(), Ty::Int),
+        ],
     );
     for i in 0..cfg.outer {
         let size = rng.gen_range(0..=cfg.max_set);
@@ -219,7 +234,9 @@ pub fn gen_xyz(cfg: &GenConfig) -> Catalog {
         .expect("valid row");
     }
 
-    let y_matched = ((1.0 - cfg.dangling_fraction) * cfg.inner as f64).round().max(1.0) as usize;
+    let y_matched = ((1.0 - cfg.dangling_fraction) * cfg.inner as f64)
+        .round()
+        .max(1.0) as usize;
     let mut y = Table::new(
         "Y",
         vec![
@@ -234,7 +251,10 @@ pub fn gen_xyz(cfg: &GenConfig) -> Catalog {
         y.insert(
             Record::new([
                 ("a".to_string(), Value::Int(rng.gen_range(0..domain))),
-                ("b".to_string(), Value::Int(rng.gen_range(0..matched) as i64)),
+                (
+                    "b".to_string(),
+                    Value::Int(rng.gen_range(0..matched) as i64),
+                ),
                 (
                     "c".to_string(),
                     Value::set((0..size).map(|_| Value::Int(rng.gen_range(0..domain)))),
@@ -253,7 +273,10 @@ pub fn gen_xyz(cfg: &GenConfig) -> Catalog {
         guard += 1;
         let rec = Record::new([
             ("c".to_string(), Value::Int(rng.gen_range(0..domain))),
-            ("d".to_string(), Value::Int(rng.gen_range(0..y_matched) as i64)),
+            (
+                "d".to_string(),
+                Value::Int(rng.gen_range(0..y_matched) as i64),
+            ),
         ])
         .expect("distinct labels");
         if z.insert(rec).expect("valid row") {
@@ -275,7 +298,9 @@ pub fn gen_company(cfg: &GenConfig) -> Catalog {
     let mut cat = Catalog::new();
     let n_dept = cfg.outer.max(1);
     let n_emp = cfg.inner.max(1);
-    let matched_cities = ((1.0 - cfg.dangling_fraction) * n_dept as f64).round().max(1.0) as usize;
+    let matched_cities = ((1.0 - cfg.dangling_fraction) * n_dept as f64)
+        .round()
+        .max(1.0) as usize;
 
     let addr_ty = Ty::Tuple(vec![
         ("street".into(), Ty::Str),
@@ -348,7 +373,12 @@ mod tests {
 
     #[test]
     fn rs_counts_are_exact_for_even_rows() {
-        let cfg = GenConfig { outer: 40, inner: 60, dangling_fraction: 0.5, ..Default::default() };
+        let cfg = GenConfig {
+            outer: 40,
+            inner: 60,
+            dangling_fraction: 0.5,
+            ..Default::default()
+        };
         let cat = gen_rs(&cfg);
         let r = cat.table("R").unwrap();
         let s = cat.table("S").unwrap();
@@ -360,8 +390,7 @@ mod tests {
             if a % 2 == 0 {
                 let c = row.get("c").unwrap();
                 let b = row.get("b").unwrap().as_int().unwrap();
-                let actual =
-                    s.rows().filter(|srow| srow.get("c").unwrap() == c).count() as i64;
+                let actual = s.rows().filter(|srow| srow.get("c").unwrap() == c).count() as i64;
                 assert_eq!(b, actual, "row a={a}");
             }
         }
@@ -369,8 +398,12 @@ mod tests {
 
     #[test]
     fn dangling_fraction_respected_in_rs() {
-        let cfg =
-            GenConfig { outer: 100, inner: 200, dangling_fraction: 0.3, ..Default::default() };
+        let cfg = GenConfig {
+            outer: 100,
+            inner: 200,
+            dangling_fraction: 0.3,
+            ..Default::default()
+        };
         let cat = gen_rs(&cfg);
         let s = cat.table("S").unwrap();
         let max_key = s
@@ -378,27 +411,44 @@ mod tests {
             .map(|r| r.get("c").unwrap().as_int().unwrap())
             .max()
             .unwrap();
-        assert!(max_key < 70, "inner keys must avoid the dangling range, got {max_key}");
+        assert!(
+            max_key < 70,
+            "inner keys must avoid the dangling range, got {max_key}"
+        );
     }
 
     #[test]
     fn xy_has_set_valued_attribute() {
         let cat = gen_xy(&GenConfig::sized(30));
         let x = cat.table("X").unwrap();
-        assert!(x.rows().all(|r| matches!(r.get("a").unwrap(), Value::Set(_))));
+        assert!(x
+            .rows()
+            .all(|r| matches!(r.get("a").unwrap(), Value::Set(_))));
     }
 
     #[test]
     fn generation_is_deterministic() {
         let a = gen_xy(&GenConfig::sized(25));
         let b = gen_xy(&GenConfig::sized(25));
-        assert!(a.table("X").unwrap().same_contents(b.table("X").unwrap()));
-        assert!(a.table("Y").unwrap().same_contents(b.table("Y").unwrap()));
+        assert!(a
+            .table("X")
+            .unwrap()
+            .same_contents(b.table("X").unwrap())
+            .unwrap());
+        assert!(a
+            .table("Y")
+            .unwrap()
+            .same_contents(b.table("Y").unwrap())
+            .unwrap());
     }
 
     #[test]
     fn xyz_scales() {
-        let cat = gen_xyz(&GenConfig { outer: 20, inner: 30, ..Default::default() });
+        let cat = gen_xyz(&GenConfig {
+            outer: 20,
+            inner: 30,
+            ..Default::default()
+        });
         assert_eq!(cat.table("X").unwrap().len(), 20);
         assert_eq!(cat.table("Y").unwrap().len(), 30);
         assert!(!cat.table("Z").unwrap().is_empty());
@@ -419,7 +469,10 @@ mod tests {
 
     #[test]
     fn zipf_skew_supported() {
-        let cfg = GenConfig { skew: SkewKind::Zipf(1.1), ..GenConfig::sized(50) };
+        let cfg = GenConfig {
+            skew: SkewKind::Zipf(1.1),
+            ..GenConfig::sized(50)
+        };
         let cat = gen_rs(&cfg);
         assert_eq!(cat.table("R").unwrap().len(), 50);
     }

@@ -81,7 +81,10 @@ WHERE x.n NOT IN (SELECT y.a FROM Y y WHERE x.b = y.b)";
 /// between the blocks (`{Z}` is the subquery placeholder).
 pub fn where_query(pred_template: &str) -> String {
     let sub = "(SELECT y.a FROM Y y WHERE x.b = y.b)";
-    format!("SELECT x\nFROM X x\nWHERE {}", pred_template.replace("{Z}", sub))
+    format!(
+        "SELECT x\nFROM X x\nWHERE {}",
+        pred_template.replace("{Z}", sub)
+    )
 }
 
 /// The Table 2 predicate sweep, as `where_query` templates keyed by the
@@ -102,8 +105,14 @@ pub fn table2_templates() -> Vec<(&'static str, String)> {
         ("x.a ≠ z", where_query("x.a <> {Z}")),
         ("x.a ∩ z = ∅", where_query("x.a DISJOINT {Z}")),
         ("x.a ∩ z ≠ ∅", where_query("x.a INTERSECTS {Z}")),
-        ("∀w ∈ x.a (w ∈ z)", where_query("FORALL w IN x.a (w IN {Z})")),
-        ("∀w ∈ x.a (w ∉ z)", where_query("FORALL w IN x.a (w NOT IN {Z})")),
+        (
+            "∀w ∈ x.a (w ∈ z)",
+            where_query("FORALL w IN x.a (w IN {Z})"),
+        ),
+        (
+            "∀w ∈ x.a (w ∉ z)",
+            where_query("FORALL w IN x.a (w NOT IN {Z})"),
+        ),
     ]
 }
 

@@ -9,8 +9,10 @@ use tmql_storage::{table::int_table, Catalog, Table};
 /// whose nest join result is `(2, 2, ∅)`.
 pub fn table1_catalog() -> Catalog {
     let mut cat = Catalog::new();
-    cat.register(int_table("X", &["e", "d"], &[&[1, 1], &[2, 2], &[3, 3]])).unwrap();
-    cat.register(int_table("Y", &["a", "b"], &[&[1, 1], &[2, 1], &[3, 3]])).unwrap();
+    cat.register(int_table("X", &["e", "d"], &[&[1, 1], &[2, 2], &[3, 3]]))
+        .unwrap();
+    cat.register(int_table("Y", &["a", "b"], &[&[1, 1], &[2, 1], &[3, 3]]))
+        .unwrap();
     cat
 }
 
@@ -30,7 +32,12 @@ pub fn count_bug_catalog() -> Catalog {
         ],
     ))
     .unwrap();
-    cat.register(int_table("S", &["c", "d"], &[&[10, 100], &[10, 101], &[20, 200]])).unwrap();
+    cat.register(int_table(
+        "S",
+        &["c", "d"],
+        &[&[10, 100], &[10, 101], &[20, 200]],
+    ))
+    .unwrap();
     cat
 }
 
@@ -85,11 +92,36 @@ pub fn company_catalog() -> Catalog {
     ];
     let mut emp = Table::new("EMP", emp_ty);
     let employees: Vec<(&str, Value, i64, Vec<Value>)> = vec![
-        ("ann", address("Drienerlolaan", 5, "Enschede"), 5200, vec![child("bo", 7)]),
-        ("bob", address("Hengelosestraat", 12, "Enschede"), 4100, vec![]),
-        ("carla", address("Laan van NOI", 3, "Den Haag"), 6100, vec![child("di", 12), child("ed", 9)]),
-        ("dirk", address("Drienerlolaan", 7, "Enschede"), 3900, vec![]),
-        ("eva", address("Marktstraat", 1, "Hengelo"), 4700, vec![child("fe", 2)]),
+        (
+            "ann",
+            address("Drienerlolaan", 5, "Enschede"),
+            5200,
+            vec![child("bo", 7)],
+        ),
+        (
+            "bob",
+            address("Hengelosestraat", 12, "Enschede"),
+            4100,
+            vec![],
+        ),
+        (
+            "carla",
+            address("Laan van NOI", 3, "Den Haag"),
+            6100,
+            vec![child("di", 12), child("ed", 9)],
+        ),
+        (
+            "dirk",
+            address("Drienerlolaan", 7, "Enschede"),
+            3900,
+            vec![],
+        ),
+        (
+            "eva",
+            address("Marktstraat", 1, "Hengelo"),
+            4700,
+            vec![child("fe", 2)],
+        ),
     ];
     for (name, addr, sal, children) in employees {
         emp.insert(
@@ -133,18 +165,29 @@ pub fn company_catalog() -> Catalog {
     let mut dept = Table::new("DEPT", dept_ty);
     let depts: Vec<(&str, Value, Vec<&str>)> = vec![
         // Q1 hit: ann lives on Drienerlolaan in Enschede, same as CS.
-        ("cs", address("Drienerlolaan", 99, "Enschede"), vec!["ann", "bob"]),
+        (
+            "cs",
+            address("Drienerlolaan", 99, "Enschede"),
+            vec!["ann", "bob"],
+        ),
         // No employee shares this street.
         ("math", address("Hallenweg", 2, "Enschede"), vec!["dirk"]),
         // Q2 empty: no employee lives in Amsterdam.
-        ("sales", address("Damrak", 1, "Amsterdam"), vec!["carla", "eva"]),
+        (
+            "sales",
+            address("Damrak", 1, "Amsterdam"),
+            vec!["carla", "eva"],
+        ),
     ];
     for (name, addr, members) in depts {
         dept.insert(
             Record::new([
                 ("name".to_string(), Value::str(name)),
                 ("address".to_string(), addr),
-                ("emps".to_string(), Value::set(members.into_iter().map(emp_by_name))),
+                (
+                    "emps".to_string(),
+                    Value::set(members.into_iter().map(emp_by_name)),
+                ),
             ])
             .unwrap(),
         )
@@ -165,7 +208,10 @@ pub fn section8_catalog() -> Catalog {
 
     let mut x = Table::new(
         "X",
-        vec![("a".into(), Ty::Set(Box::new(Ty::Int))), ("b".into(), Ty::Int)],
+        vec![
+            ("a".into(), Ty::Set(Box::new(Ty::Int))),
+            ("b".into(), Ty::Int),
+        ],
     );
     for (a, b) in [(vec![1, 2], 1), (vec![], 2), (vec![1], 7), (vec![3], 1)] {
         x.insert(
@@ -189,10 +235,10 @@ pub fn section8_catalog() -> Catalog {
         ],
     );
     for (a, b, c, d) in [
-        (1, 1, vec![10], 5),      // c ⊆ {z.c | z.d = 5} = {10, 11} ✓
-        (2, 1, vec![10, 12], 5),  // 12 ∉ {10, 11} ✗
-        (3, 1, vec![], 6),        // ∅ ⊆ anything ✓ (even with no Z match)
-        (4, 2, vec![11], 5),      // different x.b group
+        (1, 1, vec![10], 5),     // c ⊆ {z.c | z.d = 5} = {10, 11} ✓
+        (2, 1, vec![10, 12], 5), // 12 ∉ {10, 11} ✗
+        (3, 1, vec![], 6),       // ∅ ⊆ anything ✓ (even with no Z match)
+        (4, 2, vec![11], 5),     // different x.b group
     ] {
         y.insert(
             Record::new([
@@ -207,7 +253,8 @@ pub fn section8_catalog() -> Catalog {
     }
     cat.register(y).unwrap();
 
-    cat.register(int_table("Z", &["c", "d"], &[&[10, 5], &[11, 5], &[20, 9]])).unwrap();
+    cat.register(int_table("Z", &["c", "d"], &[&[10, 5], &[11, 5], &[20, 9]]))
+        .unwrap();
     cat
 }
 

@@ -19,7 +19,11 @@ fn show(db: &Database, name: &str, src: &str) {
         let r = db
             .query_with(src, QueryOptions::default().strategy(strat))
             .expect("query runs");
-        let marker = if strat.is_bug_compatible() { "  <- BUG" } else { "" };
+        let marker = if strat.is_bug_compatible() {
+            "  <- BUG"
+        } else {
+            ""
+        };
         println!("{:>12}: {} rows{}", strat.name(), r.len(), marker);
     }
     println!();
@@ -38,13 +42,20 @@ fn main() {
 
     println!("Correct answer (nested-loop semantics):");
     let oracle = db
-        .query_with(COUNT_BUG, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            COUNT_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     print!("{}", oracle.render());
     println!("\nKim's answer is missing (a = 3, b = 0, c = 99).\n");
 
     println!("Plans:\n");
-    for strat in [UnnestStrategy::Kim, UnnestStrategy::GanskiWong, UnnestStrategy::NestJoin] {
+    for strat in [
+        UnnestStrategy::Kim,
+        UnnestStrategy::GanskiWong,
+        UnnestStrategy::NestJoin,
+    ] {
         println!("--- {} ---", strat.name());
         let (_, plan) = db
             .plan_with(COUNT_BUG, QueryOptions::default().strategy(strat))
@@ -55,7 +66,12 @@ fn main() {
     println!("\nThe SUBSETEQ bug (Section 4)\n============================\n");
     println!("Same disease, set-valued symptom: X rows with x.a = ∅ and no Y");
     println!("partner satisfy x.a ⊆ ∅ but vanish under nest-then-join.\n");
-    let cfg = GenConfig { outer: 50, inner: 40, dangling_fraction: 0.4, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer: 50,
+        inner: 40,
+        dangling_fraction: 0.4,
+        ..GenConfig::default()
+    };
     let db = Database::from_catalog(gen_xy(&cfg));
     show(&db, "SUBSETEQ-bug query (generated data)", SUBSETEQ_BUG);
 

@@ -31,10 +31,17 @@ fn main() {
 
     // Work comparison at a larger scale.
     println!("== Work comparison (generated X/Y/Z, 400/500/500 rows) ==\n");
-    let cfg =
-        GenConfig { outer: 400, inner: 500, dangling_fraction: 0.25, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer: 400,
+        inner: 500,
+        dangling_fraction: 0.25,
+        ..GenConfig::default()
+    };
     let big = Database::from_catalog(gen_xyz(&cfg));
-    println!("{:<14} {:>14} {:>14}", "strategy", "⊆ version", "∈/∉ version");
+    println!(
+        "{:<14} {:>14} {:>14}",
+        "strategy", "⊆ version", "∈/∉ version"
+    );
     for strat in [
         UnnestStrategy::NestedLoop,
         UnnestStrategy::NestJoin,

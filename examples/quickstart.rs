@@ -63,7 +63,10 @@ fn main() {
     }
     println!();
     let nl = db
-        .query_with(Q2, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            Q2,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     println!(
         "work: nested loop = {} units, nest join = {} units",

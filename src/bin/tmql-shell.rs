@@ -26,6 +26,11 @@ const HELP: &str = "\
 meta commands:
   \\load <ds> [n]     load a dataset: table1 | countbug | company | section8
                      or generated: rs | xy | xyz | gencompany  (size n, default 1000)
+  \\open <path> [p]   open (or create) a disk-backed database at <path>
+                     with a buffer pool of p pages (default 256); queries
+                     stream pages through the pool
+  \\persist <path>    copy the current catalog into a new disk-backed
+                     database at <path> and switch to it
   \\tables            list loaded tables with row counts
   \\strategy [name]   show or set the unnesting strategy:
                      nested-loop | kim | ganski-wong | muralikrishna |
@@ -92,6 +97,8 @@ impl Shell {
             "quit" | "q" | "exit" => return false,
             "help" | "h" | "?" => println!("{HELP}"),
             "load" => self.load(rest),
+            "open" => self.open(rest),
+            "persist" => self.persist(rest),
             "tables" => {
                 for name in self.db.catalog().table_names() {
                     let n = self.db.catalog().table(name).map(|t| t.len()).unwrap_or(0);
@@ -186,6 +193,14 @@ impl Shell {
     /// `\show`: print every session option and its current value.
     fn show_options(&self) {
         let on_off = |b: bool| if b { "on" } else { "off" };
+        println!(
+            "database: {}",
+            if self.db.is_persistent() {
+                "disk-backed (\\open)"
+            } else {
+                "in-memory"
+            }
+        );
         println!("session options (\\set <option> <value>):");
         println!("  strategy       {}", self.opts.strategy.name());
         println!("  algo           {:?}", self.opts.join_algo);
@@ -232,6 +247,52 @@ impl Shell {
         }
     }
 
+    /// `\open <path> [pool_pages]`: switch the session to a disk-backed
+    /// database (created on first open).
+    fn open(&mut self, spec: &str) {
+        let mut parts = spec.split_whitespace();
+        let Some(path) = parts.next() else {
+            println!("usage: \\open <path> [pool_pages]");
+            return;
+        };
+        let pool: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(tmql::DEFAULT_POOL_PAGES);
+        match Database::open_with(path, pool) {
+            Ok(db) => {
+                self.db = db;
+                print!("opened `{path}` (pool {pool} pages):");
+                for t in self.db.catalog().table_names() {
+                    let rows = self.db.catalog().table(t).map(|t| t.len()).unwrap_or(0);
+                    print!(" {t}({rows})");
+                }
+                println!();
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// `\persist <path>`: copy the current catalog into a new disk-backed
+    /// database and keep working on the copy.
+    fn persist(&mut self, spec: &str) {
+        let path = spec.trim();
+        if path.is_empty() {
+            println!("usage: \\persist <path>");
+            return;
+        }
+        match self.db.persist_to(path, tmql::DEFAULT_POOL_PAGES) {
+            Ok(db) => {
+                self.db = db;
+                println!(
+                    "persisted {} table(s) to `{path}`; session now disk-backed",
+                    self.db.catalog().table_names().count()
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
     fn run_query(&self, src: &str) {
         let start = std::time::Instant::now();
         match self.db.query_with(src, self.opts) {
@@ -252,10 +313,16 @@ impl Shell {
     }
 
     fn compare_strategies(&self, src: &str) {
-        println!("{:>14} {:>8} {:>12} {:>12}", "strategy", "rows", "time", "work");
+        println!(
+            "{:>14} {:>8} {:>12} {:>12}",
+            "strategy", "rows", "time", "work"
+        );
         let mut oracle: Option<usize> = None;
         for strat in UnnestStrategy::ALL {
-            let opts = QueryOptions { strategy: strat, ..self.opts };
+            let opts = QueryOptions {
+                strategy: strat,
+                ..self.opts
+            };
             let start = std::time::Instant::now();
             match self.db.query_with(src, opts) {
                 Ok(r) => {

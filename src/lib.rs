@@ -35,7 +35,7 @@
 //! | crate | role |
 //! |-------|------|
 //! | `tmql-model` | complex object values, types, schemas |
-//! | `tmql-storage` | in-memory extensions, catalog, statistics, indexes |
+//! | `tmql-storage` | stored extensions (in-memory and paged/disk-backed), catalog + persistence, buffer pool, statistics, spill runs |
 //! | `tmql-lang` | the SFW language: parser + type checker |
 //! | `tmql-algebra` | the complex object algebra (ADL-like) |
 //! | `tmql-translate` | SFW → algebra (Apply-based nested-loop semantics) |
@@ -249,7 +249,10 @@ impl QueryResult {
     /// assert!(!r.ops.is_empty(), "structured per-operator profiles");
     /// ```
     pub fn max_qerror(&self) -> f64 {
-        self.ops.iter().filter_map(OpProfile::qerror).fold(1.0, f64::max)
+        self.ops
+            .iter()
+            .filter_map(OpProfile::qerror)
+            .fold(1.0, f64::max)
     }
 
     /// Render the result set one value per line (deterministic order).
@@ -263,11 +266,22 @@ impl QueryResult {
     }
 }
 
-/// An in-memory TM database: catalog + query pipeline.
+/// A TM database: catalog + query pipeline.
+///
+/// [`Database::new`] is fully in-memory (exactly the pre-storage-tier
+/// behavior); [`Database::open`] is **disk-backed** — tables live in
+/// slotted pages behind a fixed-capacity buffer pool, the catalog
+/// (schemas, rows, statistics) persists across processes, and scans
+/// stream pages on demand, so the database can exceed the pool — and
+/// RAM.
 #[derive(Debug, Default)]
 pub struct Database {
     catalog: Catalog,
 }
+
+/// Default buffer-pool capacity of [`Database::open`], in 8 KiB pages
+/// (re-exported from the storage tier).
+pub const DEFAULT_POOL_PAGES: usize = tmql_storage::DEFAULT_POOL_PAGES;
 
 /// Adapter exposing the catalog's row types to the language type checker.
 struct CatalogTypes<'a>(&'a Catalog);
@@ -287,6 +301,77 @@ impl Database {
     /// A database over an existing catalog (e.g. from `tmql-workload`).
     pub fn from_catalog(catalog: Catalog) -> Database {
         Database { catalog }
+    }
+
+    /// Open (or create) a **disk-backed** database at `path` with the
+    /// default buffer pool ([`DEFAULT_POOL_PAGES`] pages). Registered
+    /// tables are written into pages and committed durably, so the whole
+    /// database — schemas, rows, statistics — survives a close/reopen:
+    ///
+    /// ```
+    /// use tmql::Database;
+    /// use tmql_storage::table::int_table;
+    ///
+    /// let path = std::env::temp_dir().join(format!("doc-open-{}.tmdb", std::process::id()));
+    /// # let _ = std::fs::remove_file(&path);
+    /// {
+    ///     let mut db = Database::open(&path).unwrap();
+    ///     db.register_table(int_table("X", &["a"], &[&[1], &[2]])).unwrap();
+    /// } // dropped: nothing of the database is left in memory
+    /// let db = Database::open(&path).unwrap();
+    /// let r = db.query("SELECT x.a FROM X x").unwrap();
+    /// assert_eq!(r.len(), 2);
+    /// assert!(r.metrics.pool_hits + r.metrics.pool_misses > 0, "the scan went through the pool");
+    /// # let _ = std::fs::remove_file(&path);
+    /// ```
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Database, TmqlError> {
+        Database::open_with(path, DEFAULT_POOL_PAGES)
+    }
+
+    /// [`Database::open`] with an explicit buffer-pool capacity in pages.
+    /// A pool smaller than the data is the point: scans stream and evict,
+    /// so workloads larger than memory run in bounded space (cold pages
+    /// simply fault back in, visible as [`Metrics::pool_misses`]).
+    pub fn open_with(
+        path: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> Result<Database, TmqlError> {
+        Ok(Database {
+            catalog: Catalog::open(path, pool_pages)?,
+        })
+    }
+
+    /// True iff this database writes through to a paged store on disk.
+    pub fn is_persistent(&self) -> bool {
+        self.catalog.is_persistent()
+    }
+
+    /// Copy this database (schema and every table) into a **new**
+    /// disk-backed database at `path` and return it. The source is
+    /// untouched; the copy is immediately durable. The target must not
+    /// exist — persisting over an existing database would merge with
+    /// (and partially clobber) its contents rather than copy.
+    pub fn persist_to(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> Result<Database, TmqlError> {
+        let path = path.as_ref();
+        if path.exists() {
+            return Err(TmqlError::Model(tmql_model::ModelError::Io(format!(
+                "persist target `{}` already exists; choose a fresh path (or delete it first)",
+                path.display()
+            ))));
+        }
+        let mut catalog = Catalog::open(path, pool_pages)?;
+        *catalog.schema_mut() = self.catalog.schema().clone();
+        let names: Vec<String> = self.catalog.table_names().map(str::to_string).collect();
+        for name in names {
+            let table = self.catalog.table(&name)?;
+            catalog.replace(table.clone())?;
+        }
+        catalog.sync()?;
+        Ok(Database { catalog })
     }
 
     /// The underlying catalog.
@@ -344,22 +429,24 @@ impl Database {
             tmql_exec::execute_collect(&phys, &mut ctx, &tmql_algebra::Env::new(), Some(&est))?;
         let values = rows.iter().map(Plan::row_output_value).collect();
         let op_profile = tmql_exec::op::operator::render_profile(&ops);
-        Ok(QueryResult { values, translated, optimized, metrics: ctx.metrics, op_profile, ops })
+        Ok(QueryResult {
+            values,
+            translated,
+            optimized,
+            metrics: ctx.metrics,
+            op_profile,
+            ops,
+        })
     }
 
     /// Produce the translated and optimized logical plans without
     /// executing.
-    pub fn plan_with(
-        &self,
-        src: &str,
-        opts: QueryOptions,
-    ) -> Result<(Plan, Plan), TmqlError> {
+    pub fn plan_with(&self, src: &str, opts: QueryOptions) -> Result<(Plan, Plan), TmqlError> {
         let ast = tmql_lang::parse_query(src)?;
         if opts.typecheck {
             tmql_lang::check_query(&ast, &CatalogTypes(&self.catalog))?;
         }
-        let extensions: BTreeSet<String> =
-            self.catalog.table_names().map(str::to_string).collect();
+        let extensions: BTreeSet<String> = self.catalog.table_names().map(str::to_string).collect();
         let translated = tmql_translate::translate_query(&ast, &extensions)?;
         let optimizer = tmql_core::Optimizer {
             strategy: opts.strategy,
@@ -369,8 +456,10 @@ impl Database {
         // estimator-backed cost model ranks CostBased candidates. The
         // memory budget flows in too, so under tight memory the model
         // charges spill I/O to plans with oversized breaker state.
-        let model =
-            EstimatorCostModel(Estimator::with_budget(&self.catalog, opts.memory_budget_rows));
+        let model = EstimatorCostModel(Estimator::with_budget(
+            &self.catalog,
+            opts.memory_budget_rows,
+        ));
         let optimized = optimizer.optimize_with(translated.clone(), Some(&model));
         Ok((translated, optimized))
     }
@@ -390,7 +479,10 @@ impl Database {
         let phys = tmql_exec::lower(&optimized, &self.catalog, &config)?;
         let est = Estimator::new(&self.catalog);
         let annotated = tmql_algebra::pretty::explain_annotated(&optimized, &mut |node| {
-            Some(format!("est_rows={}", tmql_exec::cost::format_rows(est.rows(node))))
+            Some(format!(
+                "est_rows={}",
+                tmql_exec::cost::format_rows(est.rows(node))
+            ))
         });
         Ok(format!(
             "== translated (nested-loop semantics) ==\n{}\
@@ -423,8 +515,10 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.register_table(int_table("X", &["a", "b"], &[&[1, 1], &[2, 1], &[3, 9]])).unwrap();
-        db.register_table(int_table("Y", &["b", "c"], &[&[1, 10], &[1, 11]])).unwrap();
+        db.register_table(int_table("X", &["a", "b"], &[&[1, 1], &[2, 1], &[3, 9]]))
+            .unwrap();
+        db.register_table(int_table("Y", &["b", "c"], &[&[1, 10], &[1, 11]]))
+            .unwrap();
         db
     }
 
@@ -439,13 +533,19 @@ mod tests {
     fn end_to_end_nested_query_all_strategies_agree() {
         let db = db();
         let q = "SELECT x.a FROM X x WHERE x.a IN (SELECT y.c - 9 FROM Y y WHERE x.b = y.b)";
-        let base = db.query_with(q, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        let base = db
+            .query_with(
+                q,
+                QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+            )
             .unwrap();
         for strat in UnnestStrategy::ALL {
             if strat.is_bug_compatible() {
                 continue;
             }
-            let r = db.query_with(q, QueryOptions::default().strategy(strat)).unwrap();
+            let r = db
+                .query_with(q, QueryOptions::default().strategy(strat))
+                .unwrap();
             assert_eq!(r.values, base.values, "strategy {}", strat.name());
         }
     }
@@ -487,7 +587,10 @@ mod tests {
                 QueryOptions::default().batch_size(2),
             )
             .unwrap();
-        assert!(s.contains("== operators (executed, batch_size=2) =="), "{s}");
+        assert!(
+            s.contains("== operators (executed, batch_size=2) =="),
+            "{s}"
+        );
         assert!(s.contains("Scan(X) [rows=3"), "{s}");
         assert!(s.contains("scanned=3"), "{s}");
     }
@@ -498,9 +601,14 @@ mod tests {
         let q = "SELECT x.a FROM X x WHERE x.a IN (SELECT y.c - 9 FROM Y y WHERE x.b = y.b)";
         let base = db.query_with(q, QueryOptions::default()).unwrap();
         for bs in [1, 2, 7] {
-            let r = db.query_with(q, QueryOptions::default().batch_size(bs)).unwrap();
+            let r = db
+                .query_with(q, QueryOptions::default().batch_size(bs))
+                .unwrap();
             assert_eq!(r.values, base.values, "batch_size {bs}");
-            assert_eq!(r.metrics.rows_scanned, base.metrics.rows_scanned, "batch_size {bs}");
+            assert_eq!(
+                r.metrics.rows_scanned, base.metrics.rows_scanned,
+                "batch_size {bs}"
+            );
         }
     }
 }

@@ -8,12 +8,22 @@ use tmql::{Database, Plan, QueryOptions, TmqlError, UnnestStrategy};
 use tmql_workload::gen::{gen_xy, gen_xyz, GenConfig};
 
 fn xy_db() -> Database {
-    let cfg = GenConfig { outer: 25, inner: 35, dangling_fraction: 0.3, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer: 25,
+        inner: 35,
+        dangling_fraction: 0.3,
+        ..GenConfig::default()
+    };
     Database::from_catalog(gen_xy(&cfg))
 }
 
 fn xyz_db() -> Database {
-    let cfg = GenConfig { outer: 18, inner: 22, dangling_fraction: 0.25, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer: 18,
+        inner: 22,
+        dangling_fraction: 0.25,
+        ..GenConfig::default()
+    };
     Database::from_catalog(gen_xyz(&cfg))
 }
 
@@ -37,10 +47,15 @@ fn two_subqueries_in_one_where_clause() {
              WHERE x.n IN (SELECT y.a FROM Y y WHERE x.b = y.b) \
                AND COUNT((SELECT y2.a FROM Y y2 WHERE x.b = y2.b)) < 5";
     let oracle = db
-        .query_with(q, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            q,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     for strat in strategies() {
-        let r = db.query_with(q, QueryOptions::default().strategy(strat)).unwrap();
+        let r = db
+            .query_with(q, QueryOptions::default().strategy(strat))
+            .unwrap();
         assert_eq!(r.values, oracle.values, "{}", strat.name());
     }
     // Optimal must fully decorrelate: one semijoin-able block, one
@@ -60,16 +75,24 @@ fn non_neighbour_correlation_stays_correct() {
                                  WHERE y.b = x.b AND \
                                        COUNT((SELECT z.c FROM Z z WHERE z.d = x.b)) > 0)";
     let oracle = db
-        .query_with(q, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            q,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     for strat in strategies() {
-        let r = db.query_with(q, QueryOptions::default().strategy(strat)).unwrap();
+        let r = db
+            .query_with(q, QueryOptions::default().strategy(strat))
+            .unwrap();
         assert_eq!(r.values, oracle.values, "{}", strat.name());
     }
     // The outer block must keep its Apply (its inner plan references x),
     // under every strategy.
     let (_, plan) = db.plan_with(q, QueryOptions::default()).unwrap();
-    assert!(plan.has_apply(), "non-neighbour correlation cannot flatten\n{plan}");
+    assert!(
+        plan.has_apply(),
+        "non-neighbour correlation cannot flatten\n{plan}"
+    );
 }
 
 #[test]
@@ -79,10 +102,15 @@ fn uncorrelated_subquery_is_constant() {
     let db = xy_db();
     let q = "SELECT x.n FROM X x WHERE x.n IN (SELECT y.a FROM Y y WHERE y.a > 2)";
     let oracle = db
-        .query_with(q, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            q,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     for strat in strategies() {
-        let r = db.query_with(q, QueryOptions::default().strategy(strat)).unwrap();
+        let r = db
+            .query_with(q, QueryOptions::default().strategy(strat))
+            .unwrap();
         assert_eq!(r.values, oracle.values, "{}", strat.name());
     }
     let (_, plan) = db.plan_with(q, QueryOptions::default()).unwrap();
@@ -105,7 +133,10 @@ fn triple_nesting_fully_decorrelates_with_neighbour_predicates() {
         "two membership blocks → two semijoins\n{plan}"
     );
     let oracle = db
-        .query_with(q, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            q,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     let opt = db.query_with(q, QueryOptions::default()).unwrap();
     assert_eq!(opt.values, oracle.values);
@@ -118,14 +149,19 @@ fn subquery_as_set_operand_in_expressions() {
     let q = "SELECT x.b FROM X x \
              WHERE x.a SUBSETEQ ((SELECT y.a FROM Y y WHERE x.b = y.b) UNION x.a)";
     let oracle = db
-        .query_with(q, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            q,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     // z appears under a ∪, so classification must refuse to flatten but
     // nest-join strategies still decorrelate the subquery binding.
     let all = db.catalog().table("X").unwrap().len();
     assert_eq!(oracle.len(), all, "s ⊆ (s' ∪ s) is a tautology");
     for strat in strategies() {
-        let r = db.query_with(q, QueryOptions::default().strategy(strat)).unwrap();
+        let r = db
+            .query_with(q, QueryOptions::default().strategy(strat))
+            .unwrap();
         assert_eq!(r.values, oracle.values, "{}", strat.name());
     }
 }
@@ -134,7 +170,10 @@ fn subquery_as_set_operand_in_expressions() {
 fn failure_paths_are_errors_not_panics() {
     let db = xy_db();
     // Unknown table (caught by typecheck).
-    assert!(matches!(db.query("SELECT q FROM Q q"), Err(TmqlError::Type(_))));
+    assert!(matches!(
+        db.query("SELECT q FROM Q q"),
+        Err(TmqlError::Type(_))
+    ));
     // Field access on an integer.
     assert!(db.query("SELECT x.n.w FROM X x").is_err());
     // Division by zero at runtime.
@@ -149,7 +188,10 @@ fn failure_paths_are_errors_not_panics() {
 #[test]
 fn typecheck_can_be_disabled_for_trusted_queries() {
     let db = xy_db();
-    let opts = QueryOptions { typecheck: false, ..QueryOptions::default() };
+    let opts = QueryOptions {
+        typecheck: false,
+        ..QueryOptions::default()
+    };
     // Well-typed query still runs.
     assert!(db.query_with("SELECT x.n FROM X x", opts).is_ok());
     // An ill-typed query surfaces as a runtime (Model) error instead.

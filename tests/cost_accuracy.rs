@@ -19,7 +19,9 @@ use tmql_workload::queries::{where_query, COUNT_BUG, UNNEST_COLLAPSE};
 const MAX_QERROR: f64 = 64.0;
 
 fn size() -> usize {
-    let quick = std::env::var("TMQL_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+    let quick = std::env::var("TMQL_BENCH_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
     if quick {
         256
     } else {
@@ -28,7 +30,9 @@ fn size() -> usize {
 }
 
 fn check(tag: &str, db: &Database, src: &str) {
-    let r = db.query_with(src, QueryOptions::default()).expect("query runs");
+    let r = db
+        .query_with(src, QueryOptions::default())
+        .expect("query runs");
     let q = r.max_qerror();
     assert!(
         q.is_finite() && q <= MAX_QERROR,
@@ -60,7 +64,11 @@ fn b7_survey_query_estimates_within_bound() {
     let db = Database::from_catalog(gen_rs(&cfg));
     check("b7-survey", &db, COUNT_BUG);
     // The cost-model ablation's high-fanout variant.
-    let cfg = GenConfig { outer: size() / 4, inner: size(), ..cfg };
+    let cfg = GenConfig {
+        outer: size() / 4,
+        inner: size(),
+        ..cfg
+    };
     let db = Database::from_catalog(gen_rs(&cfg));
     check("b7-costmodel", &db, COUNT_BUG);
 }

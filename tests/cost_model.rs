@@ -7,12 +7,19 @@ use tmql_workload::gen::{gen_rs, GenConfig};
 use tmql_workload::queries::{COUNT_BUG, MEMBERSHIP};
 
 fn rs_db(outer: usize, inner: usize) -> Database {
-    let cfg = GenConfig { outer, inner, dangling_fraction: 0.25, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer,
+        inner,
+        dangling_fraction: 0.25,
+        ..GenConfig::default()
+    };
     Database::from_catalog(gen_rs(&cfg))
 }
 
 fn plan_for(db: &Database, src: &str, strat: UnnestStrategy) -> Plan {
-    db.plan_with(src, QueryOptions::default().strategy(strat)).expect("plans").1
+    db.plan_with(src, QueryOptions::default().strategy(strat))
+        .expect("plans")
+        .1
 }
 
 /// The headline divergence: on the COUNT-bug query with a high inner
@@ -25,8 +32,14 @@ fn cost_based_diverges_from_optimal_at_high_fanout() {
     let db = rs_db(128, 1024);
     let rule = plan_for(&db, COUNT_BUG, UnnestStrategy::Optimal);
     let cost = plan_for(&db, COUNT_BUG, UnnestStrategy::CostBased);
-    assert!(rule.has_nest_join(), "rule-based choice is the nest join: {rule}");
-    assert!(!cost.has_nest_join(), "cost-based picks group-first here: {cost}");
+    assert!(
+        rule.has_nest_join(),
+        "rule-based choice is the nest join: {rule}"
+    );
+    assert!(
+        !cost.has_nest_join(),
+        "cost-based picks group-first here: {cost}"
+    );
     assert!(
         cost.any_node(&mut |n| matches!(n, Plan::GroupAgg { .. })),
         "group-first shape expected: {cost}"
@@ -34,7 +47,10 @@ fn cost_based_diverges_from_optimal_at_high_fanout() {
     // Different plan, same answer.
     let a = db.query_with(COUNT_BUG, QueryOptions::default()).unwrap();
     let b = db
-        .query_with(COUNT_BUG, QueryOptions::default().strategy(UnnestStrategy::Optimal))
+        .query_with(
+            COUNT_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::Optimal),
+        )
         .unwrap();
     assert_eq!(a.values, b.values);
 }
@@ -54,10 +70,17 @@ fn cost_based_agrees_with_optimal_at_balanced_sizes() {
 /// semijoin does strictly less work than any grouping strategy.
 #[test]
 fn cost_based_keeps_semijoin_for_membership() {
-    let cfg = GenConfig { outer: 128, inner: 512, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer: 128,
+        inner: 512,
+        ..GenConfig::default()
+    };
     let db = Database::from_catalog(tmql_workload::gen::gen_xy(&cfg));
     let cost = plan_for(&db, MEMBERSHIP, UnnestStrategy::CostBased);
-    assert!(cost.any_node(&mut |n| matches!(n, Plan::SemiJoin { .. })), "{cost}");
+    assert!(
+        cost.any_node(&mut |n| matches!(n, Plan::SemiJoin { .. })),
+        "{cost}"
+    );
     assert!(!cost.has_apply());
 }
 
@@ -84,11 +107,18 @@ fn profile_shows_estimated_vs_actual() {
     assert!(s.contains("est="), "estimates missing from profile: {s}");
     let r = db.query_with(COUNT_BUG, QueryOptions::default()).unwrap();
     assert!(!r.ops.is_empty());
-    assert!(r.ops.iter().all(|op| op.est_rows.is_some()), "every operator estimated");
+    assert!(
+        r.ops.iter().all(|op| op.est_rows.is_some()),
+        "every operator estimated"
+    );
     let q = r.max_qerror();
     assert!(q >= 1.0 && q.is_finite(), "q-error {q}");
     // Scans are estimated exactly, so at least one operator has q-error 1.
-    assert!(r.ops.iter().any(|op| op.qerror() == Some(1.0)), "{:?}", r.ops);
+    assert!(
+        r.ops.iter().any(|op| op.qerror() == Some(1.0)),
+        "{:?}",
+        r.ops
+    );
 }
 
 /// Facade-level pin of the Section 3.2 restriction: a subquery iterating a
@@ -108,7 +138,10 @@ fn cost_based_keeps_nested_loop_for_set_valued_operands() {
     t.insert(
         Record::new([
             ("mgr".to_string(), Value::Int(1)),
-            ("emps".to_string(), Value::set([Value::Int(1), Value::Int(2)])),
+            (
+                "emps".to_string(),
+                Value::set([Value::Int(1), Value::Int(2)]),
+            ),
         ])
         .unwrap(),
     )

@@ -17,26 +17,40 @@ fn fixed_fixture_demonstrates_the_bug() {
     let db = Database::from_catalog(count_bug_catalog());
 
     let oracle = db
-        .query_with(COUNT_BUG, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            COUNT_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     // Rows a=1 (b=2, two matches), a=2 (b=1, one match), a=3 (b=0,
     // dangling) qualify; a=4 has the wrong count.
     assert_eq!(oracle.len(), 3);
-    let has_dangling = oracle.values.iter().any(|v| {
-        v.as_tuple().unwrap().get("a").unwrap() == &Value::Int(3)
-    });
-    assert!(has_dangling, "the b=0 dangling row is part of the correct answer");
+    let has_dangling = oracle
+        .values
+        .iter()
+        .any(|v| v.as_tuple().unwrap().get("a").unwrap() == &Value::Int(3));
+    assert!(
+        has_dangling,
+        "the b=0 dangling row is part of the correct answer"
+    );
 
     // Kim: the bug — exactly the dangling row is missing.
     let kim = db
-        .query_with(COUNT_BUG, QueryOptions::default().strategy(UnnestStrategy::Kim))
+        .query_with(
+            COUNT_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::Kim),
+        )
         .unwrap();
     assert_eq!(kim.len(), 2, "Kim loses the dangling row");
     assert!(kim.values.iter().all(|v| oracle.values.contains(v)));
-    let kim_has_dangling = kim.values.iter().any(|v| {
-        v.as_tuple().unwrap().get("a").unwrap() == &Value::Int(3)
-    });
-    assert!(!kim_has_dangling, "the missing row is precisely the dangling one");
+    let kim_has_dangling = kim
+        .values
+        .iter()
+        .any(|v| v.as_tuple().unwrap().get("a").unwrap() == &Value::Int(3));
+    assert!(
+        !kim_has_dangling,
+        "the missing row is precisely the dangling one"
+    );
 
     // The fixes.
     for strat in [
@@ -45,8 +59,15 @@ fn fixed_fixture_demonstrates_the_bug() {
         UnnestStrategy::NestJoin,
         UnnestStrategy::Optimal,
     ] {
-        let got = db.query_with(COUNT_BUG, QueryOptions::default().strategy(strat)).unwrap();
-        assert_eq!(got.values, oracle.values, "{} must fix the bug", strat.name());
+        let got = db
+            .query_with(COUNT_BUG, QueryOptions::default().strategy(strat))
+            .unwrap();
+        assert_eq!(
+            got.values,
+            oracle.values,
+            "{} must fix the bug",
+            strat.name()
+        );
     }
 }
 
@@ -55,22 +76,46 @@ fn plan_shapes_match_section2() {
     let db = Database::from_catalog(count_bug_catalog());
     // Kim: GROUP BY + regular join (transformation (1) of Section 2).
     let (_, kim) = db
-        .plan_with(COUNT_BUG, QueryOptions::default().strategy(UnnestStrategy::Kim))
+        .plan_with(
+            COUNT_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::Kim),
+        )
         .unwrap();
-    assert!(kim.any_node(&mut |n| matches!(n, tmql::Plan::GroupAgg { .. })), "{kim}");
-    assert!(kim.any_node(&mut |n| matches!(n, tmql::Plan::Join { .. })), "{kim}");
+    assert!(
+        kim.any_node(&mut |n| matches!(n, tmql::Plan::GroupAgg { .. })),
+        "{kim}"
+    );
+    assert!(
+        kim.any_node(&mut |n| matches!(n, tmql::Plan::Join { .. })),
+        "{kim}"
+    );
     // Ganski–Wong: outerjoin + ν*.
     let (_, gw) = db
-        .plan_with(COUNT_BUG, QueryOptions::default().strategy(UnnestStrategy::GanskiWong))
+        .plan_with(
+            COUNT_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::GanskiWong),
+        )
         .unwrap();
-    assert!(gw.any_node(&mut |n| matches!(n, tmql::Plan::LeftOuterJoin { .. })), "{gw}");
-    assert!(gw.any_node(&mut |n| matches!(n, tmql::Plan::Nest { star: true, .. })), "{gw}");
+    assert!(
+        gw.any_node(&mut |n| matches!(n, tmql::Plan::LeftOuterJoin { .. })),
+        "{gw}"
+    );
+    assert!(
+        gw.any_node(&mut |n| matches!(n, tmql::Plan::Nest { star: true, .. })),
+        "{gw}"
+    );
     // The paper: one nest join, no outerjoin, no NULLs anywhere.
     let (_, nj) = db
-        .plan_with(COUNT_BUG, QueryOptions::default().strategy(UnnestStrategy::NestJoin))
+        .plan_with(
+            COUNT_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::NestJoin),
+        )
         .unwrap();
     assert!(nj.has_nest_join(), "{nj}");
-    assert!(!nj.any_node(&mut |n| matches!(n, tmql::Plan::LeftOuterJoin { .. })), "{nj}");
+    assert!(
+        !nj.any_node(&mut |n| matches!(n, tmql::Plan::LeftOuterJoin { .. })),
+        "{nj}"
+    );
 }
 
 #[test]
@@ -84,13 +129,22 @@ fn dangling_fraction_sweep() {
         };
         let db = Database::from_catalog(gen_rs(&cfg));
         let oracle = db
-            .query_with(COUNT_BUG, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+            .query_with(
+                COUNT_BUG,
+                QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+            )
             .unwrap();
         let kim = db
-            .query_with(COUNT_BUG, QueryOptions::default().strategy(UnnestStrategy::Kim))
+            .query_with(
+                COUNT_BUG,
+                QueryOptions::default().strategy(UnnestStrategy::Kim),
+            )
             .unwrap();
         let fixed = db
-            .query_with(COUNT_BUG, QueryOptions::default().strategy(UnnestStrategy::Optimal))
+            .query_with(
+                COUNT_BUG,
+                QueryOptions::default().strategy(UnnestStrategy::Optimal),
+            )
             .unwrap();
         assert_eq!(fixed.values, oracle.values, "dangling={dangling}");
 

@@ -89,11 +89,8 @@ fn parse_strategy(name: &str) -> UnnestStrategy {
 
 #[test]
 fn every_strategies_md_snippet_runs_and_matches_its_plan() {
-    let md = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/docs/strategies.md"
-    ))
-    .expect("docs/strategies.md exists");
+    let md = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/strategies.md"))
+        .expect("docs/strategies.md exists");
     let snippets = parse_snippets(&md);
     assert!(
         snippets.len() >= UnnestStrategy::ALL.len(),
@@ -108,9 +105,9 @@ fn every_strategies_md_snippet_runs_and_matches_its_plan() {
         covered.insert(strategy.name());
         let opts = QueryOptions::default().strategy(strategy);
 
-        let explain = db.explain_with(&s.query, opts).unwrap_or_else(|e| {
-            panic!("line {}: snippet does not plan: {e}\n{}", s.line, s.query)
-        });
+        let explain = db
+            .explain_with(&s.query, opts)
+            .unwrap_or_else(|e| panic!("line {}: snippet does not plan: {e}\n{}", s.line, s.query));
         for want in &s.expect_plan {
             assert!(
                 explain.contains(want.as_str()),
@@ -119,9 +116,9 @@ fn every_strategies_md_snippet_runs_and_matches_its_plan() {
             );
         }
 
-        let result = db.query_with(&s.query, opts).unwrap_or_else(|e| {
-            panic!("line {}: snippet does not run: {e}\n{}", s.line, s.query)
-        });
+        let result = db
+            .query_with(&s.query, opts)
+            .unwrap_or_else(|e| panic!("line {}: snippet does not run: {e}\n{}", s.line, s.query));
         if let Some(n) = s.expect_rows {
             assert_eq!(result.len(), n, "line {}: row count", s.line);
         }

@@ -19,15 +19,27 @@ fn correct_strategies() -> [UnnestStrategy; 5] {
 
 #[test]
 fn corpus_under_all_join_algorithms() {
-    let cfg = GenConfig { outer: 24, inner: 36, dangling_fraction: 0.3, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer: 24,
+        inner: 36,
+        dangling_fraction: 0.3,
+        ..GenConfig::default()
+    };
     let db = Database::from_catalog(gen_xy(&cfg));
     for (name, src) in table2_templates() {
         let oracle = db
-            .query_with(&src, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+            .query_with(
+                &src,
+                QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+            )
             .unwrap();
         for strat in correct_strategies() {
-            for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::Auto]
-            {
+            for algo in [
+                JoinAlgo::NestedLoop,
+                JoinAlgo::Hash,
+                JoinAlgo::SortMerge,
+                JoinAlgo::Auto,
+            ] {
                 let r = db
                     .query_with(
                         &src,
@@ -35,7 +47,8 @@ fn corpus_under_all_join_algorithms() {
                     )
                     .unwrap();
                 assert_eq!(
-                    r.values, oracle.values,
+                    r.values,
+                    oracle.values,
                     "`{name}` / {} / {algo:?}",
                     strat.name()
                 );
@@ -57,10 +70,15 @@ fn multilevel_corpus_under_skew() {
         let db = Database::from_catalog(gen_xyz(&cfg));
         for src in [queries::SECTION8, queries::SECTION8_FLAT] {
             let oracle = db
-                .query_with(src, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+                .query_with(
+                    src,
+                    QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+                )
                 .unwrap();
             for strat in correct_strategies() {
-                let r = db.query_with(src, QueryOptions::default().strategy(strat)).unwrap();
+                let r = db
+                    .query_with(src, QueryOptions::default().strategy(strat))
+                    .unwrap();
                 assert_eq!(r.values, oracle.values, "{skew:?} {}", strat.name());
             }
         }

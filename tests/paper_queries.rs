@@ -23,9 +23,17 @@ fn q1_stays_nested_loop_under_every_strategy() {
     // Apply in place and still compute the right answer.
     let db = Database::from_catalog(company_catalog());
     for strat in UnnestStrategy::ALL {
-        let (_, plan) = db.plan_with(Q1, QueryOptions::default().strategy(strat)).unwrap();
-        assert!(plan.has_apply(), "{}: d.emps must not be flattened\n{plan}", strat.name());
-        let r = db.query_with(Q1, QueryOptions::default().strategy(strat)).unwrap();
+        let (_, plan) = db
+            .plan_with(Q1, QueryOptions::default().strategy(strat))
+            .unwrap();
+        assert!(
+            plan.has_apply(),
+            "{}: d.emps must not be flattened\n{plan}",
+            strat.name()
+        );
+        let r = db
+            .query_with(Q1, QueryOptions::default().strategy(strat))
+            .unwrap();
         assert_eq!(r.len(), 1, "{}", strat.name());
     }
 }
@@ -55,16 +63,31 @@ fn q2_nested_result_contents() {
 fn q2_uses_nest_join_and_matches_nested_loop() {
     let db = Database::from_catalog(company_catalog());
     let (_, plan) = db
-        .plan_with(Q2, QueryOptions::default().strategy(UnnestStrategy::Optimal))
+        .plan_with(
+            Q2,
+            QueryOptions::default().strategy(UnnestStrategy::Optimal),
+        )
         .unwrap();
-    assert!(plan.has_nest_join(), "SELECT-clause nesting → nest join\n{plan}");
+    assert!(
+        plan.has_nest_join(),
+        "SELECT-clause nesting → nest join\n{plan}"
+    );
     assert!(!plan.has_apply());
 
     let oracle = db
-        .query_with(Q2, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            Q2,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
-    for strat in [UnnestStrategy::Optimal, UnnestStrategy::NestJoin, UnnestStrategy::GanskiWong] {
-        let r = db.query_with(Q2, QueryOptions::default().strategy(strat)).unwrap();
+    for strat in [
+        UnnestStrategy::Optimal,
+        UnnestStrategy::NestJoin,
+        UnnestStrategy::GanskiWong,
+    ] {
+        let r = db
+            .query_with(Q2, QueryOptions::default().strategy(strat))
+            .unwrap();
         assert_eq!(r.values, oracle.values, "{}", strat.name());
     }
 }
@@ -75,10 +98,16 @@ fn q2_work_drops_when_unnested() {
     // loop scans it once per department.
     let db = Database::from_catalog(company_catalog());
     let nl = db
-        .query_with(Q2, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            Q2,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     let nj = db
-        .query_with(Q2, QueryOptions::default().strategy(UnnestStrategy::NestJoin))
+        .query_with(
+            Q2,
+            QueryOptions::default().strategy(UnnestStrategy::NestJoin),
+        )
         .unwrap();
     assert!(nl.metrics.subquery_invocations > 0);
     assert_eq!(nj.metrics.subquery_invocations, 0);

@@ -1,0 +1,289 @@
+//! Facade-level persistence acceptance:
+//!
+//! * register → close → open → query round-trips the full complex-object
+//!   value universe (NaN floats included) with results differentially
+//!   identical to the in-memory path (property-based);
+//! * a buffer pool capped well below the table size still answers
+//!   identically, with pool residency pinned below the row count;
+//! * corrupted and truncated database files surface as
+//!   `ModelError::Io`, never a panic.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tmql::{Database, QueryOptions, TmqlError, Ty, Value};
+use tmql_model::{ModelError, Record};
+use tmql_storage::table::int_table;
+use tmql_storage::Table;
+
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let n = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "tmql-persist-{}-{tag}-{n}.tmdb",
+        std::process::id()
+    ))
+}
+
+/// Arbitrary bounded-depth complex object values — every `Value` kind,
+/// with NaN explicitly in the float pool.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        Just(Value::Float(f64::NAN)),
+        "[a-z]{0,6}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::set),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            ("[a-d]", inner.clone())
+                .prop_map(|(l, v)| Value::Variant(Arc::from(l.as_str()), Box::new(v))),
+            prop::collection::vec(("[a-d]", inner), 0..3).prop_map(|pairs| {
+                let mut rec = Record::empty();
+                for (l, v) in pairs {
+                    // Skip duplicate labels rather than fail the case.
+                    let _ = rec.push(l, v);
+                }
+                Value::Tuple(rec)
+            }),
+        ]
+    })
+}
+
+fn value_table(values: &[Value]) -> Table {
+    let mut t = Table::new("T", vec![("v".into(), Ty::Any), ("k".into(), Ty::Int)]);
+    for (i, v) in values.iter().enumerate() {
+        t.insert(
+            Record::new([
+                ("v".to_string(), v.clone()),
+                ("k".to_string(), Value::Int(i as i64)),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance property: for arbitrary complex-object rows,
+    /// register into a disk database, drop it, reopen, and the query
+    /// answer is identical to the in-memory database's.
+    #[test]
+    fn register_close_open_query_round_trips(values in prop::collection::vec(arb_value(), 0..24)) {
+        let path = scratch("prop");
+        let table = value_table(&values);
+
+        let mut mem = Database::new();
+        mem.register_table(table.clone()).unwrap();
+        let expected = mem.query("SELECT t.v FROM T t").unwrap();
+
+        {
+            let mut disk = Database::open_with(&path, 8).unwrap();
+            prop_assert!(disk.is_persistent());
+            disk.register_table(table).unwrap();
+        } // dropped: the process keeps nothing in memory
+
+        let reopened = Database::open_with(&path, 8).unwrap();
+        let got = reopened.query("SELECT t.v FROM T t").unwrap();
+        prop_assert_eq!(&got.values, &expected.values, "reopened result diverged");
+        prop_assert_eq!(got.len(), values.iter().collect::<std::collections::BTreeSet<_>>().len());
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// The headline acceptance: a dataset bigger than the buffer pool,
+/// closed, reopened, and queried — differentially identical to the
+/// in-memory path, with the pool pinned below the table size.
+#[test]
+fn bounded_pool_database_agrees_with_memory() {
+    let path = scratch("bounded");
+    let n = 4096i64;
+    let rows: Vec<Vec<i64>> = (0..n).map(|i| vec![i, i % 64]).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    let queries = [
+        "SELECT x.b FROM X x WHERE x.n IN (SELECT y.a FROM Y y WHERE x.b = y.b)",
+        "SELECT x.n FROM X x WHERE COUNT((SELECT y.a FROM Y y WHERE x.b = y.b)) > 0",
+        "SELECT x.n FROM X x WHERE x.n < 50",
+    ];
+
+    let mut mem = Database::new();
+    mem.register_table(int_table("X", &["n", "b"], &refs))
+        .unwrap();
+    mem.register_table(int_table("Y", &["a", "b"], &refs))
+        .unwrap();
+
+    {
+        let mut disk = Database::open_with(&path, 4).unwrap();
+        disk.register_table(int_table("X", &["n", "b"], &refs))
+            .unwrap();
+        disk.register_table(int_table("Y", &["a", "b"], &refs))
+            .unwrap();
+    }
+    let disk = Database::open_with(&path, 4).unwrap();
+
+    // The pool is capped far below the table: its 4 frames cannot hold
+    // the extent, so residency stays under the page count — and pages
+    // hold at most a few hundred rows, so resident rows < row count.
+    let (resident, total) = disk.catalog().page_residency("X").unwrap();
+    assert!(
+        total > 4,
+        "4096 rows must span more pages than the 4-frame pool (got {total})"
+    );
+    assert!(
+        resident <= 4,
+        "residency is bounded by the pool ({resident}/{total})"
+    );
+    assert!(
+        resident < n as usize,
+        "pool residency stays below the row count"
+    );
+
+    for q in queries {
+        let want = mem.query(q).unwrap();
+        let got = disk.query(q).unwrap();
+        assert_eq!(
+            got.values, want.values,
+            "disk-backed answer diverged for {q}"
+        );
+        assert!(
+            got.metrics.pool_hits + got.metrics.pool_misses > 0,
+            "disk-backed scans must go through the pool for {q}"
+        );
+    }
+
+    // Scanning 4096 rows through 4 frames evicts continuously: a second
+    // identical scan still faults (the working set exceeds the pool).
+    let again = disk.query(queries[0]).unwrap();
+    assert!(
+        again.metrics.pool_misses > 0,
+        "a working set larger than the pool keeps faulting: {}",
+        again.metrics
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A warm pool large enough for the table serves rescans from memory.
+#[test]
+fn warm_pool_stops_faulting() {
+    let path = scratch("warm");
+    let rows: Vec<Vec<i64>> = (0..512).map(|i| vec![i, i % 8]).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    let mut disk = Database::open_with(&path, 64).unwrap();
+    disk.register_table(int_table("X", &["n", "b"], &refs))
+        .unwrap();
+    let cold = disk.query("SELECT x.n FROM X x WHERE x.n < 0").unwrap();
+    let warm = disk.query("SELECT x.n FROM X x WHERE x.n < 0").unwrap();
+    assert_eq!(
+        warm.metrics.pool_misses, 0,
+        "warm rescan faulted: {}",
+        warm.metrics
+    );
+    assert!(warm.metrics.pool_hits > 0);
+    assert!((warm.metrics.pool_hit_rate() - 1.0).abs() < 1e-12);
+    // The estimator's page-I/O charge reflects the temperature: the warm
+    // scan is priced cheaper than the cold one was.
+    assert!(cold.metrics.pool_misses > 0 || cold.metrics.pool_hits > 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_page_surfaces_as_io_error() {
+    let path = scratch("corrupt");
+    let rows: Vec<Vec<i64>> = (0..2000).map(|i| vec![i, i % 4]).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    {
+        let mut disk = Database::open_with(&path, 8).unwrap();
+        disk.register_table(int_table("X", &["n", "b"], &refs))
+            .unwrap();
+    }
+    // Scribble garbage over the first data page (page 1; page 0 is the
+    // header and the catalog chain is written after the data).
+    use std::io::{Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.seek(SeekFrom::Start(8192)).unwrap();
+    f.write_all(&vec![0xABu8; 8192]).unwrap();
+    drop(f);
+
+    let disk = Database::open_with(&path, 8).unwrap();
+    let err = disk.query("SELECT x.n FROM X x").unwrap_err();
+    match err {
+        TmqlError::Model(ModelError::Io(msg)) => {
+            assert!(msg.contains("page"), "unexpected message: {msg}")
+        }
+        other => panic!("expected ModelError::Io, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_file_surfaces_as_io_error() {
+    let path = scratch("truncated");
+    {
+        let mut disk = Database::open_with(&path, 8).unwrap();
+        let rows: Vec<Vec<i64>> = (0..2000).map(|i| vec![i]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        disk.register_table(int_table("X", &["n"], &refs)).unwrap();
+    }
+    // Chop everything after the header: the catalog chain itself is gone.
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(8192).unwrap();
+    drop(f);
+    match Database::open_with(&path, 8) {
+        Err(TmqlError::Model(ModelError::Io(_))) => {}
+        other => panic!("expected ModelError::Io on truncated open, got {other:?}"),
+    }
+    // And a non-database file is rejected outright.
+    std::fs::write(&path, b"not a database").unwrap();
+    match Database::open_with(&path, 8) {
+        Err(TmqlError::Model(ModelError::Io(_))) => {}
+        other => panic!("expected ModelError::Io on bad magic, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `persist_to` copies an in-memory database wholesale; the copy answers
+/// identically after reopen.
+#[test]
+fn persist_to_copies_a_live_database() {
+    let path = scratch("persistto");
+    let mut mem = Database::new();
+    mem.register_table(int_table("X", &["a", "b"], &[&[1, 1], &[2, 1], &[3, 9]]))
+        .unwrap();
+    mem.register_table(int_table("Y", &["b", "c"], &[&[1, 10], &[9, 90]]))
+        .unwrap();
+    let q = "SELECT x.a FROM X x WHERE x.a IN (SELECT y.c - 9 FROM Y y WHERE x.b = y.b)";
+    let want = mem.query(q).unwrap();
+
+    let copy = mem.persist_to(&path, 8).unwrap();
+    assert!(copy.is_persistent());
+    assert_eq!(copy.query(q).unwrap().values, want.values);
+    drop(copy);
+
+    let reopened = Database::open_with(&path, 8).unwrap();
+    assert_eq!(reopened.query(q).unwrap().values, want.values);
+    // Options thread through unchanged on the disk path.
+    let tight = reopened
+        .query_with(q, QueryOptions::default().memory_budget(2))
+        .unwrap();
+    assert_eq!(tight.values, want.values);
+
+    // Persisting over an existing database is refused (it would merge,
+    // not copy).
+    match mem.persist_to(&path, 8) {
+        Err(TmqlError::Model(ModelError::Io(msg))) => {
+            assert!(msg.contains("already exists"), "{msg}")
+        }
+        other => panic!("expected refusal on existing target, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -23,7 +23,10 @@ use tmql_workload::schemas::section8_catalog;
 fn subseteq_version_uses_two_nest_joins() {
     let db = Database::from_catalog(section8_catalog());
     let (translated, plan) = db
-        .plan_with(SECTION8, QueryOptions::default().strategy(UnnestStrategy::Optimal))
+        .plan_with(
+            SECTION8,
+            QueryOptions::default().strategy(UnnestStrategy::Optimal),
+        )
         .unwrap();
     assert_eq!(
         translated.count_nodes(&mut |n| matches!(n, Plan::Apply { .. })),
@@ -40,7 +43,10 @@ fn subseteq_version_uses_two_nest_joins() {
     let Some(outer_right_has_nj) = find_outer_nestjoin_right(&plan) else {
         panic!("outer nest join not found\n{plan}");
     };
-    assert!(outer_right_has_nj, "inner nest join feeds the outer's right operand\n{plan}");
+    assert!(
+        outer_right_has_nj,
+        "inner nest join feeds the outer's right operand\n{plan}"
+    );
 }
 
 fn find_outer_nestjoin_right(plan: &Plan) -> Option<bool> {
@@ -85,7 +91,10 @@ fn flat_version_replaces_nest_joins_with_semi_and_anti() {
     // operation, and the nest join in (3) may be replaced by a semijoin."
     let db = Database::from_catalog(section8_catalog());
     let (_, plan) = db
-        .plan_with(SECTION8_FLAT, QueryOptions::default().strategy(UnnestStrategy::Optimal))
+        .plan_with(
+            SECTION8_FLAT,
+            QueryOptions::default().strategy(UnnestStrategy::Optimal),
+        )
         .unwrap();
     assert!(!plan.has_apply(), "{plan}");
     assert!(!plan.has_nest_join(), "no grouping needed anywhere\n{plan}");
@@ -103,12 +112,25 @@ fn flat_version_replaces_nest_joins_with_semi_and_anti() {
 fn all_strategies_agree_on_both_versions() {
     for (name, src) in [("SECTION8", SECTION8), ("SECTION8_FLAT", SECTION8_FLAT)] {
         for cfg in [
-            GenConfig { outer: 25, inner: 30, dangling_fraction: 0.3, ..GenConfig::default() },
-            GenConfig { outer: 40, inner: 20, dangling_fraction: 0.0, ..GenConfig::default() },
+            GenConfig {
+                outer: 25,
+                inner: 30,
+                dangling_fraction: 0.3,
+                ..GenConfig::default()
+            },
+            GenConfig {
+                outer: 40,
+                inner: 20,
+                dangling_fraction: 0.0,
+                ..GenConfig::default()
+            },
         ] {
             let db = Database::from_catalog(gen_xyz(&cfg));
             let oracle = db
-                .query_with(src, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+                .query_with(
+                    src,
+                    QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+                )
                 .unwrap();
             for strat in [
                 UnnestStrategy::Optimal,
@@ -116,7 +138,9 @@ fn all_strategies_agree_on_both_versions() {
                 UnnestStrategy::GanskiWong,
                 UnnestStrategy::FlattenSemiAnti,
             ] {
-                let got = db.query_with(src, QueryOptions::default().strategy(strat)).unwrap();
+                let got = db
+                    .query_with(src, QueryOptions::default().strategy(strat))
+                    .unwrap();
                 assert_eq!(got.values, oracle.values, "{name} under {}", strat.name());
             }
         }
@@ -127,13 +151,24 @@ fn all_strategies_agree_on_both_versions() {
 fn flat_version_does_less_work_than_nest_join_version() {
     // The Section 8 punchline: semi/antijoins "can be implemented more
     // efficiently than the nest (or regular) join operator".
-    let cfg = GenConfig { outer: 120, inner: 150, dangling_fraction: 0.25, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer: 120,
+        inner: 150,
+        dangling_fraction: 0.25,
+        ..GenConfig::default()
+    };
     let db = Database::from_catalog(gen_xyz(&cfg));
     let flat = db
-        .query_with(SECTION8_FLAT, QueryOptions::default().strategy(UnnestStrategy::Optimal))
+        .query_with(
+            SECTION8_FLAT,
+            QueryOptions::default().strategy(UnnestStrategy::Optimal),
+        )
         .unwrap();
     let forced_nj = db
-        .query_with(SECTION8_FLAT, QueryOptions::default().strategy(UnnestStrategy::NestJoin))
+        .query_with(
+            SECTION8_FLAT,
+            QueryOptions::default().strategy(UnnestStrategy::NestJoin),
+        )
         .unwrap();
     assert_eq!(flat.values, forced_nj.values);
     assert!(

@@ -41,7 +41,10 @@ fn count_bug_demo_in_shell() {
          \\strategies SELECT x FROM R x WHERE x.b = COUNT((SELECT y.d FROM S y WHERE x.c = y.c))\n\
          \\quit\n",
     );
-    assert!(out.contains("differs from oracle!"), "Kim's bug must be flagged:\n{out}");
+    assert!(
+        out.contains("differs from oracle!"),
+        "Kim's bug must be flagged:\n{out}"
+    );
     // Exactly one strategy differs.
     assert_eq!(out.matches("differs from oracle!").count(), 1, "{out}");
 }
@@ -83,16 +86,33 @@ fn help_lists_every_implemented_command() {
     // must be documented in `\help` so the help text cannot rot again the
     // way it once missed `\profile`.
     let commands = [
-        "\\load", "\\tables", "\\strategy", "\\algo", "\\set", "\\show", "\\explain",
-        "\\profile", "\\strategies", "\\help", "\\quit",
+        "\\load",
+        "\\open",
+        "\\persist",
+        "\\tables",
+        "\\strategy",
+        "\\algo",
+        "\\set",
+        "\\show",
+        "\\explain",
+        "\\profile",
+        "\\strategies",
+        "\\help",
+        "\\quit",
     ];
     let out = run_shell("\\help\n\\quit\n");
     for cmd in commands {
-        assert!(out.contains(cmd), "`\\help` does not mention `{cmd}`:\n{out}");
+        assert!(
+            out.contains(cmd),
+            "`\\help` does not mention `{cmd}`:\n{out}"
+        );
     }
     // And the `\set` options are spelled out.
     for opt in ["batch_size", "memory_budget", "rules", "typecheck"] {
-        assert!(out.contains(opt), "`\\help` does not mention \\set option `{opt}`:\n{out}");
+        assert!(
+            out.contains(opt),
+            "`\\help` does not mention \\set option `{opt}`:\n{out}"
+        );
     }
 }
 
@@ -130,7 +150,54 @@ fn memory_budget_makes_queries_spill() {
          \\quit\n",
     );
     assert!(out.contains("spilled="), "{out}");
-    assert!(!out.contains("spilled=0 "), "budgeted run must actually spill:\n{out}");
+    assert!(
+        !out.contains("spilled=0 "),
+        "budgeted run must actually spill:\n{out}"
+    );
+}
+
+#[test]
+fn persist_then_open_round_trips_across_shell_sessions() {
+    let path = std::env::temp_dir().join(format!("tmql-shell-test-{}.tmdb", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let p = path.display();
+    // Session 1: load a generated dataset and persist it.
+    let out = run_shell(&format!(
+        "\\load xy 64\n\
+         \\persist {p}\n\
+         \\show\n\
+         SELECT x.n FROM X x WHERE x.n IN (SELECT y.a FROM Y y WHERE x.b = y.b)\n\
+         \\quit\n"
+    ));
+    assert!(out.contains("persisted 2 table(s)"), "{out}");
+    assert!(out.contains("database: disk-backed"), "{out}");
+    let rows_line = out
+        .lines()
+        .find(|l| l.contains("rows in"))
+        .expect("query ran")
+        .to_string();
+    // Session 2: a fresh process opens the file and gets the same answer.
+    let out2 = run_shell(&format!(
+        "\\open {p}\n\
+         SELECT x.n FROM X x WHERE x.n IN (SELECT y.a FROM Y y WHERE x.b = y.b)\n\
+         \\quit\n"
+    ));
+    assert!(
+        out2.contains("X(64)"),
+        "reopened tables list their row counts:\n{out2}"
+    );
+    let rows = rows_line
+        .split(" rows")
+        .next()
+        .unwrap()
+        .rsplit(' ')
+        .next()
+        .unwrap();
+    assert!(
+        out2.contains(&format!("-- {rows} rows")),
+        "reopened database must answer identically ({rows_line}):\n{out2}"
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

@@ -14,10 +14,18 @@ fn join_db(n: i64, modb: i64) -> Database {
     let mut db = Database::new();
     let x: Vec<Vec<i64>> = (0..n).map(|i| vec![i, i % modb]).collect();
     let y: Vec<Vec<i64>> = (0..n).map(|i| vec![i, i % modb]).collect();
-    db.register_table(int_table("X", &["n", "b"], &x.iter().map(Vec::as_slice).collect::<Vec<_>>()))
-        .unwrap();
-    db.register_table(int_table("Y", &["a", "b"], &y.iter().map(Vec::as_slice).collect::<Vec<_>>()))
-        .unwrap();
+    db.register_table(int_table(
+        "X",
+        &["n", "b"],
+        &x.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+    ))
+    .unwrap();
+    db.register_table(int_table(
+        "Y",
+        &["a", "b"],
+        &y.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+    ))
+    .unwrap();
     db
 }
 
@@ -34,14 +42,24 @@ fn budgeted_join_spills_stays_bounded_and_agrees() {
     let n = 4096i64; // 8× the budget on each side
     let db = join_db(n, 64);
 
-    let free = db.query_with(MEMBER, QueryOptions::default().batch_size(batch)).unwrap();
+    let free = db
+        .query_with(MEMBER, QueryOptions::default().batch_size(batch))
+        .unwrap();
     assert_eq!(free.metrics.rows_spilled, 0, "no budget, no spilling");
 
-    let opts = QueryOptions::default().batch_size(batch).memory_budget(budget);
+    let opts = QueryOptions::default()
+        .batch_size(batch)
+        .memory_budget(budget);
     let tight = db.query_with(MEMBER, opts).unwrap();
 
-    assert_eq!(tight.values, free.values, "spilling must not change results");
-    assert!(tight.metrics.rows_spilled > 0, "4096-row build side over a 512-row budget spills");
+    assert_eq!(
+        tight.values, free.values,
+        "spilling must not change results"
+    );
+    assert!(
+        tight.metrics.rows_spilled > 0,
+        "4096-row build side over a 512-row budget spills"
+    );
     assert!(tight.metrics.spill_partitions > 0);
     let slack = (3 * batch) as u64;
     assert!(
@@ -65,15 +83,26 @@ fn budgeted_join_spills_stays_bounded_and_agrees() {
 fn every_strategy_agrees_under_a_tight_budget() {
     let db = join_db(768, 16);
     let free = db
-        .query_with(MEMBER, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            MEMBER,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     for strat in UnnestStrategy::ALL {
         if strat.is_bug_compatible() {
             continue;
         }
-        let opts = QueryOptions::default().strategy(strat).batch_size(64).memory_budget(96);
+        let opts = QueryOptions::default()
+            .strategy(strat)
+            .batch_size(64)
+            .memory_budget(96);
         let r = db.query_with(MEMBER, opts).unwrap();
-        assert_eq!(r.values, free.values, "strategy {} diverged under budget", strat.name());
+        assert_eq!(
+            r.values,
+            free.values,
+            "strategy {} diverged under budget",
+            strat.name()
+        );
     }
 }
 
@@ -100,7 +129,12 @@ fn aggregation_and_grouping_spill_and_agree() {
     let db = join_db(2048, 8);
     let q = "SELECT x.n FROM X x WHERE COUNT((SELECT y.a FROM Y y WHERE x.b = y.b)) > 0";
     let free = db.query_with(q, QueryOptions::default()).unwrap();
-    let tight = db.query_with(q, QueryOptions::default().batch_size(128).memory_budget(256)).unwrap();
+    let tight = db
+        .query_with(
+            q,
+            QueryOptions::default().batch_size(128).memory_budget(256),
+        )
+        .unwrap();
     assert_eq!(tight.values, free.values);
     assert!(tight.metrics.rows_spilled > 0);
     assert!(tight.metrics.peak_resident_rows < free.metrics.peak_resident_rows);

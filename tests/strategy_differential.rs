@@ -27,7 +27,10 @@ fn arb_config() -> impl Strategy<Value = GenConfig> {
 /// block choices depend on the generated data's statistics.
 fn assert_all_strategies_agree(db: &Database, src: &str) {
     let oracle = db
-        .query_with(src, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            src,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .expect("nested-loop oracle runs");
     for strat in UnnestStrategy::ALL {
         if strat.is_bug_compatible() {

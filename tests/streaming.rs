@@ -31,7 +31,10 @@ fn b1_flatten_streams_below_total_intermediate_rows() {
         r.metrics.peak_resident_rows,
         r.metrics.rows_emitted
     );
-    assert!(r.metrics.batches_emitted > 1, "a 4096-row workload spans multiple batches");
+    assert!(
+        r.metrics.batches_emitted > 1,
+        "a 4096-row workload spans multiple batches"
+    );
 }
 
 /// Results and scan work are batch-size invariant for the paper's
@@ -46,17 +49,22 @@ fn b1_results_are_batch_size_invariant() {
             .expect("runs");
         for bs in [1, 7, 256, 100_000] {
             let r = db
-                .query_with(MEMBERSHIP, QueryOptions::default().strategy(strategy).batch_size(bs))
+                .query_with(
+                    MEMBERSHIP,
+                    QueryOptions::default().strategy(strategy).batch_size(bs),
+                )
                 .expect("runs");
             assert_eq!(r.values, base.values, "{} batch {}", strategy.name(), bs);
             assert_eq!(
-                r.metrics.rows_scanned, base.metrics.rows_scanned,
+                r.metrics.rows_scanned,
+                base.metrics.rows_scanned,
                 "{} batch {}",
                 strategy.name(),
                 bs
             );
             assert_eq!(
-                r.metrics.subquery_invocations, base.metrics.subquery_invocations,
+                r.metrics.subquery_invocations,
+                base.metrics.subquery_invocations,
                 "{} batch {}",
                 strategy.name(),
                 bs
@@ -75,7 +83,9 @@ fn apply_counts_invocations_per_outer_row() {
         let r = db
             .query_with(
                 MEMBERSHIP,
-                QueryOptions::default().strategy(UnnestStrategy::NestedLoop).batch_size(bs),
+                QueryOptions::default()
+                    .strategy(UnnestStrategy::NestedLoop)
+                    .batch_size(bs),
             )
             .expect("runs");
         assert_eq!(r.metrics.subquery_invocations, 128, "batch {bs}");

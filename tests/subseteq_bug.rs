@@ -8,9 +8,9 @@
 
 use tmql::{Database, QueryOptions, Table, UnnestStrategy, Value};
 use tmql_model::{Record, Ty};
+use tmql_storage::{table::int_table, Catalog};
 use tmql_workload::gen::{gen_xy, GenConfig};
 use tmql_workload::queries::SUBSETEQ_BUG;
-use tmql_storage::{table::int_table, Catalog};
 
 /// The Section 4 scenario, minimal: one dangling X row with x.a = ∅.
 fn fixture() -> Catalog {
@@ -41,7 +41,8 @@ fn fixture() -> Catalog {
         .unwrap();
     }
     cat.register(x).unwrap();
-    cat.register(int_table("Y", &["b", "a"], &[&[1, 10], &[1, 11]])).unwrap();
+    cat.register(int_table("Y", &["b", "a"], &[&[1, 10], &[1, 11]]))
+        .unwrap();
     cat
 }
 
@@ -49,14 +50,24 @@ fn fixture() -> Catalog {
 fn subseteq_bug_demonstrated_and_fixed() {
     let db = Database::from_catalog(fixture());
     let oracle = db
-        .query_with(SUBSETEQ_BUG, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            SUBSETEQ_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     assert_eq!(oracle.len(), 2, "rows n=0 and n=2 qualify");
 
     let kim = db
-        .query_with(SUBSETEQ_BUG, QueryOptions::default().strategy(UnnestStrategy::Kim))
+        .query_with(
+            SUBSETEQ_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::Kim),
+        )
         .unwrap();
-    assert_eq!(kim.len(), 1, "Kim loses the dangling ∅-row — the SUBSETEQ bug");
+    assert_eq!(
+        kim.len(),
+        1,
+        "Kim loses the dangling ∅-row — the SUBSETEQ bug"
+    );
 
     for strat in [
         UnnestStrategy::GanskiWong,
@@ -64,7 +75,9 @@ fn subseteq_bug_demonstrated_and_fixed() {
         UnnestStrategy::NestJoin,
         UnnestStrategy::Optimal,
     ] {
-        let got = db.query_with(SUBSETEQ_BUG, QueryOptions::default().strategy(strat)).unwrap();
+        let got = db
+            .query_with(SUBSETEQ_BUG, QueryOptions::default().strategy(strat))
+            .unwrap();
         assert_eq!(got.values, oracle.values, "{}", strat.name());
     }
 }
@@ -75,10 +88,19 @@ fn kim_plan_uses_nest_then_join_as_in_section4() {
     // b, then X ⋈ T on x.b = t.b ∧ x.a ⊆ t.as.
     let db = Database::from_catalog(fixture());
     let (_, kim) = db
-        .plan_with(SUBSETEQ_BUG, QueryOptions::default().strategy(UnnestStrategy::Kim))
+        .plan_with(
+            SUBSETEQ_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::Kim),
+        )
         .unwrap();
-    assert!(kim.any_node(&mut |n| matches!(n, tmql::Plan::Nest { star: false, .. })), "{kim}");
-    assert!(kim.any_node(&mut |n| matches!(n, tmql::Plan::Join { .. })), "{kim}");
+    assert!(
+        kim.any_node(&mut |n| matches!(n, tmql::Plan::Nest { star: false, .. })),
+        "{kim}"
+    );
+    assert!(
+        kim.any_node(&mut |n| matches!(n, tmql::Plan::Join { .. })),
+        "{kim}"
+    );
     assert!(!kim.has_apply());
 }
 
@@ -87,7 +109,10 @@ fn optimal_uses_nest_join_for_subseteq() {
     // ⊆ requires grouping (Table 2), so Optimal must pick Δ, not ⋉.
     let db = Database::from_catalog(fixture());
     let (_, plan) = db
-        .plan_with(SUBSETEQ_BUG, QueryOptions::default().strategy(UnnestStrategy::Optimal))
+        .plan_with(
+            SUBSETEQ_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::Optimal),
+        )
         .unwrap();
     assert!(plan.has_nest_join(), "{plan}");
     assert!(!plan.any_node(&mut |n| matches!(n, tmql::Plan::SemiJoin { .. })));
@@ -97,14 +122,24 @@ fn optimal_uses_nest_join_for_subseteq() {
 fn generated_sweep_counts_lost_rows() {
     // On generated data, Kim's deficit equals exactly the number of
     // dangling rows with x.a = ∅ (∅ ⊆ ∅ holds) — quantifying the bug.
-    let cfg =
-        GenConfig { outer: 80, inner: 60, dangling_fraction: 0.4, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer: 80,
+        inner: 60,
+        dangling_fraction: 0.4,
+        ..GenConfig::default()
+    };
     let db = Database::from_catalog(gen_xy(&cfg));
     let oracle = db
-        .query_with(SUBSETEQ_BUG, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+        .query_with(
+            SUBSETEQ_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+        )
         .unwrap();
     let kim = db
-        .query_with(SUBSETEQ_BUG, QueryOptions::default().strategy(UnnestStrategy::Kim))
+        .query_with(
+            SUBSETEQ_BUG,
+            QueryOptions::default().strategy(UnnestStrategy::Kim),
+        )
         .unwrap();
 
     // Count dangling ∅-rows directly from the data.

@@ -25,7 +25,11 @@ fn nest_join_plan() -> Plan {
 
 fn y_tuple(a: i64, b: i64) -> Value {
     Value::Tuple(
-        Record::new([("a".to_string(), Value::Int(a)), ("b".to_string(), Value::Int(b))]).unwrap(),
+        Record::new([
+            ("a".to_string(), Value::Int(a)),
+            ("b".to_string(), Value::Int(b)),
+        ])
+        .unwrap(),
     )
 }
 
@@ -34,7 +38,11 @@ fn table1_exact_output() {
     let cat = table1_catalog();
     for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge] {
         let (rows, _) = run(&nest_join_plan(), &cat, &ExecConfig::with_join_algo(algo)).unwrap();
-        assert_eq!(rows.len(), 3, "every X tuple appears exactly once ({algo:?})");
+        assert_eq!(
+            rows.len(),
+            3,
+            "every X tuple appears exactly once ({algo:?})"
+        );
 
         let by_e = |e: i64| {
             rows.iter()

@@ -25,8 +25,9 @@ fn db() -> Database {
 /// The paper's rewrite column: which rows flatten, and to what.
 fn expected_shape(name: &str) -> &'static str {
     match name {
-        "z = ∅" | "count(z) = 0" | "x.n ∉ z" | "x.a ⊇ z" | "x.a ∩ z = ∅"
-        | "∀w ∈ x.a (w ∉ z)" => "antijoin",
+        "z = ∅" | "count(z) = 0" | "x.n ∉ z" | "x.a ⊇ z" | "x.a ∩ z = ∅" | "∀w ∈ x.a (w ∉ z)" => {
+            "antijoin"
+        }
         "count(z) <> 0" | "x.n ∈ z" | "x.a ∩ z ≠ ∅" => "semijoin",
         _ => "nestjoin",
     }
@@ -37,11 +38,17 @@ fn table2_shapes_and_results() {
     let db = db();
     for (name, src) in table2_templates() {
         let oracle = db
-            .query_with(&src, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+            .query_with(
+                &src,
+                QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+            )
             .unwrap_or_else(|e| panic!("oracle failed on `{name}`: {e}"));
         // Shape check under Optimal.
         let (_, optimized) = db
-            .plan_with(&src, QueryOptions::default().strategy(UnnestStrategy::Optimal))
+            .plan_with(
+                &src,
+                QueryOptions::default().strategy(UnnestStrategy::Optimal),
+            )
             .unwrap();
         let shape = expected_shape(name);
         let has = |p: &tmql::Plan, what: &str| -> bool {
@@ -51,9 +58,15 @@ fn table2_shapes_and_results() {
                 _ => p.has_nest_join(),
             }
         };
-        assert!(has(&optimized, shape), "row `{name}` should use a {shape}:\n{optimized}");
+        assert!(
+            has(&optimized, shape),
+            "row `{name}` should use a {shape}:\n{optimized}"
+        );
         if shape != "nestjoin" {
-            assert!(!optimized.has_nest_join(), "row `{name}` must not group:\n{optimized}");
+            assert!(
+                !optimized.has_nest_join(),
+                "row `{name}` must not group:\n{optimized}"
+            );
         }
         // Result check under every correct strategy.
         for strat in [

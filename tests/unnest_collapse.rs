@@ -11,18 +11,30 @@ use tmql_workload::gen::{gen_xy, GenConfig};
 use tmql_workload::queries::UNNEST_COLLAPSE;
 
 fn db() -> Database {
-    let cfg = GenConfig { outer: 25, inner: 30, dangling_fraction: 0.3, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer: 25,
+        inner: 30,
+        dangling_fraction: 0.3,
+        ..GenConfig::default()
+    };
     Database::from_catalog(gen_xy(&cfg))
 }
 
 #[test]
 fn collapse_rule_produces_flat_join() {
     let db = db();
-    let (translated, optimized) =
-        db.plan_with(UNNEST_COLLAPSE, QueryOptions::default()).unwrap();
-    assert!(translated.has_apply(), "before: nested-loop semantics\n{translated}");
+    let (translated, optimized) = db
+        .plan_with(UNNEST_COLLAPSE, QueryOptions::default())
+        .unwrap();
+    assert!(
+        translated.has_apply(),
+        "before: nested-loop semantics\n{translated}"
+    );
     assert!(!optimized.has_apply(), "after: decorrelated\n{optimized}");
-    assert!(!optimized.has_nest_join(), "after: no grouping at all\n{optimized}");
+    assert!(
+        !optimized.has_nest_join(),
+        "after: no grouping at all\n{optimized}"
+    );
     assert!(
         optimized.any_node(&mut |n| matches!(n, tmql::Plan::Join { .. })),
         "after: a plain join\n{optimized}"
@@ -45,8 +57,11 @@ fn collapse_equals_nested_loop_semantics() {
     let oracle = db
         .query_with(
             UNNEST_COLLAPSE,
-            QueryOptions { apply_rules: false, ..QueryOptions::default() }
-                .strategy(UnnestStrategy::NestedLoop),
+            QueryOptions {
+                apply_rules: false,
+                ..QueryOptions::default()
+            }
+            .strategy(UnnestStrategy::NestedLoop),
         )
         .unwrap();
     let optimized = db.query(UNNEST_COLLAPSE).unwrap();
@@ -56,8 +71,11 @@ fn collapse_equals_nested_loop_semantics() {
     let nj = db
         .query_with(
             UNNEST_COLLAPSE,
-            QueryOptions { apply_rules: false, ..QueryOptions::default() }
-                .strategy(UnnestStrategy::NestJoin),
+            QueryOptions {
+                apply_rules: false,
+                ..QueryOptions::default()
+            }
+            .strategy(UnnestStrategy::NestJoin),
         )
         .unwrap();
     assert_eq!(nj.values, oracle.values);
@@ -70,8 +88,11 @@ fn collapse_saves_work() {
     let without_rule = db
         .query_with(
             UNNEST_COLLAPSE,
-            QueryOptions { apply_rules: false, ..QueryOptions::default() }
-                .strategy(UnnestStrategy::NestedLoop),
+            QueryOptions {
+                apply_rules: false,
+                ..QueryOptions::default()
+            }
+            .strategy(UnnestStrategy::NestedLoop),
         )
         .unwrap();
     assert!(

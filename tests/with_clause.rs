@@ -20,7 +20,12 @@ WHERE x.n = COUNT(z)
 WITH z = (SELECT y.a FROM Y y WHERE x.b = y.b)";
 
 fn db() -> Database {
-    let cfg = GenConfig { outer: 30, inner: 40, dangling_fraction: 0.3, ..GenConfig::default() };
+    let cfg = GenConfig {
+        outer: 30,
+        inner: 40,
+        dangling_fraction: 0.3,
+        ..GenConfig::default()
+    };
     Database::from_catalog(gen_xy(&cfg))
 }
 
@@ -35,13 +40,15 @@ fn with_clause_equals_inline_subquery() {
 #[test]
 fn with_clause_unnests_into_a_nest_join_with_the_users_label() {
     let db = db();
-    let (translated, optimized) = db.plan_with(WITH_SUBSETEQ, QueryOptions::default()).unwrap();
+    let (translated, optimized) = db
+        .plan_with(WITH_SUBSETEQ, QueryOptions::default())
+        .unwrap();
     // The Apply carries the user's name `z`, not a generated label.
-    let has_z_apply = translated
-        .any_node(&mut |n| matches!(n, Plan::Apply { label, .. } if label == "z"));
+    let has_z_apply =
+        translated.any_node(&mut |n| matches!(n, Plan::Apply { label, .. } if label == "z"));
     assert!(has_z_apply, "{translated}");
-    let has_z_nestjoin = optimized
-        .any_node(&mut |n| matches!(n, Plan::NestJoin { label, .. } if label == "z"));
+    let has_z_nestjoin =
+        optimized.any_node(&mut |n| matches!(n, Plan::NestJoin { label, .. } if label == "z"));
     assert!(has_z_nestjoin, "{optimized}");
 }
 
@@ -50,7 +57,10 @@ fn with_clause_all_strategies_agree() {
     let db = db();
     for src in [WITH_SUBSETEQ, WITH_COUNT] {
         let oracle = db
-            .query_with(src, QueryOptions::default().strategy(UnnestStrategy::NestedLoop))
+            .query_with(
+                src,
+                QueryOptions::default().strategy(UnnestStrategy::NestedLoop),
+            )
             .unwrap();
         for strat in [
             UnnestStrategy::Optimal,
@@ -58,7 +68,9 @@ fn with_clause_all_strategies_agree() {
             UnnestStrategy::GanskiWong,
             UnnestStrategy::FlattenSemiAnti,
         ] {
-            let r = db.query_with(src, QueryOptions::default().strategy(strat)).unwrap();
+            let r = db
+                .query_with(src, QueryOptions::default().strategy(strat))
+                .unwrap();
             assert_eq!(r.values, oracle.values, "{src} under {}", strat.name());
         }
     }
@@ -95,8 +107,12 @@ fn with_chained_bindings() {
 #[test]
 fn with_shadowing_rejected() {
     let db = db();
-    let err = db.query("SELECT x FROM X x WHERE TRUE WITH x = 1").unwrap_err();
+    let err = db
+        .query("SELECT x FROM X x WHERE TRUE WITH x = 1")
+        .unwrap_err();
     assert!(matches!(err, tmql::TmqlError::Parse(_)), "{err}");
-    let err = db.query("SELECT x FROM X x WHERE TRUE WITH a = 1, a = 2").unwrap_err();
+    let err = db
+        .query("SELECT x FROM X x WHERE TRUE WITH a = 1, a = 2")
+        .unwrap_err();
     assert!(matches!(err, tmql::TmqlError::Parse(_)), "{err}");
 }
