@@ -1,0 +1,67 @@
+//! B10 — morsel-driven parallelism: the spill-forcing membership join at
+//! 1/2/4/8 worker threads.
+//!
+//! With a `memory_budget_rows` far below the build side, the semijoin
+//! runs grace-hash and its partitions become the units of parallel work
+//! (partition-per-worker waves); table scans additionally fan out
+//! batch-sized morsels. `threads = 1` is the exactly-serial executor, so
+//! the 1-thread rung doubles as the parity baseline — the recorded
+//! trajectory (and the host's `available_parallelism`, which caps real
+//! speedup) lives in `BENCH_parallel.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, QueryOptions, Record, Table, Ty, Value};
+use tmql_bench::{criterion, ladder, report_work};
+
+/// Breaker budget (rows): small enough that every rung spills into many
+/// grace partitions, giving the workers real partition-level parallelism.
+const BUDGET: usize = 512;
+
+/// Flattens to a hash semijoin on (n = a, b = b); projecting `x.b` keeps
+/// the dedup set small so the partitioned join dominates the runtime.
+const MEMBER: &str = "SELECT x.b FROM X x WHERE x.n IN (SELECT y.a FROM Y y WHERE x.b = y.b)";
+
+/// X(n, b) / Y(a, b), `b = id % 64` on both sides: every X row has
+/// partners and the build side is all of Y.
+fn join_db(n: usize) -> Database {
+    let mut db = Database::new();
+    for (name, c0, c1) in [("X", "n", "b"), ("Y", "a", "b")] {
+        let mut t = Table::new(name, vec![(c0.into(), Ty::Int), (c1.into(), Ty::Int)]);
+        for i in 0..n as i64 {
+            t.insert(
+                Record::new([
+                    (c0.to_string(), Value::Int(i)),
+                    (c1.to_string(), Value::Int(i % 64)),
+                ])
+                .expect("distinct labels"),
+            )
+            .expect("valid row");
+        }
+        db.register_table(t).expect("fresh table");
+    }
+    db
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b10_parallel");
+    for n in ladder(&[8192usize, 32768]) {
+        let db = join_db(n);
+        for threads in [1usize, 2, 4, 8] {
+            let opts = QueryOptions::default()
+                .memory_budget(BUDGET)
+                .threads(threads);
+            report_work(&format!("b10-parallel/t{threads}/{n}"), &db, MEMBER, opts);
+            g.bench_with_input(BenchmarkId::new(format!("t{threads}"), n), &n, |b, _| {
+                b.iter(|| db.query_with(MEMBER, opts).expect("runs").len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench_parallel
+}
+criterion_main!(benches);

@@ -3,6 +3,27 @@
 /// Default number of rows per [`crate::op::operator::Batch`].
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
+/// Default worker count for parallel execution: the `TMQL_THREADS`
+/// environment variable when set (parsed, clamped to ≥ 1; `0` and `auto`
+/// mean "use the hardware"), else [`std::thread::available_parallelism`].
+/// `1` disables parallelism entirely — execution takes exactly the
+/// pre-parallel code paths.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TMQL_THREADS") {
+        let v = v.trim();
+        if !v.is_empty() && !v.eq_ignore_ascii_case("auto") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Join algorithm selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinAlgo {
@@ -37,6 +58,13 @@ pub struct ExecConfig {
     /// than the budget still has to be resident to be processed (recursive
     /// repartitioning stops at [`crate::op::spill::MAX_REPARTITION_DEPTH`]).
     pub memory_budget_rows: Option<usize>,
+    /// Worker threads for morsel-driven parallel execution (clamped to
+    /// ≥ 1). At `1` (always the case on single-core hosts) execution is
+    /// exactly the serial pre-parallel behavior; above `1`, table scans
+    /// fan morsels out to a scoped worker wave and the grace spill
+    /// partitions of hash joins and pipeline breakers run
+    /// partition-per-worker. Defaults to [`default_threads`].
+    pub threads: usize,
 }
 
 impl Default for ExecConfig {
@@ -45,6 +73,7 @@ impl Default for ExecConfig {
             join_algo: JoinAlgo::Auto,
             batch_size: DEFAULT_BATCH_SIZE,
             memory_budget_rows: None,
+            threads: default_threads(),
         }
     }
 }
@@ -81,6 +110,12 @@ impl ExecConfig {
     /// Remove the memory budget (the default): breakers never spill.
     pub fn unbounded(mut self) -> ExecConfig {
         self.memory_budget_rows = None;
+        self
+    }
+
+    /// Set the worker-thread count (clamped to ≥ 1; `1` = serial).
+    pub fn threads(mut self, n: usize) -> ExecConfig {
+        self.threads = n.max(1);
         self
     }
 }
@@ -124,5 +159,12 @@ mod tests {
                 .memory_budget_rows,
             None
         );
+    }
+
+    #[test]
+    fn threads_default_positive_and_clamp() {
+        assert!(ExecConfig::default().threads >= 1);
+        assert_eq!(ExecConfig::default().threads(0).threads, 1);
+        assert_eq!(ExecConfig::default().threads(8).threads, 8);
     }
 }

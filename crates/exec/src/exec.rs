@@ -26,6 +26,7 @@ pub struct ExecContext<'a> {
     /// correlated subquery executions).
     pub metrics: Metrics,
     batch_size: usize,
+    threads: usize,
     resident_rows: u64,
     memory_budget_rows: Option<usize>,
     /// Scratch directory for spill runs, created on first spill and
@@ -48,6 +49,7 @@ impl<'a> ExecContext<'a> {
         ExecContext {
             metrics: Metrics::new(),
             batch_size: config.batch_size.max(1),
+            threads: config.threads.max(1),
             resident_rows: 0,
             memory_budget_rows: config.memory_budget_rows,
             spill_dir: None,
@@ -70,6 +72,11 @@ impl<'a> ExecContext<'a> {
     /// Rows per streaming batch (≥ 1).
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// Worker threads for parallel waves (≥ 1; `1` = serial execution).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The per-breaker resident-row budget, if one is configured.

@@ -32,6 +32,7 @@ use tmql_storage::spill::{RunReader, SpillFile};
 
 use crate::exec::ExecContext;
 use crate::metrics::Metrics;
+use crate::op::exchange;
 use crate::op::spill::{self, Drained, PartFn, SpillDedup, MAX_REPARTITION_DEPTH};
 use crate::op::{self, group, hash, merge, nl};
 use crate::physical::{JoinKind, PhysPlan};
@@ -280,6 +281,8 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             table,
             var,
             pos: 0,
+            carry: VecDeque::new(),
+            exhausted: false,
             stats: OpStats::default(),
         }),
         PhysPlan::ScanExpr { expr, var } => Box::new(ScanExprOp {
@@ -488,10 +491,19 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
 
 /// Cursor scan over a stored table; borrows one batch at a time via
 /// [`tmql_storage::Table::batch`], never cloning the whole extension.
+///
+/// With [`ExecContext::threads`] > 1 the scan becomes morsel-driven: each
+/// refill issues one wave of `threads` batch-sized row ranges (morsels) to
+/// scoped workers — disk-backed tables fault their pages in concurrently
+/// through the latch-based buffer pool — and gathers the results in range
+/// order into a carry queue, so emitted batches keep the exact serial
+/// order and sizes.
 struct ScanTableOp<'p> {
     table: &'p str,
     var: &'p str,
     pos: usize,
+    carry: VecDeque<Record>,
+    exhausted: bool,
     stats: OpStats,
 }
 
@@ -500,29 +512,72 @@ impl Operator for ScanTableOp<'_> {
         format!("Scan({})", self.table)
     }
 
-    fn open(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
         self.pos = 0;
+        ctx.resident_release(self.carry.len());
+        self.carry.clear();
+        self.exhausted = false;
         Ok(())
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
-        let t = ctx.catalog.table(self.table)?;
-        // Owned batches: in-memory tables clone the slice; disk-backed
-        // tables stream the needed pages through the buffer pool.
-        let chunk = t.batch(self.pos, ctx.batch_size())?;
-        if chunk.is_empty() {
-            return Ok(None);
+        let n = ctx.batch_size();
+        let threads = ctx.threads();
+        if threads <= 1 {
+            let t = ctx.catalog.table(self.table)?;
+            // Owned batches: in-memory tables clone the slice; disk-backed
+            // tables stream the needed pages through the buffer pool.
+            let chunk = t.batch(self.pos, n)?;
+            if chunk.is_empty() {
+                return Ok(None);
+            }
+            let mut rows = Vec::with_capacity(chunk.len());
+            for row in chunk {
+                rows.push(Record::new([(self.var.to_string(), Value::Tuple(row))])?);
+            }
+            self.pos += rows.len();
+            ctx.metrics.rows_scanned += rows.len() as u64;
+            return Ok(Some(Batch::new(rows)));
         }
-        let mut rows = Vec::with_capacity(chunk.len());
-        for row in chunk {
-            rows.push(Record::new([(self.var.to_string(), Value::Tuple(row))])?);
+        loop {
+            if let Some(b) = pop_carry(&mut self.carry, n, ctx) {
+                return Ok(Some(b));
+            }
+            if self.exhausted {
+                return Ok(None);
+            }
+            // One wave: `threads` consecutive morsels, gathered in order.
+            let t = ctx.catalog.table(self.table)?;
+            let var = self.var;
+            let starts: Vec<usize> = (0..threads).map(|i| self.pos + i * n).collect();
+            let results = exchange::scatter(threads, starts, |start| -> Result<Vec<Record>> {
+                let chunk = t.batch(start, n)?;
+                let mut rows = Vec::with_capacity(chunk.len());
+                for row in chunk {
+                    rows.push(Record::new([(var.to_string(), Value::Tuple(row))])?);
+                }
+                Ok(rows)
+            });
+            for res in results {
+                let rows = res?;
+                if rows.len() < n {
+                    self.exhausted = true;
+                }
+                self.pos += rows.len();
+                ctx.metrics.rows_scanned += rows.len() as u64;
+                ctx.resident_acquire(rows.len());
+                self.carry.extend(rows);
+                if self.exhausted {
+                    break;
+                }
+            }
         }
-        self.pos += rows.len();
-        ctx.metrics.rows_scanned += rows.len() as u64;
-        Ok(Some(Batch::new(rows)))
     }
 
-    fn close(&mut self, _ctx: &mut ExecContext<'_>) {}
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        ctx.resident_release(self.carry.len());
+        self.carry.clear();
+    }
 
     fn stats(&self) -> OpStats {
         self.stats
@@ -1270,6 +1325,101 @@ impl Operator for HashJoinOp<'_> {
                 }
                 continue;
             }
+            if ctx.threads() > 1 {
+                // Parallel grace: collect a wave of ready partitions
+                // (repartitioning skewed ones first, exactly like the
+                // serial path) and join them partition-per-worker. Waves
+                // are budget-capped — concurrent build tables are summed
+                // resident state — but always take at least one partition.
+                let mut wave: Vec<(SpillFile, SpillFile)> = Vec::new();
+                let mut wave_rows: u64 = 0;
+                while wave.len() < ctx.threads() {
+                    let next = self
+                        .grace
+                        .as_mut()
+                        .expect("grace mode engaged")
+                        .parts
+                        .pop_front();
+                    let Some((bf, pf, depth)) = next else { break };
+                    if ctx.over_budget(bf.rows() as usize)
+                        && depth < MAX_REPARTITION_DEPTH
+                        && bf.rows() > 1
+                    {
+                        let seed = depth as u64;
+                        let nb = spill::repartition(
+                            bf,
+                            ctx,
+                            &mut self.env,
+                            &self.build_part,
+                            seed,
+                            true,
+                            &mut self.stats,
+                        )?;
+                        let np = spill::repartition(
+                            pf,
+                            ctx,
+                            &mut self.env,
+                            &self.probe_part,
+                            seed,
+                            false,
+                            &mut self.stats,
+                        )?;
+                        let g = self.grace.as_mut().expect("still grace");
+                        for (b2, p2) in nb.into_iter().zip(np).rev() {
+                            g.parts.push_front((b2, p2, depth + 1));
+                        }
+                        continue;
+                    }
+                    if pf.is_empty() {
+                        continue;
+                    }
+                    if !wave.is_empty() && ctx.over_budget((wave_rows + bf.rows()) as usize) {
+                        let g = self.grace.as_mut().expect("still grace");
+                        g.parts.push_front((bf, pf, depth));
+                        break;
+                    }
+                    wave_rows += bf.rows();
+                    wave.push((bf, pf));
+                }
+                if wave.is_empty() {
+                    self.done = true;
+                    continue;
+                }
+                ctx.resident_acquire(wave_rows as usize);
+                let (left_keys, right_keys) = (self.left_keys, self.right_keys);
+                let (residual, kind) = (self.residual, self.kind);
+                let base_env = &self.env;
+                let results = exchange::scatter(
+                    ctx.threads(),
+                    wave,
+                    |(bf, pf)| -> Result<(Vec<Record>, Metrics)> {
+                        let mut env = base_env.clone();
+                        let mut m = Metrics::new();
+                        let build_rows = bf.reader()?.read_all()?;
+                        let table = hash::build(build_rows, right_keys, &mut env, &mut m)?;
+                        let mut out = Vec::new();
+                        let mut reader = pf.reader()?;
+                        loop {
+                            let batch = reader.read_batch(n)?;
+                            if batch.is_empty() {
+                                break;
+                            }
+                            out.extend(hash::probe(
+                                &batch, &table, left_keys, residual, kind, &mut env, &mut m,
+                            )?);
+                        }
+                        Ok((out, m))
+                    },
+                );
+                ctx.resident_release(wave_rows as usize);
+                for res in results {
+                    let (out, m) = res?;
+                    ctx.metrics += m;
+                    ctx.resident_acquire(out.len());
+                    self.carry.extend(out);
+                }
+                continue;
+            }
             // Grace path: stream probe batches from the current
             // partition's run, loading the next partition as needed.
             let g = self.grace.as_mut().expect("grace mode engaged");
@@ -1380,8 +1530,11 @@ impl Operator for HashJoinOp<'_> {
 // Pipeline breakers (generic over the materialized kernel)
 // ---------------------------------------------------------------------------
 
+/// Materialized kernel of a one-input breaker. `Fn + Send + Sync` so a
+/// parallel wave can run it concurrently over several spill partitions —
+/// all mutable state (env, metrics) comes in through the arguments.
 type UnaryKernel<'p> =
-    Box<dyn FnMut(&[Record], &mut Env, &mut Metrics) -> Result<Vec<Record>> + 'p>;
+    Box<dyn Fn(&[Record], &mut Env, &mut Metrics) -> Result<Vec<Record>> + Send + Sync + 'p>;
 
 /// A one-input pipeline breaker: drains its child, runs a materialized
 /// kernel (ν / ν* / GROUP BY), then re-emits the result in batches.
@@ -1453,6 +1606,74 @@ impl Operator for UnaryBreaker<'_> {
                     }
                 }
             }
+            if ctx.threads() > 1 {
+                // Parallel grace: one kernel invocation per partition on a
+                // worker wave, outputs gathered in partition order (the
+                // exact serial emission order). Budget-capped, ≥ 1 per wave.
+                let mut wave: Vec<SpillFile> = Vec::new();
+                let mut wave_rows: u64 = 0;
+                while wave.len() < ctx.threads() {
+                    let next = self.grace.as_mut().expect("grace mode engaged").pop_front();
+                    let Some((file, depth)) = next else { break };
+                    if ctx.over_budget(file.rows() as usize)
+                        && depth < MAX_REPARTITION_DEPTH
+                        && file.rows() > 1
+                    {
+                        let subs = spill::repartition(
+                            file,
+                            ctx,
+                            &mut self.env,
+                            &self.part,
+                            depth as u64,
+                            false,
+                            &mut self.stats,
+                        )?;
+                        let g = self.grace.as_mut().expect("still grace");
+                        for f in subs.into_iter().rev() {
+                            g.push_front((f, depth + 1));
+                        }
+                        continue;
+                    }
+                    if file.is_empty() {
+                        continue;
+                    }
+                    if !wave.is_empty() && ctx.over_budget((wave_rows + file.rows()) as usize) {
+                        let g = self.grace.as_mut().expect("still grace");
+                        g.push_front((file, depth));
+                        break;
+                    }
+                    wave_rows += file.rows();
+                    wave.push(file);
+                }
+                if wave.is_empty() {
+                    self.done = true;
+                    return Ok(None);
+                }
+                ctx.resident_acquire(wave_rows as usize);
+                let base_env = &self.env;
+                let kernel = &self.kernel;
+                let results = exchange::scatter(
+                    ctx.threads(),
+                    wave,
+                    |file| -> Result<(Vec<Record>, Metrics)> {
+                        let mut env = base_env.clone();
+                        let mut m = Metrics::new();
+                        let input = file.reader()?.read_all()?;
+                        let out = (kernel)(&input, &mut env, &mut m)?;
+                        Ok((out, m))
+                    },
+                );
+                ctx.resident_release(wave_rows as usize);
+                let mut combined: VecDeque<Record> = VecDeque::new();
+                for res in results {
+                    let (rows, m) = res?;
+                    ctx.metrics += m;
+                    ctx.resident_acquire(rows.len());
+                    combined.extend(rows);
+                }
+                self.out = Some(combined);
+                continue;
+            }
             // Grace mode: run the kernel over the next partition.
             let g = self.grace.as_mut().expect("grace mode engaged");
             match g.pop_front() {
@@ -1515,8 +1736,11 @@ impl Operator for UnaryBreaker<'_> {
     }
 }
 
-type BinaryKernel<'p> =
-    Box<dyn FnMut(&[Record], &[Record], &mut Env, &mut Metrics) -> Result<Vec<Record>> + 'p>;
+/// Materialized kernel of a two-input breaker (see [`UnaryKernel`] for the
+/// `Fn + Send + Sync` rationale).
+type BinaryKernel<'p> = Box<
+    dyn Fn(&[Record], &[Record], &mut Env, &mut Metrics) -> Result<Vec<Record>> + Send + Sync + 'p,
+>;
 
 /// A two-input pipeline breaker: drains both children, runs a materialized
 /// kernel (sort-merge join, set operation), then re-emits in batches.
@@ -1637,6 +1861,84 @@ impl Operator for BinaryBreaker<'_> {
                         self.grace = Some(lf.into_iter().zip(rf).map(|(a, b)| (a, b, 1)).collect());
                     }
                 }
+            }
+            if ctx.threads() > 1 {
+                // Parallel grace: kernel per partition pair on a worker
+                // wave, outputs gathered in pair order. Budget-capped on
+                // the summed pair sizes, ≥ 1 pair per wave.
+                let mut wave: Vec<(SpillFile, SpillFile)> = Vec::new();
+                let mut wave_rows: u64 = 0;
+                while wave.len() < ctx.threads() {
+                    let next = self.grace.as_mut().expect("grace mode engaged").pop_front();
+                    let Some((lf, rf, depth)) = next else { break };
+                    let total = lf.rows() + rf.rows();
+                    if ctx.over_budget(total as usize) && depth < MAX_REPARTITION_DEPTH && total > 1
+                    {
+                        let seed = depth as u64;
+                        let nl = spill::repartition(
+                            lf,
+                            ctx,
+                            &mut self.env,
+                            &self.left_part,
+                            seed,
+                            false,
+                            &mut self.stats,
+                        )?;
+                        let nr = spill::repartition(
+                            rf,
+                            ctx,
+                            &mut self.env,
+                            &self.right_part,
+                            seed,
+                            false,
+                            &mut self.stats,
+                        )?;
+                        let g = self.grace.as_mut().expect("still grace");
+                        for (a, b) in nl.into_iter().zip(nr).rev() {
+                            g.push_front((a, b, depth + 1));
+                        }
+                        continue;
+                    }
+                    if lf.is_empty() && rf.is_empty() {
+                        continue;
+                    }
+                    if !wave.is_empty() && ctx.over_budget((wave_rows + total) as usize) {
+                        let g = self.grace.as_mut().expect("still grace");
+                        g.push_front((lf, rf, depth));
+                        break;
+                    }
+                    wave_rows += total;
+                    wave.push((lf, rf));
+                }
+                if wave.is_empty() {
+                    self.done = true;
+                    return Ok(None);
+                }
+                ctx.resident_acquire(wave_rows as usize);
+                let base_env = &self.env;
+                let kernel = &self.kernel;
+                let results = exchange::scatter(
+                    ctx.threads(),
+                    wave,
+                    |(lf, rf)| -> Result<(Vec<Record>, Metrics)> {
+                        let mut env = base_env.clone();
+                        let mut m = Metrics::new();
+                        let l = lf.reader()?.read_all()?;
+                        let r = rf.reader()?.read_all()?;
+                        let out = (kernel)(&l, &r, &mut env, &mut m)?;
+                        Ok((out, m))
+                    },
+                );
+                ctx.resident_release(wave_rows as usize);
+                let mut combined: VecDeque<Record> = VecDeque::new();
+                for res in results {
+                    let (rows, m) = res?;
+                    ctx.metrics += m;
+                    ctx.resident_acquire(rows.len());
+                    combined.extend(rows);
+                }
+                self.out = Some(combined);
+                continue;
             }
             // Grace mode: kernel per partition pair.
             let g = self.grace.as_mut().expect("grace mode engaged");

@@ -279,6 +279,9 @@ pub struct SpillDedup {
     seen: BTreeSet<Record>,
     writers: Option<DedupWriters>,
     drain: Option<DedupDrain>,
+    /// Deferred rows produced by a parallel drain wave, handed out in
+    /// batch-sized slices (serial drains never use this buffer).
+    ready: VecDeque<Record>,
 }
 
 struct DedupWriters {
@@ -389,6 +392,9 @@ impl SpillDedup {
         ops: &mut OpStats,
     ) -> Result<Vec<Record>> {
         let part = dedup_part();
+        if ctx.threads() > 1 {
+            return self.next_deferred_parallel(n, ctx, ops, &part);
+        }
         loop {
             let Some(drain) = self.drain.as_mut() else {
                 return Ok(Vec::new());
@@ -448,12 +454,110 @@ impl SpillDedup {
         }
     }
 
+    /// Drain-phase wave for parallel execution: up to `threads` (seen,
+    /// candidates) partition pairs dedup concurrently on scoped workers,
+    /// gathered in partition order into the `ready` buffer and handed out
+    /// in batch-sized slices — so emission order and batch sizes match the
+    /// serial drain exactly. Waves are budget-capped on the summed pair
+    /// sizes (concurrent seen-sets are summed resident state), ≥ 1 pair
+    /// per wave.
+    fn next_deferred_parallel(
+        &mut self,
+        n: usize,
+        ctx: &mut ExecContext<'_>,
+        ops: &mut OpStats,
+        part: &PartFn<'_>,
+    ) -> Result<Vec<Record>> {
+        loop {
+            if !self.ready.is_empty() {
+                let k = n.min(self.ready.len());
+                let out: Vec<Record> = self.ready.drain(..k).collect();
+                ctx.resident_release(out.len());
+                return Ok(out);
+            }
+            if self.drain.is_none() {
+                return Ok(Vec::new());
+            }
+            let mut wave: Vec<(SpillFile, SpillFile)> = Vec::new();
+            let mut wave_rows: u64 = 0;
+            while wave.len() < ctx.threads() {
+                let next = self
+                    .drain
+                    .as_mut()
+                    .expect("still draining")
+                    .parts
+                    .pop_front();
+                let Some((seen_f, cand_f, depth)) = next else {
+                    break;
+                };
+                let total = seen_f.rows() + cand_f.rows();
+                if ctx.over_budget(total as usize) && depth < MAX_REPARTITION_DEPTH && total > 1 {
+                    let mut env = Env::new();
+                    let seed = depth as u64;
+                    let new_seen = repartition(seen_f, ctx, &mut env, part, seed, false, ops)?;
+                    let new_cand = repartition(cand_f, ctx, &mut env, part, seed, false, ops)?;
+                    let drain = self.drain.as_mut().expect("still draining");
+                    for (s, c) in new_seen.into_iter().zip(new_cand).rev() {
+                        drain.parts.push_front((s, c, depth + 1));
+                    }
+                    continue;
+                }
+                if cand_f.is_empty() {
+                    continue;
+                }
+                if !wave.is_empty() && ctx.over_budget((wave_rows + total) as usize) {
+                    let drain = self.drain.as_mut().expect("still draining");
+                    drain.parts.push_front((seen_f, cand_f, depth));
+                    break;
+                }
+                wave_rows += total;
+                wave.push((seen_f, cand_f));
+            }
+            if wave.is_empty() {
+                self.drain = None;
+                return Ok(Vec::new());
+            }
+            ctx.resident_acquire(wave_rows as usize);
+            let results = crate::op::exchange::scatter(
+                ctx.threads(),
+                wave,
+                |(seen_f, cand_f)| -> Result<Vec<Record>> {
+                    let mut seen: BTreeSet<Record> =
+                        seen_f.reader()?.read_all()?.into_iter().collect();
+                    let mut out = Vec::new();
+                    let mut reader = cand_f.reader()?;
+                    loop {
+                        let batch = reader.read_batch(n)?;
+                        if batch.is_empty() {
+                            break;
+                        }
+                        for r in batch {
+                            if !seen.contains(&r) {
+                                seen.insert(r.clone());
+                                out.push(r);
+                            }
+                        }
+                    }
+                    Ok(out)
+                },
+            );
+            ctx.resident_release(wave_rows as usize);
+            for res in results {
+                let rows = res?;
+                ctx.resident_acquire(rows.len());
+                self.ready.extend(rows);
+            }
+        }
+    }
+
     /// Release all resident accounting and drop every spill artifact
     /// (open/close path of the owning operator).
     pub fn reset(&mut self, ctx: &mut ExecContext<'_>) {
         ctx.resident_release(self.seen.len());
         self.seen.clear();
         self.writers = None;
+        ctx.resident_release(self.ready.len());
+        self.ready.clear();
         if let Some(drain) = self.drain.take() {
             if let Some(cur) = drain.cur {
                 ctx.resident_release(cur.seen.len());

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use tmql_model::{ModelError, Record, Result, Schema, Ty};
 
-use crate::pager::{CatalogImage, PagedStore, PoolStats, TableImage};
+use crate::pager::{CatalogImage, PageId, PagedStore, PoolStats, TableImage};
 use crate::stats::TableStats;
 use crate::table::Table;
 
@@ -124,8 +124,9 @@ impl Catalog {
 
     /// Replace a table (e.g. between benchmark iterations), refreshing
     /// stats. On a persistent catalog the new rows are written and
-    /// committed; the old extent's pages are leaked inside the file (see
-    /// the pager's durability rules).
+    /// committed; the old extent's pages (including overflow chains) are
+    /// returned to the pager's free list at the commit and reused by
+    /// later writes (see the pager's durability rules).
     pub fn replace(&mut self, table: Table) -> Result<()> {
         let name = table.name().to_string();
         self.commit(name, table)
@@ -133,12 +134,17 @@ impl Catalog {
 
     /// Install a prepared table + stats and commit the catalog image,
     /// rolling the in-memory view back if the durable commit fails — the
-    /// catalog never serves state that would vanish on reopen.
+    /// catalog never serves state that would vanish on reopen. The
+    /// displaced table's pages are freed at (and only at) a successful
+    /// commit, so a rollback leaks nothing and frees nothing.
     fn commit(&mut self, name: String, table: Table) -> Result<()> {
         let (table, stats) = self.prepare(table)?;
         let prev_stats = self.stats.insert(name.clone(), stats);
         let prev_table = self.tables.insert(name.clone(), table);
-        if let Err(e) = self.sync() {
+        let res = self
+            .displaced_pages(prev_table.as_ref())
+            .and_then(|freed| self.sync_freeing(freed));
+        if let Err(e) = res {
             match prev_table {
                 Some(t) => self.tables.insert(name.clone(), t),
                 None => self.tables.remove(&name),
@@ -150,6 +156,15 @@ impl Catalog {
             return Err(e);
         }
         Ok(())
+    }
+
+    /// Every page the displaced table owned (empty for transient catalogs
+    /// and first registrations).
+    fn displaced_pages(&self, prev: Option<&Table>) -> Result<Vec<PageId>> {
+        match prev.and_then(|t| t.disk_parts()) {
+            Some((store, extent)) => store.extent_pages(extent),
+            None => Ok(Vec::new()),
+        }
     }
 
     /// Compute statistics for an incoming table and, when persistent,
@@ -180,6 +195,12 @@ impl Catalog {
     /// (no-op for transient catalogs). Called automatically by
     /// [`Catalog::register`] / [`Catalog::replace`].
     pub fn sync(&self) -> Result<()> {
+        self.sync_freeing(Vec::new())
+    }
+
+    /// Commit the catalog image, handing `freed` pages (a displaced
+    /// table's extent) back to the store's free list at the commit point.
+    fn sync_freeing(&self, freed: Vec<PageId>) -> Result<()> {
         let Some(store) = self.store.as_ref() else {
             return Ok(());
         };
@@ -205,7 +226,7 @@ impl Catalog {
                 stats,
             });
         }
-        store.save_catalog(&image)
+        store.save_catalog_freeing(&image, freed)
     }
 
     /// Look up a table by extension name.
@@ -345,6 +366,33 @@ mod tests {
         let cat = Catalog::open(&path, 16).unwrap();
         assert_eq!(cat.table("R").unwrap().len(), 2);
         assert_eq!(cat.stats("R").unwrap().cardinality, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn repeated_replaces_do_not_grow_the_file() {
+        // PR 5 left `replace` leaking the old extent inside the file; the
+        // pager's free list now reuses those pages, so the file size
+        // settles after the write-then-free double-buffering warms up.
+        let path = scratch("freelist");
+        let rows: Vec<Vec<i64>> = (0..500).map(|i| vec![i, i % 13]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut cat = Catalog::open(&path, 16).unwrap();
+        cat.register(int_table("R", &["a", "b"], &refs)).unwrap();
+        let size = |p: &std::path::Path| std::fs::metadata(p).unwrap().len();
+        let mut settled = 0;
+        for i in 0..10 {
+            cat.replace(int_table("R", &["a", "b"], &refs)).unwrap();
+            if i == 2 {
+                settled = size(&path);
+            }
+        }
+        assert_eq!(size(&path), settled, "replaces reuse freed pages");
+        // And the data still reads back correctly after all that churn.
+        assert_eq!(cat.table("R").unwrap().len(), 500);
+        drop(cat);
+        let cat = Catalog::open(&path, 16).unwrap();
+        assert_eq!(cat.table("R").unwrap().len(), 500);
         let _ = std::fs::remove_file(&path);
     }
 

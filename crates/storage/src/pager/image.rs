@@ -1,6 +1,6 @@
 //! The persisted catalog image: schema, table descriptors, and statistics
 //! serialized into one blob (stored as a page chain by
-//! [`super::store::Pager::write_catalog`]).
+//! [`super::store::PagedStore`]'s header-last catalog commit).
 //!
 //! Values (statistics min/max) reuse the spill codec
 //! ([`crate::spill::encode_value`] / [`crate::spill::decode_value`]), so

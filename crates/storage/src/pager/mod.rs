@@ -7,10 +7,12 @@
 //! [pages](page::PAGE_SIZE); registered tables are written as slotted
 //! [data pages](page) (reusing the spill crate's Record/Value codec, so
 //! the full complex-object universe round-trips bit-exactly), faulted in
-//! on demand through a fixed-capacity [`BufferPool`] with clock eviction,
-//! pin counts, and dirty write-back, and described by a
-//! [catalog image](image::CatalogImage) whose header-last commit makes
-//! register/replace durable.
+//! on demand through a fixed-capacity, **latch-based concurrent**
+//! [`BufferPool`] with clock eviction, atomic pin counts, and dirty
+//! write-back, and described by a [catalog image](image::CatalogImage)
+//! whose header-last commit makes register/replace durable. Pages a
+//! replace displaces join a header-resident free list at that same commit
+//! and are reused by later writes.
 //!
 //! The pieces:
 //!

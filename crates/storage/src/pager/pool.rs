@@ -1,164 +1,247 @@
-//! The buffer pool: a fixed set of in-memory page frames over the
-//! database file, with clock (second-chance) eviction, pin counts, and
-//! dirty-page write-back.
+//! The buffer pool: a fixed set of page frames shared **concurrently** by
+//! every reader of one database file.
 //!
-//! Every page access goes through [`BufferPool::get`] (fault in from disk)
-//! or [`BufferPool::create`] (install a fresh zeroed page without a disk
-//! read). Frames a caller is actively reading or writing are **pinned**
-//! ([`BufferPool::pin`] / [`BufferPool::unpin`]); the clock hand skips
-//! pinned frames, and if every frame is pinned the pool reports
-//! [`tmql_model::ModelError::Io`] instead of evicting under a live
-//! borrow. Evicting a dirty frame writes it back first, so the pool — not
-//! its callers — owns the write schedule; [`BufferPool::flush`] forces
-//! all dirty frames out (the durability point of a catalog update).
+//! Since the morsel-parallel executor, scans pin pages from many worker
+//! threads at once, so the pool is latch-based rather than hidden behind
+//! one big mutex:
 //!
-//! [`PoolStats`] counts hits, faults (misses), evictions, and write-backs;
-//! the executor reports the per-query delta as `Metrics::pool_hits` /
-//! `Metrics::pool_misses`, and the cost model prices cold scans with the
-//! pool's current residency.
+//! * each frame carries its own reader/writer **latch** (the page data),
+//!   an atomic **pin count**, and atomic dirty/referenced bits;
+//! * one small mutex protects only the **mapping table** (page id →
+//!   frame) and the clock hand — it is held for map lookups and victim
+//!   selection, never across I/O;
+//! * [`PoolStats`] counters are atomics, updated lock-free.
+//!
+//! The latch protocol for a page read ([`BufferPool::read`]):
+//!
+//! 1. **Hit** — under the map lock: pin the frame and mark it referenced.
+//!    Release the map lock, then acquire the frame's shared latch. The pin
+//!    taken under the map lock is what keeps victim selection away while
+//!    the latch is still being acquired. After latching, re-check that the
+//!    frame still holds the wanted page (only [`BufferPool::discard`] or a
+//!    failed fault can change it) and retry on a mismatch.
+//! 2. **Miss** — still under the map lock: sweep the clock for a victim
+//!    frame that is unpinned, has spent its second chance, and whose
+//!    exclusive latch can be taken without waiting (`try_write`). The old
+//!    mapping is removed, the new one published, the dirty bit claimed,
+//!    and the frame pinned — all before the map lock is released. The
+//!    write-back of the evicted page and the fault-in read then run
+//!    **outside** the map lock, with the exclusive latch held, so other
+//!    pages stay fully available during the I/O. A thread that hits the
+//!    new mapping meanwhile simply blocks on the shared latch until the
+//!    fault completes.
+//!
+//! Dirty pages exist only for *uncommitted* writes ([`BufferPool::install`]),
+//! and writers are serialized by the store's write lock, so the dirty bit
+//! is only ever set by one thread at a time; eviction claims it under the
+//! map lock, which is what keeps [`BufferPool::flush`] (the commit point)
+//! from ever pairing a stale dirty bit with a fresh mapping.
+//!
+//! Guards release the data latch **before** dropping their pin, so a pin
+//! count of zero implies no outstanding latch holders.
 
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 
 use tmql_model::{ModelError, Result};
 
 use super::page::{PageId, NO_PAGE, PAGE_SIZE};
 use super::store::PagedFile;
 
-/// Monotonic buffer-pool counters (never reset; consumers diff snapshots).
+/// Cumulative buffer-pool counters (monotonic over the pool's lifetime).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Page requests served from a resident frame.
     pub hits: u64,
-    /// Page requests that had to read the page from disk.
+    /// Page requests that faulted the page in from disk.
     pub misses: u64,
-    /// Frames recycled to make room for another page.
+    /// Frames whose previous page was displaced to serve a fault.
     pub evictions: u64,
-    /// Dirty frames written back to disk (on eviction or flush).
+    /// Dirty pages written back to the file (evictions + flushes).
     pub writebacks: u64,
 }
 
 impl PoolStats {
-    /// Hit fraction of all page requests so far (1.0 when idle).
+    /// Fraction of requests served without disk I/O (0.0 when idle).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.hits as f64 / total as f64
         }
     }
 }
 
+/// One page frame: its data behind a reader/writer latch, plus the atomic
+/// bookkeeping victim selection reads without latching.
 #[derive(Debug)]
 struct Frame {
-    /// Resident page, or [`NO_PAGE`] for an empty frame.
-    page: PageId,
-    buf: Box<[u8]>,
-    dirty: bool,
-    pins: u32,
-    referenced: bool,
+    /// The page bytes. Shared for readers, exclusive for fault-in/install.
+    data: RwLock<Box<[u8]>>,
+    /// Pin count: non-zero keeps the frame out of victim selection.
+    pins: AtomicU32,
+    /// The page this frame holds ([`NO_PAGE`] when free). Mirrors the
+    /// mapping table (mutations happen under the map lock); readable
+    /// without the map lock for post-latch guard validation.
+    page: AtomicU32,
+    /// Set by [`BufferPool::install`]; cleared when the page is written
+    /// back (eviction or flush) or discarded.
+    dirty: AtomicBool,
+    /// Clock second-chance bit.
+    referenced: AtomicBool,
 }
 
-/// A fixed-capacity pool of page frames (see the module docs).
+/// The mutex-protected mapping table and clock hand.
+#[derive(Debug, Default)]
+struct MapState {
+    map: HashMap<PageId, usize>,
+    clock: usize,
+}
+
+/// A fixed-capacity, concurrency-safe page cache with clock eviction.
+/// See the module docs for the latch protocol.
 #[derive(Debug)]
 pub struct BufferPool {
     frames: Vec<Frame>,
-    map: HashMap<PageId, usize>,
-    hand: usize,
-    stats: PoolStats,
+    map: Mutex<MapState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+/// A pinned, latched page. Derefs to the page bytes; dropping releases the
+/// latch first and the pin second, so `pins == 0` implies no latch holders.
+#[derive(Debug)]
+pub struct PageRead<'a> {
+    frame: &'a Frame,
+    latch: Option<Latch<'a>>,
+}
+
+#[derive(Debug)]
+enum Latch<'a> {
+    Shared(RwLockReadGuard<'a, Box<[u8]>>),
+    Exclusive(RwLockWriteGuard<'a, Box<[u8]>>),
+}
+
+impl Deref for PageRead<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self.latch.as_ref().expect("latch held until drop") {
+            Latch::Shared(g) => g,
+            Latch::Exclusive(g) => g,
+        }
+    }
+}
+
+impl Drop for PageRead<'_> {
+    fn drop(&mut self) {
+        self.latch = None; // release the latch before the pin
+        self.frame.pins.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl BufferPool {
-    /// A pool of `capacity` frames (clamped to ≥ 2 so a data page and one
-    /// overflow page can be resident together).
+    /// A pool of `capacity` frames (clamped to at least 2, so one pinned
+    /// page can never wedge the pool).
     pub fn new(capacity: usize) -> BufferPool {
         let capacity = capacity.max(2);
-        let frames = (0..capacity)
-            .map(|_| Frame {
-                page: NO_PAGE,
-                buf: vec![0u8; PAGE_SIZE].into_boxed_slice(),
-                dirty: false,
-                pins: 0,
-                referenced: false,
-            })
-            .collect();
         BufferPool {
-            frames,
-            map: HashMap::with_capacity(capacity),
-            hand: 0,
-            stats: PoolStats::default(),
+            frames: (0..capacity)
+                .map(|_| Frame {
+                    data: RwLock::new(vec![0u8; PAGE_SIZE].into_boxed_slice()),
+                    pins: AtomicU32::new(0),
+                    page: AtomicU32::new(NO_PAGE),
+                    dirty: AtomicBool::new(false),
+                    referenced: AtomicBool::new(false),
+                })
+                .collect(),
+            map: Mutex::new(MapState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
         }
     }
 
-    /// Number of frames.
+    /// Capacity in frames.
     pub fn capacity(&self) -> usize {
         self.frames.len()
     }
 
-    /// Cumulative counters.
+    /// Snapshot of the cumulative counters.
     pub fn stats(&self) -> PoolStats {
-        self.stats
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
     }
 
-    /// True iff `page` is currently resident (no fault, no stats change).
+    fn lock_map(&self) -> MutexGuard<'_, MapState> {
+        // Map state stays consistent across a panic elsewhere; recover
+        // from poisoning instead of propagating it.
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// True iff `page` is currently resident.
     pub fn is_resident(&self, page: PageId) -> bool {
-        self.map.contains_key(&page)
+        self.lock_map().map.contains_key(&page)
     }
 
-    /// How many of the given pages are currently resident.
+    /// How many of `pages` are currently resident.
     pub fn resident_among(&self, pages: impl Iterator<Item = PageId>) -> usize {
-        pages.filter(|p| self.map.contains_key(p)).count()
+        let m = self.lock_map();
+        pages.filter(|p| m.map.contains_key(p)).count()
     }
 
-    /// Borrow the bytes of frame `idx`.
-    pub fn buf(&self, idx: usize) -> &[u8] {
-        &self.frames[idx].buf
+    /// Total outstanding pins across all frames (test/diagnostic hook:
+    /// returns to zero when no guards are live).
+    pub fn pinned_frames(&self) -> u64 {
+        self.frames
+            .iter()
+            .map(|f| f.pins.load(Ordering::SeqCst) as u64)
+            .sum()
     }
 
-    /// Borrow the bytes of frame `idx` mutably, marking it dirty.
-    pub fn buf_mut(&mut self, idx: usize) -> &mut [u8] {
-        self.frames[idx].dirty = true;
-        &mut self.frames[idx].buf
-    }
-
-    /// Pin frame `idx`: it will not be evicted until unpinned.
-    pub fn pin(&mut self, idx: usize) {
-        self.frames[idx].pins += 1;
-    }
-
-    /// Release one pin on frame `idx`.
-    pub fn unpin(&mut self, idx: usize) {
-        debug_assert!(self.frames[idx].pins > 0, "unbalanced unpin");
-        self.frames[idx].pins = self.frames[idx].pins.saturating_sub(1);
-    }
-
-    /// Clock sweep: find a victim frame (empty, or unpinned with its
-    /// reference bit already cleared), writing back its dirty contents.
-    fn victim(&mut self, file: &mut PagedFile) -> Result<usize> {
-        // Two full sweeps: the first clears reference bits, the second
-        // must find an unpinned frame unless everything is pinned.
-        for _ in 0..2 * self.frames.len() {
-            let idx = self.hand;
-            self.hand = (self.hand + 1) % self.frames.len();
-            let f = &mut self.frames[idx];
-            if f.pins > 0 {
+    /// Under the map lock: sweep the clock for an evictable frame —
+    /// unpinned, second chance spent, exclusive latch available without
+    /// waiting. Claims the dirty bit (see module docs) and returns the
+    /// latch, the frame index, the displaced page (if any), and whether
+    /// its bytes still need writing back.
+    #[allow(clippy::type_complexity)]
+    fn victim(
+        &self,
+        m: &mut MapState,
+    ) -> Result<(usize, RwLockWriteGuard<'_, Box<[u8]>>, Option<PageId>, bool)> {
+        for _ in 0..3 * self.frames.len() {
+            let i = m.clock;
+            m.clock = (m.clock + 1) % self.frames.len();
+            let f = &self.frames[i];
+            if f.pins.load(Ordering::SeqCst) != 0 {
                 continue;
             }
-            if f.referenced {
-                f.referenced = false;
+            if f.referenced.swap(false, Ordering::SeqCst) {
                 continue;
             }
-            if f.page != NO_PAGE {
-                if f.dirty {
-                    file.write_page(f.page, &f.buf)?;
-                    f.dirty = false;
-                    self.stats.writebacks += 1;
-                }
-                self.map.remove(&f.page);
-                self.stats.evictions += 1;
-                f.page = NO_PAGE;
-            }
-            return Ok(idx);
+            let g = match f.data.try_write() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => continue,
+            };
+            let old = match f.page.load(Ordering::SeqCst) {
+                NO_PAGE => None,
+                p => Some(p),
+            };
+            let was_dirty = f.dirty.swap(false, Ordering::SeqCst);
+            return Ok((i, g, old, was_dirty));
         }
         Err(ModelError::Io(format!(
             "buffer pool exhausted: all {} frames pinned",
@@ -166,142 +249,323 @@ impl BufferPool {
         )))
     }
 
-    /// Fault `page` into the pool (or find it resident) and return its
-    /// frame index.
-    pub fn get(&mut self, page: PageId, file: &mut PagedFile) -> Result<usize> {
-        debug_assert_ne!(page, NO_PAGE, "the header page is not pooled");
-        if let Some(&idx) = self.map.get(&page) {
-            self.stats.hits += 1;
-            self.frames[idx].referenced = true;
-            return Ok(idx);
+    /// Under the map lock: displace `old` (if any) and map `page` to the
+    /// claimed frame.
+    fn publish(&self, m: &mut MapState, idx: usize, old: Option<PageId>, page: PageId) {
+        if let Some(old) = old {
+            m.map.remove(&old);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        let idx = self.victim(file)?;
-        file.read_page(page, &mut self.frames[idx].buf)?;
-        self.stats.misses += 1;
-        self.frames[idx].page = page;
-        self.frames[idx].referenced = true;
-        self.map.insert(page, idx);
-        Ok(idx)
+        m.map.insert(page, idx);
+        self.frames[idx].page.store(page, Ordering::SeqCst);
+        self.frames[idx].referenced.store(true, Ordering::SeqCst);
     }
 
-    /// Install a fresh zeroed frame for a newly allocated `page` (no disk
-    /// read) and return its frame index. The frame starts dirty.
-    pub fn create(&mut self, page: PageId, file: &mut PagedFile) -> Result<usize> {
-        debug_assert!(!self.map.contains_key(&page), "create of a resident page");
-        let idx = self.victim(file)?;
-        self.frames[idx].buf.fill(0);
-        self.frames[idx].page = page;
-        self.frames[idx].dirty = true;
-        self.frames[idx].referenced = true;
-        self.map.insert(page, idx);
-        Ok(idx)
+    /// Undo a published mapping after a failed fault-in, so waiters
+    /// re-fault instead of reading a torn frame. Called while the caller
+    /// still holds the frame's exclusive latch.
+    fn unpublish(&self, idx: usize, page: PageId) {
+        let mut m = self.lock_map();
+        if m.map.get(&page) == Some(&idx) {
+            m.map.remove(&page);
+            self.frames[idx].page.store(NO_PAGE, Ordering::SeqCst);
+        }
     }
 
-    /// Write back every dirty frame (frames stay resident).
-    pub fn flush(&mut self, file: &mut PagedFile) -> Result<()> {
-        for f in &mut self.frames {
-            if f.page != NO_PAGE && f.dirty {
-                file.write_page(f.page, &f.buf)?;
-                f.dirty = false;
-                self.stats.writebacks += 1;
+    /// Latch `page` for reading, faulting it in from `file` on a miss.
+    pub fn read<'a>(&'a self, page: PageId, file: &PagedFile) -> Result<PageRead<'a>> {
+        loop {
+            let mut m = self.lock_map();
+            if let Some(&idx) = m.map.get(&page) {
+                let f = &self.frames[idx];
+                f.pins.fetch_add(1, Ordering::SeqCst);
+                f.referenced.store(true, Ordering::SeqCst);
+                drop(m);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let g = f.data.read().unwrap_or_else(|e| e.into_inner());
+                if f.page.load(Ordering::SeqCst) == page {
+                    return Ok(PageRead {
+                        frame: f,
+                        latch: Some(Latch::Shared(g)),
+                    });
+                }
+                // The mapping moved between pinning and latching
+                // (discard or a failed fault): retry from the top.
+                drop(g);
+                f.pins.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            let (idx, mut g, old, was_dirty) = self.victim(&mut m)?;
+            self.publish(&mut m, idx, old, page);
+            let f = &self.frames[idx];
+            f.pins.fetch_add(1, Ordering::SeqCst);
+            drop(m);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let res = (|| -> Result<()> {
+                if was_dirty {
+                    if let Some(old) = old {
+                        file.write_page(old, &g)?;
+                        self.writebacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                file.read_page(page, &mut g)
+            })();
+            if let Err(e) = res {
+                self.unpublish(idx, page);
+                drop(g);
+                f.pins.fetch_sub(1, Ordering::SeqCst);
+                return Err(e);
+            }
+            return Ok(PageRead {
+                frame: f,
+                latch: Some(Latch::Exclusive(g)),
+            });
+        }
+    }
+
+    /// Install `page` with the given contents and mark it dirty (the
+    /// page-writer path: freshly built data/overflow/catalog pages).
+    /// Callers serialize installs against [`BufferPool::flush`] — the
+    /// store's write lock does this.
+    pub fn install(&self, page: PageId, bytes: &[u8], file: &PagedFile) -> Result<()> {
+        debug_assert_eq!(bytes.len(), PAGE_SIZE);
+        let mut m = self.lock_map();
+        if let Some(&idx) = m.map.get(&page) {
+            // Rewriting a resident page in place. Pin under the map lock,
+            // then wait for readers on the frame's exclusive latch.
+            let f = &self.frames[idx];
+            f.pins.fetch_add(1, Ordering::SeqCst);
+            f.referenced.store(true, Ordering::SeqCst);
+            drop(m);
+            {
+                let mut g = f.data.write().unwrap_or_else(|e| e.into_inner());
+                g.copy_from_slice(bytes);
+                f.dirty.store(true, Ordering::SeqCst);
+            }
+            f.pins.fetch_sub(1, Ordering::SeqCst);
+            return Ok(());
+        }
+        let (idx, mut g, old, was_dirty) = self.victim(&mut m)?;
+        self.publish(&mut m, idx, old, page);
+        let f = &self.frames[idx];
+        f.pins.fetch_add(1, Ordering::SeqCst);
+        drop(m);
+        let res = (|| -> Result<()> {
+            if was_dirty {
+                if let Some(old) = old {
+                    file.write_page(old, &g)?;
+                    self.writebacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        })();
+        let out = match res {
+            Ok(()) => {
+                g.copy_from_slice(bytes);
+                f.dirty.store(true, Ordering::SeqCst);
+                Ok(())
+            }
+            Err(e) => {
+                self.unpublish(idx, page);
+                Err(e)
+            }
+        };
+        drop(g);
+        f.pins.fetch_sub(1, Ordering::SeqCst);
+        out
+    }
+
+    /// Write every dirty resident page back to the file (the first half of
+    /// the commit point). Serialized with installs by the caller;
+    /// concurrent readers are unaffected (the latch taken per page is
+    /// shared).
+    pub fn flush(&self, file: &PagedFile) -> Result<()> {
+        let m = self.lock_map();
+        for f in &self.frames {
+            let page = f.page.load(Ordering::SeqCst);
+            if page == NO_PAGE || !f.dirty.swap(false, Ordering::SeqCst) {
+                continue;
+            }
+            let g = f.data.read().unwrap_or_else(|e| e.into_inner());
+            file.write_page(page, &g)?;
+            self.writebacks.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(m);
+        Ok(())
+    }
+
+    /// Drop any resident copies of `pages` without writing them back —
+    /// called when pages join the free list, so a later reuse of the id
+    /// starts from a clean slate. In-flight guards on a discarded page
+    /// stay valid (the frame's bytes are untouched until reclaimed).
+    pub fn discard(&self, pages: impl Iterator<Item = PageId>) {
+        let mut m = self.lock_map();
+        for p in pages {
+            if let Some(idx) = m.map.remove(&p) {
+                let f = &self.frames[idx];
+                f.page.store(NO_PAGE, Ordering::SeqCst);
+                f.dirty.store(false, Ordering::SeqCst);
+                f.referenced.store(false, Ordering::SeqCst);
             }
         }
-        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pager::store::PagedFile;
+    use std::path::{Path, PathBuf};
 
-    fn scratch_file(name: &str) -> PagedFile {
-        let path = std::env::temp_dir().join(format!(
-            "tmql-pool-test-{}-{name}.pages",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_file(&path);
-        PagedFile::create(&path).expect("scratch file")
+    fn scratch(name: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("tmql-pool-test-{}-{name}.tmdb", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    /// A file whose pages 1..=n hold recognizable byte patterns.
+    fn file_with_pages(path: &Path, n: u8) -> PagedFile {
+        let file = PagedFile::create(path).unwrap();
+        file.write_page(0, &[0u8; PAGE_SIZE]).unwrap();
+        for pid in 1..=n {
+            file.write_page(pid as PageId, &[pid; PAGE_SIZE]).unwrap();
+        }
+        file
     }
 
     #[test]
     fn hits_and_misses_counted() {
-        let mut file = scratch_file("hits");
-        let mut pool = BufferPool::new(4);
-        let idx = pool.create(1, &mut file).unwrap();
-        pool.buf_mut(idx)[0] = 7;
-        assert_eq!(pool.get(1, &mut file).unwrap(), idx, "resident hit");
+        let path = scratch("hits");
+        let file = file_with_pages(&path, 3);
+        let pool = BufferPool::new(4);
+        {
+            let g = pool.read(1, &file).unwrap();
+            assert_eq!(g[0], 1);
+        }
+        {
+            let g = pool.read(1, &file).unwrap();
+            assert_eq!(g[0], 1);
+        }
         let s = pool.stats();
-        assert_eq!((s.hits, s.misses), (1, 0));
+        assert_eq!((s.hits, s.misses), (1, 1));
         assert!(pool.is_resident(1));
         assert_eq!(pool.resident_among([1u32, 2, 3].into_iter()), 1);
+        assert_eq!(pool.pinned_frames(), 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn eviction_writes_back_and_refaults() {
-        let mut file = scratch_file("evict");
-        let mut pool = BufferPool::new(2);
-        for p in 1..=3u32 {
-            let idx = pool.create(p, &mut file).unwrap();
-            pool.buf_mut(idx)[0] = p as u8;
-        }
-        // Capacity 2, three pages created: at least one eviction happened,
-        // and its dirty contents were written back.
-        assert!(pool.stats().evictions >= 1);
-        assert!(pool.stats().writebacks >= 1);
-        let idx = pool.get(1, &mut file).unwrap();
-        assert_eq!(pool.buf(idx)[0], 1, "evicted page re-read intact");
+        let path = scratch("evict");
+        let file = file_with_pages(&path, 3);
+        let pool = BufferPool::new(2);
+        // Install a dirty page 1, then evict it by faulting 2 and 3.
+        pool.install(1, &[0xAA; PAGE_SIZE], &file).unwrap();
+        let _ = pool.read(2, &file).unwrap();
+        let _ = pool.read(3, &file).unwrap();
+        assert!(!pool.is_resident(1), "page 1 was evicted");
+        let s = pool.stats();
+        assert!(s.evictions >= 1, "{s:?}");
+        assert_eq!(s.writebacks, 1, "dirty page written back on eviction");
+        // Refault: the written-back bytes come back from the file.
+        let g = pool.read(1, &file).unwrap();
+        assert_eq!(g[0], 0xAA);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn pinned_frames_survive_eviction_pressure() {
-        let mut file = scratch_file("pins");
-        let mut pool = BufferPool::new(2);
-        let idx1 = pool.create(1, &mut file).unwrap();
-        pool.buf_mut(idx1)[0] = 11;
-        pool.pin(idx1);
-        // Fault many other pages through the second frame.
-        for p in 2..=6u32 {
-            pool.create(p, &mut file).unwrap();
-        }
+        let path = scratch("pin");
+        let file = file_with_pages(&path, 4);
+        let pool = BufferPool::new(2);
+        let g1 = pool.read(1, &file).unwrap();
+        let _ = pool.read(2, &file).unwrap();
+        let _ = pool.read(3, &file).unwrap();
+        let _ = pool.read(4, &file).unwrap();
         assert!(pool.is_resident(1), "pinned page was never evicted");
-        assert_eq!(pool.buf(idx1)[0], 11);
-        pool.unpin(idx1);
+        assert_eq!(g1[0], 1);
+        drop(g1);
+        assert_eq!(pool.pinned_frames(), 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn all_pinned_is_an_error_not_a_panic() {
-        let mut file = scratch_file("allpinned");
-        let mut pool = BufferPool::new(2);
-        let a = pool.create(1, &mut file).unwrap();
-        let b = pool.create(2, &mut file).unwrap();
-        pool.pin(a);
-        pool.pin(b);
-        assert!(matches!(pool.create(3, &mut file), Err(ModelError::Io(_))));
-        pool.unpin(a);
-        assert!(
-            pool.create(3, &mut file).is_ok(),
-            "an unpinned frame frees up"
-        );
-        pool.unpin(b);
+        let path = scratch("wedge");
+        let file = file_with_pages(&path, 3);
+        let pool = BufferPool::new(2);
+        let _g1 = pool.read(1, &file).unwrap();
+        let _g2 = pool.read(2, &file).unwrap();
+        let err = pool.read(3, &file).unwrap_err();
+        assert!(matches!(err, ModelError::Io(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn flush_clears_dirt() {
-        let mut file = scratch_file("flush");
-        let mut pool = BufferPool::new(2);
-        let idx = pool.create(1, &mut file).unwrap();
-        pool.buf_mut(idx)[5] = 9;
-        pool.flush(&mut file).unwrap();
-        let w = pool.stats().writebacks;
-        pool.flush(&mut file).unwrap();
+        let path = scratch("flush");
+        let file = file_with_pages(&path, 1);
+        let pool = BufferPool::new(2);
+        pool.install(1, &[0xBB; PAGE_SIZE], &file).unwrap();
+        pool.flush(&file).unwrap();
+        assert_eq!(pool.stats().writebacks, 1);
+        // A second flush writes nothing new.
+        pool.flush(&file).unwrap();
+        assert_eq!(pool.stats().writebacks, 1);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        file.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xBB, "flush reached the file");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn discard_forgets_pages_without_writeback() {
+        let path = scratch("discard");
+        let file = file_with_pages(&path, 1);
+        let pool = BufferPool::new(2);
+        pool.install(1, &[0xCC; PAGE_SIZE], &file).unwrap();
+        pool.discard([1u32].into_iter());
+        assert!(!pool.is_resident(1));
+        pool.flush(&file).unwrap();
+        assert_eq!(pool.stats().writebacks, 0, "discarded dirt is not flushed");
+        let mut buf = vec![0u8; PAGE_SIZE];
+        file.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "file bytes untouched");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_scans_share_a_tiny_pool() {
+        // The satellite stress test: N threads hammer a 4-frame pool over
+        // 8 pages; every read sees the right bytes, the hit/miss counters
+        // account for every request, and all pins return to zero.
+        const THREADS: usize = 8;
+        const ITERS: usize = 200;
+        const PAGES: u8 = 8;
+        let path = scratch("stress");
+        let file = file_with_pages(&path, PAGES);
+        let pool = BufferPool::new(4);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let pool = &pool;
+                let file = &file;
+                s.spawn(move || {
+                    for i in 0..ITERS {
+                        let pid = ((t * 31 + i * 7) % PAGES as usize + 1) as PageId;
+                        let g = pool.read(pid, file).unwrap();
+                        assert_eq!(g[0], pid as u8, "torn read of page {pid}");
+                        assert_eq!(g[PAGE_SIZE - 1], pid as u8);
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
         assert_eq!(
-            pool.stats().writebacks,
-            w,
-            "second flush had nothing to write"
+            s.hits + s.misses,
+            (THREADS * ITERS) as u64,
+            "no lost hits/misses: {s:?}"
         );
-        let mut back = vec![0u8; PAGE_SIZE];
-        file.read_page(1, &mut back).unwrap();
-        assert_eq!(back[5], 9);
+        assert_eq!(pool.pinned_frames(), 0, "all pins released");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,27 +1,43 @@
 //! The paged database file and the store façade over it.
 //!
 //! One database is one file. Page 0 is the header (magic, page size, the
-//! allocation watermark, and a pointer to the current catalog chain);
-//! every other page is a [data or overflow](super::page) page reached
-//! through the [`BufferPool`]. Tables occupy *extents* — ordered lists of
-//! data pages, each knowing how many rows it holds — so a scan cursor can
-//! map a row offset to a page without touching earlier pages.
+//! allocation watermark, the free list, and a pointer to the current
+//! catalog chain); every other page is a [data or overflow](super::page)
+//! page reached through the [`BufferPool`]. Tables occupy *extents* —
+//! ordered lists of data pages, each knowing how many rows it holds — so a
+//! scan cursor can map a row offset to a page without touching earlier
+//! pages.
+//!
+//! # Concurrency
+//!
+//! Reads ([`PagedStore::read_rows`]) are fully concurrent: the file uses
+//! positional I/O (`&self`), and the pool is latch-based (see
+//! [`super::pool`]), so parallel scan morsels share the store without a
+//! global lock. Writers ([`PagedStore::write_table`],
+//! [`PagedStore::save_catalog`]) serialize on one write lock; the header
+//! state (watermark + free list) sits behind its own small mutex.
 //!
 //! # Durability rules
 //!
 //! * Data and catalog pages are written through the pool; eviction and
 //!   [`BufferPool::flush`] perform the actual file writes.
-//! * A catalog update ([`Pager::write_catalog`]) is the commit point: all
-//!   dirty pages are flushed and synced **before** the header is
+//! * A catalog update ([`PagedStore::save_catalog`]) is the commit point:
+//!   all dirty pages are flushed and synced **before** the header is
 //!   rewritten to point at the new catalog chain, then the header is
 //!   synced. A crash between the two leaves the previous catalog intact —
 //!   readers see the old state, never a torn one.
-//! * Replaced tables leak their old pages inside the file (there is no
-//!   free list); the space is reclaimed by copying the database
-//!   (re-registering into a fresh file).
+//! * Pages freed by a commit (a replaced table's extent + overflow
+//!   chains, and the superseded catalog chain) join the header's **free
+//!   list** at that same header rewrite, and the allocator reuses them
+//!   for later writes. A page is therefore never reused until the commit
+//!   that stopped referencing it is durable, which is what keeps the
+//!   crash-recovery story intact. The free list is minimal: it holds up
+//!   to [`FREE_LIST_CAP`] page ids in the header page; anything past that
+//!   is leaked until the database is copied ([`Table`](crate::Table)
+//!   re-registration into a fresh file).
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -38,6 +54,14 @@ pub const DEFAULT_POOL_PAGES: usize = 256;
 const MAGIC: [u8; 4] = *b"TMQB";
 const VERSION: u16 = 1;
 
+/// Fixed header bytes before the free list (magic, version, page size,
+/// watermark, catalog pointer + length).
+const META_BYTES: usize = 26;
+
+/// Maximum free-page ids the header page can record (the rest of the page
+/// after the fixed fields, 4 bytes per id).
+pub const FREE_LIST_CAP: usize = (PAGE_SIZE - META_BYTES - 4) / 4;
+
 fn io_err(e: std::io::Error) -> ModelError {
     ModelError::Io(e.to_string())
 }
@@ -46,7 +70,9 @@ fn io_err(e: std::io::Error) -> ModelError {
 // The file
 // ---------------------------------------------------------------------------
 
-/// Raw page-granular I/O over the database file.
+/// Raw page-granular I/O over the database file. Positional reads/writes
+/// (`pread`/`pwrite`) take `&self`, so concurrent page faults never
+/// serialize on a seek cursor.
 #[derive(Debug)]
 pub struct PagedFile {
     file: File,
@@ -76,31 +102,29 @@ impl PagedFile {
     }
 
     /// Read page `pid` into `buf` (exactly one page).
-    pub fn read_page(&mut self, pid: PageId, buf: &mut [u8]) -> Result<()> {
+    pub fn read_page(&self, pid: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
         self.file
-            .seek(SeekFrom::Start(pid as u64 * PAGE_SIZE as u64))
-            .map_err(io_err)?;
-        self.file.read_exact(buf).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                ModelError::Io(format!("truncated database file: page {pid} is missing"))
-            } else {
-                io_err(e)
-            }
-        })
+            .read_exact_at(buf, pid as u64 * PAGE_SIZE as u64)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    ModelError::Io(format!("truncated database file: page {pid} is missing"))
+                } else {
+                    io_err(e)
+                }
+            })
     }
 
     /// Write page `pid` from `buf`.
-    pub fn write_page(&mut self, pid: PageId, buf: &[u8]) -> Result<()> {
+    pub fn write_page(&self, pid: PageId, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
         self.file
-            .seek(SeekFrom::Start(pid as u64 * PAGE_SIZE as u64))
-            .map_err(io_err)?;
-        self.file.write_all(buf).map_err(io_err)
+            .write_all_at(buf, pid as u64 * PAGE_SIZE as u64)
+            .map_err(io_err)
     }
 
     /// Force everything to stable storage.
-    pub fn sync(&mut self) -> Result<()> {
+    pub fn sync(&self) -> Result<()> {
         self.file.sync_all().map_err(io_err)
     }
 }
@@ -111,7 +135,7 @@ impl PagedFile {
 
 #[derive(Debug, Clone, Copy)]
 struct Meta {
-    /// Next unallocated page id (page 0 is the header).
+    /// Next never-allocated page id (page 0 is the header).
     next_page: PageId,
     /// First page of the current catalog chain ([`NO_PAGE`] when empty).
     catalog_first: PageId,
@@ -120,7 +144,11 @@ struct Meta {
 }
 
 impl Meta {
-    fn encode(&self) -> Vec<u8> {
+    /// Encode the header page: fixed fields, then the free list
+    /// (count + ids). Files written before the free list existed decode
+    /// with `free_count == 0`, so the format version is unchanged.
+    fn encode(&self, free: &[PageId]) -> Vec<u8> {
+        debug_assert!(free.len() <= FREE_LIST_CAP);
         let mut buf = vec![0u8; PAGE_SIZE];
         buf[..4].copy_from_slice(&MAGIC);
         buf[4..6].copy_from_slice(&VERSION.to_le_bytes());
@@ -128,10 +156,15 @@ impl Meta {
         buf[10..14].copy_from_slice(&self.next_page.to_le_bytes());
         buf[14..18].copy_from_slice(&self.catalog_first.to_le_bytes());
         buf[18..26].copy_from_slice(&self.catalog_len.to_le_bytes());
+        buf[26..30].copy_from_slice(&(free.len() as u32).to_le_bytes());
+        for (i, pid) in free.iter().enumerate() {
+            let at = 30 + 4 * i;
+            buf[at..at + 4].copy_from_slice(&pid.to_le_bytes());
+        }
         buf
     }
 
-    fn decode(buf: &[u8]) -> Result<Meta> {
+    fn decode(buf: &[u8]) -> Result<(Meta, Vec<PageId>)> {
         if buf[..4] != MAGIC {
             return Err(ModelError::Io(
                 "not a tmql database file (bad magic)".into(),
@@ -149,11 +182,44 @@ impl Meta {
                 "database page size {page_size} does not match this build's {PAGE_SIZE}"
             )));
         }
-        Ok(Meta {
+        let meta = Meta {
             next_page: u32::from_le_bytes(buf[10..14].try_into().expect("4 bytes")),
             catalog_first: u32::from_le_bytes(buf[14..18].try_into().expect("4 bytes")),
             catalog_len: u64::from_le_bytes(buf[18..26].try_into().expect("8 bytes")),
-        })
+        };
+        let free_count = u32::from_le_bytes(buf[26..30].try_into().expect("4 bytes")) as usize;
+        if free_count > FREE_LIST_CAP {
+            return Err(ModelError::Io(format!(
+                "corrupted header: free list claims {free_count} pages"
+            )));
+        }
+        let free = (0..free_count)
+            .map(|i| {
+                let at = 30 + 4 * i;
+                u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+            })
+            .collect();
+        Ok((meta, free))
+    }
+}
+
+/// Header state: the allocation watermark plus the in-memory free list.
+/// Mutated only by writers (serialized by the store's write lock).
+#[derive(Debug)]
+struct MetaState {
+    meta: Meta,
+    free: Vec<PageId>,
+}
+
+impl MetaState {
+    /// Allocate one page: reuse the free list before growing the file.
+    fn alloc(&mut self) -> PageId {
+        if let Some(pid) = self.free.pop() {
+            return pid;
+        }
+        let pid = self.meta.next_page;
+        self.meta.next_page += 1;
+        pid
     }
 }
 
@@ -184,132 +250,185 @@ impl TableExtent {
     }
 }
 
-/// In-progress table write (see [`Pager::append_row`]).
+/// In-progress table write: sealed pages plus the page being filled
+/// (built in a local buffer, installed into the pool when sealed).
 #[derive(Debug, Default)]
 struct TableBuild {
     pages: Vec<(PageId, u16)>,
-    cur: PageId,
+    cur: Option<(PageId, Box<[u8]>)>,
     rows_in_cur: u16,
     rows: u64,
 }
 
 // ---------------------------------------------------------------------------
-// The pager
+// The thread-safe store
 // ---------------------------------------------------------------------------
 
-/// Single-threaded core of the store: the file, the pool, and the header.
+/// A shared handle to one paged database: the file, its buffer pool, and
+/// its header state. Cloned freely via `Arc` — every disk-backed
+/// [`crate::Table`] of a database holds one. Reads are concurrent;
+/// writes serialize on an internal write lock (see the module docs).
 #[derive(Debug)]
-pub struct Pager {
+pub struct PagedStore {
     file: PagedFile,
     pool: BufferPool,
-    meta: Meta,
+    state: Mutex<MetaState>,
+    /// Serializes writers (`write_table` / `save_catalog`); readers never
+    /// take it. Also what makes pool installs/flushes single-threaded.
+    write_lock: Mutex<()>,
+    path: PathBuf,
 }
 
-impl Pager {
-    fn create(path: &Path, pool_pages: usize) -> Result<Pager> {
-        let mut file = PagedFile::create(path)?;
+impl PagedStore {
+    /// Create a fresh database file.
+    pub fn create(path: impl AsRef<Path>, pool_pages: usize) -> Result<Arc<PagedStore>> {
+        let path = path.as_ref().to_path_buf();
+        let file = PagedFile::create(&path)?;
         let meta = Meta {
             next_page: 1,
             catalog_first: NO_PAGE,
             catalog_len: 0,
         };
-        file.write_page(0, &meta.encode())?;
+        file.write_page(0, &meta.encode(&[]))?;
         file.sync()?;
-        Ok(Pager {
+        Ok(Arc::new(PagedStore {
             file,
             pool: BufferPool::new(pool_pages),
-            meta,
-        })
+            state: Mutex::new(MetaState {
+                meta,
+                free: Vec::new(),
+            }),
+            write_lock: Mutex::new(()),
+            path,
+        }))
     }
 
-    fn open(path: &Path, pool_pages: usize) -> Result<Pager> {
-        let mut file = PagedFile::open(path)?;
+    /// Open an existing database file without touching its catalog.
+    fn open_store(path: &Path, pool_pages: usize) -> Result<Arc<PagedStore>> {
+        let file = PagedFile::open(path)?;
         let mut buf = vec![0u8; PAGE_SIZE];
         file.read_page(0, &mut buf)?;
-        let meta = Meta::decode(&buf)?;
-        Ok(Pager {
+        let (meta, free) = Meta::decode(&buf)?;
+        Ok(Arc::new(PagedStore {
             file,
             pool: BufferPool::new(pool_pages),
-            meta,
-        })
+            state: Mutex::new(MetaState { meta, free }),
+            write_lock: Mutex::new(()),
+            path: path.to_path_buf(),
+        }))
     }
 
-    fn alloc(&mut self) -> PageId {
-        let pid = self.meta.next_page;
-        self.meta.next_page += 1;
-        pid
+    /// Open an existing database file and decode its persisted catalog.
+    pub fn open(
+        path: impl AsRef<Path>,
+        pool_pages: usize,
+    ) -> Result<(Arc<PagedStore>, CatalogImage)> {
+        let store = PagedStore::open_store(path.as_ref(), pool_pages)?;
+        let image = match store.read_catalog()? {
+            Some(blob) => decode_catalog(&blob)?,
+            None => CatalogImage::default(),
+        };
+        Ok((store, image))
+    }
+
+    fn state(&self) -> MutexGuard<'_, MetaState> {
+        // A panic while holding the lock leaves no torn in-memory state we
+        // could not keep using (the header commit protocol guards the
+        // file), so recover from poisoning instead of propagating it.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write_lock(&self) -> MutexGuard<'_, ()> {
+        self.write_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The database file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn alloc(&self) -> PageId {
+        self.state().alloc()
+    }
+
+    // -- writing ------------------------------------------------------------
+
+    fn start_data_page(&self, build: &mut TableBuild) {
+        let pid = self.alloc();
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        page::init_data(&mut buf);
+        build.cur = Some((pid, buf));
+        build.rows_in_cur = 0;
+    }
+
+    fn seal_data_page(&self, build: &mut TableBuild) -> Result<()> {
+        if let Some((pid, buf)) = build.cur.take() {
+            self.pool.install(pid, &buf, &self.file)?;
+            build.pages.push((pid, build.rows_in_cur));
+            build.rows_in_cur = 0;
+        }
+        Ok(())
     }
 
     /// Append one encoded record to an in-progress table build.
-    fn append_row(&mut self, build: &mut TableBuild, rec: &Record) -> Result<()> {
+    fn append_row(&self, build: &mut TableBuild, rec: &Record) -> Result<()> {
         let bytes = encode_record(rec);
-        if build.cur == NO_PAGE {
-            self.start_data_page(build)?;
+        if build.cur.is_none() {
+            self.start_data_page(build);
         }
         if bytes.len() <= page::MAX_INLINE {
-            let idx = self.pool.get(build.cur, &mut self.file)?;
-            if !page::fits_inline(self.pool.buf(idx), bytes.len()) {
-                self.seal_data_page(build);
-                self.start_data_page(build)?;
+            if !page::fits_inline(&build.cur.as_ref().expect("open page").1, bytes.len()) {
+                self.seal_data_page(build)?;
+                self.start_data_page(build);
             }
-            let idx = self.pool.get(build.cur, &mut self.file)?;
-            page::push_inline(self.pool.buf_mut(idx), &bytes);
+            let (_, buf) = build.cur.as_mut().expect("open page");
+            page::push_inline(buf, &bytes);
         } else {
             // Oversized record: spill its bytes into an overflow chain,
             // then reference the chain from the data page.
             let chunks: Vec<&[u8]> = bytes.chunks(OVF_CAPACITY).collect();
             let ids: Vec<PageId> = chunks.iter().map(|_| self.alloc()).collect();
+            let mut ovf = vec![0u8; PAGE_SIZE].into_boxed_slice();
             for (i, chunk) in chunks.iter().enumerate() {
                 let next = ids.get(i + 1).copied().unwrap_or(NO_PAGE);
-                let idx = self.pool.create(ids[i], &mut self.file)?;
-                page::init_overflow(self.pool.buf_mut(idx), next, chunk);
+                page::init_overflow(&mut ovf, next, chunk);
+                self.pool.install(ids[i], &ovf, &self.file)?;
             }
-            let idx = self.pool.get(build.cur, &mut self.file)?;
-            if !page::fits_overflow_ref(self.pool.buf(idx)) {
-                self.seal_data_page(build);
-                self.start_data_page(build)?;
+            if !page::fits_overflow_ref(&build.cur.as_ref().expect("open page").1) {
+                self.seal_data_page(build)?;
+                self.start_data_page(build);
             }
-            let idx = self.pool.get(build.cur, &mut self.file)?;
-            page::push_overflow_ref(self.pool.buf_mut(idx), ids[0], bytes.len() as u32);
+            let (_, buf) = build.cur.as_mut().expect("open page");
+            page::push_overflow_ref(buf, ids[0], bytes.len() as u32);
         }
         build.rows_in_cur += 1;
         build.rows += 1;
         Ok(())
     }
 
-    fn start_data_page(&mut self, build: &mut TableBuild) -> Result<()> {
-        let pid = self.alloc();
-        let idx = self.pool.create(pid, &mut self.file)?;
-        page::init_data(self.pool.buf_mut(idx));
-        build.cur = pid;
-        build.rows_in_cur = 0;
-        Ok(())
-    }
-
-    fn seal_data_page(&mut self, build: &mut TableBuild) {
-        if build.cur != NO_PAGE {
-            build.pages.push((build.cur, build.rows_in_cur));
-            build.cur = NO_PAGE;
-            build.rows_in_cur = 0;
-        }
-    }
-
     /// Write a whole table and return its extent.
-    pub fn write_table(&mut self, rows: &[Record]) -> Result<TableExtent> {
+    pub fn write_table(&self, rows: &[Record]) -> Result<TableExtent> {
+        let _w = self.write_lock();
         let mut build = TableBuild::default();
         for rec in rows {
             self.append_row(&mut build, rec)?;
         }
         let rows = build.rows;
-        self.seal_data_page(&mut build);
+        self.seal_data_page(&mut build)?;
         Ok(TableExtent {
             pages: build.pages,
             rows,
         })
     }
 
+    // -- reading ------------------------------------------------------------
+
     /// Assemble the full bytes of an overflow chain starting at `first`.
-    fn read_chain(&mut self, first: PageId, total: u32) -> Result<Vec<u8>> {
+    fn read_chain(&self, first: PageId, total: u32) -> Result<Vec<u8>> {
         let mut out = Vec::with_capacity(total as usize);
         let mut pid = first;
         // A well-formed chain of `total` bytes spans at most this many
@@ -323,15 +442,9 @@ impl Pager {
                 ));
             }
             pages_left -= 1;
-            let idx = self.pool.get(pid, &mut self.file)?;
-            self.pool.pin(idx);
-            let res = (|| -> Result<PageId> {
-                let buf = self.pool.buf(idx);
-                out.extend_from_slice(page::ovf_data(buf)?);
-                page::ovf_next(buf)
-            })();
-            self.pool.unpin(idx);
-            pid = res?;
+            let g = self.pool.read(pid, &self.file)?;
+            out.extend_from_slice(page::ovf_data(&g)?);
+            pid = page::ovf_next(&g)?;
         }
         if out.len() != total as usize {
             return Err(ModelError::Io(format!(
@@ -342,13 +455,29 @@ impl Pager {
         Ok(out)
     }
 
+    /// The page ids of an overflow chain (same walk as [`read_chain`],
+    /// without assembling the bytes) — the freeing side's enumeration.
+    fn chain_pages(&self, first: PageId, total: u32, out: &mut Vec<PageId>) -> Result<()> {
+        let mut pid = first;
+        let mut pages_left = total as usize / OVF_CAPACITY + 2;
+        while pid != NO_PAGE {
+            if pages_left == 0 {
+                return Err(ModelError::Io(
+                    "corrupted page: overflow chain too long".into(),
+                ));
+            }
+            pages_left -= 1;
+            out.push(pid);
+            let g = self.pool.read(pid, &self.file)?;
+            pid = page::ovf_next(&g)?;
+        }
+        Ok(())
+    }
+
     /// Read up to `n` decoded rows starting at row offset `start`.
-    pub fn read_rows(
-        &mut self,
-        extent: &TableExtent,
-        start: usize,
-        n: usize,
-    ) -> Result<Vec<Record>> {
+    /// Fully concurrent: parallel scan morsels call this from worker
+    /// threads against disjoint row ranges.
+    pub fn read_rows(&self, extent: &TableExtent, start: usize, n: usize) -> Result<Vec<Record>> {
         let mut out = Vec::with_capacity(n.min(extent.rows as usize));
         let mut skip = start;
         for &(pid, rows_in_page) in &extent.pages {
@@ -360,17 +489,15 @@ impl Pager {
             if out.len() >= n {
                 break;
             }
-            // Copy the needed slots out under a pin, then resolve overflow
-            // chains (which fault other pages) with the pin released.
+            // Copy the needed slots out under the page latch, then resolve
+            // overflow chains (which fault other pages) with it released.
             enum Slot {
                 Inline(Vec<u8>),
                 Chain(PageId, u32),
             }
-            let idx = self.pool.get(pid, &mut self.file)?;
-            self.pool.pin(idx);
-            let copied = (|| -> Result<Vec<Slot>> {
-                let buf = self.pool.buf(idx);
-                if page::kind(buf) != page::KIND_DATA || page::slot_count(buf) != rows_in_page {
+            let copied = {
+                let g = self.pool.read(pid, &self.file)?;
+                if page::kind(&g) != page::KIND_DATA || page::slot_count(&g) != rows_in_page {
                     return Err(ModelError::Io(format!(
                         "corrupted page: data page {pid} does not match the catalog extent"
                     )));
@@ -378,15 +505,14 @@ impl Pager {
                 let take = (rows_in_page - skip).min(n - out.len());
                 (skip..skip + take)
                     .map(|i| {
-                        Ok(match page::slot(buf, i)? {
+                        Ok(match page::slot(&g, i)? {
                             page::SlotRef::Inline(b) => Slot::Inline(b.to_vec()),
                             page::SlotRef::Overflow { first, total } => Slot::Chain(first, total),
                         })
                     })
-                    .collect()
-            })();
-            self.pool.unpin(idx);
-            for slot in copied? {
+                    .collect::<Result<Vec<Slot>>>()?
+            };
+            for slot in copied {
                 let rec = match slot {
                     Slot::Inline(bytes) => decode_record(&bytes)?,
                     Slot::Chain(first, total) => decode_record(&self.read_chain(first, total)?)?,
@@ -398,125 +524,127 @@ impl Pager {
         Ok(out)
     }
 
+    /// Every page an extent owns: its data pages plus all overflow chains
+    /// hanging off their slots. This is what a replace frees.
+    pub fn extent_pages(&self, extent: &TableExtent) -> Result<Vec<PageId>> {
+        let mut out: Vec<PageId> = extent.page_ids().collect();
+        for &(pid, _) in &extent.pages {
+            let mut chains = Vec::new();
+            {
+                let g = self.pool.read(pid, &self.file)?;
+                for i in 0..page::slot_count(&g) {
+                    if let page::SlotRef::Overflow { first, total } = page::slot(&g, i)? {
+                        chains.push((first, total));
+                    }
+                }
+            }
+            for (first, total) in chains {
+                self.chain_pages(first, total, &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    // -- committing ---------------------------------------------------------
+
     /// Persist a new catalog blob: write its chain, flush everything, then
     /// commit by rewriting the header (see the module's durability rules).
-    pub fn write_catalog(&mut self, blob: &[u8]) -> Result<()> {
+    /// `freed` pages — plus the superseded catalog chain — join the free
+    /// list at the commit, and only then.
+    fn write_catalog(&self, blob: &[u8], mut freed: Vec<PageId>) -> Result<()> {
+        let _w = self.write_lock();
+        // The chain being superseded is freed by this commit too.
+        let (old_first, old_len) = {
+            let st = self.state();
+            (st.meta.catalog_first, st.meta.catalog_len)
+        };
+        if old_first != NO_PAGE {
+            self.chain_pages(old_first, old_len as u32, &mut freed)?;
+        }
+        // Write the new chain. Allocation draws on the *current* free
+        // list (pages freed by earlier, durable commits) — never on
+        // `freed`, which the old header still references.
         let mut first = NO_PAGE;
         if !blob.is_empty() {
             let chunks: Vec<&[u8]> = blob.chunks(OVF_CAPACITY).collect();
             let ids: Vec<PageId> = chunks.iter().map(|_| self.alloc()).collect();
+            let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
             for (i, chunk) in chunks.iter().enumerate() {
                 let next = ids.get(i + 1).copied().unwrap_or(NO_PAGE);
-                let idx = self.pool.create(ids[i], &mut self.file)?;
-                page::init_overflow(self.pool.buf_mut(idx), next, chunk);
+                page::init_overflow(&mut buf, next, chunk);
+                self.pool.install(ids[i], &buf, &self.file)?;
             }
             first = ids[0];
         }
-        self.pool.flush(&mut self.file)?;
+        self.pool.flush(&self.file)?;
         self.file.sync()?;
-        self.meta.catalog_first = first;
-        self.meta.catalog_len = blob.len() as u64;
-        self.file.write_page(0, &self.meta.encode())?;
-        self.file.sync()
+        // Commit point: the new header references the new chain and
+        // absorbs the freed pages (double-free guarded by the dedup).
+        freed.sort_unstable();
+        freed.dedup();
+        {
+            let mut st = self.state();
+            st.meta.catalog_first = first;
+            st.meta.catalog_len = blob.len() as u64;
+            st.free.extend(freed.iter().copied());
+            if st.free.len() > FREE_LIST_CAP {
+                // Minimal free list: overflow leaks until the database is
+                // copied, exactly like the pre-free-list behavior.
+                st.free.truncate(FREE_LIST_CAP);
+            }
+            self.file.write_page(0, &st.meta.encode(&st.free))?;
+        }
+        self.file.sync()?;
+        // Freed pages may be reused by the next writer; drop any resident
+        // copies so stale frames never shadow the new contents.
+        self.pool.discard(freed.into_iter());
+        Ok(())
     }
 
     /// Read the current catalog blob ([`None`] when the database is empty).
-    pub fn read_catalog(&mut self) -> Result<Option<Vec<u8>>> {
-        if self.meta.catalog_first == NO_PAGE {
+    fn read_catalog(&self) -> Result<Option<Vec<u8>>> {
+        let (first, len) = {
+            let st = self.state();
+            (st.meta.catalog_first, st.meta.catalog_len)
+        };
+        if first == NO_PAGE {
             return Ok(None);
         }
-        self.read_chain(self.meta.catalog_first, self.meta.catalog_len as u32)
-            .map(Some)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// The thread-safe store façade
-// ---------------------------------------------------------------------------
-
-/// A shared handle to one paged database: the file, its buffer pool, and
-/// its header, behind a mutex. Cloned freely via `Arc` — every
-/// disk-backed [`crate::Table`] of a database holds one.
-#[derive(Debug)]
-pub struct PagedStore {
-    inner: Mutex<Pager>,
-    path: PathBuf,
-}
-
-impl PagedStore {
-    /// Create a fresh database file.
-    pub fn create(path: impl AsRef<Path>, pool_pages: usize) -> Result<Arc<PagedStore>> {
-        let path = path.as_ref().to_path_buf();
-        let pager = Pager::create(&path, pool_pages)?;
-        Ok(Arc::new(PagedStore {
-            inner: Mutex::new(pager),
-            path,
-        }))
-    }
-
-    /// Open an existing database file and decode its persisted catalog.
-    pub fn open(
-        path: impl AsRef<Path>,
-        pool_pages: usize,
-    ) -> Result<(Arc<PagedStore>, CatalogImage)> {
-        let path = path.as_ref().to_path_buf();
-        let mut pager = Pager::open(&path, pool_pages)?;
-        let image = match pager.read_catalog()? {
-            Some(blob) => decode_catalog(&blob)?,
-            None => CatalogImage::default(),
-        };
-        Ok((
-            Arc::new(PagedStore {
-                inner: Mutex::new(pager),
-                path,
-            }),
-            image,
-        ))
-    }
-
-    fn lock(&self) -> MutexGuard<'_, Pager> {
-        // A panic while holding the lock leaves no torn in-memory state we
-        // could not keep using (the header commit protocol guards the
-        // file), so recover from poisoning instead of propagating it.
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    /// The database file path.
-    pub fn path(&self) -> &Path {
-        &self.path
-    }
-
-    /// Write a table's rows, returning its extent.
-    pub fn write_table(&self, rows: &[Record]) -> Result<TableExtent> {
-        self.lock().write_table(rows)
-    }
-
-    /// Read up to `n` rows of `extent` starting at row offset `start`.
-    pub fn read_rows(&self, extent: &TableExtent, start: usize, n: usize) -> Result<Vec<Record>> {
-        self.lock().read_rows(extent, start, n)
+        self.read_chain(first, len as u32).map(Some)
     }
 
     /// Persist the catalog image (the commit point of register/replace).
     pub fn save_catalog(&self, image: &CatalogImage) -> Result<()> {
-        self.lock().write_catalog(&encode_catalog(image))
+        self.save_catalog_freeing(image, Vec::new())
     }
+
+    /// Persist the catalog image, returning `freed` pages (a replaced
+    /// table's extent and overflow chains) to the free list at the commit.
+    pub fn save_catalog_freeing(&self, image: &CatalogImage, freed: Vec<PageId>) -> Result<()> {
+        self.write_catalog(&encode_catalog(image), freed)
+    }
+
+    // -- introspection ------------------------------------------------------
 
     /// Cumulative buffer-pool counters.
     pub fn pool_stats(&self) -> PoolStats {
-        self.lock().pool.stats()
+        self.pool.stats()
     }
 
     /// Buffer-pool capacity in pages.
     pub fn pool_pages(&self) -> usize {
-        self.lock().pool.capacity()
+        self.pool.capacity()
     }
 
     /// How many of the extent's data pages are currently resident — the
     /// cost model's input for pricing a cold vs. warm scan.
     pub fn resident_pages(&self, extent: &TableExtent) -> usize {
-        self.lock().pool.resident_among(extent.page_ids())
+        self.pool.resident_among(extent.page_ids())
+    }
+
+    /// Total outstanding page pins (test/diagnostic hook).
+    pub fn pinned_pages(&self) -> u64 {
+        self.pool.pinned_frames()
     }
 }
 
@@ -594,12 +722,11 @@ mod tests {
         {
             let store = PagedStore::create(&path, 4).unwrap();
             store
-                .lock()
-                .write_catalog(&vec![9u8; 3 * OVF_CAPACITY + 17])
+                .write_catalog(&vec![9u8; 3 * OVF_CAPACITY + 17], Vec::new())
                 .unwrap();
         }
-        let mut pager = Pager::open(&path, 4).unwrap();
-        let blob = pager.read_catalog().unwrap().expect("catalog present");
+        let store = PagedStore::open_store(&path, 4).unwrap();
+        let blob = store.read_catalog().unwrap().expect("catalog present");
         assert_eq!(blob.len(), 3 * OVF_CAPACITY + 17);
         assert!(blob.iter().all(|&b| b == 9));
         let _ = std::fs::remove_file(&path);
@@ -612,18 +739,19 @@ mod tests {
         // grows, so only the page bound can stop the walk.
         let path = scratch("cycle");
         {
-            let mut pager = Pager::create(&path, 4).unwrap();
+            let store = PagedStore::create(&path, 4).unwrap();
             let mut buf = vec![0u8; PAGE_SIZE];
             page::init_overflow(&mut buf, 1, b""); // page 1 → page 1, 0 bytes
-            pager.file.write_page(1, &buf).unwrap();
-            pager.meta.next_page = 2;
-            pager.meta.catalog_first = 1;
-            pager.meta.catalog_len = 64;
-            pager.file.write_page(0, &pager.meta.encode()).unwrap();
-            pager.file.sync().unwrap();
+            store.file.write_page(1, &buf).unwrap();
+            let mut st = store.state();
+            st.meta.next_page = 2;
+            st.meta.catalog_first = 1;
+            st.meta.catalog_len = 64;
+            store.file.write_page(0, &st.meta.encode(&st.free)).unwrap();
+            store.file.sync().unwrap();
         }
-        let mut pager = Pager::open(&path, 4).unwrap();
-        let err = pager.read_catalog().unwrap_err();
+        let store = PagedStore::open_store(&path, 4).unwrap();
+        let err = store.read_catalog().unwrap_err();
         assert!(matches!(err, ModelError::Io(_)), "{err}");
         let _ = std::fs::remove_file(&path);
     }
@@ -632,7 +760,10 @@ mod tests {
     fn open_rejects_non_database_files() {
         let path = scratch("magic");
         std::fs::write(&path, vec![0u8; 2 * PAGE_SIZE]).unwrap();
-        assert!(matches!(Pager::open(&path, 4), Err(ModelError::Io(_))));
+        assert!(matches!(
+            PagedStore::open_store(&path, 4),
+            Err(ModelError::Io(_))
+        ));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -643,16 +774,13 @@ mod tests {
         {
             let store = PagedStore::create(&path, 4).unwrap();
             extent = store.write_table(&int_rows(1000)).unwrap();
-            store.lock().write_catalog(b"x").unwrap(); // flush + sync everything
+            store.write_catalog(b"x", Vec::new()).unwrap(); // flush + sync everything
         }
         // Chop the file after the header: every data page is gone.
         let f = OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(PAGE_SIZE as u64).unwrap();
         drop(f);
-        let store2 = PagedStore {
-            inner: Mutex::new(Pager::open(&path, 4).unwrap()),
-            path: path.clone(),
-        };
+        let store2 = PagedStore::open_store(&path, 4).unwrap();
         let err = store2.read_rows(&extent, 0, 10).unwrap_err();
         assert!(matches!(err, ModelError::Io(_)), "{err}");
         let _ = std::fs::remove_file(&path);
@@ -672,6 +800,61 @@ mod tests {
         );
         assert!(warm.hits > before.hits);
         assert_eq!(store.resident_pages(&extent), extent.page_count());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn free_list_round_trips_through_the_header() {
+        let path = scratch("freelist-hdr");
+        {
+            let store = PagedStore::create(&path, 4).unwrap();
+            let extent = store.write_table(&int_rows(500)).unwrap();
+            let freed = store.extent_pages(&extent).unwrap();
+            assert!(!freed.is_empty());
+            store.write_catalog(b"v2", freed.clone()).unwrap();
+            assert_eq!(store.state().free.len(), freed.len());
+        }
+        let store = PagedStore::open_store(&path, 4).unwrap();
+        assert!(
+            !store.state().free.is_empty(),
+            "free list survived the reopen"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replaces_reuse_freed_pages_keeping_file_size_bounded() {
+        // The PR-5 leak, pinned shut: repeatedly replacing a table (write
+        // new extent, then commit freeing the old one) must not grow the
+        // file once the double-buffering steady state is reached. Includes
+        // an oversized record so overflow chains are freed too.
+        let path = scratch("freelist-size");
+        let store = PagedStore::create(&path, 8).unwrap();
+        let mut rows = int_rows(600);
+        rows.push(
+            Record::new([(
+                "s".to_string(),
+                Value::Str(std::sync::Arc::from("y".repeat(2 * PAGE_SIZE))),
+            )])
+            .unwrap(),
+        );
+        let mut extent = store.write_table(&rows).unwrap();
+        store.write_catalog(b"c0", Vec::new()).unwrap();
+        let size = |p: &PathBuf| std::fs::metadata(p).unwrap().len();
+        let mut settled = 0;
+        for i in 0..10 {
+            let freed = store.extent_pages(&extent).unwrap();
+            extent = store.write_table(&rows).unwrap();
+            store.write_catalog(b"cx", freed).unwrap();
+            if i == 2 {
+                settled = size(&path);
+            }
+        }
+        assert_eq!(
+            size(&path),
+            settled,
+            "replaces reuse freed pages instead of growing the file"
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

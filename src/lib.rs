@@ -48,7 +48,9 @@ use std::fmt;
 
 pub use tmql_algebra::Plan;
 pub use tmql_core::{Classification, CostModel, UnnestStrategy};
-pub use tmql_exec::{CostEstimate, Estimator, ExecConfig, JoinAlgo, Metrics, OpProfile};
+pub use tmql_exec::{
+    default_threads, CostEstimate, Estimator, ExecConfig, JoinAlgo, Metrics, OpProfile,
+};
 pub use tmql_model::{Record, Ty, Value};
 pub use tmql_storage::{Catalog, Table};
 
@@ -142,6 +144,20 @@ pub struct QueryOptions {
     /// assert_eq!(QueryOptions::default().memory_budget_rows, None);
     /// ```
     pub memory_budget_rows: Option<usize>,
+    /// Worker threads for morsel-driven parallel execution (clamped to
+    /// ≥ 1). `1` runs exactly the serial executor; above `1`, table scans
+    /// fan out morsels and spilled joins/breakers process their grace
+    /// partitions partition-per-worker. Defaults to the `TMQL_THREADS`
+    /// environment variable when set, else the machine's available
+    /// parallelism — see [`tmql_exec::default_threads`].
+    ///
+    /// ```
+    /// use tmql::QueryOptions;
+    ///
+    /// assert_eq!(QueryOptions::default().threads(4).threads, 4);
+    /// assert_eq!(QueryOptions::default().threads(0).threads, 1);
+    /// ```
+    pub threads: usize,
     /// Apply the Section 5/6 rewrite rules after unnesting.
     pub apply_rules: bool,
     /// Run the type checker (on by default; turn off for benchmarks that
@@ -156,6 +172,7 @@ impl Default for QueryOptions {
             join_algo: JoinAlgo::Auto,
             batch_size: tmql_exec::DEFAULT_BATCH_SIZE,
             memory_budget_rows: None,
+            threads: tmql_exec::default_threads(),
             apply_rules: true,
             typecheck: true,
         }
@@ -189,11 +206,19 @@ impl QueryOptions {
         self
     }
 
+    /// Set the worker-thread count for parallel execution (clamped to
+    /// ≥ 1; `1` is exactly the serial executor).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
     fn exec_config(&self) -> ExecConfig {
         ExecConfig {
             join_algo: self.join_algo,
             batch_size: self.batch_size,
             memory_budget_rows: self.memory_budget_rows,
+            threads: self.threads.max(1),
         }
     }
 }
@@ -456,10 +481,10 @@ impl Database {
         // estimator-backed cost model ranks CostBased candidates. The
         // memory budget flows in too, so under tight memory the model
         // charges spill I/O to plans with oversized breaker state.
-        let model = EstimatorCostModel(Estimator::with_budget(
-            &self.catalog,
-            opts.memory_budget_rows,
-        ));
+        let model = EstimatorCostModel(
+            Estimator::with_budget(&self.catalog, opts.memory_budget_rows)
+                .with_threads(opts.threads),
+        );
         let optimized = optimizer.optimize_with(translated.clone(), Some(&model));
         Ok((translated, optimized))
     }

@@ -108,7 +108,13 @@ fn help_lists_every_implemented_command() {
         );
     }
     // And the `\set` options are spelled out.
-    for opt in ["batch_size", "memory_budget", "rules", "typecheck"] {
+    for opt in [
+        "batch_size",
+        "memory_budget",
+        "threads",
+        "rules",
+        "typecheck",
+    ] {
         assert!(
             out.contains(opt),
             "`\\help` does not mention \\set option `{opt}`:\n{out}"
@@ -137,6 +143,23 @@ fn set_and_show_session_options() {
     assert!(out.contains("memory_budget: unbounded"), "{out}");
     assert!(out.contains("unknown option `bogus`"), "{out}");
     assert!(out.contains("usage: \\set memory_budget"), "{out}");
+}
+
+#[test]
+fn set_and_show_threads() {
+    let out = run_shell(
+        "\\set threads 3\n\
+         \\show\n\
+         SELECT d.name FROM DEPT d\n\
+         \\set threads 0\n\
+         \\set threads auto\n\
+         \\quit\n",
+    );
+    assert!(out.contains("threads: 3"), "{out}");
+    assert!(out.contains("threads        3"), "{out}");
+    assert!(out.contains("-- 3 rows"), "{out}");
+    assert!(out.contains("usage: \\set threads"), "{out}");
+    assert!(out.contains("(auto)"), "{out}");
 }
 
 #[test]
