@@ -1,0 +1,131 @@
+//! B11 — secondary indexes: probe vs scan across a selectivity ladder.
+//!
+//! One 64k-row table, equality predicate `x.b = 0`, and a ladder over the
+//! number of distinct values `d` in the indexed column — so the predicate
+//! selects `n/d` rows (selectivity `1/d`). Each ladder step runs the same
+//! query two ways in three storage temperatures:
+//!
+//! * **scan** — no index: the planner's only path is the full scan;
+//! * **probe** — an index on `X.b`: the planner picks `IndexScan` exactly
+//!   when the cost model prices the probe below the scan (at `d = 1`
+//!   every row matches and the scan must win; by `d = 64` the probe is
+//!   fetching ≤ 1.6% of the table).
+//!
+//! Temperatures: `memory` (in-memory table), `disk-warm` (pool holds the
+//! whole extent), `disk-cold` ([`COLD_POOL`] pages — the probe's win is
+//! bigger here because it also skips the page faults of a full scan).
+//!
+//! The `[work]` lines show the flip: scan rungs report `iprobe=0` and
+//! `scanned=n`; probe rungs report `scanned=0` with `iprobe`/`ihit`
+//! traffic instead. The recorded trajectory lives in `BENCH_index.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, QueryOptions, Record, Table, Ty, Value};
+use tmql_bench::{criterion, ladder, quick_mode, report_work};
+
+/// Pool size (pages) of the cold configuration — far below the extent.
+const COLD_POOL: usize = 8;
+
+/// Pool size (pages) of the warm configuration — holds every rung.
+const WARM_POOL: usize = 4096;
+
+/// Equality probe: selects `n/d` of the `n` rows.
+const QUERY: &str = "SELECT x.n FROM X x WHERE x.b = 0";
+
+/// Rows; the quick CI smoke shrinks this via [`ladder`].
+const ROWS: usize = 65536;
+
+fn table(n: usize, d: usize) -> Table {
+    let mut t = Table::new("X", vec![("n".into(), Ty::Int), ("b".into(), Ty::Int)]);
+    for i in 0..n as i64 {
+        t.insert(
+            Record::new([
+                ("n".to_string(), Value::Int(i)),
+                ("b".to_string(), Value::Int(i % d as i64)),
+            ])
+            .expect("distinct labels"),
+        )
+        .expect("valid row");
+    }
+    t
+}
+
+fn mem_db(n: usize, d: usize, indexed: bool) -> Database {
+    let mut db = Database::new();
+    db.register_table(table(n, d)).expect("register");
+    if indexed {
+        db.create_index("X", "b").expect("index");
+    }
+    db
+}
+
+fn disk_db(
+    n: usize,
+    d: usize,
+    pool: usize,
+    indexed: bool,
+    tag: &str,
+) -> (Database, std::path::PathBuf) {
+    let path = std::env::temp_dir().join(format!(
+        "tmql-bench-index-{}-{tag}-{d}.tmdb",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut db = Database::open_with(&path, pool).expect("create db");
+        db.register_table(table(n, d)).expect("register");
+        if indexed {
+            db.create_index("X", "b").expect("index");
+        }
+    }
+    // Reopen so the pool starts empty — registration leaves pages warm.
+    (Database::open_with(&path, pool).expect("reopen db"), path)
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b11_index");
+    let opts = QueryOptions::default();
+    let n = if quick_mode() { 4096 } else { ROWS };
+    for d in ladder(&[64usize, 256, 1024]) {
+        let rungs: Vec<(String, Database, Vec<std::path::PathBuf>)> = {
+            let mem_scan = mem_db(n, d, false);
+            let mem_probe = mem_db(n, d, true);
+            let (warm_scan, p1) = disk_db(n, d, WARM_POOL, false, "warmscan");
+            let (warm_probe, p2) = disk_db(n, d, WARM_POOL, true, "warmprobe");
+            let (cold_scan, p3) = disk_db(n, d, COLD_POOL, false, "coldscan");
+            let (cold_probe, p4) = disk_db(n, d, COLD_POOL, true, "coldprobe");
+            // One warming run each on the warm pair.
+            let _ = warm_scan.query_with(QUERY, opts).expect("warming");
+            let _ = warm_probe.query_with(QUERY, opts).expect("warming");
+            vec![
+                ("memory-scan".into(), mem_scan, vec![]),
+                ("memory-probe".into(), mem_probe, vec![]),
+                ("disk-warm-scan".into(), warm_scan, vec![p1]),
+                ("disk-warm-probe".into(), warm_probe, vec![p2]),
+                ("disk-cold-scan".into(), cold_scan, vec![p3]),
+                ("disk-cold-probe".into(), cold_probe, vec![p4]),
+            ]
+        };
+        for (tag, db, _) in &rungs {
+            report_work(&format!("b11-index/{tag}/d{d}"), db, QUERY, opts);
+        }
+        for (tag, db, _) in &rungs {
+            g.bench_with_input(BenchmarkId::new(tag.as_str(), d), &d, |b, _| {
+                b.iter(|| db.query_with(QUERY, opts).expect("runs").len())
+            });
+        }
+        for (_, _, paths) in rungs {
+            for p in paths {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench_index
+}
+criterion_main!(benches);

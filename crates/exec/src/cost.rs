@@ -66,6 +66,13 @@ pub const SPILL_IO_PER_ROW: f64 = 4.0;
 /// in the buffer pool, so a cold scan costs more than the same scan warm
 /// — mirroring [`crate::Metrics::pool_misses`] entering `total_work`.
 pub const PAGE_IO_WORK: f64 = 16.0;
+/// Abstract work units charged per secondary-index probe (an ordered-map
+/// descent plus cursor setup). The probe path additionally pays for every
+/// candidate row it fetches and re-checks, so the modeled crossover
+/// against a full scan sits where the candidate traffic stops being small
+/// — mirroring [`crate::Metrics::index_probes`] / `index_hits` entering
+/// `total_work`.
+pub const INDEX_PROBE_WORK: f64 = 4.0;
 /// Weight of the `resident` component in [`CostEstimate::total`]: a mild
 /// memory-pressure penalty so that, costs being close, the plan with the
 /// smaller pipeline-breaker footprint wins.
@@ -119,6 +126,14 @@ pub mod join_cost {
     pub fn sort_merge(l: f64, r: f64) -> f64 {
         let sort = |n: f64| 2.0 * n * (n + 2.0).log2();
         sort(l) + sort(r) + l + r
+    }
+
+    /// Index nested loop: one probe per outer row plus a fetch + full
+    /// predicate re-check per candidate the probes return. The inner
+    /// operand is never scanned or built — that saving is accounted by
+    /// the caller dropping the inner subtree's work.
+    pub fn index_nl(l: f64, matches: f64) -> f64 {
+        l * super::INDEX_PROBE_WORK + 2.0 * matches
     }
 }
 
@@ -232,9 +247,30 @@ impl<'a> Estimator<'a> {
     }
 
     /// [`Estimator::exec_order_rows`] for a physical plan (post join
-    /// algorithm / build-side choice), via its [`logical_view`].
+    /// algorithm / build-side choice / index-path selection). Walks the
+    /// **physical** tree — one estimate per executed operator — because
+    /// index operators collapse logical shapes: an `IndexScan` is one
+    /// operator implementing select-over-scan, an `IndexNLJoin` has no
+    /// inner child at all. Each node's rows come from its
+    /// [`logical_view`], so estimates agree with the logical model.
     pub fn exec_order_rows_phys(&self, phys: &PhysPlan) -> Vec<f64> {
-        self.exec_order_rows(&logical_view(phys))
+        let mut out = Vec::new();
+        self.collect_exec_order_phys(phys, &mut out);
+        out
+    }
+
+    fn collect_exec_order_phys(&self, phys: &PhysPlan, out: &mut Vec<f64>) {
+        out.push(self.node(&logical_view(phys), &Scope::new()).rows);
+        match phys {
+            // The Apply subquery tree is instantiated per outer row and
+            // does not appear in the executed profile.
+            PhysPlan::Apply { input, .. } => self.collect_exec_order_phys(input, out),
+            other => {
+                for c in other.children() {
+                    self.collect_exec_order_phys(c, out);
+                }
+            }
+        }
     }
 
     fn collect_exec_order(&self, plan: &Plan, outer: &Scope, out: &mut Vec<f64>) {
@@ -272,6 +308,16 @@ impl<'a> Estimator<'a> {
         plan.children()
             .into_iter()
             .find_map(|c| Self::find_scan_stats(catalog, c, var))
+    }
+
+    /// Cold-page I/O charge for scanning or probing `table` right now:
+    /// [`PAGE_IO_WORK`] per extent page not currently resident in the
+    /// buffer pool (0 for in-memory tables).
+    fn cold_page_io(&self, table: &str) -> f64 {
+        self.catalog
+            .page_residency(table)
+            .map(|(resident, total)| PAGE_IO_WORK * total.saturating_sub(resident) as f64)
+            .unwrap_or(0.0)
     }
 
     /// Column statistics for `var.col`.
@@ -464,11 +510,7 @@ impl<'a> Estimator<'a> {
                 // Disk-backed tables pay page I/O for whatever part of
                 // their extent is cold in the buffer pool right now; a
                 // warm working set scans at in-memory cost.
-                let page_io = self
-                    .catalog
-                    .page_residency(table)
-                    .map(|(resident, total)| PAGE_IO_WORK * total.saturating_sub(resident) as f64)
-                    .unwrap_or(0.0);
+                let page_io = self.cold_page_io(table);
                 CostEstimate {
                     rows,
                     // Scans are morsel-parallel: page faults and row
@@ -490,9 +532,22 @@ impl<'a> Estimator<'a> {
             Plan::Select { input, pred } => {
                 let c = self.node(input, outer);
                 let sel = self.selectivity(pred, &[input], outer);
+                let mut work = c.work + c.rows * expr_weight(pred);
+                // A selection directly over an indexed scan has a second
+                // access path: probe the index, re-check candidates. The
+                // model prices both and takes the cheaper — the same
+                // comparison the planner makes, so `CostBased` ranks
+                // index-eligible shapes by what will actually run.
+                if let Plan::ScanTable { table, var } = &**input {
+                    if let Some((_, probe_work, scan_work)) =
+                        self.select_access_paths(table, var, pred)
+                    {
+                        work = work.min(probe_work).min(scan_work);
+                    }
+                }
                 CostEstimate {
                     rows: c.rows * sel,
-                    work: c.work + c.rows * expr_weight(pred),
+                    work,
                     resident: c.resident,
                 }
             }
@@ -633,6 +688,101 @@ impl<'a> Estimator<'a> {
         }
     }
 
+    /// Price the two access paths of `σ_pred(table)` when the predicate
+    /// has an index-eligible component: `(component, probe_work,
+    /// scan_work)`. `None` when no conjunct probes an existing index.
+    /// Shared by the model's `Select` pricing and the planner's
+    /// scan-vs-probe choice, so the plan the planner emits is the plan
+    /// the model priced.
+    pub fn select_access_paths(
+        &self,
+        table: &str,
+        var: &str,
+        pred: &ScalarExpr,
+    ) -> Option<(crate::planner::IndexSel, f64, f64)> {
+        let isel = crate::planner::index_selection(pred, table, var, self.catalog)?;
+        let input = Plan::ScanTable {
+            table: table.to_string(),
+            var: var.to_string(),
+        };
+        let outer = Scope::new();
+        let scan = self.node(&input, &outer);
+        let scan_work = scan.work + scan.rows * expr_weight(pred);
+        // Candidates the probe returns: rows matching the covered
+        // conjuncts alone (the full predicate is re-checked afterwards).
+        let sel_idx = self.selectivity(&isel.covered, &[&input], &outer);
+        let candidates = scan.rows * sel_idx;
+        // Fetch + emit per candidate, the full predicate re-check, and
+        // the covered fraction of whatever page I/O a cold extent costs.
+        let probe_work = INDEX_PROBE_WORK
+            + candidates * (2.0 + expr_weight(pred))
+            + self.cold_page_io(table) * sel_idx;
+        Some((isel, probe_work, scan_work))
+    }
+
+    /// Work of the index nested-loop path of a join: `Some` when `right`
+    /// is a bare scan of a table carrying an index on one of the
+    /// equi-key columns. The inner subtree's own work (scan + build) is
+    /// *not* included — the path never runs it.
+    fn index_join_work(
+        &self,
+        left_rows: f64,
+        matches: f64,
+        right: &Plan,
+        right_keys: &[ScalarExpr],
+    ) -> Option<f64> {
+        let Plan::ScanTable { table, .. } = right else {
+            return None;
+        };
+        right_keys.iter().find(|rk| {
+            Self::as_column(rk).is_some_and(|(_, c)| self.catalog.index_on(table, c).is_some())
+        })?;
+        let r_rows = self
+            .catalog
+            .stats(table)
+            .map(|s| s.cardinality as f64)
+            .unwrap_or(UNKNOWN_TABLE_ROWS);
+        let frac = if r_rows > 0.0 {
+            (matches / r_rows).min(1.0)
+        } else {
+            0.0
+        };
+        Some(join_cost::index_nl(left_rows, matches) + self.cold_page_io(table) * frac)
+    }
+
+    /// Planner hook: should this join probe an index instead of scanning
+    /// and building its inner operand? `Some(key_index)` — an index into
+    /// the split's key vectors — when `right` is a bare scan of an
+    /// indexed table and the modeled probe work beats the inner scan
+    /// plus the best scan-based algorithm.
+    pub fn index_join_beats(
+        &self,
+        left: &Plan,
+        right: &Plan,
+        split: &crate::planner::EquiSplit,
+    ) -> Option<usize> {
+        let Plan::ScanTable { table, .. } = right else {
+            return None;
+        };
+        let key_idx = split.right_keys.iter().position(|rk| {
+            Self::as_column(rk).is_some_and(|(_, c)| self.catalog.index_on(table, c).is_some())
+        })?;
+        let outer = Scope::new();
+        let l = self.node(left, &outer);
+        let r = self.node(right, &outer);
+        let mut sel = 1.0f64;
+        for (lk, rk) in split.left_keys.iter().zip(&split.right_keys) {
+            sel *= self.equi_pair_selectivity(lk, rk, left, right, &outer);
+        }
+        if let Some(res) = &split.residual {
+            sel *= self.selectivity(res, &[left, right], &outer);
+        }
+        let matches = l.rows * r.rows * sel.clamp(MIN_SELECTIVITY, 1.0);
+        let index_work = self.index_join_work(l.rows, matches, right, &split.right_keys)?;
+        let scan_algo = join_cost::hash(l.rows, r.rows).min(join_cost::sort_merge(l.rows, r.rows));
+        (index_work < r.work + scan_algo).then_some(key_idx)
+    }
+
     fn join_node(&self, plan: &Plan, outer: &Scope) -> CostEstimate {
         let (left, right, pred) = match plan {
             Plan::Join { left, right, pred }
@@ -706,10 +856,22 @@ impl<'a> Estimator<'a> {
             };
             (hash_work + spill, res)
         };
+        // Index nested-loop alternative: a bare indexed inner scan is
+        // probed per outer row — the inner subtree's scan work and the
+        // build-side state both disappear. Priced against the scan-based
+        // path with the same resident weighting the planner's total uses.
+        let mut path_work = r.work + algo_work;
+        let mut path_resident = own_resident;
+        if let Some(iw) = self.index_join_work(l.rows, matches, right, &split.right_keys) {
+            if iw < path_work + RESIDENT_WEIGHT * path_resident {
+                path_work = iw;
+                path_resident = 0.0;
+            }
+        }
         CostEstimate {
             rows,
-            work: l.work + r.work + algo_work + emit,
-            resident: l.resident + r.resident + own_resident,
+            work: l.work + path_work + emit,
+            resident: l.resident + r.resident + path_resident,
         }
     }
 }
@@ -761,6 +923,31 @@ pub fn logical_view(phys: &PhysPlan) -> Plan {
             table: table.clone(),
             var: var.clone(),
         },
+        PhysPlan::IndexScan {
+            table, var, pred, ..
+        } => Plan::Select {
+            input: Box::new(Plan::ScanTable {
+                table: table.clone(),
+                var: var.clone(),
+            }),
+            pred: pred.clone(),
+        },
+        PhysPlan::IndexNLJoin {
+            left,
+            right_table,
+            right_var,
+            pred,
+            kind,
+            ..
+        } => rebuild_join(
+            logical_view(left),
+            Plan::ScanTable {
+                table: right_table.clone(),
+                var: right_var.clone(),
+            },
+            pred.clone(),
+            kind,
+        ),
         PhysPlan::ScanExpr { expr, var } => Plan::ScanExpr {
             expr: expr.clone(),
             var: var.clone(),
@@ -788,7 +975,7 @@ pub fn logical_view(phys: &PhysPlan) -> Plan {
             right,
             pred,
             kind,
-        } => rebuild_join(left, right, pred.clone(), kind),
+        } => rebuild_join(logical_view(left), logical_view(right), pred.clone(), kind),
         PhysPlan::HashJoin {
             left,
             right,
@@ -811,7 +998,12 @@ pub fn logical_view(phys: &PhysPlan) -> Plan {
                 .map(|(lk, rk)| ScalarExpr::eq(lk.clone(), rk.clone()))
                 .collect();
             conjs.extend(residual.iter().cloned());
-            rebuild_join(left, right, ScalarExpr::conj(conjs), kind)
+            rebuild_join(
+                logical_view(left),
+                logical_view(right),
+                ScalarExpr::conj(conjs),
+                kind,
+            )
         }
         PhysPlan::Nest {
             input,
@@ -871,9 +1063,9 @@ pub fn logical_view(phys: &PhysPlan) -> Plan {
     }
 }
 
-fn rebuild_join(left: &PhysPlan, right: &PhysPlan, pred: ScalarExpr, kind: &JoinKind) -> Plan {
-    let l = Box::new(logical_view(left));
-    let r = Box::new(logical_view(right));
+fn rebuild_join(left: Plan, right: Plan, pred: ScalarExpr, kind: &JoinKind) -> Plan {
+    let l = Box::new(left);
+    let r = Box::new(right);
     match kind {
         JoinKind::Inner => Plan::Join {
             left: l,

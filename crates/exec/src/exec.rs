@@ -342,4 +342,135 @@ mod tests {
         .unwrap();
         assert_eq!(v, Value::Int(1));
     }
+
+    /// Rows as a multiset-insensitive, order-insensitive fingerprint.
+    fn row_set(rows: &[Record]) -> std::collections::BTreeSet<String> {
+        rows.iter().map(|r| format!("{r:?}")).collect()
+    }
+
+    #[test]
+    fn index_scan_agrees_with_filter_and_counts_probes() {
+        let mut cat = catalog();
+        cat.create_index("X", "b").unwrap();
+        let pred = E::eq(E::path("x", &["b"]), E::lit(1i64));
+        let scan = PhysPlan::Filter {
+            input: Box::new(PhysPlan::ScanTable {
+                table: "X".into(),
+                var: "x".into(),
+            }),
+            pred: pred.clone(),
+        };
+        let probe = PhysPlan::IndexScan {
+            table: "X".into(),
+            var: "x".into(),
+            attr: "b".into(),
+            eq: Some(E::lit(1i64)),
+            lo: None,
+            hi: None,
+            pred: pred.clone(),
+        };
+        let mut sctx = ExecContext::new(&cat);
+        let expected = execute(&scan, &mut sctx, &Env::new()).unwrap();
+        let mut ictx = ExecContext::new(&cat);
+        let got = execute(&probe, &mut ictx, &Env::new()).unwrap();
+        assert_eq!(row_set(&got), row_set(&expected));
+        assert_eq!(got.len(), 2, "X has two rows with b=1");
+        assert_eq!(ictx.metrics.index_probes, 1);
+        assert_eq!(ictx.metrics.index_hits, 2, "only candidates are fetched");
+        assert_eq!(ictx.metrics.rows_scanned, 0, "probes are not scans");
+
+        // Range variant: b >= 3 selects the last two rows.
+        let rpred = E::cmp(tmql_algebra::CmpOp::Ge, E::path("x", &["b"]), E::lit(3i64));
+        let rprobe = PhysPlan::IndexScan {
+            table: "X".into(),
+            var: "x".into(),
+            attr: "b".into(),
+            eq: None,
+            lo: Some(E::lit(3i64)),
+            hi: None,
+            pred: rpred,
+        };
+        let mut rctx = ExecContext::new(&cat);
+        let rows = execute(&rprobe, &mut rctx, &Env::new()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rctx.metrics.index_probes, 1);
+    }
+
+    #[test]
+    fn index_scan_without_index_is_a_schema_error() {
+        let cat = catalog();
+        let probe = PhysPlan::IndexScan {
+            table: "X".into(),
+            var: "x".into(),
+            attr: "b".into(),
+            eq: Some(E::lit(1i64)),
+            lo: None,
+            hi: None,
+            pred: E::lit(true),
+        };
+        let mut ctx = ExecContext::new(&cat);
+        let err = execute(&probe, &mut ctx, &Env::new()).unwrap_err();
+        assert!(
+            matches!(err, tmql_model::ModelError::SchemaError(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn index_nl_join_agrees_with_nl_join_for_every_kind() {
+        let mut cat = catalog();
+        cat.create_index("Y", "b").unwrap();
+        let pred = E::eq(E::path("x", &["b"]), E::path("y", &["b"]));
+        let kinds = [
+            crate::JoinKind::Inner,
+            crate::JoinKind::Semi,
+            crate::JoinKind::Anti,
+            crate::JoinKind::LeftOuter {
+                right_vars: vec!["y".into()],
+            },
+            crate::JoinKind::Nest {
+                func: E::var("y"),
+                label: "ys".into(),
+            },
+        ];
+        for kind in kinds {
+            let nl = PhysPlan::NlJoin {
+                left: Box::new(PhysPlan::ScanTable {
+                    table: "X".into(),
+                    var: "x".into(),
+                }),
+                right: Box::new(PhysPlan::ScanTable {
+                    table: "Y".into(),
+                    var: "y".into(),
+                }),
+                pred: pred.clone(),
+                kind: kind.clone(),
+            };
+            let inl = PhysPlan::IndexNLJoin {
+                left: Box::new(PhysPlan::ScanTable {
+                    table: "X".into(),
+                    var: "x".into(),
+                }),
+                right_table: "Y".into(),
+                right_var: "y".into(),
+                attr: "b".into(),
+                key: E::path("x", &["b"]),
+                pred: pred.clone(),
+                kind: kind.clone(),
+            };
+            let mut nctx = ExecContext::new(&cat);
+            let expected = execute(&nl, &mut nctx, &Env::new()).unwrap();
+            let mut ictx = ExecContext::new(&cat);
+            let got = execute(&inl, &mut ictx, &Env::new()).unwrap();
+            assert_eq!(
+                row_set(&got),
+                row_set(&expected),
+                "kind {kind:?} diverged from the nested-loop reference"
+            );
+            assert_eq!(
+                ictx.metrics.index_probes, 4,
+                "one probe per outer row (kind {kind:?})"
+            );
+        }
+    }
 }

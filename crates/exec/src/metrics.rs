@@ -66,6 +66,15 @@ pub struct Metrics {
     /// model's page-I/O charge for cold scans predicts exactly this
     /// traffic.
     pub pool_misses: u64,
+    /// Secondary-index probes issued (one per equality/range lookup or
+    /// per-outer-row join probe). Real work — each probe is an ordered
+    /// map descent — included in [`Metrics::total_work`]; the cost
+    /// model's `INDEX_PROBE_WORK` charge prices exactly this traffic.
+    pub index_probes: u64,
+    /// Candidate row positions returned by index probes (before the
+    /// operator re-checks the full predicate). Included in
+    /// [`Metrics::total_work`]: each hit is a row fetched and re-checked.
+    pub index_hits: u64,
     /// High-water mark of rows resident in operator state at any point
     /// during execution: pipeline-breaker materializations (hash build
     /// sides, sort buffers, group tables), dedup sets, and carry-over
@@ -98,6 +107,8 @@ impl Metrics {
             + self.subquery_invocations
             + self.rows_spilled
             + self.pool_misses
+            + self.index_probes
+            + self.index_hits
     }
 
     /// Buffer-pool hit fraction of this query's page traffic (1.0 when
@@ -127,6 +138,8 @@ impl AddAssign for Metrics {
         self.batches_emitted += rhs.batches_emitted;
         self.pool_hits += rhs.pool_hits;
         self.pool_misses += rhs.pool_misses;
+        self.index_probes += rhs.index_probes;
+        self.index_hits += rhs.index_hits;
         // Peak is a gauge: merging two runs keeps the higher water mark.
         self.peak_resident_rows = self.peak_resident_rows.max(rhs.peak_resident_rows);
     }
@@ -137,7 +150,7 @@ impl fmt::Display for Metrics {
         write!(
             f,
             "scanned={} cmp={} hbuild={} hprobe={} sorted={} emitted={} subq={} spilled={} \
-             parts={} batches={} peak={} phit={} pmiss={}",
+             parts={} batches={} peak={} phit={} pmiss={} iprobe={} ihit={}",
             self.rows_scanned,
             self.comparisons,
             self.hash_build_rows,
@@ -150,7 +163,9 @@ impl fmt::Display for Metrics {
             self.batches_emitted,
             self.peak_resident_rows,
             self.pool_hits,
-            self.pool_misses
+            self.pool_misses,
+            self.index_probes,
+            self.index_hits
         )
     }
 }
@@ -243,6 +258,30 @@ mod tests {
         );
         assert!(a.to_string().contains("phit=40"));
         assert!(a.to_string().contains("pmiss=10"));
+    }
+
+    #[test]
+    fn index_probes_and_hits_are_work() {
+        let mut a = Metrics {
+            index_probes: 3,
+            index_hits: 7,
+            ..Metrics::new()
+        };
+        let b = Metrics {
+            index_probes: 1,
+            index_hits: 2,
+            ..Metrics::new()
+        };
+        a += b;
+        assert_eq!(a.index_probes, 4);
+        assert_eq!(a.index_hits, 9);
+        assert_eq!(
+            a.total_work(),
+            13,
+            "probes and candidate fetches are both work"
+        );
+        assert!(a.to_string().contains("iprobe=4"));
+        assert!(a.to_string().contains("ihit=9"));
     }
 
     #[test]

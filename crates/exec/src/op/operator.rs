@@ -285,6 +285,48 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             exhausted: false,
             stats: OpStats::default(),
         }),
+        PhysPlan::IndexScan {
+            table,
+            var,
+            attr,
+            eq,
+            lo,
+            hi,
+            pred,
+        } => Box::new(IndexScanOp {
+            table,
+            var,
+            attr,
+            eq: eq.as_ref(),
+            lo: lo.as_ref(),
+            hi: hi.as_ref(),
+            pred,
+            env: env.clone(),
+            positions: None,
+            cursor: 0,
+            stats: OpStats::default(),
+        }),
+        PhysPlan::IndexNLJoin {
+            left,
+            right_table,
+            right_var,
+            attr,
+            key,
+            pred,
+            kind,
+        } => Box::new(IndexNLJoinOp {
+            left: build(left, env),
+            right_table,
+            right_var,
+            attr,
+            key,
+            pred,
+            kind,
+            env: env.clone(),
+            carry: VecDeque::new(),
+            done: false,
+            stats: OpStats::default(),
+        }),
         PhysPlan::ScanExpr { expr, var } => Box::new(ScanExprOp {
             expr,
             var,
@@ -577,6 +619,114 @@ impl Operator for ScanTableOp<'_> {
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
         ctx.resident_release(self.carry.len());
         self.carry.clear();
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![]
+    }
+}
+
+/// Index-backed selection: probe the secondary index on `table.attr` for
+/// the candidate row positions once at first pull, then stream them in
+/// ascending position order through [`tmql_storage::Table::fetch_rows`]
+/// (consecutive candidates coalesce into single page-friendly batch
+/// reads). The probe result is a **superset** of the qualifying rows —
+/// int/float key promotion and NaN totality are handled by widening, not
+/// by trusting the index — so the full original predicate is re-evaluated
+/// against every candidate before it is emitted.
+struct IndexScanOp<'p> {
+    table: &'p str,
+    var: &'p str,
+    attr: &'p str,
+    eq: Option<&'p ScalarExpr>,
+    lo: Option<&'p ScalarExpr>,
+    hi: Option<&'p ScalarExpr>,
+    pred: &'p ScalarExpr,
+    env: Env,
+    /// Candidate positions (ascending), computed at first `next_batch`.
+    positions: Option<Vec<usize>>,
+    cursor: usize,
+    stats: OpStats,
+}
+
+impl IndexScanOp<'_> {
+    fn probe(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        let idx = ctx.catalog.index_on(self.table, self.attr).ok_or_else(|| {
+            tmql_model::ModelError::SchemaError(format!(
+                "plan expects an index on {}.{} but none exists",
+                self.table, self.attr
+            ))
+        })?;
+        let positions = match self.eq {
+            Some(eq) => {
+                let key = eval(eq, &mut self.env)?;
+                idx.probe_eq(&key)
+            }
+            None => {
+                let lo = self.lo.map(|e| eval(e, &mut self.env)).transpose()?;
+                let hi = self.hi.map(|e| eval(e, &mut self.env)).transpose()?;
+                idx.probe_range(lo.as_ref(), hi.as_ref())
+            }
+        };
+        ctx.metrics.index_probes += 1;
+        ctx.metrics.index_hits += positions.len() as u64;
+        self.positions = Some(positions);
+        self.cursor = 0;
+        Ok(())
+    }
+}
+
+impl Operator for IndexScanOp<'_> {
+    fn label(&self) -> String {
+        format!("IndexScan({}.{})", self.table, self.attr)
+    }
+
+    fn open(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.positions = None;
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        if self.positions.is_none() {
+            self.probe(ctx)?;
+        }
+        let n = ctx.batch_size();
+        let t = ctx.catalog.table(self.table)?;
+        loop {
+            let positions = self.positions.as_ref().expect("probed above");
+            if self.cursor >= positions.len() {
+                return Ok(None);
+            }
+            let end = (self.cursor + n).min(positions.len());
+            let chunk = &positions[self.cursor..end];
+            self.cursor = end;
+            let candidates = t.fetch_rows(chunk)?;
+            let mut rows = Vec::with_capacity(candidates.len());
+            for row in candidates {
+                let r = Record::new([(self.var.to_string(), Value::Tuple(row))])?;
+                ctx.metrics.comparisons += 1;
+                if op::with_row(&mut self.env, &r, |e| eval_predicate(self.pred, e))? {
+                    rows.push(r);
+                }
+            }
+            if !rows.is_empty() {
+                return Ok(Some(Batch::new(rows)));
+            }
+        }
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext<'_>) {
+        self.positions = None;
+        self.cursor = 0;
     }
 
     fn stats(&self) -> OpStats {
@@ -1192,6 +1342,139 @@ impl Operator for NlJoinOp<'_> {
 
     fn children(&self) -> Vec<&dyn Operator> {
         vec![self.left.as_ref(), self.right.as_ref()]
+    }
+}
+
+/// Index nested-loop join: the inner table is never scanned — for each
+/// outer row the join key is evaluated and the secondary index on
+/// `right_table.attr` probed for candidate inner positions, which are
+/// fetched and run through the shared nested-loop match/emit kernel
+/// ([`nl::join_chunk`] + [`nl::finish_block`] with a one-row outer
+/// block). Probes return equality-candidate **supersets** (int/float
+/// promotion, NaN totality), and the kernel re-evaluates the full join
+/// predicate per pair, so results match `NlJoin` exactly for every
+/// [`JoinKind`] — semi/anti membership rewrites become per-row probes.
+struct IndexNLJoinOp<'p> {
+    left: BoxedOperator<'p>,
+    right_table: &'p str,
+    right_var: &'p str,
+    attr: &'p str,
+    key: &'p ScalarExpr,
+    pred: &'p ScalarExpr,
+    kind: &'p JoinKind,
+    env: Env,
+    carry: VecDeque<Record>,
+    done: bool,
+    stats: OpStats,
+}
+
+impl IndexNLJoinOp<'_> {
+    /// Probe + match one outer row, appending its output to `out`.
+    fn probe_row(
+        &mut self,
+        l: &Record,
+        ctx: &mut ExecContext<'_>,
+        out: &mut Vec<Record>,
+    ) -> Result<()> {
+        let idx = ctx
+            .catalog
+            .index_on(self.right_table, self.attr)
+            .ok_or_else(|| {
+                tmql_model::ModelError::SchemaError(format!(
+                    "plan expects an index on {}.{} but none exists",
+                    self.right_table, self.attr
+                ))
+            })?;
+        let key = op::with_row(&mut self.env, l, |e| eval(self.key, e))?;
+        let positions = idx.probe_eq(&key);
+        ctx.metrics.index_probes += 1;
+        ctx.metrics.index_hits += positions.len() as u64;
+        let t = ctx.catalog.table(self.right_table)?;
+        let mut state = nl::BlockState::new(1, self.kind);
+        let outer = std::slice::from_ref(l);
+        // Candidates stream in position-ascending chunks so one wide probe
+        // (a hot key) never materializes more than a batch at a time.
+        let n = ctx.batch_size();
+        for chunk in positions.chunks(n.max(1)) {
+            let fetched = t.fetch_rows(chunk)?;
+            let mut inner = Vec::with_capacity(fetched.len());
+            for row in fetched {
+                inner.push(Record::new([(
+                    self.right_var.to_string(),
+                    Value::Tuple(row),
+                )])?);
+            }
+            nl::join_chunk(
+                outer,
+                &inner,
+                self.pred,
+                self.kind,
+                &mut self.env,
+                &mut ctx.metrics,
+                &mut state,
+                out,
+            )?;
+        }
+        nl::finish_block(outer, self.kind, &mut state, out)
+    }
+}
+
+impl Operator for IndexNLJoinOp<'_> {
+    fn label(&self) -> String {
+        format!(
+            "IndexNLJoin[{}]({}.{})",
+            self.kind.name(),
+            self.right_table,
+            self.attr
+        )
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        ctx.resident_release(self.carry.len());
+        self.carry.clear();
+        self.done = false;
+        self.left.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        let n = ctx.batch_size();
+        loop {
+            if self.carry.len() >= n || (self.done && !self.carry.is_empty()) {
+                return Ok(pop_carry(&mut self.carry, n, ctx));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            match self.left.pull(ctx)? {
+                None => self.done = true,
+                Some(b) => {
+                    let mut out = Vec::new();
+                    for l in &b.rows {
+                        self.probe_row(l, ctx, &mut out)?;
+                    }
+                    ctx.resident_acquire(out.len());
+                    self.carry.extend(out);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        ctx.resident_release(self.carry.len());
+        self.carry.clear();
+        self.left.close(ctx);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref()]
     }
 }
 

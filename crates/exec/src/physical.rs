@@ -60,6 +60,28 @@ pub enum PhysPlan {
         /// Binding variable.
         var: String,
     },
+    /// Probe a secondary index on `table.attr` instead of scanning: an
+    /// equality key and/or range bounds (constant expressions) select a
+    /// **candidate superset** of row positions, fetched in ascending
+    /// position order; `pred` is the full original predicate, re-checked
+    /// against every candidate, so the probe can over-approximate (NaN
+    /// keys, int/float promotion) but never changes results.
+    IndexScan {
+        /// Table name.
+        table: String,
+        /// Binding variable.
+        var: String,
+        /// Indexed attribute.
+        attr: String,
+        /// Equality key expression (constant w.r.t. the scan), if any.
+        eq: Option<ScalarExpr>,
+        /// Inclusive lower bound, if any.
+        lo: Option<ScalarExpr>,
+        /// Inclusive upper bound, if any.
+        hi: Option<ScalarExpr>,
+        /// Full selection predicate, re-evaluated per candidate row.
+        pred: ScalarExpr,
+    },
     /// Iterate a set expression (correlated or constant).
     ScanExpr {
         /// Set expression.
@@ -127,6 +149,28 @@ pub enum PhysPlan {
         right_keys: Vec<ScalarExpr>,
         /// Residual non-equi predicate, if any.
         residual: Option<ScalarExpr>,
+        /// Output shape.
+        kind: JoinKind,
+    },
+    /// Index nested-loop join: for each left row, evaluate `key` and
+    /// probe the index on `right_table.attr` for candidate inner rows,
+    /// then run them through the same match/emit machinery as `NlJoin`
+    /// (`pred` is the full join predicate, re-checked per candidate).
+    /// Supports every [`JoinKind`], so semi/anti set-membership rewrites
+    /// become per-row index probes.
+    IndexNLJoin {
+        /// Outer operand.
+        left: Box<PhysPlan>,
+        /// Inner stored table (probed, never scanned).
+        right_table: String,
+        /// Inner binding variable.
+        right_var: String,
+        /// Indexed attribute on the inner table.
+        attr: String,
+        /// Key expression over left variables.
+        key: ScalarExpr,
+        /// Full join predicate, re-evaluated per candidate pair.
+        pred: ScalarExpr,
         /// Output shape.
         kind: JoinKind,
     },
@@ -210,6 +254,13 @@ impl PhysPlan {
     pub fn op_label(&self) -> String {
         match self {
             PhysPlan::ScanTable { table, .. } => format!("Scan({table})"),
+            PhysPlan::IndexScan { table, attr, .. } => format!("IndexScan({table}.{attr})"),
+            PhysPlan::IndexNLJoin {
+                right_table,
+                attr,
+                kind,
+                ..
+            } => format!("IndexNLJoin[{}]({right_table}.{attr})", kind.name()),
             PhysPlan::ScanExpr { .. } => "ScanExpr".into(),
             PhysPlan::Filter { .. } => "Filter".into(),
             PhysPlan::Map { .. } => "Map".into(),
@@ -229,7 +280,10 @@ impl PhysPlan {
     /// Children, left to right.
     pub fn children(&self) -> Vec<&PhysPlan> {
         match self {
-            PhysPlan::ScanTable { .. } | PhysPlan::ScanExpr { .. } => vec![],
+            PhysPlan::ScanTable { .. } | PhysPlan::IndexScan { .. } | PhysPlan::ScanExpr { .. } => {
+                vec![]
+            }
+            PhysPlan::IndexNLJoin { left, .. } => vec![left],
             PhysPlan::Filter { input, .. }
             | PhysPlan::Map { input, .. }
             | PhysPlan::Extend { input, .. }
@@ -296,6 +350,32 @@ mod tests {
         let s = p.explain();
         assert!(s.contains("HashJoin[nestjoin]"), "{s}");
         assert!(s.contains("Scan(X)"), "{s}");
+    }
+
+    #[test]
+    fn index_ops_label_table_and_attr() {
+        let scan = PhysPlan::IndexScan {
+            table: "R".into(),
+            var: "r".into(),
+            attr: "a".into(),
+            eq: Some(E::lit(3i64)),
+            lo: None,
+            hi: None,
+            pred: E::lit(true),
+        };
+        assert_eq!(scan.op_label(), "IndexScan(R.a)");
+        assert!(scan.children().is_empty());
+        let join = PhysPlan::IndexNLJoin {
+            left: Box::new(scan),
+            right_table: "S".into(),
+            right_var: "s".into(),
+            attr: "b".into(),
+            key: E::path("r", &["a"]),
+            pred: E::lit(true),
+            kind: JoinKind::Semi,
+        };
+        assert_eq!(join.op_label(), "IndexNLJoin[semijoin](S.b)");
+        assert_eq!(join.children().len(), 1, "the probed inner is no child");
     }
 
     #[test]

@@ -95,6 +95,116 @@ pub fn extract_equi_keys(
     split
 }
 
+/// The index-eligible component of a selection predicate over one scan:
+/// conjuncts of the form `var.attr ⟨cmp⟩ constant` on an attribute that
+/// carries a secondary index. Either an equality key or range bounds
+/// (strict bounds widen to inclusive probes — the executor re-checks the
+/// full predicate, so a candidate superset is always safe).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSel {
+    /// The indexed attribute.
+    pub attr: String,
+    /// Equality probe key (constant w.r.t. the scanned variable), if the
+    /// component is `attr = k`.
+    pub eq: Option<ScalarExpr>,
+    /// Lower range bound, if any.
+    pub lo: Option<ScalarExpr>,
+    /// Upper range bound, if any.
+    pub hi: Option<ScalarExpr>,
+    /// Conjunction of the conjuncts the probe covers — what the cost
+    /// model estimates the candidate count from.
+    pub covered: ScalarExpr,
+}
+
+/// Decompose `conj` as `var.attr ⟨cmp⟩ key` (either orientation) where
+/// `attr` is indexed on `table` and `key` does not reference `var`.
+fn indexed_cmp(
+    conj: &ScalarExpr,
+    table: &str,
+    var: &str,
+    catalog: &Catalog,
+) -> Option<(String, tmql_algebra::CmpOp, ScalarExpr)> {
+    let ScalarExpr::Cmp(op, a, b) = conj else {
+        return None;
+    };
+    let col_of = |e: &ScalarExpr| -> Option<String> {
+        if let ScalarExpr::Field(inner, col) = e {
+            if matches!(&**inner, ScalarExpr::Var(v) if v == var) {
+                return Some(col.clone());
+            }
+        }
+        None
+    };
+    if let Some(attr) = col_of(a) {
+        if !b.free_vars().contains(var) && catalog.index_on(table, &attr).is_some() {
+            return Some((attr, *op, (**b).clone()));
+        }
+    }
+    if let Some(attr) = col_of(b) {
+        if !a.free_vars().contains(var) && catalog.index_on(table, &attr).is_some() {
+            return Some((attr, op.flip(), (**a).clone()));
+        }
+    }
+    None
+}
+
+/// Extract the index-eligible component of `pred` for a scan of `table`
+/// binding `var`: an equality conjunct on an indexed attribute wins;
+/// otherwise range bounds on one indexed attribute are collected. `None`
+/// when no conjunct can probe an existing index.
+pub fn index_selection(
+    pred: &ScalarExpr,
+    table: &str,
+    var: &str,
+    catalog: &Catalog,
+) -> Option<IndexSel> {
+    use tmql_algebra::CmpOp;
+    let conjuncts = split_conjuncts(pred);
+    for conj in &conjuncts {
+        if let Some((attr, CmpOp::Eq, key)) = indexed_cmp(conj, table, var, catalog) {
+            return Some(IndexSel {
+                attr,
+                eq: Some(key),
+                lo: None,
+                hi: None,
+                covered: conj.clone(),
+            });
+        }
+    }
+    let mut attr: Option<String> = None;
+    let mut lo: Option<ScalarExpr> = None;
+    let mut hi: Option<ScalarExpr> = None;
+    let mut used: Vec<ScalarExpr> = Vec::new();
+    for conj in &conjuncts {
+        let Some((a, op, key)) = indexed_cmp(conj, table, var, catalog) else {
+            continue;
+        };
+        // Bounds must all probe one attribute — the first one seen.
+        if attr.as_deref().is_some_and(|seen| seen != a) {
+            continue;
+        }
+        let slot = match op {
+            CmpOp::Gt | CmpOp::Ge => &mut lo,
+            CmpOp::Lt | CmpOp::Le => &mut hi,
+            _ => continue,
+        };
+        if slot.is_none() {
+            *slot = Some(key);
+            attr = Some(a);
+            used.push(conj.clone());
+        }
+    }
+    let attr = attr?;
+    let covered = ScalarExpr::conj(used);
+    Some(IndexSel {
+        attr,
+        eq: None,
+        lo,
+        hi,
+        covered,
+    })
+}
+
 /// Lower a logical plan to a physical plan.
 pub fn lower(plan: &Plan, catalog: &Catalog, config: &ExecConfig) -> Result<PhysPlan> {
     Ok(match plan {
@@ -106,10 +216,33 @@ pub fn lower(plan: &Plan, catalog: &Catalog, config: &ExecConfig) -> Result<Phys
             expr: expr.clone(),
             var: var.clone(),
         },
-        Plan::Select { input, pred } => PhysPlan::Filter {
-            input: Box::new(lower(input, catalog, config)?),
-            pred: pred.clone(),
-        },
+        Plan::Select { input, pred } => {
+            // Scan-vs-probe: a selection directly over an indexed scan
+            // becomes an IndexScan when the cost model prices the probe
+            // path cheaper (the same pricing `CostBased` ranks with).
+            if let Plan::ScanTable { table, var } = &**input {
+                let est = cost::Estimator::new(catalog);
+                if let Some((isel, probe_work, scan_work)) =
+                    est.select_access_paths(table, var, pred)
+                {
+                    if probe_work < scan_work {
+                        return Ok(PhysPlan::IndexScan {
+                            table: table.clone(),
+                            var: var.clone(),
+                            attr: isel.attr,
+                            eq: isel.eq,
+                            lo: isel.lo,
+                            hi: isel.hi,
+                            pred: pred.clone(),
+                        });
+                    }
+                }
+            }
+            PhysPlan::Filter {
+                input: Box::new(lower(input, catalog, config)?),
+                pred: pred.clone(),
+            }
+        }
         Plan::Map { input, expr, var } => PhysPlan::Map {
             input: Box::new(lower(input, catalog, config)?),
             expr: expr.clone(),
@@ -225,6 +358,35 @@ fn lower_join(
     let mut split = extract_equi_keys(pred, &lv, &rv);
 
     let estimator = cost::Estimator::new(catalog);
+
+    // Index nested-loop candidate (Auto only — forced algorithms are
+    // respected): the inner operand is a bare scan of a table with a
+    // secondary index on one of its equi-key columns, and the cost model
+    // prices per-outer-row probes below scanning + building the inner.
+    if config.join_algo == JoinAlgo::Auto {
+        if let Some(i) = estimator.index_join_beats(left, right, &split) {
+            let Plan::ScanTable {
+                table: rt,
+                var: rvar,
+            } = right
+            else {
+                unreachable!("index_join_beats only fires on a bare inner scan");
+            };
+            let ScalarExpr::Field(_, attr) = &split.right_keys[i] else {
+                unreachable!("index_join_beats picks a column key");
+            };
+            return Ok(PhysPlan::IndexNLJoin {
+                left: l,
+                right_table: rt.clone(),
+                right_var: rvar.clone(),
+                attr: attr.clone(),
+                key: split.left_keys[i].clone(),
+                pred: pred.clone(),
+                kind,
+            });
+        }
+    }
+
     let (lc, rc) = (estimator.rows(left), estimator.rows(right));
 
     let algo = if split.left_keys.is_empty() {
@@ -477,5 +639,103 @@ mod tests {
             panic!("expected hash nest join");
         };
         assert_eq!(label, "zs");
+    }
+
+    /// BIG(100 rows, b with 10 distinct values) + TINY(2 rows): large
+    /// enough that probing an index on BIG.b beats scanning BIG.
+    fn indexed_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let rows: Vec<Vec<i64>> = (0..100).map(|i| vec![i, i % 10]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        cat.register(int_table("BIG", &["a", "b"], &refs)).unwrap();
+        cat.register(int_table("TINY", &["b", "c"], &[&[1, 10], &[2, 20]]))
+            .unwrap();
+        cat.create_index("BIG", "b").unwrap();
+        cat
+    }
+
+    #[test]
+    fn indexed_selection_lowers_to_index_scan() {
+        let cat = indexed_catalog();
+        let plan = Plan::scan("BIG", "x").select(E::eq(E::path("x", &["b"]), E::lit(3i64)));
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        let PhysPlan::IndexScan {
+            attr, eq, lo, hi, ..
+        } = phys
+        else {
+            panic!("expected IndexScan, got {phys}");
+        };
+        assert_eq!(attr, "b");
+        assert_eq!(eq, Some(E::lit(3i64)));
+        assert!(lo.is_none() && hi.is_none());
+    }
+
+    #[test]
+    fn indexed_range_selection_lowers_with_bounds() {
+        let cat = indexed_catalog();
+        let pred = E::and(
+            E::cmp(CmpOp::Ge, E::path("x", &["b"]), E::lit(3i64)),
+            E::cmp(CmpOp::Lt, E::path("x", &["b"]), E::lit(4i64)),
+        );
+        let plan = Plan::scan("BIG", "x").select(pred);
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        let PhysPlan::IndexScan {
+            attr, eq, lo, hi, ..
+        } = phys
+        else {
+            panic!("expected IndexScan, got {phys}");
+        };
+        assert_eq!(attr, "b");
+        assert!(eq.is_none());
+        assert_eq!(lo, Some(E::lit(3i64)));
+        assert_eq!(hi, Some(E::lit(4i64)));
+    }
+
+    #[test]
+    fn selection_without_index_still_scans() {
+        let cat = indexed_catalog();
+        // Column `a` has no index: the plan must stay a Filter over a scan.
+        let plan = Plan::scan("BIG", "x").select(E::eq(E::path("x", &["a"]), E::lit(3i64)));
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        assert!(matches!(phys, PhysPlan::Filter { .. }), "{phys}");
+    }
+
+    #[test]
+    fn indexed_inner_scan_lowers_to_index_nl_join_under_auto() {
+        let cat = indexed_catalog();
+        let plan = Plan::scan("TINY", "t").join(
+            Plan::scan("BIG", "x"),
+            E::eq(E::path("t", &["b"]), E::path("x", &["b"])),
+        );
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        let PhysPlan::IndexNLJoin {
+            right_table,
+            attr,
+            key,
+            ..
+        } = phys
+        else {
+            panic!("expected IndexNLJoin, got {phys}");
+        };
+        assert_eq!(right_table, "BIG");
+        assert_eq!(attr, "b");
+        assert_eq!(key, E::path("t", &["b"]));
+        // Forced algorithms never take the index path.
+        for algo in [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::NestedLoop] {
+            let phys = lower(&plan, &cat, &ExecConfig::with_join_algo(algo)).unwrap();
+            assert!(!matches!(phys, PhysPlan::IndexNLJoin { .. }), "{phys}");
+        }
+    }
+
+    #[test]
+    fn join_without_index_keeps_hash_plan() {
+        let mut cat = indexed_catalog();
+        cat.drop_index("BIG", "b").unwrap();
+        let plan = Plan::scan("TINY", "t").join(
+            Plan::scan("BIG", "x"),
+            E::eq(E::path("t", &["b"]), E::path("x", &["b"])),
+        );
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        assert!(matches!(phys, PhysPlan::HashJoin { .. }), "{phys}");
     }
 }

@@ -16,9 +16,18 @@ use std::sync::Arc;
 
 use tmql_model::{ModelError, Record, Result, Schema, Ty};
 
-use crate::pager::{CatalogImage, PageId, PagedStore, PoolStats, TableImage};
+use crate::index::{decode_index, encode_index, OrdIndex};
+use crate::pager::{CatalogImage, IndexImage, PageId, PagedStore, PoolStats, TableImage};
 use crate::stats::TableStats;
 use crate::table::Table;
+
+/// One maintained secondary index: the in-memory structure plus (when the
+/// catalog is persistent) the page chain holding its encoded entries.
+#[derive(Debug)]
+struct IndexEntry {
+    ord: OrdIndex,
+    chain: Option<(PageId, u64)>,
+}
 
 /// Maps extension names (`EMP`, `DEPT`, `R`, `S`, ...) to stored tables and
 /// carries the TM schema for type resolution. See the module docs for the
@@ -28,6 +37,7 @@ pub struct Catalog {
     schema: Schema,
     tables: BTreeMap<String, Table>,
     stats: BTreeMap<String, TableStats>,
+    indexes: BTreeMap<(String, String), IndexEntry>,
     store: Option<Arc<PagedStore>>,
 }
 
@@ -66,10 +76,32 @@ impl Catalog {
             stats.insert(t.name.clone(), t.stats);
             tables.insert(t.name, table);
         }
+        // Indexes load eagerly: they are small relative to their tables,
+        // and a corrupted chain must surface here as an I/O error rather
+        // than mid-query.
+        let mut indexes = BTreeMap::new();
+        for ix in image.indexes {
+            if !tables.contains_key(&ix.table) {
+                return Err(ModelError::Io(format!(
+                    "catalog names an index over unknown table `{}`",
+                    ix.table
+                )));
+            }
+            let blob = store.read_blob(ix.first, ix.len)?;
+            let ord = decode_index(&ix.attr, &blob)?;
+            indexes.insert(
+                (ix.table, ix.attr),
+                IndexEntry {
+                    ord,
+                    chain: Some((ix.first, ix.len)),
+                },
+            );
+        }
         Ok(Catalog {
             schema: image.schema,
             tables,
             stats,
+            indexes,
             store: Some(store),
         })
     }
@@ -134,17 +166,49 @@ impl Catalog {
 
     /// Install a prepared table + stats and commit the catalog image,
     /// rolling the in-memory view back if the durable commit fails — the
-    /// catalog never serves state that would vanish on reopen. The
-    /// displaced table's pages are freed at (and only at) a successful
-    /// commit, so a rollback leaks nothing and frees nothing.
+    /// catalog never serves state that would vanish on reopen. Secondary
+    /// indexes over the table are rebuilt from the incoming rows
+    /// (write-through maintenance) in the same commit. The displaced
+    /// table's pages — and the displaced index chains — are freed at
+    /// (and only at) a successful commit, so a rollback leaks nothing
+    /// and frees nothing.
     fn commit(&mut self, name: String, table: Table) -> Result<()> {
+        // Enumerate everything the displaced state owns *before* mutating,
+        // so a failure below leaves the catalog untouched.
+        let mut freed = self.displaced_pages(self.tables.get(&name))?;
+        let index_keys: Vec<(String, String)> = self
+            .indexes
+            .keys()
+            .filter(|(t, _)| *t == name)
+            .cloned()
+            .collect();
+        for key in &index_keys {
+            if let (Some(store), Some((first, len))) =
+                (self.store.as_ref(), self.indexes[key].chain)
+            {
+                freed.extend(store.blob_pages(first, len)?);
+            }
+        }
         let (table, stats) = self.prepare(table)?;
+        // Rebuild the table's indexes over the incoming rows and write
+        // their new chains (durable only at the commit below).
+        let mut rebuilt = Vec::with_capacity(index_keys.len());
+        for key in index_keys {
+            let ord = OrdIndex::build(&table, &key.1)?;
+            let chain = match self.store.as_ref() {
+                Some(store) => Some(store.write_blob(&encode_index(&ord))?),
+                None => None,
+            };
+            rebuilt.push((key, IndexEntry { ord, chain }));
+        }
         let prev_stats = self.stats.insert(name.clone(), stats);
         let prev_table = self.tables.insert(name.clone(), table);
-        let res = self
-            .displaced_pages(prev_table.as_ref())
-            .and_then(|freed| self.sync_freeing(freed));
-        if let Err(e) = res {
+        let mut prev_entries = Vec::new();
+        for (key, entry) in rebuilt {
+            let prev = self.indexes.insert(key.clone(), entry);
+            prev_entries.push((key, prev));
+        }
+        if let Err(e) = self.sync_freeing(freed) {
             match prev_table {
                 Some(t) => self.tables.insert(name.clone(), t),
                 None => self.tables.remove(&name),
@@ -153,6 +217,12 @@ impl Catalog {
                 Some(s) => self.stats.insert(name.clone(), s),
                 None => self.stats.remove(&name),
             };
+            for (key, prev) in prev_entries {
+                match prev {
+                    Some(p) => self.indexes.insert(key, p),
+                    None => self.indexes.remove(&key),
+                };
+            }
             return Err(e);
         }
         Ok(())
@@ -207,7 +277,20 @@ impl Catalog {
         let mut image = CatalogImage {
             schema: self.schema.clone(),
             tables: Vec::new(),
+            indexes: Vec::new(),
         };
+        for ((table, attr), e) in &self.indexes {
+            let (first, len) = e
+                .chain
+                .expect("every index of a persistent catalog has a chain");
+            image.indexes.push(IndexImage {
+                table: table.clone(),
+                attr: attr.clone(),
+                kind: 0,
+                first,
+                len,
+            });
+        }
         for (name, table) in &self.tables {
             let (_, extent) = table
                 .disk_parts()
@@ -227,6 +310,65 @@ impl Catalog {
             });
         }
         store.save_catalog_freeing(&image, freed)
+    }
+
+    /// Create a secondary (ordered) index on `table.attr`. Rows lacking
+    /// the attribute are simply not indexed. On a persistent catalog the
+    /// index is written through the pager and committed with the catalog
+    /// image, so it survives a reopen; maintenance on `register`/`replace`
+    /// is automatic from then on.
+    pub fn create_index(&mut self, table: &str, attr: &str) -> Result<()> {
+        let t = self.table(table)?;
+        let key = (table.to_string(), attr.to_string());
+        if self.indexes.contains_key(&key) {
+            return Err(ModelError::SchemaError(format!(
+                "index on `{table}.{attr}` already exists"
+            )));
+        }
+        let ord = OrdIndex::build(t, attr)?;
+        let chain = match self.store.as_ref() {
+            Some(store) => Some(store.write_blob(&encode_index(&ord))?),
+            None => None,
+        };
+        self.indexes.insert(key.clone(), IndexEntry { ord, chain });
+        if let Err(e) = self.sync() {
+            self.indexes.remove(&key);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Drop the index on `table.attr`, returning whether one existed. On
+    /// a persistent catalog its pages return to the free list at the
+    /// commit.
+    pub fn drop_index(&mut self, table: &str, attr: &str) -> Result<bool> {
+        let key = (table.to_string(), attr.to_string());
+        let Some(entry) = self.indexes.remove(&key) else {
+            return Ok(false);
+        };
+        let freed = match (self.store.as_ref(), entry.chain) {
+            (Some(store), Some((first, len))) => store.blob_pages(first, len)?,
+            _ => Vec::new(),
+        };
+        if let Err(e) = self.sync_freeing(freed) {
+            self.indexes.insert(key, entry);
+            return Err(e);
+        }
+        Ok(true)
+    }
+
+    /// The index on `table.attr`, if one exists.
+    pub fn index_on(&self, table: &str, attr: &str) -> Option<&OrdIndex> {
+        self.indexes
+            .get(&(table.to_string(), attr.to_string()))
+            .map(|e| &e.ord)
+    }
+
+    /// All indexes as `(table, attr, index)`, sorted by table then attr.
+    pub fn indexes(&self) -> impl Iterator<Item = (&str, &str, &OrdIndex)> {
+        self.indexes
+            .iter()
+            .map(|((t, a), e)| (t.as_str(), a.as_str(), &e.ord))
     }
 
     /// Look up a table by extension name.
@@ -393,6 +535,93 @@ mod tests {
         drop(cat);
         let cat = Catalog::open(&path, 16).unwrap();
         assert_eq!(cat.table("R").unwrap().len(), 500);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn index_round_trips_through_reopen() {
+        use tmql_model::Value;
+        let path = scratch("idx-roundtrip");
+        {
+            let mut cat = Catalog::open(&path, 16).unwrap();
+            cat.register(int_table("R", &["a", "b"], &[&[1, 10], &[2, 10], &[3, 20]]))
+                .unwrap();
+            cat.create_index("R", "b").unwrap();
+            assert!(cat.index_on("R", "b").is_some());
+            assert!(cat.create_index("R", "b").is_err(), "duplicate rejected");
+            assert!(cat.create_index("NOPE", "b").is_err(), "unknown table");
+        }
+        let cat = Catalog::open(&path, 16).unwrap();
+        let idx = cat.index_on("R", "b").expect("index survived reopen");
+        assert_eq!(idx.probe_eq(&Value::Int(10)), vec![0, 1]);
+        assert_eq!(idx.probe_eq(&Value::Int(20)), vec![2]);
+        assert_eq!(cat.indexes().count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replace_rebuilds_indexes_write_through() {
+        use tmql_model::Value;
+        let path = scratch("idx-maint");
+        let mut cat = Catalog::open(&path, 16).unwrap();
+        cat.register(int_table("R", &["a"], &[&[1]])).unwrap();
+        cat.create_index("R", "a").unwrap();
+        cat.replace(int_table("R", &["a"], &[&[7], &[8], &[7]]))
+            .unwrap();
+        let idx = cat.index_on("R", "a").unwrap();
+        assert_eq!(idx.probe_eq(&Value::Int(1)), Vec::<usize>::new());
+        assert_eq!(idx.probe_eq(&Value::Int(7)), vec![0]);
+        assert_eq!(idx.probe_eq(&Value::Int(8)), vec![1]);
+        drop(cat);
+        let cat = Catalog::open(&path, 16).unwrap();
+        let idx = cat.index_on("R", "a").unwrap();
+        assert_eq!(
+            idx.probe_eq(&Value::Int(8)),
+            vec![1],
+            "maintained index persisted"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn transient_catalog_indexes_work_without_a_store() {
+        use tmql_model::Value;
+        let mut cat = Catalog::new();
+        cat.register(int_table("R", &["a"], &[&[4], &[5]])).unwrap();
+        cat.create_index("R", "a").unwrap();
+        assert_eq!(
+            cat.index_on("R", "a").unwrap().probe_eq(&Value::Int(5)),
+            vec![1]
+        );
+        cat.replace(int_table("R", &["a"], &[&[9]])).unwrap();
+        assert_eq!(
+            cat.index_on("R", "a").unwrap().probe_eq(&Value::Int(9)),
+            vec![0]
+        );
+        assert!(cat.drop_index("R", "a").unwrap());
+        assert!(!cat.drop_index("R", "a").unwrap());
+        assert!(cat.index_on("R", "a").is_none());
+    }
+
+    #[test]
+    fn drop_index_frees_its_pages() {
+        // Index chains join the free list on drop, so a
+        // create → drop → create cycle must not grow the file.
+        let path = scratch("idx-free");
+        let rows: Vec<Vec<i64>> = (0..500).map(|i| vec![i, i % 13]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut cat = Catalog::open(&path, 16).unwrap();
+        cat.register(int_table("R", &["a", "b"], &refs)).unwrap();
+        let size = |p: &std::path::Path| std::fs::metadata(p).unwrap().len();
+        let mut settled = 0;
+        for i in 0..8 {
+            cat.create_index("R", "a").unwrap();
+            assert!(cat.drop_index("R", "a").unwrap());
+            if i == 2 {
+                settled = size(&path);
+            }
+        }
+        assert_eq!(size(&path), settled, "index churn reuses freed pages");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -23,10 +23,12 @@
 //!   (switching to reservoir sampling past
 //!   [`stats::STATS_SAMPLE_THRESHOLD`] rows) and consumed by the
 //!   cost-based optimizer and physical planner;
-//! * [`index`] — hash and ordered indexes over one attribute. The executor
-//!   builds equivalent transient structures inside its hash/merge joins;
-//!   these persistent variants back index-based access paths and give
-//!   tests a reference implementation of key lookup;
+//! * [`index`] — hash and ordered indexes over one attribute.
+//!   [`Catalog::create_index`] builds an [`OrdIndex`], persists it
+//!   through the pager, and rebuilds it on register/replace
+//!   write-through; the executor's `IndexScan`/`IndexNLJoin` operators
+//!   probe it instead of scanning when the planner's crossover favors
+//!   probes;
 //! * [`spill`] — on-disk record runs ([`SpillDir`], [`RunWriter`],
 //!   [`SpillFile`], [`RunReader`]) with a length-prefixed binary codec, the
 //!   substrate of the executor's larger-than-memory (grace-hash /
@@ -42,6 +44,7 @@ pub mod table;
 
 pub use catalog::Catalog;
 pub use index::{HashIndex, OrdIndex};
+pub use pager::IndexImage;
 pub use pager::{BufferPool, PagedStore, PoolStats, TableExtent, DEFAULT_POOL_PAGES};
 pub use spill::{RunReader, RunWriter, SpillDir, SpillFile};
 pub use stats::{ColumnStats, Histogram, StatsBuilder, TableStats};

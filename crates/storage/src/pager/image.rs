@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use tmql_model::schema::{AttrDef, ClassDef, Schema, SortDef};
 use tmql_model::{ModelError, Result, Ty, Value};
 
+use super::page::PageId;
 use super::store::TableExtent;
 use crate::spill::{decode_value, encode_value};
 use crate::stats::{ColumnStats, Histogram, TableStats};
@@ -31,6 +32,22 @@ pub struct TableImage {
     pub stats: TableStats,
 }
 
+/// One persisted secondary index: its identity plus the page chain
+/// holding its encoded entries (see [`crate::index::encode_index`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexImage {
+    /// Table the index is over.
+    pub table: String,
+    /// Indexed attribute.
+    pub attr: String,
+    /// Index kind (0 = ordered; reserved for future kinds).
+    pub kind: u8,
+    /// Head page of the entry chain ([`super::page::NO_PAGE`] when empty).
+    pub first: PageId,
+    /// Byte length of the encoded entries.
+    pub len: u64,
+}
+
 /// The whole persisted catalog.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CatalogImage {
@@ -38,6 +55,10 @@ pub struct CatalogImage {
     pub schema: Schema,
     /// All registered tables.
     pub tables: Vec<TableImage>,
+    /// All secondary indexes. Encoded as a trailing section, so files
+    /// written before indexes existed (which end at the tables) still
+    /// decode; new files always carry the section, even when empty.
+    pub indexes: Vec<IndexImage>,
 }
 
 // ---------------------------------------------------------------------------
@@ -208,6 +229,15 @@ pub fn encode_catalog(img: &CatalogImage) -> Vec<u8> {
             w_u16(&mut out, rows);
         }
         w_table_stats(&mut out, &t.stats);
+    }
+    // Indexes (trailing section; absent in pre-index files).
+    w_u32(&mut out, img.indexes.len() as u32);
+    for ix in &img.indexes {
+        w_str(&mut out, &ix.table);
+        w_str(&mut out, &ix.attr);
+        w_u8(&mut out, ix.kind);
+        w_u32(&mut out, ix.first);
+        w_u64(&mut out, ix.len);
     }
     out
 }
@@ -424,13 +454,38 @@ pub fn decode_catalog(blob: &[u8]) -> Result<CatalogImage> {
             stats,
         });
     }
+    // Index section: files written before indexes existed end exactly at
+    // the tables, so only read it when bytes remain.
+    let mut indexes = Vec::new();
+    if c.pos < blob.len() {
+        let n = c.u32()? as usize;
+        indexes.reserve(n.min(4096));
+        for _ in 0..n {
+            let table = c.str()?;
+            let attr = c.str()?;
+            let kind = c.u8()?;
+            let first = c.u32()?;
+            let len = c.u64()?;
+            indexes.push(IndexImage {
+                table,
+                attr,
+                kind,
+                first,
+                len,
+            });
+        }
+    }
     if c.pos != blob.len() {
         return Err(ModelError::Io(format!(
             "catalog decode: {} trailing bytes",
             blob.len() - c.pos
         )));
     }
-    Ok(CatalogImage { schema, tables })
+    Ok(CatalogImage {
+        schema,
+        tables,
+        indexes,
+    })
 }
 
 #[cfg(test)]
@@ -454,8 +509,29 @@ mod tests {
                 },
                 stats,
             }],
+            indexes: vec![IndexImage {
+                table: "R".into(),
+                attr: "b".into(),
+                kind: 0,
+                first: 7,
+                len: 123,
+            }],
         };
         let blob = encode_catalog(&img);
+        let back = decode_catalog(&blob).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pre_index_blobs_still_decode() {
+        // A blob that ends at the tables section (how pre-index files
+        // look) must decode to an index-less image.
+        let img = CatalogImage {
+            schema: paper_schema(),
+            ..CatalogImage::default()
+        };
+        let mut blob = encode_catalog(&img);
+        blob.truncate(blob.len() - 4); // drop the (empty) index section
         let back = decode_catalog(&blob).unwrap();
         assert_eq!(back, img);
     }
@@ -487,6 +563,7 @@ mod tests {
                 extent: TableExtent::default(),
                 stats,
             }],
+            indexes: Vec::new(),
         };
         let back = decode_catalog(&encode_catalog(&img)).unwrap();
         match &back.tables[0].stats.columns["x"].min {

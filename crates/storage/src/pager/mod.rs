@@ -27,7 +27,7 @@ pub mod page;
 pub mod pool;
 pub mod store;
 
-pub use image::{CatalogImage, TableImage};
+pub use image::{CatalogImage, IndexImage, TableImage};
 pub use page::{PageId, PAGE_SIZE};
 pub use pool::{BufferPool, PoolStats};
 pub use store::{PagedStore, TableExtent, DEFAULT_POOL_PAGES};

@@ -113,12 +113,24 @@ pub struct BufferPool {
     writebacks: AtomicU64,
 }
 
-/// A pinned, latched page. Derefs to the page bytes; dropping releases the
-/// latch first and the pin second, so `pins == 0` implies no latch holders.
+/// A pinned, latched page (or, in the pool-less direct mode, an owned
+/// copy of the page bytes). Derefs to the page bytes; dropping releases
+/// the latch first and the pin second, so `pins == 0` implies no latch
+/// holders.
 #[derive(Debug)]
 pub struct PageRead<'a> {
-    frame: &'a Frame,
-    latch: Option<Latch<'a>>,
+    inner: ReadInner<'a>,
+}
+
+#[derive(Debug)]
+enum ReadInner<'a> {
+    Pooled {
+        frame: &'a Frame,
+        latch: Option<Latch<'a>>,
+    },
+    /// Zero-capacity pools read straight from the file into an owned
+    /// buffer — no frame, no pin, no accounting.
+    Direct(Box<[u8]>),
 }
 
 #[derive(Debug)]
@@ -131,25 +143,35 @@ impl Deref for PageRead<'_> {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        match self.latch.as_ref().expect("latch held until drop") {
-            Latch::Shared(g) => g,
-            Latch::Exclusive(g) => g,
+        match &self.inner {
+            ReadInner::Pooled { latch, .. } => {
+                match latch.as_ref().expect("latch held until drop") {
+                    Latch::Shared(g) => g,
+                    Latch::Exclusive(g) => g,
+                }
+            }
+            ReadInner::Direct(buf) => buf,
         }
     }
 }
 
 impl Drop for PageRead<'_> {
     fn drop(&mut self) {
-        self.latch = None; // release the latch before the pin
-        self.frame.pins.fetch_sub(1, Ordering::SeqCst);
+        if let ReadInner::Pooled { frame, latch } = &mut self.inner {
+            *latch = None; // release the latch before the pin
+            frame.pins.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
 impl BufferPool {
     /// A pool of `capacity` frames (clamped to at least 2, so one pinned
-    /// page can never wedge the pool).
+    /// page can never wedge the pool). A capacity of **zero** selects the
+    /// pool-less direct mode: reads and installs go straight to the file
+    /// with no caching, no eviction, and no stats accounting — the fast
+    /// path for workloads that want no pool at all.
     pub fn new(capacity: usize) -> BufferPool {
-        let capacity = capacity.max(2);
+        let capacity = if capacity == 0 { 0 } else { capacity.max(2) };
         BufferPool {
             frames: (0..capacity)
                 .map(|_| Frame {
@@ -250,15 +272,20 @@ impl BufferPool {
     }
 
     /// Under the map lock: displace `old` (if any) and map `page` to the
-    /// claimed frame.
-    fn publish(&self, m: &mut MapState, idx: usize, old: Option<PageId>, page: PageId) {
-        if let Some(old) = old {
-            m.map.remove(&old);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+    /// claimed frame. Returns whether an eviction happened — the caller
+    /// bumps the stats counter *after* releasing the map lock.
+    fn publish(&self, m: &mut MapState, idx: usize, old: Option<PageId>, page: PageId) -> bool {
+        let evicted = match old {
+            Some(old) => {
+                m.map.remove(&old);
+                true
+            }
+            None => false,
+        };
         m.map.insert(page, idx);
         self.frames[idx].page.store(page, Ordering::SeqCst);
         self.frames[idx].referenced.store(true, Ordering::SeqCst);
+        evicted
     }
 
     /// Undo a published mapping after a failed fault-in, so waiters
@@ -274,6 +301,14 @@ impl BufferPool {
 
     /// Latch `page` for reading, faulting it in from `file` on a miss.
     pub fn read<'a>(&'a self, page: PageId, file: &PagedFile) -> Result<PageRead<'a>> {
+        if self.frames.is_empty() {
+            // Direct mode: no frames, no map, no accounting.
+            let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+            file.read_page(page, &mut buf)?;
+            return Ok(PageRead {
+                inner: ReadInner::Direct(buf),
+            });
+        }
         loop {
             let mut m = self.lock_map();
             if let Some(&idx) = m.map.get(&page) {
@@ -285,8 +320,10 @@ impl BufferPool {
                 let g = f.data.read().unwrap_or_else(|e| e.into_inner());
                 if f.page.load(Ordering::SeqCst) == page {
                     return Ok(PageRead {
-                        frame: f,
-                        latch: Some(Latch::Shared(g)),
+                        inner: ReadInner::Pooled {
+                            frame: f,
+                            latch: Some(Latch::Shared(g)),
+                        },
                     });
                 }
                 // The mapping moved between pinning and latching
@@ -296,11 +333,15 @@ impl BufferPool {
                 continue;
             }
             let (idx, mut g, old, was_dirty) = self.victim(&mut m)?;
-            self.publish(&mut m, idx, old, page);
+            let evicted = self.publish(&mut m, idx, old, page);
             let f = &self.frames[idx];
             f.pins.fetch_add(1, Ordering::SeqCst);
             drop(m);
+            // Stats bumps stay fully outside the short map lock.
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if evicted {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
             let res = (|| -> Result<()> {
                 if was_dirty {
                     if let Some(old) = old {
@@ -317,8 +358,10 @@ impl BufferPool {
                 return Err(e);
             }
             return Ok(PageRead {
-                frame: f,
-                latch: Some(Latch::Exclusive(g)),
+                inner: ReadInner::Pooled {
+                    frame: f,
+                    latch: Some(Latch::Exclusive(g)),
+                },
             });
         }
     }
@@ -328,6 +371,11 @@ impl BufferPool {
     /// Callers serialize installs against [`BufferPool::flush`] — the
     /// store's write lock does this.
     pub fn install(&self, page: PageId, bytes: &[u8], file: &PagedFile) -> Result<()> {
+        if self.frames.is_empty() {
+            // Direct mode: the write reaches the file immediately (the
+            // commit's sync makes it durable), no frame bookkeeping at all.
+            return file.write_page(page, bytes);
+        }
         debug_assert_eq!(bytes.len(), PAGE_SIZE);
         let mut m = self.lock_map();
         if let Some(&idx) = m.map.get(&page) {
@@ -346,10 +394,13 @@ impl BufferPool {
             return Ok(());
         }
         let (idx, mut g, old, was_dirty) = self.victim(&mut m)?;
-        self.publish(&mut m, idx, old, page);
+        let evicted = self.publish(&mut m, idx, old, page);
         let f = &self.frames[idx];
         f.pins.fetch_add(1, Ordering::SeqCst);
         drop(m);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         let res = (|| -> Result<()> {
             if was_dirty {
                 if let Some(old) = old {
@@ -531,6 +582,32 @@ mod tests {
         let mut buf = vec![0u8; PAGE_SIZE];
         file.read_page(1, &mut buf).unwrap();
         assert_eq!(buf[0], 1, "file bytes untouched");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_capacity_pool_is_direct_io() {
+        let path = scratch("direct");
+        let file = file_with_pages(&path, 3);
+        let pool = BufferPool::new(0);
+        assert_eq!(pool.capacity(), 0);
+        {
+            let g = pool.read(2, &file).unwrap();
+            assert_eq!(g[0], 2);
+            assert_eq!(g.len(), PAGE_SIZE);
+        }
+        // Nothing is cached and nothing is accounted.
+        assert!(!pool.is_resident(2));
+        assert_eq!(pool.stats(), PoolStats::default());
+        assert_eq!(pool.pinned_frames(), 0);
+        // Installs write straight through; flush has nothing to do.
+        pool.install(1, &[0xDD; PAGE_SIZE], &file).unwrap();
+        pool.flush(&file).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        file.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xDD);
+        assert_eq!(pool.read(1, &file).unwrap()[0], 0xDD);
+        pool.discard([1u32].into_iter());
         let _ = std::fs::remove_file(&path);
     }
 

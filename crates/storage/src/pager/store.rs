@@ -545,6 +545,49 @@ impl PagedStore {
         Ok(out)
     }
 
+    // -- standalone blobs (index chains) ------------------------------------
+
+    /// Write a standalone blob as an overflow-page chain and return its
+    /// head page and byte length. **Not a commit**: the chain (and its
+    /// pages' allocation) becomes durable only at the next catalog commit
+    /// ([`PagedStore::save_catalog_freeing`]), whose header rewrite
+    /// persists the moved watermark. A crash before that commit leaves
+    /// the old catalog intact and implicitly rolls the allocation back —
+    /// which is exactly what makes index writes crash-safe.
+    pub fn write_blob(&self, blob: &[u8]) -> Result<(PageId, u64)> {
+        let _w = self.write_lock();
+        if blob.is_empty() {
+            return Ok((NO_PAGE, 0));
+        }
+        let chunks: Vec<&[u8]> = blob.chunks(OVF_CAPACITY).collect();
+        let ids: Vec<PageId> = chunks.iter().map(|_| self.alloc()).collect();
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let next = ids.get(i + 1).copied().unwrap_or(NO_PAGE);
+            page::init_overflow(&mut buf, next, chunk);
+            self.pool.install(ids[i], &buf, &self.file)?;
+        }
+        Ok((ids[0], blob.len() as u64))
+    }
+
+    /// Read back a blob written by [`PagedStore::write_blob`].
+    pub fn read_blob(&self, first: PageId, len: u64) -> Result<Vec<u8>> {
+        if first == NO_PAGE {
+            return Ok(Vec::new());
+        }
+        self.read_chain(first, len as u32)
+    }
+
+    /// The page ids of a blob chain — what freeing it hands back to the
+    /// free list at a commit.
+    pub fn blob_pages(&self, first: PageId, len: u64) -> Result<Vec<PageId>> {
+        let mut out = Vec::new();
+        if first != NO_PAGE {
+            self.chain_pages(first, len as u32, &mut out)?;
+        }
+        Ok(out)
+    }
+
     // -- committing ---------------------------------------------------------
 
     /// Persist a new catalog blob: write its chain, flush everything, then

@@ -267,6 +267,33 @@ impl Table {
         }
     }
 
+    /// Fetch the rows at the given ascending positions (an index probe's
+    /// result), grouping consecutive runs into single batch reads so a
+    /// disk-backed table faults each run's pages once.
+    pub fn fetch_rows(&self, positions: &[usize]) -> Result<Vec<Record>> {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        let mut out = Vec::with_capacity(positions.len());
+        let mut i = 0;
+        while i < positions.len() {
+            let start = positions[i];
+            let mut len = 1;
+            while i + len < positions.len() && positions[i + len] == start + len {
+                len += 1;
+            }
+            let batch = self.batch(start, len)?;
+            if batch.len() != len {
+                return Err(ModelError::Io(format!(
+                    "table `{}`: index positions past the end ({} rows)",
+                    self.name,
+                    self.len()
+                )));
+            }
+            out.extend(batch);
+            i += len;
+        }
+        Ok(out)
+    }
+
     /// Membership test (set semantics makes this well-defined). Constant
     /// time in memory; a scan for disk-backed tables.
     pub fn contains(&self, row: &Record) -> Result<bool> {

@@ -32,6 +32,11 @@ meta commands:
   \\persist <path>    copy the current catalog into a new disk-backed
                      database at <path> and switch to it
   \\tables            list loaded tables with row counts
+  \\index create <table> <attr>   build a secondary index (persists on
+                     disk-backed databases; the planner probes it when
+                     cheaper than scanning)
+  \\index drop <table> <attr>     drop a secondary index
+  \\index list        list secondary indexes with entry counts
   \\strategy [name]   show or set the unnesting strategy:
                      nested-loop | kim | ganski-wong | muralikrishna |
                      nest-join | semi-anti | optimal | cost-based
@@ -105,6 +110,7 @@ impl Shell {
                     println!("  {name} ({n} rows)");
                 }
             }
+            "index" => self.index(rest),
             "strategy" if rest.is_empty() => {
                 println!("strategy: {}", self.opts.strategy.name())
             }
@@ -125,6 +131,32 @@ impl Shell {
             other => println!("unknown command `\\{other}`; \\help for the list"),
         }
         true
+    }
+
+    /// `\index create|drop|list`: manage secondary indexes.
+    fn index(&mut self, spec: &str) {
+        let parts: Vec<&str> = spec.split_whitespace().collect();
+        match parts.as_slice() {
+            ["create", table, attr] => match self.db.create_index(table, attr) {
+                Ok(()) => println!("index on {table}.{attr} built"),
+                Err(e) => println!("error: {e}"),
+            },
+            ["drop", table, attr] => match self.db.drop_index(table, attr) {
+                Ok(true) => println!("index on {table}.{attr} dropped"),
+                Ok(false) => println!("no index on {table}.{attr}"),
+                Err(e) => println!("error: {e}"),
+            },
+            ["list"] | [] => {
+                let indexes = self.db.indexes();
+                if indexes.is_empty() {
+                    println!("no indexes; \\index create <table> <attr> builds one");
+                }
+                for (table, attr, entries) in indexes {
+                    println!("  {table}.{attr} ({entries} entries)");
+                }
+            }
+            _ => println!("usage: \\index create <table> <attr> | drop <table> <attr> | list"),
+        }
     }
 
     /// `\set <option> <value>`: mutate one session [`QueryOptions`] knob.

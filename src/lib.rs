@@ -308,6 +308,21 @@ pub struct Database {
 /// (re-exported from the storage tier).
 pub const DEFAULT_POOL_PAGES: usize = tmql_storage::DEFAULT_POOL_PAGES;
 
+/// Buffer-pool capacity [`Database::open`] actually uses: the
+/// `TMQL_TEST_POOL_PAGES` environment variable when set to a positive
+/// integer, else [`DEFAULT_POOL_PAGES`]. The variable is a test/CI hook —
+/// exporting e.g. `TMQL_TEST_POOL_PAGES=4` runs every suite that opens a
+/// database through `Database::open` under a four-page pool, shaking out
+/// eviction and refault bugs that a comfortably sized pool would hide.
+/// Invalid or zero values fall back to the default.
+pub fn default_pool_pages() -> usize {
+    std::env::var("TMQL_TEST_POOL_PAGES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_POOL_PAGES)
+}
+
 /// Adapter exposing the catalog's row types to the language type checker.
 struct CatalogTypes<'a>(&'a Catalog);
 
@@ -350,7 +365,7 @@ impl Database {
     /// # let _ = std::fs::remove_file(&path);
     /// ```
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<Database, TmqlError> {
-        Database::open_with(path, DEFAULT_POOL_PAGES)
+        Database::open_with(path, default_pool_pages())
     }
 
     /// [`Database::open`] with an explicit buffer-pool capacity in pages.
@@ -395,6 +410,16 @@ impl Database {
             let table = self.catalog.table(&name)?;
             catalog.replace(table.clone())?;
         }
+        // Secondary indexes travel with the data: rebuild each one in the
+        // copy so index-aware plans work identically on the persisted side.
+        let specs: Vec<(String, String)> = self
+            .catalog
+            .indexes()
+            .map(|(t, a, _)| (t.to_string(), a.to_string()))
+            .collect();
+        for (table, attr) in specs {
+            catalog.create_index(&table, &attr)?;
+        }
         catalog.sync()?;
         Ok(Database { catalog })
     }
@@ -412,6 +437,51 @@ impl Database {
     /// Register a table as a class extension.
     pub fn register_table(&mut self, table: Table) -> Result<(), TmqlError> {
         self.catalog.register(table).map_err(TmqlError::from)
+    }
+
+    /// Create a secondary (ordered) index on `table.attr`. From then on
+    /// the planner probes it instead of scanning whenever the cost model
+    /// says a probe is cheaper — equality and range selections, and joins
+    /// whose inner side is an indexed scan. On a disk-backed database the
+    /// index persists and survives a reopen.
+    ///
+    /// ```
+    /// use tmql::Database;
+    /// use tmql_storage::table::int_table;
+    ///
+    /// let mut db = Database::new();
+    /// let rows: Vec<Vec<i64>> = (0..200).map(|i| vec![i, i % 20]).collect();
+    /// let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    /// db.register_table(int_table("X", &["a", "b"], &refs)).unwrap();
+    /// db.create_index("X", "b").unwrap();
+    ///
+    /// let r = db.query("SELECT x.a FROM X x WHERE x.b = 3").unwrap();
+    /// assert_eq!(r.len(), 10);
+    /// assert!(r.metrics.index_probes > 0, "selection ran as an index probe");
+    /// assert_eq!(r.metrics.rows_scanned, 0, "no full scan of X");
+    /// assert!(db.explain("SELECT x.a FROM X x WHERE x.b = 3").unwrap()
+    ///     .contains("IndexScan(X.b)"));
+    /// ```
+    pub fn create_index(&mut self, table: &str, attr: &str) -> Result<(), TmqlError> {
+        self.catalog
+            .create_index(table, attr)
+            .map_err(TmqlError::from)
+    }
+
+    /// Drop the index on `table.attr`, returning whether one existed.
+    pub fn drop_index(&mut self, table: &str, attr: &str) -> Result<bool, TmqlError> {
+        self.catalog
+            .drop_index(table, attr)
+            .map_err(TmqlError::from)
+    }
+
+    /// All secondary indexes as `(table, attr, entries)` sorted by table
+    /// then attribute, where `entries` is the number of indexed rows.
+    pub fn indexes(&self) -> Vec<(String, String, usize)> {
+        self.catalog
+            .indexes()
+            .map(|(t, a, ix)| (t.to_string(), a.to_string(), ix.len()))
+            .collect()
     }
 
     /// Run a query with default options.
@@ -618,6 +688,30 @@ mod tests {
         );
         assert!(s.contains("Scan(X) [rows=3"), "{s}");
         assert!(s.contains("scanned=3"), "{s}");
+    }
+
+    #[test]
+    fn index_lifecycle_through_facade() {
+        let mut db = Database::new();
+        let rows: Vec<Vec<i64>> = (0..100).map(|i| vec![i, i % 10]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        db.register_table(int_table("Z", &["a", "b"], &refs))
+            .unwrap();
+        db.create_index("Z", "b").unwrap();
+        assert_eq!(db.indexes(), vec![("Z".to_string(), "b".to_string(), 100)]);
+
+        let q = "SELECT z.a FROM Z z WHERE z.b = 7";
+        let probed = db.query(q).unwrap();
+        assert!(probed.metrics.index_probes > 0, "{}", probed.metrics);
+        let explain = db.explain(q).unwrap();
+        assert!(explain.contains("IndexScan(Z.b)"), "{explain}");
+        assert!(explain.contains("est_rows="), "{explain}");
+
+        assert!(db.drop_index("Z", "b").unwrap());
+        assert!(!db.drop_index("Z", "b").unwrap());
+        let scanned = db.query(q).unwrap();
+        assert_eq!(scanned.values, probed.values);
+        assert_eq!(scanned.metrics.index_probes, 0);
     }
 
     #[test]

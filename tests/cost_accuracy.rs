@@ -53,6 +53,72 @@ fn b7_collapse_query_estimates_within_bound() {
     check("b7-collapse", &db, UNNEST_COLLAPSE);
 }
 
+/// Acceptance: the estimator's predicted scan→probe crossover on a
+/// selectivity ladder lands within 4× of the measured one. Each ladder
+/// step builds a table whose indexed column has `d` distinct values
+/// (equality selectivity 1/d), forces both access paths, and compares
+/// their measured `total_work`; the estimator's pick per step comes from
+/// the same `select_access_paths` seam the planner uses. The two smallest
+/// `d` where the probe first wins must agree within 4×.
+#[test]
+fn index_crossover_estimate_within_4x_of_measured() {
+    use tmql_algebra::{Env, ScalarExpr as E};
+    use tmql_exec::{execute, Estimator, ExecContext, PhysPlan};
+    use tmql_storage::{table::int_table, Catalog};
+
+    let n = size() as i64 * 4;
+    let ladder = [1i64, 2, 4, 8, 16, 64, 256];
+    let mut predicted: Option<i64> = None;
+    let mut measured: Option<i64> = None;
+    for &d in &ladder {
+        let rows: Vec<Vec<i64>> = (0..n).map(|i| vec![i, i % d]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut cat = Catalog::new();
+        cat.register(int_table("X", &["a", "b"], &refs)).unwrap();
+        cat.create_index("X", "b").unwrap();
+        let pred = E::eq(E::path("x", &["b"]), E::lit(0i64));
+
+        let est = Estimator::new(&cat);
+        let (_, probe_work, scan_work) = est
+            .select_access_paths("X", "x", &pred)
+            .expect("an index on X.b exists");
+        if predicted.is_none() && probe_work < scan_work {
+            predicted = Some(d);
+        }
+
+        let scan = PhysPlan::Filter {
+            input: Box::new(PhysPlan::ScanTable {
+                table: "X".into(),
+                var: "x".into(),
+            }),
+            pred: pred.clone(),
+        };
+        let probe = PhysPlan::IndexScan {
+            table: "X".into(),
+            var: "x".into(),
+            attr: "b".into(),
+            eq: Some(E::lit(0i64)),
+            lo: None,
+            hi: None,
+            pred,
+        };
+        let mut sctx = ExecContext::new(&cat);
+        execute(&scan, &mut sctx, &Env::new()).unwrap();
+        let mut ictx = ExecContext::new(&cat);
+        execute(&probe, &mut ictx, &Env::new()).unwrap();
+        if measured.is_none() && ictx.metrics.total_work() < sctx.metrics.total_work() {
+            measured = Some(d);
+        }
+    }
+    let predicted = predicted.expect("the estimator never picked the probe");
+    let measured = measured.expect("the measured probe never won");
+    let ratio = (predicted.max(measured) as f64) / (predicted.min(measured) as f64);
+    assert!(
+        ratio <= 4.0,
+        "crossover mismatch: estimator flips at d={predicted}, measured flips at d={measured} ({ratio:.1}x apart)"
+    );
+}
+
 #[test]
 fn b7_survey_query_estimates_within_bound() {
     let cfg = GenConfig {

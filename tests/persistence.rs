@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use tmql::{Database, QueryOptions, TmqlError, Ty, Value};
 use tmql_model::{ModelError, Record};
 use tmql_storage::table::int_table;
-use tmql_storage::Table;
+use tmql_storage::{OrdIndex, Table};
 
 static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -99,6 +99,118 @@ proptest! {
         prop_assert_eq!(got.len(), values.iter().collect::<std::collections::BTreeSet<_>>().len());
         let _ = std::fs::remove_file(&path);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Secondary indexes round-trip through the pager: over arbitrary
+    /// complex-object keys (NaN floats included), a reopened index
+    /// answers every probe exactly like one freshly built from the rows.
+    #[test]
+    fn index_round_trips_through_disk(values in prop::collection::vec(arb_value(), 1..24)) {
+        let path = scratch("ixprop");
+        let table = value_table(&values);
+        {
+            let mut disk = Database::open_with(&path, 8).unwrap();
+            disk.register_table(table.clone()).unwrap();
+            disk.create_index("T", "v").unwrap();
+            disk.create_index("T", "k").unwrap();
+        } // dropped: the index must come back from pages, not memory
+
+        let reopened = Database::open_with(&path, 8).unwrap();
+        let fresh = OrdIndex::build(&table, "v").unwrap();
+        let ix = reopened.catalog().index_on("T", "v").expect("index survived reopen");
+        prop_assert_eq!(ix.len(), fresh.len());
+        for v in &values {
+            prop_assert_eq!(ix.probe_eq(v), fresh.probe_eq(v), "probe diverged for {:?}", v);
+        }
+
+        // And the indexed plan answers identically to the in-memory,
+        // index-free database.
+        let mut mem = Database::new();
+        mem.register_table(table).unwrap();
+        let q = "SELECT t.v FROM T t WHERE t.k = 0";
+        prop_assert_eq!(reopened.query(q).unwrap().values, mem.query(q).unwrap().values);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Crash safety: the header is written last, so a crash after the index
+/// pages land but before the catalog header commits leaves the *old*
+/// catalog — reopening sees no index and never reads a torn one.
+#[test]
+fn crash_between_index_write_and_commit_keeps_old_catalog() {
+    let path = scratch("ixcrash");
+    let rows: Vec<Vec<i64>> = (0..500).map(|i| vec![i, i % 10]).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    {
+        let mut disk = Database::open_with(&path, 8).unwrap();
+        disk.register_table(int_table("X", &["n", "b"], &refs))
+            .unwrap();
+    }
+    // Snapshot the committed header (page 0) before the index exists.
+    let pre_index_header = {
+        let bytes = std::fs::read(&path).unwrap();
+        bytes[..8192].to_vec()
+    };
+    {
+        let mut disk = Database::open_with(&path, 8).unwrap();
+        disk.create_index("X", "b").unwrap();
+    }
+    // "Crash" before the commit point: the index and new catalog pages
+    // are on disk, but the header still references the old catalog. The
+    // header-last protocol never reuses the old chain's pages within the
+    // same commit, so restoring the old header restores the old catalog.
+    use std::io::{Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.seek(SeekFrom::Start(0)).unwrap();
+    f.write_all(&pre_index_header).unwrap();
+    drop(f);
+
+    let reopened = Database::open_with(&path, 8).unwrap();
+    assert!(
+        reopened.indexes().is_empty(),
+        "the un-committed index must not be visible"
+    );
+    let r = reopened.query("SELECT x.n FROM X x WHERE x.b = 3").unwrap();
+    assert_eq!(r.len(), 50);
+    assert_eq!(r.metrics.index_probes, 0, "no index to probe");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A corrupted index page surfaces as `ModelError::Io` — never a panic,
+/// never a silently wrong answer.
+#[test]
+fn corrupted_index_page_surfaces_as_io_error() {
+    let path = scratch("ixcorrupt");
+    let rows: Vec<Vec<i64>> = (0..500).map(|i| vec![i, i % 10]).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    {
+        let mut disk = Database::open_with(&path, 8).unwrap();
+        disk.register_table(int_table("X", &["n", "b"], &refs))
+            .unwrap();
+    }
+    // The index blob is allocated at the then-end of the file (the free
+    // list is empty on a fresh database), so its first page sits exactly
+    // at the pre-create-index file length.
+    let index_first = std::fs::metadata(&path).unwrap().len();
+    {
+        let mut disk = Database::open_with(&path, 8).unwrap();
+        disk.create_index("X", "b").unwrap();
+    }
+    use std::io::{Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.seek(SeekFrom::Start(index_first)).unwrap();
+    f.write_all(&vec![0xCDu8; 8192]).unwrap();
+    drop(f);
+
+    match Database::open_with(&path, 8) {
+        Err(TmqlError::Model(ModelError::Io(_))) => {}
+        Ok(_) => panic!("opening a database with a torn index must fail"),
+        Err(other) => panic!("expected ModelError::Io, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 /// The headline acceptance: a dataset bigger than the buffer pool,
@@ -261,11 +373,17 @@ fn persist_to_copies_a_live_database() {
         .unwrap();
     mem.register_table(int_table("Y", &["b", "c"], &[&[1, 10], &[9, 90]]))
         .unwrap();
+    mem.create_index("X", "b").unwrap();
     let q = "SELECT x.a FROM X x WHERE x.a IN (SELECT y.c - 9 FROM Y y WHERE x.b = y.b)";
     let want = mem.query(q).unwrap();
 
     let copy = mem.persist_to(&path, 8).unwrap();
     assert!(copy.is_persistent());
+    assert_eq!(
+        copy.indexes(),
+        vec![("X".to_string(), "b".to_string(), 3)],
+        "indexes travel with persist_to"
+    );
     assert_eq!(copy.query(q).unwrap().values, want.values);
     drop(copy);
 

@@ -48,6 +48,33 @@ fn assert_all_strategies_agree(db: &Database, src: &str) {
     }
 }
 
+/// Run every query on the index-free database (CostBased defaults) and on
+/// the indexed one under every thread count × memory budget combination:
+/// indexes may change plans and cost, never the result set.
+fn assert_indexes_change_nothing(plain: &Database, indexed: &Database, queries: &[String]) {
+    for q in queries {
+        let want = plain
+            .query(q)
+            .unwrap_or_else(|e| panic!("plain {q} fails: {e}"))
+            .values;
+        for threads in [1usize, 2] {
+            for budget in [None, Some(8usize)] {
+                let mut opts = QueryOptions::default().threads(threads);
+                if let Some(b) = budget {
+                    opts = opts.memory_budget(b);
+                }
+                let got = indexed
+                    .query_with(q, opts)
+                    .unwrap_or_else(|e| panic!("indexed {q} fails: {e}"));
+                assert_eq!(
+                    got.values, want,
+                    "indexes changed the answer on {q} (threads={threads}, budget={budget:?})"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -71,5 +98,31 @@ proptest! {
         ] {
             assert_all_strategies_agree(&db, &src);
         }
+    }
+
+    /// The index-consistency property: the same generator seed builds two
+    /// identical databases, one with secondary indexes on the correlated
+    /// inner columns. Whatever access paths CostBased then picks, the
+    /// result sets never differ — under serial and 2-thread execution,
+    /// with and without a spilling memory budget.
+    #[test]
+    fn cost_based_with_indexes_matches_without(cfg in arb_config()) {
+        let plain = Database::from_catalog(gen_rs(&cfg));
+        let mut indexed = Database::from_catalog(gen_rs(&cfg));
+        indexed.create_index("S", "c").unwrap();
+        indexed.create_index("R", "c").unwrap();
+        assert_indexes_change_nothing(&plain, &indexed, &[
+            COUNT_BUG.to_string(),
+            "SELECT x.a FROM R x WHERE x.b IN (SELECT y.d FROM S y WHERE x.c = y.c)".to_string(),
+        ]);
+
+        let plain = Database::from_catalog(gen_xy(&cfg));
+        let mut indexed = Database::from_catalog(gen_xy(&cfg));
+        indexed.create_index("Y", "b").unwrap();
+        assert_indexes_change_nothing(&plain, &indexed, &[
+            MEMBERSHIP.to_string(),
+            NON_MEMBERSHIP.to_string(),
+            where_query("COUNT({Z}) = 0"),
+        ]);
     }
 }
