@@ -65,6 +65,15 @@ pub struct ExecConfig {
     /// partitions of hash joins and pipeline breakers run
     /// partition-per-worker. Defaults to [`default_threads`].
     pub threads: usize,
+    /// Memoize correlated `Apply` inner results by the outer row's
+    /// correlation-binding values (default `true`). Duplicate bindings
+    /// replay the cached result set instead of re-executing the inner
+    /// plan; the cache is budget-aware (it evicts LRU entries to respect
+    /// `memory_budget_rows`) and never changes results — only the
+    /// `apply_invocations` / `apply_cache_hits` counters. `false` restores
+    /// the one-inner-execution-per-outer-row behavior (differential tests
+    /// and benchmarks compare the two).
+    pub apply_cache: bool,
 }
 
 impl Default for ExecConfig {
@@ -74,6 +83,7 @@ impl Default for ExecConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             memory_budget_rows: None,
             threads: default_threads(),
+            apply_cache: true,
         }
     }
 }
@@ -118,6 +128,12 @@ impl ExecConfig {
         self.threads = n.max(1);
         self
     }
+
+    /// Enable or disable Apply binding memoization (default on).
+    pub fn apply_cache(mut self, on: bool) -> ExecConfig {
+        self.apply_cache = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +175,12 @@ mod tests {
                 .memory_budget_rows,
             None
         );
+    }
+
+    #[test]
+    fn apply_cache_defaults_on() {
+        assert!(ExecConfig::default().apply_cache);
+        assert!(!ExecConfig::default().apply_cache(false).apply_cache);
     }
 
     #[test]

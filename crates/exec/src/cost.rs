@@ -45,9 +45,16 @@ pub const DEFAULT_SET_FANOUT: f64 = 16.0;
 pub const UNKNOWN_TABLE_ROWS: f64 = 1000.0;
 /// Grouping collapse factor when group-key distinct counts are unknown.
 pub const GROUP_COLLAPSE: f64 = 0.1;
-/// Abstract per-invocation overhead of a correlated `Apply` (operator-tree
-/// instantiation + environment push), on top of the subquery's own work.
+/// Abstract per-invocation overhead of a correlated `Apply` (operator
+/// re-open + environment rebind), on top of the subquery's own work.
+/// Charged once per *distinct* correlation binding — the executor
+/// memoizes completed inner results per binding, so duplicate bindings
+/// cost a cache probe, not an execution.
 pub const APPLY_OVERHEAD: f64 = 4.0;
+/// Abstract work units charged per outer row of an `Apply` for
+/// evaluating the binding key and probing the result cache — mirrors
+/// [`crate::Metrics::apply_cache_hits`] entering `total_work`.
+pub const CACHE_PROBE_WORK: f64 = 1.0;
 /// Floor for combined predicate selectivities.
 const MIN_SELECTIVITY: f64 = 1e-4;
 /// Scalar-expression nodes evaluated per abstract work unit: predicate
@@ -659,11 +666,20 @@ impl<'a> Estimator<'a> {
                 let mut inner_scope = outer.clone();
                 bind_scans(input, &mut inner_scope);
                 let sub = self.node(subquery, &inner_scope);
+                // The executor memoizes inner results per distinct
+                // correlation binding (on by default), so the inner plan
+                // drains once per distinct binding; every outer row pays
+                // a binding-key evaluation and cache probe. The cached
+                // result sets are budget-capped resident state.
+                let bindings = crate::planner::apply_bindings(subquery);
+                let distinct = self.distinct_bindings(&bindings, input, &inner_scope, c.rows);
+                let (cache_res, _) = self.breaker_state(distinct * sub.rows.max(0.0));
                 CostEstimate {
                     rows: c.rows,
-                    // The subquery tree is rebuilt and drained per outer row.
-                    work: c.work + c.rows * (sub.work + APPLY_OVERHEAD),
-                    resident: c.resident + sub.resident,
+                    work: c.work
+                        + distinct * (sub.work + APPLY_OVERHEAD)
+                        + CACHE_PROBE_WORK * c.rows,
+                    resident: c.resident + sub.resident + cache_res,
                 }
             }
             Plan::SetOp {
@@ -688,12 +704,95 @@ impl<'a> Estimator<'a> {
         }
     }
 
+    /// Estimated number of distinct correlation bindings an `Apply` over
+    /// `input` presents to its subquery: the product of the per-binding
+    /// NDVs (column stats for `v.col`, table cardinality for a whole-row
+    /// `v`, the outer row count when unknown), capped at the outer row
+    /// count. Empty bindings — an invariant subquery — estimate as one.
+    fn distinct_bindings(
+        &self,
+        bindings: &[ScalarExpr],
+        input: &Plan,
+        scope: &Scope,
+        outer_rows: f64,
+    ) -> f64 {
+        let cap = outer_rows.max(1.0);
+        let mut distinct = 1.0f64;
+        for b in bindings {
+            let ndv = match b {
+                e if Self::as_column(e).is_some() => {
+                    let (v, col) = Self::as_column(e).expect("checked");
+                    self.col_of(&[input], scope, v, col)
+                        .map(|c| c.distinct.max(1) as f64)
+                }
+                ScalarExpr::Var(v) => self
+                    .table_of(&[input], scope, v)
+                    .map(|t| t.cardinality.max(1) as f64),
+                _ => None,
+            };
+            distinct *= ndv.unwrap_or(cap);
+            if distinct >= cap {
+                break;
+            }
+        }
+        distinct.clamp(1.0, cap)
+    }
+
+    /// Planner hook: the distinct-binding estimate for an `Apply` of
+    /// `subquery` over `input` — how many times the executor will
+    /// actually drain the inner plan with memoization on.
+    pub fn apply_distinct_bindings(&self, input: &Plan, subquery: &Plan) -> f64 {
+        let bindings = crate::planner::apply_bindings(subquery);
+        let mut scope = Scope::new();
+        bind_scans(input, &mut scope);
+        let outer_rows = self.node(input, &Scope::new()).rows;
+        self.distinct_bindings(&bindings, input, &scope, outer_rows)
+    }
+
+    /// Price `probes` repetitions of `σ_pred(table)` along two access
+    /// paths: a **transient hash index** on the eq-probed attribute —
+    /// built once (hash-build cost per row plus whatever page I/O a cold
+    /// extent costs), then per repetition one probe plus a fetch and
+    /// full-predicate re-check per candidate — versus re-running the
+    /// scan + filter every time. `covered` is the eq conjunct the probe
+    /// answers (its selectivity sizes the candidate traffic). This is the
+    /// eq-only, no-persistent-index complement of
+    /// [`Estimator::select_access_paths`]: the build only amortizes when
+    /// the repetition count is high enough, which is why it fires from
+    /// `Apply` hoisting (probes = distinct bindings) and not from a
+    /// single selection.
+    pub fn transient_hash_paths(
+        &self,
+        table: &str,
+        var: &str,
+        pred: &ScalarExpr,
+        covered: &ScalarExpr,
+        probes: f64,
+    ) -> (f64, f64) {
+        let probes = probes.max(1.0);
+        let input = Plan::ScanTable {
+            table: table.to_string(),
+            var: var.to_string(),
+        };
+        let outer = Scope::new();
+        let scan = self.node(&input, &outer);
+        let scan_work = probes * (scan.work + scan.rows * expr_weight(pred));
+        let sel = self.selectivity(covered, &[&input], &outer);
+        let candidates = scan.rows * sel;
+        let build = 1.5 * scan.rows + self.cold_page_io(table);
+        let probe_work =
+            build + probes * (INDEX_PROBE_WORK + candidates * (2.0 + expr_weight(pred)));
+        (probe_work, scan_work)
+    }
+
     /// Price the two access paths of `σ_pred(table)` when the predicate
     /// has an index-eligible component: `(component, probe_work,
     /// scan_work)`. `None` when no conjunct probes an existing index.
     /// Shared by the model's `Select` pricing and the planner's
     /// scan-vs-probe choice, so the plan the planner emits is the plan
-    /// the model priced.
+    /// the model priced. (For equality components with *no* persistent
+    /// index, [`Estimator::transient_hash_paths`] prices the
+    /// build-it-yourself alternative an `Apply` can amortize.)
     pub fn select_access_paths(
         &self,
         table: &str,
@@ -1044,10 +1143,23 @@ pub fn logical_view(phys: &PhysPlan) -> Plan {
             input,
             subquery,
             label,
+            bindings: _,
         } => Plan::Apply {
             input: Box::new(logical_view(input)),
             subquery: Box::new(logical_view(subquery)),
             label: label.clone(),
+        },
+        // Materialize is a pure replay buffer: logically transparent.
+        PhysPlan::Materialize { input } => logical_view(input),
+        // A transient hash probe implements select-over-scan exactly.
+        PhysPlan::HashProbe {
+            table, var, pred, ..
+        } => Plan::Select {
+            input: Box::new(Plan::ScanTable {
+                table: table.clone(),
+                var: var.clone(),
+            }),
+            pred: pred.clone(),
         },
         PhysPlan::SetOp {
             kind,
@@ -1380,15 +1492,31 @@ mod tests {
     }
 
     #[test]
-    fn apply_work_scales_with_outer_rows() {
+    fn apply_work_scales_with_distinct_bindings() {
         let cat = catalog();
-        let sub = Plan::scan("BIG", "y")
+        // Correlated on x.b (NDV 10): the memoized Apply drains its inner
+        // plan 10 times, not 100.
+        let sub_b = Plan::scan("BIG", "y")
             .select(E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
             .map(E::path("y", &["a"]), "s");
-        let apply = Plan::scan("BIG", "x").apply(sub.clone(), "z");
+        let apply_b = Plan::scan("BIG", "x").apply(sub_b, "z");
+        // Correlated on x.a (NDV 100): every binding is distinct — the
+        // cache never hits and the price approaches per-row execution.
+        let sub_a = Plan::scan("BIG", "y")
+            .select(E::eq(E::path("x", &["a"]), E::path("y", &["a"])))
+            .map(E::path("y", &["a"]), "s");
+        let apply_a = Plan::scan("BIG", "x").apply(sub_a, "z");
         let est = Estimator::new(&cat);
-        let apply_cost = est.cost(&apply);
-        // The equivalent nest join does the matching once.
+        let cost_b = est.cost(&apply_b);
+        let cost_a = est.cost(&apply_a);
+        assert!(
+            cost_a.work > 5.0 * cost_b.work,
+            "100 distinct bindings {} vs 10 {}",
+            cost_a.work,
+            cost_b.work
+        );
+        // Even memoized, the Apply still prices above the equivalent nest
+        // join, which matches once instead of scanning per binding.
         let nj = Plan::scan("BIG", "x").nest_join(
             Plan::scan("BIG", "y"),
             E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
@@ -1397,11 +1525,47 @@ mod tests {
         );
         let nj_cost = est.cost(&nj);
         assert!(
-            apply_cost.total() > 10.0 * nj_cost.total(),
+            cost_b.total() > nj_cost.total(),
             "apply {} vs nest join {}",
-            apply_cost.total(),
+            cost_b.total(),
             nj_cost.total()
         );
+    }
+
+    #[test]
+    fn invariant_apply_prices_one_execution() {
+        let cat = catalog();
+        // Uncorrelated subquery: empty bindings → one modeled execution,
+        // so the Apply's work is far below outer_rows × inner scans.
+        let sub = Plan::scan("BIG", "y").map(E::path("y", &["a"]), "s");
+        let apply = Plan::scan("BIG", "x").apply(sub, "z");
+        let cost = Estimator::new(&cat).cost(&apply);
+        // outer scan (100) + one inner drain (~200) + 100 cache probes.
+        assert!(cost.work < 1000.0, "{}", cost.work);
+    }
+
+    #[test]
+    fn transient_hash_amortizes_with_repetition() {
+        let cat = catalog();
+        let est = Estimator::new(&cat);
+        let pred = E::eq(E::path("y", &["b"]), E::path("x", &["b"]));
+        // Selective probes: the marginal per-repetition cost of the hash
+        // path (probe + candidate rechecks) is far below a full scan, so
+        // repetition amortizes the one-time build.
+        let (probe1, scan1) = est.transient_hash_paths("BIG", "y", &pred, &pred, 1.0);
+        let (probe10, scan10) = est.transient_hash_paths("BIG", "y", &pred, &pred, 10.0);
+        assert!(probe10 < scan10, "probe {probe10} vs scan {scan10}");
+        assert!(
+            probe10 - probe1 < (scan10 - scan1) / 2.0,
+            "marginal probe {} vs marginal scan {}",
+            probe10 - probe1,
+            scan10 - scan1
+        );
+        // An unselective component returns every row as a candidate: the
+        // probe path re-checks them all and never beats the scan.
+        let all = E::lit(true);
+        let (probe_all, scan_all) = est.transient_hash_paths("BIG", "y", &pred, &all, 10.0);
+        assert!(probe_all > scan_all, "probe {probe_all} vs scan {scan_all}");
     }
 
     #[test]

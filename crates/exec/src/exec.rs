@@ -262,16 +262,60 @@ mod tests {
             }),
             subquery: Box::new(sub),
             label: "z".into(),
+            bindings: None,
         };
         let mut ctx = ExecContext::new(&cat);
         let rows = execute(&plan, &mut ctx, &Env::new()).unwrap();
         assert_eq!(rows.len(), 4);
         assert_eq!(ctx.metrics.subquery_invocations, 4);
+        // Uncached: every outer row drains the (reused) inner tree.
+        assert_eq!(ctx.metrics.apply_invocations, 4);
+        assert_eq!(ctx.metrics.apply_cache_hits, 0);
         // x=(1,1): z = {10, 11}; x=(4,9): z = ∅ (dangling preserved!).
         let z1 = rows[0].get("z").unwrap().as_set().unwrap().len();
         assert_eq!(z1, 2);
         let z4 = rows[3].get("z").unwrap();
         assert_eq!(z4, &Value::empty_set());
+    }
+
+    #[test]
+    fn apply_memoizes_per_distinct_binding() {
+        let cat = catalog();
+        // X.b values are {1, 1, 3, 9}: 3 distinct bindings over 4 rows.
+        let sub = PhysPlan::Map {
+            input: Box::new(PhysPlan::Filter {
+                input: Box::new(PhysPlan::ScanTable {
+                    table: "Y".into(),
+                    var: "y".into(),
+                }),
+                pred: E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+            }),
+            expr: E::path("y", &["c"]),
+            var: "v".into(),
+        };
+        let mk = |bindings| PhysPlan::Apply {
+            input: Box::new(PhysPlan::ScanTable {
+                table: "X".into(),
+                var: "x".into(),
+            }),
+            subquery: Box::new(sub.clone()),
+            label: "z".into(),
+            bindings,
+        };
+        let cached = mk(Some(vec![E::path("x", &["b"])]));
+        let mut ctx = ExecContext::new(&cat);
+        let rows = execute(&cached, &mut ctx, &Env::new()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(ctx.metrics.subquery_invocations, 4, "logical count stays");
+        assert_eq!(ctx.metrics.apply_invocations, 3, "one drain per binding");
+        assert_eq!(ctx.metrics.apply_cache_hits, 1);
+        // Same rows as the uncached run.
+        let mut ctx2 = ExecContext::new(&cat);
+        let baseline = execute(&mk(None), &mut ctx2, &Env::new()).unwrap();
+        assert_eq!(rows, baseline);
+        // The resident gauge returns to zero once the cache is released.
+        assert_eq!(ctx.resident_rows(), 0);
+        assert!(ctx.metrics.peak_resident_rows > 0);
     }
 
     #[test]
@@ -295,6 +339,7 @@ mod tests {
             }),
             subquery: Box::new(sub),
             label: "z".into(),
+            bindings: None,
         };
         let mut ctx = ExecContext::with_config(&cat, &ExecConfig::default().batch_size(2));
         let (rows, profile) = execute_profiled(&plan, &mut ctx, &Env::new()).unwrap();

@@ -75,6 +75,19 @@ pub struct Metrics {
     /// operator re-checks the full predicate). Included in
     /// [`Metrics::total_work`]: each hit is a row fetched and re-checked.
     pub index_hits: u64,
+    /// Inner-plan executions actually performed by `Apply` operators
+    /// (cache misses plus uncached runs). With binding memoization this
+    /// drops from the outer row count to the *distinct* correlation-binding
+    /// count; `subquery_invocations` keeps counting one per outer row, so
+    /// the pair exposes the dedup ratio. Real work, included in
+    /// [`Metrics::total_work`].
+    pub apply_invocations: u64,
+    /// Outer rows answered from the Apply binding-memoization cache
+    /// instead of re-executing the inner plan. Each hit is a key
+    /// evaluation plus a map probe plus a result replay — cheap but not
+    /// free, so it is included in [`Metrics::total_work`] (the cost
+    /// model's `cache_probe × rows` term prices exactly this traffic).
+    pub apply_cache_hits: u64,
     /// High-water mark of rows resident in operator state at any point
     /// during execution: pipeline-breaker materializations (hash build
     /// sides, sort buffers, group tables), dedup sets, and carry-over
@@ -109,6 +122,8 @@ impl Metrics {
             + self.pool_misses
             + self.index_probes
             + self.index_hits
+            + self.apply_invocations
+            + self.apply_cache_hits
     }
 
     /// Buffer-pool hit fraction of this query's page traffic (1.0 when
@@ -140,6 +155,8 @@ impl AddAssign for Metrics {
         self.pool_misses += rhs.pool_misses;
         self.index_probes += rhs.index_probes;
         self.index_hits += rhs.index_hits;
+        self.apply_invocations += rhs.apply_invocations;
+        self.apply_cache_hits += rhs.apply_cache_hits;
         // Peak is a gauge: merging two runs keeps the higher water mark.
         self.peak_resident_rows = self.peak_resident_rows.max(rhs.peak_resident_rows);
     }
@@ -150,7 +167,7 @@ impl fmt::Display for Metrics {
         write!(
             f,
             "scanned={} cmp={} hbuild={} hprobe={} sorted={} emitted={} subq={} spilled={} \
-             parts={} batches={} peak={} phit={} pmiss={} iprobe={} ihit={}",
+             parts={} batches={} peak={} phit={} pmiss={} iprobe={} ihit={} ainv={} ahit={}",
             self.rows_scanned,
             self.comparisons,
             self.hash_build_rows,
@@ -165,7 +182,9 @@ impl fmt::Display for Metrics {
             self.pool_hits,
             self.pool_misses,
             self.index_probes,
-            self.index_hits
+            self.index_hits,
+            self.apply_invocations,
+            self.apply_cache_hits
         )
     }
 }
@@ -282,6 +301,30 @@ mod tests {
         );
         assert!(a.to_string().contains("iprobe=4"));
         assert!(a.to_string().contains("ihit=9"));
+    }
+
+    #[test]
+    fn apply_counters_are_work() {
+        let mut a = Metrics {
+            apply_invocations: 3,
+            apply_cache_hits: 5,
+            ..Metrics::new()
+        };
+        let b = Metrics {
+            apply_invocations: 1,
+            apply_cache_hits: 0,
+            ..Metrics::new()
+        };
+        a += b;
+        assert_eq!(a.apply_invocations, 4);
+        assert_eq!(a.apply_cache_hits, 5);
+        assert_eq!(
+            a.total_work(),
+            9,
+            "inner executions and cache probes are both work"
+        );
+        assert!(a.to_string().contains("ainv=4"));
+        assert!(a.to_string().contains("ahit=5"));
     }
 
     #[test]

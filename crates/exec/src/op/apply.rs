@@ -1,0 +1,513 @@
+//! Batched correlated Apply: operator reuse, binding memoization, and
+//! invariant hoisting.
+//!
+//! [`ApplyOp`] is the paper's baseline nested loop, made cheap along three
+//! axes. **Reuse**: the inner operator tree is built once and re-pointed at
+//! each outer row via [`Operator::rebind`] + `open`, so no per-row planning
+//! or allocation happens. **Memoization**: when the planner supplies
+//! binding expressions (the correlation values the inner result depends
+//! on), completed result sets are cached under the evaluated binding key —
+//! duplicate bindings replay the cached set, and the inner plan executes
+//! once per *distinct* binding. The cache is an LRU that respects
+//! [`crate::ExecConfig::memory_budget_rows`] through the shared resident
+//! gauge. **Hoisting** is the planner's side of the bargain:
+//! correlation-independent subtrees of the inner plan are wrapped in
+//! [`MaterializeOp`] (execute once, replay per re-open), and inner plans
+//! shaped `σ[var.attr = key](table)` with a correlation-dependent key
+//! become a [`HashProbeOp`] — one transient [`HashIndex`] build amortized
+//! across all bindings, one probe per binding instead of one full scan.
+//!
+//! Counters: `subquery_invocations` stays one per outer row (the logical
+//! nested-loop count), `apply_invocations` counts actual inner executions,
+//! and `apply_cache_hits` counts rows answered from the cache — so
+//! `ainv=`/`ahit=` in a profile expose exactly how much work memoization
+//! removed. Caching never changes results: keys cover every free variable
+//! of the inner plan, NULL bindings are cacheable values under the model's
+//! total order, and a failed key evaluation falls back to plain
+//! (uncached) execution.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use tmql_algebra::{eval, eval_predicate, Env, Plan, ScalarExpr};
+use tmql_model::{Record, Result, Value};
+use tmql_storage::HashIndex;
+
+use crate::exec::ExecContext;
+use crate::op::operator::{build, drain, Batch, BoxedOperator, OpStats, Operator};
+use crate::physical::PhysPlan;
+
+/// A memoized inner result: the completed subquery value set and its LRU
+/// stamp (monotonic use counter; smallest = least recently used).
+struct CacheEntry {
+    set: BTreeSet<Value>,
+    stamp: u64,
+}
+
+/// Correlated Apply with inner-plan reuse and binding memoization. Outer
+/// rows stream through batch-at-a-time; the subquery tree is built lazily
+/// on the first row and re-opened (never rebuilt) for every execution.
+pub struct ApplyOp<'p> {
+    child: BoxedOperator<'p>,
+    subquery: &'p PhysPlan,
+    label: &'p str,
+    /// `None` = memoization off (one execution per outer row);
+    /// `Some([])` = invariant subquery (single cached execution);
+    /// `Some(exprs)` = cache keyed on the evaluated expressions.
+    bindings: Option<&'p [ScalarExpr]>,
+    env: Env,
+    /// The long-lived inner operator tree (reused across rows via
+    /// rebind/open; kept across `close` so nested re-opens stay cheap).
+    inner: Option<BoxedOperator<'p>>,
+    cache: HashMap<Vec<Value>, CacheEntry>,
+    /// stamp → key index for O(log n) LRU eviction.
+    lru: BTreeMap<u64, Vec<Value>>,
+    next_stamp: u64,
+    /// Total rows held by cached sets (mirrored in the resident gauge
+    /// while the operator is open).
+    cache_rows: usize,
+    gauge_held: bool,
+    stats: OpStats,
+}
+
+impl<'p> ApplyOp<'p> {
+    /// Wrap the outer child; the inner tree is built on first demand.
+    pub fn new(
+        child: BoxedOperator<'p>,
+        subquery: &'p PhysPlan,
+        label: &'p str,
+        bindings: Option<&'p [ScalarExpr]>,
+        env: Env,
+    ) -> ApplyOp<'p> {
+        ApplyOp {
+            child,
+            subquery,
+            label,
+            bindings,
+            env,
+            inner: None,
+            cache: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+            cache_rows: 0,
+            gauge_held: false,
+            stats: OpStats::default(),
+        }
+    }
+
+    /// Execute the inner plan under `sub_env` (building the tree on first
+    /// use, rebinding it afterwards) and collapse the result to a set.
+    fn run_inner(&mut self, sub_env: &Env, ctx: &mut ExecContext<'_>) -> Result<BTreeSet<Value>> {
+        ctx.metrics.apply_invocations += 1;
+        let inner = match self.inner.as_mut() {
+            Some(op) => {
+                op.rebind(sub_env);
+                op
+            }
+            None => {
+                self.inner = Some(build(self.subquery, sub_env));
+                self.inner.as_mut().expect("just built")
+            }
+        };
+        inner.open(ctx)?;
+        let res = drain(inner, ctx);
+        inner.close(ctx);
+        Ok(res?.iter().map(Plan::row_output_value).collect())
+    }
+
+    /// Move `key` to the most-recently-used position.
+    fn touch(&mut self, key: &[Value]) {
+        if let Some(e) = self.cache.get_mut(key) {
+            self.lru.remove(&e.stamp);
+            e.stamp = self.next_stamp;
+            self.lru.insert(self.next_stamp, key.to_vec());
+            self.next_stamp += 1;
+        }
+    }
+
+    /// Insert a completed result under `key`, evicting LRU entries while
+    /// the cache would exceed the memory budget. A single result larger
+    /// than the whole budget is not cached at all.
+    fn insert(&mut self, key: Vec<Value>, set: BTreeSet<Value>, ctx: &mut ExecContext<'_>) {
+        let add = set.len();
+        if ctx.memory_budget_rows().is_some_and(|b| add > b) {
+            return;
+        }
+        while ctx.over_budget(self.cache_rows + add) {
+            let Some((_, old_key)) = self.lru.pop_first() else {
+                break;
+            };
+            if let Some(old) = self.cache.remove(&old_key) {
+                self.cache_rows -= old.set.len();
+                ctx.resident_release(old.set.len());
+            }
+        }
+        ctx.resident_acquire(add);
+        self.cache_rows += add;
+        self.lru.insert(self.next_stamp, key.clone());
+        self.cache.insert(
+            key,
+            CacheEntry {
+                set,
+                stamp: self.next_stamp,
+            },
+        );
+        self.next_stamp += 1;
+    }
+}
+
+impl Operator for ApplyOp<'_> {
+    fn label(&self) -> String {
+        match self.bindings {
+            None => "Apply".into(),
+            Some([]) => "Apply[once]".into(),
+            Some(_) => "Apply[memo]".into(),
+        }
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        // The cache survives close/open cycles (a nested Apply re-opens
+        // this operator once per enclosing binding); only its footprint
+        // leaves and re-enters the resident gauge.
+        if !self.gauge_held {
+            ctx.resident_acquire(self.cache_rows);
+            self.gauge_held = true;
+        }
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        let Some(b) = self.child.pull(ctx)? else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(b.len());
+        for row in b.rows {
+            let mut sub_env = self.env.clone();
+            sub_env.push_row(&row);
+            ctx.metrics.subquery_invocations += 1;
+            let set = match self.bindings {
+                None => self.run_inner(&sub_env, ctx)?,
+                Some(exprs) => {
+                    // A key evaluation failure must not fail the query
+                    // (the expression might never be reached under the
+                    // inner plan's own evaluation order) — run uncached.
+                    let key: std::result::Result<Vec<Value>, _> = exprs
+                        .iter()
+                        .map(|e| eval(e, &mut sub_env.clone()))
+                        .collect();
+                    match key {
+                        Err(_) => self.run_inner(&sub_env, ctx)?,
+                        Ok(key) => {
+                            if let Some(e) = self.cache.get(&key) {
+                                ctx.metrics.apply_cache_hits += 1;
+                                let set = e.set.clone();
+                                self.touch(&key);
+                                set
+                            } else {
+                                let set = self.run_inner(&sub_env, ctx)?;
+                                self.insert(key, set.clone(), ctx);
+                                set
+                            }
+                        }
+                    }
+                }
+            };
+            out.push(row.extend_field(self.label, Value::Set(set))?);
+        }
+        Ok(Some(Batch::new(out)))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        if self.gauge_held {
+            ctx.resident_release(self.cache_rows);
+            self.gauge_held = false;
+        }
+        if let Some(inner) = self.inner.as_mut() {
+            inner.close(ctx);
+        }
+        self.child.close(ctx);
+    }
+
+    fn rebind(&mut self, env: &Env) {
+        // Cache entries stay valid across rebinds: keys cover *all* free
+        // variables of the subquery, including ones bound by enclosing
+        // Apply operators.
+        self.env = env.clone();
+        self.child.rebind(env);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        // The inner tree is instantiated per binding and does not appear
+        // in the executed profile (mirrors the cost model's exec-order
+        // walk, which skips the Apply subquery).
+        vec![self.child.as_ref()]
+    }
+}
+
+/// Replay buffer around a correlation-independent subtree of an Apply
+/// inner plan: the child runs once, re-opens replay the buffer. If the
+/// buffer would exceed the memory budget the operator degrades to
+/// pass-through (the child re-executes per open — exactly the un-hoisted
+/// behavior, so hoisting never costs memory it doesn't have).
+pub struct MaterializeOp<'p> {
+    child: BoxedOperator<'p>,
+    /// Completed replay buffer (kept across close/open).
+    buffer: Option<Vec<Record>>,
+    /// Rows accumulated during the first execution.
+    filling: Vec<Record>,
+    cursor: usize,
+    /// Set once the first execution overflowed the budget; from then on
+    /// every open streams the child directly.
+    overflowed: bool,
+    /// Rows currently counted in the resident gauge.
+    acquired: usize,
+    stats: OpStats,
+}
+
+impl<'p> MaterializeOp<'p> {
+    /// Wrap a hoisted child subtree.
+    pub fn new(child: BoxedOperator<'p>) -> MaterializeOp<'p> {
+        MaterializeOp {
+            child,
+            buffer: None,
+            filling: Vec::new(),
+            cursor: 0,
+            overflowed: false,
+            acquired: 0,
+            stats: OpStats::default(),
+        }
+    }
+}
+
+impl Operator for MaterializeOp<'_> {
+    fn label(&self) -> String {
+        "Materialize".into()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        ctx.resident_release(self.acquired);
+        self.acquired = 0;
+        self.filling.clear();
+        self.cursor = 0;
+        if let Some(buf) = &self.buffer {
+            // Replay answers everything; the child stays closed.
+            ctx.resident_acquire(buf.len());
+            self.acquired = buf.len();
+            return Ok(());
+        }
+        self.child.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        let n = ctx.batch_size();
+        loop {
+            if let Some(buf) = &self.buffer {
+                if self.cursor >= buf.len() {
+                    return Ok(None);
+                }
+                let end = (self.cursor + n).min(buf.len());
+                let rows = buf[self.cursor..end].to_vec();
+                self.cursor = end;
+                return Ok(Some(Batch::new(rows)));
+            }
+            if self.overflowed {
+                return self.child.pull(ctx);
+            }
+            match self.child.pull(ctx)? {
+                None => {
+                    self.buffer = Some(std::mem::take(&mut self.filling));
+                    // `acquired` already covers the buffer.
+                }
+                Some(b) => {
+                    ctx.resident_acquire(b.len());
+                    self.acquired += b.len();
+                    self.filling.extend(b.rows);
+                    if ctx.over_budget(self.filling.len()) {
+                        // Too big to hold: drop the buffer and degrade to
+                        // pass-through, restarting the child's stream.
+                        ctx.resident_release(self.acquired);
+                        self.acquired = 0;
+                        self.filling.clear();
+                        self.overflowed = true;
+                        self.child.open(ctx)?;
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        ctx.resident_release(self.acquired);
+        self.acquired = 0;
+        self.filling.clear();
+        self.child.close(ctx);
+    }
+
+    fn rebind(&mut self, env: &Env) {
+        // The subtree is correlation-independent by construction, so the
+        // buffer stays valid; the child still recurses for uniformity.
+        self.child.rebind(env);
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+/// Transient-hash-index scan for Apply inner plans shaped
+/// `σ[var.attr = key](table)` with a correlation-dependent key: builds a
+/// [`HashIndex`] over `table.attr` on first demand, keeps it across
+/// re-opens, and answers each open with one equality probe. Probes return
+/// candidate **supersets** (int/float promotion, NaN totality — the same
+/// widening as [`tmql_storage::OrdIndex`]), and the full predicate is
+/// re-checked per candidate, so results match the scan+filter exactly. If
+/// the key evaluation fails, the operator degrades to a full position
+/// scan, which reproduces plain filter semantics.
+pub struct HashProbeOp<'p> {
+    table: &'p str,
+    var: &'p str,
+    attr: &'p str,
+    key: &'p ScalarExpr,
+    pred: &'p ScalarExpr,
+    env: Env,
+    /// Built on first demand, kept across open/close.
+    index: Option<HashIndex>,
+    /// Rows the index covers (its resident-gauge footprint).
+    indexed_rows: usize,
+    /// Candidate positions for the current open's key, ascending.
+    positions: Option<Vec<usize>>,
+    cursor: usize,
+    gauge_held: bool,
+    stats: OpStats,
+}
+
+impl<'p> HashProbeOp<'p> {
+    /// New probe operator; the index is built on first `next_batch`.
+    pub fn new(
+        table: &'p str,
+        var: &'p str,
+        attr: &'p str,
+        key: &'p ScalarExpr,
+        pred: &'p ScalarExpr,
+        env: Env,
+    ) -> HashProbeOp<'p> {
+        HashProbeOp {
+            table,
+            var,
+            attr,
+            key,
+            pred,
+            env,
+            index: None,
+            indexed_rows: 0,
+            positions: None,
+            cursor: 0,
+            gauge_held: false,
+            stats: OpStats::default(),
+        }
+    }
+}
+
+impl Operator for HashProbeOp<'_> {
+    fn label(&self) -> String {
+        format!("HashProbe({}.{})", self.table, self.attr)
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.positions = None;
+        self.cursor = 0;
+        if self.index.is_some() && !self.gauge_held {
+            ctx.resident_acquire(self.indexed_rows);
+            self.gauge_held = true;
+        }
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
+        if self.index.is_none() {
+            let t = ctx.catalog.table(self.table)?;
+            let built = HashIndex::build(t, self.attr)?;
+            self.indexed_rows = t.len();
+            ctx.metrics.hash_build_rows += self.indexed_rows as u64;
+            ctx.resident_acquire(self.indexed_rows);
+            self.gauge_held = true;
+            self.index = Some(built);
+        }
+        if self.positions.is_none() {
+            let idx = self.index.as_ref().expect("built above");
+            let positions = match eval(self.key, &mut self.env) {
+                Ok(key) => idx.probe_eq(&key),
+                // Key evaluation failed: fall back to checking every row
+                // (plain scan+filter semantics).
+                Err(_) => (0..self.indexed_rows).collect(),
+            };
+            ctx.metrics.index_probes += 1;
+            ctx.metrics.index_hits += positions.len() as u64;
+            self.positions = Some(positions);
+            self.cursor = 0;
+        }
+        let n = ctx.batch_size();
+        let t = ctx.catalog.table(self.table)?;
+        loop {
+            let positions = self.positions.as_ref().expect("probed above");
+            if self.cursor >= positions.len() {
+                return Ok(None);
+            }
+            let end = (self.cursor + n).min(positions.len());
+            let chunk = &positions[self.cursor..end];
+            self.cursor = end;
+            let candidates = t.fetch_rows(chunk)?;
+            let mut rows = Vec::with_capacity(candidates.len());
+            for row in candidates {
+                let r = Record::new([(self.var.to_string(), Value::Tuple(row))])?;
+                ctx.metrics.comparisons += 1;
+                if crate::op::with_row(&mut self.env, &r, |e| eval_predicate(self.pred, e))? {
+                    rows.push(r);
+                }
+            }
+            if !rows.is_empty() {
+                return Ok(Some(Batch::new(rows)));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) {
+        self.positions = None;
+        self.cursor = 0;
+        if self.gauge_held {
+            ctx.resident_release(self.indexed_rows);
+            self.gauge_held = false;
+        }
+    }
+
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![]
+    }
+}

@@ -8,6 +8,7 @@
 //! streaming operator tree that drives them batch-at-a-time is in
 //! [`operator`].
 
+pub mod apply;
 pub mod exchange;
 pub mod group;
 pub mod hash;

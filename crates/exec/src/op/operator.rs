@@ -19,11 +19,13 @@
 //! see [`crate::op::spill`].
 //!
 //! The operator tree borrows the [`PhysPlan`] it was built from (no
-//! expression cloning) and owns only its correlation [`Env`], so
-//! [`Apply`](PhysPlan::Apply) can rebuild its subquery tree per outer row —
-//! the true nested loop the paper's unnesting removes.
+//! expression cloning) and owns only its correlation [`Env`].
+//! [`Apply`](PhysPlan::Apply) builds its subquery tree **once** and
+//! re-opens it per outer row through [`Operator::rebind`] — the true
+//! nested loop the paper's unnesting removes, without per-row planning or
+//! allocation (see [`crate::op::apply`]).
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 
 use tmql_algebra::{eval, eval_predicate, Env, Plan, ScalarExpr};
@@ -88,6 +90,12 @@ pub trait Operator {
 
     /// Reset to the start of the stream and open children.
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()>;
+
+    /// Replace the correlation environment wholesale and recurse into
+    /// children. `Apply` uses this to re-point one long-lived subquery
+    /// tree at the next outer row's bindings before re-`open`ing it;
+    /// stream state is untouched (that is `open`'s job).
+    fn rebind(&mut self, env: &Env);
 
     /// Produce the next batch, or `None` when exhausted.
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>>;
@@ -517,13 +525,31 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
             input,
             subquery,
             label,
-        } => Box::new(ApplyOp {
-            child: build(input, env),
+            bindings,
+        } => Box::new(crate::op::apply::ApplyOp::new(
+            build(input, env),
             subquery,
             label,
-            env: env.clone(),
-            stats: OpStats::default(),
-        }),
+            bindings.as_deref(),
+            env.clone(),
+        )),
+        PhysPlan::Materialize { input } => {
+            Box::new(crate::op::apply::MaterializeOp::new(build(input, env)))
+        }
+        PhysPlan::HashProbe {
+            table,
+            var,
+            attr,
+            key,
+            pred,
+        } => Box::new(crate::op::apply::HashProbeOp::new(
+            table,
+            var,
+            attr,
+            key,
+            pred,
+            env.clone(),
+        )),
     }
 }
 
@@ -535,11 +561,14 @@ pub fn build<'p>(plan: &'p PhysPlan, env: &Env) -> BoxedOperator<'p> {
 /// [`tmql_storage::Table::batch`], never cloning the whole extension.
 ///
 /// With [`ExecContext::threads`] > 1 the scan becomes morsel-driven: each
-/// refill issues one wave of `threads` batch-sized row ranges (morsels) to
+/// refill issues one wave of `threads` consecutive row ranges (morsels) to
 /// scoped workers — disk-backed tables fault their pages in concurrently
 /// through the latch-based buffer pool — and gathers the results in range
 /// order into a carry queue, so emitted batches keep the exact serial
-/// order and sizes.
+/// order and sizes. Morsels are `⌈batch_size / threads⌉` rows each, so a
+/// wave holds roughly **one** batch in flight regardless of the worker
+/// count: `peak_resident_rows` stays bounded by `O(batch_size)` instead of
+/// growing as `threads × batch_size`.
 struct ScanTableOp<'p> {
     table: &'p str,
     var: &'p str,
@@ -588,12 +617,14 @@ impl Operator for ScanTableOp<'_> {
             if self.exhausted {
                 return Ok(None);
             }
-            // One wave: `threads` consecutive morsels, gathered in order.
+            // One wave: `threads` consecutive morsels totalling about one
+            // batch, gathered in order.
             let t = ctx.catalog.table(self.table)?;
             let var = self.var;
-            let starts: Vec<usize> = (0..threads).map(|i| self.pos + i * n).collect();
+            let m = n.div_ceil(threads).max(1);
+            let starts: Vec<usize> = (0..threads).map(|i| self.pos + i * m).collect();
             let results = exchange::scatter(threads, starts, |start| -> Result<Vec<Record>> {
-                let chunk = t.batch(start, n)?;
+                let chunk = t.batch(start, m)?;
                 let mut rows = Vec::with_capacity(chunk.len());
                 for row in chunk {
                     rows.push(Record::new([(var.to_string(), Value::Tuple(row))])?);
@@ -602,7 +633,7 @@ impl Operator for ScanTableOp<'_> {
             });
             for res in results {
                 let rows = res?;
-                if rows.len() < n {
+                if rows.len() < m {
                     self.exhausted = true;
                 }
                 self.pos += rows.len();
@@ -620,6 +651,8 @@ impl Operator for ScanTableOp<'_> {
         ctx.resident_release(self.carry.len());
         self.carry.clear();
     }
+
+    fn rebind(&mut self, _env: &Env) {}
 
     fn stats(&self) -> OpStats {
         self.stats
@@ -729,6 +762,10 @@ impl Operator for IndexScanOp<'_> {
         self.cursor = 0;
     }
 
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+    }
+
     fn stats(&self) -> OpStats {
         self.stats
     }
@@ -834,6 +871,10 @@ impl Operator for ScanExprOp<'_> {
         self.release(ctx);
     }
 
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+    }
+
     fn stats(&self) -> OpStats {
         self.stats
     }
@@ -890,6 +931,11 @@ impl Operator for FilterOp<'_> {
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
         self.child.close(ctx);
+    }
+
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+        self.child.rebind(env);
     }
 
     fn stats(&self) -> OpStats {
@@ -969,6 +1015,11 @@ impl Operator for MapOp<'_> {
         self.child.close(ctx);
     }
 
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+        self.child.rebind(env);
+    }
+
     fn stats(&self) -> OpStats {
         self.stats
     }
@@ -1014,6 +1065,11 @@ impl Operator for ExtendOp<'_> {
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
         self.child.close(ctx);
+    }
+
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+        self.child.rebind(env);
     }
 
     fn stats(&self) -> OpStats {
@@ -1088,6 +1144,10 @@ impl Operator for ProjectOp<'_> {
         self.child.close(ctx);
     }
 
+    fn rebind(&mut self, env: &Env) {
+        self.child.rebind(env);
+    }
+
     fn stats(&self) -> OpStats {
         self.stats
     }
@@ -1156,6 +1216,11 @@ impl Operator for UnnestOp<'_> {
         ctx.resident_release(self.carry.len());
         self.carry.clear();
         self.child.close(ctx);
+    }
+
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+        self.child.rebind(env);
     }
 
     fn stats(&self) -> OpStats {
@@ -1332,6 +1397,12 @@ impl Operator for NlJoinOp<'_> {
         self.right.close(ctx);
     }
 
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+        self.left.rebind(env);
+        self.right.rebind(env);
+    }
+
     fn stats(&self) -> OpStats {
         self.stats
     }
@@ -1463,6 +1534,11 @@ impl Operator for IndexNLJoinOp<'_> {
         ctx.resident_release(self.carry.len());
         self.carry.clear();
         self.left.close(ctx);
+    }
+
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+        self.left.rebind(env);
     }
 
     fn stats(&self) -> OpStats {
@@ -1796,6 +1872,12 @@ impl Operator for HashJoinOp<'_> {
         self.right.close(ctx);
     }
 
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+        self.left.rebind(env);
+        self.right.rebind(env);
+    }
+
     fn stats(&self) -> OpStats {
         self.stats
     }
@@ -2004,6 +2086,11 @@ impl Operator for UnaryBreaker<'_> {
         }
         self.grace = None;
         self.child.close(ctx);
+    }
+
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+        self.child.rebind(env);
     }
 
     fn stats(&self) -> OpStats {
@@ -2283,6 +2370,12 @@ impl Operator for BinaryBreaker<'_> {
         self.right.close(ctx);
     }
 
+    fn rebind(&mut self, env: &Env) {
+        self.env = env.clone();
+        self.left.rebind(env);
+        self.right.rebind(env);
+    }
+
     fn stats(&self) -> OpStats {
         self.stats
     }
@@ -2293,67 +2386,6 @@ impl Operator for BinaryBreaker<'_> {
 
     fn children(&self) -> Vec<&dyn Operator> {
         vec![self.left.as_ref(), self.right.as_ref()]
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Apply
-// ---------------------------------------------------------------------------
-
-/// Correlated Apply — the paper's baseline, now streaming: outer rows flow
-/// through batch-at-a-time (never materialized as a whole), and for each
-/// outer row the subquery operator tree is instantiated with the row's
-/// bindings pushed onto the correlation environment.
-struct ApplyOp<'p> {
-    child: BoxedOperator<'p>,
-    subquery: &'p PhysPlan,
-    label: &'p str,
-    env: Env,
-    stats: OpStats,
-}
-
-impl Operator for ApplyOp<'_> {
-    fn label(&self) -> String {
-        "Apply".into()
-    }
-
-    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
-        self.child.open(ctx)
-    }
-
-    fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
-        let Some(b) = self.child.pull(ctx)? else {
-            return Ok(None);
-        };
-        let mut out = Vec::with_capacity(b.len());
-        for row in b.rows {
-            let mut sub_env = self.env.clone();
-            sub_env.push_row(&row);
-            ctx.metrics.subquery_invocations += 1;
-            let mut sub = build(self.subquery, &sub_env);
-            sub.open(ctx)?;
-            let res = drain(&mut sub, ctx);
-            sub.close(ctx);
-            let set: BTreeSet<Value> = res?.iter().map(Plan::row_output_value).collect();
-            out.push(row.extend_field(self.label, Value::Set(set))?);
-        }
-        Ok(Some(Batch::new(out)))
-    }
-
-    fn close(&mut self, ctx: &mut ExecContext<'_>) {
-        self.child.close(ctx);
-    }
-
-    fn stats(&self) -> OpStats {
-        self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut OpStats {
-        &mut self.stats
-    }
-
-    fn children(&self) -> Vec<&dyn Operator> {
-        vec![self.child.as_ref()]
     }
 }
 
@@ -2394,7 +2426,9 @@ mod tests {
             table: "X".into(),
             var: "x".into(),
         };
-        let mut ctx = ExecContext::with_config(&cat, &ExecConfig::default().batch_size(3));
+        // Serial: the exact shape is pinned — full batches then the rest.
+        let mut ctx =
+            ExecContext::with_config(&cat, &ExecConfig::default().batch_size(3).threads(1));
         let mut root = build(&plan, &Env::new());
         root.open(&mut ctx).unwrap();
         let mut sizes = Vec::new();
@@ -2405,6 +2439,18 @@ mod tests {
         root.close(&mut ctx);
         assert_eq!(sizes, vec![3, 3, 3, 1]);
         assert_eq!(ctx.metrics.batches_emitted, 4);
+        assert_eq!(ctx.metrics.rows_scanned, 10);
+        // Parallel waves may cut differently (⌈batch/threads⌉-row
+        // morsels), but the cap and the row total are invariant.
+        let mut ctx =
+            ExecContext::with_config(&cat, &ExecConfig::default().batch_size(3).threads(4));
+        let mut root = build(&plan, &Env::new());
+        root.open(&mut ctx).unwrap();
+        while let Some(b) = root.pull(&mut ctx).unwrap() {
+            assert!(!b.is_empty(), "operators never emit empty batches");
+            assert!(b.len() <= 3, "batch overflows batch_size: {}", b.len());
+        }
+        root.close(&mut ctx);
         assert_eq!(ctx.metrics.rows_scanned, 10);
     }
 

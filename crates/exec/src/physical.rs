@@ -227,7 +227,11 @@ pub enum PhysPlan {
         var: String,
     },
     /// Correlated apply — a true nested loop over subquery executions; the
-    /// paper's baseline.
+    /// paper's baseline. The executor builds the inner operator tree
+    /// **once** and re-opens it per outer row (operator reuse); with
+    /// `bindings` present it additionally memoizes completed inner result
+    /// sets by the evaluated binding values, so the inner plan runs once
+    /// per *distinct* binding.
     Apply {
         /// Outer plan.
         input: Box<PhysPlan>,
@@ -235,6 +239,41 @@ pub enum PhysPlan {
         subquery: Box<PhysPlan>,
         /// Label bound to the subquery result set.
         label: String,
+        /// Correlation-binding key expressions the inner result depends
+        /// on: `None` disables memoization (one inner execution per outer
+        /// row); `Some(vec![])` marks an invariant subquery (a single
+        /// cached execution answers every row); `Some(exprs)` keys the
+        /// cache on the evaluated expressions.
+        bindings: Option<Vec<ScalarExpr>>,
+    },
+    /// Replay buffer around a correlation-independent subtree inside an
+    /// Apply inner plan: the child executes once on first demand, later
+    /// re-opens replay the buffered rows. Falls back to pass-through
+    /// re-execution when the buffer would exceed the memory budget.
+    Materialize {
+        /// The hoisted (correlation-independent) subtree.
+        input: Box<PhysPlan>,
+    },
+    /// Transient-hash-index scan: build a [`tmql_storage::HashIndex`] on
+    /// `table.attr` on first open (there is no persistent index to use),
+    /// keep it across re-opens, and answer each open by probing `key`.
+    /// Chosen for Apply inner plans shaped `σ[var.attr = key](table)`
+    /// where `key` is correlation-dependent: the build cost is paid once,
+    /// each distinct binding pays one probe instead of one full scan.
+    /// Like `IndexScan`, the probe yields a candidate superset and `pred`
+    /// is re-checked per candidate.
+    HashProbe {
+        /// Probed stored table.
+        table: String,
+        /// Binding variable.
+        var: String,
+        /// Hashed attribute.
+        attr: String,
+        /// Equality key expression (correlation-dependent, constant
+        /// w.r.t. the scan variable).
+        key: ScalarExpr,
+        /// Full selection predicate, re-evaluated per candidate row.
+        pred: ScalarExpr,
     },
     /// Set operation on output values.
     SetOp {
@@ -272,7 +311,13 @@ impl PhysPlan {
             PhysPlan::Nest { star, .. } => if *star { "Nest[ν*]" } else { "Nest[ν]" }.into(),
             PhysPlan::Unnest { .. } => "Unnest".into(),
             PhysPlan::GroupAgg { .. } => "GroupAgg".into(),
-            PhysPlan::Apply { .. } => "Apply".into(),
+            PhysPlan::Apply { bindings, .. } => match bindings {
+                None => "Apply".into(),
+                Some(b) if b.is_empty() => "Apply[once]".into(),
+                Some(_) => "Apply[memo]".into(),
+            },
+            PhysPlan::Materialize { .. } => "Materialize".into(),
+            PhysPlan::HashProbe { table, attr, .. } => format!("HashProbe({table}.{attr})"),
             PhysPlan::SetOp { .. } => "SetOp".into(),
         }
     }
@@ -280,7 +325,10 @@ impl PhysPlan {
     /// Children, left to right.
     pub fn children(&self) -> Vec<&PhysPlan> {
         match self {
-            PhysPlan::ScanTable { .. } | PhysPlan::IndexScan { .. } | PhysPlan::ScanExpr { .. } => {
+            PhysPlan::ScanTable { .. }
+            | PhysPlan::IndexScan { .. }
+            | PhysPlan::ScanExpr { .. }
+            | PhysPlan::HashProbe { .. } => {
                 vec![]
             }
             PhysPlan::IndexNLJoin { left, .. } => vec![left],
@@ -290,7 +338,8 @@ impl PhysPlan {
             | PhysPlan::Project { input, .. }
             | PhysPlan::Nest { input, .. }
             | PhysPlan::Unnest { input, .. }
-            | PhysPlan::GroupAgg { input, .. } => vec![input],
+            | PhysPlan::GroupAgg { input, .. }
+            | PhysPlan::Materialize { input } => vec![input],
             PhysPlan::NlJoin { left, right, .. }
             | PhysPlan::HashJoin { left, right, .. }
             | PhysPlan::MergeJoin { left, right, .. }
@@ -376,6 +425,42 @@ mod tests {
         };
         assert_eq!(join.op_label(), "IndexNLJoin[semijoin](S.b)");
         assert_eq!(join.children().len(), 1, "the probed inner is no child");
+    }
+
+    #[test]
+    fn apply_labels_show_the_caching_decision() {
+        let scan = |t: &str, v: &str| {
+            Box::new(PhysPlan::ScanTable {
+                table: t.into(),
+                var: v.into(),
+            })
+        };
+        let apply = |bindings: Option<Vec<ScalarExpr>>| PhysPlan::Apply {
+            input: scan("X", "x"),
+            subquery: scan("Y", "y"),
+            label: "z".into(),
+            bindings,
+        };
+        assert_eq!(apply(None).op_label(), "Apply");
+        assert_eq!(apply(Some(vec![])).op_label(), "Apply[once]");
+        assert_eq!(
+            apply(Some(vec![E::path("x", &["b"])])).op_label(),
+            "Apply[memo]"
+        );
+        let probe = PhysPlan::HashProbe {
+            table: "Y".into(),
+            var: "y".into(),
+            attr: "b".into(),
+            key: E::path("x", &["b"]),
+            pred: E::lit(true),
+        };
+        assert_eq!(probe.op_label(), "HashProbe(Y.b)");
+        assert!(probe.children().is_empty());
+        let mat = PhysPlan::Materialize {
+            input: scan("Y", "y"),
+        };
+        assert_eq!(mat.op_label(), "Materialize");
+        assert_eq!(mat.children().len(), 1);
     }
 
     #[test]

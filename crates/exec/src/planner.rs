@@ -205,6 +205,193 @@ pub fn index_selection(
     })
 }
 
+/// The correlation-binding expressions of an `Apply` subquery: the outer
+/// environment expressions (`o`, `o.b`, …) the subquery's result can
+/// depend on. These are the memoization keys of the executor's Apply
+/// cache and the NDV source of the cost model's distinct-binding pricing.
+/// An empty vector means the subquery is invariant — one execution serves
+/// every outer row. Field paths are kept as paths (the cache then hits
+/// whenever `o.b` repeats, not just when the whole row does); a whole-row
+/// reference `o` subsumes every `o.*` path. Sorted and deduplicated so
+/// equal subqueries yield identical keys.
+pub fn apply_bindings(subquery: &Plan) -> Vec<ScalarExpr> {
+    let corr = subquery.free_vars();
+    let mut out = Vec::new();
+    plan_bindings(subquery, &corr, &mut out);
+    out.sort_by_key(|e| format!("{e:?}"));
+    out.dedup();
+    let whole: BTreeSet<String> = out
+        .iter()
+        .filter_map(|e| match e {
+            ScalarExpr::Var(v) => Some(v.clone()),
+            _ => None,
+        })
+        .collect();
+    out.retain(|e| match e {
+        ScalarExpr::Field(inner, _) => !matches!(&**inner, ScalarExpr::Var(v) if whole.contains(v)),
+        _ => true,
+    });
+    out
+}
+
+/// Collect correlation references from one plan node's expressions, then
+/// recurse. `corr` is the candidate outer-variable set; each node's
+/// expressions see its children's output variables, which shadow
+/// same-named outer variables.
+fn plan_bindings(plan: &Plan, corr: &BTreeSet<String>, out: &mut Vec<ScalarExpr>) {
+    let ov = |p: &Plan| -> BTreeSet<String> { p.output_vars().into_iter().collect() };
+    match plan {
+        Plan::ScanTable { .. } | Plan::Project { .. } | Plan::SetOp { .. } => {}
+        Plan::ScanExpr { expr, .. } => expr_bindings(expr, corr, &BTreeSet::new(), out),
+        Plan::Select { input, pred } => expr_bindings(pred, corr, &ov(input), out),
+        Plan::Map { input, expr, .. } | Plan::Extend { input, expr, .. } => {
+            expr_bindings(expr, corr, &ov(input), out)
+        }
+        Plan::Join { left, right, pred }
+        | Plan::SemiJoin { left, right, pred }
+        | Plan::AntiJoin { left, right, pred }
+        | Plan::LeftOuterJoin { left, right, pred } => {
+            let mut vis = ov(left);
+            vis.extend(ov(right));
+            expr_bindings(pred, corr, &vis, out);
+        }
+        Plan::NestJoin {
+            left,
+            right,
+            pred,
+            func,
+            ..
+        } => {
+            let mut vis = ov(left);
+            vis.extend(ov(right));
+            expr_bindings(pred, corr, &vis, out);
+            expr_bindings(func, corr, &vis, out);
+        }
+        Plan::Nest { input, value, .. } => expr_bindings(value, corr, &ov(input), out),
+        Plan::Unnest { input, expr, .. } => expr_bindings(expr, corr, &ov(input), out),
+        Plan::GroupAgg {
+            input, keys, aggs, ..
+        } => {
+            let vis = ov(input);
+            for (_, k) in keys {
+                expr_bindings(k, corr, &vis, out);
+            }
+            for (_, _, e) in aggs {
+                expr_bindings(e, corr, &vis, out);
+            }
+        }
+        Plan::Apply {
+            input, subquery, ..
+        } => {
+            // A nested Apply binds its input's variables inside its own
+            // subquery; those shadow same-named outer variables there.
+            plan_bindings(input, corr, out);
+            let shadow = ov(input);
+            let inner: BTreeSet<String> = corr.difference(&shadow).cloned().collect();
+            plan_bindings(subquery, &inner, out);
+            return;
+        }
+    }
+    for c in plan.children() {
+        plan_bindings(c, corr, out);
+    }
+}
+
+/// Record references to unshadowed correlation variables in `e`: a bare
+/// `Var(v)` or a field path `v.f` directly off one. Deeper paths key on
+/// their first level (`o.a` determines `o.a.b`, so the coarser key is
+/// still sound).
+fn expr_bindings(
+    e: &ScalarExpr,
+    corr: &BTreeSet<String>,
+    visible: &BTreeSet<String>,
+    out: &mut Vec<ScalarExpr>,
+) {
+    use ScalarExpr as E;
+    match e {
+        E::Lit(_) => {}
+        E::Var(v) => {
+            if corr.contains(v) && !visible.contains(v) {
+                out.push(e.clone());
+            }
+        }
+        E::Field(inner, _) => {
+            if let E::Var(v) = &**inner {
+                if corr.contains(v) && !visible.contains(v) {
+                    out.push(e.clone());
+                }
+            } else {
+                expr_bindings(inner, corr, visible, out);
+            }
+        }
+        E::Not(a) | E::Agg(_, a) | E::Unnest(a) | E::IsNull(a) => {
+            expr_bindings(a, corr, visible, out)
+        }
+        E::Cmp(_, a, b)
+        | E::Arith(_, a, b)
+        | E::And(a, b)
+        | E::Or(a, b)
+        | E::SetBin(_, a, b)
+        | E::SetCmp(_, a, b) => {
+            expr_bindings(a, corr, visible, out);
+            expr_bindings(b, corr, visible, out);
+        }
+        E::Tuple(fs) => {
+            for (_, x) in fs {
+                expr_bindings(x, corr, visible, out);
+            }
+        }
+        E::SetLit(xs) => {
+            for x in xs {
+                expr_bindings(x, corr, visible, out);
+            }
+        }
+        E::Quant {
+            var, over, pred, ..
+        } => {
+            expr_bindings(over, corr, visible, out);
+            let mut vis = visible.clone();
+            vis.insert(var.clone());
+            expr_bindings(pred, corr, &vis, out);
+        }
+    }
+}
+
+/// Decompose some conjunct of `pred` as `var.attr = key` (either
+/// orientation) where `key` does not reference `var` — the shape a
+/// transient hash index can probe per distinct key. Unlike
+/// [`indexed_cmp`] no persistent index is required; the caller prices the
+/// build. Returns `(attr, key, covered_conjunct)`.
+pub(crate) fn eq_probe_candidate(
+    pred: &ScalarExpr,
+    var: &str,
+) -> Option<(String, ScalarExpr, ScalarExpr)> {
+    for conj in split_conjuncts(pred) {
+        let ScalarExpr::Cmp(tmql_algebra::CmpOp::Eq, a, b) = &conj else {
+            continue;
+        };
+        let col_of = |e: &ScalarExpr| -> Option<String> {
+            if let ScalarExpr::Field(inner, col) = e {
+                if matches!(&**inner, ScalarExpr::Var(v) if v == var) {
+                    return Some(col.clone());
+                }
+            }
+            None
+        };
+        if let Some(attr) = col_of(a) {
+            if !b.free_vars().contains(var) {
+                return Some((attr, (**b).clone(), conj.clone()));
+            }
+        }
+        if let Some(attr) = col_of(b) {
+            if !a.free_vars().contains(var) {
+                return Some((attr, (**a).clone(), conj.clone()));
+            }
+        }
+    }
+    None
+}
+
 /// Lower a logical plan to a physical plan.
 pub fn lower(plan: &Plan, catalog: &Catalog, config: &ExecConfig) -> Result<PhysPlan> {
     Ok(match plan {
@@ -324,11 +511,29 @@ pub fn lower(plan: &Plan, catalog: &Catalog, config: &ExecConfig) -> Result<Phys
             input,
             subquery,
             label,
-        } => PhysPlan::Apply {
-            input: Box::new(lower(input, catalog, config)?),
-            subquery: Box::new(lower(subquery, catalog, config)?),
-            label: label.clone(),
-        },
+        } => {
+            // Batched Apply (gated on `apply_cache` so `false` is the
+            // faithful legacy per-row baseline): memoize inner results by
+            // the correlation bindings, and hoist correlation-independent
+            // work out of the per-binding path — either as a transient
+            // hash probe (the whole inner plan is an eq-selection on the
+            // binding) or as materialized subtrees.
+            if !config.apply_cache {
+                return Ok(PhysPlan::Apply {
+                    input: Box::new(lower(input, catalog, config)?),
+                    subquery: Box::new(lower(subquery, catalog, config)?),
+                    label: label.clone(),
+                    bindings: None,
+                });
+            }
+            let bindings = apply_bindings(subquery);
+            PhysPlan::Apply {
+                input: Box::new(lower(input, catalog, config)?),
+                subquery: Box::new(lower_apply_inner(input, subquery, catalog, config)?),
+                label: label.clone(),
+                bindings: Some(bindings),
+            }
+        }
         Plan::SetOp {
             kind,
             left,
@@ -341,6 +546,277 @@ pub fn lower(plan: &Plan, catalog: &Catalog, config: &ExecConfig) -> Result<Phys
             var: var.clone(),
         },
     })
+}
+
+/// Lower an `Apply` subquery with invariant hoisting. Two rewrites, both
+/// priced by the [`cost::Estimator`] against the per-distinct-binding
+/// repetition count:
+///
+/// 1. an inner plan shaped `σ[var.attr = key ∧ …](table)` whose key is
+///    correlation-dependent and whose attribute has no persistent index
+///    becomes a [`PhysPlan::HashProbe`] — one transient hash build
+///    amortized across all bindings, one probe per binding;
+/// 2. otherwise, maximal correlation-independent subtrees that do real
+///    work over stored tables are wrapped in [`PhysPlan::Materialize`] —
+///    executed once, replayed on every re-open.
+///
+/// A subquery that is invariant as a whole is left alone: the Apply
+/// cache's empty binding key already collapses it to one execution.
+fn lower_apply_inner(
+    outer_input: &Plan,
+    subquery: &Plan,
+    catalog: &Catalog,
+    config: &ExecConfig,
+) -> Result<PhysPlan> {
+    let corr = subquery.free_vars();
+    if let Some(probed) = hoist_eq_probe(outer_input, subquery, subquery, catalog) {
+        return Ok(probed);
+    }
+    let phys = lower(subquery, catalog, config)?;
+    if corr.is_empty() {
+        return Ok(phys);
+    }
+    Ok(hoist_materialize(phys, &corr))
+}
+
+/// Try to rewrite the eq-selection at the bottom of an Apply subquery into
+/// a transient [`PhysPlan::HashProbe`], peeling row-shaping wrappers
+/// (`Map` / `Extend` / `Project`) on the way down — they consume the
+/// probe's rows exactly as they would the selection's. Returns `None`
+/// when the shape doesn't match, a persistent index already covers the
+/// attribute, or the cost model prices the repeated scans cheaper than
+/// the one-time hash build.
+fn hoist_eq_probe(
+    outer_input: &Plan,
+    subquery: &Plan,
+    node: &Plan,
+    catalog: &Catalog,
+) -> Option<PhysPlan> {
+    match node {
+        Plan::Select { input, pred } => {
+            let Plan::ScanTable { table, var } = &**input else {
+                return None;
+            };
+            let (attr, key, covered) = eq_probe_candidate(pred, var)?;
+            if catalog.index_on(table, &attr).is_some() {
+                return None;
+            }
+            let est = cost::Estimator::new(catalog);
+            let probes = est.apply_distinct_bindings(outer_input, subquery);
+            let (probe_work, scan_work) =
+                est.transient_hash_paths(table, var, pred, &covered, probes);
+            (probe_work < scan_work).then(|| PhysPlan::HashProbe {
+                table: table.clone(),
+                var: var.clone(),
+                attr,
+                key,
+                pred: pred.clone(),
+            })
+        }
+        Plan::Map { input, expr, var } => hoist_eq_probe(outer_input, subquery, input, catalog)
+            .map(|p| PhysPlan::Map {
+                input: Box::new(p),
+                expr: expr.clone(),
+                var: var.clone(),
+            }),
+        Plan::Extend { input, expr, var } => hoist_eq_probe(outer_input, subquery, input, catalog)
+            .map(|p| PhysPlan::Extend {
+                input: Box::new(p),
+                expr: expr.clone(),
+                var: var.clone(),
+            }),
+        Plan::Project { input, vars } => {
+            hoist_eq_probe(outer_input, subquery, input, catalog).map(|p| PhysPlan::Project {
+                input: Box::new(p),
+                vars: vars.clone(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Is this physical subtree independent of the given correlation
+/// variables? (Its logical view references none of them.)
+fn independent(phys: &PhysPlan, corr: &BTreeSet<String>) -> bool {
+    cost::logical_view(phys).free_vars().is_disjoint(corr)
+}
+
+/// Does materializing this subtree save real work per re-execution? True
+/// for non-leaf subtrees that access a stored table (a bare scan replays
+/// as cheaply as it re-scans, so wrapping it only spends memory).
+fn worth_materializing(phys: &PhysPlan) -> bool {
+    fn touches_table(p: &PhysPlan) -> bool {
+        matches!(
+            p,
+            PhysPlan::ScanTable { .. }
+                | PhysPlan::IndexScan { .. }
+                | PhysPlan::IndexNLJoin { .. }
+                | PhysPlan::HashProbe { .. }
+        ) || p.children().into_iter().any(touches_table)
+    }
+    !phys.children().is_empty() && touches_table(phys)
+}
+
+/// Wrap maximal correlation-independent subtrees of an Apply inner plan
+/// in [`PhysPlan::Materialize`]. Top-down: once a subtree is independent
+/// there is nothing to gain deeper inside it, and a dependent node keeps
+/// its shape while its children are considered.
+fn hoist_materialize(phys: PhysPlan, corr: &BTreeSet<String>) -> PhysPlan {
+    fn wrap(child: Box<PhysPlan>, corr: &BTreeSet<String>) -> Box<PhysPlan> {
+        if independent(&child, corr) {
+            if worth_materializing(&child) {
+                Box::new(PhysPlan::Materialize { input: child })
+            } else {
+                child
+            }
+        } else {
+            Box::new(hoist_materialize(*child, corr))
+        }
+    }
+    use PhysPlan as P;
+    match phys {
+        P::Filter { input, pred } => P::Filter {
+            input: wrap(input, corr),
+            pred,
+        },
+        P::Map { input, expr, var } => P::Map {
+            input: wrap(input, corr),
+            expr,
+            var,
+        },
+        P::Extend { input, expr, var } => P::Extend {
+            input: wrap(input, corr),
+            expr,
+            var,
+        },
+        P::Project { input, vars } => P::Project {
+            input: wrap(input, corr),
+            vars,
+        },
+        P::NlJoin {
+            left,
+            right,
+            pred,
+            kind,
+        } => P::NlJoin {
+            left: wrap(left, corr),
+            right: wrap(right, corr),
+            pred,
+            kind,
+        },
+        P::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+        } => P::HashJoin {
+            left: wrap(left, corr),
+            right: wrap(right, corr),
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+        },
+        P::MergeJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+        } => P::MergeJoin {
+            left: wrap(left, corr),
+            right: wrap(right, corr),
+            left_keys,
+            right_keys,
+            residual,
+            kind,
+        },
+        P::IndexNLJoin {
+            left,
+            right_table,
+            right_var,
+            attr,
+            key,
+            pred,
+            kind,
+        } => P::IndexNLJoin {
+            left: wrap(left, corr),
+            right_table,
+            right_var,
+            attr,
+            key,
+            pred,
+            kind,
+        },
+        P::Nest {
+            input,
+            keys,
+            value,
+            label,
+            star,
+        } => P::Nest {
+            input: wrap(input, corr),
+            keys,
+            value,
+            label,
+            star,
+        },
+        P::Unnest {
+            input,
+            expr,
+            elem_var,
+            drop_vars,
+        } => P::Unnest {
+            input: wrap(input, corr),
+            expr,
+            elem_var,
+            drop_vars,
+        },
+        P::GroupAgg {
+            input,
+            keys,
+            aggs,
+            var,
+        } => P::GroupAgg {
+            input: wrap(input, corr),
+            keys,
+            aggs,
+            var,
+        },
+        P::SetOp {
+            kind,
+            left,
+            right,
+            var,
+        } => P::SetOp {
+            kind,
+            left: wrap(left, corr),
+            right: wrap(right, corr),
+            var,
+        },
+        // A nested Apply's own subquery was already hoisted against its
+        // own correlation set when it was lowered; only its input is
+        // considered here.
+        P::Apply {
+            input,
+            subquery,
+            label,
+            bindings,
+        } => P::Apply {
+            input: wrap(input, corr),
+            subquery,
+            label,
+            bindings,
+        },
+        leaf @ (P::ScanTable { .. }
+        | P::ScanExpr { .. }
+        | P::IndexScan { .. }
+        | P::HashProbe { .. }
+        | P::Materialize { .. }) => leaf,
+    }
 }
 
 fn lower_join(
@@ -725,6 +1201,119 @@ mod tests {
             let phys = lower(&plan, &cat, &ExecConfig::with_join_algo(algo)).unwrap();
             assert!(!matches!(phys, PhysPlan::IndexNLJoin { .. }), "{phys}");
         }
+    }
+
+    #[test]
+    fn apply_bindings_extracts_correlation_paths() {
+        // σ[x.b = y.b](Y): the result depends on the outer row only
+        // through `x.b`.
+        let sub = Plan::scan("Y", "y")
+            .select(E::eq(E::path("x", &["b"]), E::path("y", &["b"])))
+            .map(E::path("y", &["c"]), "s");
+        assert_eq!(apply_bindings(&sub), vec![E::path("x", &["b"])]);
+        // An invariant subquery has no bindings at all.
+        let inv = Plan::scan("Y", "y").map(E::path("y", &["c"]), "s");
+        assert!(apply_bindings(&inv).is_empty());
+        // A whole-row reference subsumes field paths off the same var.
+        let sub2 = Plan::scan("Y", "y").select(E::and(
+            E::eq(E::var("x"), E::path("y", &["b"])),
+            E::eq(E::path("x", &["b"]), E::path("y", &["b"])),
+        ));
+        assert_eq!(apply_bindings(&sub2), vec![E::var("x")]);
+        // A scan variable shadows a same-named outer variable.
+        let shadowed = Plan::scan("X", "x").select(E::eq(E::path("x", &["b"]), E::lit(3i64)));
+        assert!(apply_bindings(&shadowed).is_empty());
+    }
+
+    #[test]
+    fn correlated_eq_selection_hoists_to_hash_probe() {
+        let mut cat = Catalog::new();
+        let rows: Vec<Vec<i64>> = (0..100).map(|i| vec![i, i % 10]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        cat.register(int_table("BIG", &["a", "b"], &refs)).unwrap();
+        // Apply over BIG with subquery σ[y.b = x.b](BIG): 10 distinct
+        // x.b bindings amortize a transient hash build on BIG.b.
+        let sub = Plan::scan("BIG", "y").select(E::eq(E::path("y", &["b"]), E::path("x", &["b"])));
+        let plan = Plan::scan("BIG", "x").apply(sub, "z");
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        let PhysPlan::Apply {
+            subquery, bindings, ..
+        } = phys
+        else {
+            panic!("expected Apply");
+        };
+        assert_eq!(bindings, Some(vec![E::path("x", &["b"])]));
+        let PhysPlan::HashProbe {
+            table, attr, key, ..
+        } = *subquery
+        else {
+            panic!("expected HashProbe subquery, got {subquery}");
+        };
+        assert_eq!(table, "BIG");
+        assert_eq!(attr, "b");
+        assert_eq!(key, E::path("x", &["b"]));
+        // Row-shaping wrappers peel: a projecting Map over the same
+        // eq-selection keeps its shape with the probe underneath.
+        let sub = Plan::scan("BIG", "y")
+            .select(E::eq(E::path("y", &["b"]), E::path("x", &["b"])))
+            .map(E::path("y", &["a"]), "q");
+        let plan = Plan::scan("BIG", "x").apply(sub, "z");
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        let PhysPlan::Apply { subquery, .. } = phys else {
+            panic!("expected Apply");
+        };
+        let PhysPlan::Map { input, .. } = *subquery else {
+            panic!("expected Map subquery, got {subquery}");
+        };
+        assert!(matches!(*input, PhysPlan::HashProbe { .. }), "{input}");
+        // With a persistent index on b the ordinary IndexScan path wins
+        // and no transient build is planned.
+        cat.create_index("BIG", "b").unwrap();
+        let sub = Plan::scan("BIG", "y").select(E::eq(E::path("y", &["b"]), E::path("x", &["b"])));
+        let plan = Plan::scan("BIG", "x").apply(sub, "z");
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        let PhysPlan::Apply { subquery, .. } = phys else {
+            panic!("expected Apply");
+        };
+        assert!(
+            !matches!(*subquery, PhysPlan::HashProbe { .. }),
+            "{subquery}"
+        );
+        // apply_cache(false) is the faithful legacy baseline: no memo
+        // keys, no hoisting.
+        let sub = Plan::scan("BIG", "y").select(E::eq(E::path("y", &["b"]), E::path("x", &["b"])));
+        let plan = Plan::scan("BIG", "x").apply(sub, "z");
+        let phys = lower(&plan, &cat, &ExecConfig::auto().apply_cache(false)).unwrap();
+        let PhysPlan::Apply { bindings, .. } = phys else {
+            panic!("expected Apply");
+        };
+        assert_eq!(bindings, None);
+    }
+
+    #[test]
+    fn independent_subtrees_materialize_inside_apply() {
+        let cat = catalog();
+        // Subquery σ[y.b = x.b](Y ⋈ Y'): the join of the two inner scans
+        // is correlation-independent and hoists behind a Materialize; the
+        // dependent filter stays in the per-binding path.
+        let sub = Plan::scan("Y", "y")
+            .join(
+                Plan::scan("Y", "w"),
+                E::eq(E::path("y", &["b"]), E::path("w", &["b"])),
+            )
+            .select(E::eq(E::path("y", &["b"]), E::path("x", &["b"])));
+        let plan = Plan::scan("X", "x").apply(sub, "z");
+        let phys = lower(&plan, &cat, &ExecConfig::auto()).unwrap();
+        let PhysPlan::Apply { subquery, .. } = phys else {
+            panic!("expected Apply");
+        };
+        let PhysPlan::Filter { input, .. } = *subquery else {
+            panic!("expected Filter subquery, got {subquery}");
+        };
+        assert!(
+            matches!(*input, PhysPlan::Materialize { .. }),
+            "expected Materialize under the correlated filter, got {input}"
+        );
     }
 
     #[test]

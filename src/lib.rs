@@ -158,6 +158,21 @@ pub struct QueryOptions {
     /// assert_eq!(QueryOptions::default().threads(0).threads, 1);
     /// ```
     pub threads: usize,
+    /// Memoize correlated `Apply` inner results by the outer row's
+    /// correlation-binding values, and hoist correlation-independent
+    /// inner work (default `true`). Duplicate bindings replay the cached
+    /// result set — visible as `ainv=`/`ahit=` in the profile — and the
+    /// cache evicts to respect [`QueryOptions::memory_budget_rows`].
+    /// `false` restores the per-outer-row baseline (the `b12_apply`
+    /// benchmark compares the two).
+    ///
+    /// ```
+    /// use tmql::QueryOptions;
+    ///
+    /// assert!(QueryOptions::default().apply_cache);
+    /// assert!(!QueryOptions::default().apply_cache(false).apply_cache);
+    /// ```
+    pub apply_cache: bool,
     /// Apply the Section 5/6 rewrite rules after unnesting.
     pub apply_rules: bool,
     /// Run the type checker (on by default; turn off for benchmarks that
@@ -173,6 +188,7 @@ impl Default for QueryOptions {
             batch_size: tmql_exec::DEFAULT_BATCH_SIZE,
             memory_budget_rows: None,
             threads: tmql_exec::default_threads(),
+            apply_cache: true,
             apply_rules: true,
             typecheck: true,
         }
@@ -213,12 +229,20 @@ impl QueryOptions {
         self
     }
 
+    /// Enable or disable Apply binding memoization + hoisting (default
+    /// on; `false` is the faithful per-outer-row baseline).
+    pub fn apply_cache(mut self, on: bool) -> Self {
+        self.apply_cache = on;
+        self
+    }
+
     fn exec_config(&self) -> ExecConfig {
         ExecConfig {
             join_algo: self.join_algo,
             batch_size: self.batch_size,
             memory_budget_rows: self.memory_budget_rows,
             threads: self.threads.max(1),
+            apply_cache: self.apply_cache,
         }
     }
 }

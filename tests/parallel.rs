@@ -101,6 +101,36 @@ fn parallel_spilling_run_matches_serial_and_spills() {
     }
 }
 
+/// Scan waves hold about one batch in flight regardless of worker count:
+/// morsels are `⌈batch_size / threads⌉` rows each, so `peak_resident_rows`
+/// must stay within one batch (plus per-worker rounding) of the serial
+/// run's peak instead of growing as `threads × batch_size`.
+#[test]
+fn scan_waves_bound_resident_rows() {
+    let db = Database::from_catalog(gen_xy(&GenConfig::sized(2048)));
+    let src = "SELECT x.n FROM X x";
+    let batch = 64usize;
+    let serial = db
+        .query_with(src, QueryOptions::default().threads(1).batch_size(batch))
+        .expect("serial scan");
+    for threads in [4usize, 8] {
+        let par = db
+            .query_with(
+                src,
+                QueryOptions::default().threads(threads).batch_size(batch),
+            )
+            .expect("parallel scan");
+        assert_eq!(par.values, serial.values, "threads={threads}");
+        let bound = serial.metrics.peak_resident_rows + (batch + threads) as u64;
+        assert!(
+            par.metrics.peak_resident_rows <= bound,
+            "threads={threads}: peak {} exceeds serial peak {} + one batch",
+            par.metrics.peak_resident_rows,
+            serial.metrics.peak_resident_rows
+        );
+    }
+}
+
 /// `threads` beyond the partition count degrades gracefully (idle workers,
 /// same answer), and `threads(0)` clamps to serial.
 #[test]

@@ -75,14 +75,47 @@ fn assert_indexes_change_nothing(plain: &Database, indexed: &Database, queries: 
     }
 }
 
+/// The Apply-cache transparency property: with the per-row baseline
+/// (`apply_cache(false)`, forced nested loop) as oracle, the memoizing
+/// executor must produce the same value set under every thread count ×
+/// memory budget combination — cache hits and hoisted inner plans change
+/// counters and cost, never answers — and so must every unnest strategy
+/// running with the cache on.
+fn assert_apply_cache_is_transparent(db: &Database, src: &str) {
+    let nl = QueryOptions::default().strategy(UnnestStrategy::NestedLoop);
+    let oracle = db
+        .query_with(src, nl.apply_cache(false).threads(1))
+        .expect("uncached nested-loop oracle runs");
+    for threads in [1usize, 4] {
+        for budget in [None, Some(8usize)] {
+            let mut opts = nl.threads(threads);
+            if let Some(b) = budget {
+                opts = opts.memory_budget(b);
+            }
+            let got = db
+                .query_with(src, opts)
+                .unwrap_or_else(|e| panic!("cached Apply fails: {e}"));
+            assert_eq!(
+                got.values, oracle.values,
+                "apply cache changed the result on {src} (threads={threads}, budget={budget:?})"
+            );
+            assert!(
+                got.metrics.apply_invocations <= oracle.metrics.subquery_invocations,
+                "memoization must never run the inner plan more often than per-row"
+            );
+        }
+    }
+    assert_all_strategies_agree(db, src);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn cost_based_matches_all_strategies_on_rs(cfg in arb_config()) {
         let db = Database::from_catalog(gen_rs(&cfg));
-        assert_all_strategies_agree(&db, COUNT_BUG);
-        assert_all_strategies_agree(&db, "SELECT x.a FROM R x WHERE x.b IN (SELECT y.d FROM S y WHERE x.c = y.c)");
+        assert_apply_cache_is_transparent(&db, COUNT_BUG);
+        assert_apply_cache_is_transparent(&db, "SELECT x.a FROM R x WHERE x.b IN (SELECT y.d FROM S y WHERE x.c = y.c)");
     }
 
     #[test]
@@ -96,7 +129,7 @@ proptest! {
             where_query("x.n = COUNT({Z})"),
             where_query("x.a INTERSECTS {Z}"),
         ] {
-            assert_all_strategies_agree(&db, &src);
+            assert_apply_cache_is_transparent(&db, &src);
         }
     }
 
