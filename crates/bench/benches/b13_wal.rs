@@ -1,0 +1,105 @@
+//! B13 — WAL commit batching: per-statement auto-commit vs one
+//! multi-statement transaction.
+//!
+//! The durability protocol charges every commit one WAL append group and
+//! one `fsync` (plus a fresh catalog image). Registering `K` tables as
+//! `K` auto-committed statements therefore pays that price `K` times —
+//! `K` catalog images, `K` commit records, `K` syncs — while
+//! `BEGIN … COMMIT` around the same statements pays it once, logging all
+//! `K` tables' pages under a single commit record. Both modes run the
+//! identical `replace` workload against a disk-backed database; the
+//! transaction's batched commit must be at least 2× the per-statement
+//! throughput (the acceptance floor; the recorded full-mode trajectory
+//! lives in `BENCH_wal.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmql::{Database, Record, Table, Ty, Value};
+use tmql_bench::{criterion, quick_mode};
+
+/// Statements per batch (full mode).
+const STATEMENTS: usize = 32;
+
+/// Rows per replaced table (full mode). Small on purpose: the benchmark
+/// isolates the *per-commit* price (catalog image + commit record +
+/// sync), which batching amortizes; bulk page writes are paid equally by
+/// both modes.
+const ROWS: usize = 32;
+
+fn table(slot: usize, rows: usize) -> Table {
+    let mut t = Table::new(
+        format!("T{slot}"),
+        vec![("a".into(), Ty::Int), ("b".into(), Ty::Int)],
+    );
+    for i in 0..rows as i64 {
+        t.insert(
+            Record::new([
+                ("a".to_string(), Value::Int(i * (slot as i64 + 1))),
+                ("b".to_string(), Value::Int(i % 16)),
+            ])
+            .expect("distinct labels"),
+        )
+        .expect("valid row");
+    }
+    t
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tmql-bench-wal-{}-{tag}.tmdb", std::process::id()))
+}
+
+fn clean(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let mut wal = path.to_path_buf().into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("b13_wal");
+    let (k, rows) = if quick_mode() {
+        (4, 64)
+    } else {
+        (STATEMENTS, ROWS)
+    };
+
+    // Per-statement: every replace is its own commit — K catalog images,
+    // K commit records, K WAL syncs per iteration.
+    let path = scratch("stmt");
+    clean(&path);
+    let mut db = Database::open_with(&path, 64).expect("create db");
+    g.bench_with_input(BenchmarkId::new("per-statement", k), &k, |b, _| {
+        b.iter(|| {
+            for s in 0..k {
+                db.catalog_mut().replace(table(s, rows)).expect("replace");
+            }
+        })
+    });
+    drop(db);
+    clean(&path);
+
+    // Transaction-batched: the same K replaces under one BEGIN…COMMIT —
+    // one catalog image, one commit record, one WAL sync per iteration.
+    let path = scratch("txn");
+    clean(&path);
+    let mut db = Database::open_with(&path, 64).expect("create db");
+    g.bench_with_input(BenchmarkId::new("txn-batched", k), &k, |b, _| {
+        b.iter(|| {
+            db.begin().expect("begin");
+            for s in 0..k {
+                db.catalog_mut().replace(table(s, rows)).expect("replace");
+            }
+            db.commit().expect("commit");
+        })
+    });
+    drop(db);
+    clean(&path);
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = bench_wal
+}
+criterion_main!(benches);

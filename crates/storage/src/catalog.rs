@@ -9,6 +9,20 @@
 //! `register → drop → open` round-trips the whole database. Reads stream
 //! through the store's buffer pool; the catalog itself keeps only
 //! descriptors.
+//!
+//! # Transactions
+//!
+//! Every mutating statement (`register`, `replace`, `create_index`,
+//! `drop_index`) is transactional. Outside an explicit transaction each
+//! statement **auto-commits**: it is its own durability point, exactly
+//! the pre-WAL behavior. [`Catalog::begin`] opens a multi-statement
+//! transaction: statements mutate the in-memory view and write pages,
+//! but nothing commits until [`Catalog::commit`] logs the lot to the
+//! write-ahead log as one atomic unit; [`Catalog::rollback`] restores
+//! the catalog (schema, tables, stats, indexes) and the store's
+//! allocation state to the begin snapshot. A statement that *fails*
+//! inside an open transaction aborts the whole transaction — partial
+//! transactions are never left half-applied.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -20,13 +34,26 @@ use crate::index::{decode_index, encode_index, OrdIndex};
 use crate::pager::{CatalogImage, IndexImage, PageId, PagedStore, PoolStats, TableImage};
 use crate::stats::TableStats;
 use crate::table::Table;
+use crate::wal::RecoveryReport;
 
 /// One maintained secondary index: the in-memory structure plus (when the
 /// catalog is persistent) the page chain holding its encoded entries.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct IndexEntry {
     ord: OrdIndex,
     chain: Option<(PageId, u64)>,
+}
+
+/// The begin-of-transaction snapshot [`Catalog::rollback`] restores,
+/// plus the pages statements inside the transaction have freed (handed
+/// to the store only at commit).
+#[derive(Debug)]
+struct TxnState {
+    schema: Schema,
+    tables: BTreeMap<String, Table>,
+    stats: BTreeMap<String, TableStats>,
+    indexes: BTreeMap<(String, String), IndexEntry>,
+    freed: Vec<PageId>,
 }
 
 /// Maps extension names (`EMP`, `DEPT`, `R`, `S`, ...) to stored tables and
@@ -39,6 +66,7 @@ pub struct Catalog {
     stats: BTreeMap<String, TableStats>,
     indexes: BTreeMap<(String, String), IndexEntry>,
     store: Option<Arc<PagedStore>>,
+    txn: Option<TxnState>,
 }
 
 impl Catalog {
@@ -61,7 +89,13 @@ impl Catalog {
     /// scanned.
     pub fn open(path: impl AsRef<Path>, pool_pages: usize) -> Result<Catalog> {
         let path = path.as_ref();
-        if !path.exists() {
+        // An empty file is a fresh database too: a crash during creation
+        // (before the header's first byte) leaves exactly that behind.
+        let fresh = match std::fs::metadata(path) {
+            Ok(m) => m.len() == 0,
+            Err(_) => true,
+        };
+        if fresh {
             let store = PagedStore::create(path, pool_pages)?;
             return Ok(Catalog {
                 store: Some(store),
@@ -103,7 +137,151 @@ impl Catalog {
             stats,
             indexes,
             store: Some(store),
+            txn: None,
         })
+    }
+
+    // -- transactions --------------------------------------------------------
+
+    /// Open a multi-statement transaction. Statements issued until the
+    /// matching [`Catalog::commit`] become one atomic, durable unit;
+    /// [`Catalog::rollback`] (or a failing statement, or dropping the
+    /// catalog) discards all of them. Nested transactions are not
+    /// supported.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(ModelError::SchemaError(
+                "transaction already open (nested transactions are not supported)".into(),
+            ));
+        }
+        if let Some(store) = &self.store {
+            store.begin_txn();
+        }
+        self.txn = Some(TxnState {
+            schema: self.schema.clone(),
+            tables: self.tables.clone(),
+            stats: self.stats.clone(),
+            indexes: self.indexes.clone(),
+            freed: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Commit the open transaction: one catalog image, one WAL commit
+    /// record, one fsync — every statement since [`Catalog::begin`]
+    /// becomes durable together. On failure the transaction is rolled
+    /// back (the catalog never serves state that would vanish on
+    /// reopen) and the error is returned.
+    pub fn commit(&mut self) -> Result<()> {
+        let Some(txn) = self.txn.take() else {
+            return Err(ModelError::SchemaError(
+                "no open transaction to commit".into(),
+            ));
+        };
+        if let Err(e) = self.sync_freeing(txn.freed.clone()) {
+            self.restore(txn);
+            if let Some(store) = &self.store {
+                store.rollback_txn();
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Abandon the open transaction: restore the catalog to its begin
+    /// snapshot and reclaim every page the transaction wrote.
+    pub fn rollback(&mut self) -> Result<()> {
+        let Some(txn) = self.txn.take() else {
+            return Err(ModelError::SchemaError(
+                "no open transaction to roll back".into(),
+            ));
+        };
+        self.restore(txn);
+        if let Some(store) = &self.store {
+            store.rollback_txn();
+        }
+        Ok(())
+    }
+
+    /// Whether a [`Catalog::begin`] transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    fn restore(&mut self, txn: TxnState) {
+        self.schema = txn.schema;
+        self.tables = txn.tables;
+        self.stats = txn.stats;
+        self.indexes = txn.indexes;
+    }
+
+    /// Run one mutating statement with transactional bracketing: outside
+    /// a transaction the statement is its own transaction (auto-commit,
+    /// with the store's allocations reclaimed on failure); inside one, a
+    /// failure aborts the whole transaction before returning the error.
+    fn statement<R>(&mut self, f: impl FnOnce(&mut Catalog) -> Result<R>) -> Result<R> {
+        let auto = self.txn.is_none();
+        if auto {
+            if let Some(store) = &self.store {
+                store.begin_txn();
+            }
+        }
+        match f(self) {
+            Ok(r) => {
+                if auto {
+                    if let Some(store) = &self.store {
+                        // A statement that committed already cleared the
+                        // store's snapshot (this is a no-op then); one
+                        // that ended up writing nothing (e.g. dropping a
+                        // nonexistent index) discards it here.
+                        store.rollback_txn();
+                    }
+                }
+                Ok(r)
+            }
+            Err(e) => {
+                if auto {
+                    if let Some(store) = &self.store {
+                        store.rollback_txn();
+                    }
+                } else {
+                    // A failed statement aborts the enclosing transaction:
+                    // the alternative would leave the transaction
+                    // half-applied with no way to complete it.
+                    let _ = self.rollback();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Force a checkpoint: flush pages, rewrite the header, truncate the
+    /// WAL (see the pager's durability rules). No-op for transient
+    /// catalogs; an error while a transaction is open.
+    pub fn wal_checkpoint(&self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(ModelError::SchemaError(
+                "cannot checkpoint while a transaction is open".into(),
+            ));
+        }
+        match &self.store {
+            Some(store) => store.checkpoint(),
+            None => Ok(()),
+        }
+    }
+
+    /// Override the WAL-size checkpoint threshold (no-op for transient
+    /// catalogs); see [`crate::pager::DEFAULT_WAL_CHECKPOINT_BYTES`].
+    pub fn set_wal_checkpoint_bytes(&self, bytes: u64) {
+        if let Some(store) = &self.store {
+            store.set_checkpoint_bytes(bytes);
+        }
+    }
+
+    /// What crash recovery found when this catalog was opened (`None`
+    /// for transient catalogs).
+    pub fn recovery(&self) -> Option<RecoveryReport> {
+        self.store.as_ref().map(|s| s.recovery())
     }
 
     /// True iff this catalog writes through to a paged store.
@@ -143,7 +321,9 @@ impl Catalog {
     /// Register a table under its own name. Statistics are computed eagerly
     /// (tables are immutable once registered — the paper's queries are
     /// read-only); on a persistent catalog the rows are written through
-    /// the buffer pool and the catalog image is committed durably.
+    /// the buffer pool and the catalog image is committed durably —
+    /// immediately when no transaction is open (auto-commit), at the
+    /// enclosing [`Catalog::commit`] otherwise.
     pub fn register(&mut self, table: Table) -> Result<()> {
         let name = table.name().to_string();
         if self.tables.contains_key(&name) {
@@ -151,17 +331,19 @@ impl Catalog {
                 "table `{name}` already registered"
             )));
         }
-        self.commit(name, table)
+        self.statement(|cat| cat.install(name, table))
     }
 
     /// Replace a table (e.g. between benchmark iterations), refreshing
     /// stats. On a persistent catalog the new rows are written and
-    /// committed; the old extent's pages (including overflow chains) are
-    /// returned to the pager's free list at the commit and reused by
-    /// later writes (see the pager's durability rules).
+    /// committed (participating in any enclosing transaction, like
+    /// [`Catalog::register`]); the old extent's pages (including overflow
+    /// chains) are returned to the pager's free list at the checkpoint
+    /// after the commit and reused by later writes (see the pager's
+    /// durability rules).
     pub fn replace(&mut self, table: Table) -> Result<()> {
         let name = table.name().to_string();
-        self.commit(name, table)
+        self.statement(|cat| cat.install(name, table))
     }
 
     /// Install a prepared table + stats and commit the catalog image,
@@ -171,8 +353,10 @@ impl Catalog {
     /// (write-through maintenance) in the same commit. The displaced
     /// table's pages — and the displaced index chains — are freed at
     /// (and only at) a successful commit, so a rollback leaks nothing
-    /// and frees nothing.
-    fn commit(&mut self, name: String, table: Table) -> Result<()> {
+    /// and frees nothing. Inside an open transaction nothing syncs yet:
+    /// the freed pages accumulate on the transaction and the whole unit
+    /// commits at [`Catalog::commit`].
+    fn install(&mut self, name: String, table: Table) -> Result<()> {
         // Enumerate everything the displaced state owns *before* mutating,
         // so a failure below leaves the catalog untouched.
         let mut freed = self.displaced_pages(self.tables.get(&name))?;
@@ -207,6 +391,10 @@ impl Catalog {
         for (key, entry) in rebuilt {
             let prev = self.indexes.insert(key.clone(), entry);
             prev_entries.push((key, prev));
+        }
+        if let Some(txn) = self.txn.as_mut() {
+            txn.freed.extend(freed);
+            return Ok(());
         }
         if let Err(e) = self.sync_freeing(freed) {
             match prev_table {
@@ -263,8 +451,14 @@ impl Catalog {
 
     /// Commit the current schema and table descriptors to the store
     /// (no-op for transient catalogs). Called automatically by
-    /// [`Catalog::register`] / [`Catalog::replace`].
+    /// [`Catalog::register`] / [`Catalog::replace`]; an error while a
+    /// transaction is open (commit or roll back instead).
     pub fn sync(&self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(ModelError::SchemaError(
+                "cannot sync while a transaction is open (commit or roll back first)".into(),
+            ));
+        }
         self.sync_freeing(Vec::new())
     }
 
@@ -315,46 +509,62 @@ impl Catalog {
     /// Create a secondary (ordered) index on `table.attr`. Rows lacking
     /// the attribute are simply not indexed. On a persistent catalog the
     /// index is written through the pager and committed with the catalog
-    /// image, so it survives a reopen; maintenance on `register`/`replace`
+    /// image (at the enclosing [`Catalog::commit`] when a transaction is
+    /// open), so it survives a reopen; maintenance on `register`/`replace`
     /// is automatic from then on.
     pub fn create_index(&mut self, table: &str, attr: &str) -> Result<()> {
-        let t = self.table(table)?;
         let key = (table.to_string(), attr.to_string());
         if self.indexes.contains_key(&key) {
             return Err(ModelError::SchemaError(format!(
                 "index on `{table}.{attr}` already exists"
             )));
         }
-        let ord = OrdIndex::build(t, attr)?;
-        let chain = match self.store.as_ref() {
-            Some(store) => Some(store.write_blob(&encode_index(&ord))?),
-            None => None,
-        };
-        self.indexes.insert(key.clone(), IndexEntry { ord, chain });
-        if let Err(e) = self.sync() {
-            self.indexes.remove(&key);
-            return Err(e);
-        }
-        Ok(())
+        self.table(table)?;
+        self.statement(|cat| {
+            let ord = OrdIndex::build(cat.table(&key.0)?, &key.1)?;
+            let chain = match cat.store.as_ref() {
+                Some(store) => Some(store.write_blob(&encode_index(&ord))?),
+                None => None,
+            };
+            cat.indexes.insert(key.clone(), IndexEntry { ord, chain });
+            if cat.txn.is_some() {
+                return Ok(()); // commits with the enclosing transaction
+            }
+            if let Err(e) = cat.sync() {
+                cat.indexes.remove(&key);
+                return Err(e);
+            }
+            Ok(())
+        })
     }
 
     /// Drop the index on `table.attr`, returning whether one existed. On
     /// a persistent catalog its pages return to the free list at the
-    /// commit.
+    /// checkpoint after the commit.
     pub fn drop_index(&mut self, table: &str, attr: &str) -> Result<bool> {
         let key = (table.to_string(), attr.to_string());
-        let Some(entry) = self.indexes.remove(&key) else {
+        if !self.indexes.contains_key(&key) {
             return Ok(false);
-        };
-        let freed = match (self.store.as_ref(), entry.chain) {
-            (Some(store), Some((first, len))) => store.blob_pages(first, len)?,
-            _ => Vec::new(),
-        };
-        if let Err(e) = self.sync_freeing(freed) {
-            self.indexes.insert(key, entry);
-            return Err(e);
         }
-        Ok(true)
+        self.statement(|cat| {
+            // Enumerate the chain's pages *before* removing the entry, so
+            // an I/O error here leaves the index in place.
+            let chain = cat.indexes[&key].chain;
+            let freed = match (cat.store.as_ref(), chain) {
+                (Some(store), Some((first, len))) => store.blob_pages(first, len)?,
+                _ => Vec::new(),
+            };
+            let entry = cat.indexes.remove(&key).expect("checked above");
+            if let Some(txn) = cat.txn.as_mut() {
+                txn.freed.extend(freed);
+                return Ok(true);
+            }
+            if let Err(e) = cat.sync_freeing(freed) {
+                cat.indexes.insert(key.clone(), entry);
+                return Err(e);
+            }
+            Ok(true)
+        })
     }
 
     /// The index on `table.attr`, if one exists.
@@ -525,6 +735,9 @@ mod tests {
         let mut settled = 0;
         for i in 0..10 {
             cat.replace(int_table("R", &["a", "b"], &refs)).unwrap();
+            // Freed pages recycle only after a checkpoint folds them into
+            // the durable free list.
+            cat.wal_checkpoint().unwrap();
             if i == 2 {
                 settled = size(&path);
             }
@@ -617,11 +830,107 @@ mod tests {
         for i in 0..8 {
             cat.create_index("R", "a").unwrap();
             assert!(cat.drop_index("R", "a").unwrap());
+            cat.wal_checkpoint().unwrap();
             if i == 2 {
                 settled = size(&path);
             }
         }
         assert_eq!(size(&path), settled, "index churn reuses freed pages");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn transaction_commit_is_atomic_and_rollback_restores() {
+        use tmql_model::Value;
+        let path = scratch("txn");
+        let mut cat = Catalog::open(&path, 16).unwrap();
+        cat.register(int_table("base", &["a"], &[&[1]])).unwrap();
+
+        // Rolled-back transaction: nothing survives, not even in memory.
+        cat.begin().unwrap();
+        assert!(cat.in_transaction());
+        cat.register(int_table("R", &["a"], &[&[1], &[2]])).unwrap();
+        cat.create_index("R", "a").unwrap();
+        cat.replace(int_table("base", &["a"], &[&[9]])).unwrap();
+        assert_eq!(cat.table("R").unwrap().len(), 2, "txn sees its writes");
+        cat.rollback().unwrap();
+        assert!(!cat.in_transaction());
+        assert!(cat.table("R").is_err());
+        assert!(cat.index_on("R", "a").is_none());
+        assert_eq!(cat.stats("base").unwrap().cardinality, 1);
+
+        // Committed transaction: all three statements land together.
+        cat.begin().unwrap();
+        assert!(cat.begin().is_err(), "nested transactions rejected");
+        assert!(cat.sync().is_err(), "sync blocked inside a transaction");
+        cat.register(int_table("R", &["a"], &[&[1], &[2]])).unwrap();
+        cat.create_index("R", "a").unwrap();
+        cat.replace(int_table("base", &["a"], &[&[9]])).unwrap();
+        cat.commit().unwrap();
+        assert!(cat.commit().is_err(), "no transaction left to commit");
+        drop(cat);
+
+        let cat = Catalog::open(&path, 16).unwrap();
+        assert_eq!(cat.table("R").unwrap().len(), 2);
+        assert_eq!(
+            cat.index_on("R", "a").unwrap().probe_eq(&Value::Int(2)),
+            vec![1]
+        );
+        assert_eq!(cat.stats("base").unwrap().cardinality, 1);
+        assert_eq!(
+            cat.table("base").unwrap().batch(0, 1).unwrap()[0]
+                .get("a")
+                .unwrap(),
+            &Value::Int(9)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failing_statement_aborts_the_enclosing_transaction() {
+        use crate::failpoint::IoFailpoint;
+        // A two-frame pool forces installs to evict (and so to touch the
+        // file), which is where the injected failure lands.
+        let path = scratch("txn-abort");
+        let mut cat = Catalog::open(&path, 2).unwrap();
+        cat.register(int_table("R", &["a"], &[&[1]])).unwrap();
+        cat.begin().unwrap();
+        cat.replace(int_table("R", &["a"], &[&[2]])).unwrap();
+        // A validation failure pre-statement (duplicate register) does
+        // not abort the transaction...
+        assert!(cat.register(int_table("R", &["a"], &[])).is_err());
+        assert!(cat.in_transaction());
+        // ...but an I/O failure inside a statement body does.
+        let rows: Vec<Vec<i64>> = (0..2000).map(|i| vec![i]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let fp = IoFailpoint::kill_at(&path, 0);
+        assert!(cat.register(int_table("big", &["a"], &refs)).is_err());
+        drop(fp);
+        assert!(!cat.in_transaction(), "failed statement aborted the txn");
+        assert!(cat.table("big").is_err());
+        assert_eq!(cat.stats("R").unwrap().cardinality, 1, "rolled back");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn transaction_rollback_reclaims_pages() {
+        // A big rolled-back register must not leave the file grown after
+        // a checkpoint: rollback returns its allocations.
+        let path = scratch("txn-reclaim");
+        let rows: Vec<Vec<i64>> = (0..400).map(|i| vec![i]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut cat = Catalog::open(&path, 16).unwrap();
+        cat.register(int_table("keep", &["a"], &[&[1]])).unwrap();
+        cat.wal_checkpoint().unwrap();
+        let size = |p: &std::path::Path| std::fs::metadata(p).unwrap().len();
+        let before = size(&path);
+        for _ in 0..5 {
+            cat.begin().unwrap();
+            cat.register(int_table("big", &["a"], &refs)).unwrap();
+            cat.rollback().unwrap();
+        }
+        cat.wal_checkpoint().unwrap();
+        assert_eq!(size(&path), before, "rolled-back writes reuse no space");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -29,6 +29,13 @@
 //!   write-through; the executor's `IndexScan`/`IndexNLJoin` operators
 //!   probe it instead of scanning when the planner's crossover favors
 //!   probes;
+//! * [`wal`] — the write-ahead log: page-image + commit redo records
+//!   fsynced before any write-back, replayed on open, truncated at
+//!   checkpoints. [`Catalog::begin`]/[`Catalog::commit`]/
+//!   [`Catalog::rollback`] make register/replace/create_index atomic
+//!   multi-statement units on top of it;
+//! * [`failpoint`] — the crash-injection seam over the pager's I/O,
+//!   driving the differential crash-recovery test harness;
 //! * [`spill`] — on-disk record runs ([`SpillDir`], [`RunWriter`],
 //!   [`SpillFile`], [`RunReader`]) with a length-prefixed binary codec, the
 //!   substrate of the executor's larger-than-memory (grace-hash /
@@ -36,18 +43,22 @@
 //!   the same Record/Value codec.
 
 pub mod catalog;
+pub mod failpoint;
 pub mod index;
 pub mod pager;
 pub mod spill;
 pub mod stats;
 pub mod table;
+pub mod wal;
 
 pub use catalog::Catalog;
+pub use failpoint::{FailMode, IoFailpoint, IoOp};
 pub use index::{HashIndex, OrdIndex};
 pub use pager::IndexImage;
 pub use pager::{BufferPool, PagedStore, PoolStats, TableExtent, DEFAULT_POOL_PAGES};
 pub use spill::{RunReader, RunWriter, SpillDir, SpillFile};
 pub use stats::{ColumnStats, Histogram, StatsBuilder, TableStats};
 pub use table::Table;
+pub use wal::{RecoveryReport, Wal};
 
 pub use tmql_model::{ModelError, Result};

@@ -30,4 +30,4 @@ pub mod store;
 pub use image::{CatalogImage, IndexImage, TableImage};
 pub use page::{PageId, PAGE_SIZE};
 pub use pool::{BufferPool, PoolStats};
-pub use store::{PagedStore, TableExtent, DEFAULT_POOL_PAGES};
+pub use store::{PagedStore, TableExtent, DEFAULT_POOL_PAGES, DEFAULT_WAL_CHECKPOINT_BYTES};

@@ -6,7 +6,8 @@
 //! page reached through the [`BufferPool`]. Tables occupy *extents* —
 //! ordered lists of data pages, each knowing how many rows it holds — so a
 //! scan cursor can map a row offset to a page without touching earlier
-//! pages.
+//! pages. A sidecar write-ahead log (`<db>.wal`, [`crate::wal`]) makes
+//! commits durable before any page write-back.
 //!
 //! # Concurrency
 //!
@@ -20,25 +21,39 @@
 //! # Durability rules
 //!
 //! * Data and catalog pages are written through the pool; eviction and
-//!   [`BufferPool::flush`] perform the actual file writes.
+//!   [`BufferPool::flush`] perform the actual file writes, at any time.
 //! * A catalog update ([`PagedStore::save_catalog`]) is the commit point:
-//!   all dirty pages are flushed and synced **before** the header is
-//!   rewritten to point at the new catalog chain, then the header is
-//!   synced. A crash between the two leaves the previous catalog intact —
-//!   readers see the old state, never a torn one.
+//!   every page the transaction wrote is appended to the WAL as a full
+//!   image, followed by a commit record carrying the resulting header
+//!   state, and the WAL is fsynced **before** the in-memory state
+//!   advances. Nothing else need reach the database file for the commit
+//!   to survive — redo on open replays the images.
+//! * A **checkpoint** ([`PagedStore::checkpoint`], triggered when the
+//!   WAL exceeds its threshold and on close) flushes all pages, syncs
+//!   the file, rewrites the header to the committed state, syncs again,
+//!   and only then truncates the WAL. A crash at any point leaves either
+//!   a header or a WAL (or both) describing the last committed state.
 //! * Pages freed by a commit (a replaced table's extent + overflow
-//!   chains, and the superseded catalog chain) join the header's **free
-//!   list** at that same header rewrite, and the allocator reuses them
-//!   for later writes. A page is therefore never reused until the commit
-//!   that stopped referencing it is durable, which is what keeps the
-//!   crash-recovery story intact. The free list is minimal: it holds up
-//!   to [`FREE_LIST_CAP`] page ids in the header page; anything past that
-//!   is leaked until the database is copied ([`Table`](crate::Table)
-//!   re-registration into a fresh file).
+//!   chains, superseded index chains, and the superseded catalog chain)
+//!   are quarantined in a *pending* list and join the reusable **free
+//!   list** only at the next checkpoint. The allocator therefore only
+//!   ever writes pages that are dead in the checkpointed on-disk state,
+//!   so eviction-time write-back of uncommitted pages can never corrupt
+//!   what recovery reconstructs. The free list is minimal: it holds up
+//!   to [`FREE_LIST_CAP`] page ids in the header page; anything past
+//!   that is leaked until the database is copied
+//!   ([`Table`](crate::Table) re-registration into a fresh file).
+//! * Recovery on open scans the WAL, replays every committed
+//!   transaction's page images in order, adopts the last commit's
+//!   header state, and checkpoints. A torn or corrupt record stops the
+//!   scan at the last valid commit; what follows is discarded and
+//!   **reported** (see [`crate::wal::RecoveryReport`]), never silently
+//!   dropped.
 
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use tmql_model::{ModelError, Record, Result};
@@ -46,10 +61,19 @@ use tmql_model::{ModelError, Record, Result};
 use super::image::{decode_catalog, encode_catalog, CatalogImage};
 use super::page::{self, PageId, NO_PAGE, OVF_CAPACITY, PAGE_SIZE};
 use super::pool::{BufferPool, PoolStats};
+use crate::failpoint::{self, IoOp, WriteCheck};
 use crate::spill::{decode_record, encode_record};
+use crate::wal::{CommitRecord, RecoveryReport, Wal};
 
 /// Default buffer-pool capacity in pages (2 MiB at the 8 KiB page size).
 pub const DEFAULT_POOL_PAGES: usize = 256;
+
+/// Default WAL size (bytes) past which a commit triggers a checkpoint.
+/// Override per store with [`PagedStore::set_checkpoint_bytes`] or
+/// process-wide with `TMQL_WAL_CHECKPOINT_BYTES` (read at open/create;
+/// `1` forces a checkpoint after every commit — the starved-WAL test
+/// setting).
+pub const DEFAULT_WAL_CHECKPOINT_BYTES: u64 = 1 << 20;
 
 const MAGIC: [u8; 4] = *b"TMQB";
 const VERSION: u16 = 1;
@@ -66,16 +90,26 @@ fn io_err(e: std::io::Error) -> ModelError {
     ModelError::Io(e.to_string())
 }
 
+fn checkpoint_bytes_from_env() -> u64 {
+    std::env::var("TMQL_WAL_CHECKPOINT_BYTES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(DEFAULT_WAL_CHECKPOINT_BYTES)
+}
+
 // ---------------------------------------------------------------------------
 // The file
 // ---------------------------------------------------------------------------
 
 /// Raw page-granular I/O over the database file. Positional reads/writes
 /// (`pread`/`pwrite`) take `&self`, so concurrent page faults never
-/// serialize on a seek cursor.
+/// serialize on a seek cursor. Every operation passes the
+/// [`crate::failpoint`] seam, which is how the crash harness injects
+/// kills and torn writes at each I/O boundary.
 #[derive(Debug)]
 pub struct PagedFile {
     file: File,
+    path: PathBuf,
 }
 
 impl PagedFile {
@@ -88,7 +122,10 @@ impl PagedFile {
             .truncate(true)
             .open(path)
             .map_err(io_err)?;
-        Ok(PagedFile { file })
+        Ok(PagedFile {
+            file,
+            path: path.to_path_buf(),
+        })
     }
 
     /// Open an existing database file.
@@ -98,12 +135,16 @@ impl PagedFile {
             .write(true)
             .open(path)
             .map_err(io_err)?;
-        Ok(PagedFile { file })
+        Ok(PagedFile {
+            file,
+            path: path.to_path_buf(),
+        })
     }
 
     /// Read page `pid` into `buf` (exactly one page).
     pub fn read_page(&self, pid: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
+        failpoint::check_read(&self.path)?;
         self.file
             .read_exact_at(buf, pid as u64 * PAGE_SIZE as u64)
             .map_err(|e| {
@@ -118,13 +159,22 @@ impl PagedFile {
     /// Write page `pid` from `buf`.
     pub fn write_page(&self, pid: PageId, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let allowed = match failpoint::check_write(&self.path, IoOp::PageWrite(pid), buf.len())? {
+            WriteCheck::Full => buf.len(),
+            WriteCheck::Torn(n) => n,
+        };
         self.file
-            .write_all_at(buf, pid as u64 * PAGE_SIZE as u64)
-            .map_err(io_err)
+            .write_all_at(&buf[..allowed], pid as u64 * PAGE_SIZE as u64)
+            .map_err(io_err)?;
+        if allowed < buf.len() {
+            return Err(ModelError::Io("injected crash (torn page write)".into()));
+        }
+        Ok(())
     }
 
     /// Force everything to stable storage.
     pub fn sync(&self) -> Result<()> {
+        failpoint::check_sync(&self.path, IoOp::FileSync)?;
         self.file.sync_all().map_err(io_err)
     }
 }
@@ -203,22 +253,43 @@ impl Meta {
     }
 }
 
-/// Header state: the allocation watermark plus the in-memory free list.
-/// Mutated only by writers (serialized by the store's write lock).
+/// The begin-of-transaction snapshot a rollback restores.
+#[derive(Debug)]
+struct TxnSnapshot {
+    meta: Meta,
+    free: Vec<PageId>,
+}
+
+/// Header state: the allocation watermark plus the in-memory free list
+/// and the transaction bookkeeping around them. Mutated only by writers
+/// (serialized by the store's write lock).
 #[derive(Debug)]
 struct MetaState {
     meta: Meta,
+    /// Pages reusable now: free in the checkpointed on-disk state.
     free: Vec<PageId>,
+    /// Pages freed by WAL-committed transactions; they become reusable
+    /// only at the next checkpoint (see the module's durability rules).
+    pending_free: Vec<PageId>,
+    /// Pages allocated (and therefore written) since the last commit —
+    /// what the next commit logs to the WAL, and what a rollback
+    /// discards.
+    txn_pages: Vec<PageId>,
+    /// Present while an explicit transaction is open.
+    snapshot: Option<TxnSnapshot>,
 }
 
 impl MetaState {
     /// Allocate one page: reuse the free list before growing the file.
     fn alloc(&mut self) -> PageId {
-        if let Some(pid) = self.free.pop() {
-            return pid;
-        }
-        let pid = self.meta.next_page;
-        self.meta.next_page += 1;
+        let pid = if let Some(pid) = self.free.pop() {
+            pid
+        } else {
+            let pid = self.meta.next_page;
+            self.meta.next_page += 1;
+            pid
+        };
+        self.txn_pages.push(pid);
         pid
     }
 }
@@ -264,10 +335,11 @@ struct TableBuild {
 // The thread-safe store
 // ---------------------------------------------------------------------------
 
-/// A shared handle to one paged database: the file, its buffer pool, and
-/// its header state. Cloned freely via `Arc` — every disk-backed
-/// [`crate::Table`] of a database holds one. Reads are concurrent;
-/// writes serialize on an internal write lock (see the module docs).
+/// A shared handle to one paged database: the file, its buffer pool, its
+/// write-ahead log, and its header state. Cloned freely via `Arc` —
+/// every disk-backed [`crate::Table`] of a database holds one. Reads are
+/// concurrent; writes serialize on an internal write lock (see the
+/// module docs).
 #[derive(Debug)]
 pub struct PagedStore {
     file: PagedFile,
@@ -276,11 +348,18 @@ pub struct PagedStore {
     /// Serializes writers (`write_table` / `save_catalog`); readers never
     /// take it. Also what makes pool installs/flushes single-threaded.
     write_lock: Mutex<()>,
+    wal: Mutex<Wal>,
+    /// WAL size past which a commit checkpoints.
+    checkpoint_bytes: AtomicU64,
+    /// What recovery found when this store was opened.
+    recovery: RecoveryReport,
     path: PathBuf,
 }
 
 impl PagedStore {
-    /// Create a fresh database file.
+    /// Create a fresh database file (and an empty write-ahead log,
+    /// truncating any stale sidecar from a previous database at the
+    /// same path).
     pub fn create(path: impl AsRef<Path>, pool_pages: usize) -> Result<Arc<PagedStore>> {
         let path = path.as_ref().to_path_buf();
         let file = PagedFile::create(&path)?;
@@ -291,31 +370,98 @@ impl PagedStore {
         };
         file.write_page(0, &meta.encode(&[]))?;
         file.sync()?;
+        let mut wal = Wal::open(&Wal::path_for(&path))?;
+        if wal.bytes() > 0 {
+            wal.reset()?;
+        }
         Ok(Arc::new(PagedStore {
             file,
             pool: BufferPool::new(pool_pages),
             state: Mutex::new(MetaState {
                 meta,
                 free: Vec::new(),
+                pending_free: Vec::new(),
+                txn_pages: Vec::new(),
+                snapshot: None,
             }),
             write_lock: Mutex::new(()),
+            wal: Mutex::new(wal),
+            checkpoint_bytes: AtomicU64::new(checkpoint_bytes_from_env()),
+            recovery: RecoveryReport {
+                replayed_txns: 0,
+                discarded_records: 0,
+                discarded_bytes: 0,
+            },
             path,
         }))
     }
 
-    /// Open an existing database file without touching its catalog.
+    /// Open an existing database file without touching its catalog:
+    /// scan the WAL, replay every committed transaction's page images,
+    /// adopt the last commit's header state, and checkpoint.
     fn open_store(path: &Path, pool_pages: usize) -> Result<Arc<PagedStore>> {
         let file = PagedFile::open(path)?;
+        let wal_path = Wal::path_for(path);
+        let scan = Wal::scan(&wal_path)?;
         let mut buf = vec![0u8; PAGE_SIZE];
-        file.read_page(0, &mut buf)?;
-        let (meta, free) = Meta::decode(&buf)?;
-        Ok(Arc::new(PagedStore {
+        let header = file
+            .read_page(0, &mut buf)
+            .and_then(|()| Meta::decode(&buf));
+        // The WAL's last commit is always at least as new as the header
+        // (checkpoints truncate the log only after the header is synced),
+        // so prefer it — which also recovers from a torn header write,
+        // as long as at least one commit survives in the log.
+        let (meta, free) = match (header, scan.txns.last()) {
+            (_, Some(last)) => (
+                Meta {
+                    next_page: last.commit.next_page,
+                    catalog_first: last.commit.catalog_first,
+                    catalog_len: last.commit.catalog_len,
+                },
+                last.commit.free.clone(),
+            ),
+            (Ok((meta, free)), None) => (meta, free),
+            (Err(e), None) => return Err(e),
+        };
+        let pending_free: Vec<PageId> = scan
+            .txns
+            .iter()
+            .flat_map(|t| t.commit.freed.iter().copied())
+            .collect();
+        for txn in &scan.txns {
+            for (pid, image) in &txn.pages {
+                file.write_page(*pid, image)?;
+            }
+        }
+        let dirty = !scan.txns.is_empty() || scan.discarded_bytes > 0;
+        let wal = Wal::open(&wal_path)?;
+        let store = Arc::new(PagedStore {
             file,
             pool: BufferPool::new(pool_pages),
-            state: Mutex::new(MetaState { meta, free }),
+            state: Mutex::new(MetaState {
+                meta,
+                free,
+                pending_free,
+                txn_pages: Vec::new(),
+                snapshot: None,
+            }),
             write_lock: Mutex::new(()),
+            wal: Mutex::new(wal),
+            checkpoint_bytes: AtomicU64::new(checkpoint_bytes_from_env()),
+            recovery: RecoveryReport {
+                replayed_txns: scan.txns.len(),
+                discarded_records: scan.discarded_records,
+                discarded_bytes: scan.discarded_bytes,
+            },
             path: path.to_path_buf(),
-        }))
+        });
+        if dirty {
+            // Make the replay durable and truncate the log (discarding
+            // any torn tail with it). Idempotent: a crash anywhere in
+            // here just replays again on the next open.
+            store.checkpoint()?;
+        }
+        Ok(store)
     }
 
     /// Open an existing database file and decode its persisted catalog.
@@ -333,8 +479,8 @@ impl PagedStore {
 
     fn state(&self) -> MutexGuard<'_, MetaState> {
         // A panic while holding the lock leaves no torn in-memory state we
-        // could not keep using (the header commit protocol guards the
-        // file), so recover from poisoning instead of propagating it.
+        // could not keep using (the WAL commit protocol guards the file),
+        // so recover from poisoning instead of propagating it.
         self.state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -346,6 +492,12 @@ impl PagedStore {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    fn wal(&self) -> MutexGuard<'_, Wal> {
+        self.wal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// The database file path.
     pub fn path(&self) -> &Path {
         &self.path
@@ -353,6 +505,41 @@ impl PagedStore {
 
     fn alloc(&self) -> PageId {
         self.state().alloc()
+    }
+
+    // -- transactions --------------------------------------------------------
+
+    /// Start an explicit transaction: snapshot the header state so a
+    /// rollback can restore it. Commit is [`PagedStore::save_catalog`]
+    /// (whichever flavor), which clears the snapshot.
+    pub(crate) fn begin_txn(&self) {
+        let mut st = self.state();
+        let snap = TxnSnapshot {
+            meta: st.meta,
+            free: st.free.clone(),
+        };
+        st.snapshot = Some(snap);
+    }
+
+    /// Abandon everything written since [`PagedStore::begin_txn`] (or
+    /// since the last commit, for an auto-commit statement that failed):
+    /// restore the header snapshot and drop the written pages from the
+    /// pool so their frames never reach the file as live data.
+    pub(crate) fn rollback_txn(&self) {
+        let pages = {
+            let mut st = self.state();
+            if let Some(snap) = st.snapshot.take() {
+                st.meta = snap.meta;
+                st.free = snap.free;
+            }
+            std::mem::take(&mut st.txn_pages)
+        };
+        self.pool.discard(pages.into_iter());
+    }
+
+    /// Whether an explicit transaction snapshot is open.
+    pub(crate) fn txn_open(&self) -> bool {
+        self.state().snapshot.is_some()
     }
 
     // -- writing ------------------------------------------------------------
@@ -548,12 +735,12 @@ impl PagedStore {
     // -- standalone blobs (index chains) ------------------------------------
 
     /// Write a standalone blob as an overflow-page chain and return its
-    /// head page and byte length. **Not a commit**: the chain (and its
-    /// pages' allocation) becomes durable only at the next catalog commit
-    /// ([`PagedStore::save_catalog_freeing`]), whose header rewrite
-    /// persists the moved watermark. A crash before that commit leaves
-    /// the old catalog intact and implicitly rolls the allocation back —
-    /// which is exactly what makes index writes crash-safe.
+    /// head page and byte length. **Not a commit**: the chain becomes
+    /// durable only at the next catalog commit, whose WAL records carry
+    /// the chain's pages and the moved watermark. A crash (or rollback)
+    /// before that commit leaves the old catalog intact and the
+    /// allocation is reclaimed — which is what makes index writes
+    /// crash-safe.
     pub fn write_blob(&self, blob: &[u8]) -> Result<(PageId, u64)> {
         let _w = self.write_lock();
         if blob.is_empty() {
@@ -590,10 +777,12 @@ impl PagedStore {
 
     // -- committing ---------------------------------------------------------
 
-    /// Persist a new catalog blob: write its chain, flush everything, then
-    /// commit by rewriting the header (see the module's durability rules).
-    /// `freed` pages — plus the superseded catalog chain — join the free
-    /// list at the commit, and only then.
+    /// Persist a new catalog blob — the transaction commit. Every page
+    /// written since the last commit is appended to the WAL as a full
+    /// image, followed by a commit record with the resulting header
+    /// state; the WAL fsync is the durability point. `freed` pages —
+    /// plus the superseded catalog chain — are quarantined until the
+    /// next checkpoint (see the module's durability rules).
     fn write_catalog(&self, blob: &[u8], mut freed: Vec<PageId>) -> Result<()> {
         let _w = self.write_lock();
         // The chain being superseded is freed by this commit too.
@@ -605,8 +794,8 @@ impl PagedStore {
             self.chain_pages(old_first, old_len as u32, &mut freed)?;
         }
         // Write the new chain. Allocation draws on the *current* free
-        // list (pages freed by earlier, durable commits) — never on
-        // `freed`, which the old header still references.
+        // list (pages free in the checkpointed state) — never on `freed`
+        // or the pending list, which recovery may still need intact.
         let mut first = NO_PAGE;
         if !blob.is_empty() {
             let chunks: Vec<&[u8]> = blob.chunks(OVF_CAPACITY).collect();
@@ -619,28 +808,53 @@ impl PagedStore {
             }
             first = ids[0];
         }
-        self.pool.flush(&self.file)?;
-        self.file.sync()?;
-        // Commit point: the new header references the new chain and
-        // absorbs the freed pages (double-free guarded by the dedup).
         freed.sort_unstable();
         freed.dedup();
+        // Log every page this transaction wrote — minus pages it also
+        // freed (created and dropped within the transaction), which no
+        // committed state references — then the commit record itself.
+        let (to_log, commit) = {
+            let st = self.state();
+            let mut pages = st.txn_pages.clone();
+            pages.sort_unstable();
+            pages.dedup();
+            pages.retain(|p| freed.binary_search(p).is_err());
+            let commit = CommitRecord {
+                next_page: st.meta.next_page,
+                catalog_first: first,
+                catalog_len: blob.len() as u64,
+                free: st.free.clone(),
+                freed: freed.clone(),
+            };
+            (pages, commit)
+        };
+        {
+            let mut wal = self.wal();
+            for &pid in &to_log {
+                let g = self.pool.read(pid, &self.file)?;
+                wal.append_page(pid, &g)?;
+            }
+            wal.append_commit(&commit)?;
+            // The durability point: after this fsync the transaction
+            // survives any crash, before it none of it does.
+            wal.sync()?;
+        }
         {
             let mut st = self.state();
             st.meta.catalog_first = first;
             st.meta.catalog_len = blob.len() as u64;
-            st.free.extend(freed.iter().copied());
-            if st.free.len() > FREE_LIST_CAP {
-                // Minimal free list: overflow leaks until the database is
-                // copied, exactly like the pre-free-list behavior.
-                st.free.truncate(FREE_LIST_CAP);
-            }
-            self.file.write_page(0, &st.meta.encode(&st.free))?;
+            st.pending_free.extend(freed.iter().copied());
+            st.txn_pages.clear();
+            st.snapshot = None;
         }
-        self.file.sync()?;
-        // Freed pages may be reused by the next writer; drop any resident
-        // copies so stale frames never shadow the new contents.
+        // Freed pages are dead in every state a recovery can produce
+        // from here on; drop any resident copies so stale frames never
+        // shadow later contents.
         self.pool.discard(freed.into_iter());
+        // The commit is durable in the log; a checkpoint failure must
+        // not un-commit it, so it is swallowed here and the checkpoint
+        // retried at the next commit or at close.
+        let _ = self.maybe_checkpoint_locked();
         Ok(())
     }
 
@@ -662,9 +876,70 @@ impl PagedStore {
     }
 
     /// Persist the catalog image, returning `freed` pages (a replaced
-    /// table's extent and overflow chains) to the free list at the commit.
+    /// table's extent and overflow chains) to the free list at the next
+    /// checkpoint after the commit.
     pub fn save_catalog_freeing(&self, image: &CatalogImage, freed: Vec<PageId>) -> Result<()> {
         self.write_catalog(&encode_catalog(image), freed)
+    }
+
+    // -- checkpointing -------------------------------------------------------
+
+    /// Checkpoint: flush all pages, sync the file, rewrite the header to
+    /// the committed state (folding quarantined freed pages into the
+    /// free list), sync again, then truncate the WAL. After it, the
+    /// database file alone describes the last committed state.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _w = self.write_lock();
+        self.checkpoint_locked()
+    }
+
+    fn checkpoint_locked(&self) -> Result<()> {
+        let idle = { self.wal().bytes() == 0 } && { self.state().pending_free.is_empty() };
+        if idle {
+            return Ok(());
+        }
+        self.pool.flush(&self.file)?;
+        self.file.sync()?;
+        {
+            let mut st = self.state();
+            let pending = std::mem::take(&mut st.pending_free);
+            st.free.extend(pending);
+            st.free.sort_unstable();
+            st.free.dedup();
+            if st.free.len() > FREE_LIST_CAP {
+                // Minimal free list: overflow leaks until the database is
+                // copied, exactly like the pre-free-list behavior.
+                st.free.truncate(FREE_LIST_CAP);
+            }
+            self.file.write_page(0, &st.meta.encode(&st.free))?;
+        }
+        self.file.sync()?;
+        self.wal().reset()
+    }
+
+    fn maybe_checkpoint_locked(&self) -> Result<()> {
+        if self.wal().bytes() >= self.checkpoint_bytes.load(Ordering::Relaxed) {
+            self.checkpoint_locked()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Override the WAL-size checkpoint threshold for this store
+    /// (`1` checkpoints after every commit, `u64::MAX` never
+    /// auto-checkpoints — close still does).
+    pub fn set_checkpoint_bytes(&self, bytes: u64) {
+        self.checkpoint_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Current WAL size in bytes (diagnostic/test hook).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal().bytes()
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
     }
 
     // -- introspection ------------------------------------------------------
@@ -691,9 +966,23 @@ impl PagedStore {
     }
 }
 
+impl Drop for PagedStore {
+    /// Best-effort clean shutdown: roll back any transaction left open
+    /// (dropping a database mid-transaction aborts it), then checkpoint
+    /// so the next open needs no replay. Errors are ignored — a failed
+    /// close is exactly a crash, and recovery covers crashes.
+    fn drop(&mut self) {
+        if self.txn_open() {
+            self.rollback_txn();
+        }
+        let _ = self.checkpoint();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::failpoint::IoFailpoint;
     use tmql_model::Value;
 
     fn scratch(name: &str) -> PathBuf {
@@ -702,6 +991,7 @@ mod tests {
             std::process::id()
         ));
         let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(Wal::path_for(&p));
         p
     }
 
@@ -776,6 +1066,50 @@ mod tests {
     }
 
     #[test]
+    fn commit_survives_a_crash_before_any_checkpoint() {
+        // The WAL property in one test: commit, then "kill the process"
+        // (a sticky failpoint fails the close-time checkpoint), reopen,
+        // and the committed catalog is there — replayed from the log.
+        let path = scratch("wal-replay");
+        {
+            let store = PagedStore::create(&path, 4).unwrap();
+            store.set_checkpoint_bytes(u64::MAX);
+            store
+                .write_catalog(&vec![5u8; 2 * OVF_CAPACITY], Vec::new())
+                .unwrap();
+            let _fp = IoFailpoint::kill_at(&path, 0); // everything from here fails
+            drop(store); // close-time checkpoint dies
+        }
+        let store = PagedStore::open_store(&path, 4).unwrap();
+        assert_eq!(store.recovery().replayed_txns, 1);
+        let blob = store.read_catalog().unwrap().expect("catalog replayed");
+        assert_eq!(blob, vec![5u8; 2 * OVF_CAPACITY]);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(Wal::path_for(&path));
+    }
+
+    #[test]
+    fn rollback_restores_watermark_and_free_list() {
+        let path = scratch("rollback");
+        let store = PagedStore::create(&path, 4).unwrap();
+        let before = {
+            let st = store.state();
+            (st.meta.next_page, st.free.clone())
+        };
+        store.begin_txn();
+        let _ = store.write_table(&int_rows(500)).unwrap();
+        assert!(store.state().meta.next_page > before.0);
+        store.rollback_txn();
+        let after = {
+            let st = store.state();
+            (st.meta.next_page, st.free.clone())
+        };
+        assert_eq!(after, before, "rollback restores the allocation state");
+        assert!(store.state().txn_pages.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn cyclic_overflow_chain_errors_instead_of_hanging() {
         // Hand-craft a database whose catalog chain is a self-referential
         // overflow page with a zero-length chunk: the byte count never
@@ -817,9 +1151,9 @@ mod tests {
         {
             let store = PagedStore::create(&path, 4).unwrap();
             extent = store.write_table(&int_rows(1000)).unwrap();
-            store.write_catalog(b"x", Vec::new()).unwrap(); // flush + sync everything
-        }
-        // Chop the file after the header: every data page is gone.
+            store.write_catalog(b"x", Vec::new()).unwrap();
+        } // close-time checkpoint flushes + syncs everything
+          // Chop the file after the header: every data page is gone.
         let f = OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(PAGE_SIZE as u64).unwrap();
         drop(f);
@@ -855,6 +1189,10 @@ mod tests {
             let freed = store.extent_pages(&extent).unwrap();
             assert!(!freed.is_empty());
             store.write_catalog(b"v2", freed.clone()).unwrap();
+            // Freed pages are quarantined until the checkpoint...
+            assert!(store.state().free.is_empty());
+            store.checkpoint().unwrap();
+            // ...and reusable after it.
             assert_eq!(store.state().free.len(), freed.len());
         }
         let store = PagedStore::open_store(&path, 4).unwrap();
@@ -870,7 +1208,8 @@ mod tests {
         // The PR-5 leak, pinned shut: repeatedly replacing a table (write
         // new extent, then commit freeing the old one) must not grow the
         // file once the double-buffering steady state is reached. Includes
-        // an oversized record so overflow chains are freed too.
+        // an oversized record so overflow chains are freed too. Each
+        // iteration checkpoints, since only checkpointed pages recycle.
         let path = scratch("freelist-size");
         let store = PagedStore::create(&path, 8).unwrap();
         let mut rows = int_rows(600);
@@ -883,12 +1222,14 @@ mod tests {
         );
         let mut extent = store.write_table(&rows).unwrap();
         store.write_catalog(b"c0", Vec::new()).unwrap();
+        store.checkpoint().unwrap();
         let size = |p: &PathBuf| std::fs::metadata(p).unwrap().len();
         let mut settled = 0;
         for i in 0..10 {
             let freed = store.extent_pages(&extent).unwrap();
             extent = store.write_table(&rows).unwrap();
             store.write_catalog(b"cx", freed).unwrap();
+            store.checkpoint().unwrap();
             if i == 2 {
                 settled = size(&path);
             }

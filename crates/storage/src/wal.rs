@@ -1,0 +1,431 @@
+//! The write-ahead log: redo records that make commits durable before
+//! any page write-back.
+//!
+//! The log is a sidecar file (`<db>.wal`) of length-prefixed,
+//! checksummed records in the spill codec's framing style: each record
+//! is `[u32 payload len][u64 FNV-1a checksum][payload]`, little-endian.
+//! Two payload kinds exist:
+//!
+//! * **page image** — a page id plus its full [`PAGE_SIZE`] bytes, one
+//!   per page a transaction wrote (data, overflow, index-chain, and
+//!   catalog-chain pages alike);
+//! * **commit** — the transaction's resulting header state (watermark,
+//!   catalog chain head/length, free list) plus the pages it freed.
+//!
+//! A transaction is durable exactly when its commit record is fsynced;
+//! page images without a following commit are an in-flight transaction
+//! a crash aborted, and recovery ignores them. Replay
+//! ([`Wal::scan`] + the store's redo pass) walks records in order,
+//! stops at the first torn or corrupt record, and reports what it had
+//! to discard — a truncated tail is an expected crash artifact, but it
+//! is never silently dropped (see [`RecoveryReport`]).
+
+use std::fs::{File, OpenOptions};
+use std::io::Read;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use tmql_model::{ModelError, Result};
+
+use crate::failpoint::{self, IoOp, WriteCheck};
+use crate::pager::page::{PageId, PAGE_SIZE};
+
+/// Payload tag for a page-image record.
+const KIND_PAGE: u8 = 1;
+/// Payload tag for a commit record.
+const KIND_COMMIT: u8 = 2;
+/// Bytes of framing before each payload: u32 length + u64 checksum.
+const FRAME_BYTES: usize = 12;
+
+/// FNV-1a 64-bit, the checksum guarding each record's payload.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn io_err(msg: impl Into<String>) -> ModelError {
+    ModelError::Io(msg.into())
+}
+
+/// The header state a committed transaction leaves behind, logged as
+/// the transaction's commit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Page allocation watermark after the transaction.
+    pub next_page: PageId,
+    /// Head of the catalog blob chain.
+    pub catalog_first: PageId,
+    /// Byte length of the catalog blob.
+    pub catalog_len: u64,
+    /// Reusable free list as of this commit (already checkpoint-durable
+    /// pages only; pages this and earlier WAL-only commits freed are in
+    /// `freed`).
+    pub free: Vec<PageId>,
+    /// Pages this transaction freed; they may be reused only after the
+    /// checkpoint that folds them into the durable free list.
+    pub freed: Vec<PageId>,
+}
+
+impl CommitRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(21 + 4 * (self.free.len() + self.freed.len()));
+        out.push(KIND_COMMIT);
+        out.extend_from_slice(&self.next_page.to_le_bytes());
+        out.extend_from_slice(&self.catalog_first.to_le_bytes());
+        out.extend_from_slice(&self.catalog_len.to_le_bytes());
+        for list in [&self.free, &self.freed] {
+            out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+            for pid in list {
+                out.extend_from_slice(&pid.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Result<CommitRecord> {
+        let mut pos = 1; // caller consumed the kind tag
+        let u32_at = |pos: &mut usize| -> Result<u32> {
+            let end = *pos + 4;
+            let b = payload
+                .get(*pos..end)
+                .ok_or_else(|| io_err("wal: truncated commit record"))?;
+            *pos = end;
+            Ok(u32::from_le_bytes(b.try_into().unwrap()))
+        };
+        let next_page = u32_at(&mut pos)?;
+        let catalog_first = u32_at(&mut pos)?;
+        let len_bytes = payload
+            .get(pos..pos + 8)
+            .ok_or_else(|| io_err("wal: truncated commit record"))?;
+        let catalog_len = u64::from_le_bytes(len_bytes.try_into().unwrap());
+        pos += 8;
+        let mut lists = [Vec::new(), Vec::new()];
+        for list in &mut lists {
+            let n = u32_at(&mut pos)? as usize;
+            list.reserve(n);
+            for _ in 0..n {
+                list.push(u32_at(&mut pos)?);
+            }
+        }
+        if pos != payload.len() {
+            return Err(io_err("wal: trailing bytes in commit record"));
+        }
+        let [free, freed] = lists;
+        Ok(CommitRecord {
+            next_page,
+            catalog_first,
+            catalog_len,
+            free,
+            freed,
+        })
+    }
+}
+
+/// One durable transaction recovered from the log: the page images it
+/// wrote, in order, and its commit record.
+#[derive(Debug)]
+pub struct WalTxn {
+    /// `(page id, full page image)` in write order.
+    pub pages: Vec<(PageId, Vec<u8>)>,
+    /// The transaction's resulting header state.
+    pub commit: CommitRecord,
+}
+
+/// What a scan of the log found: the committed transactions to replay,
+/// plus an account of everything after the last valid commit.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Committed transactions in log order.
+    pub txns: Vec<WalTxn>,
+    /// Well-formed records after the last commit (an in-flight
+    /// transaction's page images) plus one for a torn or corrupt tail,
+    /// if any — all discarded by replay.
+    pub discarded_records: usize,
+    /// Bytes after the last valid commit record.
+    pub discarded_bytes: u64,
+}
+
+/// Recovery summary surfaced through `Database::recovery_report` after
+/// an open that found work in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed transactions replayed into the database file.
+    pub replayed_txns: usize,
+    /// Records discarded after the last valid commit (in-flight page
+    /// images and/or one torn/corrupt tail record).
+    pub discarded_records: usize,
+    /// Bytes discarded after the last valid commit.
+    pub discarded_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// True when the open neither replayed nor discarded anything.
+    pub fn is_clean(&self) -> bool {
+        self.replayed_txns == 0 && self.discarded_records == 0
+    }
+}
+
+/// An open write-ahead log: append-only between checkpoints, truncated
+/// by them.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    end: u64,
+}
+
+impl Wal {
+    /// The sidecar path for a database file: `<db>.wal`.
+    pub fn path_for(db_path: &Path) -> PathBuf {
+        let mut os = db_path.as_os_str().to_os_string();
+        os.push(".wal");
+        PathBuf::from(os)
+    }
+
+    /// Open (creating if missing) the log for appending. The caller is
+    /// expected to have scanned and replayed first; appends start at
+    /// the current end of file.
+    pub fn open(path: &Path) -> Result<Wal> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err(format!("wal open {}: {e}", path.display())))?;
+        let end = file
+            .metadata()
+            .map_err(|e| io_err(format!("wal stat: {e}")))?
+            .len();
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            end,
+        })
+    }
+
+    /// Bytes currently in the log (the checkpoint trigger input).
+    pub fn bytes(&self) -> u64 {
+        self.end
+    }
+
+    fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let mut rec = Vec::with_capacity(FRAME_BYTES + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        let allowed =
+            match failpoint::check_write(&self.path, IoOp::WalWrite(rec.len()), rec.len())? {
+                WriteCheck::Full => rec.len(),
+                WriteCheck::Torn(n) => n,
+            };
+        self.file
+            .write_all_at(&rec[..allowed], self.end)
+            .map_err(|e| io_err(format!("wal append: {e}")))?;
+        if allowed < rec.len() {
+            return Err(io_err("injected crash (torn wal append)"));
+        }
+        self.end += rec.len() as u64;
+        Ok(())
+    }
+
+    /// Append a page-image redo record.
+    pub fn append_page(&mut self, pid: PageId, image: &[u8]) -> Result<()> {
+        debug_assert_eq!(image.len(), PAGE_SIZE);
+        let mut payload = Vec::with_capacity(5 + PAGE_SIZE);
+        payload.push(KIND_PAGE);
+        payload.extend_from_slice(&pid.to_le_bytes());
+        payload.extend_from_slice(image);
+        self.append(&payload)
+    }
+
+    /// Append a commit record; the transaction becomes durable at the
+    /// next [`Wal::sync`].
+    pub fn append_commit(&mut self, rec: &CommitRecord) -> Result<()> {
+        self.append(&rec.encode())
+    }
+
+    /// Fsync the log — the durability point for everything appended.
+    pub fn sync(&self) -> Result<()> {
+        failpoint::check_sync(&self.path, IoOp::WalSync)?;
+        self.file
+            .sync_all()
+            .map_err(|e| io_err(format!("wal sync: {e}")))
+    }
+
+    /// Truncate the log after a checkpoint has made its contents
+    /// redundant with the database file.
+    pub fn reset(&mut self) -> Result<()> {
+        failpoint::check_sync(&self.path, IoOp::WalReset)?;
+        self.file
+            .set_len(0)
+            .map_err(|e| io_err(format!("wal truncate: {e}")))?;
+        self.file
+            .sync_all()
+            .map_err(|e| io_err(format!("wal truncate sync: {e}")))?;
+        self.end = 0;
+        Ok(())
+    }
+
+    /// Scan a log file for committed transactions. A missing file is an
+    /// empty log. The scan stops at the first torn or corrupt record —
+    /// nothing after it can be trusted — and accounts for what it
+    /// discarded.
+    pub fn scan(path: &Path) -> Result<WalScan> {
+        let mut data = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)
+                    .map_err(|e| io_err(format!("wal read: {e}")))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalScan::default()),
+            Err(e) => return Err(io_err(format!("wal open for scan: {e}"))),
+        }
+        let mut scan = WalScan::default();
+        let mut pending: Vec<(PageId, Vec<u8>)> = Vec::new();
+        let mut pos = 0usize;
+        let mut committed_end = 0usize;
+        while pos + FRAME_BYTES <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let end = pos + FRAME_BYTES + len;
+            if len == 0 || end > data.len() {
+                break; // torn tail
+            }
+            let sum = u64::from_le_bytes(data[pos + 4..pos + 12].try_into().unwrap());
+            let payload = &data[pos + FRAME_BYTES..end];
+            if fnv1a(payload) != sum {
+                break; // corrupt record
+            }
+            match payload[0] {
+                KIND_PAGE if payload.len() == 5 + PAGE_SIZE => {
+                    let pid = PageId::from_le_bytes(payload[1..5].try_into().unwrap());
+                    pending.push((pid, payload[5..].to_vec()));
+                }
+                KIND_COMMIT => {
+                    let commit = match CommitRecord::decode(payload) {
+                        Ok(c) => c,
+                        Err(_) => break,
+                    };
+                    scan.txns.push(WalTxn {
+                        pages: std::mem::take(&mut pending),
+                        commit,
+                    });
+                    committed_end = end;
+                }
+                _ => break, // unknown kind or malformed page record
+            }
+            pos = end;
+        }
+        // Well-formed-but-uncommitted records, plus one for a torn or
+        // corrupt tail the parse loop could not get past.
+        scan.discarded_records = pending.len() + usize::from(pos < data.len());
+        scan.discarded_bytes = (data.len() - committed_end) as u64;
+        Ok(scan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tmql-wal-{tag}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn commit(next: PageId) -> CommitRecord {
+        CommitRecord {
+            next_page: next,
+            catalog_first: 7,
+            catalog_len: 42,
+            free: vec![3, 4],
+            freed: vec![5],
+        }
+    }
+
+    #[test]
+    fn committed_transactions_round_trip() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append_page(2, &vec![0xAB; PAGE_SIZE]).unwrap();
+        wal.append_page(3, &vec![0xCD; PAGE_SIZE]).unwrap();
+        wal.append_commit(&commit(9)).unwrap();
+        wal.sync().unwrap();
+
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.txns.len(), 1);
+        assert_eq!(scan.discarded_records, 0);
+        assert_eq!(scan.discarded_bytes, 0);
+        let txn = &scan.txns[0];
+        assert_eq!(txn.pages.len(), 2);
+        assert_eq!(txn.pages[0].0, 2);
+        assert_eq!(txn.pages[1].1, vec![0xCD; PAGE_SIZE]);
+        assert_eq!(txn.commit, commit(9));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_pages_are_discarded_and_counted() {
+        let path = tmp("uncommitted");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append_commit(&commit(1)).unwrap();
+        wal.append_page(4, &vec![1; PAGE_SIZE]).unwrap();
+        wal.append_page(5, &vec![2; PAGE_SIZE]).unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.txns.len(), 1);
+        assert_eq!(scan.discarded_records, 2);
+        assert!(scan.discarded_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_stops_the_scan() {
+        let path = tmp("torn");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append_commit(&commit(1)).unwrap();
+        let committed = std::fs::read(&path).unwrap();
+        wal.append_commit(&commit(2)).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..committed.len() + 5]).unwrap();
+
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.txns.len(), 1);
+        assert_eq!(scan.txns[0].commit, commit(1));
+        assert_eq!(scan.discarded_records, 1);
+        assert_eq!(scan.discarded_bytes, 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_at_the_last_valid_commit() {
+        let path = tmp("bitflip");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append_commit(&commit(1)).unwrap();
+        let one = std::fs::read(&path).unwrap().len();
+        wal.append_page(4, &vec![7; PAGE_SIZE]).unwrap();
+        wal.append_commit(&commit(2)).unwrap();
+
+        let mut data = std::fs::read(&path).unwrap();
+        data[one + FRAME_BYTES + 100] ^= 0x40; // flip a bit inside txn 2's page image
+        std::fs::write(&path, &data).unwrap();
+
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.txns.len(), 1, "replay must stop before the corruption");
+        assert_eq!(scan.discarded_records, 1);
+        assert_eq!(scan.discarded_bytes, (data.len() - one) as u64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_log() {
+        let scan = Wal::scan(Path::new("/tmp/definitely-not-a-wal-file.wal")).unwrap();
+        assert!(scan.txns.is_empty());
+        assert_eq!(scan.discarded_records, 0);
+    }
+}

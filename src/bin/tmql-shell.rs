@@ -53,6 +53,10 @@ meta commands:
   \\strategies <q>    run <q> under every strategy, compare row counts
   \\help              this text
   \\quit              exit
+transaction statements (grouping registrations and \\index changes into
+one atomic unit — durable as a single WAL commit on disk-backed
+databases; each statement auto-commits otherwise):
+  BEGIN | COMMIT | ROLLBACK
 anything else is executed as a TM query, e.g.
   SELECT x FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b)";
 
@@ -84,11 +88,35 @@ fn main() {
             if !shell.meta(rest) {
                 break;
             }
+        } else if let Some(stmt) = parse_txn_statement(line) {
+            shell.txn(stmt);
         } else {
             shell.run_query(line);
         }
     }
     println!("bye");
+}
+
+/// The three bare transaction statements, recognized case-insensitively
+/// with an optional trailing `;` (so `begin;` works like `BEGIN`).
+#[derive(Debug, Clone, Copy)]
+enum TxnStatement {
+    Begin,
+    Commit,
+    Rollback,
+}
+
+fn parse_txn_statement(line: &str) -> Option<TxnStatement> {
+    let word = line.trim().trim_end_matches(';').trim();
+    if word.eq_ignore_ascii_case("begin") {
+        Some(TxnStatement::Begin)
+    } else if word.eq_ignore_ascii_case("commit") {
+        Some(TxnStatement::Commit)
+    } else if word.eq_ignore_ascii_case("rollback") {
+        Some(TxnStatement::Rollback)
+    } else {
+        None
+    }
 }
 
 impl Shell {
@@ -131,6 +159,27 @@ impl Shell {
             other => println!("unknown command `\\{other}`; \\help for the list"),
         }
         true
+    }
+
+    /// `BEGIN` / `COMMIT` / `ROLLBACK`: multi-statement transactions.
+    fn txn(&mut self, stmt: TxnStatement) {
+        let result = match stmt {
+            TxnStatement::Begin => self.db.begin().map(|()| {
+                "transaction open; statements group until COMMIT (ROLLBACK discards them)"
+            }),
+            TxnStatement::Commit => self
+                .db
+                .commit()
+                .map(|()| "committed: the transaction's statements are now one durable unit"),
+            TxnStatement::Rollback => self
+                .db
+                .rollback()
+                .map(|()| "rolled back: the transaction's statements are discarded"),
+        };
+        match result {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => println!("error: {e}"),
+        }
     }
 
     /// `\index create|drop|list`: manage secondary indexes.
@@ -246,6 +295,14 @@ impl Shell {
                 "in-memory"
             }
         );
+        println!(
+            "transaction: {}",
+            if self.db.in_transaction() {
+                "open (COMMIT or ROLLBACK to close)"
+            } else {
+                "none (statements auto-commit)"
+            }
+        );
         println!("session options (\\set <option> <value>):");
         println!("  strategy       {}", self.opts.strategy.name());
         println!("  algo           {:?}", self.opts.join_algo);
@@ -314,6 +371,15 @@ impl Shell {
                     print!(" {t}({rows})");
                 }
                 println!();
+                if let Some(rep) = self.db.recovery_report() {
+                    if !rep.is_clean() {
+                        println!(
+                            "recovery: replayed {} transaction(s); \
+                             discarded {} corrupt/torn log record(s) ({} bytes)",
+                            rep.replayed_txns, rep.discarded_records, rep.discarded_bytes
+                        );
+                    }
+                }
             }
             Err(e) => println!("error: {e}"),
         }

@@ -52,7 +52,7 @@ pub use tmql_exec::{
     default_threads, CostEstimate, Estimator, ExecConfig, JoinAlgo, Metrics, OpProfile,
 };
 pub use tmql_model::{Record, Ty, Value};
-pub use tmql_storage::{Catalog, Table};
+pub use tmql_storage::{Catalog, RecoveryReport, Table};
 
 /// Adapter wiring `tmql-exec`'s statistics-backed [`Estimator`] into the
 /// logical optimizer's [`CostModel`] trait — the seam through which
@@ -506,6 +506,91 @@ impl Database {
             .indexes()
             .map(|(t, a, ix)| (t.to_string(), a.to_string(), ix.len()))
             .collect()
+    }
+
+    /// Open a multi-statement transaction (`BEGIN`). Every
+    /// [`Database::register_table`], [`Database::create_index`], and
+    /// [`Database::drop_index`] until the matching [`Database::commit`]
+    /// becomes one atomic unit: on a disk-backed database they reach the
+    /// write-ahead log as a single commit record behind one `fsync`, so
+    /// either all of them survive a crash or none do.
+    /// [`Database::rollback`] — or a failing statement, or dropping the
+    /// database mid-transaction — discards the whole group. Without an
+    /// explicit transaction each statement auto-commits by itself.
+    /// Nested transactions are an error.
+    ///
+    /// ```
+    /// use tmql::Database;
+    /// use tmql_storage::table::int_table;
+    ///
+    /// let path = std::env::temp_dir().join(format!("doc-txn-{}.tmdb", std::process::id()));
+    /// # let _ = std::fs::remove_file(&path);
+    /// # let _ = std::fs::remove_file({ let mut w = path.clone().into_os_string(); w.push(".wal"); std::path::PathBuf::from(w) });
+    /// let mut db = Database::open(&path).unwrap();
+    /// db.begin().unwrap();
+    /// db.register_table(int_table("X", &["a"], &[&[1]])).unwrap();
+    /// db.register_table(int_table("Y", &["b"], &[&[2]])).unwrap();
+    /// assert!(db.in_transaction());
+    /// db.commit().unwrap(); // X and Y become durable together
+    ///
+    /// db.begin().unwrap();
+    /// db.register_table(int_table("Z", &["c"], &[&[3]])).unwrap();
+    /// db.rollback().unwrap(); // Z never happened
+    ///
+    /// let db = Database::open(&path).unwrap();
+    /// assert!(db.query("SELECT x.a FROM X x").is_ok());
+    /// assert!(db.query("SELECT z.c FROM Z z").is_err());
+    /// # let _ = std::fs::remove_file(&path);
+    /// # let _ = std::fs::remove_file({ let mut w = path.clone().into_os_string(); w.push(".wal"); std::path::PathBuf::from(w) });
+    /// ```
+    pub fn begin(&mut self) -> Result<(), TmqlError> {
+        self.catalog.begin().map_err(TmqlError::from)
+    }
+
+    /// Commit the open transaction: every statement since
+    /// [`Database::begin`] becomes durable atomically. On failure the
+    /// transaction is rolled back and the error returned.
+    pub fn commit(&mut self) -> Result<(), TmqlError> {
+        self.catalog.commit().map_err(TmqlError::from)
+    }
+
+    /// Abandon the open transaction, restoring the database to its
+    /// [`Database::begin`] state and reclaiming the pages it wrote.
+    pub fn rollback(&mut self) -> Result<(), TmqlError> {
+        self.catalog.rollback().map_err(TmqlError::from)
+    }
+
+    /// Whether a [`Database::begin`] transaction is currently open.
+    pub fn in_transaction(&self) -> bool {
+        self.catalog.in_transaction()
+    }
+
+    /// Force a WAL checkpoint: flush dirty pages, rewrite the header,
+    /// truncate the log, and release replaced pages for reuse. No-op on
+    /// an in-memory database; an error while a transaction is open.
+    /// Checkpoints also happen automatically once the log exceeds its
+    /// threshold (see [`Database::set_wal_checkpoint_bytes`]) and when
+    /// the database is dropped.
+    pub fn wal_checkpoint(&self) -> Result<(), TmqlError> {
+        self.catalog.wal_checkpoint().map_err(TmqlError::from)
+    }
+
+    /// Override the WAL-size threshold beyond which a commit triggers an
+    /// automatic checkpoint (default
+    /// [`tmql_storage::pager::DEFAULT_WAL_CHECKPOINT_BYTES`], overridable
+    /// globally via the `TMQL_WAL_CHECKPOINT_BYTES` environment
+    /// variable). `u64::MAX` disables automatic checkpoints; `1` forces
+    /// one after every commit. No-op on an in-memory database.
+    pub fn set_wal_checkpoint_bytes(&self, bytes: u64) {
+        self.catalog.set_wal_checkpoint_bytes(bytes);
+    }
+
+    /// What crash recovery found when this database was opened: replayed
+    /// transactions and any discarded (torn or corrupt) log records.
+    /// `None` for in-memory databases;
+    /// [`RecoveryReport::is_clean`] for the common nothing-happened case.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.catalog.recovery()
     }
 
     /// Run a query with default options.

@@ -8,7 +8,7 @@
 //! * corrupted and truncated database files surface as
 //!   `ModelError::Io`, never a panic.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use tmql::{Database, QueryOptions, TmqlError, Ty, Value};
 use tmql_model::{ModelError, Record};
 use tmql_storage::table::int_table;
-use tmql_storage::{OrdIndex, Table};
+use tmql_storage::{IoFailpoint, IoOp, OrdIndex, Table};
 
 static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -26,6 +26,19 @@ fn scratch(tag: &str) -> PathBuf {
         "tmql-persist-{}-{tag}-{n}.tmdb",
         std::process::id()
     ))
+}
+
+/// The WAL sidecar a database keeps next to its file.
+fn wal_path(path: &Path) -> PathBuf {
+    let mut w = path.to_path_buf().into_os_string();
+    w.push(".wal");
+    PathBuf::from(w)
+}
+
+/// Remove a scratch database and its WAL sidecar.
+fn clean(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(wal_path(path));
 }
 
 /// Arbitrary bounded-depth complex object values — every `Value` kind,
@@ -361,6 +374,217 @@ fn truncated_file_surfaces_as_io_error() {
         other => panic!("expected ModelError::Io on bad magic, got {other:?}"),
     }
     let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// The crash matrix: a counting failpoint first records the workload's I/O
+// boundary sequence, then a second identical run is killed (or torn) at a
+// semantically chosen boundary. After every crash, reopening must
+// recover exactly the committed prefix — the WAL's whole claim.
+// ---------------------------------------------------------------------------
+
+/// Crash **between the WAL commit fsync and any page write-back**: the
+/// log is the only durable copy of the transaction. Replay must
+/// reconstruct it.
+#[test]
+fn crash_after_wal_sync_before_write_back_recovers_the_commit() {
+    let path = scratch("crash-wb");
+    let rows: Vec<Vec<i64>> = (0..300).map(|i| vec![i, i % 7]).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    let run = |path: &Path| {
+        let mut db = Database::open_with(path, 8).unwrap();
+        // No size-triggered checkpoint: write-back happens only at close.
+        db.set_wal_checkpoint_bytes(u64::MAX);
+        db.register_table(int_table("X", &["n", "b"], &refs))
+    };
+
+    // Pass 1: count. The last WalSync is the commit's durability point;
+    // everything after it is write-back (the close-time checkpoint).
+    clean(&path);
+    let last_sync = {
+        let fp = IoFailpoint::count(&path);
+        run(&path).unwrap();
+        let log = fp.log();
+        log.iter()
+            .rposition(|op| *op == IoOp::WalSync)
+            .expect("the commit synced the WAL") as u64
+    };
+
+    // Pass 2: kill immediately after that sync — the checkpoint's first
+    // page write (and everything after) fails.
+    clean(&path);
+    let fp = IoFailpoint::kill_at(&path, last_sync + 1);
+    run(&path).unwrap(); // the commit itself was durable before the kill
+    assert!(fp.triggered(), "the write-back must have been reached");
+    drop(fp);
+
+    let db = Database::open_with(&path, 8).unwrap();
+    let rep = db.recovery_report().expect("disk-backed");
+    assert_eq!(rep.replayed_txns, 1, "the logged commit was replayed");
+    assert_eq!(rep.discarded_records, 0);
+    let r = db.query("SELECT x.n FROM X x WHERE x.b = 3").unwrap();
+    assert_eq!(r.len(), 43);
+    clean(&path);
+}
+
+/// Crash **mid-WAL-append** (torn tail): the commit never became
+/// durable, so recovery must discard the torn transaction — and say so —
+/// while keeping everything committed before it.
+#[test]
+fn crash_mid_wal_append_discards_the_torn_transaction() {
+    let path = scratch("crash-torn");
+    let rows: Vec<Vec<i64>> = (0..200).map(|i| vec![i]).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    let setup = |path: &Path| {
+        let mut db = Database::open_with(path, 8).unwrap();
+        db.register_table(int_table("X", &["n"], &refs)).unwrap();
+        db.wal_checkpoint().unwrap(); // X is checkpoint-durable; WAL empty
+        db
+    };
+
+    // Pass 1: count the second register's appends. The last WalWrite
+    // before the WalSync is the commit record itself.
+    clean(&path);
+    let last_append = {
+        let db = setup(&path);
+        let mut db = db;
+        let fp = IoFailpoint::count(&path);
+        db.register_table(int_table("Y", &["m"], &refs)).unwrap();
+        drop(db);
+        let log = fp.log();
+        let sync = log
+            .iter()
+            .position(|op| *op == IoOp::WalSync)
+            .expect("the commit synced the WAL");
+        log[..sync]
+            .iter()
+            .rposition(|op| matches!(op, IoOp::WalWrite(_)))
+            .expect("the commit appended records") as u64
+    };
+
+    // Pass 2: tear that append — half the commit record reaches disk.
+    clean(&path);
+    let mut db = setup(&path);
+    let fp = IoFailpoint::torn_at(&path, last_append);
+    let err = db
+        .register_table(int_table("Y", &["m"], &refs))
+        .unwrap_err();
+    assert!(err.to_string().contains("injected crash"), "{err}");
+    drop(db); // close-time checkpoint also dies: the process is "gone"
+    assert!(fp.triggered());
+    drop(fp);
+
+    let db = Database::open_with(&path, 8).unwrap();
+    let rep = db.recovery_report().expect("disk-backed");
+    assert_eq!(rep.replayed_txns, 0, "no commit record, nothing to replay");
+    assert!(
+        rep.discarded_records >= 1,
+        "the torn tail is reported, not silently dropped: {rep:?}"
+    );
+    assert!(rep.discarded_bytes > 0, "{rep:?}");
+    assert!(db.query("SELECT x.n FROM X x").is_ok(), "X survived");
+    assert!(
+        db.query("SELECT y.m FROM Y y").is_err(),
+        "the torn Y must not exist"
+    );
+    clean(&path);
+}
+
+/// Crash **between the commit record and checkpoint completion**: the
+/// statement already reported success (its fsync happened), so the
+/// failed checkpoint must not lose it — replay reconstructs the pages
+/// the write-back never finished.
+#[test]
+fn crash_between_commit_and_checkpoint_keeps_the_commit() {
+    let path = scratch("crash-ckpt");
+    let rows: Vec<Vec<i64>> = (0..200).map(|i| vec![i]).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    let setup = |path: &Path| {
+        let mut db = Database::open_with(path, 8).unwrap();
+        db.register_table(int_table("X", &["n"], &refs)).unwrap();
+        db.wal_checkpoint().unwrap(); // X checkpoint-durable; WAL empty
+        db
+    };
+
+    // Pass 1: count. With a 1-byte threshold the commit is chased by an
+    // automatic checkpoint; its first operation follows the WalSync.
+    clean(&path);
+    let commit_sync = {
+        let mut db = setup(&path);
+        db.set_wal_checkpoint_bytes(1);
+        let fp = IoFailpoint::count(&path);
+        db.register_table(int_table("Y", &["m"], &refs)).unwrap();
+        drop(db);
+        fp.log()
+            .iter()
+            .position(|op| *op == IoOp::WalSync)
+            .expect("the commit synced the WAL") as u64
+    };
+
+    // Pass 2: kill the checkpoint's first operation. The statement still
+    // succeeds — its durability point already passed.
+    clean(&path);
+    let mut db = setup(&path);
+    db.set_wal_checkpoint_bytes(1);
+    let fp = IoFailpoint::kill_at(&path, commit_sync + 1);
+    db.register_table(int_table("Y", &["m"], &refs))
+        .expect("the commit was durable before the checkpoint died");
+    drop(db);
+    assert!(fp.triggered());
+    drop(fp);
+
+    let db = Database::open_with(&path, 8).unwrap();
+    let rep = db.recovery_report().expect("disk-backed");
+    assert_eq!(rep.replayed_txns, 1, "the acknowledged commit came back");
+    assert_eq!(db.query("SELECT x.n FROM X x").unwrap().len(), 200);
+    assert_eq!(db.query("SELECT y.m FROM Y y").unwrap().len(), 200);
+    clean(&path);
+}
+
+/// A bit flip **mid-log** (satellite of the WAL-scan unit test, end to
+/// end): replay stops at the last valid commit before the flip and the
+/// discarded suffix is counted in the recovery report.
+#[test]
+fn bit_flipped_wal_record_stops_replay_at_last_valid_commit() {
+    let path = scratch("crash-flip");
+    let rows: Vec<Vec<i64>> = (0..200).map(|i| vec![i]).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+
+    clean(&path);
+    let txn1_end;
+    {
+        let mut db = Database::open_with(&path, 8).unwrap();
+        db.set_wal_checkpoint_bytes(u64::MAX); // keep both commits in the log
+        db.register_table(int_table("X", &["n"], &refs)).unwrap();
+        txn1_end = std::fs::metadata(wal_path(&path)).unwrap().len();
+        db.register_table(int_table("Y", &["m"], &refs)).unwrap();
+        // Crash the close so the WAL survives intact…
+        let _fp = IoFailpoint::kill_at(&path, 0);
+        drop(db);
+    }
+    // …then flip one byte inside the second transaction's first record.
+    let wal = wal_path(&path);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    assert!(bytes.len() as u64 > txn1_end, "txn 2 appended records");
+    let victim = txn1_end as usize + 16;
+    bytes[victim] ^= 0x40;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let db = Database::open_with(&path, 8).unwrap();
+    let rep = db.recovery_report().expect("disk-backed");
+    assert_eq!(rep.replayed_txns, 1, "replay stopped after txn 1: {rep:?}");
+    assert!(rep.discarded_records >= 1, "{rep:?}");
+    assert!(rep.discarded_bytes > 0, "{rep:?}");
+    assert_eq!(db.query("SELECT x.n FROM X x").unwrap().len(), 200);
+    assert!(
+        db.query("SELECT y.m FROM Y y").is_err(),
+        "the corrupt txn 2 must be gone"
+    );
+    // The reopen checkpointed what it recovered: a second open is clean.
+    drop(db);
+    let db = Database::open_with(&path, 8).unwrap();
+    assert!(db.recovery_report().unwrap().is_clean());
+    clean(&path);
 }
 
 /// `persist_to` copies an in-memory database wholesale; the copy answers

@@ -99,6 +99,9 @@ fn help_lists_every_implemented_command() {
         "\\strategies",
         "\\help",
         "\\quit",
+        "BEGIN",
+        "COMMIT",
+        "ROLLBACK",
     ];
     let out = run_shell("\\help\n\\quit\n");
     for cmd in commands {
@@ -221,6 +224,57 @@ fn persist_then_open_round_trips_across_shell_sessions() {
         "reopened database must answer identically ({rows_line}):\n{out2}"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn transactions_group_statements_across_shell_sessions() {
+    let path =
+        std::env::temp_dir().join(format!("tmql-shell-txn-test-{}.tmdb", std::process::id()));
+    let wal = {
+        let mut w = path.clone().into_os_string();
+        w.push(".wal");
+        std::path::PathBuf::from(w)
+    };
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
+    let p = path.display();
+    // Session 1: a rolled-back index never happened; a committed one is
+    // durable. Statement forms are case-insensitive with optional `;`.
+    let out = run_shell(&format!(
+        "\\load xy 64\n\
+         \\persist {p}\n\
+         begin;\n\
+         \\index create X b\n\
+         rollback\n\
+         \\index list\n\
+         commit\n\
+         BEGIN\n\
+         \\index create X b\n\
+         \\show\n\
+         COMMIT;\n\
+         \\quit\n"
+    ));
+    assert!(out.contains("transaction open"), "{out}");
+    assert!(out.contains("rolled back"), "{out}");
+    assert!(
+        out.contains("no indexes"),
+        "rollback must discard the index:\n{out}"
+    );
+    assert!(
+        out.contains("error: no open transaction to commit"),
+        "stray COMMIT reports an error:\n{out}"
+    );
+    assert!(out.contains("transaction: open"), "{out}");
+    assert!(out.contains("committed"), "{out}");
+    // Session 2: the committed transaction survives the process.
+    let out2 = run_shell(&format!("\\open {p}\n\\index list\n\\show\n\\quit\n"));
+    assert!(
+        out2.contains("X.b (64 entries)"),
+        "committed index persists:\n{out2}"
+    );
+    assert!(out2.contains("transaction: none"), "{out2}");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
 }
 
 #[test]
