@@ -74,6 +74,18 @@ pub struct ExecConfig {
     /// the one-inner-execution-per-outer-row behavior (differential tests
     /// and benchmarks compare the two).
     pub apply_cache: bool,
+    /// Collect per-operator wall-clock spans (default `true`): the
+    /// metered [`crate::op::operator::Operator::pull`] and the
+    /// open/close walk wrap each call in an `Instant` span accumulated
+    /// into [`crate::op::operator::OpStats::wall_nanos`], which is what
+    /// `EXPLAIN ANALYZE` renders. Spans are measured on the driver
+    /// thread, so a parallel worker wave inside one operator's
+    /// `next_batch` is observed as the wave's wall-clock (the slowest
+    /// worker), not the sum of worker CPU — see `docs/architecture.md`
+    /// § Observability. Overhead is pinned below 5% by `b14_observe`;
+    /// `false` skips the clock reads entirely and profiles report
+    /// zero time.
+    pub collect_timing: bool,
 }
 
 impl Default for ExecConfig {
@@ -84,6 +96,7 @@ impl Default for ExecConfig {
             memory_budget_rows: None,
             threads: default_threads(),
             apply_cache: true,
+            collect_timing: true,
         }
     }
 }
@@ -134,6 +147,12 @@ impl ExecConfig {
         self.apply_cache = on;
         self
     }
+
+    /// Enable or disable per-operator wall-clock spans (default on).
+    pub fn collect_timing(mut self, on: bool) -> ExecConfig {
+        self.collect_timing = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +200,12 @@ mod tests {
     fn apply_cache_defaults_on() {
         assert!(ExecConfig::default().apply_cache);
         assert!(!ExecConfig::default().apply_cache(false).apply_cache);
+    }
+
+    #[test]
+    fn collect_timing_defaults_on() {
+        assert!(ExecConfig::default().collect_timing);
+        assert!(!ExecConfig::default().collect_timing(false).collect_timing);
     }
 
     #[test]

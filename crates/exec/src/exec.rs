@@ -36,6 +36,7 @@ pub struct ExecContext<'a> {
     /// only); [`ExecContext::sync_pool_metrics`] diffs against this to
     /// report the query's own page traffic.
     pool_base: Option<tmql_storage::PoolStats>,
+    collect_timing: bool,
 }
 
 impl<'a> ExecContext<'a> {
@@ -54,8 +55,15 @@ impl<'a> ExecContext<'a> {
             memory_budget_rows: config.memory_budget_rows,
             spill_dir: None,
             pool_base: catalog.pool_stats(),
+            collect_timing: config.collect_timing,
             catalog,
         }
+    }
+
+    /// Whether per-operator wall-clock spans are being collected (see
+    /// [`ExecConfig::collect_timing`]).
+    pub fn collect_timing(&self) -> bool {
+        self.collect_timing
     }
 
     /// Fold the buffer pool's page traffic since this context was created
@@ -157,9 +165,9 @@ pub fn execute_collect(
 ) -> Result<(Vec<Record>, Vec<operator::OpProfile>)> {
     let mut root = operator::build(plan, env);
     let result = root
-        .open(ctx)
+        .open_timed(ctx)
         .and_then(|()| operator::drain(&mut root, ctx));
-    root.close(ctx);
+    root.close_timed(ctx);
     ctx.sync_pool_metrics();
     let rows = result?;
     let profile = operator::collect_profile(root.as_ref(), est);
@@ -345,7 +353,8 @@ mod tests {
         let (rows, profile) = execute_profiled(&plan, &mut ctx, &Env::new()).unwrap();
         assert_eq!(rows.len(), 4);
         assert_eq!(ctx.metrics.subquery_invocations, 4);
-        assert!(profile.contains("Apply [rows=4 batches=2]"), "{profile}");
+        // Timing is on by default, so a ` time=…` suffix follows.
+        assert!(profile.contains("Apply [rows=4 batches=2"), "{profile}");
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod config;
 pub mod cost;
 pub mod exec;
 pub mod metrics;
+pub mod obs;
 pub mod op;
 pub mod physical;
 pub mod planner;
@@ -56,6 +57,7 @@ pub use config::{default_threads, ExecConfig, JoinAlgo, DEFAULT_BATCH_SIZE};
 pub use cost::{CostEstimate, Estimator};
 pub use exec::{execute, execute_collect, execute_logical, execute_profiled, ExecContext};
 pub use metrics::Metrics;
+pub use obs::MetricsRecorder;
 pub use op::operator::{Batch, OpProfile, OpStats, Operator};
 pub use physical::{JoinKind, PhysPlan};
 pub use planner::lower;

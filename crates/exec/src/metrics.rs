@@ -328,6 +328,61 @@ mod tests {
     }
 
     #[test]
+    fn total_work_composition_is_pinned() {
+        // Exhaustive literal, no `..Default`: adding a field to `Metrics`
+        // breaks this construction, forcing the new counter to be
+        // classified — work (add its power of two to `work` below and the
+        // field to `total_work`) or shape/gauge (add it only here).
+        // Distinct powers of two make any omission or double-count a
+        // unique, visible delta.
+        let m = Metrics {
+            rows_scanned: 1 << 0,
+            comparisons: 1 << 1,
+            hash_build_rows: 1 << 2,
+            hash_probes: 1 << 3,
+            rows_sorted: 1 << 4,
+            rows_emitted: 1 << 5,
+            subquery_invocations: 1 << 6,
+            rows_spilled: 1 << 7,
+            spill_partitions: 1 << 8,
+            batches_emitted: 1 << 9,
+            pool_hits: 1 << 10,
+            pool_misses: 1 << 11,
+            index_probes: 1 << 12,
+            index_hits: 1 << 13,
+            apply_invocations: 1 << 14,
+            apply_cache_hits: 1 << 15,
+            peak_resident_rows: 1 << 16,
+        };
+        // The documented work set: real row traffic, predicate/key
+        // evaluations, I/O (spills + page faults), index and Apply work.
+        let work: u64 = (1 << 0)
+            + (1 << 1)
+            + (1 << 2)
+            + (1 << 3)
+            + (1 << 4)
+            + (1 << 5)
+            + (1 << 6)
+            + (1 << 7)
+            + (1 << 11)
+            + (1 << 12)
+            + (1 << 13)
+            + (1 << 14)
+            + (1 << 15);
+        assert_eq!(m.total_work(), work);
+        // And the documented exclusions stay excluded: shape/gauge fields
+        // contribute nothing.
+        let shape_only = Metrics {
+            spill_partitions: 8,
+            batches_emitted: 9,
+            pool_hits: 10,
+            peak_resident_rows: 11,
+            ..Metrics::new()
+        };
+        assert_eq!(shape_only.total_work(), 0);
+    }
+
+    #[test]
     fn display_compact() {
         let m = Metrics::new();
         assert!(m.to_string().starts_with("scanned=0"));

@@ -108,9 +108,9 @@ impl<'p> ApplyOp<'p> {
                 self.inner.as_mut().expect("just built")
             }
         };
-        inner.open(ctx)?;
+        inner.open_timed(ctx)?;
         let res = drain(inner, ctx);
-        inner.close(ctx);
+        inner.close_timed(ctx);
         Ok(res?.iter().map(Plan::row_output_value).collect())
     }
 
@@ -172,7 +172,7 @@ impl Operator for ApplyOp<'_> {
             ctx.resident_acquire(self.cache_rows);
             self.gauge_held = true;
         }
-        self.child.open(ctx)
+        self.child.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -222,9 +222,9 @@ impl Operator for ApplyOp<'_> {
             self.gauge_held = false;
         }
         if let Some(inner) = self.inner.as_mut() {
-            inner.close(ctx);
+            inner.close_timed(ctx);
         }
-        self.child.close(ctx);
+        self.child.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {
@@ -302,7 +302,7 @@ impl Operator for MaterializeOp<'_> {
             self.acquired = buf.len();
             return Ok(());
         }
-        self.child.open(ctx)
+        self.child.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -336,7 +336,7 @@ impl Operator for MaterializeOp<'_> {
                         self.acquired = 0;
                         self.filling.clear();
                         self.overflowed = true;
-                        self.child.open(ctx)?;
+                        self.child.open_timed(ctx)?;
                     }
                 }
             }
@@ -347,7 +347,7 @@ impl Operator for MaterializeOp<'_> {
         ctx.resident_release(self.acquired);
         self.acquired = 0;
         self.filling.clear();
-        self.child.close(ctx);
+        self.child.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {

@@ -76,6 +76,15 @@ pub struct OpStats {
     /// repartitioning passes re-count their rows, mirroring
     /// [`Metrics::rows_spilled`]).
     pub rows_spilled: u64,
+    /// Wall-clock nanoseconds spent inside this operator's `open`,
+    /// `next_batch`, and `close` calls, *inclusive* of its children
+    /// (a parent's span covers the pulls it issues downstream, exactly
+    /// like `EXPLAIN ANALYZE` elsewhere). Always 0 when
+    /// [`crate::ExecConfig::collect_timing`] is off. Spans are measured
+    /// on the driver thread: a parallel worker wave running inside one
+    /// operator's `next_batch` contributes the wave's wall-clock — the
+    /// slowest worker, not the sum of per-worker CPU.
+    pub wall_nanos: u64,
 }
 
 /// A physical operator in the streaming executor.
@@ -115,7 +124,12 @@ pub trait Operator {
     /// Metered `next_batch`: updates the global batch/row counters and the
     /// per-operator stats. Parents and drivers call this, not `next_batch`.
     fn pull(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
-        match self.next_batch(ctx)? {
+        let span = ctx.collect_timing().then(std::time::Instant::now);
+        let next = self.next_batch(ctx);
+        if let Some(t) = span {
+            self.stats_mut().wall_nanos += t.elapsed().as_nanos() as u64;
+        }
+        match next? {
             Some(b) => {
                 ctx.metrics.batches_emitted += 1;
                 ctx.metrics.rows_emitted += b.len() as u64;
@@ -125,6 +139,29 @@ pub trait Operator {
                 Ok(Some(b))
             }
             None => Ok(None),
+        }
+    }
+
+    /// `open` wrapped in a wall-clock span (when
+    /// [`crate::ExecConfig::collect_timing`] is on). Parents and drivers
+    /// call this, not `open`, so every operator's span also covers its
+    /// setup work.
+    fn open_timed(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        let span = ctx.collect_timing().then(std::time::Instant::now);
+        let r = self.open(ctx);
+        if let Some(t) = span {
+            self.stats_mut().wall_nanos += t.elapsed().as_nanos() as u64;
+        }
+        r
+    }
+
+    /// `close` wrapped in a wall-clock span, mirroring
+    /// [`Operator::open_timed`].
+    fn close_timed(&mut self, ctx: &mut ExecContext<'_>) {
+        let span = ctx.collect_timing().then(std::time::Instant::now);
+        self.close(ctx);
+        if let Some(t) = span {
+            self.stats_mut().wall_nanos += t.elapsed().as_nanos() as u64;
         }
     }
 }
@@ -157,6 +194,9 @@ pub struct OpProfile {
     pub batches_out: u64,
     /// Rows this operator spilled to disk (0 without a memory budget).
     pub rows_spilled: u64,
+    /// Inclusive wall-clock nanoseconds (see [`OpStats::wall_nanos`];
+    /// 0 when timing collection was off).
+    pub wall_nanos: u64,
     /// Estimated output rows from the cost model, in the same pre-order
     /// position (None when executed without estimates).
     pub est_rows: Option<f64>,
@@ -195,6 +235,7 @@ pub fn collect_profile(root: &dyn Operator, est: Option<&[f64]>) -> Vec<OpProfil
             rows_out: s.rows_out,
             batches_out: s.batches_out,
             rows_spilled: s.rows_spilled,
+            wall_nanos: s.wall_nanos,
             est_rows,
         });
         for c in op.children() {
@@ -220,16 +261,24 @@ pub fn render_profile(entries: &[OpProfile]) -> String {
         } else {
             String::new()
         };
+        // `time=` appears only when spans were collected, so profiles
+        // taken with `collect_timing` off render exactly as before the
+        // observability layer existed.
+        let time = if e.wall_nanos > 0 {
+            format!(" time={}", tmql_obs::human_duration_nanos(e.wall_nanos))
+        } else {
+            String::new()
+        };
         match e.est_rows {
             Some(est) => out.push_str(&format!(
-                "{} [rows={} est={} batches={}{spilled}]\n",
+                "{} [rows={} est={} batches={}{spilled}{time}]\n",
                 e.label,
                 e.rows_out,
                 crate::cost::format_rows(est),
                 e.batches_out
             )),
             None => out.push_str(&format!(
-                "{} [rows={} batches={}{spilled}]\n",
+                "{} [rows={} batches={}{spilled}{time}]\n",
                 e.label, e.rows_out, e.batches_out
             )),
         }
@@ -907,7 +956,7 @@ impl Operator for FilterOp<'_> {
     }
 
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
-        self.child.open(ctx)
+        self.child.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -930,7 +979,7 @@ impl Operator for FilterOp<'_> {
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
-        self.child.close(ctx);
+        self.child.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {
@@ -973,7 +1022,7 @@ impl Operator for MapOp<'_> {
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
         self.dedup.reset(ctx);
         self.sealed = false;
-        self.child.open(ctx)
+        self.child.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -1012,7 +1061,7 @@ impl Operator for MapOp<'_> {
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
         self.dedup.reset(ctx);
-        self.child.close(ctx);
+        self.child.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {
@@ -1048,7 +1097,7 @@ impl Operator for ExtendOp<'_> {
     }
 
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
-        self.child.open(ctx)
+        self.child.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -1064,7 +1113,7 @@ impl Operator for ExtendOp<'_> {
     }
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
-        self.child.close(ctx);
+        self.child.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {
@@ -1103,7 +1152,7 @@ impl Operator for ProjectOp<'_> {
     fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
         self.dedup.reset(ctx);
         self.sealed = false;
-        self.child.open(ctx)
+        self.child.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -1141,7 +1190,7 @@ impl Operator for ProjectOp<'_> {
 
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
         self.dedup.reset(ctx);
-        self.child.close(ctx);
+        self.child.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {
@@ -1183,7 +1232,7 @@ impl Operator for UnnestOp<'_> {
         ctx.resident_release(self.carry.len());
         self.carry.clear();
         self.done = false;
-        self.child.open(ctx)
+        self.child.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -1215,7 +1264,7 @@ impl Operator for UnnestOp<'_> {
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
         ctx.resident_release(self.carry.len());
         self.carry.clear();
-        self.child.close(ctx);
+        self.child.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {
@@ -1325,8 +1374,8 @@ impl Operator for NlJoinOp<'_> {
         ctx.resident_release(self.carry.len());
         self.carry.clear();
         self.done = false;
-        self.left.open(ctx)?;
-        self.right.open(ctx)
+        self.left.open_timed(ctx)?;
+        self.right.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -1393,8 +1442,8 @@ impl Operator for NlJoinOp<'_> {
         self.release_inner(ctx);
         ctx.resident_release(self.carry.len());
         self.carry.clear();
-        self.left.close(ctx);
-        self.right.close(ctx);
+        self.left.close_timed(ctx);
+        self.right.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {
@@ -1504,7 +1553,7 @@ impl Operator for IndexNLJoinOp<'_> {
         ctx.resident_release(self.carry.len());
         self.carry.clear();
         self.done = false;
-        self.left.open(ctx)
+        self.left.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -1533,7 +1582,7 @@ impl Operator for IndexNLJoinOp<'_> {
     fn close(&mut self, ctx: &mut ExecContext<'_>) {
         ctx.resident_release(self.carry.len());
         self.carry.clear();
-        self.left.close(ctx);
+        self.left.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {
@@ -1611,8 +1660,8 @@ impl Operator for HashJoinOp<'_> {
         ctx.resident_release(self.carry.len());
         self.carry.clear();
         self.done = false;
-        self.left.open(ctx)?;
-        self.right.open(ctx)
+        self.left.open_timed(ctx)?;
+        self.right.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -1868,8 +1917,8 @@ impl Operator for HashJoinOp<'_> {
         }
         ctx.resident_release(self.carry.len());
         self.carry.clear();
-        self.left.close(ctx);
-        self.right.close(ctx);
+        self.left.close_timed(ctx);
+        self.right.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {
@@ -1932,7 +1981,7 @@ impl Operator for UnaryBreaker<'_> {
         }
         self.grace = None;
         self.done = false;
-        self.child.open(ctx)
+        self.child.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -2085,7 +2134,7 @@ impl Operator for UnaryBreaker<'_> {
             ctx.resident_release(out.len());
         }
         self.grace = None;
-        self.child.close(ctx);
+        self.child.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {
@@ -2145,8 +2194,8 @@ impl Operator for BinaryBreaker<'_> {
         }
         self.grace = None;
         self.done = false;
-        self.left.open(ctx)?;
-        self.right.open(ctx)
+        self.left.open_timed(ctx)?;
+        self.right.open_timed(ctx)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<Batch>> {
@@ -2366,8 +2415,8 @@ impl Operator for BinaryBreaker<'_> {
             ctx.resident_release(out.len());
         }
         self.grace = None;
-        self.left.close(ctx);
-        self.right.close(ctx);
+        self.left.close_timed(ctx);
+        self.right.close_timed(ctx);
     }
 
     fn rebind(&mut self, env: &Env) {

@@ -34,7 +34,8 @@ use crate::index::{decode_index, encode_index, OrdIndex};
 use crate::pager::{CatalogImage, IndexImage, PageId, PagedStore, PoolStats, TableImage};
 use crate::stats::TableStats;
 use crate::table::Table;
-use crate::wal::RecoveryReport;
+use crate::wal::{RecoveryReport, WalActivity};
+use tmql_obs::MetricsRegistry;
 
 /// One maintained secondary index: the in-memory structure plus (when the
 /// catalog is persistent) the page chain holding its encoded entries.
@@ -303,6 +304,103 @@ impl Catalog {
         let table = self.tables.get(name)?;
         let (store, extent) = table.disk_parts()?;
         Some((store.resident_pages(extent), extent.page_count()))
+    }
+
+    /// Snapshot of the persistent store's WAL activity (`None` for
+    /// transient catalogs) — sizes, append/fsync/checkpoint counts; the
+    /// input for shell `\stats` and the `tmql_wal_*` metrics series.
+    pub fn wal_activity(&self) -> Option<WalActivity> {
+        self.store.as_ref().map(|s| s.wal_activity())
+    }
+
+    /// `(reusable free pages, checkpoint-quarantined freed pages)` of
+    /// the persistent store (`None` for transient catalogs).
+    pub fn free_list_len(&self) -> Option<(usize, usize)> {
+        self.store.as_ref().map(|s| s.free_list_len())
+    }
+
+    /// Register this catalog's storage series into an engine-wide
+    /// metrics registry: buffer-pool traffic (`tmql_pool_*`), WAL
+    /// activity (`tmql_wal_*`), and allocator free-list gauges. All
+    /// series are *polled* — sampled from the store's own atomics at
+    /// render time — so nothing is double-counted and the hot paths gain
+    /// no new work. A transient (in-memory) catalog registers nothing.
+    pub fn register_metrics(&self, reg: &MetricsRegistry) {
+        let Some(store) = &self.store else { return };
+        let s = store.clone();
+        reg.counter_fn(
+            "tmql_pool_hits_total",
+            "Buffer-pool page requests served from memory",
+            {
+                let s = s.clone();
+                move || s.pool_stats().hits
+            },
+        );
+        reg.counter_fn(
+            "tmql_pool_misses_total",
+            "Buffer-pool page faults (disk reads)",
+            {
+                let s = s.clone();
+                move || s.pool_stats().misses
+            },
+        );
+        reg.counter_fn("tmql_pool_evictions_total", "Buffer-pool frames evicted", {
+            let s = s.clone();
+            move || s.pool_stats().evictions
+        });
+        reg.counter_fn(
+            "tmql_pool_writebacks_total",
+            "Dirty pages written back by the pool",
+            {
+                let s = s.clone();
+                move || s.pool_stats().writebacks
+            },
+        );
+        reg.gauge_fn("tmql_pool_pages", "Buffer-pool capacity in pages", {
+            let s = s.clone();
+            move || s.pool_pages() as u64
+        });
+        reg.gauge_fn("tmql_wal_size_bytes", "Current write-ahead-log size", {
+            let s = s.clone();
+            move || s.wal_activity().size_bytes
+        });
+        reg.counter_fn("tmql_wal_appends_total", "WAL records appended", {
+            let s = s.clone();
+            move || s.wal_activity().appends_total
+        });
+        reg.counter_fn("tmql_wal_commits_total", "WAL commit records appended", {
+            let s = s.clone();
+            move || s.wal_activity().commits_total
+        });
+        reg.counter_fn("tmql_wal_fsyncs_total", "WAL fsyncs (durability points)", {
+            let s = s.clone();
+            move || s.wal_activity().syncs_total
+        });
+        reg.counter_fn(
+            "tmql_wal_bytes_written_total",
+            "Bytes appended to the WAL",
+            {
+                let s = s.clone();
+                move || s.wal_activity().bytes_appended_total
+            },
+        );
+        reg.counter_fn("tmql_wal_checkpoints_total", "Checkpoints taken", {
+            let s = s.clone();
+            move || s.wal_activity().checkpoints_total
+        });
+        reg.gauge_fn(
+            "tmql_free_list_pages",
+            "Reusable free pages in the allocator",
+            {
+                let s = s.clone();
+                move || s.free_list_len().0 as u64
+            },
+        );
+        reg.gauge_fn(
+            "tmql_pending_free_pages",
+            "Freed pages quarantined until the next checkpoint",
+            move || s.free_list_len().1 as u64,
+        );
     }
 
     /// The TM schema.

@@ -59,6 +59,6 @@ pub use pager::{BufferPool, PagedStore, PoolStats, TableExtent, DEFAULT_POOL_PAG
 pub use spill::{RunReader, RunWriter, SpillDir, SpillFile};
 pub use stats::{ColumnStats, Histogram, StatsBuilder, TableStats};
 pub use table::Table;
-pub use wal::{RecoveryReport, Wal};
+pub use wal::{RecoveryReport, Wal, WalActivity};
 
 pub use tmql_model::{ModelError, Result};

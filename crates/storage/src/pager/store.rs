@@ -63,7 +63,7 @@ use super::page::{self, PageId, NO_PAGE, OVF_CAPACITY, PAGE_SIZE};
 use super::pool::{BufferPool, PoolStats};
 use crate::failpoint::{self, IoOp, WriteCheck};
 use crate::spill::{decode_record, encode_record};
-use crate::wal::{CommitRecord, RecoveryReport, Wal};
+use crate::wal::{CommitRecord, RecoveryReport, Wal, WalActivity};
 
 /// Default buffer-pool capacity in pages (2 MiB at the 8 KiB page size).
 pub const DEFAULT_POOL_PAGES: usize = 256;
@@ -351,6 +351,8 @@ pub struct PagedStore {
     wal: Mutex<Wal>,
     /// WAL size past which a commit checkpoints.
     checkpoint_bytes: AtomicU64,
+    /// Checkpoints taken since this store was opened.
+    checkpoints: AtomicU64,
     /// What recovery found when this store was opened.
     recovery: RecoveryReport,
     path: PathBuf,
@@ -387,6 +389,7 @@ impl PagedStore {
             write_lock: Mutex::new(()),
             wal: Mutex::new(wal),
             checkpoint_bytes: AtomicU64::new(checkpoint_bytes_from_env()),
+            checkpoints: AtomicU64::new(0),
             recovery: RecoveryReport {
                 replayed_txns: 0,
                 discarded_records: 0,
@@ -448,6 +451,7 @@ impl PagedStore {
             write_lock: Mutex::new(()),
             wal: Mutex::new(wal),
             checkpoint_bytes: AtomicU64::new(checkpoint_bytes_from_env()),
+            checkpoints: AtomicU64::new(0),
             recovery: RecoveryReport {
                 replayed_txns: scan.txns.len(),
                 discarded_records: scan.discarded_records,
@@ -914,7 +918,9 @@ impl PagedStore {
             self.file.write_page(0, &st.meta.encode(&st.free))?;
         }
         self.file.sync()?;
-        self.wal().reset()
+        self.wal().reset()?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     fn maybe_checkpoint_locked(&self) -> Result<()> {
@@ -935,6 +941,22 @@ impl PagedStore {
     /// Current WAL size in bytes (diagnostic/test hook).
     pub fn wal_bytes(&self) -> u64 {
         self.wal().bytes()
+    }
+
+    /// Snapshot of WAL activity since this store was opened, with the
+    /// store's checkpoint count folded in.
+    pub fn wal_activity(&self) -> WalActivity {
+        let mut a = self.wal().activity();
+        a.checkpoints_total = self.checkpoints.load(Ordering::Relaxed);
+        a
+    }
+
+    /// `(reusable free pages, checkpoint-quarantined freed pages)` —
+    /// the allocator free list and the `pending_free` quarantine that
+    /// the next checkpoint folds into it.
+    pub fn free_list_len(&self) -> (usize, usize) {
+        let st = self.state();
+        (st.free.len(), st.pending_free.len())
     }
 
     /// What recovery found when this store was opened.

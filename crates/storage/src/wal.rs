@@ -24,6 +24,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Read;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use tmql_model::{ModelError, Result};
 
@@ -169,6 +170,46 @@ impl RecoveryReport {
     }
 }
 
+/// A point-in-time snapshot of WAL activity, surfaced through
+/// `Catalog::wal_activity` for the metrics registry and shell `\stats`.
+///
+/// `*_total` fields are monotonic for the lifetime of the open store
+/// (they survive checkpoints); `*_since_checkpoint` fields reset when a
+/// checkpoint truncates the log. `checkpoints_total` is tracked by the
+/// store, not the log — [`Wal::activity`] reports it as 0 and
+/// `PagedStore::wal_activity` fills it in.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalActivity {
+    /// Current log size in bytes.
+    pub size_bytes: u64,
+    /// Records appended since the last checkpoint.
+    pub records_since_checkpoint: u64,
+    /// Commit records appended since the last checkpoint.
+    pub commits_since_checkpoint: u64,
+    /// Records appended since the store was opened.
+    pub appends_total: u64,
+    /// Commit records appended since the store was opened.
+    pub commits_total: u64,
+    /// Fsyncs of the log since the store was opened.
+    pub syncs_total: u64,
+    /// Bytes appended (framing included) since the store was opened.
+    pub bytes_appended_total: u64,
+    /// Checkpoints taken since the store was opened (filled in by the
+    /// store, which owns checkpointing).
+    pub checkpoints_total: u64,
+}
+
+/// Activity counters, atomics so [`Wal::sync`] (`&self`) can count too.
+#[derive(Debug, Default)]
+struct WalCounters {
+    records: AtomicU64,
+    commits: AtomicU64,
+    appends_total: AtomicU64,
+    commits_total: AtomicU64,
+    syncs_total: AtomicU64,
+    bytes_appended_total: AtomicU64,
+}
+
 /// An open write-ahead log: append-only between checkpoints, truncated
 /// by them.
 #[derive(Debug)]
@@ -176,6 +217,7 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     end: u64,
+    counters: WalCounters,
 }
 
 impl Wal {
@@ -205,12 +247,30 @@ impl Wal {
             file,
             path: path.to_path_buf(),
             end,
+            counters: WalCounters::default(),
         })
     }
 
     /// Bytes currently in the log (the checkpoint trigger input).
     pub fn bytes(&self) -> u64 {
         self.end
+    }
+
+    /// Snapshot of this log's activity counters.
+    /// `checkpoints_total` is 0 here — checkpointing belongs to the
+    /// store, which overlays its own count.
+    pub fn activity(&self) -> WalActivity {
+        let c = &self.counters;
+        WalActivity {
+            size_bytes: self.end,
+            records_since_checkpoint: c.records.load(Ordering::Relaxed),
+            commits_since_checkpoint: c.commits.load(Ordering::Relaxed),
+            appends_total: c.appends_total.load(Ordering::Relaxed),
+            commits_total: c.commits_total.load(Ordering::Relaxed),
+            syncs_total: c.syncs_total.load(Ordering::Relaxed),
+            bytes_appended_total: c.bytes_appended_total.load(Ordering::Relaxed),
+            checkpoints_total: 0,
+        }
     }
 
     fn append(&mut self, payload: &[u8]) -> Result<()> {
@@ -230,6 +290,11 @@ impl Wal {
             return Err(io_err("injected crash (torn wal append)"));
         }
         self.end += rec.len() as u64;
+        self.counters.records.fetch_add(1, Ordering::Relaxed);
+        self.counters.appends_total.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_appended_total
+            .fetch_add(rec.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -246,7 +311,10 @@ impl Wal {
     /// Append a commit record; the transaction becomes durable at the
     /// next [`Wal::sync`].
     pub fn append_commit(&mut self, rec: &CommitRecord) -> Result<()> {
-        self.append(&rec.encode())
+        self.append(&rec.encode())?;
+        self.counters.commits.fetch_add(1, Ordering::Relaxed);
+        self.counters.commits_total.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Fsync the log — the durability point for everything appended.
@@ -254,7 +322,9 @@ impl Wal {
         failpoint::check_sync(&self.path, IoOp::WalSync)?;
         self.file
             .sync_all()
-            .map_err(|e| io_err(format!("wal sync: {e}")))
+            .map_err(|e| io_err(format!("wal sync: {e}")))?;
+        self.counters.syncs_total.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Truncate the log after a checkpoint has made its contents
@@ -268,6 +338,8 @@ impl Wal {
             .sync_all()
             .map_err(|e| io_err(format!("wal truncate sync: {e}")))?;
         self.end = 0;
+        self.counters.records.store(0, Ordering::Relaxed);
+        self.counters.commits.store(0, Ordering::Relaxed);
         Ok(())
     }
 
@@ -419,6 +491,32 @@ mod tests {
         assert_eq!(scan.txns.len(), 1, "replay must stop before the corruption");
         assert_eq!(scan.discarded_records, 1);
         assert_eq!(scan.discarded_bytes, (data.len() - one) as u64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn activity_counters_track_appends_and_reset() {
+        let path = tmp("activity");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append_page(2, &vec![0xAB; PAGE_SIZE]).unwrap();
+        wal.append_commit(&commit(9)).unwrap();
+        wal.sync().unwrap();
+        let a = wal.activity();
+        assert_eq!(a.records_since_checkpoint, 2);
+        assert_eq!(a.commits_since_checkpoint, 1);
+        assert_eq!(a.appends_total, 2);
+        assert_eq!(a.commits_total, 1);
+        assert_eq!(a.syncs_total, 1);
+        assert_eq!(a.size_bytes, wal.bytes());
+        assert_eq!(a.bytes_appended_total, wal.bytes());
+
+        wal.reset().unwrap();
+        let a = wal.activity();
+        assert_eq!(a.size_bytes, 0);
+        assert_eq!(a.records_since_checkpoint, 0, "since-checkpoint resets");
+        assert_eq!(a.commits_since_checkpoint, 0);
+        assert_eq!(a.appends_total, 2, "totals survive the checkpoint");
+        assert_eq!(a.commits_total, 1);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -51,12 +51,18 @@ meta commands:
                      with estimated vs actual rows per operator (and
                      spilled rows when a memory_budget forces spilling)
   \\strategies <q>    run <q> under every strategy, compare row counts
+  \\metrics           engine-wide metrics (Prometheus text): pool, WAL,
+                     executor work counters, query latency histogram
+  \\stats             storage snapshot: pool hit rate + per-table
+                     residency, WAL size/records, free list, recovery
   \\help              this text
   \\quit              exit
 transaction statements (grouping registrations and \\index changes into
 one atomic unit — durable as a single WAL commit on disk-backed
 databases; each statement auto-commits otherwise):
   BEGIN | COMMIT | ROLLBACK
+ANALYZE <query> runs the query and prints the executed operator tree
+with est vs actual rows, per-operator wall time, and work counters;
 anything else is executed as a TM query, e.g.
   SELECT x FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b)";
 
@@ -90,6 +96,8 @@ fn main() {
             }
         } else if let Some(stmt) = parse_txn_statement(line) {
             shell.txn(stmt);
+        } else if let Some(query) = parse_analyze_statement(line) {
+            shell.analyze(query);
         } else {
             shell.run_query(line);
         }
@@ -104,6 +112,22 @@ enum TxnStatement {
     Begin,
     Commit,
     Rollback,
+}
+
+/// `ANALYZE <query>`, recognized case-insensitively like the bare
+/// transaction statements; returns the query text.
+fn parse_analyze_statement(line: &str) -> Option<&str> {
+    let line = line.trim();
+    let head = line.split_whitespace().next()?;
+    if !head.eq_ignore_ascii_case("analyze") {
+        return None;
+    }
+    let query = line[head.len()..].trim();
+    if query.is_empty() {
+        None
+    } else {
+        Some(query)
+    }
 }
 
 fn parse_txn_statement(line: &str) -> Option<TxnStatement> {
@@ -156,6 +180,8 @@ impl Shell {
                 Err(e) => println!("error: {e}"),
             },
             "strategies" => self.compare_strategies(rest),
+            "metrics" => print!("{}", self.db.metrics_text()),
+            "stats" => self.stats(),
             other => println!("unknown command `\\{other}`; \\help for the list"),
         }
         true
@@ -402,6 +428,68 @@ impl Shell {
                 );
             }
             Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// `ANALYZE <query>`: run it and print the executed operator tree
+    /// with est vs actual rows, per-operator wall time, and counters.
+    fn analyze(&self, src: &str) {
+        match self.db.analyze_with(src, self.opts) {
+            Ok(report) => print!("{report}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// `\stats`: a storage-layer snapshot — buffer pool, WAL, free
+    /// list, and what recovery found at open.
+    fn stats(&self) {
+        match self.db.catalog().pool_stats() {
+            Some(p) => {
+                println!(
+                    "buffer pool: {} hits / {} misses ({:.1}% hit rate), \
+                     {} evictions, {} writebacks",
+                    p.hits,
+                    p.misses,
+                    p.hit_rate() * 100.0,
+                    p.evictions,
+                    p.writebacks
+                );
+                for name in self.db.catalog().table_names() {
+                    if let Some((resident, total)) = self.db.catalog().page_residency(name) {
+                        println!("  {name}: {resident}/{total} pages resident");
+                    }
+                }
+            }
+            None => println!("buffer pool: n/a (in-memory database; \\open for disk-backed)"),
+        }
+        match self.db.catalog().wal_activity() {
+            Some(w) => {
+                println!(
+                    "wal: {} bytes, {} record(s) ({} commit(s)) since last checkpoint",
+                    w.size_bytes, w.records_since_checkpoint, w.commits_since_checkpoint
+                );
+                println!(
+                    "  lifetime: {} append(s), {} commit(s), {} fsync(s), \
+                     {} bytes written, {} checkpoint(s)",
+                    w.appends_total,
+                    w.commits_total,
+                    w.syncs_total,
+                    w.bytes_appended_total,
+                    w.checkpoints_total
+                );
+            }
+            None => println!("wal: n/a (in-memory database)"),
+        }
+        if let Some((free, quarantined)) = self.db.catalog().free_list_len() {
+            println!("free list: {free} reusable page(s), {quarantined} awaiting checkpoint");
+        }
+        match self.db.recovery_report() {
+            Some(rep) if rep.is_clean() => println!("recovery: clean open (nothing to replay)"),
+            Some(rep) => println!(
+                "recovery: replayed {} transaction(s), discarded {} record(s) ({} bytes)",
+                rep.replayed_txns, rep.discarded_records, rep.discarded_bytes
+            ),
+            None => println!("recovery: n/a (in-memory database)"),
         }
     }
 

@@ -45,6 +45,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::Instant;
 
 pub use tmql_algebra::Plan;
 pub use tmql_core::{Classification, CostModel, UnnestStrategy};
@@ -52,7 +53,11 @@ pub use tmql_exec::{
     default_threads, CostEstimate, Estimator, ExecConfig, JoinAlgo, Metrics, OpProfile,
 };
 pub use tmql_model::{Record, Ty, Value};
-pub use tmql_storage::{Catalog, RecoveryReport, Table};
+pub use tmql_obs::{MetricsRegistry, QueryLog};
+pub use tmql_storage::{Catalog, RecoveryReport, Table, WalActivity};
+
+use tmql_exec::MetricsRecorder;
+use tmql_obs::{json::ObjectBuilder, Counter, Histogram};
 
 /// Adapter wiring `tmql-exec`'s statistics-backed [`Estimator`] into the
 /// logical optimizer's [`CostModel`] trait — the seam through which
@@ -178,6 +183,25 @@ pub struct QueryOptions {
     /// Run the type checker (on by default; turn off for benchmarks that
     /// measure pure execution).
     pub typecheck: bool,
+    /// Collect per-operator wall-clock timing during execution (default
+    /// `true`; the `b14_observe` benchmark pins the overhead under 5%).
+    /// When on, every operator's profile carries an inclusive `time=`
+    /// span — see [`OpProfile::wall_nanos`] for the exact semantics under
+    /// parallel worker waves. `false` skips all clock reads.
+    ///
+    /// ```
+    /// use tmql::QueryOptions;
+    ///
+    /// assert!(QueryOptions::default().collect_timing);
+    /// assert!(!QueryOptions::default().collect_timing(false).collect_timing);
+    /// ```
+    pub collect_timing: bool,
+    /// Emit a structured JSONL record for this statement to the
+    /// database's query log, when one is configured via the
+    /// `TMQL_QUERY_LOG` environment variable (default `true`; a no-op
+    /// without a configured log). `false` opts a single statement out —
+    /// e.g. the metrics-scraping statements of a monitoring loop.
+    pub query_log: bool,
 }
 
 impl Default for QueryOptions {
@@ -191,6 +215,8 @@ impl Default for QueryOptions {
             apply_cache: true,
             apply_rules: true,
             typecheck: true,
+            collect_timing: true,
+            query_log: true,
         }
     }
 }
@@ -236,6 +262,19 @@ impl QueryOptions {
         self
     }
 
+    /// Enable or disable per-operator wall-clock timing (default on).
+    pub fn collect_timing(mut self, on: bool) -> Self {
+        self.collect_timing = on;
+        self
+    }
+
+    /// Enable or disable query-log emission for this statement (default
+    /// on; only meaningful when `TMQL_QUERY_LOG` is set).
+    pub fn query_log(mut self, on: bool) -> Self {
+        self.query_log = on;
+        self
+    }
+
     fn exec_config(&self) -> ExecConfig {
         ExecConfig {
             join_algo: self.join_algo,
@@ -243,6 +282,7 @@ impl QueryOptions {
             memory_budget_rows: self.memory_budget_rows,
             threads: self.threads.max(1),
             apply_cache: self.apply_cache,
+            collect_timing: self.collect_timing,
         }
     }
 }
@@ -267,6 +307,10 @@ pub struct QueryResult {
     /// Structured per-operator profiles (pre-order over the executed
     /// tree), each carrying estimated and actual output rows.
     pub ops: Vec<OpProfile>,
+    /// Whole-statement wall-clock time in microseconds, parse through
+    /// last row (also the value observed into the
+    /// `tmql_query_wall_micros` histogram).
+    pub wall_micros: u64,
 }
 
 impl QueryResult {
@@ -304,6 +348,24 @@ impl QueryResult {
             .fold(1.0, f64::max)
     }
 
+    /// Render the `EXPLAIN ANALYZE` report for this (already executed)
+    /// run: the executed operator tree — each operator annotated with
+    /// actual rows, the cost model's estimated rows, batches, spilled
+    /// rows, and inclusive wall-clock time — followed by the run's work
+    /// counters (pool hits/misses, index probes, spill traffic, …) and a
+    /// one-line summary. [`Database::analyze_with`] returns exactly this;
+    /// the slow-query log embeds it for offending statements.
+    pub fn render_analyze(&self) -> String {
+        format!(
+            "== analyze (executed) ==\n{}-- {}\n-- wall={}µs max_qerror={:.2} total_work={}\n",
+            self.op_profile,
+            self.metrics,
+            self.wall_micros,
+            self.max_qerror(),
+            self.metrics.total_work(),
+        )
+    }
+
     /// Render the result set one value per line (deterministic order).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -326,6 +388,59 @@ impl QueryResult {
 #[derive(Debug, Default)]
 pub struct Database {
     catalog: Catalog,
+    obs: DbObs,
+}
+
+/// Upper bucket bounds (microseconds) of the `tmql_query_wall_micros`
+/// latency histogram: 100µs to 5s, roughly half-decade steps.
+const QUERY_LATENCY_BOUNDS_MICROS: &[u64] = &[
+    100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000,
+];
+
+/// Per-database observability state: the engine-wide metrics registry
+/// plus the facade's own instruments and the (optional) query log.
+#[derive(Debug)]
+struct DbObs {
+    registry: MetricsRegistry,
+    queries: Counter,
+    query_errors: Counter,
+    txn_commits: Counter,
+    txn_rollbacks: Counter,
+    query_wall_micros: Histogram,
+    exec: MetricsRecorder,
+    query_log: Option<QueryLog>,
+    slow_micros: Option<u64>,
+}
+
+impl Default for DbObs {
+    fn default() -> Self {
+        let registry = MetricsRegistry::new();
+        let queries = registry.counter("tmql_queries_total", "Statements executed successfully");
+        let query_errors = registry.counter(
+            "tmql_query_errors_total",
+            "Statements that failed (parse, type, translate, or execution error)",
+        );
+        let txn_commits = registry.counter("tmql_txn_commits_total", "Transactions committed");
+        let txn_rollbacks =
+            registry.counter("tmql_txn_rollbacks_total", "Transactions rolled back");
+        let query_wall_micros = registry.histogram(
+            "tmql_query_wall_micros",
+            "Whole-statement wall-clock latency in microseconds",
+            QUERY_LATENCY_BOUNDS_MICROS,
+        );
+        let exec = MetricsRecorder::register(&registry);
+        DbObs {
+            registry,
+            queries,
+            query_errors,
+            txn_commits,
+            txn_rollbacks,
+            query_wall_micros,
+            exec,
+            query_log: QueryLog::from_env(),
+            slow_micros: tmql_obs::log::slow_query_micros_from_env(),
+        }
+    }
 }
 
 /// Default buffer-pool capacity of [`Database::open`], in 8 KiB pages
@@ -364,7 +479,31 @@ impl Database {
 
     /// A database over an existing catalog (e.g. from `tmql-workload`).
     pub fn from_catalog(catalog: Catalog) -> Database {
-        Database { catalog }
+        let obs = DbObs::default();
+        // Storage contributes its polled series (pool, WAL, free list) —
+        // a no-op for transient catalogs.
+        catalog.register_metrics(&obs.registry);
+        if let Some(report) = catalog.recovery() {
+            obs.registry
+                .gauge(
+                    "tmql_recovery_replayed_txns",
+                    "Committed transactions replayed from the WAL at open",
+                )
+                .set(report.replayed_txns as u64);
+            obs.registry
+                .gauge(
+                    "tmql_recovery_discarded_records",
+                    "Torn or uncommitted WAL records discarded at open",
+                )
+                .set(report.discarded_records as u64);
+            obs.registry
+                .gauge(
+                    "tmql_recovery_discarded_bytes",
+                    "WAL bytes discarded at open",
+                )
+                .set(report.discarded_bytes);
+        }
+        Database { catalog, obs }
     }
 
     /// Open (or create) a **disk-backed** database at `path` with the
@@ -400,9 +539,7 @@ impl Database {
         path: impl AsRef<std::path::Path>,
         pool_pages: usize,
     ) -> Result<Database, TmqlError> {
-        Ok(Database {
-            catalog: Catalog::open(path, pool_pages)?,
-        })
+        Ok(Database::from_catalog(Catalog::open(path, pool_pages)?))
     }
 
     /// True iff this database writes through to a paged store on disk.
@@ -445,7 +582,7 @@ impl Database {
             catalog.create_index(&table, &attr)?;
         }
         catalog.sync()?;
-        Ok(Database { catalog })
+        Ok(Database::from_catalog(catalog))
     }
 
     /// The underlying catalog.
@@ -551,13 +688,21 @@ impl Database {
     /// [`Database::begin`] becomes durable atomically. On failure the
     /// transaction is rolled back and the error returned.
     pub fn commit(&mut self) -> Result<(), TmqlError> {
-        self.catalog.commit().map_err(TmqlError::from)
+        let r = self.catalog.commit().map_err(TmqlError::from);
+        if r.is_ok() {
+            self.obs.txn_commits.inc();
+        }
+        r
     }
 
     /// Abandon the open transaction, restoring the database to its
     /// [`Database::begin`] state and reclaiming the pages it wrote.
     pub fn rollback(&mut self) -> Result<(), TmqlError> {
-        self.catalog.rollback().map_err(TmqlError::from)
+        let r = self.catalog.rollback().map_err(TmqlError::from);
+        if r.is_ok() {
+            self.obs.txn_rollbacks.inc();
+        }
+        r
     }
 
     /// Whether a [`Database::begin`] transaction is currently open.
@@ -622,6 +767,24 @@ impl Database {
     /// assert!(tight.metrics.peak_resident_rows < free.metrics.peak_resident_rows);
     /// ```
     pub fn query_with(&self, src: &str, opts: QueryOptions) -> Result<QueryResult, TmqlError> {
+        let start = Instant::now();
+        let wal_before = self.catalog.wal_activity().unwrap_or_default();
+        match self.run_pipeline(src, opts) {
+            Ok(mut result) => {
+                result.wall_micros = start.elapsed().as_micros() as u64;
+                self.observe_query(src, opts, &result, &wal_before);
+                Ok(result)
+            }
+            Err(e) => {
+                self.obs.query_errors.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// The uninstrumented parse→plan→execute pipeline behind
+    /// [`Database::query_with`].
+    fn run_pipeline(&self, src: &str, opts: QueryOptions) -> Result<QueryResult, TmqlError> {
         let (translated, optimized) = self.plan_with(src, opts)?;
         let config = opts.exec_config();
         let phys = tmql_exec::lower(&optimized, &self.catalog, &config)?;
@@ -640,7 +803,139 @@ impl Database {
             metrics: ctx.metrics,
             op_profile,
             ops,
+            wall_micros: 0,
         })
+    }
+
+    /// Fold one finished statement into the registry and (when
+    /// configured) append its query-log record.
+    fn observe_query(
+        &self,
+        src: &str,
+        opts: QueryOptions,
+        result: &QueryResult,
+        wal_before: &WalActivity,
+    ) {
+        self.obs.queries.inc();
+        self.obs.query_wall_micros.observe(result.wall_micros);
+        self.obs.exec.record(&result.metrics);
+        let Some(log) = &self.obs.query_log else {
+            return;
+        };
+        if !opts.query_log {
+            return;
+        }
+        let wal_after = self.catalog.wal_activity().unwrap_or_default();
+        let est_root = result.ops.first().and_then(|o| o.est_rows).unwrap_or(0.0);
+        let m = &result.metrics;
+        let mut record = ObjectBuilder::new()
+            .str(
+                "query_hash",
+                &format!("{:016x}", tmql_obs::fnv1a(src.as_bytes())),
+            )
+            .str("strategy", opts.strategy.name())
+            .f64("est_rows", est_root)
+            .u64("actual_rows", result.len() as u64)
+            .f64("max_qerror", result.max_qerror())
+            .u64("total_work", m.total_work())
+            .u64("wall_micros", result.wall_micros)
+            .u64("rows_spilled", m.rows_spilled)
+            .u64("pool_hits", m.pool_hits)
+            .u64("pool_misses", m.pool_misses)
+            .u64(
+                "wal_appends",
+                wal_after
+                    .appends_total
+                    .saturating_sub(wal_before.appends_total),
+            );
+        // Slow-query escalation: offenders get their full EXPLAIN ANALYZE
+        // tree embedded (rendered from this run — the query is not rerun).
+        if let Some(slow) = self.obs.slow_micros {
+            if result.wall_micros >= slow {
+                record = record.str("analyze", &result.render_analyze());
+            }
+        }
+        log.append(&record.finish());
+    }
+
+    /// `EXPLAIN ANALYZE` with default options — see
+    /// [`Database::analyze_with`].
+    pub fn analyze(&self, src: &str) -> Result<String, TmqlError> {
+        self.analyze_with(src, QueryOptions::default())
+    }
+
+    /// `EXPLAIN ANALYZE`: **run** the query, then render the executed
+    /// operator tree with estimated vs. actual rows, per-operator
+    /// inclusive wall-clock time, spilled rows, and the run's work
+    /// counters (pool, index, spill, WAL-adjacent). The shell exposes
+    /// this as `ANALYZE <query>`.
+    ///
+    /// ```
+    /// use tmql::Database;
+    /// use tmql_storage::table::int_table;
+    ///
+    /// let mut db = Database::new();
+    /// db.register_table(int_table("X", &["a"], &[&[1], &[2]])).unwrap();
+    /// let report = db.analyze("SELECT x.a FROM X x").unwrap();
+    /// assert!(report.contains("Scan(X) [rows=2 est=2"), "{report}");
+    /// assert!(report.contains("time="), "{report}");
+    /// assert!(report.contains("max_qerror="), "{report}");
+    /// ```
+    pub fn analyze_with(&self, src: &str, opts: QueryOptions) -> Result<String, TmqlError> {
+        // Timing is the point of ANALYZE: force collection on even if the
+        // caller's options disabled it.
+        let result = self.query_with(src, opts.collect_timing(true))?;
+        Ok(result.render_analyze())
+    }
+
+    /// Render every registered metric in Prometheus text exposition
+    /// format: engine-wide counters/gauges/histograms from storage
+    /// (`tmql_pool_*`, `tmql_wal_*`), the executor (`tmql_exec_*`), and
+    /// the facade (`tmql_queries_total`, `tmql_query_wall_micros`,
+    /// `tmql_txn_*`, `tmql_recovery_*`). The shell exposes this as
+    /// `\metrics`.
+    ///
+    /// ```
+    /// use tmql::Database;
+    /// use tmql_storage::table::int_table;
+    ///
+    /// let mut db = Database::new();
+    /// db.register_table(int_table("X", &["a"], &[&[7]])).unwrap();
+    /// db.query("SELECT x.a FROM X x").unwrap();
+    /// let text = db.metrics_text();
+    /// assert!(text.contains("tmql_queries_total 1\n"), "{text}");
+    /// assert!(text.contains("tmql_exec_rows_scanned_total"), "{text}");
+    /// assert!(text.contains("tmql_query_wall_micros_count 1\n"), "{text}");
+    /// ```
+    pub fn metrics_text(&self) -> String {
+        self.obs.registry.render()
+    }
+
+    /// The engine-wide metrics registry backing
+    /// [`Database::metrics_text`] — callers may register their own
+    /// series alongside the engine's.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.obs.registry
+    }
+
+    /// The path of the active query log (set via `TMQL_QUERY_LOG` when
+    /// the database was created, or [`Database::set_query_log`]), if any.
+    pub fn query_log_path(&self) -> Option<&std::path::Path> {
+        self.obs.query_log.as_ref().map(QueryLog::path)
+    }
+
+    /// Attach (or replace) the query log programmatically — the
+    /// environment-independent alternative to `TMQL_QUERY_LOG`.
+    pub fn set_query_log(&mut self, log: QueryLog) {
+        self.obs.query_log = Some(log);
+    }
+
+    /// Set (or clear) the slow-query threshold: statements at or above
+    /// `micros` get their full `EXPLAIN ANALYZE` tree embedded in their
+    /// query-log record. The environment-independent alternative to
+    /// `TMQL_SLOW_QUERY_MICROS`.
+    pub fn set_slow_query_micros(&mut self, micros: Option<u64>) {
+        self.obs.slow_micros = micros;
     }
 
     /// Produce the translated and optimized logical plans without

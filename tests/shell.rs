@@ -287,3 +287,77 @@ fn generated_dataset_load() {
     assert!(out.contains("X(64)"), "{out}");
     assert!(out.contains("rows in"), "{out}");
 }
+
+#[test]
+fn analyze_statement_prints_executed_tree() {
+    let out = run_shell(
+        "analyze SELECT d.name FROM DEPT d\n\
+         \\quit\n",
+    );
+    assert!(out.contains("== analyze (executed) =="), "{out}");
+    assert!(out.contains("Scan(DEPT) [rows=3 est=3"), "{out}");
+    assert!(out.contains("time="), "per-operator wall time:\n{out}");
+    assert!(out.contains("max_qerror="), "{out}");
+    assert!(out.contains("total_work="), "{out}");
+}
+
+#[test]
+fn metrics_command_renders_prometheus_text() {
+    let out = run_shell(
+        "SELECT d.name FROM DEPT d\n\
+         \\metrics\n\
+         \\quit\n",
+    );
+    assert!(out.contains("# TYPE tmql_queries_total counter"), "{out}");
+    assert!(out.contains("tmql_queries_total 1\n"), "{out}");
+    assert!(out.contains("tmql_exec_rows_scanned_total"), "{out}");
+    assert!(out.contains("tmql_query_wall_micros_count 1\n"), "{out}");
+    assert!(
+        out.contains("tmql_query_wall_micros_bucket{le=\"+Inf\"} 1"),
+        "{out}"
+    );
+}
+
+#[test]
+fn stats_command_in_memory_and_disk_backed() {
+    // In-memory: every storage section reports n/a.
+    let out = run_shell("\\stats\n\\quit\n");
+    assert!(out.contains("buffer pool: n/a"), "{out}");
+    assert!(out.contains("wal: n/a"), "{out}");
+    assert!(out.contains("recovery: n/a"), "{out}");
+
+    // Disk-backed: pool, WAL, free list, and recovery all report.
+    let path =
+        std::env::temp_dir().join(format!("tmql-shell-stats-test-{}.tmdb", std::process::id()));
+    let wal = {
+        let mut w = path.clone().into_os_string();
+        w.push(".wal");
+        std::path::PathBuf::from(w)
+    };
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal);
+    let p = path.display();
+    let out = run_shell(&format!(
+        "\\open {p}\n\
+         \\load rs 100\n\
+         \\persist {p}2\n\
+         SELECT r.a FROM R r WHERE r.b = 0\n\
+         \\stats\n\
+         \\metrics\n\
+         \\quit\n"
+    ));
+    assert!(out.contains("buffer pool:"), "{out}");
+    assert!(out.contains("hit rate"), "{out}");
+    assert!(out.contains("pages resident"), "{out}");
+    assert!(out.contains("wal:"), "{out}");
+    assert!(out.contains("lifetime:"), "{out}");
+    assert!(out.contains("free list:"), "{out}");
+    assert!(out.contains("recovery: clean open"), "{out}");
+    assert!(out.contains("tmql_pool_hits_total"), "{out}");
+    assert!(out.contains("tmql_wal_appends_total"), "{out}");
+    for f in [&path, &wal] {
+        let _ = std::fs::remove_file(f);
+    }
+    let _ = std::fs::remove_file(format!("{p}2"));
+    let _ = std::fs::remove_file(format!("{p}2.wal"));
+}
